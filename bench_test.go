@@ -1,0 +1,244 @@
+// Package repro_test holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (§6), driving the
+// same machinery as cmd/nvbench. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics: ops/s is end-to-end structure throughput (excluding
+// prefill it is reported by the harness itself), syncs/op counts fences that
+// waited for simulated NVRAM write-backs — the quantity the paper's
+// techniques minimize.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/memcache"
+	"repro/internal/nvram"
+)
+
+// benchPoint runs exactly b.N operations through the workload harness.
+func benchPoint(b *testing.B, cfg bench.Config) {
+	b.Helper()
+	cfg.Ops = b.N
+	cfg.Duration = time.Hour // ignored in ops mode
+	r, err := bench.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.Throughput, "ops/s")
+	b.ReportMetric(r.SyncsPerOp(), "syncs/op")
+}
+
+// BenchmarkTable1 measures the primitive Table 1 parameterizes: the cost of
+// one sync operation (CLWB+fence) at the paper's default NVRAM write
+// latency.
+func BenchmarkTable1SyncOperation(b *testing.B) {
+	dev := nvram.New(nvram.Config{Size: 1 << 20, WriteLatency: nvram.DefaultWriteLatency})
+	f := dev.NewFlusher()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Store(64, uint64(i))
+		f.Sync(64)
+	}
+}
+
+// BenchmarkFig5 reproduces Figure 5's benchmark points: 50/50 insert/delete
+// throughput, log-free (LC) vs redo-log implementations.
+func BenchmarkFig5(b *testing.B) {
+	for _, st := range []bench.Structure{bench.SkipList, bench.List, bench.Hash, bench.BST} {
+		size := 4096
+		if st == bench.List {
+			size = 1024
+		}
+		for _, impl := range []bench.Impl{bench.ImplLC, bench.ImplLog} {
+			for _, th := range []int{1, 8} {
+				b.Run(fmt.Sprintf("%s/%s/%dt", st, impl, th), func(b *testing.B) {
+					benchPoint(b, bench.Config{
+						Structure: st, Impl: impl, Size: size,
+						Threads: th, UpdateRatio: 1.0,
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 reproduces Figure 6: the linked list under growing NVRAM
+// write latency.
+func BenchmarkFig6(b *testing.B) {
+	for _, lat := range []time.Duration{125 * time.Nanosecond, 1250 * time.Nanosecond, 12500 * time.Nanosecond} {
+		for _, impl := range []bench.Impl{bench.ImplLC, bench.ImplLog} {
+			b.Run(fmt.Sprintf("%v/%s", lat, impl), func(b *testing.B) {
+				benchPoint(b, bench.Config{
+					Structure: bench.List, Impl: impl, Size: 1024,
+					Threads: 1, UpdateRatio: 1.0, WriteLatency: lat,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 reproduces Figure 7: durable vs NVRAM-oblivious linked list.
+func BenchmarkFig7(b *testing.B) {
+	for _, size := range []int{128, 4096} {
+		for _, impl := range []bench.Impl{bench.ImplLC, bench.ImplVolatile} {
+			b.Run(fmt.Sprintf("%d/%s", size, impl), func(b *testing.B) {
+				benchPoint(b, bench.Config{
+					Structure: bench.List, Impl: impl, Size: size,
+					Threads: 1, UpdateRatio: 1.0,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 reproduces Figure 8: LP vs LC vs log-based with identical
+// memory management, 1024 elements, 100% updates.
+func BenchmarkFig8(b *testing.B) {
+	for _, st := range []bench.Structure{bench.Hash, bench.SkipList, bench.List, bench.BST} {
+		for _, impl := range []bench.Impl{bench.ImplLP, bench.ImplLC, bench.ImplLogEpochAlloc} {
+			b.Run(fmt.Sprintf("%s/%s/1t", st, impl), func(b *testing.B) {
+				benchPoint(b, bench.Config{
+					Structure: st, Impl: impl, Size: 1024,
+					Threads: 1, UpdateRatio: 1.0,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig9a reproduces Figure 9a: APT hit rates on a skip list. The
+// hit-rate metrics are the figure's series; throughput is incidental.
+func BenchmarkFig9a(b *testing.B) {
+	for _, size := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("%d", size), func(b *testing.B) {
+			cfg := bench.Config{
+				Structure: bench.SkipList, Impl: bench.ImplLP, Size: size,
+				Threads: 1, UpdateRatio: 1.0, Ops: b.N, Duration: time.Hour,
+			}
+			r, err := bench.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*r.AllocHitRate(), "insert-hit%")
+			b.ReportMetric(100*r.UnlinkHitRate(), "delete-hit%")
+		})
+	}
+}
+
+// BenchmarkFig9b reproduces Figure 9b: NV-epochs vs durable alloc logging.
+func BenchmarkFig9b(b *testing.B) {
+	for _, st := range []bench.Structure{bench.Hash, bench.BST, bench.SkipList, bench.List} {
+		for _, impl := range []bench.Impl{bench.ImplLP, bench.ImplLPAllocLog} {
+			b.Run(fmt.Sprintf("%s/%s", st, impl), func(b *testing.B) {
+				benchPoint(b, bench.Config{
+					Structure: st, Impl: impl, Size: 1024,
+					Threads: 1, UpdateRatio: 1.0,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 reproduces Figure 10: recovery time after a crash. Each
+// iteration builds a structure, crashes it mid-burst, and runs the §5.5
+// recovery procedure; recovery-ns is the figure's series.
+func BenchmarkFig10(b *testing.B) {
+	for _, st := range []bench.Structure{bench.Hash, bench.BST, bench.SkipList, bench.List} {
+		size := 65536
+		if st == bench.List {
+			size = 4096
+		}
+		b.Run(fmt.Sprintf("%s/%d", st, size), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				dur, _, err := bench.RecoveryPoint(st, size, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += dur
+			}
+			b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "recovery-ns")
+		})
+	}
+}
+
+// BenchmarkFig11 reproduces Figure 11's throughput comparison in-process:
+// stock-memcached model, memcached-clht model, NV-Memcached.
+func BenchmarkFig11(b *testing.B) {
+	const keys = 10000
+	mt := &memcache.Memtier{KeyRange: keys, SetRatio: 1, GetRatio: 4, ValueLen: 64, Threads: 4}
+	cfg := memcache.Config{MemoryBytes: 64 << 20, Buckets: 1 << 14, MaxConns: 4}
+
+	b.Run("memcached", func(b *testing.B) {
+		c := memcache.NewLockCache()
+		if err := mt.Preload(c); err != nil {
+			b.Fatal(err)
+		}
+		runMemtierN(b, mt, func(int) memcache.KV { return c })
+	})
+	b.Run("memcached-clht", func(b *testing.B) {
+		c, err := memcache.NewCLHTCache(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := mt.Preload(c.Handle(0)); err != nil {
+			b.Fatal(err)
+		}
+		runMemtierN(b, mt, func(tid int) memcache.KV { return c.Handle(tid) })
+	})
+	b.Run("nv-memcached", func(b *testing.B) {
+		c, err := memcache.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := mt.Preload(c.Handle(0)); err != nil {
+			b.Fatal(err)
+		}
+		runMemtierN(b, mt, func(tid int) memcache.KV { return c.Handle(tid) })
+	})
+	b.Run("nv-memcached/recovery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c, err := memcache.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := mt.Preload(c.Handle(0)); err != nil {
+				b.Fatal(err)
+			}
+			c.Flush()
+			c.Device().Crash()
+			b.StartTimer()
+			if _, _, err := memcache.Recover(c.Device(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// runMemtierN drives b.N single operations through one client thread so the
+// standard ns/op is meaningful, reporting throughput too.
+func runMemtierN(b *testing.B, mt *memcache.Memtier, kvFor func(int) memcache.KV) {
+	b.Helper()
+	kv := kvFor(0)
+	val := make([]byte, mt.ValueLen)
+	var kb [32]byte
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := mt.Key(kb[:0], i%mt.KeyRange)
+		if i%5 == 0 {
+			if err := kv.Set(k, val, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			kv.Get(k)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}

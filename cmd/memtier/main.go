@@ -1,0 +1,58 @@
+// Command memtier is a load generator modeled on memtier-benchmark (§6.5):
+// it drives a memcached-protocol server with a configurable set:get mix over
+// a uniform key range and reports throughput, as used for Figure 11.
+//
+//	memtier -server 127.0.0.1:11211 -keys 100000 -ratio 1:4 -threads 4 -dur 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/memcache"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:11211", "memcached server address")
+	keys := flag.Int("keys", 10000, "key range (keys drawn uniformly at random)")
+	ratio := flag.String("ratio", "1:4", "set:get ratio")
+	valueLen := flag.Int("data", 64, "value payload bytes")
+	threads := flag.Int("threads", 4, "client threads")
+	dur := flag.Duration("dur", 5*time.Second, "run duration")
+	preload := flag.Bool("preload", true, "warm the cache with half the key range first")
+	flag.Parse()
+
+	var setR, getR int
+	if _, err := fmt.Sscanf(strings.ReplaceAll(*ratio, ":", " "), "%d %d", &setR, &getR); err != nil {
+		log.Fatalf("memtier: bad -ratio %q: %v", *ratio, err)
+	}
+
+	mt := &memcache.Memtier{
+		KeyRange: *keys,
+		SetRatio: setR, GetRatio: getR,
+		ValueLen: *valueLen,
+		Threads:  *threads,
+		Duration: *dur,
+	}
+
+	if *preload {
+		start := time.Now()
+		if err := mt.PreloadTCP(*server); err != nil {
+			log.Fatalf("memtier: preload: %v", err)
+		}
+		fmt.Printf("preloaded %d keys in %v\n", *keys/2, time.Since(start).Round(time.Millisecond))
+	}
+
+	res, err := mt.RunTCP(*server)
+	if err != nil {
+		log.Fatalf("memtier: %v", err)
+	}
+	fmt.Printf("ops:        %d\n", res.Ops)
+	fmt.Printf("elapsed:    %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f ops/sec (%.2f x 100Kop/s)\n", res.Throughput, res.Throughput/100000)
+	fmt.Printf("hits:       %d\n", res.Hits)
+	fmt.Printf("misses:     %d\n", res.Misses)
+}

@@ -1,0 +1,95 @@
+// jobqueue: a durable work queue — producers enqueue jobs, workers dequeue
+// and process them, and a power failure in the middle loses nothing: every
+// job is either still queued, or was provably handed to a worker. This is
+// the Michael-Scott queue with link-and-persist (see internal/core/queue.go),
+// the paper's techniques applied beyond the set abstraction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"repro/logfree"
+)
+
+const (
+	producers = 4
+	consumers = 3
+	jobsPer   = 500
+)
+
+func main() {
+	rt, err := logfree.New(logfree.Config{
+		Size:       64 << 20,
+		MaxThreads: producers + consumers + 1,
+		LinkCache:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := rt.CreateQueue(rt.Handle(0), "jobs")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Producers enqueue; consumers process about half before the "outage".
+	var wg sync.WaitGroup
+	var processed atomic.Uint64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := rt.Handle(p)
+			for j := 0; j < jobsPer; j++ {
+				q.Enqueue(h, uint64(p)<<32|uint64(j))
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := rt.Handle(producers + c)
+			for processed.Load() < producers*jobsPer/2 {
+				if _, ok := q.Dequeue(h); ok {
+					processed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rt.Drain()
+	done := processed.Load()
+	remaining := q.Len(rt.Handle(0))
+	fmt.Printf("before crash: %d jobs processed, %d queued\n", done, remaining)
+
+	// Power failure mid-shift.
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q2, err := rt2.OpenQueue("jobs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := rt2.Handle(0)
+	got := q2.Len(h)
+	fmt.Printf("after recovery: %d jobs queued (recovery: %v)\n",
+		got, rt2.RecoveryReports()[0].Duration)
+	if uint64(got)+done != producers*jobsPer {
+		log.Fatalf("jobs lost or duplicated: %d processed + %d queued != %d",
+			done, got, producers*jobsPer)
+	}
+
+	// Finish the backlog after the restart.
+	drained := 0
+	for {
+		if _, ok := q2.Dequeue(h); !ok {
+			break
+		}
+		drained++
+	}
+	fmt.Printf("drained %d jobs after restart — none lost, none duplicated\n", drained)
+}

@@ -1,0 +1,116 @@
+// kvstore: a durable key-value store whose contents persist across process
+// runs through an NVRAM image file — the paper's "restart and resume"
+// scenario end to end.
+//
+//	go run ./examples/kvstore set 1 100
+//	go run ./examples/kvstore set 2 200
+//	go run ./examples/kvstore get 1
+//	go run ./examples/kvstore del 1
+//	go run ./examples/kvstore list
+//
+// State lives in kvstore.img in the working directory (override with
+// -image). Each run loads the image (running recovery), applies one
+// command, and saves the image back.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/logfree"
+)
+
+func main() {
+	image := flag.String("image", "kvstore.img", "NVRAM image file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: kvstore [-image file] {set k v | get k | del k | list}")
+		os.Exit(2)
+	}
+
+	cfg := logfree.Config{Size: 32 << 20, MaxThreads: 2, LinkCache: true}
+
+	var rt *logfree.Runtime
+	var store *logfree.BST
+	if _, err := os.Stat(*image); err == nil {
+		rt, err = logfree.Load(*image, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = rt.OpenBST("kv")
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		rt, err = logfree.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = rt.CreateBST(rt.Handle(0), "kv")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	h := rt.Handle(0)
+
+	atoi := func(s string) uint64 {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil || n < logfree.MinKey {
+			log.Fatalf("kvstore: bad number %q", s)
+		}
+		return n
+	}
+
+	switch args[0] {
+	case "set":
+		if len(args) != 3 {
+			log.Fatal("set needs key and value")
+		}
+		k, v := atoi(args[1]), atoi(args[2])
+		if store.Insert(h, k, v) {
+			fmt.Printf("set %d = %d\n", k, v)
+		} else {
+			store.Delete(h, k)
+			store.Insert(h, k, v)
+			fmt.Printf("overwrote %d = %d\n", k, v)
+		}
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("get needs a key")
+		}
+		k := atoi(args[1])
+		if v, ok := store.Search(h, k); ok {
+			fmt.Printf("%d = %d\n", k, v)
+		} else {
+			fmt.Printf("%d not found\n", k)
+		}
+	case "del":
+		if len(args) != 2 {
+			log.Fatal("del needs a key")
+		}
+		k := atoi(args[1])
+		if v, ok := store.Delete(h, k); ok {
+			fmt.Printf("deleted %d (was %d)\n", k, v)
+		} else {
+			fmt.Printf("%d not found\n", k)
+		}
+	case "list":
+		n := 0
+		store.Range(h, func(k, v uint64) bool {
+			fmt.Printf("%d = %d\n", k, v)
+			n++
+			return true
+		})
+		fmt.Printf("(%d keys)\n", n)
+	default:
+		log.Fatalf("kvstore: unknown command %q", args[0])
+	}
+
+	if err := rt.Save(*image); err != nil {
+		log.Fatal(err)
+	}
+}

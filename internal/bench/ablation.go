@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nvram"
+)
+
+// Ablations beyond the paper's figures, for the design choices DESIGN.md
+// calls out. Each reuses the standard workload harness with one knob swept.
+
+// AblationAreaShift sweeps the active-area granularity (§6.3: "the
+// granularity at which we keep track of active memory areas is adjustable.
+// Larger memory areas result in higher hit rates and throughput
+// improvements, at the expense of increased recovery time"). Reported per
+// granularity: APT hit rates, throughput, and recovery time of a crashed
+// instance.
+func AblationAreaShift(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title: "Ablation: active-area granularity (skip list, 64K elements)",
+		Header: []string{"area", "insert-hit%", "delete-hit%",
+			"kops/s", "recovery-ms"},
+	}
+	size := 65536
+	if size > o.MaxSize {
+		size = o.MaxSize
+	}
+	for _, shift := range []uint{12, 14, 16, 18} {
+		r, err := runWithStoreOptions(Config{
+			Structure: SkipList, Impl: ImplLP, Size: size,
+			Threads: 1, UpdateRatio: 1.0, Duration: o.Duration,
+		}, func(opts *core.Options) { opts.AreaShift = shift })
+		if err != nil {
+			return nil, err
+		}
+		rec, err := recoveryWithAreaShift(size, shift)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Labels: []string{fmt.Sprintf("%dKiB", 1<<(shift-10))},
+			Values: []float64{
+				100 * r.AllocHitRate(),
+				100 * r.UnlinkHitRate(),
+				r.Throughput / 1000,
+				float64(rec.Microseconds()) / 1000,
+			},
+		})
+	}
+	return t, nil
+}
+
+// AblationLinkCacheBuckets sweeps the link cache size (§4.2 fixes 32
+// buckets; more buckets mean fewer spurious flushes but a larger volatile
+// footprint and worse cache behaviour).
+func AblationLinkCacheBuckets(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Ablation: link cache buckets (hash table, 1024 elements, 100% updates)",
+		Header: []string{"buckets", "kops/s", "syncs/op"},
+	}
+	for _, buckets := range []int{8, 32, 128, 512} {
+		r, err := runWithStoreOptions(Config{
+			Structure: Hash, Impl: ImplLC, Size: 1024,
+			Threads: 1, UpdateRatio: 1.0, Duration: o.Duration,
+		}, func(opts *core.Options) { opts.LinkCacheBuckets = buckets })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Labels: []string{fmt.Sprintf("%d", buckets)},
+			Values: []float64{r.Throughput / 1000, r.SyncsPerOp()},
+		})
+	}
+	return t, nil
+}
+
+// AblationGenSize sweeps the reclamation generation size: small generations
+// reclaim (and reuse) promptly but fence more often; large ones batch frees
+// at the cost of retained garbage.
+func AblationGenSize(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Ablation: reclamation generation size (hash table, 4K elements)",
+		Header: []string{"gen-size", "kops/s", "syncs/op"},
+	}
+	for _, gen := range []int{8, 32, 64, 256} {
+		r, err := runWithStoreOptions(Config{
+			Structure: Hash, Impl: ImplLP, Size: 4096,
+			Threads: 1, UpdateRatio: 1.0, Duration: o.Duration,
+		}, func(opts *core.Options) { opts.EpochGenSize = gen })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Labels: []string{fmt.Sprintf("%d", gen)},
+			Values: []float64{r.Throughput / 1000, r.SyncsPerOp()},
+		})
+	}
+	return t, nil
+}
+
+// runWithStoreOptions is Run with a core.Options mutator (log-free impls
+// only).
+func runWithStoreOptions(cfg Config, mutate func(*core.Options)) (Result, error) {
+	cfg.fill()
+	storeOptMutator = mutate
+	defer func() { storeOptMutator = nil }()
+	return Run(cfg)
+}
+
+// storeOptMutator is consulted by buildLogFree; nil outside ablations. The
+// harness is single-run at a time, so a package variable keeps the plumbing
+// out of the common path.
+var storeOptMutator func(*core.Options)
+
+// recoveryWithAreaShift builds a skip list at the given granularity,
+// crashes it mid-burst, and times recovery (the cost side of the
+// granularity trade-off).
+func recoveryWithAreaShift(size int, shift uint) (time.Duration, error) {
+	dev := nvram.New(nvram.Config{Size: deviceBytes(SkipList, size)})
+	s, err := core.NewStore(dev, core.Options{MaxThreads: 2, AreaShift: shift})
+	if err != nil {
+		return 0, err
+	}
+	c := s.MustCtx(0)
+	sl, err := core.NewSkipList(c)
+	if err != nil {
+		return 0, err
+	}
+	prefillInto(size, func(k uint64) { sl.Insert(c, k, k) }, false)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Int63n(int64(2*size))) + 1
+		if rng.Intn(2) == 0 {
+			sl.Insert(c, k, k)
+		} else {
+			sl.Delete(c, k)
+		}
+	}
+	dev.Crash()
+	s2, err := core.AttachStore(dev)
+	if err != nil {
+		return 0, err
+	}
+	stats := core.RecoverSkipList(s2, core.AttachSkipList(s2, sl.Head(), sl.Tail()), 2)
+	return stats.Duration, nil
+}

@@ -1,0 +1,434 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nvram"
+)
+
+// Row is one line of a reproduced table/figure.
+type Row struct {
+	Labels []string
+	Values []float64
+}
+
+// Table is a reproduced figure: a header plus rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   []Row
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	for _, h := range t.Header {
+		fmt.Fprintf(w, "%-14s", h)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		for _, l := range r.Labels {
+			fmt.Fprintf(w, "%-14s", l)
+		}
+		for _, v := range r.Values {
+			fmt.Fprintf(w, "%-14.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// FprintCSV renders the table as comma-separated values (for plotting).
+func (t *Table) FprintCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	for i, h := range t.Header {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprint(w, h)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		for i, l := range r.Labels {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, l)
+		}
+		for _, v := range r.Values {
+			fmt.Fprintf(w, ",%.4f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FigureOptions scales the experiments to the host.
+type FigureOptions struct {
+	// Duration per benchmark point.
+	Duration time.Duration
+	// MaxSize caps structure sizes (the paper's largest points are 4M
+	// elements; 1M keeps the simulator's two memory images modest).
+	MaxSize int
+	// Threads is the concurrent-thread count (paper: 8).
+	Threads int
+}
+
+func (o *FigureOptions) fill() {
+	if o.Duration == 0 {
+		o.Duration = 300 * time.Millisecond
+	}
+	if o.MaxSize == 0 {
+		o.MaxSize = 1 << 20
+	}
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+}
+
+func capSizes(sizes []int, max int) []int {
+	var out []int
+	for _, s := range sizes {
+		if s <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// structSizes returns each structure's size sweep from Figure 5.
+func structSizes(st Structure, max int) []int {
+	if st == List {
+		return capSizes([]int{32, 128, 4096, 65536}, max)
+	}
+	return capSizes([]int{128, 4096, 65536, 1 << 20, 4 << 20}, max)
+}
+
+// Table1 reproduces Table 1 (the latency model).
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: caches, DRAM, and NVRAM (projected) latencies (ns)",
+		Header: []string{"level", "read", "write"},
+	}
+	for _, r := range nvram.LatencyTable {
+		t.Rows = append(t.Rows, Row{
+			Labels: []string{r.Level},
+			Values: []float64{float64(r.ReadNanos), float64(r.WriteNanos)},
+		})
+	}
+	return t
+}
+
+// ratio runs cfg under two implementations and returns throughput(a)/throughput(b).
+func ratio(cfg Config, a, b Impl) (float64, error) {
+	cfgA := cfg
+	cfgA.Impl = a
+	ra, err := Run(cfgA)
+	if err != nil {
+		return 0, err
+	}
+	cfgB := cfg
+	cfgB.Impl = b
+	rb, err := Run(cfgB)
+	if err != nil {
+		return 0, err
+	}
+	if rb.Throughput == 0 {
+		return 0, fmt.Errorf("bench: zero baseline throughput")
+	}
+	return ra.Throughput / rb.Throughput, nil
+}
+
+// Fig5 reproduces Figure 5: update throughput of the log-free structures
+// relative to the redo-log implementations, per structure/size, at 1 and N
+// threads (50% inserts / 50% removes).
+func Fig5(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Figure 5: log-free update throughput relative to log-based",
+		Header: []string{"structure", "size", "1-thread", fmt.Sprintf("%d-threads", o.Threads)},
+	}
+	for _, st := range []Structure{SkipList, List, Hash, BST} {
+		for _, size := range structSizes(st, o.MaxSize) {
+			row := Row{Labels: []string{string(st), sizeLabel(size)}}
+			for _, th := range []int{1, o.Threads} {
+				r, err := ratio(Config{
+					Structure: st, Size: size, Threads: th,
+					UpdateRatio: 1.0, Duration: o.Duration,
+				}, ImplLC, ImplLog)
+				if err != nil {
+					return nil, err
+				}
+				row.Values = append(row.Values, r)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: the 1024-element linked list's log-free/log
+// ratio as NVRAM write latency grows (125ns, 1.25µs, 12.5µs).
+func Fig6(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Figure 6: linked list (1024 elems) vs log-based, by NVRAM write latency",
+		Header: []string{"latency", "1-thread", fmt.Sprintf("%d-threads", o.Threads)},
+	}
+	for _, lat := range []time.Duration{125 * time.Nanosecond, 1250 * time.Nanosecond, 12500 * time.Nanosecond} {
+		row := Row{Labels: []string{lat.String()}}
+		for _, th := range []int{1, o.Threads} {
+			r, err := ratio(Config{
+				Structure: List, Size: 1024, Threads: th,
+				UpdateRatio: 1.0, Duration: o.Duration, WriteLatency: lat,
+			}, ImplLC, ImplLog)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, r)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: the durable linked list's update throughput
+// relative to the NVRAM-oblivious implementation, by size.
+func Fig7(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Figure 7: durable linked list vs volatile implementation",
+		Header: []string{"size", "1-thread", fmt.Sprintf("%d-threads", o.Threads)},
+	}
+	for _, size := range capSizes([]int{32, 128, 4096, 65536}, o.MaxSize) {
+		row := Row{Labels: []string{sizeLabel(size)}}
+		for _, th := range []int{1, o.Threads} {
+			r, err := ratio(Config{
+				Structure: List, Size: size, Threads: th,
+				UpdateRatio: 1.0, Duration: o.Duration,
+			}, ImplLC, ImplVolatile)
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, r)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: link-and-persist (LP) and link cache (LC)
+// throughput normalized to the log-based implementation, 1024-element
+// structures, 100% updates, identical memory management everywhere.
+func Fig8(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Figure 8: LP and LC throughput normalized to log-based (1024 elems, 100% updates)",
+		Header: []string{"structure", "threads", "LP", "LC"},
+	}
+	for _, st := range []Structure{Hash, SkipList, List, BST} {
+		for _, th := range []int{1, o.Threads} {
+			row := Row{Labels: []string{string(st), fmt.Sprintf("%dt", th)}}
+			base := Config{
+				Structure: st, Size: 1024, Threads: th,
+				UpdateRatio: 1.0, Duration: o.Duration,
+			}
+			for _, impl := range []Impl{ImplLP, ImplLC} {
+				r, err := ratio(base, impl, ImplLogEpochAlloc)
+				if err != nil {
+					return nil, err
+				}
+				row.Values = append(row.Values, r)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Fig9a reproduces Figure 9a: the active page table hit rate for insert
+// (allocation) and delete (deallocation) as structure size grows, measured
+// on a skip list.
+func Fig9a(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Figure 9a: active page table hit rates (skip list)",
+		Header: []string{"size", "insert-hit%", "delete-hit%"},
+	}
+	for _, size := range structSizes(SkipList, o.MaxSize) {
+		r, err := Run(Config{
+			Structure: SkipList, Impl: ImplLP, Size: size,
+			Threads: 1, UpdateRatio: 1.0, Duration: o.Duration,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Labels: []string{sizeLabel(size)},
+			Values: []float64{100 * r.AllocHitRate(), 100 * r.UnlinkHitRate()},
+		})
+	}
+	return t, nil
+}
+
+// Fig9b reproduces Figure 9b: throughput improvement due to NV-epochs over
+// traditional durable alloc/free logging, per structure and size.
+func Fig9b(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Figure 9b: throughput improvement due to NV-epochs",
+		Header: []string{"structure", "size", "improvement"},
+	}
+	for _, st := range []Structure{Hash, BST, SkipList, List} {
+		for _, size := range structSizes(st, o.MaxSize) {
+			r, err := ratio(Config{
+				Structure: st, Size: size, Threads: 1,
+				UpdateRatio: 1.0, Duration: o.Duration,
+			}, ImplLP, ImplLPAllocLog)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, Row{
+				Labels: []string{string(st), sizeLabel(size)},
+				Values: []float64{r},
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: recovery time by structure and size. The
+// structure is built, a burst of updates is stopped at an arbitrary point,
+// the caches are purged (crash), and the §5.5 recovery procedure is timed.
+func Fig10(o FigureOptions) (*Table, error) {
+	o.fill()
+	t := &Table{
+		Title:  "Figure 10: data structure recovery times (ns)",
+		Header: []string{"structure", "size", "recovery-ns", "leaked"},
+	}
+	for _, st := range []Structure{Hash, BST, SkipList, List} {
+		for _, size := range structSizes(st, o.MaxSize) {
+			dur, leaked, err := RecoveryPoint(st, size, o.Threads)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, Row{
+				Labels: []string{string(st), sizeLabel(size)},
+				Values: []float64{float64(dur.Nanoseconds()), float64(leaked)},
+			})
+		}
+	}
+	return t, nil
+}
+
+// RecoveryPoint builds one structure, crashes it mid-update-burst, and
+// times recovery.
+func RecoveryPoint(st Structure, size, par int) (time.Duration, int, error) {
+	dev := nvram.New(nvram.Config{Size: deviceBytes(st, size)})
+	s, err := core.NewStore(dev, core.Options{MaxThreads: par + 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	c := s.MustCtx(0)
+	rng := rand.New(rand.NewSource(7))
+	keyRange := int64(2 * size)
+
+	burst := func(ins func(k, v uint64) bool, del func(k uint64) (uint64, bool)) {
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Int63n(keyRange)) + 1
+			if rng.Intn(2) == 0 {
+				ins(k, k)
+			} else {
+				del(k)
+			}
+		}
+	}
+
+	var recover func(s2 *core.Store) core.RecoveryStats
+	switch st {
+	case List:
+		l, err := core.NewList(c)
+		if err != nil {
+			return 0, 0, err
+		}
+		prefillInto(size, func(k uint64) { l.Insert(c, k, k) }, true)
+		burst(func(k, v uint64) bool { return l.Insert(c, k, v) },
+			func(k uint64) (uint64, bool) { return l.Delete(c, k) })
+		recover = func(s2 *core.Store) core.RecoveryStats {
+			return core.RecoverList(s2, core.AttachList(s2, l.Head(), l.Tail()), par)
+		}
+	case Hash:
+		h, err := core.NewHashTable(c, nextPow2(size))
+		if err != nil {
+			return 0, 0, err
+		}
+		prefillInto(size, func(k uint64) { h.Insert(c, k, k) }, false)
+		burst(func(k, v uint64) bool { return h.Insert(c, k, v) },
+			func(k uint64) (uint64, bool) { return h.Delete(c, k) })
+		recover = func(s2 *core.Store) core.RecoveryStats {
+			return core.RecoverHashTable(s2, core.AttachHashTable(s2, h.Buckets(), h.NumBuckets(), h.Tail()), par)
+		}
+	case SkipList:
+		sl, err := core.NewSkipList(c)
+		if err != nil {
+			return 0, 0, err
+		}
+		prefillInto(size, func(k uint64) { sl.Insert(c, k, k) }, false)
+		burst(func(k, v uint64) bool { return sl.Insert(c, k, v) },
+			func(k uint64) (uint64, bool) { return sl.Delete(c, k) })
+		recover = func(s2 *core.Store) core.RecoveryStats {
+			return core.RecoverSkipList(s2, core.AttachSkipList(s2, sl.Head(), sl.Tail()), par)
+		}
+	case BST:
+		bt, err := core.NewBST(c)
+		if err != nil {
+			return 0, 0, err
+		}
+		prefillInto(size, func(k uint64) { bt.Insert(c, k, k) }, false)
+		burst(func(k, v uint64) bool { return bt.Insert(c, k, v) },
+			func(k uint64) (uint64, bool) { return bt.Delete(c, k) })
+		recover = func(s2 *core.Store) core.RecoveryStats {
+			return core.RecoverBST(s2, core.AttachBST(s2, bt.Root(), bt.Sentinel()), par)
+		}
+	}
+
+	// Crash: purge the caches (everything not written back is lost).
+	dev.Crash()
+	s2, err := core.AttachStore(dev)
+	if err != nil {
+		return 0, 0, err
+	}
+	stats := recover(s2)
+	return stats.Duration, stats.Leaked, nil
+}
+
+func prefillInto(size int, ins func(k uint64), descending bool) {
+	keys := make([]uint64, size)
+	for i := range keys {
+		keys[i] = uint64(2*i) + 2
+	}
+	if descending {
+		for i := size - 1; i >= 0; i-- {
+			ins(keys[i])
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(size, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for _, k := range keys {
+		ins(k)
+	}
+}

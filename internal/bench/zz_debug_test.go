@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/epoch"
+)
+
+func TestMain(m *testing.M) {
+	epoch.EnableRetireDebug()
+	os.Exit(m.Run())
+}
+
+// TestFig5StylePointStress reproduces the fig5 hash point that surfaced a
+// page co-ownership bug: 8 threads, 50/50 updates, heavy reclamation churn.
+func TestFig5StylePointStress(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		if _, err := Run(Config{
+			Structure: Hash, Impl: ImplLC, Size: 4096, Threads: 8,
+			UpdateRatio: 1.0, Ops: 150_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHotKeyChurnStress maximizes helper/deleter unlink races: tiny key
+// space, all threads colliding, both persistence modes.
+func TestHotKeyChurnStress(t *testing.T) {
+	for _, impl := range []Impl{ImplLP, ImplLC} {
+		if _, err := Run(Config{
+			Structure: Hash, Impl: impl, Size: 32, Threads: 8,
+			UpdateRatio: 1.0, Ops: 150_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

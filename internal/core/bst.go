@@ -1,0 +1,341 @@
+package core
+
+import "repro/internal/ptrtag"
+
+// BST is a durable lock-free external (leaf-oriented) binary search tree
+// based on the Natarajan-Mittal algorithm [PPoPP 2014], the algorithm the
+// paper's BST starts from (§3). Keys live in leaves; internal nodes route.
+//
+// Deletion is two-phase: injection CASes a FLAG onto the edge above the
+// target leaf (the linearization point), then cleanup TAGs the sibling edge
+// (freezing it) and splices the parent + leaf out by swinging the deepest
+// un-tagged ancestor edge to the sibling. Both the flag CAS and the splice
+// CAS are state-changing link updates and therefore go through
+// link-and-persist / the link cache; the tag is volatile bookkeeping on an
+// edge that is about to become unreachable and needs no write-back.
+//
+// Node layout (64 bytes, class 0): key, value, left, right. Leaves have
+// nil children. Edge words carry ptrtag.Mark (= NM's FLAG), ptrtag.Tag, and
+// the link-and-persist Dirty mark in their low bits.
+type BST struct {
+	s  *Store
+	r  Addr // root sentinel R (key ∞₂)
+	s1 Addr // child sentinel S (key ∞₁)
+}
+
+const (
+	bKey   = 0
+	bValue = 8
+	bLeft  = 16
+	bRight = 24
+
+	inf0 = ^uint64(0) - 2
+	inf1 = ^uint64(0) - 1
+	inf2 = ^uint64(0)
+)
+
+// dir returns the child-field offset for descending toward key at a node
+// with nodeKey.
+func dir(key, nodeKey uint64) Addr {
+	if key < nodeKey {
+		return bLeft
+	}
+	return bRight
+}
+
+// NewBST creates an empty durable BST with the NM sentinel scaffold:
+// R(∞₂){left: S(∞₁){left: leaf(∞₀), right: leaf(∞₁)}, right: leaf(∞₂)}.
+func NewBST(c *Ctx) (*BST, error) {
+	dev := c.s.dev
+	mk := func(key uint64, left, right Addr) (Addr, error) {
+		n, err := c.ep.AllocNode(listClass)
+		if err != nil {
+			return 0, err
+		}
+		dev.Store(n+bKey, key)
+		dev.Store(n+bValue, 0)
+		dev.Store(n+bLeft, left)
+		dev.Store(n+bRight, right)
+		c.clwb(n)
+		return n, nil
+	}
+	l0, err := mk(inf0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	l1, err := mk(inf1, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := mk(inf2, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s1, err := mk(inf1, l0, l1)
+	if err != nil {
+		return nil, err
+	}
+	r, err := mk(inf2, s1, l2)
+	if err != nil {
+		return nil, err
+	}
+	c.fence()
+	return &BST{s: c.s, r: r, s1: s1}, nil
+}
+
+// AttachBST reopens a BST from its durable sentinels.
+func AttachBST(s *Store, r, s1 Addr) *BST { return &BST{s: s, r: r, s1: s1} }
+
+// Root returns the R sentinel address (persist in a root slot).
+func (t *BST) Root() Addr { return t.r }
+
+// Sentinel returns the S sentinel address (persist in a root slot).
+func (t *BST) Sentinel() Addr { return t.s1 }
+
+// seekRec is NM's seek record: the access path summary for key.
+type seekRec struct {
+	ancestor  Addr // deepest node whose outgoing path edge was untagged
+	successor Addr // ancestor's child on the path
+	parent    Addr // leaf's parent
+	leaf      Addr
+}
+
+// seek descends to the leaf for key, tracking the NM seek record. Flags,
+// tags and Dirty marks on edges are ignored for routing.
+func (t *BST) seek(c *Ctx, key uint64) seekRec {
+	dev := t.s.dev
+	r := seekRec{ancestor: t.r, successor: t.s1, parent: t.s1}
+	parentField := dev.Load(t.s1 + bLeft)
+	r.leaf = ptrtag.Addr(parentField)
+	currField := dev.Load(r.leaf + dir(key, dev.Load(r.leaf+bKey)))
+	curr := ptrtag.Addr(currField)
+	for curr != 0 {
+		if !ptrtag.IsTagged(parentField) {
+			r.ancestor = r.parent
+			r.successor = r.leaf
+		}
+		r.parent = r.leaf
+		r.leaf = curr
+		parentField = currField
+		currField = dev.Load(curr + dir(key, dev.Load(curr+bKey)))
+		curr = ptrtag.Addr(currField)
+	}
+	return r
+}
+
+// cleanup performs (or helps) the second phase of a deletion around key:
+// tag the sibling edge, then swing the ancestor's successor edge to the
+// sibling (keeping the sibling's flag, clearing the tag) with
+// link-and-persist. Returns whether this call performed the splice.
+func (t *BST) cleanup(c *Ctx, key uint64, r seekRec) bool {
+	dev := t.s.dev
+	ancestorField := r.ancestor + dir(key, dev.Load(r.ancestor+bKey))
+	childAddr := r.parent + dir(key, dev.Load(r.parent+bKey))
+	siblingAddr := r.parent + bLeft
+	if childAddr == siblingAddr {
+		siblingAddr = r.parent + bRight
+	}
+	if !ptrtag.IsMarked(dev.Load(childAddr)) {
+		// The flag is on the other edge: we are removing the sibling side.
+		siblingAddr = childAddr
+	}
+	// Freeze the sibling edge (volatile tag; the edge is leaving the tree).
+	for {
+		w := dev.Load(siblingAddr)
+		if ptrtag.IsTagged(w) || dev.CAS(siblingAddr, w, w|ptrtag.Tag) {
+			break
+		}
+	}
+	// The copied link value must be durable (it may carry a Dirty mark from
+	// a recent insert), as must the edge we are about to modify (§3).
+	sw := c.loadClean(siblingAddr)
+	aw := c.loadClean(ancestorField)
+	if ptrtag.Addr(aw) != r.successor || ptrtag.IsMarked(aw) || ptrtag.IsTagged(aw) {
+		return false
+	}
+	// The splice durably unlinks r.parent: its area must be in an APT first
+	// (§5.4). The flagged leaf was covered by its deleter at injection.
+	c.ep.PreRetire(r.parent)
+	newW := sw &^ (ptrtag.Tag | ptrtag.Dirty) // keep the sibling's flag
+	if !c.linkCached(key, ancestorField, aw, newW) {
+		return false
+	}
+	// Exactly one splice can succeed per removed parent (an unreachable
+	// node's path edge stays tagged forever, so stale splice CASes fail), so
+	// the splicer uniquely owns retiring the parent. The leaf is retired by
+	// the deleter that flagged it — the flag may travel up through several
+	// splices before the leaf itself is removed.
+	c.ep.Retire(r.parent)
+	return true
+}
+
+// Search looks key up with §3 durability on the proving edge.
+func (t *BST) Search(c *Ctx, key uint64) (uint64, bool) {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := t.s.dev
+	r := t.seek(c, key)
+	c.scan(key)
+	// The edge into the leaf proves presence/absence; persist it.
+	c.ensureDurable(r.parent + dir(key, dev.Load(r.parent+bKey)))
+	if dev.Load(r.leaf+bKey) == key {
+		return dev.Load(r.leaf + bValue), true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t *BST) Contains(c *Ctx, key uint64) bool {
+	_, ok := t.Search(c, key)
+	return ok
+}
+
+// Insert adds key→value; false if present. Linearizes at the link-and-
+// persist CAS swinging the parent's edge from the leaf to a fresh internal
+// node holding both leaves.
+func (t *BST) Insert(c *Ctx, key, value uint64) bool {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := t.s.dev
+	for {
+		r := t.seek(c, key)
+		c.scan(key)
+		leafKey := dev.Load(r.leaf + bKey)
+		childAddr := r.parent + dir(key, dev.Load(r.parent+bKey))
+		if leafKey == key {
+			c.ensureDurable(childAddr) // presence must be durable
+			return false
+		}
+		w := c.loadClean(childAddr)
+		if ptrtag.Addr(w) != r.leaf {
+			continue
+		}
+		if ptrtag.IsMarked(w) || ptrtag.IsTagged(w) {
+			t.cleanup(c, key, r) // help the delete occupying this edge
+			continue
+		}
+		nl, err := c.ep.AllocNode(listClass)
+		if err != nil {
+			panic(err)
+		}
+		dev.Store(nl+bKey, key)
+		dev.Store(nl+bValue, value)
+		dev.Store(nl+bLeft, 0)
+		dev.Store(nl+bRight, 0)
+		c.clwb(nl)
+		ni, err := c.ep.AllocNode(listClass)
+		if err != nil {
+			panic(err)
+		}
+		if key < leafKey {
+			dev.Store(ni+bKey, leafKey)
+			dev.Store(ni+bLeft, nl)
+			dev.Store(ni+bRight, r.leaf)
+		} else {
+			dev.Store(ni+bKey, key)
+			dev.Store(ni+bLeft, r.leaf)
+			dev.Store(ni+bRight, nl)
+		}
+		dev.Store(ni+bValue, 0)
+		c.clwb(ni)
+		c.fence() // new nodes + allocator metadata durable pre-link (§5.5)
+		if c.linkCached(key, childAddr, w, ni) {
+			return true
+		}
+		// Lost the race: reclaim the never-visible nodes and retry.
+		c.alloc.Free(nl)
+		c.alloc.Free(ni)
+		w = dev.Load(childAddr)
+		if ptrtag.Addr(w) == r.leaf && (ptrtag.IsMarked(w) || ptrtag.IsTagged(w)) {
+			t.cleanup(c, key, r)
+		}
+	}
+}
+
+// Delete removes key. Injection flags the leaf's incoming edge (the durable
+// linearization point); cleanup splices leaf and parent out. Both phases may
+// be helped by concurrent operations; only the flagging thread retires the
+// two removed nodes.
+func (t *BST) Delete(c *Ctx, key uint64) (uint64, bool) {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := t.s.dev
+	injecting := true
+	var leaf, parent Addr
+	var value uint64
+	for {
+		r := t.seek(c, key)
+		c.scan(key)
+		if injecting {
+			if dev.Load(r.leaf+bKey) != key {
+				c.ensureDurable(r.parent + dir(key, dev.Load(r.parent+bKey)))
+				return 0, false
+			}
+			leaf, parent = r.leaf, r.parent
+			childAddr := parent + dir(key, dev.Load(parent+bKey))
+			w := c.loadClean(childAddr)
+			if ptrtag.Addr(w) != leaf {
+				continue
+			}
+			if ptrtag.IsMarked(w) || ptrtag.IsTagged(w) {
+				t.cleanup(c, key, r) // some other delete owns this edge
+				continue
+			}
+			// The leaf becomes durably unreachable at the eventual splice;
+			// its area must be in the APT before the flag (the
+			// linearization) can persist (§5.4). The spliced parent is
+			// covered inside cleanup by the splicing thread.
+			c.ep.PreRetire(leaf)
+			value = dev.Load(leaf + bValue)
+			if !c.linkCached(key, childAddr, w, uint64(leaf)|ptrtag.Mark) {
+				continue
+			}
+			injecting = false
+			if t.cleanup(c, key, r) {
+				c.ep.Retire(leaf)
+				return value, true
+			}
+		} else {
+			if r.leaf != leaf {
+				// A helper finished the splice; we still own the leaf.
+				c.ep.Retire(leaf)
+				return value, true
+			}
+			if t.cleanup(c, key, r) {
+				c.ep.Retire(leaf)
+				return value, true
+			}
+		}
+	}
+}
+
+// Len counts live leaves (quiescent use).
+func (t *BST) Len(c *Ctx) int {
+	n := 0
+	t.Range(c, func(k, v uint64) bool { n++; return true })
+	return n
+}
+
+// Range walks the leaves in key order, skipping sentinels (quiescent use).
+func (t *BST) Range(c *Ctx, fn func(key, value uint64) bool) {
+	t.walk(t.r, fn)
+}
+
+func (t *BST) walk(n Addr, fn func(key, value uint64) bool) bool {
+	dev := t.s.dev
+	left := ptrtag.Addr(dev.Load(n + bLeft))
+	if left == 0 { // leaf
+		k := dev.Load(n + bKey)
+		if k >= MinKey && k <= MaxKey {
+			return fn(k, dev.Load(n+bValue))
+		}
+		return true
+	}
+	if !t.walk(left, fn) {
+		return false
+	}
+	return t.walk(ptrtag.Addr(dev.Load(n+bRight)), fn)
+}

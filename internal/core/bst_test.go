@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nvram"
+	"repro/internal/ptrtag"
+)
+
+func newTestBST(t *testing.T, s *Store, c *Ctx) *BST {
+	t.Helper()
+	bt, err := NewBST(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bt
+}
+
+func TestBSTSemantics(t *testing.T) {
+	for _, lc := range []bool{false, true} {
+		name := map[bool]string{false: "LP", true: "LC"}[lc]
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, Options{LinkCache: lc})
+			c := s.MustCtx(0)
+			bt := newTestBST(t, s, c)
+			runSetSemantics(t, bt, c)
+		})
+	}
+}
+
+func TestBSTOrderedRange(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	bt := newTestBST(t, s, c)
+	// Insert a shuffled sequence.
+	for _, k := range []uint64{50, 20, 80, 10, 30, 70, 90, 25, 35, 60, 100} {
+		if !bt.Insert(c, k, k*2) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	var keys []uint64
+	bt.Range(c, func(k, v uint64) bool {
+		if v != k*2 {
+			t.Fatalf("value for %d = %d", k, v)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 11 {
+		t.Fatalf("Range saw %d keys, want 11", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("Range out of order: %v", keys)
+		}
+	}
+}
+
+func TestBSTDeleteRoot(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	bt := newTestBST(t, s, c)
+	bt.Insert(c, 5, 55)
+	if v, ok := bt.Delete(c, 5); !ok || v != 55 {
+		t.Fatalf("Delete(5) = %d,%v", v, ok)
+	}
+	if bt.Len(c) != 0 {
+		t.Fatal("tree not empty after deleting only key")
+	}
+	// The sentinel scaffold must still work.
+	bt.Insert(c, 7, 77)
+	if !bt.Contains(c, 7) {
+		t.Fatal("insert after emptying failed")
+	}
+}
+
+func TestBSTOracleStress(t *testing.T) {
+	for _, lc := range []bool{false, true} {
+		name := map[bool]string{false: "LP", true: "LC"}[lc]
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, Options{LinkCache: lc})
+			c := s.MustCtx(0)
+			bt := newTestBST(t, s, c)
+			runOracleStress(t, s, bt, 4, 2000)
+		})
+	}
+}
+
+func TestBSTContendedStress(t *testing.T) {
+	for _, lc := range []bool{false, true} {
+		name := map[bool]string{false: "LP", true: "LC"}[lc]
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, Options{LinkCache: lc})
+			c := s.MustCtx(0)
+			bt := newTestBST(t, s, c)
+			runContendedStress(t, s, bt, 8, 3000)
+			// Structural integrity: in-order leaves strictly ascending, no
+			// flagged/tagged edges left behind.
+			prev := uint64(0)
+			bt.Range(c, func(k, v uint64) bool {
+				if k <= prev {
+					t.Fatalf("in-order violated: %d after %d", k, prev)
+				}
+				prev = k
+				return true
+			})
+			checkBSTClean(t, s, bt.r)
+		})
+	}
+}
+
+// checkBSTClean verifies no reachable edge carries a flag or tag once
+// quiescent (all deletions completed).
+func checkBSTClean(t *testing.T, s *Store, n Addr) {
+	t.Helper()
+	dev := s.Device()
+	for _, off := range []Addr{bLeft, bRight} {
+		w := dev.Load(n + off)
+		a := ptrtag.Addr(w)
+		if a == 0 {
+			continue
+		}
+		if ptrtag.IsMarked(w) || ptrtag.IsTagged(w) {
+			t.Fatalf("quiescent tree has marked/tagged edge at %#x (w=%#x)", n+off, w)
+		}
+		checkBSTClean(t, s, a)
+	}
+}
+
+// TestBSTDurableAfterOps crashes and compares the durable tree with an
+// oracle (single-threaded LP mode: every completed op must be reflected).
+func TestBSTDurableAfterOps(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 32 << 20})
+	s, _ := NewStore(dev, Options{MaxThreads: 1})
+	c := s.MustCtx(0)
+	bt := newTestBST(t, s, c)
+	oracle := make(map[uint64]uint64)
+	for k := uint64(1); k <= 150; k++ {
+		bt.Insert(c, k*7%151+1, k)
+		oracle[k*7%151+1] = k
+	}
+	for k := uint64(1); k <= 150; k += 2 {
+		key := k*7%151 + 1
+		if _, ok := bt.Delete(c, key); ok {
+			delete(oracle, key)
+		}
+	}
+	img := crashClone(t, dev)
+	got := make(map[uint64]uint64)
+	collectBSTLeaves(img, bt.r, got)
+	if len(got) != len(oracle) {
+		t.Fatalf("durable tree has %d keys, oracle %d", len(got), len(oracle))
+	}
+	for k, v := range oracle {
+		if got[k] != v {
+			t.Fatalf("durable key %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// collectBSTLeaves walks a (possibly crashed) image, honouring flags: a
+// flagged edge means the delete linearized, so the leaf below it is dead.
+func collectBSTLeaves(dev *nvram.Device, n Addr, out map[uint64]uint64) {
+	for _, off := range []Addr{bLeft, bRight} {
+		w := dev.Load(n + off)
+		a := ptrtag.Addr(w)
+		if a == 0 {
+			continue
+		}
+		if dev.Load(a+bLeft) == 0 && ptrtag.Addr(dev.Load(a+bLeft)) == 0 &&
+			ptrtag.Addr(dev.Load(a+bRight)) == 0 {
+			// leaf
+			k := dev.Load(a + bKey)
+			if k >= MinKey && k <= MaxKey && !ptrtag.IsMarked(w) {
+				out[k] = dev.Load(a + bValue)
+			}
+			continue
+		}
+		collectBSTLeaves(dev, a, out)
+	}
+}
+
+func TestBSTAttach(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	bt := newTestBST(t, s, c)
+	bt.Insert(c, 42, 420)
+	bt2 := AttachBST(s, bt.Root(), bt.Sentinel())
+	if v, ok := bt2.Search(c, 42); !ok || v != 420 {
+		t.Fatalf("attached BST Search = %d,%v", v, ok)
+	}
+}

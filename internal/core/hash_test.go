@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestHash(t *testing.T, s *Store, c *Ctx, buckets int) *HashTable {
+	t.Helper()
+	h, err := NewHashTable(c, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHashSemantics(t *testing.T) {
+	for _, lc := range []bool{false, true} {
+		name := map[bool]string{false: "LP", true: "LC"}[lc]
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, Options{LinkCache: lc})
+			c := s.MustCtx(0)
+			h := newTestHash(t, s, c, 16)
+			runSetSemantics(t, h, c)
+		})
+	}
+}
+
+func TestHashBucketRounding(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	h := newTestHash(t, s, c, 10)
+	if h.NumBuckets() != 16 {
+		t.Fatalf("NumBuckets = %d, want 16", h.NumBuckets())
+	}
+}
+
+func TestHashManyKeysAcrossBuckets(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	h := newTestHash(t, s, c, 8) // force multi-node buckets
+	const n = 2000
+	for k := uint64(1); k <= n; k++ {
+		if !h.Insert(c, k, k^0xFF) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if got := h.Len(c); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := h.Search(c, k); !ok || v != k^0xFF {
+			t.Fatalf("Search(%d) = %d,%v", k, v, ok)
+		}
+	}
+	for k := uint64(2); k <= n; k += 2 {
+		if _, ok := h.Delete(c, k); !ok {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if got := h.Len(c); got != n/2 {
+		t.Fatalf("Len after deletes = %d, want %d", got, n/2)
+	}
+}
+
+func TestHashOracleStress(t *testing.T) {
+	for _, lc := range []bool{false, true} {
+		name := map[bool]string{false: "LP", true: "LC"}[lc]
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, Options{LinkCache: lc})
+			c := s.MustCtx(0)
+			h := newTestHash(t, s, c, 64)
+			runOracleStress(t, s, h, 4, 2500)
+		})
+	}
+}
+
+func TestHashContendedStress(t *testing.T) {
+	s := newTestStore(t, Options{LinkCache: true})
+	c := s.MustCtx(0)
+	h := newTestHash(t, s, c, 4)
+	runContendedStress(t, s, h, 8, 4000)
+}
+
+func TestHashUpsert(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	h := newTestHash(t, s, c, 16)
+	if !h.Upsert(c, 5, 50) {
+		t.Fatal("first upsert should report insert")
+	}
+	if h.Upsert(c, 5, 51) {
+		t.Fatal("second upsert should report replace")
+	}
+	if v, _ := h.Search(c, 5); v != 51 {
+		t.Fatalf("value after upsert = %d, want 51", v)
+	}
+	// Upsert value replacement must be durable immediately.
+	img := crashClone(t, s.Device())
+	pool := img // traverse the bucket in the crashed image
+	_ = pool
+	got := img.Load(findNode(t, img, h, 5) + nValue)
+	if got != 51 {
+		t.Fatalf("upserted value not durable: %d", got)
+	}
+}
+
+// findNode walks the (possibly crashed) image's bucket chain for key.
+func findNode(t *testing.T, dev interface{ Load(Addr) uint64 }, h *HashTable, key uint64) Addr {
+	t.Helper()
+	curr := dev.Load(h.bucket(key)+nNext) &^ 7
+	for {
+		k := dev.Load(curr + nKey)
+		if k == ^uint64(0) {
+			t.Fatalf("key %d not found in image", key)
+		}
+		if k == key {
+			return curr
+		}
+		curr = dev.Load(curr+nNext) &^ 7
+	}
+}
+
+func TestHashAttach(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	h := newTestHash(t, s, c, 16)
+	h.Insert(c, 77, 770)
+	h2 := AttachHashTable(s, h.Buckets(), h.NumBuckets(), h.Tail())
+	if v, ok := h2.Search(c, 77); !ok || v != 770 {
+		t.Fatalf("attached table Search = %d,%v", v, ok)
+	}
+}
+
+func TestHashRange(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	h := newTestHash(t, s, c, 8)
+	for k := uint64(1); k <= 100; k++ {
+		h.Insert(c, k, k)
+	}
+	seen := make(map[uint64]bool)
+	h.Range(c, func(k, v uint64) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("Range visited %d keys, want 100", len(seen))
+	}
+}
+
+func TestHashUpsertQuick(t *testing.T) {
+	s := newTestStore(t, Options{MaxThreads: 1})
+	c := s.MustCtx(0)
+	h := newTestHash(t, s, c, 32)
+	oracle := make(map[uint64]uint64)
+	prop := func(kRaw uint16, v uint64, del bool) bool {
+		k := uint64(kRaw%64) + 1
+		if del {
+			_, ok := h.Delete(c, k)
+			_, had := oracle[k]
+			delete(oracle, k)
+			return ok == had
+		}
+		_, had := oracle[k]
+		inserted := h.Upsert(c, k, v)
+		oracle[k] = v
+		if inserted == had {
+			return false // Upsert's return must reflect prior presence
+		}
+		got, ok := h.Search(c, k)
+		return ok && got == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"repro/internal/linkcache"
+	"repro/internal/ptrtag"
+)
+
+// This file implements the link-and-persist technique (§3) and its link
+// cache fast path (§4). The protocol for updating a link word:
+//
+//  1. The linearizing CAS installs the new value with ptrtag.Dirty set,
+//     signaling "this link may not be durable yet".
+//  2. The link's cache line is written back and fenced (or, with the link
+//     cache enabled, the link is deposited in the cache and the sync is
+//     deferred to a dependent operation's Scan).
+//  3. The Dirty mark is removed with a second CAS.
+//
+// Any operation that depends on a marked link may perform steps 2-3 itself
+// (helping), so no thread ever blocks on another's write-back.
+
+// ensureDurable makes the link word at a durable if it carries the Dirty
+// mark, then removes the mark — the helping path of link-and-persist. If the
+// word changes concurrently, the operation that changed it took over
+// responsibility for its durability (§3: "if an edge e has changed between
+// the time e is read and the time we try to durably write e, then the
+// operation that changed e made sure e was durable").
+func (c *Ctx) ensureDurable(a Addr) {
+	if c.s.opts.Volatile {
+		return
+	}
+	v := c.s.dev.Load(a)
+	if !ptrtag.IsDirty(v) {
+		return
+	}
+	c.f.Sync(a)
+	c.s.dev.CAS(a, v, v&^ptrtag.Dirty)
+}
+
+// loadClean reads the link word at a, first making it durable (and
+// mark-free) if needed. Callers use the result as a CAS expectation, which
+// is only valid when the Dirty bit is clear.
+func (c *Ctx) loadClean(a Addr) uint64 {
+	for {
+		v := c.s.dev.Load(a)
+		if !ptrtag.IsDirty(v) {
+			return v
+		}
+		c.ensureDurable(a)
+	}
+}
+
+// linkAndPersist atomically replaces old (which must be a clean, Dirty-free
+// word — use loadClean) with new at a and guarantees its durability before
+// returning: the complete link-and-persist operation of §3. Reports whether
+// the CAS succeeded.
+func (c *Ctx) linkAndPersist(a Addr, old, new uint64) bool {
+	if c.s.opts.Volatile {
+		return c.s.dev.CAS(a, old, new)
+	}
+	if !c.s.dev.CAS(a, old, new|ptrtag.Dirty) {
+		return false
+	}
+	c.f.Sync(a)
+	c.s.dev.CAS(a, new|ptrtag.Dirty, new)
+	return true
+}
+
+// linkCached is linkAndPersist with the link cache fast path (§4): on
+// success the link's durability may be deferred to a later dependent
+// operation rather than paid here. key identifies the operation for Scan
+// lookups. Falls back to plain link-and-persist when the cache is disabled
+// or unavailable (best effort).
+func (c *Ctx) linkCached(key uint64, a Addr, old, new uint64) bool {
+	if c.s.opts.Volatile {
+		return c.s.dev.CAS(a, old, new)
+	}
+	if lc := c.s.lc; lc != nil {
+		switch lc.TryLinkAndAdd(key, a, old, new|ptrtag.Dirty) {
+		case linkcache.Added:
+			// Finalized in the cache; remove the in-flight mark. The link
+			// will be written back by a dependent Scan or a flush.
+			c.s.dev.CAS(a, new|ptrtag.Dirty, new)
+			return true
+		case linkcache.CASFailed:
+			return false
+		}
+		// NoSpace: fall through to the slow path.
+	}
+	return c.linkAndPersist(a, old, new)
+}
+
+// scan consults the link cache for links pertaining to key, enforcing their
+// durability (§4.2: every operation scans for its key; updates also scan
+// for the predecessor's key). No-op when the cache is disabled.
+func (c *Ctx) scan(key uint64) {
+	if c.s.lc != nil && !c.s.opts.Volatile {
+		c.s.lc.Scan(c.f, key)
+	}
+}
+
+// clwb schedules a write-back unless the store is in volatile mode.
+func (c *Ctx) clwb(a Addr) {
+	if !c.s.opts.Volatile {
+		c.f.CLWB(a)
+	}
+}
+
+// fence completes pending write-backs unless the store is in volatile mode.
+func (c *Ctx) fence() {
+	if !c.s.opts.Volatile {
+		c.f.Fence()
+	}
+}

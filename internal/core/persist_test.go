@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nvram"
+	"repro/internal/ptrtag"
+)
+
+// scratch returns a store plus a word inside a live node to play with.
+func scratch(t *testing.T, opts Options) (*Store, *Ctx, Addr) {
+	t.Helper()
+	s := newTestStore(t, opts)
+	c := s.MustCtx(0)
+	n, err := c.ep.AllocNode(listClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := n + nNext
+	s.dev.Store(a, 0x1000)
+	c.f.Sync(a)
+	return s, c, a
+}
+
+func TestLinkAndPersistProtocol(t *testing.T) {
+	s, c, a := scratch(t, Options{MaxThreads: 1})
+	if !c.linkAndPersist(a, 0x1000, 0x2000) {
+		t.Fatal("CAS with correct expectation failed")
+	}
+	if got := s.dev.Load(a); got != 0x2000 {
+		t.Fatalf("word = %#x, want clean 0x2000", got)
+	}
+	if s.dev.PersistedWord(a)&ptrtag.AddrMask != 0x2000 {
+		t.Fatal("link not durable after linkAndPersist")
+	}
+	if c.linkAndPersist(a, 0x1000, 0x3000) {
+		t.Fatal("CAS with stale expectation succeeded")
+	}
+}
+
+func TestEnsureDurableHelpsAndClears(t *testing.T) {
+	s, c, a := scratch(t, Options{MaxThreads: 1})
+	// Simulate an in-flight update: dirty value visible, not persisted.
+	s.dev.Store(a, 0x2000|ptrtag.Dirty)
+	c.ensureDurable(a)
+	if got := s.dev.Load(a); got != 0x2000 {
+		t.Fatalf("mark not cleared: %#x", got)
+	}
+	if s.dev.PersistedWord(a)&ptrtag.AddrMask != 0x2000 {
+		t.Fatal("helping did not persist the link")
+	}
+	// Idempotent and cheap on clean words.
+	before := c.f.SyncWaits
+	c.ensureDurable(a)
+	if c.f.SyncWaits != before {
+		t.Fatal("ensureDurable paid a sync on a clean word")
+	}
+}
+
+func TestLoadCleanSpinsOutDirty(t *testing.T) {
+	s, c, a := scratch(t, Options{MaxThreads: 1})
+	s.dev.Store(a, 0x2000|ptrtag.Dirty)
+	if got := c.loadClean(a); got != 0x2000 {
+		t.Fatalf("loadClean = %#x, want 0x2000", got)
+	}
+	if ptrtag.IsDirty(s.dev.Load(a)) {
+		t.Fatal("loadClean left the dirty mark")
+	}
+}
+
+func TestLinkCachedFallsBackWhenCacheDisabled(t *testing.T) {
+	s, c, a := scratch(t, Options{MaxThreads: 1}) // no link cache
+	before := c.f.SyncWaits
+	if !c.linkCached(42, a, 0x1000, 0x2000) {
+		t.Fatal("linkCached failed")
+	}
+	if c.f.SyncWaits != before+1 {
+		t.Fatalf("LP fallback should pay exactly one sync, paid %d", c.f.SyncWaits-before)
+	}
+	if s.dev.PersistedWord(a)&ptrtag.AddrMask != 0x2000 {
+		t.Fatal("fallback did not persist")
+	}
+}
+
+func TestLinkCachedDefersSyncWithCache(t *testing.T) {
+	s, c, a := scratch(t, Options{MaxThreads: 1, LinkCache: true})
+	before := c.f.SyncWaits
+	if !c.linkCached(42, a, 0x1000, 0x2000) {
+		t.Fatal("linkCached failed")
+	}
+	if c.f.SyncWaits != before {
+		t.Fatal("link cache path should not sync")
+	}
+	if got := s.dev.Load(a); got != 0x2000 {
+		t.Fatalf("volatile word = %#x, want 0x2000", got)
+	}
+	// The dependent operation's scan makes it durable.
+	c.scan(42)
+	if s.dev.PersistedWord(a)&ptrtag.AddrMask != 0x2000 {
+		t.Fatal("scan did not flush the cached link")
+	}
+}
+
+func TestVolatileModeSkipsEverything(t *testing.T) {
+	s, c, a := scratch(t, Options{MaxThreads: 1, Volatile: true})
+	dev := s.Device()
+	dev.ResetStats()
+	if !c.linkCached(42, a, 0x1000, 0x2000) {
+		t.Fatal("volatile CAS failed")
+	}
+	c.ensureDurable(a)
+	c.scan(42)
+	c.clwb(a)
+	c.fence()
+	if st := dev.Stats(); st.SyncWaits != 0 || st.Clwbs != 0 {
+		t.Fatalf("volatile mode issued persistence actions: %+v", st)
+	}
+}
+
+func TestHelpersRaceOnSameDirtyWord(t *testing.T) {
+	s, c, a := scratch(t, Options{MaxThreads: 2})
+	c2 := s.MustCtx(1)
+	s.dev.Store(a, 0x4000|ptrtag.Dirty)
+	done := make(chan struct{}, 2)
+	go func() { c.ensureDurable(a); done <- struct{}{} }()
+	go func() { c2.ensureDurable(a); done <- struct{}{} }()
+	<-done
+	<-done
+	if got := s.dev.Load(a); got != 0x4000 {
+		t.Fatalf("racing helpers left %#x", got)
+	}
+	if s.dev.PersistedWord(a)&ptrtag.AddrMask != 0x4000 {
+		t.Fatal("racing helpers failed to persist")
+	}
+}
+
+func TestNVRAMImageSurvivesWithMarks(t *testing.T) {
+	// A crash can catch a link mid-protocol (dirty bit persisted): the
+	// recovered image must still resolve to the right address, and a helper
+	// must clean it.
+	dev := nvram.New(nvram.Config{Size: 16 << 20})
+	s, _ := NewStore(dev, Options{MaxThreads: 1})
+	c := s.MustCtx(0)
+	n, _ := c.ep.AllocNode(listClass)
+	a := n + nNext
+	dev.Store(a, 0x2000|ptrtag.Dirty)
+	c.f.Sync(a) // the dirty-marked value itself gets written back
+	dev.Crash()
+	if got := dev.Load(a); got != 0x2000|ptrtag.Dirty {
+		t.Fatalf("image lost the marked link: %#x", got)
+	}
+	s2, _ := AttachStore(dev)
+	c2 := s2.MustCtx(0)
+	c2.ensureDurable(a)
+	if got := dev.Load(a); got != 0x2000 {
+		t.Fatalf("post-crash helping broken: %#x", got)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import "repro/internal/ptrtag"
+
+// Queue is a durable lock-free FIFO queue: Michael-Scott with
+// link-and-persist, demonstrating that the paper's techniques generalize
+// beyond set structures (§3: "our techniques also apply to other data
+// structures"; §7 cites Friedman et al.'s durable queue as the only prior
+// lock-free durable structure).
+//
+// Durable state: the head pointer (dequeue linearization) and the chain of
+// next links (each enqueue's linearization is the tail-link CAS). The tail
+// pointer is a volatile optimization exactly as in Michael-Scott — it may
+// lag arbitrarily — so it needs no write-backs and is recomputed during
+// recovery by walking from head.
+//
+// Descriptor layout (one 64-byte line): head word, tail word. Node layout:
+// value, next (64 bytes, class 0; the key word is unused and holds a
+// sentinel tag for recovery's benefit).
+type Queue struct {
+	s    *Store
+	desc Addr // descriptor: [0] head, [8] tail
+}
+
+const (
+	qHead = 0
+	qTail = 8
+
+	qNodeVal  = 8
+	qNodeNext = 16
+	// queueNodeTag marks queue nodes so the recovery sweep can tell them
+	// from set nodes sharing the heap (stored in the key word).
+	queueNodeTag = ^uint64(0) - 4
+)
+
+// NewQueue creates an empty durable queue (one dummy node, MS-style).
+func NewQueue(c *Ctx) (*Queue, error) {
+	dev := c.s.dev
+	dummy, err := c.ep.AllocNode(listClass)
+	if err != nil {
+		return nil, err
+	}
+	dev.Store(dummy+nKey, queueNodeTag)
+	dev.Store(dummy+qNodeVal, 0)
+	dev.Store(dummy+qNodeNext, 0)
+	c.clwb(dummy)
+
+	desc, err := c.ep.AllocNode(listClass)
+	if err != nil {
+		return nil, err
+	}
+	dev.Store(desc+qHead, dummy)
+	dev.Store(desc+qTail, dummy) // volatile field; stored for completeness
+	c.clwb(desc)
+	c.fence()
+	return &Queue{s: c.s, desc: desc}, nil
+}
+
+// AttachQueue reopens a queue from its descriptor address. Call
+// RecoverQueue after a crash.
+func AttachQueue(s *Store, desc Addr) *Queue { return &Queue{s: s, desc: desc} }
+
+// Descriptor returns the durable descriptor address (persist in a root).
+func (q *Queue) Descriptor() Addr { return q.desc }
+
+// Enqueue appends value. Durably linearizes at the link-and-persist CAS of
+// the last node's next pointer.
+func (q *Queue) Enqueue(c *Ctx, value uint64) {
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := q.s.dev
+	n, err := c.ep.AllocNode(listClass)
+	if err != nil {
+		panic(err)
+	}
+	dev.Store(n+nKey, queueNodeTag)
+	dev.Store(n+qNodeVal, value)
+	dev.Store(n+qNodeNext, 0)
+	c.clwb(n)
+	c.fence() // node contents + allocator metadata durable before linking
+	for {
+		tail := ptrtag.Addr(dev.Load(q.desc + qTail))
+		nextW := c.loadClean(tail + qNodeNext)
+		next := ptrtag.Addr(nextW)
+		if next != 0 {
+			// Tail lags; help swing it (volatile store, no write-back).
+			dev.CAS(q.desc+qTail, tail, next)
+			continue
+		}
+		// linkCached keys the entry by the node address (queues have no
+		// user key); any dependent dequeue scans the same key.
+		if c.linkCached(n, tail+qNodeNext, nextW, n) {
+			dev.CAS(q.desc+qTail, tail, n) // best-effort volatile swing
+			c.scan(n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value. Durably linearizes at the
+// link-and-persist CAS of the head pointer.
+func (q *Queue) Dequeue(c *Ctx) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := q.s.dev
+	for {
+		headW := c.loadClean(q.desc + qHead)
+		head := ptrtag.Addr(headW)
+		nextW := c.loadClean(head + qNodeNext)
+		next := ptrtag.Addr(nextW)
+		if next == 0 {
+			return 0, false // empty (head is the dummy)
+		}
+		// The dequeued value lives in the NEW dummy (MS-style).
+		value := dev.Load(next + qNodeVal)
+		c.scan(next)
+		// The old dummy becomes durably unreachable at the head swing.
+		c.ep.PreRetire(head)
+		if c.linkCached(head, q.desc+qHead, headW, next) {
+			// Keep the volatile tail ahead of head.
+			tail := ptrtag.Addr(dev.Load(q.desc + qTail))
+			if tail == head {
+				dev.CAS(q.desc+qTail, tail, next)
+			}
+			c.ep.Retire(head)
+			return value, true
+		}
+	}
+}
+
+// Len counts queued values (quiescent use).
+func (q *Queue) Len(c *Ctx) int {
+	dev := q.s.dev
+	n := 0
+	node := ptrtag.Addr(dev.Load(q.desc + qHead))
+	for {
+		next := ptrtag.Addr(dev.Load(node + qNodeNext))
+		if next == 0 {
+			return n
+		}
+		n++
+		node = next
+	}
+}
+
+// Peek returns the oldest value without removing it.
+func (q *Queue) Peek(c *Ctx) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := q.s.dev
+	head := ptrtag.Addr(c.loadClean(q.desc + qHead))
+	next := ptrtag.Addr(c.loadClean(head + qNodeNext))
+	if next == 0 {
+		return 0, false
+	}
+	return dev.Load(next + qNodeVal), true
+}
+
+// queueRecover implements the recovery hooks: rebuild the volatile tail,
+// then keep exactly the nodes reachable from head (and the descriptor).
+type queueRecover struct{ q *Queue }
+
+func (r queueRecover) prepare(c *Ctx) {
+	dev := r.q.s.dev
+	// Strip a leftover Dirty mark on head and walk to the true tail.
+	c.ensureDurable(r.q.desc + qHead)
+	node := ptrtag.Addr(dev.Load(r.q.desc + qHead))
+	for {
+		c.ensureDurable(node + qNodeNext)
+		next := ptrtag.Addr(dev.Load(node + qNodeNext))
+		if next == 0 {
+			break
+		}
+		node = next
+	}
+	dev.Store(r.q.desc+qTail, node) // volatile tail
+}
+
+func (r queueRecover) keep(c *Ctx, n Addr) bool {
+	dev := r.q.s.dev
+	if n == r.q.desc {
+		return true
+	}
+	if dev.Load(n+nKey) != queueNodeTag {
+		return false // not a queue node (or never initialized)
+	}
+	// Reachability: walk from head. Queue sweeps are O(len) per candidate;
+	// fine for the queue's target sizes — and only active areas are swept.
+	node := ptrtag.Addr(dev.Load(r.q.desc + qHead))
+	for {
+		if node == n {
+			return true
+		}
+		next := ptrtag.Addr(dev.Load(node + qNodeNext))
+		if next == 0 {
+			return false
+		}
+		node = next
+	}
+}
+
+// RecoverQueue runs the §5.5 recovery procedure for a queue: rebuild the
+// volatile tail from the durable chain, then sweep the active areas.
+func RecoverQueue(s *Store, q *Queue, par int) RecoveryStats {
+	return sweep(s, queueRecover{q}, par)
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ptrtag"
+)
+
+// This file implements recovery after a transient failure (§5.5).
+//
+// The structures need no global consistency repair: a Harris mark, an NM
+// flag, or a link-and-persist Dirty mark in the recovered image is a legal
+// mid-operation state that subsequent operations help to completion. What
+// recovery must do is eliminate persistent memory leaks: objects that are
+// allocated but no longer (or not yet) reachable. NV-epochs bounds that
+// search to the active memory areas recorded in the durable APT.
+//
+// Two sweep strategies, as in the paper:
+//
+//   - search-based (hash table, skip list, BST — structures with fast
+//     search): for every allocated object in an active area, search the
+//     structure for the object's key and keep the object only if the search
+//     lands on that exact address (condition (ii) of §5.5 guards against
+//     uninitialized keys). The searches double as helpers: they physically
+//     unlink any logically deleted nodes they pass, and in recovery mode
+//     the epoch context frees such nodes immediately.
+//
+//   - traversal-based (linked list — linear search would make the sweep
+//     quadratic): traverse the structure once, collecting reachable
+//     addresses that fall inside active areas, then free every allocated
+//     address in those areas that was not collected (§5.5's second
+//     approach, "similar to mark-and-sweep" §6.4).
+//
+// Both strategies parallelize by partitioning the object list (or, for the
+// list, only the final sweep) across recovery contexts; idempotent frees
+// (TryFree) make races between recovery workers harmless.
+
+// RecoveryStats reports what a recovery pass did.
+type RecoveryStats struct {
+	ActiveAreas    int
+	ObjectsChecked int
+	Leaked         int // allocated-but-unreachable objects freed
+	Duration       time.Duration
+}
+
+// recoverable is the per-structure hook set used by the generic sweep.
+type recoverable interface {
+	// prepare restores volatile acceleration state (e.g. the skip list
+	// index) before any searches run. Called once, single-threaded.
+	prepare(c *Ctx)
+	// keep reports whether the allocated object at n is a live node of this
+	// structure, helping any pending operation it encounters along the way.
+	keep(c *Ctx, n Addr) bool
+}
+
+// sweep is the shared search-based recovery driver.
+func sweep(s *Store, r recoverable, par int) RecoveryStats {
+	start := time.Now()
+	if par < 1 {
+		par = 1
+	}
+	if par > s.opts.MaxThreads {
+		par = s.opts.MaxThreads
+	}
+	ctx0 := s.recoveryCtx(0)
+	r.prepare(ctx0)
+
+	areas := s.mgr.ActiveAreas()
+	var objs []Addr
+	for _, a := range areas {
+		objs = s.mgr.AllocatedInArea(objs, a)
+	}
+	stats := RecoveryStats{ActiveAreas: len(areas), ObjectsChecked: len(objs)}
+
+	leaked := make([]int, par)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.recoveryCtx(w)
+			for i := w; i < len(objs); i += par {
+				n := objs[i]
+				if !s.pool.SlotAllocated(n) {
+					continue // freed meanwhile (helping or another worker)
+				}
+				if r.keep(c, n) {
+					continue
+				}
+				if c.alloc.TryFree(n) {
+					leaked[w]++
+				}
+			}
+			if s.lc != nil {
+				s.lc.FlushAll(c.f)
+			}
+			c.f.Fence()
+		}(w)
+	}
+	wg.Wait()
+	for _, n := range leaked {
+		stats.Leaked += n
+	}
+	s.endRecovery()
+	stats.Duration = time.Since(start)
+	return stats
+}
+
+// recoveryCtx returns (creating if needed) the context for tid with the
+// epoch layer in recovery mode.
+func (s *Store) recoveryCtx(tid int) *Ctx {
+	c := s.ctxs[tid]
+	if c == nil {
+		c = s.MustCtx(tid)
+	}
+	c.ep.SetRecovery(true)
+	return c
+}
+
+func (s *Store) endRecovery() {
+	for _, c := range s.ctxs {
+		if c != nil {
+			c.ep.SetRecovery(false)
+		}
+	}
+}
+
+// --- Hash table -------------------------------------------------------
+
+type hashRecover struct{ h *HashTable }
+
+func (hashRecover) prepare(*Ctx) {}
+
+func (r hashRecover) keep(c *Ctx, n Addr) bool {
+	h := r.h
+	if n == h.tail {
+		return true
+	}
+	key := h.s.nodeKey(n)
+	if key == 0 || key == ^uint64(0) {
+		return false // only sentinels carry these keys; n is not one of ours
+	}
+	_, curr, _ := searchFrom(c, h.s, h.bucket(key), key)
+	return curr == n
+}
+
+// RecoverHashTable sweeps the active areas with per-key searches (§5.5,
+// first approach) using par parallel workers.
+func RecoverHashTable(s *Store, h *HashTable, par int) RecoveryStats {
+	return sweep(s, hashRecover{h}, par)
+}
+
+// --- Linked list ------------------------------------------------------
+
+// RecoverList recovers a list with the traversal-based strategy (§5.5,
+// second approach): one pass collects reachable addresses inside active
+// areas (physically unlinking logically deleted nodes as it goes), then the
+// active areas are swept against the collected set, in parallel.
+func RecoverList(s *Store, l *List, par int) RecoveryStats {
+	start := time.Now()
+	if par < 1 {
+		par = 1
+	}
+	if par > s.opts.MaxThreads {
+		par = s.opts.MaxThreads
+	}
+	c0 := s.recoveryCtx(0)
+
+	areas := s.mgr.ActiveAreas()
+	areaSet := make(map[Addr]bool, len(areas))
+	for _, a := range areas {
+		areaSet[a] = true
+	}
+	var objs []Addr
+	for _, a := range areas {
+		objs = s.mgr.AllocatedInArea(objs, a)
+	}
+	stats := RecoveryStats{ActiveAreas: len(areas), ObjectsChecked: len(objs)}
+
+	// Phase 1: traverse once, snipping marked nodes (freed immediately in
+	// recovery mode) and collecting reachable addresses in active areas.
+	reachable := make(map[Addr]bool)
+	collectChain(c0, s, l.head, areaSet, reachable)
+
+	// Phase 2: parallel sweep against the reachable set.
+	leaked := make([]int, par)
+	var wg sync.WaitGroup
+	for wk := 0; wk < par; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			c := s.recoveryCtx(wk)
+			for i := wk; i < len(objs); i += par {
+				n := objs[i]
+				if n == l.head || n == l.tail || reachable[n] {
+					continue
+				}
+				if !s.pool.SlotAllocated(n) {
+					continue
+				}
+				if c.alloc.TryFree(n) {
+					leaked[wk]++
+				}
+			}
+			c.f.Fence()
+		}(wk)
+	}
+	wg.Wait()
+	for _, n := range leaked {
+		stats.Leaked += n
+	}
+	if s.lc != nil {
+		s.lc.FlushAll(c0.f)
+		c0.f.Fence()
+	}
+	s.endRecovery()
+	stats.Duration = time.Since(start)
+	return stats
+}
+
+// collectChain walks one Harris chain from head, quiescently unlinking (and
+// immediately freeing) logically deleted nodes, and records the reachable
+// addresses that fall inside active areas.
+func collectChain(c *Ctx, s *Store, head Addr, areaSet map[Addr]bool, reachable map[Addr]bool) {
+	dev := s.dev
+	pred := head
+	for {
+		w := c.loadClean(pred + nNext)
+		curr := ptrtag.Addr(w)
+		currW := dev.Load(curr + nNext)
+		if ptrtag.IsMarked(currW) {
+			// Quiescent unlink of a logically deleted node.
+			c.ep.PreRetire(curr)
+			if c.linkAndPersist(pred+nNext, w, ptrtag.Addr(currW)) {
+				c.ep.Retire(curr) // recovery mode: immediate free
+			}
+			continue
+		}
+		if areaSet[s.mgr.AreaOf(curr)] {
+			reachable[curr] = true
+		}
+		if s.nodeKey(curr) == ^uint64(0) {
+			break
+		}
+		pred = curr
+	}
+}
+
+// RecoverHashTableTraversal is the hash table under §5.5's *second*
+// approach: one traversal of every bucket collects the reachable set, then
+// the active areas are swept against it. RecoverHashTable (per-key
+// searches) is normally faster — this variant exists because the paper
+// describes both and their relative cost depends on structure size vs
+// active-area volume ("the efficiency of each method depends on the size of
+// the data structure ... and the size of the memory space that needs to be
+// verified").
+func RecoverHashTableTraversal(s *Store, h *HashTable, par int) RecoveryStats {
+	start := time.Now()
+	if par < 1 {
+		par = 1
+	}
+	if par > s.opts.MaxThreads {
+		par = s.opts.MaxThreads
+	}
+	c0 := s.recoveryCtx(0)
+
+	areas := s.mgr.ActiveAreas()
+	areaSet := make(map[Addr]bool, len(areas))
+	for _, a := range areas {
+		areaSet[a] = true
+	}
+	var objs []Addr
+	for _, a := range areas {
+		objs = s.mgr.AllocatedInArea(objs, a)
+	}
+	stats := RecoveryStats{ActiveAreas: len(areas), ObjectsChecked: len(objs)}
+
+	reachable := make(map[Addr]bool)
+	reachable[h.tail] = true
+	for i := 0; i <= int(h.mask); i++ {
+		collectChain(c0, s, h.buckets+Addr(i)*64, areaSet, reachable)
+	}
+
+	leaked := make([]int, par)
+	var wg sync.WaitGroup
+	for wk := 0; wk < par; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			c := s.recoveryCtx(wk)
+			for i := wk; i < len(objs); i += par {
+				n := objs[i]
+				if n == h.tail || reachable[n] || !s.pool.SlotAllocated(n) {
+					continue
+				}
+				if c.alloc.TryFree(n) {
+					leaked[wk]++
+				}
+			}
+			c.f.Fence()
+		}(wk)
+	}
+	wg.Wait()
+	for _, n := range leaked {
+		stats.Leaked += n
+	}
+	if s.lc != nil {
+		s.lc.FlushAll(c0.f)
+		c0.f.Fence()
+	}
+	s.endRecovery()
+	stats.Duration = time.Since(start)
+	return stats
+}
+
+// --- Skip list --------------------------------------------------------
+
+type skipRecover struct{ sl *SkipList }
+
+func (r skipRecover) prepare(c *Ctx) {
+	// The index levels are volatile by design; rebuild them from the
+	// durable level-0 chain before any searches run. Logically deleted
+	// nodes are excluded, so a later level-0 snip fully unlinks them.
+	r.sl.RebuildIndex(c)
+}
+
+func (r skipRecover) keep(c *Ctx, n Addr) bool {
+	sl := r.sl
+	if n == sl.head || n == sl.tail {
+		return true
+	}
+	key := sl.s.dev.Load(n + slKey)
+	if key == 0 || key == ^uint64(0) {
+		return false
+	}
+	var preds, succs [MaxLevel]Addr
+	sl.find(c, key, &preds, &succs)
+	return succs[0] == n
+}
+
+// RecoverSkipList rebuilds the volatile index from the durable level-0
+// chain, then sweeps the active areas with searches.
+func RecoverSkipList(s *Store, sl *SkipList, par int) RecoveryStats {
+	return sweep(s, skipRecover{sl}, par)
+}
+
+// --- BST --------------------------------------------------------------
+
+type bstRecover struct{ t *BST }
+
+func (bstRecover) prepare(*Ctx) {}
+
+func (r bstRecover) keep(c *Ctx, n Addr) bool {
+	t := r.t
+	dev := t.s.dev
+	key := dev.Load(n + bKey)
+	// Walk the access path for key: every reachable node whose range
+	// contains key lies on it — internal nodes, leaves, and sentinels alike.
+	var gpEdge, pEdge Addr
+	cur := t.r
+	for {
+		if cur == n {
+			break
+		}
+		left := ptrtag.Addr(dev.Load(cur + bLeft))
+		if left == 0 {
+			return false // reached a leaf that isn't n
+		}
+		edge := cur + dir(key, dev.Load(cur+bKey))
+		gpEdge, pEdge = pEdge, edge
+		cur = ptrtag.Addr(dev.Load(edge))
+	}
+	// n is reachable. If n is a leaf whose incoming edge carries a durable
+	// flag, the deletion linearized before the crash and its owner is gone:
+	// complete the splice quiescently and free both removed nodes.
+	if pEdge != 0 && gpEdge != 0 && ptrtag.IsMarked(dev.Load(pEdge)) &&
+		ptrtag.Addr(dev.Load(n+bLeft)) == 0 {
+		r.resolve(c, gpEdge, pEdge, n)
+		return false
+	}
+	return true
+}
+
+// resolve completes a crashed deletion: gpEdge → parent, pEdge (flagged) →
+// leaf. Swings gpEdge to the sibling (preserving a travelling flag) and
+// frees leaf and parent.
+func (r bstRecover) resolve(c *Ctx, gpEdge, pEdge Addr, leaf Addr) {
+	parent := pEdge &^ 63 // nodes are 64-byte aligned; pEdge = parent+16 or +24
+	sibEdge := parent + bLeft
+	if sibEdge == pEdge {
+		sibEdge = parent + bRight
+	}
+	sw := c.loadClean(sibEdge)
+	gw := c.loadClean(gpEdge)
+	if ptrtag.Addr(gw) != parent {
+		return // tree changed (another recovery worker resolved it)
+	}
+	newW := sw &^ (ptrtag.Tag | ptrtag.Dirty)
+	if c.linkAndPersist(gpEdge, gw, newW) {
+		c.alloc.TryFree(leaf)
+		c.alloc.TryFree(parent)
+	}
+}
+
+// RecoverBST sweeps the active areas with access-path checks, completing
+// crashed two-phase deletions as it encounters their durable flags.
+func RecoverBST(s *Store, t *BST, par int) RecoveryStats {
+	return sweep(s, bstRecover{t}, par)
+}
+
+// --- Custom sweeps ------------------------------------------------------
+
+type customRecover struct {
+	p func(*Ctx)
+	k func(*Ctx, Addr) bool
+}
+
+func (r customRecover) prepare(c *Ctx) {
+	if r.p != nil {
+		r.p(c)
+	}
+}
+
+func (r customRecover) keep(c *Ctx, n Addr) bool { return r.k(c, n) }
+
+// RecoverCustom runs the generic active-area sweep with a caller-supplied
+// liveness check. NV-Memcached uses it: its active areas hold both hash
+// index nodes and cache items, distinguished by slab class.
+func RecoverCustom(s *Store, prepare func(*Ctx), keep func(*Ctx, Addr) bool, par int) RecoveryStats {
+	return sweep(s, customRecover{prepare, keep}, par)
+}
+
+// KeepHashNode returns the liveness check RecoverHashTable uses for h's
+// index nodes, for composition inside RecoverCustom.
+func KeepHashNode(h *HashTable) func(*Ctx, Addr) bool {
+	return hashRecover{h}.keep
+}

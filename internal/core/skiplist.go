@@ -1,0 +1,371 @@
+package core
+
+import (
+	"repro/internal/pmem"
+	"repro/internal/ptrtag"
+)
+
+// SkipList is a durable lock-free skip list based on the Herlihy-Shavit
+// lock-free skiplist (Fraser/Harris style: per-level marks, helping snips),
+// the algorithm the paper starts from for its skip list (§3).
+//
+// Durability: the level-0 list defines the abstract set state, so
+// link-and-persist is applied to level-0 links only — the insert's level-0
+// CAS, the level-0 deletion mark, and the level-0 physical unlink. Index
+// levels (1+) are maintained with plain CASes and never written back: after
+// a crash they are rebuilt from the durable level-0 chain (RebuildIndex),
+// trading a few milliseconds of recovery for zero syncs on index
+// maintenance. This is the natural translation of the paper's observation
+// that only state-changing links need durability.
+//
+// Node layout: key, value, topLevel, next[topLevel+1]; allocated from the
+// size class fitting the tower. The first cache line covers key, value and
+// next[0..4], so one write-back covers everything durability needs.
+type SkipList struct {
+	s    *Store
+	head Addr
+	tail Addr
+}
+
+// MaxLevel is the tallest tower (level indices 0..MaxLevel-1).
+const MaxLevel = 20
+
+const (
+	slKey   = 0
+	slValue = 8
+	slTop   = 16
+	slNext0 = 24
+)
+
+func slNext(i int) Addr { return Addr(slNext0 + 8*i) }
+
+func slClassFor(top int) pmem.Class {
+	c, err := pmem.ClassFor(uint64(24 + 8*(top+1)))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewSkipList creates an empty durable skip list.
+func NewSkipList(c *Ctx) (*SkipList, error) {
+	dev := c.s.dev
+	tail, err := c.ep.AllocNode(slClassFor(MaxLevel - 1))
+	if err != nil {
+		return nil, err
+	}
+	dev.Store(tail+slKey, ^uint64(0))
+	dev.Store(tail+slValue, 0)
+	dev.Store(tail+slTop, MaxLevel-1)
+	for i := 0; i < MaxLevel; i++ {
+		dev.Store(tail+slNext(i), 0)
+	}
+	c.clwb(tail)
+
+	head, err := c.ep.AllocNode(slClassFor(MaxLevel - 1))
+	if err != nil {
+		return nil, err
+	}
+	dev.Store(head+slKey, 0)
+	dev.Store(head+slValue, 0)
+	dev.Store(head+slTop, MaxLevel-1)
+	for i := 0; i < MaxLevel; i++ {
+		dev.Store(head+slNext(i), tail)
+	}
+	c.clwb(head)
+	c.fence()
+	return &SkipList{s: c.s, head: head, tail: tail}, nil
+}
+
+// AttachSkipList reopens a skip list from its durable sentinels. Call
+// RebuildIndex before serving operations after a crash.
+func AttachSkipList(s *Store, head, tail Addr) *SkipList {
+	return &SkipList{s: s, head: head, tail: tail}
+}
+
+// Head returns the head sentinel address (persist in a root).
+func (sl *SkipList) Head() Addr { return sl.head }
+
+// Tail returns the tail sentinel address (persist in a root).
+func (sl *SkipList) Tail() Addr { return sl.tail }
+
+// randomLevel draws a geometric(1/2) tower height in [0, MaxLevel-1].
+func (c *Ctx) randomLevel() int {
+	lvl := 0
+	for lvl < MaxLevel-1 && c.rng.Int63()&1 == 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// find locates key, filling preds/succs per level and snipping every marked
+// node it encounters (helping). Level-0 snips follow the full §3 discipline:
+// mark persisted, edge persisted before modification, PreRetire before the
+// unlink becomes durable; index-level snips are plain CASes.
+func (sl *SkipList) find(c *Ctx, key uint64, preds, succs *[MaxLevel]Addr) bool {
+	dev := sl.s.dev
+retry:
+	for {
+		pred := sl.head
+		for level := MaxLevel - 1; level >= 0; level-- {
+			curr := ptrtag.Addr(dev.Load(pred + slNext(level)))
+			for {
+				if curr == sl.tail {
+					break
+				}
+				currW := dev.Load(curr + slNext(level))
+				for ptrtag.IsMarked(currW) {
+					succ := ptrtag.Addr(currW)
+					if level == 0 {
+						c.ensureDurable(curr + slNext(0))
+						predW := c.loadClean(pred + slNext(0))
+						if ptrtag.Addr(predW) != curr || ptrtag.IsMarked(predW) {
+							continue retry
+						}
+						c.ep.PreRetire(curr)
+						if !c.linkCached(sl.s.dev.Load(curr+slKey), pred+slNext(0), predW, succ) {
+							continue retry
+						}
+						if c.ep.InRecovery() {
+							// Quiescent: the index was rebuilt without this
+							// node, so the level-0 snip fully unlinks it and
+							// it can be freed right away (its crashed
+							// deleter can no longer retire it).
+							c.ep.Retire(curr)
+						}
+					} else {
+						predW := dev.Load(pred + slNext(level))
+						if ptrtag.Addr(predW) != curr || ptrtag.IsMarked(predW) {
+							continue retry
+						}
+						if !dev.CAS(pred+slNext(level), predW, succ) {
+							continue retry
+						}
+					}
+					curr = succ
+					if curr == sl.tail {
+						break
+					}
+					currW = dev.Load(curr + slNext(level))
+				}
+				if curr != sl.tail && dev.Load(curr+slKey) < key {
+					pred = curr
+					curr = ptrtag.Addr(currW)
+					continue
+				}
+				break
+			}
+			preds[level] = pred
+			succs[level] = curr
+		}
+		return succs[0] != sl.tail && dev.Load(succs[0]+slKey) == key
+	}
+}
+
+// Search looks key up with §3 durability on the level-0 links.
+func (sl *SkipList) Search(c *Ctx, key uint64) (uint64, bool) {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	var preds, succs [MaxLevel]Addr
+	found := sl.find(c, key, &preds, &succs)
+	c.scan(key)
+	c.ensureDurable(preds[0] + slNext(0))
+	if !found {
+		return 0, false
+	}
+	c.ensureDurable(succs[0] + slNext(0))
+	return sl.s.dev.Load(succs[0] + slValue), true
+}
+
+// Contains reports whether key is present.
+func (sl *SkipList) Contains(c *Ctx, key uint64) bool {
+	_, ok := sl.Search(c, key)
+	return ok
+}
+
+// Insert adds key→value; false if present. Linearizes (and becomes durable)
+// at the level-0 link-and-persist; index levels are linked afterwards with
+// plain CASes.
+func (sl *SkipList) Insert(c *Ctx, key, value uint64) bool {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := sl.s.dev
+	var preds, succs [MaxLevel]Addr
+	top := c.randomLevel()
+	for {
+		if sl.find(c, key, &preds, &succs) {
+			c.scan(key)
+			c.ensureDurable(preds[0] + slNext(0))
+			c.ensureDurable(succs[0] + slNext(0))
+			return false
+		}
+		c.scan(key)
+		// Predecessor's adjacent level-0 links must be durable pre-link; its
+		// incoming link may be cached under its own key.
+		c.scan(dev.Load(preds[0] + slKey))
+		predW := c.loadClean(preds[0] + slNext(0))
+		if ptrtag.Addr(predW) != succs[0] || ptrtag.IsMarked(predW) {
+			continue
+		}
+		n, err := c.ep.AllocNode(slClassFor(top))
+		if err != nil {
+			panic(err)
+		}
+		dev.Store(n+slKey, key)
+		dev.Store(n+slValue, value)
+		dev.Store(n+slTop, uint64(top))
+		for i := 0; i <= top; i++ {
+			dev.Store(n+slNext(i), succs[i])
+		}
+		c.clwb(n) // covers key, value, next[0..4]
+		c.fence() // node + allocator metadata durable before visibility
+		if !c.linkCached(key, preds[0]+slNext(0), predW, n) {
+			c.alloc.Free(n) // never visible
+			continue
+		}
+		// Link the index levels (volatile quality; rebuilt on recovery).
+		for level := 1; level <= top; level++ {
+			for {
+				nextW := dev.Load(n + slNext(level))
+				if ptrtag.IsMarked(nextW) {
+					// Concurrent delete reached this level; stop linking.
+					sl.find(c, key, &preds, &succs) // help complete the unlink
+					return true
+				}
+				if succs[level] != ptrtag.Addr(nextW) {
+					if !dev.CAS(n+slNext(level), nextW, succs[level]) {
+						continue
+					}
+				}
+				if dev.CAS(preds[level]+slNext(level), succs[level], n) {
+					break
+				}
+				sl.find(c, key, &preds, &succs) // refresh preds/succs
+				if succs[0] != n {
+					return true // our node was deleted already
+				}
+			}
+		}
+		// If a delete marked level 0 while we were linking, make sure the
+		// tower is fully snipped before returning (see package discussion of
+		// the insert/delete race).
+		if ptrtag.IsMarked(dev.Load(n + slNext(0))) {
+			sl.find(c, key, &preds, &succs)
+		}
+		return true
+	}
+}
+
+// Delete removes key. Index levels are marked top-down (plain CAS); the
+// level-0 mark is the durable linearization point; the subsequent find
+// physically unlinks the whole tower, after which the node is retired.
+func (sl *SkipList) Delete(c *Ctx, key uint64) (uint64, bool) {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := sl.s.dev
+	var preds, succs [MaxLevel]Addr
+	for {
+		if !sl.find(c, key, &preds, &succs) {
+			c.scan(key)
+			c.ensureDurable(preds[0] + slNext(0))
+			return 0, false
+		}
+		c.scan(key)
+		node := succs[0]
+		top := int(dev.Load(node + slTop))
+		// Mark index levels top-down.
+		for level := top; level >= 1; level-- {
+			for {
+				w := dev.Load(node + slNext(level))
+				if ptrtag.IsMarked(w) {
+					break
+				}
+				dev.CAS(node+slNext(level), w, w|ptrtag.Mark)
+			}
+		}
+		// Durable linearization: mark level 0 with link-and-persist. The
+		// predecessor's adjacent links must be durable first (§3).
+		c.scan(dev.Load(preds[0] + slKey))
+		c.ensureDurable(preds[0] + slNext(0))
+		for {
+			w := c.loadClean(node + slNext(0))
+			if ptrtag.IsMarked(w) {
+				// Another delete won; help unlink and report failure.
+				sl.find(c, key, &preds, &succs)
+				return 0, false
+			}
+			c.ep.PreRetire(node)
+			if c.linkCached(key, node+slNext(0), w, ptrtag.Addr(w)|ptrtag.Mark) {
+				value := dev.Load(node + slValue)
+				sl.find(c, key, &preds, &succs) // snip the whole tower
+				c.ep.Retire(node)
+				return value, true
+			}
+		}
+	}
+}
+
+// Len counts live keys via the level-0 chain (quiescent use).
+func (sl *SkipList) Len(c *Ctx) int {
+	dev := sl.s.dev
+	n := 0
+	curr := ptrtag.Addr(dev.Load(sl.head + slNext(0)))
+	for curr != sl.tail {
+		w := dev.Load(curr + slNext(0))
+		if !ptrtag.IsMarked(w) {
+			n++
+		}
+		curr = ptrtag.Addr(w)
+	}
+	return n
+}
+
+// Range calls fn in ascending key order (quiescent use).
+func (sl *SkipList) Range(c *Ctx, fn func(key, value uint64) bool) {
+	dev := sl.s.dev
+	curr := ptrtag.Addr(dev.Load(sl.head + slNext(0)))
+	for curr != sl.tail {
+		w := dev.Load(curr + slNext(0))
+		if !ptrtag.IsMarked(w) {
+			if !fn(dev.Load(curr+slKey), dev.Load(curr+slValue)) {
+				return
+			}
+		}
+		curr = ptrtag.Addr(w)
+	}
+}
+
+// RebuildIndex reconstructs all index levels from the durable level-0 chain.
+// Called during recovery (the index is volatile by design); also strips any
+// leftover Dirty marks on level-0 links. Quiescent use only.
+func (sl *SkipList) RebuildIndex(c *Ctx) {
+	dev := sl.s.dev
+	var tails [MaxLevel]Addr
+	for i := range tails {
+		tails[i] = sl.head
+	}
+	curr := ptrtag.Addr(dev.Load(sl.head + slNext(0)))
+	live := 0
+	for curr != sl.tail {
+		w := dev.Load(curr + slNext(0))
+		if !ptrtag.IsMarked(w) {
+			top := int(dev.Load(curr + slTop))
+			if top > MaxLevel-1 {
+				top = MaxLevel - 1
+			}
+			for i := 1; i <= top; i++ {
+				dev.Store(tails[i]+slNext(i), curr)
+				tails[i] = curr
+			}
+			live++
+		}
+		curr = ptrtag.Addr(w)
+	}
+	for i := 1; i < MaxLevel; i++ {
+		dev.Store(tails[i]+slNext(i), sl.tail)
+	}
+	_ = live
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nvram"
+	"repro/internal/ptrtag"
+)
+
+func newTestSkip(t *testing.T, s *Store, c *Ctx) *SkipList {
+	t.Helper()
+	sl, err := NewSkipList(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sl
+}
+
+func TestSkipListSemantics(t *testing.T) {
+	for _, lc := range []bool{false, true} {
+		name := map[bool]string{false: "LP", true: "LC"}[lc]
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, Options{LinkCache: lc})
+			c := s.MustCtx(0)
+			sl := newTestSkip(t, s, c)
+			runSetSemantics(t, sl, c)
+		})
+	}
+}
+
+func TestSkipListOrdering(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	sl := newTestSkip(t, s, c)
+	// Insert in reverse to exercise tower placement.
+	for k := uint64(500); k >= 1; k-- {
+		if !sl.Insert(c, k, k*3) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if got := sl.Len(c); got != 500 {
+		t.Fatalf("Len = %d, want 500", got)
+	}
+	prev := uint64(0)
+	sl.Range(c, func(k, v uint64) bool {
+		if k <= prev || v != k*3 {
+			t.Fatalf("order/value broken at %d (prev %d, v %d)", k, prev, v)
+		}
+		prev = k
+		return true
+	})
+}
+
+func TestSkipListOracleStress(t *testing.T) {
+	for _, lc := range []bool{false, true} {
+		name := map[bool]string{false: "LP", true: "LC"}[lc]
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, Options{LinkCache: lc})
+			c := s.MustCtx(0)
+			sl := newTestSkip(t, s, c)
+			runOracleStress(t, s, sl, 4, 2000)
+		})
+	}
+}
+
+func TestSkipListContendedStress(t *testing.T) {
+	for _, lc := range []bool{false, true} {
+		name := map[bool]string{false: "LP", true: "LC"}[lc]
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, Options{LinkCache: lc})
+			c := s.MustCtx(0)
+			sl := newTestSkip(t, s, c)
+			runContendedStress(t, s, sl, 8, 3000)
+			// Level-0 chain must stay strictly sorted.
+			prev := uint64(0)
+			sl.Range(c, func(k, v uint64) bool {
+				if k <= prev {
+					t.Fatalf("level-0 order violated: %d after %d", k, prev)
+				}
+				prev = k
+				return true
+			})
+		})
+	}
+}
+
+// TestSkipListIndexConsistent checks that every node reachable on an index
+// level is also reachable (and live) on level 0 after quiescence.
+func TestSkipListIndexConsistent(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	sl := newTestSkip(t, s, c)
+	runContendedStress(t, s, sl, 8, 3000)
+	dev := s.Device()
+	level0 := make(map[Addr]bool)
+	curr := ptrtag.Addr(dev.Load(sl.head + slNext(0)))
+	for curr != sl.tail {
+		w := dev.Load(curr + slNext(0))
+		if !ptrtag.IsMarked(w) {
+			level0[curr] = true
+		}
+		curr = ptrtag.Addr(w)
+	}
+	for level := 1; level < MaxLevel; level++ {
+		curr := ptrtag.Addr(dev.Load(sl.head + slNext(level)))
+		for curr != sl.tail {
+			w := dev.Load(curr + slNext(level))
+			if !ptrtag.IsMarked(dev.Load(curr+slNext(0))) && !level0[curr] {
+				t.Fatalf("level %d references node %#x not live on level 0", level, curr)
+			}
+			curr = ptrtag.Addr(w)
+		}
+	}
+}
+
+// TestSkipListDurableLevel0 crashes after operations and checks the durable
+// level-0 chain matches an oracle (index levels are volatile by design).
+func TestSkipListDurableLevel0(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 32 << 20})
+	s, _ := NewStore(dev, Options{MaxThreads: 1})
+	c := s.MustCtx(0)
+	sl := newTestSkip(t, s, c)
+	oracle := make(map[uint64]uint64)
+	for k := uint64(1); k <= 200; k++ {
+		sl.Insert(c, k, k+7)
+		oracle[k] = k + 7
+	}
+	for k := uint64(1); k <= 200; k += 3 {
+		sl.Delete(c, k)
+		delete(oracle, k)
+	}
+	img := crashClone(t, dev)
+	got := make(map[uint64]uint64)
+	curr := ptrtag.Addr(img.Load(sl.head + slNext(0)))
+	for curr != sl.tail {
+		w := img.Load(curr + slNext(0))
+		if !ptrtag.IsMarked(w) {
+			got[img.Load(curr+slKey)] = img.Load(curr + slValue)
+		}
+		curr = ptrtag.Addr(w)
+	}
+	if len(got) != len(oracle) {
+		t.Fatalf("durable level 0 has %d keys, oracle %d", len(got), len(oracle))
+	}
+	for k, v := range oracle {
+		if got[k] != v {
+			t.Fatalf("durable key %d = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestSkipListRebuildIndex wipes the index levels and verifies RebuildIndex
+// restores full operation.
+func TestSkipListRebuildIndex(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	sl := newTestSkip(t, s, c)
+	for k := uint64(1); k <= 300; k++ {
+		sl.Insert(c, k, k)
+	}
+	dev := s.Device()
+	// Sabotage every index level (simulating their loss in a crash).
+	for i := 1; i < MaxLevel; i++ {
+		dev.Store(sl.head+slNext(i), sl.tail)
+	}
+	sl.RebuildIndex(c)
+	for k := uint64(1); k <= 300; k++ {
+		if !sl.Contains(c, k) {
+			t.Fatalf("key %d lost after rebuild", k)
+		}
+	}
+	// And the index actually exists again (head level 1 not tail).
+	if ptrtag.Addr(dev.Load(sl.head+slNext(1))) == sl.tail {
+		t.Fatal("RebuildIndex left level 1 empty for 300 keys")
+	}
+	// The rebuilt list must keep operating correctly.
+	if !sl.Insert(c, 1000, 1) || sl.Insert(c, 1000, 2) {
+		t.Fatal("insert after rebuild broken")
+	}
+	if _, ok := sl.Delete(c, 150); !ok {
+		t.Fatal("delete after rebuild broken")
+	}
+	if sl.Contains(c, 150) {
+		t.Fatal("deleted key still present after rebuild")
+	}
+}
+
+func TestSkipListRandomLevelBounded(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	histo := make([]int, MaxLevel)
+	for i := 0; i < 10000; i++ {
+		l := c.randomLevel()
+		if l < 0 || l >= MaxLevel {
+			t.Fatalf("randomLevel out of range: %d", l)
+		}
+		histo[l]++
+	}
+	if histo[0] < 4000 || histo[0] > 6000 {
+		t.Fatalf("level 0 frequency %d not ≈ half", histo[0])
+	}
+}

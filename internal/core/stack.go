@@ -1,0 +1,133 @@
+package core
+
+import "repro/internal/ptrtag"
+
+// Stack is a durable lock-free LIFO stack: Treiber's algorithm with
+// link-and-persist. The entire abstract state is the top pointer, so both
+// push and pop linearize (and become durable) at a single link-and-persist
+// CAS on it — the minimal possible durability cost, one sync per update
+// plus the push's pre-publish fence.
+//
+// Descriptor: one 64-byte line holding the top pointer. Node: value, next
+// (class 0; the key word holds a recovery tag like the queue's).
+type Stack struct {
+	s    *Store
+	desc Addr
+}
+
+const (
+	stTop = 0
+
+	stackNodeTag = ^uint64(0) - 5
+)
+
+// NewStack creates an empty durable stack.
+func NewStack(c *Ctx) (*Stack, error) {
+	desc, err := c.ep.AllocNode(listClass)
+	if err != nil {
+		return nil, err
+	}
+	c.s.dev.Store(desc+stTop, 0)
+	c.clwb(desc)
+	c.fence()
+	return &Stack{s: c.s, desc: desc}, nil
+}
+
+// AttachStack reopens a stack from its descriptor address.
+func AttachStack(s *Store, desc Addr) *Stack { return &Stack{s: s, desc: desc} }
+
+// Descriptor returns the durable descriptor address (persist in a root).
+func (st *Stack) Descriptor() Addr { return st.desc }
+
+// Push adds value; durably linearizes at the top-pointer link-and-persist.
+func (st *Stack) Push(c *Ctx, value uint64) {
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := st.s.dev
+	n, err := c.ep.AllocNode(listClass)
+	if err != nil {
+		panic(err)
+	}
+	dev.Store(n+nKey, stackNodeTag)
+	dev.Store(n+qNodeVal, value)
+	for {
+		topW := c.loadClean(st.desc + stTop)
+		dev.Store(n+qNodeNext, ptrtag.Addr(topW))
+		c.clwb(n)
+		c.fence() // node contents + allocator metadata durable pre-publish
+		if c.linkCached(n, st.desc+stTop, topW, n) {
+			c.scan(n)
+			return
+		}
+	}
+}
+
+// Pop removes and returns the most recent value.
+func (st *Stack) Pop(c *Ctx) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := st.s.dev
+	for {
+		topW := c.loadClean(st.desc + stTop)
+		top := ptrtag.Addr(topW)
+		if top == 0 {
+			return 0, false
+		}
+		next := ptrtag.Addr(dev.Load(top + qNodeNext))
+		value := dev.Load(top + qNodeVal)
+		c.scan(top)
+		c.ep.PreRetire(top)
+		if c.linkCached(top, st.desc+stTop, topW, next) {
+			c.ep.Retire(top)
+			return value, true
+		}
+	}
+}
+
+// Peek returns the top value without removing it.
+func (st *Stack) Peek(c *Ctx) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	top := ptrtag.Addr(c.loadClean(st.desc + stTop))
+	if top == 0 {
+		return 0, false
+	}
+	return st.s.dev.Load(top + qNodeVal), true
+}
+
+// Len counts entries (quiescent use).
+func (st *Stack) Len(c *Ctx) int {
+	n := 0
+	for node := ptrtag.Addr(st.s.dev.Load(st.desc + stTop)); node != 0; {
+		n++
+		node = ptrtag.Addr(st.s.dev.Load(node + qNodeNext))
+	}
+	return n
+}
+
+type stackRecover struct{ st *Stack }
+
+func (r stackRecover) prepare(c *Ctx) {
+	c.ensureDurable(r.st.desc + stTop)
+}
+
+func (r stackRecover) keep(c *Ctx, n Addr) bool {
+	if n == r.st.desc {
+		return true
+	}
+	if r.st.s.dev.Load(n+nKey) != stackNodeTag {
+		return false
+	}
+	for node := ptrtag.Addr(r.st.s.dev.Load(r.st.desc + stTop)); node != 0; {
+		if node == n {
+			return true
+		}
+		node = ptrtag.Addr(r.st.s.dev.Load(node + qNodeNext))
+	}
+	return false
+}
+
+// RecoverStack runs the §5.5 recovery procedure for a stack.
+func RecoverStack(s *Store, st *Stack, par int) RecoveryStats {
+	return sweep(s, stackRecover{st}, par)
+}

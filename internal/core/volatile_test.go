@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nvram"
+)
+
+// newVolatileStore builds the NVRAM-oblivious configuration of Figure 7:
+// identical algorithms, zero durability actions.
+func newVolatileStore(t *testing.T) *Store {
+	t.Helper()
+	dev := nvram.New(nvram.Config{Size: 64 << 20})
+	s, err := NewStore(dev, Options{MaxThreads: 8, Volatile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVolatileSemanticsAllStructures(t *testing.T) {
+	s := newVolatileStore(t)
+	c := s.MustCtx(0)
+	l, _ := NewList(c)
+	runSetSemantics(t, l, c)
+	h, _ := NewHashTable(c, 16)
+	runSetSemantics(t, h, c)
+	sl, _ := NewSkipList(c)
+	runSetSemantics(t, sl, c)
+	bt, _ := NewBST(c)
+	runSetSemantics(t, bt, c)
+}
+
+func TestVolatileStress(t *testing.T) {
+	s := newVolatileStore(t)
+	c := s.MustCtx(0)
+	bt, _ := NewBST(c)
+	runContendedStress(t, s, bt, 8, 3000)
+	bt2, _ := NewBST(c) // fresh tree: the oracle owns its key ranges
+	runOracleStress(t, s, bt2, 4, 1500)
+}
+
+// TestVolatilePaysNoSyncs is the point of the mode: no operation may wait
+// for a write-back.
+func TestVolatilePaysNoSyncs(t *testing.T) {
+	s := newVolatileStore(t)
+	c := s.MustCtx(0)
+	l, _ := NewList(c)
+	start := s.Device().Stats().SyncWaits
+	for k := uint64(1); k <= 200; k++ {
+		l.Insert(c, k, k)
+	}
+	for k := uint64(1); k <= 200; k += 2 {
+		l.Delete(c, k)
+	}
+	l.Search(c, 100)
+	if got := s.Device().Stats().SyncWaits - start; got != 0 {
+		t.Fatalf("volatile mode paid %d sync waits, want 0", got)
+	}
+}
+
+// TestDurableCostsMoreThanVolatile pins the qualitative Figure 7 claim with
+// sync-wait accounting rather than wall time.
+func TestDurableCostsMoreThanVolatile(t *testing.T) {
+	mk := func(vol bool) uint64 {
+		dev := nvram.New(nvram.Config{Size: 64 << 20})
+		s, _ := NewStore(dev, Options{MaxThreads: 1, Volatile: vol})
+		c := s.MustCtx(0)
+		l, _ := NewList(c)
+		dev.ResetStats()
+		for k := uint64(1); k <= 300; k++ {
+			l.Insert(c, k, k)
+		}
+		return dev.Stats().SyncWaits
+	}
+	vol, dur := mk(true), mk(false)
+	if vol != 0 {
+		t.Fatalf("volatile run paid %d syncs", vol)
+	}
+	if dur < 300 {
+		t.Fatalf("durable run paid only %d syncs for 300 inserts", dur)
+	}
+}

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/epoch"
+)
+
+func TestMain(m *testing.M) {
+	epoch.EnableRetireDebug()
+	os.Exit(m.Run())
+}

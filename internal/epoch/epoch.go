@@ -1,0 +1,580 @@
+// Package epoch implements NV-epochs (§5 of the paper): a coarse-grained,
+// epoch-based memory reclamation scheme for durable concurrent data
+// structures.
+//
+// Instead of durably logging every allocation and unlink (the traditional
+// approach, available here as the AllocLogging baseline for Figure 9b),
+// NV-epochs durably tracks only the set of *active memory areas* per thread
+// — the active page table (APT). Because allocation and reclamation exhibit
+// locality, the area an operation touches is usually already marked active,
+// and the operation performs no durable bookkeeping at all. Only an APT miss
+// pays a sync.
+//
+// Epoch protocol: each thread owns a counter, incremented when an operation
+// starts and when it completes, so an odd value means "in an operation".
+// Unlinked nodes accumulate into generations; a generation is freed once
+// every thread that was mid-operation when the generation was sealed has
+// moved on. Frees are issued in a batch covered by a single fence.
+//
+// Recovery reads the durable APT and sweeps only those areas for
+// allocated-but-unreachable objects — the paper's fast alternative to a full
+// mark-and-sweep pass.
+package epoch
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/nvram"
+	"repro/internal/pmem"
+)
+
+// Addr is a byte offset into the device.
+type Addr = nvram.Addr
+
+// Config parameterizes a Manager.
+type Config struct {
+	// MaxThreads is the number of contexts the manager supports. The durable
+	// APT region is sized for this many threads.
+	MaxThreads int
+	// Capacity is the per-thread APT capacity in entries. Default 128.
+	Capacity int
+	// TrimAt is the APT occupancy that triggers a trim attempt. The paper
+	// trims tables exceeding 16 entries (§6.3). Default 16.
+	TrimAt int
+	// GenSize is the number of retired nodes per generation. Default 64.
+	GenSize int
+	// AreaShift is log2 of the active-area granularity. Default 12 (4KB
+	// pages); §6.3 notes the granularity is adjustable — larger areas give
+	// higher hit rates at the cost of recovery time.
+	AreaShift uint
+	// AllocLogging enables the traditional baseline (§5.1): every allocation
+	// and every unlink durably logs its intent before proceeding, costing
+	// one sync each. The APT is bypassed. Used by Figure 9b.
+	AllocLogging bool
+	// Volatile drops all durable bookkeeping (APT and alloc-log): the
+	// reclamation scheme degenerates to plain epoch-based reclamation for
+	// the NVRAM-oblivious baseline of Figure 7.
+	Volatile bool
+}
+
+func (c *Config) fill() {
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 1
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 128
+	}
+	if c.TrimAt == 0 {
+		c.TrimAt = 16
+	}
+	if c.GenSize == 0 {
+		c.GenSize = 64
+	}
+	if c.AreaShift == 0 {
+		c.AreaShift = 12
+	}
+}
+
+type paddedEpoch struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// Manager owns the durable APT region and the per-thread epoch counters for
+// one pool.
+type Manager struct {
+	cfg    Config
+	pool   *pmem.Pool
+	region Addr // durable APT: MaxThreads × Capacity words of area addresses
+	logReg Addr // AllocLogging mode: MaxThreads × logRing words
+	epochs []paddedEpoch
+
+	// TrimHook, if non-nil, is invoked before entries are trimmed from an
+	// APT. The runtime installs a link-cache flush here: §5.4 requires that
+	// the link cache hold no entries for a page before it leaves the table.
+	TrimHook func(tid int)
+
+	// FreeHook, if non-nil, is invoked before a generation's nodes are
+	// returned to the allocator. The runtime installs a link-cache flush
+	// here so that a node's durable unreachability (its unlink, possibly
+	// still buffered in the link cache) is established before its slot can
+	// be reused.
+	FreeHook func(tid int)
+}
+
+const logRing = 1024
+
+// NewManager creates a manager and carves its durable APT region. Store
+// RegionAddr in a root slot so the table can be found after a restart.
+func NewManager(pool *pmem.Pool, f *nvram.Flusher, cfg Config) (*Manager, error) {
+	cfg.fill()
+	m := &Manager{cfg: cfg, pool: pool, epochs: make([]paddedEpoch, cfg.MaxThreads)}
+	var err error
+	m.region, err = pool.AllocRegion(f, uint64(cfg.MaxThreads*cfg.Capacity)*8)
+	if err != nil {
+		return nil, err
+	}
+	m.logReg, err = pool.AllocRegion(f, uint64(cfg.MaxThreads*logRing)*8)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AttachManager re-opens a manager whose APT region was carved by a previous
+// incarnation. Volatile state (epochs, generations) starts fresh, exactly as
+// after a reboot.
+func AttachManager(pool *pmem.Pool, region, logReg Addr, cfg Config) *Manager {
+	cfg.fill()
+	return &Manager{cfg: cfg, pool: pool, region: region, logReg: logReg,
+		epochs: make([]paddedEpoch, cfg.MaxThreads)}
+}
+
+// RegionAddr returns the durable APT region address (persist it in a root).
+func (m *Manager) RegionAddr() Addr { return m.region }
+
+// LogRegionAddr returns the alloc-log region address.
+func (m *Manager) LogRegionAddr() Addr { return m.logReg }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// AreaOf returns the active-area base address for a.
+func (m *Manager) AreaOf(a Addr) Addr { return a &^ (1<<m.cfg.AreaShift - 1) }
+
+// AreaSize returns the active-area granularity in bytes.
+func (m *Manager) AreaSize() uint64 { return 1 << m.cfg.AreaShift }
+
+func (m *Manager) aptSlot(tid, i int) Addr {
+	return m.region + Addr(tid*m.cfg.Capacity+i)*8
+}
+
+// ActiveAreas reads the durable APT (across all threads) and returns the
+// distinct active areas. This is the recovery entry point (§5.5).
+func (m *Manager) ActiveAreas() []Addr {
+	seen := make(map[Addr]bool)
+	var out []Addr
+	for t := 0; t < m.cfg.MaxThreads; t++ {
+		for i := 0; i < m.cfg.Capacity; i++ {
+			if a := m.pool.Device().Load(m.aptSlot(t, i)); a != 0 && !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// AllocatedInArea appends the addresses of all allocated objects in the
+// pages of area to dst. Used by recovery.
+func (m *Manager) AllocatedInArea(dst []Addr, area Addr) []Addr {
+	for page := area; page < area+Addr(m.AreaSize()); page += pmem.PageSize {
+		dst = m.pool.AllocatedInPage(dst, page)
+	}
+	return dst
+}
+
+// Stats counts APT behaviour for Figure 9a.
+type Stats struct {
+	AllocHits    uint64 // allocations whose area was already active
+	AllocMisses  uint64 // allocations that durably inserted an APT entry
+	UnlinkHits   uint64
+	UnlinkMisses uint64
+	GensFreed    uint64
+	NodesFreed   uint64
+	Trims        uint64
+	LogWrites    uint64 // AllocLogging mode only
+}
+
+func (s Stats) add(o Stats) Stats {
+	s.AllocHits += o.AllocHits
+	s.AllocMisses += o.AllocMisses
+	s.UnlinkHits += o.UnlinkHits
+	s.UnlinkMisses += o.UnlinkMisses
+	s.GensFreed += o.GensFreed
+	s.NodesFreed += o.NodesFreed
+	s.Trims += o.Trims
+	s.LogWrites += o.LogWrites
+	return s
+}
+
+// aptEntry mirrors one durable APT slot with its volatile trim metadata
+// (§5.4: the metadata "is only needed for removing table entries, and is not
+// needed in case of a restart" — so it lives here, not in NVRAM).
+type aptEntry struct {
+	area          Addr
+	lastAllocEp   uint64 // thread epoch of the most recent allocation
+	lastUnlinkGen uint64 // seq of the generation holding the latest unlink
+	lastUse       uint64 // recency tick, for LRU trim ordering
+	hasUnlinks    bool
+}
+
+type generation struct {
+	seq   uint64
+	nodes []Addr
+	vec   []uint64 // epoch snapshot at seal
+}
+
+// Ctx is the per-thread reclamation context. Not safe for concurrent use.
+type Ctx struct {
+	m     *Manager
+	tid   int
+	alloc *pmem.Ctx
+	f     *nvram.Flusher
+
+	apt []aptEntry // volatile mirror; apt[i] corresponds to durable slot i
+
+	cur      []Addr // current (open) generation
+	gens     []generation
+	genSeq   uint64 // seq of the open generation
+	lastFree uint64 // seq of the newest freed generation (0 = none)
+
+	logHead int // AllocLogging mode ring cursor
+
+	useTick      uint64 // recency clock for APT entries
+	trimCooldown int    // misses to skip before the next trim attempt
+	recovery     bool
+
+	stats Stats
+}
+
+// NewCtx returns the reclamation context for thread tid.
+func (m *Manager) NewCtx(tid int, alloc *pmem.Ctx, f *nvram.Flusher) *Ctx {
+	if tid < 0 || tid >= m.cfg.MaxThreads {
+		panic(fmt.Sprintf("epoch: tid %d out of range [0,%d)", tid, m.cfg.MaxThreads))
+	}
+	return &Ctx{m: m, tid: tid, alloc: alloc, f: f,
+		apt: make([]aptEntry, m.cfg.Capacity), genSeq: 1}
+}
+
+// Tid returns the context's thread id.
+func (c *Ctx) Tid() int { return c.tid }
+
+// Stats returns a snapshot of this context's counters.
+func (c *Ctx) Stats() Stats { return c.stats }
+
+// Begin marks the start of a data-structure operation (epoch becomes odd).
+func (c *Ctx) Begin() {
+	c.m.epochs[c.tid].v.Add(1)
+}
+
+// End marks the completion of an operation (epoch becomes even).
+func (c *Ctx) End() {
+	c.m.epochs[c.tid].v.Add(1)
+}
+
+func (c *Ctx) ownEpoch() uint64 { return c.m.epochs[c.tid].v.Load() }
+
+// AllocNode allocates a node of class cl with active-page-table bookkeeping:
+// the paper's Figure 4 flow. If the node's area is already active, no
+// durable bookkeeping happens at all; otherwise the APT entry is synced
+// before the allocation is committed.
+func (c *Ctx) AllocNode(cl pmem.Class) (Addr, error) {
+	addr, err := c.alloc.Prepare(cl)
+	if err != nil {
+		return 0, err
+	}
+	if c.m.cfg.AllocLogging {
+		c.logIntent(addr)
+	} else {
+		c.ensureActive(c.m.AreaOf(addr), true)
+	}
+	a := c.alloc.Commit(cl)
+	DebugCheckAlloc(c.m, a)
+	return a, nil
+}
+
+// PreRetire durably marks the area of a as active *before* the caller makes
+// the node's removal durable. Call it before the delete's linearizing CAS:
+// this guarantees that if the unlink persists, the area is known to
+// recovery, which can then free the node.
+func (c *Ctx) PreRetire(a Addr) {
+	if c.m.cfg.AllocLogging {
+		c.logIntent(a)
+		return
+	}
+	c.ensureActive(c.m.AreaOf(a), false)
+}
+
+// SetRecovery switches the context into recovery mode: the system is
+// quiescent (no concurrent application operations), so Retire frees
+// immediately instead of deferring to a grace period. Parallel recovery
+// contexts stay safe because the immediate free is idempotent (TryFree).
+func (c *Ctx) SetRecovery(on bool) { c.recovery = on }
+
+// InRecovery reports whether the context is in recovery mode.
+func (c *Ctx) InRecovery() bool { return c.recovery }
+
+// Retire hands the (already durably unreachable) node at a to the
+// reclamation scheme. It will be freed once all operations concurrent with
+// the unlink have completed.
+func (c *Ctx) Retire(a Addr) {
+	if c.recovery {
+		c.alloc.TryFree(a)
+		c.stats.NodesFreed++
+		return
+	}
+	if !c.m.cfg.AllocLogging {
+		c.ensureActive(c.m.AreaOf(a), false) // hit: refreshes lastUnlinkGen
+	}
+	debugRetire(c.m, c.tid, a)
+	c.cur = append(c.cur, a)
+	if len(c.cur) >= c.m.cfg.GenSize {
+		c.seal()
+		c.tryReclaim()
+	}
+}
+
+// seal closes the open generation with a snapshot of all thread epochs.
+func (c *Ctx) seal() {
+	vec := make([]uint64, len(c.m.epochs))
+	for i := range c.m.epochs {
+		vec[i] = c.m.epochs[i].v.Load()
+	}
+	c.gens = append(c.gens, generation{seq: c.genSeq, nodes: c.cur, vec: vec})
+	c.cur = nil
+	c.genSeq++
+}
+
+// reclaimable reports whether every thread that was mid-operation at seal
+// time has since advanced.
+func (c *Ctx) reclaimable(g *generation) bool {
+	for t, e := range g.vec {
+		if e%2 == 1 && c.m.epochs[t].v.Load() == e {
+			return false
+		}
+	}
+	return true
+}
+
+// tryReclaim frees the oldest reclaimable generations. Each generation's
+// frees are covered by one fence (§5.3: "the memory reclamation scheme waits
+// for all the deallocations it issues at once to be completed").
+func (c *Ctx) tryReclaim() {
+	if len(c.gens) > 0 && c.reclaimable(&c.gens[0]) && c.m.FreeHook != nil {
+		c.m.FreeHook(c.tid)
+	}
+	for len(c.gens) > 0 && c.reclaimable(&c.gens[0]) {
+		g := c.gens[0]
+		c.gens = c.gens[1:]
+		pageFrees := make(map[Addr]int, 8)
+		for _, n := range g.nodes {
+			debugFree(c.m, n)
+			c.alloc.Free(n)
+			pageFrees[n&^(pmem.PageSize-1)]++
+		}
+		c.f.Fence()
+		// Prompt reuse (§5.1 locality): steer subsequent allocations into
+		// the page this batch freed the most slots in.
+		best, bestN := Addr(0), 0
+		for p, n := range pageFrees {
+			if n > bestN {
+				best, bestN = p, n
+			}
+		}
+		if best != 0 && bestN >= 2 {
+			c.alloc.Adopt(best)
+		}
+		c.lastFree = g.seq
+		c.stats.GensFreed++
+		c.stats.NodesFreed += uint64(len(g.nodes))
+	}
+}
+
+// ensureActive makes sure area is in this thread's APT, durably inserting it
+// (one sync) on a miss. isAlloc selects which trim metadata to refresh.
+func (c *Ctx) ensureActive(area Addr, isAlloc bool) {
+	if c.m.cfg.Volatile {
+		return
+	}
+	c.useTick++
+	free := -1
+	occupied := 0
+	for i := range c.apt {
+		e := &c.apt[i]
+		if e.area == area {
+			e.lastUse = c.useTick
+			if isAlloc {
+				e.lastAllocEp = c.ownEpoch()
+				c.stats.AllocHits++
+			} else {
+				e.lastUnlinkGen = c.genSeq
+				e.hasUnlinks = true
+				c.stats.UnlinkHits++
+			}
+			return
+		}
+		if e.area == 0 {
+			if free < 0 {
+				free = i
+			}
+		} else {
+			occupied++
+		}
+	}
+	// Miss: the table grows; once it exceeds the trim threshold, evict the
+	// least recently used quiescent entries back down to it (§5.4). Under
+	// unlink-heavy churn most entries are pinned until their generation
+	// reclaims, so failed attempts are rate-limited instead of rescanned on
+	// every miss.
+	if c.trimCooldown > 0 {
+		c.trimCooldown--
+	}
+	if occupied > c.m.cfg.TrimAt && c.trimCooldown == 0 {
+		before := occupied
+		c.trim()
+		if c.APTLen() >= before { // nothing was evictable; back off
+			c.trimCooldown = 32
+		}
+		if free < 0 {
+			for i := range c.apt {
+				if c.apt[i].area == 0 {
+					free = i
+					break
+				}
+			}
+		}
+	}
+	if free < 0 {
+		// Table saturated with unremovable entries; force out the entry with
+		// the oldest unlink generation. Bounded persistent-leak exposure on
+		// crash, never corruption (recovery just won't sweep that area).
+		oldest, oldSeq := 0, ^uint64(0)
+		for i := range c.apt {
+			if c.apt[i].lastUnlinkGen < oldSeq {
+				oldest, oldSeq = i, c.apt[i].lastUnlinkGen
+			}
+		}
+		c.removeEntry(oldest)
+		c.f.Fence()
+		free = oldest
+	}
+	e := &c.apt[free]
+	*e = aptEntry{area: area, lastUse: c.useTick}
+	if isAlloc {
+		e.lastAllocEp = c.ownEpoch()
+		c.stats.AllocMisses++
+	} else {
+		e.lastUnlinkGen = c.genSeq
+		e.hasUnlinks = true
+		c.stats.UnlinkMisses++
+	}
+	dev := c.m.pool.Device()
+	dev.Store(c.m.aptSlot(c.tid, free), area)
+	c.f.Sync(c.m.aptSlot(c.tid, free)) // §5.4: page addresses are stored durably
+}
+
+// removeEntry durably clears APT slot i (write-back scheduled, caller
+// fences).
+func (c *Ctx) removeEntry(i int) {
+	c.apt[i] = aptEntry{}
+	dev := c.m.pool.Device()
+	dev.Store(c.m.aptSlot(c.tid, i), 0)
+	c.f.CLWB(c.m.aptSlot(c.tid, i))
+}
+
+// trim evicts quiescent entries — entries whose last allocation's operation
+// has completed and whose unlinked nodes have all been freed (§5.4) — in
+// least-recently-used order, until occupancy is back at the threshold.
+// Evicting only the cold tail preserves the recency that gives the APT its
+// high hit rates (Figure 9a). Removals are batched under one fence.
+func (c *Ctx) trim() {
+	c.stats.Trims++
+	if c.m.TrimHook != nil {
+		c.m.TrimHook(c.tid) // flush the link cache first (§5.4)
+	}
+	c.tryReclaim()
+	cur := c.ownEpoch()
+	// The current allocation pages are active by definition: evicting them
+	// would make the very next allocation miss (they are also what recovery
+	// must sweep if a crash interrupts an in-flight insert).
+	var curAreas [pmem.NumClasses]Addr
+	for i, p := range c.alloc.CurrentPages() {
+		if p != 0 {
+			curAreas[i] = c.m.AreaOf(p)
+		}
+	}
+	occupied := 0
+	for i := range c.apt {
+		if c.apt[i].area != 0 {
+			occupied++
+		}
+	}
+	removed := false
+	for occupied > c.m.cfg.TrimAt {
+		victim, victimUse := -1, ^uint64(0)
+	scan:
+		for i := range c.apt {
+			e := &c.apt[i]
+			if e.area == 0 || e.lastUse >= victimUse {
+				continue
+			}
+			if e.lastAllocEp == cur && cur%2 == 1 {
+				continue // allocation in the still-open operation
+			}
+			if e.hasUnlinks && e.lastUnlinkGen > c.lastFree {
+				continue // unlinked nodes not yet reclaimed
+			}
+			for _, a := range curAreas {
+				if a != 0 && a == e.area {
+					continue scan // current allocation page's area
+				}
+			}
+			victim, victimUse = i, e.lastUse
+		}
+		if victim < 0 {
+			break // nothing more is removable
+		}
+		c.removeEntry(victim)
+		occupied--
+		removed = true
+	}
+	if removed {
+		c.f.Fence()
+	}
+}
+
+// FlushAll seals and reclaims everything reclaimable, then trims. Intended
+// for orderly shutdown and tests.
+func (c *Ctx) FlushAll() {
+	if len(c.cur) > 0 {
+		c.seal()
+	}
+	c.tryReclaim()
+	c.trim()
+}
+
+// PendingRetired returns how many retired nodes await reclamation.
+func (c *Ctx) PendingRetired() int {
+	n := len(c.cur)
+	for _, g := range c.gens {
+		n += len(g.nodes)
+	}
+	return n
+}
+
+// APTLen returns the current APT occupancy (volatile view).
+func (c *Ctx) APTLen() int {
+	n := 0
+	for i := range c.apt {
+		if c.apt[i].area != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// logIntent is the AllocLogging baseline: one durable log write (a sync) per
+// allocation or unlink, the cost NV-epochs removes.
+func (c *Ctx) logIntent(a Addr) {
+	if c.m.cfg.Volatile {
+		return
+	}
+	dev := c.m.pool.Device()
+	slot := c.m.logReg + Addr(c.tid*logRing+c.logHead)*8
+	dev.Store(slot, a)
+	c.f.Sync(slot)
+	c.logHead = (c.logHead + 1) % logRing
+	c.stats.LogWrites++
+}

@@ -1,0 +1,209 @@
+package logbased
+
+import "repro/internal/pmem"
+
+// BST is a lock-based external binary search tree in the style of bst-tk
+// (David et al., ASPLOS 2015) with redo logging: updates lock only the
+// node(s) whose edges they modify — the parent for an insert, the
+// grandparent and parent for a delete — validate, and apply the change
+// through the redo log. Searches are lock-free.
+//
+// bst-tk uses ticket locks embedded in the nodes; our spinlocks occupy the
+// same word and cost the same number of syncs (zero), which is what the
+// comparison measures.
+//
+// Node layout: key, value, left, right, lock, removed. Same sentinel
+// scaffold as the log-free BST: R(∞₂){S(∞₁){leaf ∞₀, leaf ∞₁}, leaf ∞₂}.
+type BST struct {
+	s  *Store
+	r  Addr
+	s1 Addr
+}
+
+const (
+	tKey     = 0
+	tValue   = 8
+	tLeft    = 16
+	tRight   = 24
+	tLock    = 32
+	tRemoved = 40
+
+	tClass = pmem.Class(0)
+
+	tInf0 = ^uint64(0) - 2
+	tInf1 = ^uint64(0) - 1
+	tInf2 = ^uint64(0)
+)
+
+func tDir(key, nodeKey uint64) Addr {
+	if key < nodeKey {
+		return tLeft
+	}
+	return tRight
+}
+
+// NewBST creates an empty lock-based external BST.
+func NewBST(c *Ctx) (*BST, error) {
+	dev := c.s.dev
+	mk := func(key uint64, left, right Addr) (Addr, error) {
+		n, err := c.ep.AllocNode(tClass)
+		if err != nil {
+			return 0, err
+		}
+		dev.Store(n+tKey, key)
+		dev.Store(n+tValue, 0)
+		dev.Store(n+tLeft, left)
+		dev.Store(n+tRight, right)
+		dev.Store(n+tLock, 0)
+		dev.Store(n+tRemoved, 0)
+		c.f.CLWB(n)
+		return n, nil
+	}
+	l0, err := mk(tInf0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	l1, err := mk(tInf1, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := mk(tInf2, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s1, err := mk(tInf1, l0, l1)
+	if err != nil {
+		return nil, err
+	}
+	r, err := mk(tInf2, s1, l2)
+	if err != nil {
+		return nil, err
+	}
+	c.f.Fence()
+	return &BST{s: c.s, r: r, s1: s1}, nil
+}
+
+// traverse descends to the leaf for key, returning grandparent and parent.
+func (t *BST) traverse(key uint64) (gp, p, leaf Addr) {
+	dev := t.s.dev
+	gp, p = 0, t.r
+	leaf = dev.Load(p + tDir(key, dev.Load(p+tKey)))
+	for dev.Load(leaf+tLeft) != 0 {
+		gp, p = p, leaf
+		leaf = dev.Load(leaf + tDir(key, dev.Load(leaf+tKey)))
+	}
+	return gp, p, leaf
+}
+
+func (t *BST) removed(n Addr) bool { return t.s.dev.Load(n+tRemoved) != 0 }
+
+// Insert adds key→value; false if present.
+func (t *BST) Insert(c *Ctx, key, value uint64) bool {
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := t.s.dev
+	for {
+		_, p, leaf := t.traverse(key)
+		leafKey := dev.Load(leaf + tKey)
+		if leafKey == key {
+			return false
+		}
+		edge := p + tDir(key, dev.Load(p+tKey))
+		c.lock(p + tLock)
+		if t.removed(p) || dev.Load(edge) != leaf {
+			c.unlock(p + tLock)
+			continue
+		}
+		nl, err := c.ep.AllocNode(tClass)
+		if err != nil {
+			panic(err)
+		}
+		dev.Store(nl+tKey, key)
+		dev.Store(nl+tValue, value)
+		dev.Store(nl+tLeft, 0)
+		dev.Store(nl+tRight, 0)
+		dev.Store(nl+tLock, 0)
+		dev.Store(nl+tRemoved, 0)
+		c.f.CLWB(nl)
+		ni, err := c.ep.AllocNode(tClass)
+		if err != nil {
+			panic(err)
+		}
+		if key < leafKey {
+			dev.Store(ni+tKey, leafKey)
+			dev.Store(ni+tLeft, nl)
+			dev.Store(ni+tRight, leaf)
+		} else {
+			dev.Store(ni+tKey, key)
+			dev.Store(ni+tLeft, leaf)
+			dev.Store(ni+tRight, nl)
+		}
+		dev.Store(ni+tValue, 0)
+		dev.Store(ni+tLock, 0)
+		dev.Store(ni+tRemoved, 0)
+		c.f.CLWB(ni)
+		c.log.ApplyOne(edge, ni) // record sync covers the new nodes' lines
+		c.unlock(p + tLock)
+		return true
+	}
+}
+
+// Delete removes key.
+func (t *BST) Delete(c *Ctx, key uint64) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := t.s.dev
+	for {
+		gp, p, leaf := t.traverse(key)
+		if dev.Load(leaf+tKey) != key {
+			return 0, false
+		}
+		if gp == 0 {
+			return 0, false // the sentinel scaffold never holds user keys
+		}
+		gpEdge := gp + tDir(key, dev.Load(gp+tKey))
+		pEdge := p + tDir(key, dev.Load(p+tKey))
+		c.lock(gp + tLock)
+		c.lock(p + tLock)
+		if t.removed(gp) || t.removed(p) ||
+			dev.Load(gpEdge) != p || dev.Load(pEdge) != leaf {
+			c.unlock(p + tLock)
+			c.unlock(gp + tLock)
+			continue
+		}
+		sibEdge := p + tLeft
+		if sibEdge == pEdge {
+			sibEdge = p + tRight
+		}
+		value := dev.Load(leaf + tValue)
+		c.ep.PreRetire(leaf)
+		c.ep.PreRetire(p)
+		// One record: splice the sibling up and mark the parent removed.
+		c.log.Apply(
+			[]Addr{gpEdge, p + tRemoved},
+			[]uint64{dev.Load(sibEdge), 1},
+		)
+		c.unlock(p + tLock)
+		c.unlock(gp + tLock)
+		c.ep.Retire(leaf)
+		c.ep.Retire(p)
+		return value, true
+	}
+}
+
+// Search looks key up (lock-free).
+func (t *BST) Search(c *Ctx, key uint64) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	_, _, leaf := t.traverse(key)
+	if t.s.dev.Load(leaf+tKey) == key {
+		return t.s.dev.Load(leaf + tValue), true
+	}
+	return 0, false
+}
+
+// Contains reports presence.
+func (t *BST) Contains(c *Ctx, key uint64) bool {
+	_, ok := t.Search(c, key)
+	return ok
+}

@@ -1,0 +1,262 @@
+package logbased
+
+import "repro/internal/pmem"
+
+// LazyList is the lazy concurrent list (Heller et al.) with redo logging:
+// the best-performing lock-based list per the paper's evaluation (§6.2).
+// Updates lock the predecessor/current pair, validate, then apply their
+// stores through the redo log (one record sync + one data sync). Searches
+// are lock-free and wait-free.
+//
+// Node layout (64B): key, value, next, marked, lock. The mark is durable
+// state (logged); the lock word is volatile.
+type LazyList struct {
+	s    *Store
+	head Addr
+	tail Addr
+}
+
+const (
+	lKey    = 0
+	lValue  = 8
+	lNext   = 16
+	lMarked = 24
+	lLock   = 32
+
+	lClass = pmem.Class(0)
+)
+
+func (s *Store) key(n Addr) uint64  { return s.dev.Load(n + lKey) }
+func (s *Store) next(n Addr) Addr   { return s.dev.Load(n + lNext) }
+func (s *Store) marked(n Addr) bool { return s.dev.Load(n+lMarked) != 0 }
+
+// NewLazyList creates an empty list with head/tail sentinels.
+func NewLazyList(c *Ctx) (*LazyList, error) {
+	mk := func(key uint64, next Addr) (Addr, error) {
+		n, err := c.ep.AllocNode(lClass)
+		if err != nil {
+			return 0, err
+		}
+		dev := c.s.dev
+		dev.Store(n+lKey, key)
+		dev.Store(n+lValue, 0)
+		dev.Store(n+lNext, next)
+		dev.Store(n+lMarked, 0)
+		dev.Store(n+lLock, 0)
+		c.f.CLWB(n)
+		return n, nil
+	}
+	tail, err := mk(^uint64(0), 0)
+	if err != nil {
+		return nil, err
+	}
+	head, err := mk(0, tail)
+	if err != nil {
+		return nil, err
+	}
+	c.f.Fence()
+	return &LazyList{s: c.s, head: head, tail: tail}, nil
+}
+
+// searchFromLazy walks to the (pred, curr) pair around key without locks.
+func searchFromLazy(s *Store, head Addr, key uint64) (pred, curr Addr) {
+	pred = head
+	curr = s.next(pred)
+	for s.key(curr) < key {
+		pred = curr
+		curr = s.next(curr)
+	}
+	return pred, curr
+}
+
+func (c *Ctx) lazyValidate(pred, curr Addr) bool {
+	return !c.s.marked(pred) && !c.s.marked(curr) && c.s.next(pred) == curr
+}
+
+// lazyInsert is shared with the hash table's buckets.
+func lazyInsert(c *Ctx, s *Store, head Addr, key, value uint64) bool {
+	c.ep.Begin()
+	defer c.ep.End()
+	for {
+		pred, curr := searchFromLazy(s, head, key)
+		c.lock(pred + lLock)
+		c.lock(curr + lLock)
+		if !c.lazyValidate(pred, curr) {
+			c.unlock(curr + lLock)
+			c.unlock(pred + lLock)
+			continue
+		}
+		if s.key(curr) == key {
+			c.unlock(curr + lLock)
+			c.unlock(pred + lLock)
+			return false
+		}
+		n, err := c.ep.AllocNode(lClass)
+		if err != nil {
+			panic(err)
+		}
+		dev := s.dev
+		dev.Store(n+lKey, key)
+		dev.Store(n+lValue, value)
+		dev.Store(n+lNext, curr)
+		dev.Store(n+lMarked, 0)
+		dev.Store(n+lLock, 0)
+		c.f.CLWB(n) // rides on the log record's sync
+		c.log.ApplyOne(pred+lNext, n)
+		c.unlock(curr + lLock)
+		c.unlock(pred + lLock)
+		return true
+	}
+}
+
+// lazyDelete is shared with the hash table's buckets.
+func lazyDelete(c *Ctx, s *Store, head Addr, key uint64) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	for {
+		pred, curr := searchFromLazy(s, head, key)
+		c.lock(pred + lLock)
+		c.lock(curr + lLock)
+		if !c.lazyValidate(pred, curr) {
+			c.unlock(curr + lLock)
+			c.unlock(pred + lLock)
+			continue
+		}
+		if s.key(curr) != key {
+			c.unlock(curr + lLock)
+			c.unlock(pred + lLock)
+			return 0, false
+		}
+		value := s.dev.Load(curr + lValue)
+		c.ep.PreRetire(curr)
+		// One log record covers the logical mark and the physical unlink.
+		c.log.Apply(
+			[]Addr{curr + lMarked, pred + lNext},
+			[]uint64{1, s.next(curr)},
+		)
+		c.unlock(curr + lLock)
+		c.unlock(pred + lLock)
+		c.ep.Retire(curr)
+		return value, true
+	}
+}
+
+// lazySearch is the wait-free read path.
+func lazySearch(c *Ctx, s *Store, head Addr, key uint64) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	curr := head
+	for s.key(curr) < key {
+		curr = s.next(curr)
+	}
+	if s.key(curr) == key && !s.marked(curr) {
+		return s.dev.Load(curr + lValue), true
+	}
+	return 0, false
+}
+
+// Insert adds key→value; false if present.
+func (l *LazyList) Insert(c *Ctx, key, value uint64) bool {
+	return lazyInsert(c, l.s, l.head, key, value)
+}
+
+// Delete removes key.
+func (l *LazyList) Delete(c *Ctx, key uint64) (uint64, bool) {
+	return lazyDelete(c, l.s, l.head, key)
+}
+
+// Search looks key up.
+func (l *LazyList) Search(c *Ctx, key uint64) (uint64, bool) {
+	return lazySearch(c, l.s, l.head, key)
+}
+
+// Contains reports presence.
+func (l *LazyList) Contains(c *Ctx, key uint64) bool {
+	_, ok := l.Search(c, key)
+	return ok
+}
+
+// Len counts live nodes (quiescent use).
+func (l *LazyList) Len(c *Ctx) int {
+	n := 0
+	for curr := l.s.next(l.head); curr != l.tail; curr = l.s.next(curr) {
+		if !l.s.marked(curr) {
+			n++
+		}
+	}
+	return n
+}
+
+// HashTable is a lock-based hash table: one lazy list per bucket (§6.2).
+type HashTable struct {
+	s       *Store
+	buckets Addr
+	mask    uint64
+	tail    Addr
+}
+
+// NewHashTable creates a table with nbuckets (rounded to a power of two).
+func NewHashTable(c *Ctx, nbuckets int) (*HashTable, error) {
+	n := 1
+	for n < nbuckets {
+		n <<= 1
+	}
+	tail, err := c.ep.AllocNode(lClass)
+	if err != nil {
+		return nil, err
+	}
+	dev := c.s.dev
+	dev.Store(tail+lKey, ^uint64(0))
+	c.f.CLWB(tail)
+	region, err := c.s.pool.AllocRegion(c.f, uint64(n)*64)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		h := region + Addr(i)*64
+		dev.Store(h+lKey, 0)
+		dev.Store(h+lNext, tail)
+		dev.Store(h+lMarked, 0)
+		dev.Store(h+lLock, 0)
+		c.f.CLWB(h)
+		if i%64 == 63 {
+			c.f.Fence()
+		}
+	}
+	c.f.Fence()
+	return &HashTable{s: c.s, buckets: region, mask: uint64(n - 1), tail: tail}, nil
+}
+
+func mix64(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
+}
+
+func (h *HashTable) bucket(key uint64) Addr {
+	return h.buckets + Addr(mix64(key)&h.mask)*64
+}
+
+// Insert adds key→value; false if present.
+func (h *HashTable) Insert(c *Ctx, key, value uint64) bool {
+	return lazyInsert(c, h.s, h.bucket(key), key, value)
+}
+
+// Delete removes key.
+func (h *HashTable) Delete(c *Ctx, key uint64) (uint64, bool) {
+	return lazyDelete(c, h.s, h.bucket(key), key)
+}
+
+// Search looks key up.
+func (h *HashTable) Search(c *Ctx, key uint64) (uint64, bool) {
+	return lazySearch(c, h.s, h.bucket(key), key)
+}
+
+// Contains reports presence.
+func (h *HashTable) Contains(c *Ctx, key uint64) bool {
+	_, ok := h.Search(c, key)
+	return ok
+}

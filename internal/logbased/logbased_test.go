@@ -1,0 +1,278 @@
+package logbased
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/nvram"
+)
+
+type set interface {
+	Insert(c *Ctx, key, value uint64) bool
+	Delete(c *Ctx, key uint64) (uint64, bool)
+	Search(c *Ctx, key uint64) (uint64, bool)
+	Contains(c *Ctx, key uint64) bool
+}
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	dev := nvram.New(nvram.Config{Size: 64 << 20})
+	s, err := NewStore(dev, Options{MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func semantics(t *testing.T, st set, c *Ctx) {
+	t.Helper()
+	if !st.Insert(c, 10, 100) || st.Insert(c, 10, 101) {
+		t.Fatal("insert semantics broken")
+	}
+	if v, ok := st.Search(c, 10); !ok || v != 100 {
+		t.Fatalf("Search(10) = %d,%v", v, ok)
+	}
+	if _, ok := st.Delete(c, 99); ok {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if v, ok := st.Delete(c, 10); !ok || v != 100 {
+		t.Fatalf("Delete(10) = %d,%v", v, ok)
+	}
+	if st.Contains(c, 10) {
+		t.Fatal("present after delete")
+	}
+	for k := uint64(1); k <= 100; k++ {
+		st.Insert(c, k, k*2)
+	}
+	for k := uint64(1); k <= 100; k += 2 {
+		st.Delete(c, k)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if st.Contains(c, k) != (k%2 == 0) {
+			t.Fatalf("key %d presence wrong", k)
+		}
+	}
+}
+
+func oracleStress(t *testing.T, s *Store, st set, workers, ops int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.MustCtx(w)
+			rng := rand.New(rand.NewSource(int64(w) + 5))
+			base := uint64(w)*10000 + 1
+			oracle := make(map[uint64]uint64)
+			for i := 0; i < ops; i++ {
+				k := base + uint64(rng.Intn(128))
+				switch rng.Intn(3) {
+				case 0:
+					ok := st.Insert(c, k, k+uint64(i))
+					if _, had := oracle[k]; had == ok {
+						t.Errorf("w%d Insert(%d)=%v had=%v", w, k, ok, had)
+						return
+					}
+					if ok {
+						oracle[k] = k + uint64(i)
+					}
+				case 1:
+					v, ok := st.Delete(c, k)
+					ov, had := oracle[k]
+					if ok != had || (ok && v != ov) {
+						t.Errorf("w%d Delete(%d)=%d,%v oracle %d,%v", w, k, v, ok, ov, had)
+						return
+					}
+					delete(oracle, k)
+				default:
+					v, ok := st.Search(c, k)
+					ov, had := oracle[k]
+					if ok != had || (ok && v != ov) {
+						t.Errorf("w%d Search(%d)=%d,%v oracle %d,%v", w, k, v, ok, ov, had)
+						return
+					}
+				}
+			}
+			c.Shutdown()
+		}(w)
+	}
+	wg.Wait()
+}
+
+func contendedStress(t *testing.T, s *Store, st set, workers, ops int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.MustCtx(w)
+			rng := rand.New(rand.NewSource(int64(w) * 3))
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Intn(16)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					st.Insert(c, k, uint64(w))
+				case 1:
+					st.Delete(c, k)
+				default:
+					st.Search(c, k)
+				}
+			}
+			c.Shutdown()
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestLazyListSemantics(t *testing.T) {
+	s := newStore(t)
+	c := s.MustCtx(0)
+	l, err := NewLazyList(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	semantics(t, l, c)
+}
+
+func TestLazyListStress(t *testing.T) {
+	s := newStore(t)
+	c := s.MustCtx(0)
+	l, _ := NewLazyList(c)
+	oracleStress(t, s, l, 4, 2000)
+	s2 := newStore(t)
+	c2 := s2.MustCtx(0)
+	l2, _ := NewLazyList(c2)
+	contendedStress(t, s2, l2, 8, 3000)
+}
+
+func TestHashSemanticsAndStress(t *testing.T) {
+	s := newStore(t)
+	c := s.MustCtx(0)
+	h, err := NewHashTable(c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	semantics(t, h, c)
+	s2 := newStore(t)
+	c2 := s2.MustCtx(0)
+	h2, _ := NewHashTable(c2, 16)
+	oracleStress(t, s2, h2, 4, 2000)
+	contendedStress(t, s2, h2, 8, 2000)
+}
+
+func TestSkipListSemantics(t *testing.T) {
+	s := newStore(t)
+	c := s.MustCtx(0)
+	sl, err := NewSkipList(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	semantics(t, sl, c)
+}
+
+func TestSkipListStress(t *testing.T) {
+	s := newStore(t)
+	c := s.MustCtx(0)
+	sl, _ := NewSkipList(c)
+	oracleStress(t, s, sl, 4, 1500)
+	s2 := newStore(t)
+	c2 := s2.MustCtx(0)
+	sl2, _ := NewSkipList(c2)
+	contendedStress(t, s2, sl2, 8, 2000)
+}
+
+func TestBSTSemantics(t *testing.T) {
+	s := newStore(t)
+	c := s.MustCtx(0)
+	bt, err := NewBST(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	semantics(t, bt, c)
+}
+
+func TestBSTStress(t *testing.T) {
+	s := newStore(t)
+	c := s.MustCtx(0)
+	bt, _ := NewBST(c)
+	oracleStress(t, s, bt, 4, 1500)
+	s2 := newStore(t)
+	c2 := s2.MustCtx(0)
+	bt2, _ := NewBST(c2)
+	contendedStress(t, s2, bt2, 8, 2000)
+}
+
+// TestRedoLogDurability: a logged update survives a crash in the persisted
+// image once Apply returns.
+func TestRedoLogDurability(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 8 << 20})
+	s, _ := NewStore(dev, Options{MaxThreads: 1})
+	c := s.MustCtx(0)
+	target := Addr(4096 * 500) // scratch word inside the device
+	_ = target
+	l, _ := NewLazyList(c)
+	l.Insert(c, 7, 70)
+	dev.Crash()
+	// After the crash, the inserted node must be durably linked.
+	if v, ok := l.Search(c, 7); !ok || v != 70 {
+		t.Fatalf("logged insert lost in crash: %d,%v", v, ok)
+	}
+}
+
+// TestLogUpdateCostsAtLeastTwoSyncs pins the baseline's cost model.
+func TestLogUpdateCostsAtLeastTwoSyncs(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 16 << 20})
+	s, _ := NewStore(dev, Options{MaxThreads: 1})
+	c := s.MustCtx(0)
+	l, _ := NewLazyList(c)
+	l.Insert(c, 5000, 1) // warm up
+	before := c.f.SyncWaits
+	for k := uint64(1); k <= 50; k++ {
+		l.Insert(c, k, k)
+	}
+	perOp := float64(c.f.SyncWaits-before) / 50
+	if perOp < 2.0 {
+		t.Fatalf("log-based insert paid %.2f syncs/op, expected ≥2 (log+data)", perOp)
+	}
+}
+
+// TestSkipListLogsPerLevel pins the logarithmic logging cost that drives
+// Figure 5's skip-list column.
+func TestSkipListLogsPerLevel(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 32 << 20})
+	s, _ := NewStore(dev, Options{MaxThreads: 1})
+	c := s.MustCtx(0)
+	sl, _ := NewSkipList(c)
+	before := c.log.Records
+	for k := uint64(1); k <= 200; k++ {
+		sl.Insert(c, k, k)
+	}
+	perOp := float64(c.log.Records-before) / 200
+	// Expected tower height is 2 ⇒ ≈2 link records + 1 flag record.
+	if perOp < 2.5 {
+		t.Fatalf("skip list logged %.2f records/insert, expected ≈3", perOp)
+	}
+}
+
+// TestEpochAllocatorModeSavesAllocSyncs compares the two memory-management
+// configurations (traditional logging vs NV-epochs).
+func TestEpochAllocatorModeSavesAllocSyncs(t *testing.T) {
+	run := func(epochAlloc bool) uint64 {
+		dev := nvram.New(nvram.Config{Size: 16 << 20})
+		s, _ := NewStore(dev, Options{MaxThreads: 1, EpochAllocator: epochAlloc})
+		c := s.MustCtx(0)
+		l, _ := NewLazyList(c)
+		dev.ResetStats()
+		for k := uint64(1); k <= 200; k++ {
+			l.Insert(c, k, k)
+		}
+		return dev.Stats().SyncWaits
+	}
+	logged, epochMode := run(false), run(true)
+	if epochMode >= logged {
+		t.Fatalf("NV-epochs mode (%d syncs) not cheaper than alloc logging (%d)", epochMode, logged)
+	}
+}

@@ -1,0 +1,88 @@
+package logbased
+
+import (
+	"testing"
+
+	"repro/internal/nvram"
+	"repro/internal/pmem"
+)
+
+func newLog(t *testing.T) (*nvram.Device, *nvram.Flusher, *RedoLog) {
+	t.Helper()
+	dev := nvram.New(nvram.Config{Size: 8 << 20})
+	pool := pmem.Format(dev)
+	f := dev.NewFlusher()
+	lg, err := NewRedoLog(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, f, lg
+}
+
+func TestApplyWritesAllPairs(t *testing.T) {
+	dev, _, lg := newLog(t)
+	addrs := []Addr{1 << 20, 1<<20 + 64, 1<<20 + 128}
+	vals := []uint64{11, 22, 33}
+	lg.Apply(addrs, vals)
+	for i := range addrs {
+		if dev.Load(addrs[i]) != vals[i] {
+			t.Fatalf("pair %d not applied", i)
+		}
+	}
+	if lg.Records != 1 {
+		t.Fatalf("Records = %d, want 1", lg.Records)
+	}
+}
+
+func TestApplyIsDurable(t *testing.T) {
+	dev, _, lg := newLog(t)
+	lg.ApplyOne(1<<20, 42)
+	dev.Crash()
+	if dev.Load(1<<20) != 42 {
+		t.Fatal("applied store lost in crash: redo discipline broken")
+	}
+}
+
+func TestApplyCostsTwoSyncs(t *testing.T) {
+	_, f, lg := newLog(t)
+	before := f.SyncWaits
+	lg.ApplyOne(1<<20, 1)
+	if got := f.SyncWaits - before; got != 2 {
+		t.Fatalf("Apply paid %d syncs, want 2 (record + data)", got)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	dev, _, lg := newLog(t)
+	for i := 0; i < logSlots*2+5; i++ {
+		lg.ApplyOne(Addr(1<<20+(i%64)*8), uint64(i))
+	}
+	if lg.Records != logSlots*2+5 {
+		t.Fatalf("Records = %d", lg.Records)
+	}
+	_ = dev
+}
+
+func TestApplyTooManyPairsPanics(t *testing.T) {
+	_, _, lg := newLog(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized record did not panic")
+		}
+	}()
+	addrs := make([]Addr, maxLogPairs+1)
+	vals := make([]uint64, maxLogPairs+1)
+	for i := range addrs {
+		addrs[i] = Addr(1<<20 + i*8)
+	}
+	lg.Apply(addrs, vals)
+}
+
+func TestRecordRetiredAfterApply(t *testing.T) {
+	dev, _, lg := newLog(t)
+	rec := lg.slot(0)
+	lg.ApplyOne(1<<20, 9)
+	if dev.Load(rec) != statusFree {
+		t.Fatalf("record status = %#x, want free", dev.Load(rec))
+	}
+}

@@ -1,0 +1,273 @@
+package logbased
+
+import "repro/internal/pmem"
+
+// SkipList is the optimistic lock-based skip list (Herlihy et al., SIROCCO
+// 2007 — the "lazy skiplist") with redo logging. An insert locks a
+// logarithmic number of predecessors and must durably log a logarithmic
+// number of link updates plus the fullyLinked flag (its linearization
+// point); a delete symmetrically logs the mark and the per-level unlinks.
+// This is why the paper's log-free skip list shows the largest improvement
+// (§6.2): logging cost scales with tower height, link-and-persist cost does
+// not.
+//
+// Node layout: key, value, top, lock, flags (bit0 marked, bit1 fullyLinked),
+// next[top+1].
+type SkipList struct {
+	s    *Store
+	head Addr
+	tail Addr
+}
+
+// MaxLevel matches the log-free skip list's tower bound.
+const MaxLevel = 20
+
+const (
+	zKey   = 0
+	zValue = 8
+	zTop   = 16
+	zLock  = 24
+	zFlags = 32
+	zNext0 = 40
+
+	flagMarked      = 1
+	flagFullyLinked = 2
+)
+
+func zNext(i int) Addr { return Addr(zNext0 + 8*i) }
+
+func zClassFor(top int) pmem.Class {
+	c, err := pmem.ClassFor(uint64(40 + 8*(top+1)))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewSkipList creates an empty lock-based skip list.
+func NewSkipList(c *Ctx) (*SkipList, error) {
+	mk := func(key uint64) (Addr, error) {
+		n, err := c.ep.AllocNode(zClassFor(MaxLevel - 1))
+		if err != nil {
+			return 0, err
+		}
+		dev := c.s.dev
+		dev.Store(n+zKey, key)
+		dev.Store(n+zValue, 0)
+		dev.Store(n+zTop, MaxLevel-1)
+		dev.Store(n+zLock, 0)
+		dev.Store(n+zFlags, flagFullyLinked)
+		for i := 0; i < MaxLevel; i++ {
+			dev.Store(n+zNext(i), 0)
+		}
+		c.f.CLWB(n)
+		return n, nil
+	}
+	tail, err := mk(^uint64(0))
+	if err != nil {
+		return nil, err
+	}
+	head, err := mk(0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < MaxLevel; i++ {
+		c.s.dev.Store(head+zNext(i), tail)
+	}
+	c.f.CLWB(head)
+	c.f.Fence()
+	return &SkipList{s: c.s, head: head, tail: tail}, nil
+}
+
+func (sl *SkipList) randomLevel(c *Ctx) int {
+	lvl := 0
+	for lvl < MaxLevel-1 && c.rng.Int63()&1 == 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// find fills preds/succs and returns the highest level at which key was
+// found, or -1.
+func (sl *SkipList) find(key uint64, preds, succs *[MaxLevel]Addr) int {
+	s := sl.s
+	found := -1
+	pred := sl.head
+	for level := MaxLevel - 1; level >= 0; level-- {
+		curr := s.dev.Load(pred + zNext(level))
+		for s.dev.Load(curr+zKey) < key {
+			pred = curr
+			curr = s.dev.Load(pred + zNext(level))
+		}
+		if found == -1 && s.dev.Load(curr+zKey) == key {
+			found = level
+		}
+		preds[level] = pred
+		succs[level] = curr
+	}
+	return found
+}
+
+func (sl *SkipList) flags(n Addr) uint64 { return sl.s.dev.Load(n + zFlags) }
+
+// Insert adds key→value; false if present.
+func (sl *SkipList) Insert(c *Ctx, key, value uint64) bool {
+	c.ep.Begin()
+	defer c.ep.End()
+	s := sl.s
+	top := sl.randomLevel(c)
+	var preds, succs [MaxLevel]Addr
+	for {
+		if lf := sl.find(key, &preds, &succs); lf != -1 {
+			n := succs[lf]
+			if sl.flags(n)&flagMarked == 0 {
+				for sl.flags(n)&flagFullyLinked == 0 {
+					// wait for the in-flight insert to finish
+				}
+				return false
+			}
+			continue // marked: the delete will unlink it; retry
+		}
+		// Lock the predecessors bottom-up and validate.
+		highest := -1
+		valid := true
+		var prev Addr
+		for level := 0; level <= top && valid; level++ {
+			pred, succ := preds[level], succs[level]
+			if pred != prev {
+				c.lock(pred + zLock)
+				highest = level
+				prev = pred
+			}
+			valid = sl.flags(pred)&flagMarked == 0 &&
+				sl.flags(succ)&flagMarked == 0 &&
+				s.dev.Load(pred+zNext(level)) == succ
+		}
+		if !valid {
+			sl.unlockPreds(c, &preds, highest)
+			continue
+		}
+		n, err := c.ep.AllocNode(zClassFor(top))
+		if err != nil {
+			panic(err)
+		}
+		dev := s.dev
+		dev.Store(n+zKey, key)
+		dev.Store(n+zValue, value)
+		dev.Store(n+zTop, uint64(top))
+		dev.Store(n+zLock, 0)
+		dev.Store(n+zFlags, 0)
+		for i := 0; i <= top; i++ {
+			dev.Store(n+zNext(i), succs[i])
+		}
+		for off := Addr(0); off < Addr(zNext0+8*(top+1)); off += 64 {
+			c.f.CLWB(n + off)
+		}
+		// A logarithmic number of logged link updates (§6.2): one durable
+		// log application per level.
+		for level := 0; level <= top; level++ {
+			c.log.ApplyOne(preds[level]+zNext(level), n)
+		}
+		// The fullyLinked flag is the linearization point; it too must be
+		// durable before the insert returns.
+		c.log.ApplyOne(n+zFlags, flagFullyLinked)
+		sl.unlockPreds(c, &preds, highest)
+		return true
+	}
+}
+
+func (sl *SkipList) unlockPreds(c *Ctx, preds *[MaxLevel]Addr, highest int) {
+	var prev Addr
+	for level := 0; level <= highest; level++ {
+		if preds[level] != prev {
+			c.unlock(preds[level] + zLock)
+			prev = preds[level]
+		}
+	}
+}
+
+// Delete removes key.
+func (sl *SkipList) Delete(c *Ctx, key uint64) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	s := sl.s
+	var preds, succs [MaxLevel]Addr
+	var victim Addr
+	isMarked := false
+	top := -1
+	for {
+		lf := sl.find(key, &preds, &succs)
+		if lf != -1 {
+			victim = succs[lf]
+		}
+		if !isMarked {
+			if lf == -1 {
+				return 0, false
+			}
+			fl := sl.flags(victim)
+			if fl&flagFullyLinked == 0 || fl&flagMarked != 0 ||
+				int(s.dev.Load(victim+zTop)) != lf {
+				return 0, false
+			}
+			top = int(s.dev.Load(victim + zTop))
+			c.lock(victim + zLock)
+			if sl.flags(victim)&flagMarked != 0 {
+				c.unlock(victim + zLock)
+				return 0, false
+			}
+			// Durable linearization: log the mark.
+			c.ep.PreRetire(victim)
+			c.log.ApplyOne(victim+zFlags, flagFullyLinked|flagMarked)
+			isMarked = true
+		}
+		// Lock predecessors and validate.
+		highest := -1
+		valid := true
+		var prev Addr
+		for level := 0; level <= top && valid; level++ {
+			pred := preds[level]
+			if pred != prev {
+				c.lock(pred + zLock)
+				highest = level
+				prev = pred
+			}
+			valid = sl.flags(pred)&flagMarked == 0 &&
+				s.dev.Load(pred+zNext(level)) == victim
+		}
+		if !valid {
+			sl.unlockPreds(c, &preds, highest)
+			continue
+		}
+		// A logarithmic number of logged unlinks, top-down.
+		for level := top; level >= 0; level-- {
+			c.log.ApplyOne(preds[level]+zNext(level), s.dev.Load(victim+zNext(level)))
+		}
+		value := s.dev.Load(victim + zValue)
+		sl.unlockPreds(c, &preds, highest)
+		c.unlock(victim + zLock)
+		c.ep.Retire(victim)
+		return value, true
+	}
+}
+
+// Search looks key up (wait-free).
+func (sl *SkipList) Search(c *Ctx, key uint64) (uint64, bool) {
+	c.ep.Begin()
+	defer c.ep.End()
+	var preds, succs [MaxLevel]Addr
+	lf := sl.find(key, &preds, &succs)
+	if lf == -1 {
+		return 0, false
+	}
+	n := succs[lf]
+	if sl.flags(n)&flagFullyLinked != 0 && sl.flags(n)&flagMarked == 0 {
+		return sl.s.dev.Load(n + zValue), true
+	}
+	return 0, false
+}
+
+// Contains reports presence.
+func (sl *SkipList) Contains(c *Ctx, key uint64) bool {
+	_, ok := sl.Search(c, key)
+	return ok
+}

@@ -1,0 +1,121 @@
+package memcache
+
+import (
+	"errors"
+	"strconv"
+	"time"
+)
+
+// Extended memcached operations beyond get/set/delete: add, replace,
+// incr/decr and touch, built from the same durable primitives (every
+// mutation is a Set/Delete under the item lock stripe, so durable
+// linearizability carries over unchanged).
+
+// ErrNotStored reports a failed add/replace precondition.
+var ErrNotStored = errors.New("memcache: precondition failed")
+
+// ErrNotNumber reports incr/decr on a non-numeric value.
+var ErrNotNumber = errors.New("memcache: value is not a number")
+
+// Add stores key only if it is absent (memcached "add").
+func (h *Handle) Add(key, value []byte, flags uint16, expiry uint32) error {
+	m := h.cache
+	hash := keyHash(key)
+	mu := m.lockHash(hash)
+	mu.Lock()
+	defer mu.Unlock()
+	if it := h.lookupLocked(hash, key); it != 0 {
+		return ErrNotStored
+	}
+	m.bump(func(s *Stats) { s.Sets++ })
+	return h.setOnce(hash, key, value, flags, expiry)
+}
+
+// Replace stores key only if it is present (memcached "replace").
+func (h *Handle) Replace(key, value []byte, flags uint16, expiry uint32) error {
+	m := h.cache
+	hash := keyHash(key)
+	mu := m.lockHash(hash)
+	mu.Lock()
+	defer mu.Unlock()
+	if it := h.lookupLocked(hash, key); it == 0 {
+		return ErrNotStored
+	}
+	m.bump(func(s *Stats) { s.Sets++ })
+	return h.setOnce(hash, key, value, flags, expiry)
+}
+
+// Incr adds delta to a decimal value, returning the new value (memcached
+// "incr"; the mutation is durable via the item replacement).
+func (h *Handle) Incr(key []byte, delta uint64) (uint64, error) {
+	return h.incrDecr(key, delta, false)
+}
+
+// Decr subtracts delta (floored at zero, as memcached specifies).
+func (h *Handle) Decr(key []byte, delta uint64) (uint64, error) {
+	return h.incrDecr(key, delta, true)
+}
+
+func (h *Handle) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
+	m := h.cache
+	hash := keyHash(key)
+	mu := m.lockHash(hash)
+	mu.Lock()
+	defer mu.Unlock()
+	it := h.lookupLocked(hash, key)
+	if it == 0 {
+		return 0, ErrNotFound
+	}
+	cur, err := strconv.ParseUint(string(m.itemValue(it)), 10, 64)
+	if err != nil {
+		return 0, ErrNotNumber
+	}
+	var next uint64
+	if down {
+		if delta > cur {
+			next = 0
+		} else {
+			next = cur - delta
+		}
+	} else {
+		next = cur + delta
+	}
+	flags := m.itemFlags(it)
+	exp := uint32(m.dev.Load(it + itExpiry))
+	if err := h.setOnce(hash, key, []byte(strconv.FormatUint(next, 10)), flags, exp); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// Touch updates an item's expiry without rewriting its value.
+func (h *Handle) Touch(key []byte, expiry uint32) bool {
+	m := h.cache
+	hash := keyHash(key)
+	mu := m.lockHash(hash)
+	mu.Lock()
+	defer mu.Unlock()
+	it := h.lookupLocked(hash, key)
+	if it == 0 {
+		return false
+	}
+	m.dev.Store(it+itExpiry, uint64(expiry))
+	h.c.Flusher().Sync(it + itExpiry)
+	m.lru.touch(it)
+	return true
+}
+
+// lookupLocked finds the live (non-expired) item for key; 0 if absent.
+// Caller holds the hash stripe.
+func (h *Handle) lookupLocked(hash uint64, key []byte) Addr {
+	m := h.cache
+	headV, ok := m.idx.Search(h.c, hash)
+	if !ok {
+		return 0
+	}
+	it, _ := m.findInChain(Addr(headV), key)
+	if it == 0 || m.itemExpired(it, time.Now().Unix()) {
+		return 0
+	}
+	return it
+}

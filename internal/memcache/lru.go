@@ -1,0 +1,99 @@
+package memcache
+
+import "sync"
+
+// lruList is the volatile recency list. Memcached's LRU metadata does not
+// need to survive restarts (recovery resets recency, not contents), so it
+// lives in ordinary Go memory, guarded by one mutex — recency updates are
+// cheap relative to the simulated NVRAM costs elsewhere.
+type lruList struct {
+	mu    sync.Mutex
+	nodes map[Addr]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	it         Addr
+	prev, next *lruNode
+}
+
+func newLRU() *lruList {
+	return &lruList{nodes: make(map[Addr]*lruNode)}
+}
+
+func (l *lruList) add(it Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n, ok := l.nodes[it]; ok {
+		l.moveToFront(n)
+		return
+	}
+	n := &lruNode{it: it}
+	l.nodes[it] = n
+	l.pushFront(n)
+}
+
+func (l *lruList) touch(it Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n, ok := l.nodes[it]; ok {
+		l.moveToFront(n)
+	}
+}
+
+func (l *lruList) remove(it Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n, ok := l.nodes[it]; ok {
+		l.unlink(n)
+		delete(l.nodes, it)
+	}
+}
+
+// oldest returns the least recently used item (0 if empty).
+func (l *lruList) oldest() Addr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tail == nil {
+		return 0
+	}
+	return l.tail.it
+}
+
+func (l *lruList) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.nodes)
+}
+
+func (l *lruList) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *lruList) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *lruList) moveToFront(n *lruNode) {
+	l.unlink(n)
+	l.pushFront(n)
+}

@@ -1,0 +1,333 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"repro/internal/nvram"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newCache(t *testing.T) *Cache {
+	t.Helper()
+	m, err := New(Config{MemoryBytes: 64 << 20, Buckets: 1024, MaxConns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSetGetDelete(t *testing.T) {
+	m := newCache(t)
+	h := m.Handle(0)
+	if err := h.Set([]byte("hello"), []byte("world"), 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, fl, ok := h.Get([]byte("hello"))
+	if !ok || string(v) != "world" || fl != 7 {
+		t.Fatalf("Get = %q,%d,%v", v, fl, ok)
+	}
+	if _, _, ok := h.Get([]byte("nope")); ok {
+		t.Fatal("missing key found")
+	}
+	if !h.Delete([]byte("hello")) {
+		t.Fatal("delete failed")
+	}
+	if _, _, ok := h.Get([]byte("hello")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if h.Delete([]byte("hello")) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := newCache(t)
+	h := m.Handle(0)
+	h.Set([]byte("k"), []byte("v1"), 0, 0)
+	h.Set([]byte("k"), []byte("v2-longer"), 1, 0)
+	v, fl, ok := h.Get([]byte("k"))
+	if !ok || string(v) != "v2-longer" || fl != 1 {
+		t.Fatalf("after overwrite: %q,%d,%v", v, fl, ok)
+	}
+	if st := m.Stats(); st.Items != 1 {
+		t.Fatalf("Items = %d, want 1", st.Items)
+	}
+}
+
+func TestManyKeysAndValues(t *testing.T) {
+	m := newCache(t)
+	h := m.Handle(0)
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		val := bytes.Repeat([]byte{byte(i)}, 1+i%500)
+		if err := h.Set(key, val, uint16(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		v, fl, ok := h.Get(key)
+		if !ok || fl != uint16(i) || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 1+i%500)) {
+			t.Fatalf("key %d corrupt: ok=%v fl=%d len=%d", i, ok, fl, len(v))
+		}
+	}
+}
+
+func TestValueTooLarge(t *testing.T) {
+	m := newCache(t)
+	h := m.Handle(0)
+	if err := h.Set([]byte("k"), make([]byte, 4096), 0, 0); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	m := newCache(t)
+	h := m.Handle(0)
+	past := uint32(time.Now().Add(-time.Hour).Unix())
+	h.Set([]byte("old"), []byte("v"), 0, past)
+	if _, _, ok := h.Get([]byte("old")); ok {
+		t.Fatal("expired item served")
+	}
+}
+
+func TestEvictionUnderMemoryPressure(t *testing.T) {
+	m, err := New(Config{MemoryBytes: 4 << 20, Buckets: 256, MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Handle(0)
+	val := make([]byte, 1024)
+	for i := 0; i < 20000; i++ {
+		key := []byte(fmt.Sprintf("fill-%06d", i))
+		if err := h.Set(key, val, 0, 0); err != nil {
+			t.Fatalf("set %d failed despite LRU eviction: %v", i, err)
+		}
+	}
+	if m.Stats().Evictions == 0 {
+		t.Fatal("no evictions under memory pressure")
+	}
+	// Most recent key must be present.
+	if _, _, ok := h.Get([]byte("fill-019999")); !ok {
+		t.Fatal("most recent key evicted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	m := newCache(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := m.Handle(w)
+			for i := 0; i < 500; i++ {
+				key := []byte(fmt.Sprintf("w%d-%d", w, i))
+				if err := h.Set(key, key, 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, _, ok := h.Get(key); !ok || !bytes.Equal(v, key) {
+					t.Errorf("w%d readback %d failed", w, i)
+					return
+				}
+				if i%3 == 0 {
+					h.Delete(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestCrashRecovery(t *testing.T) {
+	m := newCache(t)
+	h := m.Handle(0)
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("persist-%d", i))
+		h.Set(key, []byte(fmt.Sprintf("value-%d", i)), 0, 0)
+	}
+	for i := 0; i < 1000; i += 4 {
+		h.Delete([]byte(fmt.Sprintf("persist-%d", i)))
+	}
+	m.Flush() // completed operations become durable at the latest here
+	m.Device().Crash()
+
+	m2, stats, err := Recover(m.Device(), Config{MemoryBytes: 64 << 20, MaxConns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stats // after an orderly Flush the APT may legitimately be empty
+	h2 := m2.Handle(0)
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("persist-%d", i))
+		v, _, ok := h2.Get(key)
+		want := i%4 != 0
+		if ok != want {
+			t.Fatalf("key %d after recovery: present=%v want %v", i, ok, want)
+		}
+		if ok && string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("key %d value corrupt after recovery: %q", i, v)
+		}
+	}
+	if m2.Stats().Items != 750 {
+		t.Fatalf("recovered Items = %d, want 750", m2.Stats().Items)
+	}
+}
+
+func TestRecoveryFreesOrphanItems(t *testing.T) {
+	m := newCache(t)
+	h := m.Handle(0)
+	h.Set([]byte("live"), []byte("v"), 0, 0)
+	m.Flush()
+	// Orphan an item: write it durably but never link it — the crash lands
+	// between allocation and table insert (§5.1's failure window), so no
+	// orderly flush may follow it.
+	h.c.Epoch().Begin()
+	it, err := h.writeItem(12345678, []byte("ghost"), []byte("boo"), 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.c.Epoch().End()
+	m.Device().Crash()
+	m2, stats, err := Recover(m.Device(), Config{MemoryBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Leaked == 0 {
+		t.Fatal("orphan item not detected")
+	}
+	if m2.store.Pool().SlotAllocated(it) {
+		t.Fatal("orphan item still allocated")
+	}
+	if _, _, ok := m2.Handle(0).Get([]byte("live")); !ok {
+		t.Fatal("live item damaged by recovery")
+	}
+}
+
+func TestServerProtocol(t *testing.T) {
+	m := newCache(t)
+	srv, err := NewServer("127.0.0.1:0", 4,
+		func(tid int) KV { return m.Handle(tid) },
+		m.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	mt := &Memtier{KeyRange: 50, Threads: 1, Duration: 50 * time.Millisecond, ValueLen: 16}
+	if _, err := mt.RunTCP(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Sets == 0 || st.Gets == 0 {
+		t.Fatalf("server processed nothing: %+v", st)
+	}
+}
+
+func TestMemtierInProcessAllBackends(t *testing.T) {
+	mt := &Memtier{KeyRange: 200, Threads: 2, Duration: 40 * time.Millisecond, ValueLen: 32}
+
+	m := newCache(t)
+	mt.Preload(m.Handle(0))
+	r := mt.RunKV(func(tid int) KV { return m.Handle(tid) })
+	if r.Ops == 0 || r.Hits == 0 {
+		t.Fatalf("nv-memcached run empty: %+v", r)
+	}
+
+	lc := NewLockCache()
+	mt.Preload(lc)
+	r = mt.RunKV(func(int) KV { return lc })
+	if r.Ops == 0 {
+		t.Fatalf("lock cache run empty: %+v", r)
+	}
+
+	cl, err := NewCLHTCache(Config{MemoryBytes: 64 << 20, Buckets: 1024, MaxConns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.Preload(cl.Handle(0))
+	r = mt.RunKV(func(tid int) KV { return cl.Handle(tid) })
+	if r.Ops == 0 {
+		t.Fatalf("clht cache run empty: %+v", r)
+	}
+}
+
+func TestHashCollisionChains(t *testing.T) {
+	// Force two distinct keys onto the same 64-bit hash by construction:
+	// not feasible for FNV without search, so instead verify long chains by
+	// stuffing the itHNext path directly through the public API with a tiny
+	// bucket count (bucket collisions exercise the list; hash collisions
+	// exercise chains — simulate the latter by monkey keys below).
+	m := newCache(t)
+	h := m.Handle(0)
+	// These keys all go through the same code paths; verify a couple of
+	// hundred keys with identical prefixes and tiny diffs survive rounds of
+	// overwrite + delete without cross-talk.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 200; i++ {
+			key := []byte(fmt.Sprintf("chain-%d", i))
+			if err := h.Set(key, []byte(fmt.Sprintf("r%d-%d", round, i)), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("chain-%d", i))
+		v, _, ok := h.Get(key)
+		if !ok || string(v) != fmt.Sprintf("r2-%d", i) {
+			t.Fatalf("key %d: %q,%v", i, v, ok)
+		}
+	}
+}
+
+func TestWarmUpHelper(t *testing.T) {
+	m := newCache(t)
+	d, err := WarmUp(m.Handle(0), 500, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("zero warm-up duration")
+	}
+	if m.Stats().Items != 500 {
+		t.Fatalf("Items = %d, want 500", m.Stats().Items)
+	}
+}
+
+// TestImageRoundTrip is the cmd/nvmemcached lifecycle in miniature: run,
+// save image, load image in a "new process", recover, serve.
+func TestImageRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	img := dir + "/nvmc.img"
+	m := newCache(t)
+	h := m.Handle(0)
+	for i := 0; i < 200; i++ {
+		h.Set([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i)), 0, 0)
+	}
+	m.Flush()
+	if err := m.Device().SaveImage(img); err != nil {
+		t.Fatal(err)
+	}
+
+	dev, err := nvram.LoadImage(img, nvram.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Recover(dev, Config{MemoryBytes: 64 << 20, MaxConns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := m2.Handle(0)
+	for i := 0; i < 200; i++ {
+		v, _, ok := h2.Get([]byte(fmt.Sprintf("key-%d", i)))
+		if !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d after image round trip: %q,%v", i, v, ok)
+		}
+	}
+	if m2.Stats().Items != 200 {
+		t.Fatalf("Items = %d, want 200", m2.Stats().Items)
+	}
+}

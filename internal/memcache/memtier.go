@@ -1,0 +1,259 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Memtier is a load generator modeled on memtier-benchmark (§6.5): it issues
+// a configurable set:get mix with keys drawn uniformly at random from a key
+// range, for a fixed duration, and reports throughput. It can drive a KV
+// in-process (the Figure 11 harness) or a Server over TCP.
+type Memtier struct {
+	// KeyRange: keys are "memtier-<i>" for i in [0, KeyRange).
+	KeyRange int
+	// SetRatio / GetRatio, e.g. 1:4 (the paper's mix).
+	SetRatio, GetRatio int
+	// ValueLen is the value payload size.
+	ValueLen int
+	// Threads is the number of client workers.
+	Threads int
+	// Duration of the run.
+	Duration time.Duration
+	// Seed for reproducibility.
+	Seed int64
+}
+
+func (mt *Memtier) fill() {
+	if mt.KeyRange == 0 {
+		mt.KeyRange = 10000
+	}
+	if mt.SetRatio == 0 && mt.GetRatio == 0 {
+		mt.SetRatio, mt.GetRatio = 1, 4
+	}
+	if mt.ValueLen == 0 {
+		mt.ValueLen = 64
+	}
+	if mt.Threads == 0 {
+		mt.Threads = 4
+	}
+	if mt.Duration == 0 {
+		mt.Duration = time.Second
+	}
+	if mt.Seed == 0 {
+		mt.Seed = 42
+	}
+}
+
+// MemtierResult reports one run.
+type MemtierResult struct {
+	Ops        uint64
+	Elapsed    time.Duration
+	Throughput float64 // ops/sec
+	Hits       uint64
+	Misses     uint64
+}
+
+// Key renders the i-th key.
+func (mt *Memtier) Key(dst []byte, i int) []byte {
+	dst = append(dst, "memtier-"...)
+	return formatKey(dst, uint64(i))
+}
+
+// Preload inserts values for half the key range (the paper warms the cache
+// with "items covering half of the key range" before each experiment).
+func (mt *Memtier) Preload(kv KV) error {
+	mt.fill()
+	val := bytes.Repeat([]byte{0xAB}, mt.ValueLen)
+	var kb [32]byte
+	for i := 0; i < mt.KeyRange/2; i++ {
+		if err := kv.Set(mt.Key(kb[:0], i*2), val, 0, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PreloadTCP warms a server over TCP with half the key range.
+func (mt *Memtier) PreloadTCP(addr string) error {
+	mt.fill()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	val := bytes.Repeat([]byte{0xAB}, mt.ValueLen)
+	var kb [32]byte
+	for i := 0; i < mt.KeyRange/2; i++ {
+		k := mt.Key(kb[:0], i*2)
+		fmt.Fprintf(w, "set %s 0 0 %d\r\n", k, len(val))
+		w.Write(val)
+		w.WriteString("\r\n")
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if line != "STORED\r\n" {
+			return fmt.Errorf("memtier: preload got %q", line)
+		}
+	}
+	return nil
+}
+
+// RunKV drives the mix against per-thread KV handles in-process.
+func (mt *Memtier) RunKV(kvFor func(tid int) KV) MemtierResult {
+	mt.fill()
+	var ops, hits, misses atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < mt.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			kv := kvFor(t)
+			rng := rand.New(rand.NewSource(mt.Seed + int64(t)))
+			val := bytes.Repeat([]byte{0xCD}, mt.ValueLen)
+			var kb [32]byte
+			n := uint64(0)
+			for !stop.Load() {
+				for b := 0; b < 32; b++ {
+					k := mt.Key(kb[:0], rng.Intn(mt.KeyRange))
+					if rng.Intn(mt.SetRatio+mt.GetRatio) < mt.SetRatio {
+						kv.Set(k, val, 0, 0)
+					} else if _, _, ok := kv.Get(k); ok {
+						hits.Add(1)
+					} else {
+						misses.Add(1)
+					}
+					n++
+				}
+			}
+			ops.Add(n)
+		}(t)
+	}
+	time.Sleep(mt.Duration)
+	stop.Store(true)
+	wg.Wait()
+	el := time.Since(start)
+	return MemtierResult{
+		Ops: ops.Load(), Elapsed: el,
+		Throughput: float64(ops.Load()) / el.Seconds(),
+		Hits:       hits.Load(), Misses: misses.Load(),
+	}
+}
+
+// RunTCP drives the mix against a memcached server over TCP.
+func (mt *Memtier) RunTCP(addr string) (MemtierResult, error) {
+	mt.fill()
+	var ops, hits, misses atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, mt.Threads)
+	start := time.Now()
+	for t := 0; t < mt.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			w := bufio.NewWriter(conn)
+			rng := rand.New(rand.NewSource(mt.Seed + int64(t)))
+			val := bytes.Repeat([]byte{0xEF}, mt.ValueLen)
+			var kb [32]byte
+			n := uint64(0)
+			for !stop.Load() {
+				k := mt.Key(kb[:0], rng.Intn(mt.KeyRange))
+				if rng.Intn(mt.SetRatio+mt.GetRatio) < mt.SetRatio {
+					fmt.Fprintf(w, "set %s 0 0 %d\r\n", k, len(val))
+					w.Write(val)
+					w.WriteString("\r\n")
+					w.Flush()
+					line, err := r.ReadString('\n')
+					if err != nil {
+						errs <- err
+						return
+					}
+					if line != "STORED\r\n" {
+						errs <- fmt.Errorf("memtier: set got %q", line)
+						return
+					}
+				} else {
+					fmt.Fprintf(w, "get %s\r\n", k)
+					w.Flush()
+					hit := false
+					for {
+						line, err := r.ReadString('\n')
+						if err != nil {
+							errs <- err
+							return
+						}
+						if line == "END\r\n" {
+							break
+						}
+						if len(line) > 5 && line[:5] == "VALUE" {
+							parts := bytes.Fields([]byte(line))
+							sz, _ := strconv.Atoi(string(parts[3]))
+							buf := make([]byte, sz+2)
+							if _, err := readFull(r, buf); err != nil {
+								errs <- err
+								return
+							}
+							hit = true
+						}
+					}
+					if hit {
+						hits.Add(1)
+					} else {
+						misses.Add(1)
+					}
+				}
+				n++
+			}
+			ops.Add(n)
+		}(t)
+	}
+	time.Sleep(mt.Duration)
+	stop.Store(true)
+	wg.Wait()
+	el := time.Since(start)
+	select {
+	case err := <-errs:
+		return MemtierResult{}, err
+	default:
+	}
+	return MemtierResult{
+		Ops: ops.Load(), Elapsed: el,
+		Throughput: float64(ops.Load()) / el.Seconds(),
+		Hits:       hits.Load(), Misses: misses.Load(),
+	}, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,263 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+)
+
+// Server speaks the memcached text protocol (the subset memtier and most
+// clients use: set, get, gets, delete, stats, flush_all, version, quit) over
+// TCP, backed by any KV (NV-Memcached handle or a volatile comparator).
+//
+// Each accepted connection is bound to a worker slot; the slot count equals
+// the cache's MaxConns (memcached's worker-thread model).
+type Server struct {
+	ln    net.Listener
+	slots chan int
+	kv    func(tid int) KV
+	stats func() Stats
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer serves cache on addr ("host:port"; ":0" picks a free port).
+func NewServer(addr string, workers int, kv func(tid int) KV, stats func() Stats) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:    ln,
+		slots: make(chan int, workers),
+		kv:    kv,
+		stats: stats,
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		s.slots <- i
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		tid := <-s.slots
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn, s.kv(tid))
+			s.slots <- tid
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn, kv KV) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		line = bytes.TrimRight(line, "\r\n")
+		if len(line) == 0 {
+			continue
+		}
+		fields := bytes.Fields(line)
+		switch string(fields[0]) {
+		case "set", "add", "replace":
+			if !s.cmdSet(kv, r, w, fields) {
+				return
+			}
+		case "incr", "decr":
+			s.cmdIncrDecr(kv, w, fields)
+		case "touch":
+			s.cmdTouch(kv, w, fields)
+		case "get", "gets":
+			s.cmdGet(kv, w, fields)
+		case "delete":
+			s.cmdDelete(kv, w, fields)
+		case "stats":
+			s.cmdStats(w)
+		case "version":
+			io.WriteString(w, "VERSION nv-memcached-1.0\r\n")
+		case "flush_all":
+			io.WriteString(w, "OK\r\n") // recency reset only; not destructive
+		case "quit":
+			w.Flush()
+			return
+		default:
+			io.WriteString(w, "ERROR\r\n")
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+// cmdSet parses: set|add|replace <key> <flags> <exptime> <bytes> [noreply]
+// followed by <data>\r\n.
+func (s *Server) cmdSet(kv KV, r *bufio.Reader, w *bufio.Writer, fields [][]byte) bool {
+	if len(fields) < 5 {
+		io.WriteString(w, "CLIENT_ERROR bad command line format\r\n")
+		return true
+	}
+	verb := string(fields[0])
+	key := fields[1]
+	flags, _ := strconv.ParseUint(string(fields[2]), 10, 16)
+	exp, _ := strconv.ParseUint(string(fields[3]), 10, 32)
+	n, err := strconv.Atoi(string(fields[4]))
+	if err != nil || n < 0 || n > MaxValueLen {
+		io.WriteString(w, "SERVER_ERROR object too large for cache\r\n")
+		return true
+	}
+	noreply := len(fields) > 5 && string(fields[5]) == "noreply"
+	data := make([]byte, n+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return false
+	}
+	h, _ := kv.(*Handle)
+	switch {
+	case verb == "set":
+		err = kv.Set(key, data[:n], uint16(flags), uint32(exp))
+	case h == nil:
+		err = errors.New("command not supported by this backend")
+	case verb == "add":
+		err = h.Add(key, data[:n], uint16(flags), uint32(exp))
+	default: // replace
+		err = h.Replace(key, data[:n], uint16(flags), uint32(exp))
+	}
+	if noreply {
+		return true
+	}
+	switch {
+	case err == nil:
+		io.WriteString(w, "STORED\r\n")
+	case errors.Is(err, ErrNotStored):
+		io.WriteString(w, "NOT_STORED\r\n")
+	default:
+		fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+	}
+	return true
+}
+
+// cmdIncrDecr parses: incr|decr <key> <delta> [noreply].
+func (s *Server) cmdIncrDecr(kv KV, w *bufio.Writer, fields [][]byte) {
+	h, _ := kv.(*Handle)
+	if h == nil || len(fields) < 3 {
+		io.WriteString(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	delta, err := strconv.ParseUint(string(fields[2]), 10, 64)
+	if err != nil {
+		io.WriteString(w, "CLIENT_ERROR invalid numeric delta argument\r\n")
+		return
+	}
+	var v uint64
+	if string(fields[0]) == "incr" {
+		v, err = h.Incr(fields[1], delta)
+	} else {
+		v, err = h.Decr(fields[1], delta)
+	}
+	switch {
+	case err == nil:
+		fmt.Fprintf(w, "%d\r\n", v)
+	case errors.Is(err, ErrNotFound):
+		io.WriteString(w, "NOT_FOUND\r\n")
+	default:
+		io.WriteString(w, "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+	}
+}
+
+// cmdTouch parses: touch <key> <exptime> [noreply].
+func (s *Server) cmdTouch(kv KV, w *bufio.Writer, fields [][]byte) {
+	h, _ := kv.(*Handle)
+	if h == nil || len(fields) < 3 {
+		io.WriteString(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	exp, _ := strconv.ParseUint(string(fields[2]), 10, 32)
+	if h.Touch(fields[1], uint32(exp)) {
+		io.WriteString(w, "TOUCHED\r\n")
+	} else {
+		io.WriteString(w, "NOT_FOUND\r\n")
+	}
+}
+
+func (s *Server) cmdGet(kv KV, w *bufio.Writer, fields [][]byte) {
+	for _, key := range fields[1:] {
+		if v, flags, ok := kv.Get(key); ok {
+			fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(v))
+			w.Write(v)
+			io.WriteString(w, "\r\n")
+		}
+	}
+	io.WriteString(w, "END\r\n")
+}
+
+func (s *Server) cmdDelete(kv KV, w *bufio.Writer, fields [][]byte) {
+	if len(fields) < 2 {
+		io.WriteString(w, "CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	if kv.Delete(fields[1]) {
+		io.WriteString(w, "DELETED\r\n")
+	} else {
+		io.WriteString(w, "NOT_FOUND\r\n")
+	}
+}
+
+func (s *Server) cmdStats(w *bufio.Writer) {
+	st := s.stats()
+	fmt.Fprintf(w, "STAT cmd_get %d\r\n", st.Gets)
+	fmt.Fprintf(w, "STAT cmd_set %d\r\n", st.Sets)
+	fmt.Fprintf(w, "STAT get_hits %d\r\n", st.Hits)
+	fmt.Fprintf(w, "STAT get_misses %d\r\n", st.Misses)
+	fmt.Fprintf(w, "STAT evictions %d\r\n", st.Evictions)
+	fmt.Fprintf(w, "STAT curr_items %d\r\n", st.Items)
+	io.WriteString(w, "END\r\n")
+}

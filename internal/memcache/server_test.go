@@ -1,0 +1,226 @@
+package memcache
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+// dialServer spins up a server over a fresh cache and returns a connected
+// text-protocol session.
+func dialServer(t *testing.T) (*Cache, *Server, *bufio.ReadWriter, net.Conn) {
+	t.Helper()
+	m, err := New(Config{MemoryBytes: 32 << 20, Buckets: 256, MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", 2,
+		func(tid int) KV { return m.Handle(tid) }, m.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	rw := bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))
+	return m, srv, rw, conn
+}
+
+func send(t *testing.T, rw *bufio.ReadWriter, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		rw.WriteString(l + "\r\n")
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expect(t *testing.T, rw *bufio.ReadWriter, want string) {
+	t.Helper()
+	line, err := rw.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimRight(line, "\r\n") != want {
+		t.Fatalf("got %q, want %q", line, want)
+	}
+}
+
+func TestProtocolSetGetDelete(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	send(t, rw, "set foo 3 0 5", "hello")
+	expect(t, rw, "STORED")
+	send(t, rw, "get foo")
+	expect(t, rw, "VALUE foo 3 5")
+	expect(t, rw, "hello")
+	expect(t, rw, "END")
+	send(t, rw, "delete foo")
+	expect(t, rw, "DELETED")
+	send(t, rw, "get foo")
+	expect(t, rw, "END")
+	send(t, rw, "delete foo")
+	expect(t, rw, "NOT_FOUND")
+}
+
+func TestProtocolMultiGet(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	send(t, rw, "set a 0 0 1", "A")
+	expect(t, rw, "STORED")
+	send(t, rw, "set b 0 0 1", "B")
+	expect(t, rw, "STORED")
+	send(t, rw, "get a missing b")
+	expect(t, rw, "VALUE a 0 1")
+	expect(t, rw, "A")
+	expect(t, rw, "VALUE b 0 1")
+	expect(t, rw, "B")
+	expect(t, rw, "END")
+}
+
+func TestProtocolNoreply(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	send(t, rw, "set k 0 0 2 noreply", "xy", "get k")
+	expect(t, rw, "VALUE k 0 2")
+	expect(t, rw, "xy")
+	expect(t, rw, "END")
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	send(t, rw, "bogus")
+	expect(t, rw, "ERROR")
+	send(t, rw, "set onlykey")
+	expect(t, rw, "CLIENT_ERROR bad command line format")
+	send(t, rw, fmt.Sprintf("set big 0 0 %d", MaxValueLen+1))
+	expect(t, rw, "SERVER_ERROR object too large for cache")
+	send(t, rw, "delete")
+	expect(t, rw, "CLIENT_ERROR bad command line format")
+}
+
+func TestProtocolStatsAndVersion(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	send(t, rw, "set s 0 0 1", "v")
+	expect(t, rw, "STORED")
+	send(t, rw, "version")
+	expect(t, rw, "VERSION nv-memcached-1.0")
+	send(t, rw, "stats")
+	sawSet := false
+	for {
+		line, err := rw.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			break
+		}
+		if line == "STAT cmd_set 1" {
+			sawSet = true
+		}
+	}
+	if !sawSet {
+		t.Fatal("stats missing cmd_set")
+	}
+}
+
+func TestProtocolQuitClosesConn(t *testing.T) {
+	_, _, rw, conn := dialServer(t)
+	send(t, rw, "quit")
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil {
+		t.Fatal("connection still open after quit")
+	}
+}
+
+func TestServerSurvivesValueWithBinaryData(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	payload := string([]byte{0, 1, 2, '\r', '\n', 250, 255})
+	send(t, rw, fmt.Sprintf("set bin 0 0 %d", len(payload)), payload)
+	expect(t, rw, "STORED")
+	send(t, rw, "get bin")
+	expect(t, rw, fmt.Sprintf("VALUE bin 0 %d", len(payload)))
+	line := make([]byte, len(payload)+2)
+	if _, err := rw.Read(line); err != nil {
+		t.Fatal(err)
+	}
+	if string(line[:len(payload)]) != payload {
+		t.Fatal("binary payload corrupted")
+	}
+	expect(t, rw, "END")
+}
+
+func TestProtocolAddReplace(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	send(t, rw, "add k 0 0 2", "v1")
+	expect(t, rw, "STORED")
+	send(t, rw, "add k 0 0 2", "v2")
+	expect(t, rw, "NOT_STORED")
+	send(t, rw, "replace k 0 0 2", "v3")
+	expect(t, rw, "STORED")
+	send(t, rw, "get k")
+	expect(t, rw, "VALUE k 0 2")
+	expect(t, rw, "v3")
+	expect(t, rw, "END")
+	send(t, rw, "replace missing 0 0 1", "x")
+	expect(t, rw, "NOT_STORED")
+}
+
+func TestProtocolIncrDecr(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	send(t, rw, "set n 0 0 2", "10")
+	expect(t, rw, "STORED")
+	send(t, rw, "incr n 5")
+	expect(t, rw, "15")
+	send(t, rw, "decr n 20")
+	expect(t, rw, "0") // memcached floors at zero
+	send(t, rw, "incr missing 1")
+	expect(t, rw, "NOT_FOUND")
+	send(t, rw, "set s 0 0 3", "abc")
+	expect(t, rw, "STORED")
+	send(t, rw, "incr s 1")
+	expect(t, rw, "CLIENT_ERROR cannot increment or decrement non-numeric value")
+	send(t, rw, "incr n bogus")
+	expect(t, rw, "CLIENT_ERROR invalid numeric delta argument")
+}
+
+func TestProtocolTouch(t *testing.T) {
+	_, _, rw, _ := dialServer(t)
+	send(t, rw, "set k 0 0 1", "v")
+	expect(t, rw, "STORED")
+	send(t, rw, "touch k 0")
+	expect(t, rw, "TOUCHED")
+	send(t, rw, "touch missing 0")
+	expect(t, rw, "NOT_FOUND")
+	// Touch into the past expires the item.
+	send(t, rw, "touch k 1")
+	expect(t, rw, "TOUCHED")
+	send(t, rw, "get k")
+	expect(t, rw, "END")
+}
+
+func TestIncrDurableAcrossCrash(t *testing.T) {
+	m, err := New(Config{MemoryBytes: 32 << 20, Buckets: 256, MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Handle(0)
+	h.Set([]byte("ctr"), []byte("41"), 0, 0)
+	if v, err := h.Incr([]byte("ctr"), 1); err != nil || v != 42 {
+		t.Fatalf("Incr = %d,%v", v, err)
+	}
+	m.Flush()
+	m.Device().Crash()
+	m2, _, err := Recover(m.Device(), Config{MemoryBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, ok := m2.Handle(0).Get([]byte("ctr"))
+	if !ok || string(v) != "42" {
+		t.Fatalf("counter after crash = %q,%v", v, ok)
+	}
+}

@@ -1,0 +1,402 @@
+// Package nvram simulates byte-addressable non-volatile RAM with a
+// write-back CPU cache in front of it.
+//
+// The simulator maintains two images of memory:
+//
+//   - the volatile image: what running code observes. Stores become visible
+//     to all threads immediately (cache coherence), but are NOT durable.
+//   - the persisted image: what survives a crash. A store reaches the
+//     persisted image only when its cache line is written back — either
+//     explicitly (CLWB followed by Fence) or by simulated uncontrolled
+//     eviction.
+//
+// This reproduces the ordering contract of real hardware (clwb/sfence on
+// x86) that the paper's algorithms depend on, and makes crashes testable:
+// Crash discards everything that was not written back.
+//
+// Addresses are uint64 byte offsets into the device ("Addr"); address 0 is
+// reserved as the nil pointer. All word accesses must be 8-byte aligned.
+// Data-structure nodes are 64-byte aligned by the allocator, so the low six
+// bits of a node address are available for mark bits (Harris delete marks,
+// Natarajan-Mittal flags/tags, and the link-and-persist dirty bit).
+//
+// Latency model: following the paper's methodology (§6.1), the cost of
+// persistence is injected as one calibrated pause per *batch* of write-backs,
+// at the Fence that completes them. Multiple CLWBs issued before a single
+// Fence therefore cost one NVRAM write latency, mirroring the parallelism of
+// clwb on real hardware.
+package nvram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Addr is a byte offset into the device. 0 is the nil address.
+type Addr = uint64
+
+const (
+	// LineSize is the cache line size in bytes. Write-back granularity.
+	LineSize = 64
+	// WordSize is the machine word size in bytes. Access granularity.
+	WordSize = 8
+
+	lineWords = LineSize / WordSize
+)
+
+// Config parameterizes a Device.
+type Config struct {
+	// Size is the device capacity in bytes. Rounded up to a full line.
+	Size uint64
+
+	// WriteLatency is the simulated NVRAM write latency, injected once per
+	// batch of write-backs (i.e., once per Fence that has pending lines).
+	// Zero disables latency injection.
+	WriteLatency time.Duration
+
+	// AutoEvictEvery, when positive, makes roughly one in every
+	// AutoEvictEvery stores write back a random dirty cache line, modeling
+	// uncontrolled cache eviction. Intended for adversarial crash testing;
+	// leave zero for benchmarks.
+	AutoEvictEvery int
+}
+
+// Device is a simulated NVRAM device. All methods are safe for concurrent
+// use except Crash, CrashPartial, SaveImage and LoadImage, which require
+// external quiescence (no in-flight operations), exactly like a real
+// power failure treated at a point in time.
+type Device struct {
+	cfg   Config
+	words []uint64 // volatile image (cache + memory merged view)
+	pers  []uint64 // persisted image (survives Crash)
+	dirty []uint32 // per-line advisory dirty flags (for eviction & stats)
+	lines uint64
+
+	evictTick atomic.Uint64
+
+	// Global statistics (atomic). Per-thread statistics live in Flusher.
+	statClwbs  atomic.Uint64
+	statFences atomic.Uint64
+	statSyncs  atomic.Uint64 // fences that actually waited (had pending lines)
+	statEvicts atomic.Uint64
+}
+
+// New creates a device of the configured size with both images zeroed.
+func New(cfg Config) *Device {
+	if cfg.Size < LineSize {
+		cfg.Size = LineSize
+	}
+	cfg.Size = (cfg.Size + LineSize - 1) &^ uint64(LineSize-1)
+	nw := cfg.Size / WordSize
+	d := &Device{
+		cfg:   cfg,
+		words: make([]uint64, nw),
+		pers:  make([]uint64, nw),
+		dirty: make([]uint32, cfg.Size/LineSize),
+		lines: cfg.Size / LineSize,
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return d.cfg.Size }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// SetWriteLatency changes the injected NVRAM write latency. Not safe to call
+// concurrently with Fence.
+func (d *Device) SetWriteLatency(l time.Duration) { d.cfg.WriteLatency = l }
+
+func (d *Device) check(a Addr) uint64 {
+	if a&(WordSize-1) != 0 {
+		panic(fmt.Sprintf("nvram: misaligned access at %#x", a))
+	}
+	i := a / WordSize
+	if a == 0 || i >= uint64(len(d.words)) {
+		panic(fmt.Sprintf("nvram: access out of range at %#x (size %#x)", a, d.cfg.Size))
+	}
+	return i
+}
+
+// Load atomically reads the word at a.
+func (d *Device) Load(a Addr) uint64 {
+	return atomic.LoadUint64(&d.words[d.check(a)])
+}
+
+// Store atomically writes v to the word at a. The store is visible to all
+// threads immediately but is not durable until its line is written back.
+func (d *Device) Store(a Addr, v uint64) {
+	i := d.check(a)
+	atomic.StoreUint64(&d.words[i], v)
+	d.touch(i / lineWords)
+}
+
+// CAS atomically compares-and-swaps the word at a. Like real hardware CAS,
+// it carries an implied store fence only with respect to CPU ordering, not
+// persistence: the new value still needs an explicit write-back to become
+// durable.
+func (d *Device) CAS(a Addr, old, new uint64) bool {
+	i := d.check(a)
+	ok := atomic.CompareAndSwapUint64(&d.words[i], old, new)
+	if ok {
+		d.touch(i / lineWords)
+	}
+	return ok
+}
+
+// Add atomically adds delta to the word at a and returns the new value.
+func (d *Device) Add(a Addr, delta uint64) uint64 {
+	i := d.check(a)
+	v := atomic.AddUint64(&d.words[i], delta)
+	d.touch(i / lineWords)
+	return v
+}
+
+func (d *Device) touch(line uint64) {
+	atomic.StoreUint32(&d.dirty[line], 1)
+	if n := d.cfg.AutoEvictEvery; n > 0 {
+		if d.evictTick.Add(1)%uint64(n) == 0 {
+			d.evictOne(line)
+		}
+	}
+}
+
+// evictOne writes back an arbitrary dirty line (best effort), simulating an
+// uncontrolled cache eviction.
+func (d *Device) evictOne(seed uint64) {
+	// Cheap deterministic-ish probe starting from a hash of seed.
+	h := seed * 0x9E3779B97F4A7C15
+	for probe := uint64(0); probe < 64; probe++ {
+		line := (h + probe) % d.lines
+		if atomic.LoadUint32(&d.dirty[line]) == 1 {
+			d.writeBackLine(line)
+			d.statEvicts.Add(1)
+			return
+		}
+	}
+}
+
+// writeBackLine copies a line from the volatile image to the persisted image
+// and clears its dirty flag. The copy is word-atomic; a concurrent store may
+// or may not be included, exactly as on real hardware where eviction
+// snapshots the line at an arbitrary instant.
+func (d *Device) writeBackLine(line uint64) {
+	atomic.StoreUint32(&d.dirty[line], 0)
+	base := line * lineWords
+	for w := base; w < base+lineWords; w++ {
+		atomic.StoreUint64(&d.pers[w], atomic.LoadUint64(&d.words[w]))
+	}
+}
+
+// EvictRandom writes back each dirty line with probability p, simulating a
+// burst of uncontrolled evictions. Intended for crash tests.
+func (d *Device) EvictRandom(rng *rand.Rand, p float64) {
+	for line := uint64(0); line < d.lines; line++ {
+		if atomic.LoadUint32(&d.dirty[line]) == 1 && rng.Float64() < p {
+			d.writeBackLine(line)
+			d.statEvicts.Add(1)
+		}
+	}
+}
+
+// Crash simulates a transient failure: every store that was not written back
+// is lost. The volatile image is reset to the persisted image. The caller
+// must guarantee quiescence.
+func (d *Device) Crash() {
+	copy(d.words, d.pers)
+	for i := range d.dirty {
+		d.dirty[i] = 0
+	}
+}
+
+// CrashPartial first writes back each dirty line with probability p (the
+// adversarial "some lines happened to be evicted" case), then crashes.
+func (d *Device) CrashPartial(rng *rand.Rand, p float64) {
+	d.EvictRandom(rng, p)
+	d.Crash()
+}
+
+// LinePersisted reports whether the line containing a has identical volatile
+// and persisted contents. Diagnostic.
+func (d *Device) LinePersisted(a Addr) bool {
+	line := d.check(a) / lineWords
+	base := line * lineWords
+	for w := base; w < base+lineWords; w++ {
+		if atomic.LoadUint64(&d.words[w]) != atomic.LoadUint64(&d.pers[w]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PersistedWord returns the word at a as stored in the persisted image —
+// what a crash at this instant would preserve. Diagnostic.
+func (d *Device) PersistedWord(a Addr) uint64 {
+	return atomic.LoadUint64(&d.pers[d.check(a)])
+}
+
+// DirtyLines returns the number of lines currently flagged dirty. Advisory.
+func (d *Device) DirtyLines() int {
+	n := 0
+	for i := range d.dirty {
+		if atomic.LoadUint32(&d.dirty[i]) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats is a snapshot of global device counters.
+type Stats struct {
+	Clwbs     uint64 // write-back instructions issued
+	Fences    uint64 // fences issued
+	SyncWaits uint64 // fences that had pending lines (paid the NVRAM latency)
+	Evictions uint64 // uncontrolled evictions simulated
+}
+
+// Stats returns a snapshot of the global counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Clwbs:     d.statClwbs.Load(),
+		Fences:    d.statFences.Load(),
+		SyncWaits: d.statSyncs.Load(),
+		Evictions: d.statEvicts.Load(),
+	}
+}
+
+// ResetStats zeroes the global counters.
+func (d *Device) ResetStats() {
+	d.statClwbs.Store(0)
+	d.statFences.Store(0)
+	d.statSyncs.Store(0)
+	d.statEvicts.Store(0)
+}
+
+// Flusher is the per-goroutine persistence context: it accumulates CLWBs and
+// completes them at Fence. A Flusher must not be shared between goroutines.
+type Flusher struct {
+	d       *Device
+	pending []uint64 // line indices, deduplicated best-effort
+
+	// Per-context statistics, readable by the owner at any time.
+	Clwbs     uint64
+	Fences    uint64
+	SyncWaits uint64
+}
+
+// NewFlusher returns a persistence context for one goroutine.
+func (d *Device) NewFlusher() *Flusher {
+	return &Flusher{d: d, pending: make([]uint64, 0, 16)}
+}
+
+// Device returns the device this flusher operates on.
+func (f *Flusher) Device() *Device { return f.d }
+
+// CLWB schedules a write-back of the cache line containing a. The line is
+// not durable until the next Fence.
+func (f *Flusher) CLWB(a Addr) {
+	line := f.d.check(a) / lineWords
+	for _, l := range f.pending {
+		if l == line {
+			return
+		}
+	}
+	f.pending = append(f.pending, line)
+	f.Clwbs++
+	f.d.statClwbs.Add(1)
+}
+
+// Fence completes all pending write-backs issued through this flusher and
+// injects one NVRAM write latency if any line was pending (the paper's
+// one-pause-per-batch model).
+func (f *Flusher) Fence() {
+	f.Fences++
+	f.d.statFences.Add(1)
+	if len(f.pending) == 0 {
+		return
+	}
+	for _, line := range f.pending {
+		f.d.writeBackLine(line)
+	}
+	f.pending = f.pending[:0]
+	f.SyncWaits++
+	f.d.statSyncs.Add(1)
+	Wait(f.d.cfg.WriteLatency)
+}
+
+// Sync is CLWB(a) followed by Fence: one complete sync operation.
+func (f *Flusher) Sync(a Addr) {
+	f.CLWB(a)
+	f.Fence()
+}
+
+// Pending returns the number of lines awaiting the next Fence.
+func (f *Flusher) Pending() int { return len(f.pending) }
+
+var imageMagic = [8]byte{'N', 'V', 'I', 'M', 'G', '0', '0', '1'}
+
+// SaveImage writes the persisted image to path. Together with LoadImage this
+// lets a process "power off" and a later process recover, mirroring the
+// paper's assumption that an NVRAM region can be remapped across restarts.
+// Requires quiescence.
+func (d *Device) SaveImage(path string) error {
+	buf := make([]byte, 16+len(d.pers)*WordSize)
+	copy(buf, imageMagic[:])
+	binary.LittleEndian.PutUint64(buf[8:], d.cfg.Size)
+	for i, w := range d.pers {
+		binary.LittleEndian.PutUint64(buf[16+i*WordSize:], w)
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// LoadImage creates a device from an image previously written by SaveImage.
+// The volatile image starts equal to the persisted image, as after a reboot.
+func LoadImage(path string, cfg Config) (*Device, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 16 || string(buf[:8]) != string(imageMagic[:]) {
+		return nil, errors.New("nvram: bad image header")
+	}
+	size := binary.LittleEndian.Uint64(buf[8:])
+	if uint64(len(buf)-16) != size {
+		return nil, fmt.Errorf("nvram: image truncated: header says %d bytes, have %d", size, len(buf)-16)
+	}
+	cfg.Size = size
+	d := New(cfg)
+	for i := range d.pers {
+		d.pers[i] = binary.LittleEndian.Uint64(buf[16+i*WordSize:])
+	}
+	copy(d.words, d.pers)
+	return d, nil
+}
+
+// LatencyRow is one row of the paper's Table 1 (latencies in nanoseconds).
+type LatencyRow struct {
+	Level      string
+	ReadNanos  int
+	WriteNanos int
+}
+
+// LatencyTable reproduces Table 1 of the paper: projected latencies for the
+// memory hierarchy the evaluation models. The simulator's default
+// WriteLatency (125ns) is the paper's assumed NVRAM write latency, an
+// average of the PCM and Memristor projections.
+var LatencyTable = []LatencyRow{
+	{"L1", 2, 2},
+	{"L2", 6, 6},
+	{"LLC", 15, 15},
+	{"DRAM", 50, 50},
+	{"PCM", 60, 150}, // read 50-70 in the paper; midpoint
+	{"Memristor", 100, 100},
+}
+
+// DefaultWriteLatency is the NVRAM write latency assumed by the paper (§6.1).
+const DefaultWriteLatency = 125 * time.Nanosecond

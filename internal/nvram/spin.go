@@ -1,0 +1,17 @@
+package nvram
+
+import "time"
+
+// Wait busy-waits for approximately d, modeling the latency of an NVRAM
+// write-back batch. It deliberately spins rather than sleeping: the paper's
+// methodology injects pauses of hundreds of nanoseconds, far below scheduler
+// granularity, and a store to NVRAM occupies the issuing core.
+func Wait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		// spin
+	}
+}

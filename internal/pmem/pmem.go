@@ -1,0 +1,719 @@
+// Package pmem implements a persistent slab allocator on top of a simulated
+// NVRAM device, in the mold of the modified jemalloc the paper uses (§5.3).
+//
+// The device is carved into 4KB pages. Each page serves one size class and
+// keeps its durable metadata — the size class and an allocation bitmap — in
+// the first 64 bytes of the page, so one cache-line write-back covers all
+// allocator metadata for an allocation or deallocation.
+//
+// Two properties from the paper are reproduced faithfully:
+//
+//  1. The allocator issues write-backs for its metadata but never waits for
+//     them: the fence that the data-structure operation performs before
+//     linking a node (or that the reclamation scheme performs per batch of
+//     frees) covers the metadata write-back. No sync operation is paid for
+//     allocation or deallocation in the common case.
+//
+//  2. Allocation is split into Prepare (returns the address the next
+//     allocation will use, the paper's "next node address" hook) and Commit
+//     (marks it allocated). NV-epochs checks Prepare's page against the
+//     active page table before committing, so page-table logging is skipped
+//     when the page is already active.
+//
+// Pages are owned by the allocating context (thread); any context may free
+// into any page. Structure-lifetime bulk storage (hash bucket arrays, the
+// active page tables themselves) is carved as multi-page regions that are
+// never recycled.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/nvram"
+)
+
+// Addr is re-exported for convenience: a byte offset into the device.
+type Addr = nvram.Addr
+
+const (
+	// PageSize is the allocator page size: also the default granularity of
+	// the active page table (§6.3 uses 4KB memory pages).
+	PageSize = 4096
+	// SlotAlign is the alignment of every allocated object; nodes are
+	// cache-aligned (§6.1), leaving the low six address bits for marks.
+	SlotAlign = 64
+
+	headerClassOff  = 0 // word: magic | class | (regions: page count)
+	headerBitmapOff = 8 // word: allocation bitmap, bit i = slot i
+
+	pageMagic  = uint64(0x9A6E) << 48
+	magicMask  = uint64(0xFFFF) << 48
+	classMask  = uint64(0xFF) << 40
+	classShift = 40
+	countMask  = (uint64(1) << 40) - 1
+
+	regionClass = 0xFF
+
+	// Pool header layout (line 1 of the device; line 0 is the nil guard).
+	hdrBase     = nvram.LineSize
+	hdrMagicOff = hdrBase + 0
+	hdrSizeOff  = hdrBase + 8
+	hdrHeapOff  = hdrBase + 16       // durable carve pointer ("heapNext")
+	poolMagic   = 0x4C4F47465245455F // "LOGFREE_"
+
+	rootBase = 2 * nvram.LineSize // 64 root slots, 512B
+	// NumRoots is the number of durable root-directory slots.
+	NumRoots = 64
+
+	heapBase = PageSize // first page boundary after header+roots
+)
+
+// Class identifies a size class.
+type Class uint8
+
+// ClassSizes lists the object sizes served by the allocator.
+var ClassSizes = []uint64{64, 128, 256, 512, 1024, 2048}
+
+// NumClasses is the number of size classes.
+const NumClasses = 6
+
+// slotsPerPage[c] = floor((PageSize - SlotAlign) / ClassSizes[c]).
+var slotsPerPage = func() [NumClasses]uint64 {
+	var s [NumClasses]uint64
+	for c, sz := range ClassSizes {
+		s[c] = (PageSize - SlotAlign) / sz
+	}
+	return s
+}()
+
+// ClassFor returns the smallest class that fits size bytes.
+func ClassFor(size uint64) (Class, error) {
+	for c, sz := range ClassSizes {
+		if size <= sz {
+			return Class(c), nil
+		}
+	}
+	return 0, fmt.Errorf("pmem: no size class fits %d bytes", size)
+}
+
+// Size returns the object size of class c.
+func (c Class) Size() uint64 { return ClassSizes[c] }
+
+// Errors returned by the allocator.
+var (
+	ErrOutOfMemory = errors.New("pmem: out of device memory")
+	ErrNotAPool    = errors.New("pmem: device does not contain a formatted pool")
+)
+
+// Pool is the allocator state for one device. The durable state lives
+// entirely inside the device; Pool itself holds only volatile acceleration
+// structures and is rebuilt by Attach after a crash.
+type Pool struct {
+	dev *nvram.Device
+
+	mu        sync.Mutex
+	freePages []Addr         // recycled, currently empty pages
+	hdrFl     *nvram.Flusher // used only under mu for carve-pointer syncs
+	pinned    map[Addr]int   // page -> #contexts using it as current
+
+	// partial tracks unowned pages with free slots, per class. Allocation
+	// prefers them over carving, mimicking jemalloc's bin reuse: freed
+	// memory is promptly reallocated, which packs the live set into few
+	// pages — the allocation/deallocation locality NV-epochs exploits
+	// (§5.1).
+	partial   [NumClasses][]Addr
+	inPartial map[Addr]bool
+	inFree    map[Addr]bool
+
+	statCarved atomic.Uint64
+	statAllocs atomic.Uint64
+	statFrees  atomic.Uint64
+
+	statAcqPartial atomic.Uint64
+	statAcqFree    atomic.Uint64
+	statAcqCarve   atomic.Uint64
+
+	volatileMode bool
+}
+
+// SetVolatile drops the allocator's own durability actions (the carve-
+// pointer sync). Used by the NVRAM-oblivious baseline configuration.
+func (p *Pool) SetVolatile(on bool) { p.volatileMode = on }
+
+func newPoolShell(dev *nvram.Device) *Pool {
+	return &Pool{
+		dev:       dev,
+		hdrFl:     dev.NewFlusher(),
+		pinned:    make(map[Addr]int),
+		inPartial: make(map[Addr]bool),
+		inFree:    make(map[Addr]bool),
+	}
+}
+
+// pushFree adds page to the empty-page list exactly once. Callers hold mu.
+// The owner's unpin and a remote freer's maybeRecycle can both legitimately
+// conclude "empty and unpinned" for the same page; without membership
+// de-duplication the page would be handed to two contexts, which then race
+// on slot allocation and corrupt two structures at once.
+func (p *Pool) pushFree(page Addr) {
+	if p.inFree[page] {
+		return
+	}
+	p.inFree[page] = true
+	delete(p.inPartial, page)
+	p.freePages = append(p.freePages, page)
+}
+
+// Format initializes a fresh pool on dev, destroying any prior content. The
+// header and root directory are durably written before Format returns.
+func Format(dev *nvram.Device) *Pool {
+	p := newPoolShell(dev)
+	dev.Store(hdrMagicOff, poolMagic)
+	dev.Store(hdrSizeOff, dev.Size())
+	dev.Store(hdrHeapOff, heapBase)
+	p.hdrFl.CLWB(hdrMagicOff)
+	for i := 0; i < NumRoots; i++ {
+		dev.Store(rootAddr(i), 0)
+	}
+	for i := 0; i < NumRoots; i += nvram.LineSize / 8 {
+		p.hdrFl.CLWB(rootAddr(i))
+	}
+	p.hdrFl.Fence()
+	return p
+}
+
+// Attach opens an existing pool after a restart, rebuilding the volatile
+// free-page list by scanning durable page headers.
+func Attach(dev *nvram.Device) (*Pool, error) {
+	if dev.Load(hdrMagicOff) != poolMagic {
+		return nil, ErrNotAPool
+	}
+	if dev.Load(hdrSizeOff) != dev.Size() {
+		return nil, fmt.Errorf("pmem: pool formatted for %d bytes, device has %d",
+			dev.Load(hdrSizeOff), dev.Size())
+	}
+	p := newPoolShell(dev)
+	end := dev.Load(hdrHeapOff)
+	for page := Addr(heapBase); page < end; {
+		hdr := dev.Load(page + headerClassOff)
+		if hdr&magicMask != pageMagic {
+			// Carved but never initialized (crash between carve and header
+			// write-back): safe to recycle.
+			p.pushFree(page)
+			page += PageSize
+			continue
+		}
+		cls := (hdr & classMask) >> classShift
+		if cls == regionClass {
+			page += Addr(hdr&countMask) * PageSize
+			continue
+		}
+		bm := dev.Load(page + headerBitmapOff)
+		if bm == 0 {
+			p.pushFree(page)
+		} else if bm != (uint64(1)<<slotsPerPage[cls])-1 {
+			p.partial[cls] = append(p.partial[cls], page)
+			p.inPartial[page] = true
+		}
+		page += PageSize
+	}
+	return p, nil
+}
+
+// Device returns the underlying device.
+func (p *Pool) Device() *nvram.Device { return p.dev }
+
+func rootAddr(i int) Addr { return rootBase + Addr(i)*8 }
+
+// SetRoot durably stores v in root-directory slot i. Roots anchor data
+// structures across restarts (the paper assumes remappable regions; our
+// offsets are position-independent already).
+func (p *Pool) SetRoot(f *nvram.Flusher, i int, v uint64) {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pmem: root slot %d out of range", i))
+	}
+	p.dev.Store(rootAddr(i), v)
+	f.Sync(rootAddr(i))
+}
+
+// Root reads root-directory slot i.
+func (p *Pool) Root(i int) uint64 {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pmem: root slot %d out of range", i))
+	}
+	return p.dev.Load(rootAddr(i))
+}
+
+// carve takes n contiguous pages off the durable carve pointer. Called with
+// mu held. The carve pointer is synced so a crash cannot hand out the same
+// pages twice; carving is rare (amortized over page reuse) so this sync does
+// not show up in the paper's per-operation cost model.
+func (p *Pool) carve(n uint64) (Addr, error) {
+	next := p.dev.Load(hdrHeapOff)
+	if next+n*PageSize > p.dev.Size() {
+		return 0, ErrOutOfMemory
+	}
+	p.dev.Store(hdrHeapOff, next+n*PageSize)
+	if !p.volatileMode {
+		p.hdrFl.Sync(hdrHeapOff)
+	}
+	p.statCarved.Add(n)
+	p.statAcqCarve.Add(1)
+	return next, nil
+}
+
+// getPage returns an empty page initialized for class c. Its header is
+// write-back-scheduled on f but not fenced; the caller's next fence covers
+// it (before any object in the page can be linked into a structure).
+func (p *Pool) getPage(f *nvram.Flusher, c Class) (Addr, error) {
+	p.mu.Lock()
+	// Prefer an unowned page of this class that already has free slots,
+	// lowest address first (jemalloc's address-ordered first fit): it
+	// concentrates allocations on the same hot pages deallocations touch,
+	// which is the locality the active page table banks on (§5.1). The
+	// scan is O(list) under the lock; churn keeps these lists short.
+	for len(p.partial[c]) > 0 {
+		best, bestIdx := Addr(0), -1
+		live := p.partial[c][:0]
+		for _, page := range p.partial[c] {
+			if !p.inPartial[page] {
+				continue // stale entry (page was recycled meanwhile)
+			}
+			live = append(live, page)
+			if best == 0 || page < best {
+				best, bestIdx = page, len(live)-1
+			}
+		}
+		p.partial[c] = live
+		if bestIdx < 0 {
+			break
+		}
+		page := best
+		p.partial[c] = append(p.partial[c][:bestIdx], p.partial[c][bestIdx+1:]...)
+		delete(p.inPartial, page)
+		if p.pinned[page] > 0 {
+			continue // owned by another context; slot races are not allowed
+		}
+		if cl, ok := p.PageClass(page); !ok || cl != c {
+			continue // recycled for another class meanwhile
+		}
+		bm := p.dev.Load(page + headerBitmapOff)
+		if bm == (uint64(1)<<slotsPerPage[c])-1 {
+			continue // filled up meanwhile
+		}
+		if free := slotsPerPage[c] - uint64(popcount(bm)); free < slotsPerPage[c]/4 {
+			// Too thin: taking it would force another page switch (and a
+			// likely APT miss) within a few allocations. Leave it out of the
+			// list; its next free re-registers it with more slots.
+			continue
+		}
+		p.pinned[page]++
+		p.statAcqPartial.Add(1)
+		p.mu.Unlock()
+		return page, nil
+	}
+	var page Addr
+	for page == 0 {
+		n := len(p.freePages)
+		if n == 0 {
+			var err error
+			page, err = p.carve(1)
+			if err != nil {
+				p.mu.Unlock()
+				return 0, err
+			}
+			break
+		}
+		cand := p.freePages[n-1]
+		p.freePages = p.freePages[:n-1]
+		delete(p.inFree, cand)
+		// Defense in depth: only truly empty, unowned pages are usable.
+		if p.pinned[cand] > 0 || p.dev.Load(cand+headerBitmapOff) != 0 {
+			continue
+		}
+		page = cand
+		p.statAcqFree.Add(1)
+	}
+	p.pinned[page]++
+	p.mu.Unlock()
+
+	if bm := p.dev.Load(page + headerBitmapOff); bm != 0 {
+		if _, ok := p.PageClass(page); ok {
+			panic(fmt.Sprintf("pmem: getPage would wipe non-empty page %#x (bm=%#x)", page, bm))
+		}
+	}
+	p.dev.Store(page+headerClassOff, pageMagic|uint64(c)<<classShift)
+	p.dev.Store(page+headerBitmapOff, 0)
+	if !p.volatileMode {
+		f.CLWB(page + headerClassOff)
+	}
+	return page, nil
+}
+
+// unpin releases a context's claim on page; if the page is empty and
+// unclaimed it becomes recyclable.
+func (p *Pool) unpin(page Addr) {
+	if page == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.pinned[page]--
+	if p.pinned[page] <= 0 {
+		delete(p.pinned, page)
+		bm := p.dev.Load(page + headerBitmapOff)
+		switch {
+		case bm == 0:
+			p.pushFree(page)
+		default:
+			if cl, ok := p.PageClass(page); ok && !p.inPartial[page] &&
+				bm != (uint64(1)<<slotsPerPage[cl])-1 {
+				p.partial[cl] = append(p.partial[cl], page)
+				p.inPartial[page] = true
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// AllocRegion carves a never-recycled region of at least bytes bytes and
+// returns the address of its (64-byte-aligned, zeroed-at-format) data area.
+// Regions hold structure-lifetime arrays: hash buckets, active page tables.
+func (p *Pool) AllocRegion(f *nvram.Flusher, bytes uint64) (Addr, error) {
+	pages := (bytes + SlotAlign + PageSize - 1) / PageSize
+	p.mu.Lock()
+	base, err := p.carve(pages)
+	p.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	p.dev.Store(base+headerClassOff, pageMagic|uint64(regionClass)<<classShift|pages)
+	f.Sync(base + headerClassOff)
+	return base + SlotAlign, nil
+}
+
+// PageOf returns the page containing a.
+func PageOf(a Addr) Addr { return a &^ (PageSize - 1) }
+
+// PageClass returns the size class of the page containing a. The second
+// result is false for region pages or uninitialized pages.
+func (p *Pool) PageClass(page Addr) (Class, bool) {
+	hdr := p.dev.Load(page + headerClassOff)
+	if hdr&magicMask != pageMagic {
+		return 0, false
+	}
+	c := Class((hdr & classMask) >> classShift)
+	if c == regionClass || int(c) >= NumClasses {
+		return 0, false
+	}
+	return c, true
+}
+
+func slotOf(page, a Addr, c Class) uint64 {
+	return (a - page - SlotAlign) / c.Size()
+}
+
+// SlotAllocated reports whether the object at a is marked allocated in its
+// page's durable bitmap. Used by recovery.
+func (p *Pool) SlotAllocated(a Addr) bool {
+	page := PageOf(a)
+	c, ok := p.PageClass(page)
+	if !ok {
+		return false
+	}
+	slot := slotOf(page, a, c)
+	return p.dev.Load(page+headerBitmapOff)&(1<<slot) != 0
+}
+
+// AllocatedInPage appends the addresses of all allocated objects in page to
+// dst and returns it. Used by the recovery sweep over active pages.
+func (p *Pool) AllocatedInPage(dst []Addr, page Addr) []Addr {
+	c, ok := p.PageClass(page)
+	if !ok {
+		return dst
+	}
+	bm := p.dev.Load(page + headerBitmapOff)
+	for slot := uint64(0); slot < slotsPerPage[c]; slot++ {
+		if bm&(1<<slot) != 0 {
+			dst = append(dst, page+SlotAlign+Addr(slot)*c.Size())
+		}
+	}
+	return dst
+}
+
+// AvailableBytes estimates the free capacity: uncarved space plus recycled
+// empty pages. Used for proactive cache eviction under memory pressure.
+func (p *Pool) AvailableBytes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	uncarved := p.dev.Size() - p.dev.Load(hdrHeapOff)
+	return uncarved + uint64(len(p.freePages))*PageSize
+}
+
+// Stats is a snapshot of allocator counters.
+type Stats struct {
+	PagesCarved uint64
+	Allocs      uint64
+	Frees       uint64
+
+	// Page acquisitions by source (diagnostic for allocation locality).
+	AcqPartial, AcqFree, AcqCarve uint64
+}
+
+// Stats returns a snapshot of the allocator counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		PagesCarved: p.statCarved.Load(),
+		Allocs:      p.statAllocs.Load(),
+		Frees:       p.statFrees.Load(),
+		AcqPartial:  p.statAcqPartial.Load(),
+		AcqFree:     p.statAcqFree.Load(),
+		AcqCarve:    p.statAcqCarve.Load(),
+	}
+}
+
+// Ctx is a per-goroutine allocation context. It owns one current page per
+// size class; allocation from an owned page involves no cross-thread
+// coordination, reproducing the thread-partitioned behaviour of
+// high-performance concurrent allocators the paper relies on for locality.
+type Ctx struct {
+	p   *Pool
+	f   *nvram.Flusher
+	cur [NumClasses]Addr
+
+	prepared [NumClasses]Addr // address handed out by Prepare, not yet committed
+}
+
+// NewCtx creates an allocation context bound to flusher f. A Ctx must be
+// used by a single goroutine.
+func (p *Pool) NewCtx(f *nvram.Flusher) *Ctx {
+	return &Ctx{p: p, f: f}
+}
+
+// Pool returns the pool this context allocates from.
+func (c *Ctx) Pool() *Pool { return c.p }
+
+// Flusher returns the persistence context this Ctx schedules write-backs on.
+func (c *Ctx) Flusher() *nvram.Flusher { return c.f }
+
+// Prepare picks the address the next allocation of class cl will return,
+// acquiring a fresh page if necessary, without marking it allocated. This is
+// the paper's "method that returns the next node address to be allocated"
+// (§5.3): NV-epochs calls it to check the active page table before paying
+// for the allocation.
+func (c *Ctx) Prepare(cl Class) (Addr, error) {
+	if a := c.prepared[cl]; a != 0 {
+		return a, nil
+	}
+	for {
+		page := c.cur[cl]
+		if page != 0 {
+			bm := c.p.dev.Load(page + headerBitmapOff)
+			for slot := uint64(0); slot < slotsPerPage[cl]; slot++ {
+				if bm&(1<<slot) == 0 {
+					a := page + SlotAlign + Addr(slot)*cl.Size()
+					c.prepared[cl] = a
+					return a, nil
+				}
+			}
+			// Page full: release and take a new one.
+			c.cur[cl] = 0
+			c.p.unpin(page)
+		}
+		np, err := c.p.getPage(c.f, cl)
+		if err != nil {
+			return 0, err
+		}
+		c.cur[cl] = np
+	}
+}
+
+// Commit marks the address returned by the latest Prepare for class cl as
+// allocated. The bitmap write-back is scheduled but NOT fenced: the caller's
+// pre-link fence makes it durable together with the node contents (§5.5,
+// "before linking a node ... we issue a store fence that ensures that the
+// contents of the node, as well as the allocator metadata ... are durably
+// written").
+func (c *Ctx) Commit(cl Class) Addr {
+	a := c.prepared[cl]
+	if a == 0 {
+		panic("pmem: Commit without Prepare")
+	}
+	c.prepared[cl] = 0
+	page := PageOf(a)
+	slot := slotOf(page, a, cl)
+	for {
+		bm := c.p.dev.Load(page + headerBitmapOff)
+		if bm&(1<<slot) != 0 {
+			// Another context allocated our prepared slot: the page is
+			// co-owned, which the pinning protocol must prevent. Failing
+			// loudly here beats corrupting two structures' nodes.
+			panic(fmt.Sprintf("pmem: prepared slot stolen at %#x (page co-ownership)", a))
+		}
+		if c.p.dev.CAS(page+headerBitmapOff, bm, bm|1<<slot) {
+			break
+		}
+	}
+	if !c.p.volatileMode {
+		c.f.CLWB(page + headerBitmapOff)
+	}
+	c.p.statAllocs.Add(1)
+	return a
+}
+
+// Abort forgets a Prepare without allocating.
+func (c *Ctx) Abort(cl Class) { c.prepared[cl] = 0 }
+
+// Alloc is Prepare followed immediately by Commit, for callers that do not
+// interpose an active-page-table check.
+func (c *Ctx) Alloc(cl Class) (Addr, error) {
+	if _, err := c.Prepare(cl); err != nil {
+		return 0, err
+	}
+	return c.Commit(cl), nil
+}
+
+// TryFree is Free, except it reports false instead of panicking when the
+// slot is already free. Recovery sweeps use it: parallel recovery contexts
+// may race to free the same leaked object, and exactly one must win.
+func (c *Ctx) TryFree(a Addr) bool {
+	page := PageOf(a)
+	cl, ok := c.p.PageClass(page)
+	if !ok {
+		return false
+	}
+	slot := slotOf(page, a, cl)
+	for {
+		bm := c.p.dev.Load(page + headerBitmapOff)
+		if bm&(1<<slot) == 0 {
+			return false
+		}
+		if c.p.dev.CAS(page+headerBitmapOff, bm, bm&^(1<<slot)) {
+			if bm&^(1<<slot) == 0 {
+				c.maybeRecycle(page)
+			} else {
+				c.p.notePartial(page, cl)
+			}
+			if !c.p.volatileMode {
+				c.f.CLWB(page + headerBitmapOff)
+			}
+			c.p.statFrees.Add(1)
+			return true
+		}
+	}
+}
+
+// Free marks the object at a free in its page's durable bitmap. The
+// write-back is scheduled on this context's flusher but not fenced; the
+// epoch reclaimer fences once per batch of frees (§5.3). Any context may
+// free objects allocated by any other.
+func (c *Ctx) Free(a Addr) {
+	page := PageOf(a)
+	cl, ok := c.p.PageClass(page)
+	if !ok {
+		panic(fmt.Sprintf("pmem: Free of non-heap address %#x", a))
+	}
+	slot := slotOf(page, a, cl)
+	for {
+		bm := c.p.dev.Load(page + headerBitmapOff)
+		if bm&(1<<slot) == 0 {
+			panic(fmt.Sprintf("pmem: double free at %#x", a))
+		}
+		if c.p.dev.CAS(page+headerBitmapOff, bm, bm&^(1<<slot)) {
+			if bm&^(1<<slot) == 0 {
+				c.maybeRecycle(page)
+			} else {
+				c.p.notePartial(page, cl)
+			}
+			break
+		}
+	}
+	if !c.p.volatileMode {
+		c.f.CLWB(page + headerBitmapOff)
+	}
+	c.p.statFrees.Add(1)
+}
+
+func (c *Ctx) maybeRecycle(page Addr) {
+	p := c.p
+	p.mu.Lock()
+	if p.pinned[page] == 0 && p.dev.Load(page+headerBitmapOff) == 0 {
+		// An empty page leaves the partial set (its slice entry goes stale
+		// and is skipped on pop) and becomes fully recyclable.
+		p.pushFree(page)
+	}
+	p.mu.Unlock()
+}
+
+// notePartial records that page has at least one free slot, making it a
+// preferred allocation target (prompt reuse).
+func (p *Pool) notePartial(page Addr, cl Class) {
+	p.mu.Lock()
+	if !p.inPartial[page] && p.pinned[page] == 0 {
+		p.partial[cl] = append(p.partial[cl], page)
+		p.inPartial[page] = true
+	}
+	p.mu.Unlock()
+}
+
+// Adopt makes page the context's current allocation page for its class if
+// it has free slots. The epoch reclaimer calls it after freeing a batch:
+// jemalloc-style prompt reuse of freed slots keeps the live set packed into
+// few pages, which is precisely the allocation/deallocation locality the
+// active page table exploits (§5.1). No-op if a Prepare is outstanding for
+// the class or the page is full.
+func (c *Ctx) Adopt(page Addr) {
+	cl, ok := c.p.PageClass(page)
+	if !ok || c.prepared[cl] != 0 || c.cur[cl] == page {
+		return
+	}
+	c.p.mu.Lock()
+	bm := c.p.dev.Load(page + headerBitmapOff)
+	if c.p.pinned[page] > 0 || // owned: co-ownership would race on slots
+		bm == (uint64(1)<<slotsPerPage[cl])-1 || // full: nothing to reuse
+		bm == 0 { // empty: it is (or is about to be) on the free list
+		c.p.mu.Unlock()
+		return
+	}
+	if free := slotsPerPage[cl] - uint64(popcount(bm)); free < slotsPerPage[cl]/4 {
+		// Too thin: switching the current page for a handful of slots
+		// costs an APT miss per switch (see getPage).
+		c.p.mu.Unlock()
+		return
+	}
+	c.p.pinned[page]++
+	delete(c.p.inPartial, page) // owned now; its partial-slice entry goes stale
+	c.p.mu.Unlock()
+	old := c.cur[cl]
+	c.cur[cl] = page
+	if old != 0 {
+		c.p.unpin(old)
+	}
+}
+
+// CurrentPages returns the context's current allocation page per class
+// (0 = none). NV-epochs' trim consults it: the active allocation pages are
+// by definition active areas and must not be evicted from the table.
+func (c *Ctx) CurrentPages() [NumClasses]Addr { return c.cur }
+
+// Release returns the context's current pages to the pool. Call when a
+// worker retires.
+func (c *Ctx) Release() {
+	for cl := range c.cur {
+		if c.cur[cl] != 0 {
+			c.p.unpin(c.cur[cl])
+			c.cur[cl] = 0
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

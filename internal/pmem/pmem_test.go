@@ -1,0 +1,457 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nvram"
+)
+
+func newPool(t *testing.T, size uint64) *Pool {
+	t.Helper()
+	return Format(nvram.New(nvram.Config{Size: size}))
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want Class
+	}{{1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2}, {2048, 5}}
+	for _, c := range cases {
+		got, err := ClassFor(c.size)
+		if err != nil {
+			t.Fatalf("ClassFor(%d): %v", c.size, err)
+		}
+		if got != c.want {
+			t.Errorf("ClassFor(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+	if _, err := ClassFor(1 << 20); err == nil {
+		t.Error("ClassFor(1MB) should fail")
+	}
+}
+
+func TestAllocAligned(t *testing.T) {
+	p := newPool(t, 1<<20)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	for cl := Class(0); cl < NumClasses; cl++ {
+		a, err := ctx.Alloc(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a%SlotAlign != 0 {
+			t.Errorf("class %d: addr %#x not 64-aligned", cl, a)
+		}
+		if !p.SlotAllocated(a) {
+			t.Errorf("class %d: slot not marked allocated", cl)
+		}
+	}
+}
+
+func TestAllocDistinctAddresses(t *testing.T) {
+	p := newPool(t, 1<<22)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	seen := make(map[Addr]bool)
+	for i := 0; i < 500; i++ {
+		a, err := ctx.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a] {
+			t.Fatalf("address %#x allocated twice", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestPrepareThenCommitReturnsSameAddr(t *testing.T) {
+	p := newPool(t, 1<<20)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	a, err := ctx.Prepare(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotAllocated(a) {
+		t.Fatal("Prepare must not mark the slot allocated")
+	}
+	a2, _ := ctx.Prepare(1) // idempotent until Commit
+	if a2 != a {
+		t.Fatalf("second Prepare moved: %#x vs %#x", a2, a)
+	}
+	got := ctx.Commit(1)
+	if got != a {
+		t.Fatalf("Commit = %#x, want %#x", got, a)
+	}
+	if !p.SlotAllocated(a) {
+		t.Fatal("Commit did not mark the slot")
+	}
+}
+
+func TestAbort(t *testing.T) {
+	p := newPool(t, 1<<20)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	a, _ := ctx.Prepare(0)
+	ctx.Abort(0)
+	b, _ := ctx.Prepare(0)
+	if a != b {
+		t.Fatalf("after Abort, Prepare moved from %#x to %#x", a, b)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	p := newPool(t, 1<<20)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	a, _ := ctx.Alloc(0)
+	ctx.Free(a)
+	if p.SlotAllocated(a) {
+		t.Fatal("slot still allocated after Free")
+	}
+	b, _ := ctx.Alloc(0)
+	if b != a {
+		t.Fatalf("lowest-slot reuse expected: got %#x, want %#x", b, a)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := newPool(t, 1<<20)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	a, _ := ctx.Alloc(0)
+	ctx.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	ctx.Free(a)
+}
+
+func TestPageTurnover(t *testing.T) {
+	p := newPool(t, 1<<20)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	// 63 slots of class 0 per page: allocate two pages' worth.
+	var addrs []Addr
+	for i := 0; i < 130; i++ {
+		a, err := ctx.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	pages := map[Addr]bool{}
+	for _, a := range addrs {
+		pages[PageOf(a)] = true
+	}
+	if len(pages) < 3 {
+		t.Fatalf("expected ≥3 pages for 130 class-0 objects, got %d", len(pages))
+	}
+}
+
+func TestEmptyPageIsRecycled(t *testing.T) {
+	p := newPool(t, 1<<20)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	var addrs []Addr
+	for i := 0; i < 63; i++ { // fill page 1 exactly
+		a, _ := ctx.Alloc(0)
+		addrs = append(addrs, a)
+	}
+	firstPage := PageOf(addrs[0])
+	// Move the context off the page by allocating one more (new page).
+	extra, _ := ctx.Alloc(0)
+	if PageOf(extra) == firstPage {
+		t.Fatal("expected allocation from a fresh page")
+	}
+	for _, a := range addrs {
+		ctx.Free(a)
+	}
+	carvedBefore := p.Stats().PagesCarved
+	// Exhaust the new current page, forcing page acquisition: should reuse.
+	for i := 0; i < 63; i++ {
+		ctx.Alloc(0)
+	}
+	if p.Stats().PagesCarved != carvedBefore {
+		t.Fatalf("expected recycled page, but carved %d new pages",
+			p.Stats().PagesCarved-carvedBefore)
+	}
+}
+
+func TestAllocatorMetadataDurableAfterCallerFence(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 1 << 20})
+	p := Format(dev)
+	f := dev.NewFlusher()
+	ctx := p.NewCtx(f)
+	a, _ := ctx.Alloc(0)
+	// Alloc schedules the bitmap write-back but does not fence (paper §5.3).
+	f.Fence() // the data structure's pre-link fence
+	dev.Crash()
+	p2, err := Attach(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.SlotAllocated(a) {
+		t.Fatal("allocation lost despite caller fence")
+	}
+}
+
+func TestAllocWithoutFenceMayBeLost(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 1 << 20})
+	p := Format(dev)
+	ctx := p.NewCtx(dev.NewFlusher())
+	a, _ := ctx.Alloc(0)
+	dev.Crash() // no fence: bitmap update may vanish — and in our model does
+	p2, err := Attach(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.SlotAllocated(a) {
+		t.Fatal("unfenced allocation survived crash; write-back model broken")
+	}
+}
+
+func TestAttachRejectsUnformatted(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 1 << 16})
+	if _, err := Attach(dev); err == nil {
+		t.Fatal("Attach accepted an unformatted device")
+	}
+}
+
+func TestAttachRebuildsFreeList(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 1 << 20})
+	p := Format(dev)
+	f := dev.NewFlusher()
+	ctx := p.NewCtx(f)
+	a, _ := ctx.Alloc(0)
+	b, _ := ctx.Alloc(0)
+	ctx.Free(a)
+	ctx.Free(b)
+	f.Fence()
+	dev.Crash()
+	p2, err := Attach(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := p2.NewCtx(dev.NewFlusher())
+	c, _ := ctx2.Alloc(0)
+	if PageOf(c) != PageOf(a) {
+		t.Fatalf("recovered pool did not reuse empty page: %#x vs %#x", PageOf(c), PageOf(a))
+	}
+}
+
+func TestRegionsSurviveAttach(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 1 << 20})
+	p := Format(dev)
+	f := dev.NewFlusher()
+	r, err := p.AllocRegion(f, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Store(r, 0xCAFE)
+	dev.Store(r+9992, 0xF00D)
+	f.CLWB(r)
+	f.CLWB(r + 9992)
+	f.Fence()
+	dev.Crash()
+	p2, err := Attach(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Load(r) != 0xCAFE || dev.Load(r+9992) != 0xF00D {
+		t.Fatal("region contents lost")
+	}
+	// The region's pages must not be recycled into the heap.
+	ctx := p2.NewCtx(dev.NewFlusher())
+	for i := 0; i < 200; i++ {
+		a, err := ctx.Alloc(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if PageOf(a) >= PageOf(r) && PageOf(a) < PageOf(r)+3*PageSize {
+			t.Fatalf("allocation %#x landed inside region", a)
+		}
+	}
+}
+
+func TestRootsDurable(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 1 << 16})
+	p := Format(dev)
+	f := dev.NewFlusher()
+	p.SetRoot(f, 3, 0xABCD)
+	dev.Crash()
+	p2, err := Attach(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Root(3); got != 0xABCD {
+		t.Fatalf("root = %#x, want 0xABCD", got)
+	}
+}
+
+func TestAllocatedInPage(t *testing.T) {
+	p := newPool(t, 1<<20)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	a, _ := ctx.Alloc(2)
+	b, _ := ctx.Alloc(2)
+	got := p.AllocatedInPage(nil, PageOf(a))
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("AllocatedInPage = %v, want [%#x %#x]", got, a, b)
+	}
+	ctx.Free(a)
+	got = p.AllocatedInPage(nil, PageOf(a))
+	if len(got) != 1 || got[0] != b {
+		t.Fatalf("AllocatedInPage after free = %v, want [%#x]", got, b)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	p := newPool(t, 64<<10) // 16 pages total
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	var err error
+	for i := 0; i < 20*63; i++ {
+		if _, err = ctx.Alloc(0); err != nil {
+			break
+		}
+	}
+	if err != ErrOutOfMemory {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	p := newPool(t, 1<<24)
+	const workers = 8
+	var wg sync.WaitGroup
+	allAddrs := make([][]Addr, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			ctx := p.NewCtx(p.Device().NewFlusher())
+			var live []Addr
+			for i := 0; i < 3000; i++ {
+				if len(live) > 0 && rng.Intn(2) == 0 {
+					k := rng.Intn(len(live))
+					ctx.Free(live[k])
+					live = append(live[:k], live[k+1:]...)
+				} else {
+					a, err := ctx.Alloc(Class(rng.Intn(3)))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					live = append(live, a)
+				}
+			}
+			allAddrs[w] = live
+		}(w)
+	}
+	wg.Wait()
+	// No two workers may hold the same live address.
+	seen := make(map[Addr]int)
+	for w, live := range allAddrs {
+		for _, a := range live {
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("address %#x live in workers %d and %d", a, prev, w)
+			}
+			seen[a] = w
+			if !p.SlotAllocated(a) {
+				t.Fatalf("live address %#x not marked allocated", a)
+			}
+		}
+	}
+}
+
+func TestCrossThreadFree(t *testing.T) {
+	p := newPool(t, 1<<20)
+	f1 := p.Device().NewFlusher()
+	f2 := p.Device().NewFlusher()
+	c1 := p.NewCtx(f1)
+	c2 := p.NewCtx(f2)
+	a, _ := c1.Alloc(0)
+	c2.Free(a) // freeing another thread's allocation must work
+	if p.SlotAllocated(a) {
+		t.Fatal("cross-thread free did not clear the slot")
+	}
+}
+
+func TestQuickAllocFreeInvariant(t *testing.T) {
+	p := newPool(t, 1<<22)
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	live := make(map[Addr]bool)
+	op := func(alloc bool, clRaw uint8) bool {
+		cl := Class(clRaw % NumClasses)
+		if alloc || len(live) == 0 {
+			a, err := ctx.Alloc(cl)
+			if err != nil {
+				return false
+			}
+			if live[a] {
+				return false // handed out a live address
+			}
+			live[a] = true
+			return p.SlotAllocated(a)
+		}
+		for a := range live {
+			delete(live, a)
+			ctx.Free(a)
+			return !p.SlotAllocated(a)
+		}
+		return true
+	}
+	if err := quick.Check(op, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoDoubleFreePageHandout is the regression test for a TOCTOU where the
+// owner's unpin and a remote freer's maybeRecycle both concluded "empty and
+// unpinned" and appended the same page to the free list twice; two contexts
+// then co-owned the page and corrupted each other's slots. The workload
+// forces exactly that pattern: cross-thread frees that empty pages owned by
+// other threads, at high churn.
+func TestNoDoubleFreePageHandout(t *testing.T) {
+	p := newPool(t, 1<<24)
+	const workers = 8
+	var wg sync.WaitGroup
+	ch := make(chan Addr, 1024)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := p.NewCtx(p.Device().NewFlusher())
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 30000; i++ {
+				if rng.Intn(2) == 0 {
+					a, err := ctx.Alloc(0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					select {
+					case ch <- a: // hand to a random other thread to free
+					default:
+						ctx.Free(a)
+					}
+				} else {
+					select {
+					case a := <-ch:
+						ctx.Free(a) // cross-thread free (empties remote pages)
+					default:
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain and free the remainder.
+	ctx := p.NewCtx(p.Device().NewFlusher())
+	for {
+		select {
+		case a := <-ch:
+			ctx.Free(a)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package ptrtag defines the low-order mark bits stolen from node addresses.
+// The allocator cache-aligns every node (64 bytes), so the low six bits of
+// an address are zero and can carry algorithm state, exactly as the paper's
+// C implementation marks pointers:
+//
+//   - Mark: Harris logical-deletion mark (linked list, hash table, skip
+//     list) and the Natarajan-Mittal FLAG (BST).
+//   - Tag: the Natarajan-Mittal TAG (BST only).
+//   - Dirty: the link-and-persist "this link may not be durable yet" mark
+//     (§3); set by the linearizing CAS, cleared after the write-back
+//     completes, and honoured by helpers.
+package ptrtag
+
+// Mark bits. Kept below 1<<6 (node alignment).
+const (
+	Mark  uint64 = 1 << 0
+	Tag   uint64 = 1 << 1
+	Dirty uint64 = 1 << 2
+
+	// AddrMask strips all mark bits from a link word.
+	AddrMask = ^uint64(Mark | Tag | Dirty)
+)
+
+// Addr extracts the address from a link word.
+func Addr(w uint64) uint64 { return w & AddrMask }
+
+// IsMarked reports whether the Harris delete mark / NM flag is set.
+func IsMarked(w uint64) bool { return w&Mark != 0 }
+
+// IsTagged reports whether the NM tag is set.
+func IsTagged(w uint64) bool { return w&Tag != 0 }
+
+// IsDirty reports whether the link-and-persist dirty mark is set.
+func IsDirty(w uint64) bool { return w&Dirty != 0 }

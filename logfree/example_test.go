@@ -1,0 +1,71 @@
+package logfree_test
+
+import (
+	"fmt"
+
+	"repro/logfree"
+)
+
+// The canonical lifecycle: create, update, crash, recover, read.
+func Example() {
+	rt, _ := logfree.New(logfree.Config{Size: 32 << 20, MaxThreads: 2, LinkCache: true})
+	h := rt.Handle(0)
+
+	users, _ := rt.CreateHashTable(h, "users", 256)
+	users.Insert(h, 42, 7)
+	users.Insert(h, 43, 9)
+	users.Delete(h, 43)
+
+	rt.Drain() // make deferred link-cache work durable before pulling the plug
+	rt2, _ := rt.SimulateCrash()
+
+	users2, _ := rt2.OpenHashTable("users")
+	h2 := rt2.Handle(0)
+	v, ok := users2.Search(h2, 42)
+	fmt.Println(v, ok)
+	fmt.Println(users2.Contains(h2, 43))
+	// Output:
+	// 7 true
+	// false
+}
+
+// Ordered structures support in-order iteration.
+func ExampleBST_Range() {
+	rt, _ := logfree.New(logfree.Config{Size: 32 << 20})
+	h := rt.Handle(0)
+	t, _ := rt.CreateBST(h, "scores")
+	for _, k := range []uint64{30, 10, 20} {
+		t.Insert(h, k, k*10)
+	}
+	t.Range(h, func(k, v uint64) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 10 100
+	// 20 200
+	// 30 300
+}
+
+// A durable FIFO queue survives power failures with order intact.
+func ExampleQueue() {
+	rt, _ := logfree.New(logfree.Config{Size: 32 << 20})
+	h := rt.Handle(0)
+	q, _ := rt.CreateQueue(h, "jobs")
+	q.Enqueue(h, 100)
+	q.Enqueue(h, 200)
+
+	rt2, _ := rt.SimulateCrash()
+	q2, _ := rt2.OpenQueue("jobs")
+	h2 := rt2.Handle(0)
+	for {
+		v, ok := q2.Dequeue(h2)
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// 100
+	// 200
+}

@@ -1,0 +1,297 @@
+// Package logfree is the public API of the log-free durable data structure
+// library — a Go reproduction of "Log-Free Concurrent Data Structures"
+// (David, Dragojević, Guerraoui, Zablotchi; USENIX ATC 2018).
+//
+// A Runtime owns a simulated NVRAM device and its substrates (persistent
+// allocator, NV-epochs reclamation, link cache). Durable structures are
+// created under a name, registered in a durable directory, and re-opened by
+// name after a crash:
+//
+//	rt, _ := logfree.New(logfree.Config{Size: 64 << 20, MaxThreads: 8})
+//	h := rt.Handle(0)
+//	users, _ := rt.CreateHashTable(h, "users", 1024)
+//	users.Insert(h, 42, 1)
+//
+//	rt2, _ := rt.SimulateCrash() // power failure + reboot + recovery
+//	users2, _ := rt2.OpenHashTable("users")
+//	users2.Search(rt2.Handle(0), 42) // → 1, true
+//
+// Handles are per-goroutine operation contexts (thread id bound); a Handle
+// must not be shared between goroutines.
+package logfree
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nvram"
+)
+
+// Key-space bounds re-exported from the core: user keys must lie in
+// [MinKey, MaxKey].
+const (
+	MinKey = core.MinKey
+	MaxKey = core.MaxKey
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Size is the simulated NVRAM capacity in bytes.
+	Size uint64
+	// WriteLatency is the simulated NVRAM write latency (paper default
+	// 125ns). Zero disables latency injection entirely.
+	WriteLatency time.Duration
+	// MaxThreads bounds concurrent handles. Default 1.
+	MaxThreads int
+	// LinkCache enables the §4 link cache for updates.
+	LinkCache bool
+	// Volatile strips durability (the Figure 7 baseline).
+	Volatile bool
+}
+
+// Errors returned by the runtime.
+var (
+	ErrExists   = errors.New("logfree: a structure with that name already exists")
+	ErrNotFound = errors.New("logfree: no structure with that name")
+	ErrFull     = errors.New("logfree: structure directory full")
+	ErrKind     = errors.New("logfree: structure has a different kind")
+)
+
+// Kind identifies a structure type in the durable directory.
+type Kind uint8
+
+// Structure kinds.
+const (
+	KindList Kind = iota + 1
+	KindHashTable
+	KindSkipList
+	KindBST
+	KindQueue
+	KindStack
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindList:
+		return "list"
+	case KindHashTable:
+		return "hashtable"
+	case KindSkipList:
+		return "skiplist"
+	case KindBST:
+		return "bst"
+	case KindQueue:
+		return "queue"
+	case KindStack:
+		return "stack"
+	}
+	return "unknown"
+}
+
+// Each directory entry occupies 4 root slots:
+// [0] kind | aux<<8 (aux: hash-table bucket count)
+// [1] name hash
+// [2], [3] structure anchor addresses.
+const slotsPerEntry = 4
+
+// Runtime owns one device and its substrates.
+type Runtime struct {
+	dev   *nvram.Device
+	store *core.Store
+	cfg   Config
+
+	recovered []RecoveryReport
+}
+
+// RecoveryReport describes one structure's recovery pass.
+type RecoveryReport struct {
+	Name     string // name hash in hex when the original name is unknown
+	Kind     Kind
+	Leaked   int
+	Duration time.Duration
+}
+
+// Handle is a per-goroutine operation context.
+type Handle struct {
+	c *core.Ctx
+}
+
+// New creates a runtime on a fresh simulated NVRAM device.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = 1
+	}
+	dev := nvram.New(nvram.Config{Size: cfg.Size, WriteLatency: cfg.WriteLatency})
+	store, err := core.NewStore(dev, core.Options{
+		MaxThreads: cfg.MaxThreads,
+		LinkCache:  cfg.LinkCache,
+		Volatile:   cfg.Volatile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{dev: dev, store: store, cfg: cfg}, nil
+}
+
+// Attach re-opens a runtime on a device that already holds a formatted pool
+// (after a crash or image load) and recovers every registered structure.
+func Attach(dev *nvram.Device, cfg Config) (*Runtime, error) {
+	store, err := core.AttachStore(dev)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{dev: dev, store: store, cfg: cfg}
+	r.recoverAll()
+	return r, nil
+}
+
+// Load opens a runtime from an image file written by Save.
+func Load(path string, cfg Config) (*Runtime, error) {
+	dev, err := nvram.LoadImage(path, nvram.Config{WriteLatency: cfg.WriteLatency})
+	if err != nil {
+		return nil, err
+	}
+	return Attach(dev, cfg)
+}
+
+// Save flushes all deferred durability work and writes the persisted image
+// to path. The caller must be quiescent.
+func (r *Runtime) Save(path string) error {
+	r.Drain()
+	return r.dev.SaveImage(path)
+}
+
+// Drain flushes the link cache and reclaims retired memory across all
+// handles. Requires quiescence.
+func (r *Runtime) Drain() {
+	for tid := 0; tid < r.cfg.MaxThreads; tid++ {
+		if c := r.storeCtx(tid, false); c != nil {
+			c.Shutdown()
+		}
+	}
+}
+
+// SimulateCrash power-fails the device (losing everything not written
+// back), reboots, and recovers. The receiver and all its handles and
+// structures are invalid afterwards; use the returned runtime.
+func (r *Runtime) SimulateCrash() (*Runtime, error) {
+	r.dev.Crash()
+	return Attach(r.dev, r.cfg)
+}
+
+// Device exposes the underlying simulated device (stats, crash injection).
+func (r *Runtime) Device() *nvram.Device { return r.dev }
+
+// Store exposes the internal store for benchmarks and tests.
+func (r *Runtime) Store() *core.Store { return r.store }
+
+// RecoveryReports lists the per-structure recovery work done by Attach.
+func (r *Runtime) RecoveryReports() []RecoveryReport { return r.recovered }
+
+// Handle returns the operation context for thread tid (creating it on first
+// use). A Handle must be used by one goroutine at a time.
+func (r *Runtime) Handle(tid int) *Handle {
+	return &Handle{c: r.storeCtx(tid, true)}
+}
+
+func (r *Runtime) storeCtx(tid int, create bool) *core.Ctx {
+	if c := r.store.ExistingCtx(tid); c != nil || !create {
+		return c
+	}
+	return r.store.CtxFor(tid)
+}
+
+func nameHash(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func (r *Runtime) entrySlot(name string) (idx int, free int) {
+	h := nameHash(name)
+	free = -1
+	for i := core.RootUser; i+slotsPerEntry <= 64; i += slotsPerEntry {
+		hdr := r.store.Root(i)
+		if hdr == 0 {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if r.store.Root(i+1) == h {
+			return i, free
+		}
+	}
+	return -1, free
+}
+
+func (r *Runtime) register(h *Handle, name string, kind Kind, aux uint64, a1, a2 uint64) error {
+	idx, free := r.entrySlot(name)
+	if idx >= 0 {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if free < 0 {
+		return ErrFull
+	}
+	r.store.SetRoot(h.c, free+1, nameHash(name))
+	r.store.SetRoot(h.c, free+2, a1)
+	r.store.SetRoot(h.c, free+3, a2)
+	r.store.SetRoot(h.c, free, uint64(kind)|aux<<8) // header last: commit point
+	return nil
+}
+
+func (r *Runtime) lookup(name string, kind Kind) (aux, a1, a2 uint64, err error) {
+	idx, _ := r.entrySlot(name)
+	if idx < 0 {
+		return 0, 0, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	hdr := r.store.Root(idx)
+	if Kind(hdr&0xFF) != kind {
+		return 0, 0, 0, fmt.Errorf("%w: %q is a %v", ErrKind, name, Kind(hdr&0xFF))
+	}
+	return hdr >> 8, r.store.Root(idx + 2), r.store.Root(idx + 3), nil
+}
+
+// recoverAll runs the §5.5 recovery procedure for every registered
+// structure.
+func (r *Runtime) recoverAll() {
+	par := r.cfg.MaxThreads
+	for i := core.RootUser; i+slotsPerEntry <= 64; i += slotsPerEntry {
+		hdr := r.store.Root(i)
+		if hdr == 0 {
+			continue
+		}
+		kind := Kind(hdr & 0xFF)
+		a1, a2 := r.store.Root(i+2), r.store.Root(i+3)
+		var stats core.RecoveryStats
+		switch kind {
+		case KindList:
+			stats = core.RecoverList(r.store, core.AttachList(r.store, a1, a2), par)
+		case KindHashTable:
+			h := core.AttachHashTable(r.store, a1, int(hdr>>8), a2)
+			stats = core.RecoverHashTable(r.store, h, par)
+		case KindSkipList:
+			stats = core.RecoverSkipList(r.store, core.AttachSkipList(r.store, a1, a2), par)
+		case KindBST:
+			stats = core.RecoverBST(r.store, core.AttachBST(r.store, a1, a2), par)
+		case KindQueue:
+			stats = core.RecoverQueue(r.store, core.AttachQueue(r.store, a1), par)
+		case KindStack:
+			stats = core.RecoverStack(r.store, core.AttachStack(r.store, a1), par)
+		}
+		r.recovered = append(r.recovered, RecoveryReport{
+			Name:     fmt.Sprintf("%#x", r.store.Root(i+1)),
+			Kind:     kind,
+			Leaked:   stats.Leaked,
+			Duration: stats.Duration,
+		})
+	}
+}

@@ -1,0 +1,403 @@
+package logfree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func newRT(t *testing.T, cfg Config) *Runtime {
+	t.Helper()
+	if cfg.Size == 0 {
+		cfg.Size = 64 << 20
+	}
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = 8
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestCreateOpenAllKinds(t *testing.T) {
+	rt := newRT(t, Config{})
+	h := rt.Handle(0)
+	var sets []Set
+	l, err := rt.CreateList(h, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := rt.CreateHashTable(h, "h", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := rt.CreateSkipList(h, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := rt.CreateBST(h, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets = append(sets, l, ht, sl, bt)
+	for i, s := range sets {
+		k := uint64(i*100 + 1)
+		if !s.Insert(h, k, k*2) {
+			t.Fatalf("set %d: insert failed", i)
+		}
+		if v, ok := s.Search(h, k); !ok || v != k*2 {
+			t.Fatalf("set %d: Search = %d,%v", i, v, ok)
+		}
+	}
+	// Reopen by name.
+	if _, err := rt.OpenList("l"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.OpenHashTable("h"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.OpenSkipList("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.OpenBST("b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	rt := newRT(t, Config{})
+	h := rt.Handle(0)
+	if _, err := rt.CreateList(h, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.CreateBST(h, "x"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestOpenWrongKind(t *testing.T) {
+	rt := newRT(t, Config{})
+	h := rt.Handle(0)
+	rt.CreateList(h, "x")
+	if _, err := rt.OpenBST("x"); err == nil {
+		t.Fatal("wrong-kind open accepted")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	rt := newRT(t, Config{})
+	if _, err := rt.OpenList("nope"); err == nil {
+		t.Fatal("missing open accepted")
+	}
+}
+
+func TestCrashRecoverRoundTrip(t *testing.T) {
+	rt := newRT(t, Config{LinkCache: true})
+	h := rt.Handle(0)
+	ht, _ := rt.CreateHashTable(h, "kv", 128)
+	for k := uint64(1); k <= 500; k++ {
+		ht.Insert(h, k, k+7)
+	}
+	for k := uint64(1); k <= 500; k += 5 {
+		ht.Delete(h, k)
+	}
+	rt.Drain() // make everything durable before the deliberate crash
+
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt2.RecoveryReports()) != 1 {
+		t.Fatalf("recovery reports = %d, want 1", len(rt2.RecoveryReports()))
+	}
+	ht2, err := rt2.OpenHashTable("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := rt2.Handle(0)
+	for k := uint64(1); k <= 500; k++ {
+		want := k%5 != 1
+		if got := ht2.Contains(h2, k); got != want {
+			t.Fatalf("key %d after recovery: %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pool.img")
+	rt := newRT(t, Config{})
+	h := rt.Handle(0)
+	bt, _ := rt.CreateBST(h, "tree")
+	for k := uint64(1); k <= 200; k++ {
+		bt.Insert(h, k, k*3)
+	}
+	if err := rt.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, err := Load(path, Config{MaxThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt2, err := rt2.OpenBST("tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := rt2.Handle(0)
+	for k := uint64(1); k <= 200; k++ {
+		if v, ok := bt2.Search(h2, k); !ok || v != k*3 {
+			t.Fatalf("loaded tree Search(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestConcurrentHandles(t *testing.T) {
+	rt := newRT(t, Config{LinkCache: true})
+	h0 := rt.Handle(0)
+	sl, _ := rt.CreateSkipList(h0, "s")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := rt.Handle(w)
+			base := uint64(w)*1000 + 1
+			for i := uint64(0); i < 300; i++ {
+				sl.Insert(h, base+i, i)
+			}
+			for i := uint64(0); i < 300; i += 2 {
+				sl.Delete(h, base+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := rt.Handle(0)
+	for w := 0; w < 8; w++ {
+		base := uint64(w)*1000 + 1
+		for i := uint64(0); i < 300; i++ {
+			want := i%2 == 1
+			if got := sl.Contains(h, base+i); got != want {
+				t.Fatalf("w%d key %d: %v want %v", w, base+i, got, want)
+			}
+		}
+	}
+}
+
+func TestHandleReuseSameCtx(t *testing.T) {
+	rt := newRT(t, Config{})
+	a := rt.Handle(3)
+	b := rt.Handle(3)
+	if a.c != b.c {
+		t.Fatal("Handle(3) created two distinct contexts")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindBST.String() != "bst" || Kind(99).String() != "unknown" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestCrashWithoutDrainKeepsCompletedOps(t *testing.T) {
+	// LP mode (no link cache): every returned update is already durable, so
+	// a crash without Drain must preserve all of them.
+	rt := newRT(t, Config{})
+	h := rt.Handle(0)
+	l, _ := rt.CreateList(h, "l")
+	for k := uint64(1); k <= 100; k++ {
+		l.Insert(h, k, k)
+	}
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := rt2.OpenList("l")
+	h2 := rt2.Handle(0)
+	for k := uint64(1); k <= 100; k++ {
+		if !l2.Contains(h2, k) {
+			t.Fatalf("completed insert of %d lost without link cache", k)
+		}
+	}
+}
+
+func TestQueuePublicAPIAndRecovery(t *testing.T) {
+	rt := newRT(t, Config{LinkCache: true})
+	h := rt.Handle(0)
+	q, err := rt.CreateQueue(h, "jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= 50; v++ {
+		q.Enqueue(h, v)
+	}
+	if v, ok := q.Dequeue(h); !ok || v != 1 {
+		t.Fatalf("Dequeue = %d,%v", v, ok)
+	}
+	rt.Drain()
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := rt2.OpenQueue("jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := rt2.Handle(0)
+	if got := q2.Len(h2); got != 49 {
+		t.Fatalf("recovered Len = %d, want 49", got)
+	}
+	for v := uint64(2); v <= 51; v++ {
+		got, ok := q2.Dequeue(h2)
+		if v <= 50 {
+			if !ok || got != v {
+				t.Fatalf("Dequeue = %d,%v want %d", got, ok, v)
+			}
+		} else if ok {
+			t.Fatal("queue should be empty")
+		}
+	}
+	if _, ok := q2.Peek(h2); ok {
+		t.Fatal("Peek on empty queue")
+	}
+}
+
+// TestPropertyCrashRecoverCycles drives random operations against a map
+// oracle through the public API, interleaved with full crash/recover
+// cycles: after every recovery the structure must equal the oracle exactly
+// (single-threaded, so every completed op must persist).
+func TestPropertyCrashRecoverCycles(t *testing.T) {
+	rt := newRT(t, Config{LinkCache: true, MaxThreads: 2})
+	h := rt.Handle(0)
+	set, err := rt.CreateBST(h, "prop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(2026))
+	for cycle := 0; cycle < 8; cycle++ {
+		for i := 0; i < 400; i++ {
+			k := uint64(rng.Intn(128)) + 1
+			v := uint64(cycle*1000 + i)
+			switch rng.Intn(3) {
+			case 0:
+				if set.Insert(h, k, v) {
+					oracle[k] = v
+				}
+			case 1:
+				if _, ok := set.Delete(h, k); ok {
+					delete(oracle, k)
+				}
+			default:
+				got, ok := set.Search(h, k)
+				want, had := oracle[k]
+				if ok != had || (ok && got != want) {
+					t.Fatalf("cycle %d: Search(%d) = %d,%v oracle %d,%v",
+						cycle, k, got, ok, want, had)
+				}
+			}
+		}
+		rt.Drain()
+		rt2, err := rt.SimulateCrash()
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		rt = rt2
+		h = rt.Handle(0)
+		set, err = rt.OpenBST("prop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact equality with the oracle after recovery.
+		count := 0
+		ok := true
+		set.Range(h, func(k, v uint64) bool {
+			count++
+			if want, had := oracle[k]; !had || want != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok || count != len(oracle) {
+			t.Fatalf("cycle %d: recovered contents diverge from oracle (%d vs %d keys)",
+				cycle, count, len(oracle))
+		}
+	}
+}
+
+// TestDirectoryDurableWithoutDrain: structure registration is synced at
+// creation, so a crash immediately afterwards must not lose the directory
+// entry (even with the link cache holding other state).
+func TestDirectoryDurableWithoutDrain(t *testing.T) {
+	rt := newRT(t, Config{LinkCache: true})
+	h := rt.Handle(0)
+	if _, err := rt.CreateSkipList(h, "early"); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := rt2.OpenSkipList("early")
+	if err != nil {
+		t.Fatalf("directory entry lost in crash: %v", err)
+	}
+	h2 := rt2.Handle(0)
+	if !sl.Insert(h2, 1, 1) {
+		t.Fatal("recovered structure unusable")
+	}
+}
+
+// TestRuntimeVolatileMode: the Figure 7 configuration through the public
+// API — no persistence actions at all.
+func TestRuntimeVolatileMode(t *testing.T) {
+	rt := newRT(t, Config{Volatile: true})
+	h := rt.Handle(0)
+	bt, err := rt.CreateBST(h, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Device().ResetStats()
+	for k := uint64(1); k <= 500; k++ {
+		bt.Insert(h, k, k)
+	}
+	if st := rt.Device().Stats(); st.SyncWaits != 0 {
+		t.Fatalf("volatile runtime paid %d syncs", st.SyncWaits)
+	}
+}
+
+func TestStackPublicAPIAndRecovery(t *testing.T) {
+	rt := newRT(t, Config{LinkCache: true})
+	h := rt.Handle(0)
+	st, err := rt.CreateStack(h, "undo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= 30; v++ {
+		st.Push(h, v)
+	}
+	st.Pop(h)
+	rt.Drain()
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := rt2.OpenStack("undo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := rt2.Handle(0)
+	if got := st2.Len(h2); got != 29 {
+		t.Fatalf("recovered Len = %d, want 29", got)
+	}
+	for v := uint64(29); v >= 1; v-- {
+		got, ok := st2.Pop(h2)
+		if !ok || got != v {
+			t.Fatalf("Pop = %d,%v want %d", got, ok, v)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package logfree
+
+import "repro/internal/core"
+
+// Set is the common interface of all four durable structures: the set
+// abstraction over 8-byte keys and values (§3). All methods are safe for
+// concurrent use provided each goroutine uses its own Handle.
+type Set interface {
+	// Insert adds key→value; false if the key is already present. The
+	// effect is durable (or, with the link cache, flushed before any
+	// dependent operation completes) when Insert returns.
+	Insert(h *Handle, key, value uint64) bool
+	// Delete removes key, returning its value.
+	Delete(h *Handle, key uint64) (uint64, bool)
+	// Search returns the value bound to key.
+	Search(h *Handle, key uint64) (uint64, bool)
+	// Contains reports whether key is present.
+	Contains(h *Handle, key uint64) bool
+}
+
+// List is a durable lock-free sorted linked list (Harris + link-and-persist).
+type List struct{ l *core.List }
+
+// CreateList creates and registers a durable list under name.
+func (r *Runtime) CreateList(h *Handle, name string) (*List, error) {
+	l, err := core.NewList(h.c)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.register(h, name, KindList, 0, l.Head(), l.Tail()); err != nil {
+		return nil, err
+	}
+	return &List{l}, nil
+}
+
+// OpenList reopens the list registered under name.
+func (r *Runtime) OpenList(name string) (*List, error) {
+	_, a1, a2, err := r.lookup(name, KindList)
+	if err != nil {
+		return nil, err
+	}
+	return &List{core.AttachList(r.store, a1, a2)}, nil
+}
+
+// Insert implements Set.
+func (l *List) Insert(h *Handle, key, value uint64) bool { return l.l.Insert(h.c, key, value) }
+
+// Delete implements Set.
+func (l *List) Delete(h *Handle, key uint64) (uint64, bool) { return l.l.Delete(h.c, key) }
+
+// Search implements Set.
+func (l *List) Search(h *Handle, key uint64) (uint64, bool) { return l.l.Search(h.c, key) }
+
+// Contains implements Set.
+func (l *List) Contains(h *Handle, key uint64) bool { return l.l.Contains(h.c, key) }
+
+// Len counts live keys (quiescent use).
+func (l *List) Len(h *Handle) int { return l.l.Len(h.c) }
+
+// Range visits live entries in ascending key order (quiescent use).
+func (l *List) Range(h *Handle, fn func(key, value uint64) bool) { l.l.Range(h.c, fn) }
+
+// HashTable is a durable lock-free hash table (Harris list per bucket).
+type HashTable struct{ t *core.HashTable }
+
+// CreateHashTable creates and registers a durable hash table under name.
+func (r *Runtime) CreateHashTable(h *Handle, name string, buckets int) (*HashTable, error) {
+	t, err := core.NewHashTable(h.c, buckets)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.register(h, name, KindHashTable, uint64(t.NumBuckets()), t.Buckets(), t.Tail()); err != nil {
+		return nil, err
+	}
+	return &HashTable{t}, nil
+}
+
+// OpenHashTable reopens the hash table registered under name.
+func (r *Runtime) OpenHashTable(name string) (*HashTable, error) {
+	aux, a1, a2, err := r.lookup(name, KindHashTable)
+	if err != nil {
+		return nil, err
+	}
+	return &HashTable{core.AttachHashTable(r.store, a1, int(aux), a2)}, nil
+}
+
+// Insert implements Set.
+func (t *HashTable) Insert(h *Handle, key, value uint64) bool { return t.t.Insert(h.c, key, value) }
+
+// Delete implements Set.
+func (t *HashTable) Delete(h *Handle, key uint64) (uint64, bool) { return t.t.Delete(h.c, key) }
+
+// Search implements Set.
+func (t *HashTable) Search(h *Handle, key uint64) (uint64, bool) { return t.t.Search(h.c, key) }
+
+// Contains implements Set.
+func (t *HashTable) Contains(h *Handle, key uint64) bool { return t.t.Contains(h.c, key) }
+
+// Upsert inserts or durably replaces in place; true if newly inserted.
+func (t *HashTable) Upsert(h *Handle, key, value uint64) bool { return t.t.Upsert(h.c, key, value) }
+
+// Len counts live keys (quiescent use).
+func (t *HashTable) Len(h *Handle) int { return t.t.Len(h.c) }
+
+// Range visits live entries (unordered; quiescent use).
+func (t *HashTable) Range(h *Handle, fn func(key, value uint64) bool) { t.t.Range(h.c, fn) }
+
+// SkipList is a durable lock-free skip list (durable level 0, volatile
+// index rebuilt on recovery).
+type SkipList struct{ s *core.SkipList }
+
+// CreateSkipList creates and registers a durable skip list under name.
+func (r *Runtime) CreateSkipList(h *Handle, name string) (*SkipList, error) {
+	s, err := core.NewSkipList(h.c)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.register(h, name, KindSkipList, 0, s.Head(), s.Tail()); err != nil {
+		return nil, err
+	}
+	return &SkipList{s}, nil
+}
+
+// OpenSkipList reopens the skip list registered under name.
+func (r *Runtime) OpenSkipList(name string) (*SkipList, error) {
+	_, a1, a2, err := r.lookup(name, KindSkipList)
+	if err != nil {
+		return nil, err
+	}
+	return &SkipList{core.AttachSkipList(r.store, a1, a2)}, nil
+}
+
+// Insert implements Set.
+func (s *SkipList) Insert(h *Handle, key, value uint64) bool { return s.s.Insert(h.c, key, value) }
+
+// Delete implements Set.
+func (s *SkipList) Delete(h *Handle, key uint64) (uint64, bool) { return s.s.Delete(h.c, key) }
+
+// Search implements Set.
+func (s *SkipList) Search(h *Handle, key uint64) (uint64, bool) { return s.s.Search(h.c, key) }
+
+// Contains implements Set.
+func (s *SkipList) Contains(h *Handle, key uint64) bool { return s.s.Contains(h.c, key) }
+
+// Len counts live keys (quiescent use).
+func (s *SkipList) Len(h *Handle) int { return s.s.Len(h.c) }
+
+// Range visits live entries in ascending key order (quiescent use).
+func (s *SkipList) Range(h *Handle, fn func(key, value uint64) bool) { s.s.Range(h.c, fn) }
+
+// BST is a durable lock-free external binary search tree (Natarajan-Mittal).
+type BST struct{ t *core.BST }
+
+// CreateBST creates and registers a durable BST under name.
+func (r *Runtime) CreateBST(h *Handle, name string) (*BST, error) {
+	t, err := core.NewBST(h.c)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.register(h, name, KindBST, 0, t.Root(), t.Sentinel()); err != nil {
+		return nil, err
+	}
+	return &BST{t}, nil
+}
+
+// OpenBST reopens the BST registered under name.
+func (r *Runtime) OpenBST(name string) (*BST, error) {
+	_, a1, a2, err := r.lookup(name, KindBST)
+	if err != nil {
+		return nil, err
+	}
+	return &BST{core.AttachBST(r.store, a1, a2)}, nil
+}
+
+// Insert implements Set.
+func (t *BST) Insert(h *Handle, key, value uint64) bool { return t.t.Insert(h.c, key, value) }
+
+// Delete implements Set.
+func (t *BST) Delete(h *Handle, key uint64) (uint64, bool) { return t.t.Delete(h.c, key) }
+
+// Search implements Set.
+func (t *BST) Search(h *Handle, key uint64) (uint64, bool) { return t.t.Search(h.c, key) }
+
+// Contains implements Set.
+func (t *BST) Contains(h *Handle, key uint64) bool { return t.t.Contains(h.c, key) }
+
+// Len counts live keys (quiescent use).
+func (t *BST) Len(h *Handle) int { return t.t.Len(h.c) }
+
+// Range visits live entries in ascending key order (quiescent use).
+func (t *BST) Range(h *Handle, fn func(key, value uint64) bool) { t.t.Range(h.c, fn) }
+
+// Queue is a durable lock-free FIFO queue (Michael-Scott with
+// link-and-persist) — the paper's techniques applied beyond the set
+// abstraction.
+type Queue struct{ q *core.Queue }
+
+// CreateQueue creates and registers a durable queue under name.
+func (r *Runtime) CreateQueue(h *Handle, name string) (*Queue, error) {
+	q, err := core.NewQueue(h.c)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.register(h, name, KindQueue, 0, q.Descriptor(), 0); err != nil {
+		return nil, err
+	}
+	return &Queue{q}, nil
+}
+
+// OpenQueue reopens the queue registered under name.
+func (r *Runtime) OpenQueue(name string) (*Queue, error) {
+	_, a1, _, err := r.lookup(name, KindQueue)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{core.AttachQueue(r.store, a1)}, nil
+}
+
+// Enqueue appends value; durable when it returns (or when the link cache
+// flushes, under deferred completion).
+func (q *Queue) Enqueue(h *Handle, value uint64) { q.q.Enqueue(h.c, value) }
+
+// Dequeue removes and returns the oldest value.
+func (q *Queue) Dequeue(h *Handle) (uint64, bool) { return q.q.Dequeue(h.c) }
+
+// Peek returns the oldest value without removing it.
+func (q *Queue) Peek(h *Handle) (uint64, bool) { return q.q.Peek(h.c) }
+
+// Len counts queued values (quiescent use).
+func (q *Queue) Len(h *Handle) int { return q.q.Len(h.c) }
+
+// Stack is a durable lock-free LIFO stack (Treiber + link-and-persist).
+type Stack struct{ st *core.Stack }
+
+// CreateStack creates and registers a durable stack under name.
+func (r *Runtime) CreateStack(h *Handle, name string) (*Stack, error) {
+	st, err := core.NewStack(h.c)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.register(h, name, KindStack, 0, st.Descriptor(), 0); err != nil {
+		return nil, err
+	}
+	return &Stack{st}, nil
+}
+
+// OpenStack reopens the stack registered under name.
+func (r *Runtime) OpenStack(name string) (*Stack, error) {
+	_, a1, _, err := r.lookup(name, KindStack)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{core.AttachStack(r.store, a1)}, nil
+}
+
+// Push adds value (durably linearizable).
+func (s *Stack) Push(h *Handle, value uint64) { s.st.Push(h.c, value) }
+
+// Pop removes and returns the most recent value.
+func (s *Stack) Pop(h *Handle) (uint64, bool) { return s.st.Pop(h.c) }
+
+// Peek returns the top value without removing it.
+func (s *Stack) Peek(h *Handle) (uint64, bool) { return s.st.Peek(h.c) }
+
+// Len counts entries (quiescent use).
+func (s *Stack) Len(h *Handle) int { return s.st.Len(h.c) }
