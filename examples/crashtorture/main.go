@@ -21,15 +21,15 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent updaters")
 	flag.Parse()
 
-	rt, err := logfree.New(logfree.Config{
-		Size:       128 << 20,
-		MaxThreads: *workers,
-		LinkCache:  true,
-	})
+	rt, err := logfree.New(
+		logfree.WithSize(128<<20),
+		logfree.WithMaxThreads(*workers),
+		logfree.WithLinkCache(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	set, err := rt.CreateBST(rt.Handle(0), "torture")
+	set, err := rt.BST(rt.Handle(0), "torture")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func main() {
 			log.Fatalf("round %d: recovery failed: %v", round, err)
 		}
 		rt = rt2
-		set, err = rt.OpenBST("torture")
+		set, err = rt.BST(rt.Handle(0), "torture")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,9 +90,9 @@ func main() {
 				checked++
 			}
 		}
-		rep := rt.RecoveryReports()[0]
+		st := rt.RecoveryStats()
 		fmt.Printf("round %2d: %4d completed inserts verified, recovery %8v, %3d leaks freed\n",
-			round, checked, rep.Duration, rep.Leaked)
+			round, checked, st.Duration, st.Leaked)
 		_ = total
 	}
 	fmt.Println("torture passed: durable linearizability held through every crash")

@@ -21,15 +21,15 @@ const (
 )
 
 func main() {
-	rt, err := logfree.New(logfree.Config{
-		Size:       64 << 20,
-		MaxThreads: producers + consumers + 1,
-		LinkCache:  true,
-	})
+	rt, err := logfree.New(
+		logfree.WithSize(64<<20),
+		logfree.WithMaxThreads(producers+consumers+1),
+		logfree.WithLinkCache(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	q, err := rt.CreateQueue(rt.Handle(0), "jobs")
+	q, err := rt.Queue(rt.Handle(0), "jobs")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,14 +70,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q2, err := rt2.OpenQueue("jobs")
+	q2, err := rt2.Queue(rt2.Handle(0), "jobs")
 	if err != nil {
 		log.Fatal(err)
 	}
 	h := rt2.Handle(0)
 	got := q2.Len(h)
 	fmt.Printf("after recovery: %d jobs queued (recovery: %v)\n",
-		got, rt2.RecoveryReports()[0].Duration)
+		got, rt2.RecoveryStats().Duration)
 	if uint64(got)+done != producers*jobsPer {
 		log.Fatalf("jobs lost or duplicated: %d processed + %d queued != %d",
 			done, got, producers*jobsPer)

@@ -1,11 +1,12 @@
 // kvstore: a durable key-value store whose contents persist across process
 // runs through an NVRAM image file — the paper's "restart and resume"
-// scenario end to end.
+// scenario end to end, over arbitrary string keys and values (the v2
+// byte-key API).
 //
-//	go run ./examples/kvstore set 1 100
-//	go run ./examples/kvstore set 2 200
-//	go run ./examples/kvstore get 1
-//	go run ./examples/kvstore del 1
+//	go run ./examples/kvstore set name alice
+//	go run ./examples/kvstore set city "buenos aires"
+//	go run ./examples/kvstore get name
+//	go run ./examples/kvstore del name
 //	go run ./examples/kvstore list
 //
 // State lives in kvstore.img in the working directory (override with
@@ -18,7 +19,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 
 	"repro/logfree"
 )
@@ -32,37 +32,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := logfree.Config{Size: 32 << 20, MaxThreads: 2, LinkCache: true}
+	opts := []logfree.Option{
+		logfree.WithSize(32 << 20),
+		logfree.WithMaxThreads(2),
+		logfree.WithLinkCache(true),
+	}
 
 	var rt *logfree.Runtime
-	var store *logfree.BST
-	if _, err := os.Stat(*image); err == nil {
-		rt, err = logfree.Load(*image, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		store, err = rt.OpenBST("kv")
-		if err != nil {
-			log.Fatal(err)
-		}
+	var err error
+	if _, serr := os.Stat(*image); serr == nil {
+		rt, err = logfree.Load(*image, opts...)
 	} else {
-		rt, err = logfree.New(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		store, err = rt.CreateBST(rt.Handle(0), "kv")
-		if err != nil {
-			log.Fatal(err)
-		}
+		rt, err = logfree.New(opts...)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 	h := rt.Handle(0)
-
-	atoi := func(s string) uint64 {
-		n, err := strconv.ParseUint(s, 10, 64)
-		if err != nil || n < logfree.MinKey {
-			log.Fatalf("kvstore: bad number %q", s)
-		}
-		return n
+	store, err := rt.OpenOrCreate(h, "kv", logfree.Spec{Buckets: 256})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	switch args[0] {
@@ -70,38 +59,38 @@ func main() {
 		if len(args) != 3 {
 			log.Fatal("set needs key and value")
 		}
-		k, v := atoi(args[1]), atoi(args[2])
-		if store.Insert(h, k, v) {
-			fmt.Printf("set %d = %d\n", k, v)
+		k, v := []byte(args[1]), []byte(args[2])
+		existed := store.Contains(h, k)
+		if err := store.Set(h, k, v); err != nil {
+			log.Fatal(err)
+		}
+		if existed {
+			fmt.Printf("overwrote %s = %s\n", k, v)
 		} else {
-			store.Delete(h, k)
-			store.Insert(h, k, v)
-			fmt.Printf("overwrote %d = %d\n", k, v)
+			fmt.Printf("set %s = %s\n", k, v)
 		}
 	case "get":
 		if len(args) != 2 {
 			log.Fatal("get needs a key")
 		}
-		k := atoi(args[1])
-		if v, ok := store.Search(h, k); ok {
-			fmt.Printf("%d = %d\n", k, v)
+		if v, ok := store.Get(h, []byte(args[1])); ok {
+			fmt.Printf("%s = %s\n", args[1], v)
 		} else {
-			fmt.Printf("%d not found\n", k)
+			fmt.Printf("%s not found\n", args[1])
 		}
 	case "del":
 		if len(args) != 2 {
 			log.Fatal("del needs a key")
 		}
-		k := atoi(args[1])
-		if v, ok := store.Delete(h, k); ok {
-			fmt.Printf("deleted %d (was %d)\n", k, v)
+		if store.Delete(h, []byte(args[1])) {
+			fmt.Printf("deleted %s\n", args[1])
 		} else {
-			fmt.Printf("%d not found\n", k)
+			fmt.Printf("%s not found\n", args[1])
 		}
 	case "list":
 		n := 0
-		store.Range(h, func(k, v uint64) bool {
-			fmt.Printf("%d = %d\n", k, v)
+		store.Range(h, func(k, v []byte) bool {
+			fmt.Printf("%s = %s\n", k, v)
 			n++
 			return true
 		})

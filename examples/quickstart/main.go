@@ -1,4 +1,4 @@
-// Quickstart: create a durable hash table on simulated NVRAM, update it,
+// Quickstart: create a durable byte-key map on simulated NVRAM, update it,
 // power-fail the machine, recover, and observe that every completed
 // operation survived — the paper's durable linearizability guarantee, with
 // zero logging in the data-structure operations.
@@ -13,28 +13,32 @@ import (
 
 func main() {
 	// 64 MiB of simulated NVRAM, 4 worker threads, link cache enabled (§4).
-	rt, err := logfree.New(logfree.Config{
-		Size:       64 << 20,
-		MaxThreads: 4,
-		LinkCache:  true,
-	})
+	rt, err := logfree.New(
+		logfree.WithSize(64<<20),
+		logfree.WithMaxThreads(4),
+		logfree.WithLinkCache(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	h := rt.Handle(0) // one handle per goroutine
-	users, err := rt.CreateHashTable(h, "users", 1024)
+	users, err := rt.OpenOrCreate(h, "users", logfree.Spec{Buckets: 1024})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Updates are durably linearizable: once Insert returns (and any link
-	// cache entries are flushed by dependent operations), a crash cannot
-	// undo them.
-	for id := uint64(1); id <= 100; id++ {
-		users.Insert(h, id, id*1000)
+	// Arbitrary byte keys and values, durably linearizable: once Set
+	// returns (and any link cache entries are flushed by dependent
+	// operations), a crash cannot undo it.
+	for id := 1; id <= 100; id++ {
+		key := fmt.Sprintf("user:%03d", id)
+		val := fmt.Sprintf(`{"id":%d,"credits":%d}`, id, id*1000)
+		if err := users.Set(h, []byte(key), []byte(val)); err != nil {
+			log.Fatal(err)
+		}
 	}
-	users.Delete(h, 42)
+	users.Delete(h, []byte("user:042"))
 	fmt.Printf("before crash: %d users\n", users.Len(h))
 
 	// With the link cache, an update's durability may be deferred until a
@@ -50,20 +54,21 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, rep := range rt2.RecoveryReports() {
-		fmt.Printf("recovered %v %s in %v (%d leaked objects freed)\n",
-			rep.Kind, rep.Name, rep.Duration, rep.Leaked)
+		fmt.Printf("recovered %v %q\n", rep.Kind, rep.Name)
 	}
+	st := rt2.RecoveryStats()
+	fmt.Printf("recovery pass: %v, %d leaked objects freed\n", st.Duration, st.Leaked)
 
-	users2, err := rt2.OpenHashTable("users")
+	h2 := rt2.Handle(0)
+	users2, err := rt2.OpenOrCreate(h2, "users", logfree.Spec{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
 	fmt.Printf("after recovery: %d users\n", users2.Len(h2))
-	if v, ok := users2.Search(h2, 7); ok {
-		fmt.Printf("user 7 -> %d\n", v)
+	if v, ok := users2.Get(h2, []byte("user:007")); ok {
+		fmt.Printf("user:007 -> %s\n", v)
 	}
-	if users2.Contains(h2, 42) {
+	if users2.Contains(h2, []byte("user:042")) {
 		log.Fatal("deleted user resurrected!")
 	}
 	fmt.Println("deleted user stayed deleted — durable linearizability holds")

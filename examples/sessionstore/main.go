@@ -21,20 +21,20 @@ const (
 )
 
 func main() {
-	rt, err := logfree.New(logfree.Config{
-		Size:       128 << 20,
-		MaxThreads: workers,
-		LinkCache:  true,
-	})
+	rt, err := logfree.New(
+		logfree.WithSize(128<<20),
+		logfree.WithMaxThreads(workers),
+		logfree.WithLinkCache(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	h0 := rt.Handle(0)
-	sessions, err := rt.CreateHashTable(h0, "sessions", 4096)
+	sessions, err := rt.HashTable(h0, "sessions", 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
-	byExpiry, err := rt.CreateSkipList(h0, "by-expiry")
+	byExpiry, err := rt.SkipList(h0, "by-expiry")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,11 +88,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sessions2, err := rt2.OpenHashTable("sessions")
+	sessions2, err := rt2.HashTable(rt2.Handle(0), "sessions", 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
-	byExpiry2, err := rt2.OpenSkipList("by-expiry")
+	byExpiry2, err := rt2.SkipList(rt2.Handle(0), "by-expiry")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,8 +104,9 @@ func main() {
 		log.Fatalf("lost sessions in the crash: want %d, got %d", want, got)
 	}
 	for _, rep := range rt2.RecoveryReports() {
-		fmt.Printf("  %v recovered in %v, %d leaked objects freed\n",
-			rep.Kind, rep.Duration, rep.Leaked)
+		fmt.Printf("  recovered %v %q\n", rep.Kind, rep.Name)
 	}
+	st := rt2.RecoveryStats()
+	fmt.Printf("  one combined sweep: %v, %d leaked objects freed\n", st.Duration, st.Leaked)
 	fmt.Println("every completed login survived the power failure")
 }

@@ -198,6 +198,12 @@ func (t *BST) Insert(c *Ctx, key, value uint64) bool {
 	checkKey(key)
 	c.ep.Begin()
 	defer c.ep.End()
+	return t.insert(c, key, value)
+}
+
+// insert is the Insert body, shared with Upsert (which manages its own epoch
+// section).
+func (t *BST) insert(c *Ctx, key, value uint64) bool {
 	dev := t.s.dev
 	for {
 		r := t.seek(c, key)
@@ -251,6 +257,54 @@ func (t *BST) Insert(c *Ctx, key, value uint64) bool {
 		if ptrtag.Addr(w) == r.leaf && (ptrtag.IsMarked(w) || ptrtag.IsTagged(w)) {
 			t.cleanup(c, key, r)
 		}
+	}
+}
+
+// Upsert inserts key→value or durably replaces the value of an existing key
+// in place (one word CAS + sync on the leaf; the value word shares the leaf's
+// cache line with its links). Returns true if the key was newly inserted.
+// A replacement that races with a concurrent delete of the same key
+// linearizes in either order: the post-CAS flag check retries as an insert
+// when the delete's injection got there first.
+func (t *BST) Upsert(c *Ctx, key, value uint64) bool {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := t.s.dev
+	for {
+		r := t.seek(c, key)
+		c.scan(key)
+		if dev.Load(r.leaf+bKey) != key {
+			if t.insert(c, key, value) {
+				return true
+			}
+			continue // raced with a concurrent insert of the same key
+		}
+		childAddr := r.parent + dir(key, dev.Load(r.parent+bKey))
+		w := dev.Load(childAddr)
+		if ptrtag.Addr(w) != r.leaf {
+			continue // stale seek record
+		}
+		if ptrtag.IsMarked(w) || ptrtag.IsTagged(w) {
+			t.cleanup(c, key, r) // help the delete occupying this edge
+			continue
+		}
+		old := dev.Load(r.leaf + bValue)
+		if !dev.CAS(r.leaf+bValue, old, value) {
+			continue
+		}
+		// Revalidate the edge after the CAS: a concurrent delete may have
+		// flagged it (injection on this key) or frozen it (a sibling's
+		// splice tags the surviving edge before copying it up — so an edge
+		// whose parent left the tree is always Tagged). Either way the CAS
+		// may have landed on a dead leaf: retry, which re-seeks through the
+		// live access path.
+		w = dev.Load(childAddr)
+		if ptrtag.Addr(w) != r.leaf || ptrtag.IsMarked(w) || ptrtag.IsTagged(w) {
+			continue
+		}
+		c.f.Sync(r.leaf + bValue)
+		return false
 	}
 }
 

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+
+	"repro/internal/nvram"
+	"repro/internal/pmem"
+)
+
+// This file implements the durable bytes layer: a BytesMap stores arbitrary
+// []byte keys and values in NVRAM extents anchored from the uint64 core
+// entries of a durable hash table. The index key is a 64-bit hash of the
+// byte key folded into [MinKey, MaxKey]; the index value is the head of a
+// durable collision chain of entry extents. Every lookup verifies the full
+// key bytes inside the entry, so distinct byte keys can never alias, no
+// matter how the hash behaves.
+//
+// Entry extents are allocated from slab classes ≥ 1, keeping class 0 to the
+// index nodes — the paper's "areas hold one type of data" discipline, which
+// recovery relies on to tell index nodes from entries.
+//
+// Entry layout (allocated at class ≥ 1):
+//
+//	[0]  keyLen(16) | valLen(32) | meta(16)
+//	[8]  64-bit index key (the folded hash)
+//	[16] aux: one caller-owned durable word (expiry, version, …)
+//	[24] next entry with the same index key (collision chain)
+//	[32] key bytes, then value bytes
+const (
+	beHeader = 0
+	beHash   = 8
+	beAux    = 16
+	beNext   = 24
+	beData   = 32
+
+	// MaxBytesKeyLen bounds key length (memcached-style limit, far below
+	// the 16-bit field).
+	MaxBytesKeyLen = 512
+	// BytesEntryOverhead is the per-entry header size: key and value bytes
+	// start at this offset.
+	BytesEntryOverhead = beData
+	// MaxBytesEntrySize is the largest slab class; an entry (header + key +
+	// value) must fit in one extent.
+	MaxBytesEntrySize = 2048
+)
+
+// Errors returned by the bytes layer.
+var (
+	// ErrTooLarge reports an entry (header + key + value) exceeding the
+	// largest slab class.
+	ErrTooLarge = errors.New("core: entry exceeds the largest slab class")
+	// ErrBadKey reports an empty or oversized byte key.
+	ErrBadKey = errors.New("core: bad byte-key length")
+)
+
+// DefaultBytesHash maps a byte key to the index key space: FNV-1a folded
+// into [MinKey, MaxKey]. Unlike a clamp, out-of-range hashes are reduced
+// modulo the range, and any residual aliasing is harmless: full keys are
+// verified and same-hash keys chain durably.
+func DefaultBytesHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	if h < MinKey || h > MaxKey {
+		h = h%(MaxKey-MinKey+1) + MinKey
+	}
+	return h
+}
+
+// bytesHash is the index-key derivation, a variable so tests can inject
+// colliding hashes and exercise the chain machinery deterministically.
+var bytesHash = DefaultBytesHash
+
+// SetBytesHashForTesting overrides the index-key derivation (nil restores
+// the default). Entries persist the index key they were stored under, so the
+// override must stay in place across any crash/recover cycle of the test.
+func SetBytesHashForTesting(f func([]byte) uint64) {
+	if f == nil {
+		f = DefaultBytesHash
+	}
+	bytesHash = f
+}
+
+// BytesMap is a durable lock-free-read hash map from byte keys to byte
+// values. Reads are lock-free (epoch-protected); the lifecycle of the entry
+// extents (set/delete) is serialized per index key by a volatile stripe
+// lock, exactly as memcached's striped item locks do. The stripes live on
+// the Store, not the BytesMap value, so independently attached handles to
+// the same durable map (open-by-name twice, re-attach) stay mutually
+// serialized.
+type BytesMap struct {
+	s   *Store
+	idx *HashTable
+}
+
+// NewBytesMap creates a durable byte-key map with nbuckets index buckets
+// (rounded up to a power of two). Persist Buckets/NumBuckets/Tail in root
+// slots (or a directory) to re-attach later.
+func NewBytesMap(c *Ctx, nbuckets int) (*BytesMap, error) {
+	idx, err := NewHashTable(c, nbuckets)
+	if err != nil {
+		return nil, err
+	}
+	return &BytesMap{s: c.s, idx: idx}, nil
+}
+
+// AttachBytesMap reopens a map from its durable descriptor values.
+func AttachBytesMap(s *Store, buckets Addr, nbuckets int, tail Addr) *BytesMap {
+	return &BytesMap{s: s, idx: AttachHashTable(s, buckets, nbuckets, tail)}
+}
+
+// Buckets returns the index bucket-region address (persist it).
+func (b *BytesMap) Buckets() Addr { return b.idx.Buckets() }
+
+// NumBuckets returns the index bucket count (persist it).
+func (b *BytesMap) NumBuckets() int { return b.idx.NumBuckets() }
+
+// Tail returns the index tail sentinel address (persist it).
+func (b *BytesMap) Tail() Addr { return b.idx.Tail() }
+
+func (b *BytesMap) lock(hash uint64) *sync.Mutex {
+	return &b.s.bytesLocks[hash%uint64(len(b.s.bytesLocks))]
+}
+
+// storeBytes writes a byte slice into the device word by word.
+func storeBytes(dev *nvram.Device, a Addr, p []byte) {
+	for i := 0; i < len(p); i += 8 {
+		var w uint64
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			w |= uint64(p[i+j]) << (8 * j)
+		}
+		dev.Store(a+Addr(i), w)
+	}
+}
+
+// loadBytes reads n bytes from the device into a fresh slice.
+func loadBytes(dev *nvram.Device, a Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		w := dev.Load(a + Addr(i))
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(w >> (8 * j))
+		}
+	}
+	return out
+}
+
+// Entry field readers (addresses come from Find or recovery sweeps).
+
+func (b *BytesMap) entryKeyLen(e Addr) int { return int(b.s.dev.Load(e+beHeader) & 0xFFFF) }
+
+// EntryKey reads an entry's key bytes.
+func (b *BytesMap) EntryKey(e Addr) []byte {
+	return loadBytes(b.s.dev, e+beData, b.entryKeyLen(e))
+}
+
+// EntryValue reads an entry's value bytes.
+func (b *BytesMap) EntryValue(e Addr) []byte {
+	hdr := b.s.dev.Load(e + beHeader)
+	klen := int(hdr & 0xFFFF)
+	vlen := int(hdr >> 16 & 0xFFFFFFFF)
+	return loadBytes(b.s.dev, e+beData, klen+vlen)[klen:]
+}
+
+// EntryMeta reads an entry's 16-bit metadata field.
+func (b *BytesMap) EntryMeta(e Addr) uint16 { return uint16(b.s.dev.Load(e+beHeader) >> 48) }
+
+// EntryAux reads an entry's aux word.
+func (b *BytesMap) EntryAux(e Addr) uint64 { return b.s.dev.Load(e + beAux) }
+
+func (b *BytesMap) entryNext(e Addr) Addr { return Addr(b.s.dev.Load(e + beNext)) }
+
+// entryClass picks the slab class for an entry (never class 0: index nodes
+// own class-0 pages, preserving the paper's "areas hold one type of data").
+func entryClass(total uint64) (pmem.Class, error) {
+	cl, err := pmem.ClassFor(total)
+	if err != nil {
+		return 0, ErrTooLarge
+	}
+	if cl == 0 {
+		cl = 1
+	}
+	return cl, nil
+}
+
+// writeEntry allocates and fully persists an entry (contents fenced before
+// it can be linked anywhere).
+func (b *BytesMap) writeEntry(c *Ctx, hash uint64, key, value []byte, meta uint16, aux uint64, next Addr) (Addr, error) {
+	total := uint64(beData + len(key) + len(value))
+	cl, err := entryClass(total)
+	if err != nil {
+		return 0, err
+	}
+	e, err := c.ep.AllocNode(cl)
+	if err != nil {
+		return 0, err
+	}
+	dev := b.s.dev
+	hdr := uint64(len(key)) | uint64(len(value))<<16 | uint64(meta)<<48
+	dev.Store(e+beHeader, hdr)
+	dev.Store(e+beHash, hash)
+	dev.Store(e+beAux, aux)
+	dev.Store(e+beNext, uint64(next))
+	blob := make([]byte, 0, len(key)+len(value))
+	blob = append(append(blob, key...), value...)
+	storeBytes(dev, e+beData, blob)
+	for off := Addr(0); off < Addr(total+7)/8*8; off += nvram.LineSize {
+		c.f.CLWB(e + off)
+	}
+	c.f.Fence()
+	return e, nil
+}
+
+// findInChain walks a collision chain for an exact key match, returning the
+// entry and its predecessor in the chain (0 if it is the head).
+func (b *BytesMap) findInChain(head Addr, key []byte) (entry, pred Addr) {
+	for e := head; e != 0; e = b.entryNext(e) {
+		if bytes.Equal(b.EntryKey(e), key) {
+			return e, pred
+		}
+		pred = e
+	}
+	return 0, 0
+}
+
+// chainHead looks the index key up lock-free; the whole call must run inside
+// an epoch section.
+func (b *BytesMap) chainHead(c *Ctx, hash uint64) (Addr, bool) {
+	headV, ok := listSearch(c, b.s, b.idx.bucket(hash), hash)
+	return Addr(headV), ok
+}
+
+// Find returns the address of the live entry for key (0, false if absent).
+// The address stays valid while the caller's handle is between operations
+// only in quiescent use; Get copies instead.
+func (b *BytesMap) Find(c *Ctx, key []byte) (Addr, bool) {
+	hash := bytesHash(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	head, ok := b.chainHead(c, hash)
+	if !ok {
+		return 0, false
+	}
+	e, _ := b.findInChain(head, key)
+	return e, e != 0
+}
+
+// Get returns a copy of the value bound to key.
+func (b *BytesMap) Get(c *Ctx, key []byte) ([]byte, bool) {
+	v, _, _, ok := b.GetItem(c, key)
+	return v, ok
+}
+
+// GetItem returns copies of the value, metadata and aux word bound to key.
+func (b *BytesMap) GetItem(c *Ctx, key []byte) (value []byte, meta uint16, aux uint64, ok bool) {
+	hash := bytesHash(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	head, found := b.chainHead(c, hash)
+	if !found {
+		return nil, 0, 0, false
+	}
+	e, _ := b.findInChain(head, key)
+	if e == 0 {
+		return nil, 0, 0, false
+	}
+	return b.EntryValue(e), b.EntryMeta(e), b.EntryAux(e), true
+}
+
+// Contains reports whether key is present.
+func (b *BytesMap) Contains(c *Ctx, key []byte) bool {
+	_, ok := b.Find(c, key)
+	return ok
+}
+
+// Set binds key to value (with metadata and aux word), durably: the entry is
+// fully persisted before the single atomic link that publishes it, so a
+// crash leaves either the old binding or the new one, never neither. Returns
+// whether the key was newly created. May return ErrOutOfMemory-wrapping
+// errors under memory pressure; the caller owns eviction policy.
+func (b *BytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64) (created bool, err error) {
+	if len(key) == 0 || len(key) > MaxBytesKeyLen {
+		return false, ErrBadKey
+	}
+	if beData+len(key)+len(value) > MaxBytesEntrySize {
+		return false, ErrTooLarge
+	}
+	hash := bytesHash(key)
+	mu := b.lock(hash)
+	mu.Lock()
+	defer mu.Unlock()
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := b.s.dev
+
+	head, exists := b.chainHead(c, hash)
+	var replaced, pred Addr
+	if exists {
+		replaced, pred = b.findInChain(head, key)
+	}
+	// The new entry's chain tail skips the entry it replaces (for a
+	// mid-chain replacement the publish happens at its predecessor, below).
+	next := head
+	if replaced != 0 {
+		next = b.entryNext(replaced)
+	}
+	e, err := b.writeEntry(c, hash, key, value, meta, aux, next)
+	if err != nil {
+		return false, err
+	}
+	if replaced != 0 {
+		// The publish makes the old entry durably unreachable; its area must
+		// be in the APT first (§5.4).
+		c.ep.PreRetire(replaced)
+	}
+	switch {
+	case !exists:
+		// Fresh index key. A concurrent set of a *different* key with the
+		// same hash may have inserted the index entry meanwhile (different
+		// stripe is impossible — same hash, same stripe — but a helper may
+		// resurrect nothing; Insert failing means the key appeared, so chain
+		// through upsert below).
+		if !listInsert(c, b.s, b.idx.bucket(hash), hash, uint64(e)) {
+			// Index key appeared after our lookup. Re-link our entry onto the
+			// current chain head and publish via upsert.
+			h2, _ := b.chainHead(c, hash)
+			dev.Store(e+beNext, uint64(h2))
+			c.f.Sync(e + beNext)
+			listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(e))
+		}
+	case replaced == 0:
+		// New key on an existing chain: prepend.
+		listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(e))
+	case pred == 0:
+		// Replacing the chain head: swing the index value.
+		listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(e))
+	default:
+		// Replacing mid-chain: swing the predecessor's next link. One atomic
+		// durable word swap — the old entry and the new one trade
+		// reachability at this single point.
+		dev.Store(pred+beNext, uint64(e))
+		c.f.Sync(pred + beNext)
+	}
+	if replaced != 0 {
+		c.ep.Retire(replaced)
+	}
+	return replaced == 0, nil
+}
+
+// SetAux durably replaces the aux word of an existing entry in place
+// (touch-style update: no entry rewrite). Returns false if key is absent.
+func (b *BytesMap) SetAux(c *Ctx, key []byte, aux uint64) bool {
+	hash := bytesHash(key)
+	mu := b.lock(hash)
+	mu.Lock()
+	defer mu.Unlock()
+	c.ep.Begin()
+	defer c.ep.End()
+	head, found := b.chainHead(c, hash)
+	if !found {
+		return false
+	}
+	e, _ := b.findInChain(head, key)
+	if e == 0 {
+		return false
+	}
+	b.s.dev.Store(e+beAux, aux)
+	c.f.Sync(e + beAux)
+	return true
+}
+
+// Delete removes key durably. Returns false if key is absent.
+func (b *BytesMap) Delete(c *Ctx, key []byte) bool {
+	hash := bytesHash(key)
+	mu := b.lock(hash)
+	mu.Lock()
+	defer mu.Unlock()
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := b.s.dev
+
+	head, exists := b.chainHead(c, hash)
+	if !exists {
+		return false
+	}
+	e, pred := b.findInChain(head, key)
+	if e == 0 {
+		return false
+	}
+	// The unlink makes the entry durably unreachable; cover its area first.
+	c.ep.PreRetire(e)
+	next := b.entryNext(e)
+	switch {
+	case pred == 0 && next == 0:
+		if _, ok := listDelete(c, b.s, b.idx.bucket(hash), hash); !ok {
+			return false
+		}
+	case pred == 0:
+		listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(next))
+	default:
+		dev.Store(pred+beNext, uint64(next))
+		c.f.Sync(pred + beNext)
+	}
+	c.ep.Retire(e)
+	return true
+}
+
+// Len counts live entries (quiescent use).
+func (b *BytesMap) Len(c *Ctx) int {
+	n := 0
+	b.RangeEntries(c, func(Addr) bool { n++; return true })
+	return n
+}
+
+// Range calls fn for every live key/value (copies; unordered; quiescent
+// use).
+func (b *BytesMap) Range(c *Ctx, fn func(key, value []byte) bool) {
+	b.RangeEntries(c, func(e Addr) bool {
+		return fn(b.EntryKey(e), b.EntryValue(e))
+	})
+}
+
+// RangeItems is Range including each entry's metadata and aux word.
+func (b *BytesMap) RangeItems(c *Ctx, fn func(key, value []byte, meta uint16, aux uint64) bool) {
+	b.RangeEntries(c, func(e Addr) bool {
+		return fn(b.EntryKey(e), b.EntryValue(e), b.EntryMeta(e), b.EntryAux(e))
+	})
+}
+
+// RangeEntries visits every live entry address (quiescent use).
+func (b *BytesMap) RangeEntries(c *Ctx, fn func(e Addr) bool) {
+	stop := false
+	b.idx.Range(c, func(_, headV uint64) bool {
+		for e := Addr(headV); e != 0 && !stop; e = b.entryNext(e) {
+			if !fn(e) {
+				stop = true
+			}
+		}
+		return !stop
+	})
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestBytesMap(t *testing.T, s *Store, c *Ctx, buckets int) *BytesMap {
+	t.Helper()
+	b, err := NewBytesMap(c, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBytesMapBasics(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	b := newTestBytesMap(t, s, c, 16)
+	if created, err := b.Set(c, []byte("k1"), []byte("v1"), 3, 77); err != nil || !created {
+		t.Fatalf("Set = %v,%v", created, err)
+	}
+	v, meta, aux, ok := b.GetItem(c, []byte("k1"))
+	if !ok || string(v) != "v1" || meta != 3 || aux != 77 {
+		t.Fatalf("GetItem = %q,%d,%d,%v", v, meta, aux, ok)
+	}
+	if created, err := b.Set(c, []byte("k1"), []byte("longer value 1"), 4, 78); err != nil || created {
+		t.Fatalf("replacing Set = %v,%v", created, err)
+	}
+	if v, _ := b.Get(c, []byte("k1")); string(v) != "longer value 1" {
+		t.Fatalf("after replace: %q", v)
+	}
+	if !b.SetAux(c, []byte("k1"), 123) {
+		t.Fatal("SetAux failed")
+	}
+	if _, _, aux, _ := b.GetItem(c, []byte("k1")); aux != 123 {
+		t.Fatalf("aux = %d", aux)
+	}
+	if b.Len(c) != 1 {
+		t.Fatalf("Len = %d", b.Len(c))
+	}
+	if !b.Delete(c, []byte("k1")) || b.Delete(c, []byte("k1")) {
+		t.Fatal("delete semantics broken")
+	}
+	if b.Contains(c, []byte("k1")) {
+		t.Fatal("deleted key present")
+	}
+	if _, err := b.Set(c, nil, []byte("v"), 0, 0); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if _, err := b.Set(c, []byte("k"), make([]byte, 4096), 0, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge value: %v", err)
+	}
+}
+
+func TestBytesMapManyKeysAndRange(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	b := newTestBytesMap(t, s, c, 8) // force multi-entry buckets
+	const n = 500
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		val := bytes.Repeat([]byte{byte(i)}, 1+i%200)
+		if _, err := b.Set(c, key, val, uint16(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		v, meta, aux, ok := b.GetItem(c, key)
+		if !ok || meta != uint16(i) || aux != uint64(i) ||
+			!bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 1+i%200)) {
+			t.Fatalf("key %d corrupt: ok=%v meta=%d aux=%d len=%d", i, ok, meta, aux, len(v))
+		}
+	}
+	seen := make(map[string]bool)
+	b.Range(c, func(k, v []byte) bool {
+		seen[string(k)] = true
+		return true
+	})
+	if len(seen) != n {
+		t.Fatalf("Range saw %d keys, want %d", len(seen), n)
+	}
+}
+
+func TestBytesMapConcurrentClients(t *testing.T) {
+	s := newTestStore(t, Options{MaxThreads: 8, LinkCache: true})
+	c0 := s.MustCtx(0)
+	b := newTestBytesMap(t, s, c0, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.CtxFor(w)
+			for i := 0; i < 300; i++ {
+				key := []byte(fmt.Sprintf("w%d-%d", w, i))
+				if _, err := b.Set(c, key, key, 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := b.Get(c, key); !ok || !bytes.Equal(v, key) {
+					t.Errorf("w%d readback %d failed", w, i)
+					return
+				}
+				if i%3 == 0 {
+					b.Delete(c, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// crashAndReattach simulates a power failure and reopens the store.
+func crashAndReattach(t *testing.T, s *Store) *Store {
+	t.Helper()
+	dev := s.Device()
+	dev.Crash()
+	s2, err := AttachStore(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s2
+}
+
+// TestBytesMapCollisionChainSurvivesCrash is the core-level regression test
+// for string-key aliasing: with every key forced onto ONE index key, all
+// operations must stay per-key (full-key verification + durable chains),
+// and the chain must reconstruct across a crash and recovery sweep.
+func TestBytesMapCollisionChainSurvivesCrash(t *testing.T) {
+	SetBytesHashForTesting(func([]byte) uint64 { return MinKey + 5 })
+	defer SetBytesHashForTesting(nil)
+
+	s := newTestStore(t, Options{LinkCache: true})
+	c := s.MustCtx(0)
+	b := newTestBytesMap(t, s, c, 16)
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := b.Set(c, []byte(fmt.Sprintf("c-%d", i)), []byte(fmt.Sprintf("v-%d", i)), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mutate head, middle and a deletion, all on the same chain.
+	b.Set(c, []byte("c-29"), []byte("head-rewrite"), 0, 0)
+	b.Set(c, []byte("c-15"), []byte("mid-rewrite"), 0, 0)
+	if !b.Delete(c, []byte("c-3")) {
+		t.Fatal("chain delete failed")
+	}
+	for tid := 0; tid < 8; tid++ {
+		if cx := s.ExistingCtx(tid); cx != nil {
+			cx.Shutdown()
+		}
+	}
+	desc := [3]uint64{b.Buckets(), uint64(b.NumBuckets()), b.Tail()}
+
+	s2 := crashAndReattach(t, s)
+	b2 := AttachBytesMap(s2, desc[0], int(desc[1]), desc[2])
+	RecoverBytesMap(s2, b2, 4)
+	c2 := s2.MustCtx(0)
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("c-%d", i))
+		want := fmt.Sprintf("v-%d", i)
+		switch i {
+		case 29:
+			want = "head-rewrite"
+		case 15:
+			want = "mid-rewrite"
+		case 3:
+			if b2.Contains(c2, key) {
+				t.Fatal("deleted chain entry resurrected")
+			}
+			continue
+		}
+		v, ok := b2.Get(c2, key)
+		if !ok || string(v) != want {
+			t.Fatalf("chain key %d after crash: %q,%v want %q", i, v, ok, want)
+		}
+	}
+	if got := b2.Len(c2); got != n-1 {
+		t.Fatalf("Len after recovery = %d, want %d", got, n-1)
+	}
+}
+
+// TestBytesMapRecoveryFreesOrphanEntry: an entry written durably but never
+// linked (the crash lands between allocation and index publish, §5.1's
+// failure window) must be freed by the recovery sweep, without damaging
+// live entries.
+func TestBytesMapRecoveryFreesOrphanEntry(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	b := newTestBytesMap(t, s, c, 16)
+	if _, err := b.Set(c, []byte("live"), []byte("v"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	// Orphan an entry: fully persisted, area in the APT, never published.
+	orphan, err := b.writeEntry(c, MinKey+42, []byte("ghost"), []byte("boo"), 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := [3]uint64{b.Buckets(), uint64(b.NumBuckets()), b.Tail()}
+
+	s2 := crashAndReattach(t, s)
+	b2 := AttachBytesMap(s2, desc[0], int(desc[1]), desc[2])
+	stats := RecoverBytesMap(s2, b2, 2)
+	if stats.Leaked == 0 {
+		t.Fatal("orphan entry not detected")
+	}
+	if s2.Pool().SlotAllocated(orphan) {
+		t.Fatal("orphan entry still allocated")
+	}
+	c2 := s2.MustCtx(0)
+	if v, ok := b2.Get(c2, []byte("live")); !ok || string(v) != "v" {
+		t.Fatalf("live entry damaged by recovery: %q,%v", v, ok)
+	}
+}
+
+// TestRecoverSetMultipleStructures: two structures sharing a store must
+// both survive a combined sweep — and the sweep must still free genuine
+// leaks.
+func TestRecoverSetMultipleStructures(t *testing.T) {
+	s := newTestStore(t, Options{LinkCache: true})
+	c := s.MustCtx(0)
+	h := newTestHash(t, s, c, 16)
+	b := newTestBytesMap(t, s, c, 16)
+	for k := uint64(1); k <= 200; k++ {
+		h.Insert(c, k, k*2)
+		if _, err := b.Set(c, []byte(fmt.Sprintf("b-%d", k)), []byte("x"), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tid := 0; tid < 8; tid++ {
+		if cx := s.ExistingCtx(tid); cx != nil {
+			cx.Shutdown()
+		}
+	}
+	hDesc := [3]uint64{h.Buckets(), uint64(h.NumBuckets()), h.Tail()}
+	bDesc := [3]uint64{b.Buckets(), uint64(b.NumBuckets()), b.Tail()}
+
+	s2 := crashAndReattach(t, s)
+	h2 := AttachHashTable(s2, hDesc[0], int(hDesc[1]), hDesc[2])
+	b2 := AttachBytesMap(s2, bDesc[0], int(bDesc[1]), bDesc[2])
+	RecoverSet(s2, []Recoverer{h2.Recoverer(), b2.Recoverer()}, 4)
+	c2 := s2.MustCtx(0)
+	for k := uint64(1); k <= 200; k++ {
+		if v, ok := h2.Search(c2, k); !ok || v != k*2 {
+			t.Fatalf("hash key %d after combined recovery: %d,%v", k, v, ok)
+		}
+		if !b2.Contains(c2, []byte(fmt.Sprintf("b-%d", k))) {
+			t.Fatalf("bytes key %d lost in combined recovery", k)
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package core
 
-import "repro/internal/ptrtag"
-
 // HashTable is a durable lock-free hash table: one Harris linked list per
 // bucket (§3, "the hash table uses one Harris linked list per bucket"),
 // each made durable with link-and-persist. The bucket array is a
@@ -116,26 +114,7 @@ func (h *HashTable) Upsert(c *Ctx, key, value uint64) bool {
 	checkKey(key)
 	c.ep.Begin()
 	defer c.ep.End()
-	s, head := h.s, h.bucket(key)
-	for {
-		_, curr, _ := searchFrom(c, s, head, key)
-		c.scan(key)
-		if s.nodeKey(curr) != key {
-			if listInsert(c, s, head, key, value) {
-				return true
-			}
-			continue // raced with a concurrent insert of the same key
-		}
-		old := s.nodeValue(curr)
-		if !s.dev.CAS(curr+nValue, old, value) {
-			continue
-		}
-		if ptrtag.IsMarked(s.dev.Load(curr + nNext)) {
-			continue // deleted concurrently: retry as an insert
-		}
-		c.f.Sync(curr + nValue)
-		return false
-	}
+	return listUpsert(c, h.s, h.bucket(key), key, value)
 }
 
 // Len counts live keys (quiescent use).

@@ -190,6 +190,33 @@ func listInsert(c *Ctx, s *Store, head Addr, key, value uint64) bool {
 	}
 }
 
+// listUpsert is the shared upsert path (List, the hash table's buckets, and
+// the bytes layer's index updates): insert key→value, or durably replace the
+// value of an existing key in place. The value word shares the node's cache
+// line with its links, so a single write-back covers the replacement.
+// Returns true if the key was newly inserted.
+func listUpsert(c *Ctx, s *Store, head Addr, key, value uint64) bool {
+	for {
+		_, curr, _ := searchFrom(c, s, head, key)
+		c.scan(key)
+		if s.nodeKey(curr) != key {
+			if listInsert(c, s, head, key, value) {
+				return true
+			}
+			continue // raced with a concurrent insert of the same key
+		}
+		old := s.nodeValue(curr)
+		if !s.dev.CAS(curr+nValue, old, value) {
+			continue
+		}
+		if ptrtag.IsMarked(s.dev.Load(curr + nNext)) {
+			continue // deleted concurrently: retry as an insert
+		}
+		c.f.Sync(curr + nValue)
+		return false
+	}
+}
+
 // listDelete is the shared delete path.
 func listDelete(c *Ctx, s *Store, head Addr, key uint64) (uint64, bool) {
 	for {
@@ -264,6 +291,15 @@ func (l *List) Delete(c *Ctx, key uint64) (uint64, bool) {
 	c.ep.Begin()
 	defer c.ep.End()
 	return listDelete(c, l.s, l.head, key)
+}
+
+// Upsert inserts key→value or durably replaces the value of an existing key
+// in place. Returns true if the key was newly inserted.
+func (l *List) Upsert(c *Ctx, key, value uint64) bool {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	return listUpsert(c, l.s, l.head, key, value)
 }
 
 // Len counts the live nodes (linearizable only in quiescence; diagnostic).

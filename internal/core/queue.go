@@ -160,7 +160,7 @@ func (q *Queue) Peek(c *Ctx) (uint64, bool) {
 // then keep exactly the nodes reachable from head (and the descriptor).
 type queueRecover struct{ q *Queue }
 
-func (r queueRecover) prepare(c *Ctx) {
+func (r queueRecover) Prepare(c *Ctx, _ map[Addr]bool) {
 	dev := r.q.s.dev
 	// Strip a leftover Dirty mark on head and walk to the true tail.
 	c.ensureDurable(r.q.desc + qHead)
@@ -176,7 +176,7 @@ func (r queueRecover) prepare(c *Ctx) {
 	dev.Store(r.q.desc+qTail, node) // volatile tail
 }
 
-func (r queueRecover) keep(c *Ctx, n Addr) bool {
+func (r queueRecover) Keep(c *Ctx, n Addr) bool {
 	dev := r.q.s.dev
 	if n == r.q.desc {
 		return true
@@ -198,6 +198,9 @@ func (r queueRecover) keep(c *Ctx, n Addr) bool {
 		node = next
 	}
 }
+
+// Recoverer returns the queue's hook set for RecoverSet composition.
+func (q *Queue) Recoverer() Recoverer { return queueRecover{q} }
 
 // RecoverQueue runs the §5.5 recovery procedure for a queue: rebuild the
 // volatile tail from the durable chain, then sweep the active areas.

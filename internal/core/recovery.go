@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/pmem"
 	"repro/internal/ptrtag"
 )
 
@@ -44,18 +45,26 @@ type RecoveryStats struct {
 	Duration       time.Duration
 }
 
-// recoverable is the per-structure hook set used by the generic sweep.
-type recoverable interface {
-	// prepare restores volatile acceleration state (e.g. the skip list
-	// index) before any searches run. Called once, single-threaded.
-	prepare(c *Ctx)
-	// keep reports whether the allocated object at n is a live node of this
+// Recoverer is the per-structure hook set used by the generic sweep. Obtain
+// one from a structure's Recoverer method; RecoverSet composes any number of
+// them into a single pass over the active areas, which is the only correct
+// way to recover a store holding several structures — a lone structure's
+// sweep would free its siblings' nodes as leaks.
+type Recoverer interface {
+	// Prepare restores volatile acceleration state (e.g. the skip list
+	// index) and may pre-compute reachability against the active areas.
+	// Called once, single-threaded, before any Keep call.
+	Prepare(c *Ctx, areaSet map[Addr]bool)
+	// Keep reports whether the allocated object at n is a live node of this
 	// structure, helping any pending operation it encounters along the way.
-	keep(c *Ctx, n Addr) bool
+	// It must never claim another structure's objects.
+	Keep(c *Ctx, n Addr) bool
 }
 
-// sweep is the shared search-based recovery driver.
-func sweep(s *Store, r recoverable, par int) RecoveryStats {
+// RecoverSet runs one §5.5 recovery pass for a set of structures sharing a
+// store: every allocated object in an active area is kept iff some
+// structure's Keep claims it, otherwise it is freed as a persistent leak.
+func RecoverSet(s *Store, rs []Recoverer, par int) RecoveryStats {
 	start := time.Now()
 	if par < 1 {
 		par = 1
@@ -64,9 +73,16 @@ func sweep(s *Store, r recoverable, par int) RecoveryStats {
 		par = s.opts.MaxThreads
 	}
 	ctx0 := s.recoveryCtx(0)
-	r.prepare(ctx0)
 
 	areas := s.mgr.ActiveAreas()
+	areaSet := make(map[Addr]bool, len(areas))
+	for _, a := range areas {
+		areaSet[a] = true
+	}
+	for _, r := range rs {
+		r.Prepare(ctx0, areaSet)
+	}
+
 	var objs []Addr
 	for _, a := range areas {
 		objs = s.mgr.AllocatedInArea(objs, a)
@@ -85,7 +101,14 @@ func sweep(s *Store, r recoverable, par int) RecoveryStats {
 				if !s.pool.SlotAllocated(n) {
 					continue // freed meanwhile (helping or another worker)
 				}
-				if r.keep(c, n) {
+				kept := false
+				for _, r := range rs {
+					if r.Keep(c, n) {
+						kept = true
+						break
+					}
+				}
+				if kept {
 					continue
 				}
 				if c.alloc.TryFree(n) {
@@ -105,6 +128,12 @@ func sweep(s *Store, r recoverable, par int) RecoveryStats {
 	s.endRecovery()
 	stats.Duration = time.Since(start)
 	return stats
+}
+
+// sweep is the single-structure driver, kept for the per-structure Recover
+// entry points.
+func sweep(s *Store, r Recoverer, par int) RecoveryStats {
+	return RecoverSet(s, []Recoverer{r}, par)
 }
 
 // recoveryCtx returns (creating if needed) the context for tid with the
@@ -130,9 +159,9 @@ func (s *Store) endRecovery() {
 
 type hashRecover struct{ h *HashTable }
 
-func (hashRecover) prepare(*Ctx) {}
+func (hashRecover) Prepare(*Ctx, map[Addr]bool) {}
 
-func (r hashRecover) keep(c *Ctx, n Addr) bool {
+func (r hashRecover) Keep(c *Ctx, n Addr) bool {
 	h := r.h
 	if n == h.tail {
 		return true
@@ -145,6 +174,9 @@ func (r hashRecover) keep(c *Ctx, n Addr) bool {
 	return curr == n
 }
 
+// Recoverer returns the table's hook set for RecoverSet composition.
+func (h *HashTable) Recoverer() Recoverer { return hashRecover{h} }
+
 // RecoverHashTable sweeps the active areas with per-key searches (§5.5,
 // first approach) using par parallel workers.
 func RecoverHashTable(s *Store, h *HashTable, par int) RecoveryStats {
@@ -153,70 +185,33 @@ func RecoverHashTable(s *Store, h *HashTable, par int) RecoveryStats {
 
 // --- Linked list ------------------------------------------------------
 
-// RecoverList recovers a list with the traversal-based strategy (§5.5,
-// second approach): one pass collects reachable addresses inside active
-// areas (physically unlinking logically deleted nodes as it goes), then the
-// active areas are swept against the collected set, in parallel.
+// listRecover implements the traversal-based strategy (§5.5, second
+// approach — linear searches would make a search-based sweep quadratic):
+// Prepare traverses the list once, snipping logically deleted nodes (freed
+// immediately in recovery mode) and collecting the reachable addresses that
+// fall inside active areas; Keep is then a set lookup.
+type listRecover struct {
+	l         *List
+	reachable map[Addr]bool
+}
+
+func (r *listRecover) Prepare(c *Ctx, areaSet map[Addr]bool) {
+	r.reachable = make(map[Addr]bool)
+	collectChain(c, r.l.s, r.l.head, areaSet, r.reachable)
+}
+
+func (r *listRecover) Keep(c *Ctx, n Addr) bool {
+	return n == r.l.head || n == r.l.tail || r.reachable[n]
+}
+
+// Recoverer returns the list's hook set for RecoverSet composition.
+func (l *List) Recoverer() Recoverer { return &listRecover{l: l} }
+
+// RecoverList recovers a list with the traversal-based strategy: one pass
+// collects reachable addresses inside active areas, then the active areas
+// are swept against the collected set, in parallel.
 func RecoverList(s *Store, l *List, par int) RecoveryStats {
-	start := time.Now()
-	if par < 1 {
-		par = 1
-	}
-	if par > s.opts.MaxThreads {
-		par = s.opts.MaxThreads
-	}
-	c0 := s.recoveryCtx(0)
-
-	areas := s.mgr.ActiveAreas()
-	areaSet := make(map[Addr]bool, len(areas))
-	for _, a := range areas {
-		areaSet[a] = true
-	}
-	var objs []Addr
-	for _, a := range areas {
-		objs = s.mgr.AllocatedInArea(objs, a)
-	}
-	stats := RecoveryStats{ActiveAreas: len(areas), ObjectsChecked: len(objs)}
-
-	// Phase 1: traverse once, snipping marked nodes (freed immediately in
-	// recovery mode) and collecting reachable addresses in active areas.
-	reachable := make(map[Addr]bool)
-	collectChain(c0, s, l.head, areaSet, reachable)
-
-	// Phase 2: parallel sweep against the reachable set.
-	leaked := make([]int, par)
-	var wg sync.WaitGroup
-	for wk := 0; wk < par; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			c := s.recoveryCtx(wk)
-			for i := wk; i < len(objs); i += par {
-				n := objs[i]
-				if n == l.head || n == l.tail || reachable[n] {
-					continue
-				}
-				if !s.pool.SlotAllocated(n) {
-					continue
-				}
-				if c.alloc.TryFree(n) {
-					leaked[wk]++
-				}
-			}
-			c.f.Fence()
-		}(wk)
-	}
-	wg.Wait()
-	for _, n := range leaked {
-		stats.Leaked += n
-	}
-	if s.lc != nil {
-		s.lc.FlushAll(c0.f)
-		c0.f.Fence()
-	}
-	s.endRecovery()
-	stats.Duration = time.Since(start)
-	return stats
+	return sweep(s, l.Recoverer(), par)
 }
 
 // collectChain walks one Harris chain from head, quiescently unlinking (and
@@ -247,85 +242,44 @@ func collectChain(c *Ctx, s *Store, head Addr, areaSet map[Addr]bool, reachable 
 	}
 }
 
-// RecoverHashTableTraversal is the hash table under §5.5's *second*
-// approach: one traversal of every bucket collects the reachable set, then
-// the active areas are swept against it. RecoverHashTable (per-key
-// searches) is normally faster — this variant exists because the paper
-// describes both and their relative cost depends on structure size vs
-// active-area volume ("the efficiency of each method depends on the size of
-// the data structure ... and the size of the memory space that needs to be
-// verified").
-func RecoverHashTableTraversal(s *Store, h *HashTable, par int) RecoveryStats {
-	start := time.Now()
-	if par < 1 {
-		par = 1
-	}
-	if par > s.opts.MaxThreads {
-		par = s.opts.MaxThreads
-	}
-	c0 := s.recoveryCtx(0)
+// hashTraversalRecover is the hash table under §5.5's *second* approach:
+// one traversal of every bucket collects the reachable set, then Keep is a
+// set lookup. Per-key searches (hashRecover) are normally faster — this
+// variant exists because the paper describes both and their relative cost
+// depends on structure size vs active-area volume.
+type hashTraversalRecover struct {
+	h         *HashTable
+	reachable map[Addr]bool
+}
 
-	areas := s.mgr.ActiveAreas()
-	areaSet := make(map[Addr]bool, len(areas))
-	for _, a := range areas {
-		areaSet[a] = true
-	}
-	var objs []Addr
-	for _, a := range areas {
-		objs = s.mgr.AllocatedInArea(objs, a)
-	}
-	stats := RecoveryStats{ActiveAreas: len(areas), ObjectsChecked: len(objs)}
-
-	reachable := make(map[Addr]bool)
-	reachable[h.tail] = true
+func (r *hashTraversalRecover) Prepare(c *Ctx, areaSet map[Addr]bool) {
+	h := r.h
+	r.reachable = map[Addr]bool{h.tail: true}
 	for i := 0; i <= int(h.mask); i++ {
-		collectChain(c0, s, h.buckets+Addr(i)*64, areaSet, reachable)
+		collectChain(c, h.s, h.buckets+Addr(i)*64, areaSet, r.reachable)
 	}
+}
 
-	leaked := make([]int, par)
-	var wg sync.WaitGroup
-	for wk := 0; wk < par; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			c := s.recoveryCtx(wk)
-			for i := wk; i < len(objs); i += par {
-				n := objs[i]
-				if n == h.tail || reachable[n] || !s.pool.SlotAllocated(n) {
-					continue
-				}
-				if c.alloc.TryFree(n) {
-					leaked[wk]++
-				}
-			}
-			c.f.Fence()
-		}(wk)
-	}
-	wg.Wait()
-	for _, n := range leaked {
-		stats.Leaked += n
-	}
-	if s.lc != nil {
-		s.lc.FlushAll(c0.f)
-		c0.f.Fence()
-	}
-	s.endRecovery()
-	stats.Duration = time.Since(start)
-	return stats
+func (r *hashTraversalRecover) Keep(c *Ctx, n Addr) bool { return r.reachable[n] }
+
+// RecoverHashTableTraversal recovers a hash table with the traversal-based
+// strategy.
+func RecoverHashTableTraversal(s *Store, h *HashTable, par int) RecoveryStats {
+	return sweep(s, &hashTraversalRecover{h: h}, par)
 }
 
 // --- Skip list --------------------------------------------------------
 
 type skipRecover struct{ sl *SkipList }
 
-func (r skipRecover) prepare(c *Ctx) {
+func (r skipRecover) Prepare(c *Ctx, _ map[Addr]bool) {
 	// The index levels are volatile by design; rebuild them from the
 	// durable level-0 chain before any searches run. Logically deleted
 	// nodes are excluded, so a later level-0 snip fully unlinks them.
 	r.sl.RebuildIndex(c)
 }
 
-func (r skipRecover) keep(c *Ctx, n Addr) bool {
+func (r skipRecover) Keep(c *Ctx, n Addr) bool {
 	sl := r.sl
 	if n == sl.head || n == sl.tail {
 		return true
@@ -339,6 +293,9 @@ func (r skipRecover) keep(c *Ctx, n Addr) bool {
 	return succs[0] == n
 }
 
+// Recoverer returns the skip list's hook set for RecoverSet composition.
+func (sl *SkipList) Recoverer() Recoverer { return skipRecover{sl} }
+
 // RecoverSkipList rebuilds the volatile index from the durable level-0
 // chain, then sweeps the active areas with searches.
 func RecoverSkipList(s *Store, sl *SkipList, par int) RecoveryStats {
@@ -349,9 +306,9 @@ func RecoverSkipList(s *Store, sl *SkipList, par int) RecoveryStats {
 
 type bstRecover struct{ t *BST }
 
-func (bstRecover) prepare(*Ctx) {}
+func (bstRecover) Prepare(*Ctx, map[Addr]bool) {}
 
-func (r bstRecover) keep(c *Ctx, n Addr) bool {
+func (r bstRecover) Keep(c *Ctx, n Addr) bool {
 	t := r.t
 	dev := t.s.dev
 	key := dev.Load(n + bKey)
@@ -403,10 +360,60 @@ func (r bstRecover) resolve(c *Ctx, gpEdge, pEdge Addr, leaf Addr) {
 	}
 }
 
+// Recoverer returns the BST's hook set for RecoverSet composition.
+func (t *BST) Recoverer() Recoverer { return bstRecover{t} }
+
 // RecoverBST sweeps the active areas with access-path checks, completing
 // crashed two-phase deletions as it encounters their durable flags.
 func RecoverBST(s *Store, t *BST, par int) RecoveryStats {
 	return sweep(s, bstRecover{t}, par)
+}
+
+// --- Bytes map ----------------------------------------------------------
+
+// bytesRecover keeps a BytesMap's two object populations: class-0 index
+// nodes (delegated to the hash table's search-based check) and class ≥ 1
+// entry extents (kept iff reachable on the collision chain of their stored
+// index key).
+type bytesRecover struct{ b *BytesMap }
+
+func (bytesRecover) Prepare(*Ctx, map[Addr]bool) {}
+
+func (r bytesRecover) Keep(c *Ctx, n Addr) bool {
+	b := r.b
+	cl, ok := b.s.pool.PageClass(pmem.PageOf(n))
+	if !ok {
+		return true // not a heap page; leave alone
+	}
+	if cl == 0 {
+		return hashRecover{b.idx}.Keep(c, n) // index node
+	}
+	// Entry extent: reachable iff it is on the collision chain of its
+	// stored index key. Condition (ii) of §5.5: an uninitialized or foreign
+	// object fails the range check or the chain walk and is not claimed.
+	hash := b.s.dev.Load(n + beHash)
+	if hash < MinKey || hash > MaxKey {
+		return false
+	}
+	_, curr, _ := searchFrom(c, b.s, b.idx.bucket(hash), hash)
+	if b.s.nodeKey(curr) != hash {
+		return false
+	}
+	for e := Addr(b.s.nodeValue(curr)); e != 0; e = b.entryNext(e) {
+		if e == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Recoverer returns the map's hook set for RecoverSet composition.
+func (b *BytesMap) Recoverer() Recoverer { return bytesRecover{b} }
+
+// RecoverBytesMap sweeps the active areas for a bytes map: index nodes by
+// per-key search, entry extents by collision-chain membership.
+func RecoverBytesMap(s *Store, b *BytesMap, par int) RecoveryStats {
+	return sweep(s, bytesRecover{b}, par)
 }
 
 // --- Custom sweeps ------------------------------------------------------
@@ -416,17 +423,16 @@ type customRecover struct {
 	k func(*Ctx, Addr) bool
 }
 
-func (r customRecover) prepare(c *Ctx) {
+func (r customRecover) Prepare(c *Ctx, _ map[Addr]bool) {
 	if r.p != nil {
 		r.p(c)
 	}
 }
 
-func (r customRecover) keep(c *Ctx, n Addr) bool { return r.k(c, n) }
+func (r customRecover) Keep(c *Ctx, n Addr) bool { return r.k(c, n) }
 
 // RecoverCustom runs the generic active-area sweep with a caller-supplied
-// liveness check. NV-Memcached uses it: its active areas hold both hash
-// index nodes and cache items, distinguished by slab class.
+// liveness check, for structures composed outside this package.
 func RecoverCustom(s *Store, prepare func(*Ctx), keep func(*Ctx, Addr) bool, par int) RecoveryStats {
 	return sweep(s, customRecover{prepare, keep}, par)
 }
@@ -434,5 +440,5 @@ func RecoverCustom(s *Store, prepare func(*Ctx), keep func(*Ctx, Addr) bool, par
 // KeepHashNode returns the liveness check RecoverHashTable uses for h's
 // index nodes, for composition inside RecoverCustom.
 func KeepHashNode(h *HashTable) func(*Ctx, Addr) bool {
-	return hashRecover{h}.keep
+	return hashRecover{h}.Keep
 }

@@ -140,7 +140,7 @@ func TestRecoverHashAfterCrash(t *testing.T) {
 			}
 			c2 := s2.MustCtx(0)
 			checkDurableLinearizability(t, h2, c2, mustHave, mustNot)
-			leakCheck(t, s2, hashRecover{h2}.keep)
+			leakCheck(t, s2, hashRecover{h2}.Keep)
 		})
 	}
 }
@@ -183,7 +183,7 @@ func TestRecoverSkipListAfterCrash(t *testing.T) {
 			RecoverSkipList(s2, sl2, 2)
 			c2 := s2.MustCtx(0)
 			checkDurableLinearizability(t, sl2, c2, mustHave, mustNot)
-			leakCheck(t, s2, skipRecover{sl2}.keep)
+			leakCheck(t, s2, skipRecover{sl2}.Keep)
 		})
 	}
 }
@@ -203,7 +203,7 @@ func TestRecoverBSTAfterCrash(t *testing.T) {
 			RecoverBST(s2, bt2, 2)
 			c2 := s2.MustCtx(0)
 			checkDurableLinearizability(t, bt2, c2, mustHave, mustNot)
-			leakCheck(t, s2, bstRecover{bt2}.keep)
+			leakCheck(t, s2, bstRecover{bt2}.Keep)
 		})
 	}
 }
@@ -391,5 +391,5 @@ func TestAdversarialAutoEviction(t *testing.T) {
 	RecoverHashTable(s2, h2, 2)
 	c2 := s2.MustCtx(0)
 	checkDurableLinearizability(t, h2, c2, mustHave, mustNot)
-	leakCheck(t, s2, hashRecover{h2}.keep)
+	leakCheck(t, s2, hashRecover{h2}.Keep)
 }

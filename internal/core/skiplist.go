@@ -191,6 +191,12 @@ func (sl *SkipList) Insert(c *Ctx, key, value uint64) bool {
 	checkKey(key)
 	c.ep.Begin()
 	defer c.ep.End()
+	return sl.insert(c, key, value)
+}
+
+// insert is the Insert body, shared with Upsert (which manages its own epoch
+// section).
+func (sl *SkipList) insert(c *Ctx, key, value uint64) bool {
 	dev := sl.s.dev
 	var preds, succs [MaxLevel]Addr
 	top := c.randomLevel()
@@ -255,6 +261,36 @@ func (sl *SkipList) Insert(c *Ctx, key, value uint64) bool {
 			sl.find(c, key, &preds, &succs)
 		}
 		return true
+	}
+}
+
+// Upsert inserts key→value or durably replaces the value of an existing key
+// in place (one word CAS + sync; the value word shares the node's first cache
+// line with its level-0 link). Returns true if the key was newly inserted.
+func (sl *SkipList) Upsert(c *Ctx, key, value uint64) bool {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := sl.s.dev
+	var preds, succs [MaxLevel]Addr
+	for {
+		if !sl.find(c, key, &preds, &succs) {
+			if sl.insert(c, key, value) {
+				return true
+			}
+			continue // raced with a concurrent insert of the same key
+		}
+		c.scan(key)
+		node := succs[0]
+		old := dev.Load(node + slValue)
+		if !dev.CAS(node+slValue, old, value) {
+			continue
+		}
+		if ptrtag.IsMarked(dev.Load(node + slNext(0))) {
+			continue // deleted concurrently: retry as an insert
+		}
+		c.f.Sync(node + slValue)
+		return false
 	}
 }
 

@@ -107,11 +107,11 @@ func (st *Stack) Len(c *Ctx) int {
 
 type stackRecover struct{ st *Stack }
 
-func (r stackRecover) prepare(c *Ctx) {
+func (r stackRecover) Prepare(c *Ctx, _ map[Addr]bool) {
 	c.ensureDurable(r.st.desc + stTop)
 }
 
-func (r stackRecover) keep(c *Ctx, n Addr) bool {
+func (r stackRecover) Keep(c *Ctx, n Addr) bool {
 	if n == r.st.desc {
 		return true
 	}
@@ -126,6 +126,9 @@ func (r stackRecover) keep(c *Ctx, n Addr) bool {
 	}
 	return false
 }
+
+// Recoverer returns the stack's hook set for RecoverSet composition.
+func (st *Stack) Recoverer() Recoverer { return stackRecover{st} }
 
 // RecoverStack runs the §5.5 recovery procedure for a stack.
 func RecoverStack(s *Store, st *Stack, par int) RecoveryStats {

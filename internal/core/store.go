@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/epoch"
 	"repro/internal/linkcache"
@@ -82,6 +83,12 @@ type Store struct {
 	opts Options
 
 	ctxs []*Ctx // registered per-thread contexts, indexed by tid
+
+	// bytesLocks are the entry-lifecycle stripes of every BytesMap on this
+	// store, keyed by index-key hash (see bytes.go). Store-level so that
+	// independently attached BytesMap values over the same durable map
+	// share one serialization domain.
+	bytesLocks [256]sync.Mutex
 }
 
 // ErrTooManyThreads is returned when NewCtx exceeds Options.MaxThreads.

@@ -1,16 +1,15 @@
 // Package memcache implements NV-Memcached (§6.5): a durable object cache
-// in the mold of Memcached, built on the log-free durable hash table.
+// in the mold of Memcached, built on the public logfree byte-key API.
 //
 // Architecture, following the paper:
 //
-//   - The hash table is the log-free durable lock-free table (replacing
-//     memcached-clht's CLHT), keyed by a 64-bit hash of the item key; full
-//     keys are compared inside items, and genuine 64-bit collisions chain
-//     through the items' hnext field.
-//   - Items live in slab-class pages of the persistent allocator; the
-//     active-page table doubles as the paper's "active slab table": on
-//     recovery, only active slabs are swept for items that are allocated
-//     but no longer (or not yet) reachable from the table.
+//   - The index is logfree's byte-keyed durable map (KindMap): a log-free
+//     durable lock-free hash table keyed by the item key's 64-bit hash,
+//     with full keys verified in the durable entries and same-hash keys
+//     chained durably — distinct string keys can never alias.
+//   - Items live in slab-class extents of the persistent allocator; on
+//     recovery, only the active slabs are swept for items that are
+//     allocated but no longer (or not yet) reachable from the map.
 //   - The LRU list is volatile (recovery resets recency, not contents),
 //     mirroring Memcached's behaviour that cache metadata is advisory.
 //
@@ -19,38 +18,23 @@
 package memcache
 
 import (
-	"bytes"
 	"errors"
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/nvram"
-	"repro/internal/pmem"
+	"repro/logfree"
 )
 
-// Addr is a byte offset into the device.
-type Addr = nvram.Addr
-
-// Item layout (allocated from class ≥ 1, so item pages are distinguishable
-// from index-node pages):
-//
-//	[0]  keyLen(16) | valLen(32) | flags(16)
-//	[8]  64-bit key hash
-//	[16] expiry (unix seconds, 0 = never)
-//	[24] hnext: next item with the same 64-bit hash (collision chain)
-//	[32] key bytes, then value bytes
 const (
-	itHeader = 0
-	itHash   = 8
-	itExpiry = 16
-	itHNext  = 24
-	itData   = 32
-
 	// MaxKeyLen matches memcached's 250-byte key limit.
 	MaxKeyLen = 250
-	// MaxValueLen is bounded by the largest slab class.
-	MaxValueLen = 2048 - itData - MaxKeyLen
+	// MaxValueLen is bounded by the largest slab class (entry header and a
+	// maximum-length key subtracted), derived from the byte-map geometry.
+	MaxValueLen = logfree.MaxMapEntrySize - logfree.MapEntryOverhead - MaxKeyLen
+
+	// cacheMapName is the durable directory name of the item index.
+	cacheMapName = "memcache"
 )
 
 // Errors.
@@ -69,7 +53,8 @@ type Config struct {
 	MaxConns int
 	// WriteLatency is the simulated NVRAM write latency.
 	WriteLatency time.Duration
-	// LinkCache enables the §4 link cache (on by default in NV-Memcached).
+	// DisableLinkCache turns the §4 link cache off (on by default in
+	// NV-Memcached).
 	DisableLinkCache bool
 }
 
@@ -87,24 +72,33 @@ func (c *Config) fill() {
 
 // Cache is a durable NV-Memcached instance.
 type Cache struct {
-	dev   *nvram.Device
-	store *core.Store
-	idx   *core.HashTable
+	rt *logfree.Runtime
+	m  *logfree.ByteMap
 
 	lru   *lruList
 	stats Stats
 
 	statsMu sync.Mutex
 
-	// itemLocks serialize the lifecycle (set/delete/evict) of items sharing
-	// a hash stripe, exactly as memcached's striped item locks do. Gets are
-	// lock-free; the underlying hash table stays lock-free too — the stripe
-	// only prevents two mutators from retiring the same item twice.
-	itemLocks [1024]sync.Mutex
+	// keyLocks serialize the lifecycle (set/delete/evict and the composite
+	// commands) of items sharing a key-hash stripe, exactly as memcached's
+	// striped item locks do. Gets are lock-free.
+	keyLocks [1024]sync.Mutex
 }
 
-func (m *Cache) lockHash(hash uint64) *sync.Mutex {
-	return &m.itemLocks[hash%uint64(len(m.itemLocks))]
+// stripeHash is a volatile FNV-1a over the key, for lock striping only (the
+// durable index hash lives inside logfree).
+func stripeHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (m *Cache) lockKey(key []byte) *sync.Mutex {
+	return &m.keyLocks[stripeHash(key)%uint64(len(m.keyLocks))]
 }
 
 // Stats mirrors the interesting counters of `stats`.
@@ -118,41 +112,33 @@ type Stats struct {
 // Handle is a per-connection (per-goroutine) operation context.
 type Handle struct {
 	cache *Cache
-	c     *core.Ctx
+	h     *logfree.Handle
 	tid   int
 }
-
-// Root slots used by the cache's durable descriptor.
-const (
-	rootBuckets = core.RootUser + 0
-	rootNBkts   = core.RootUser + 1
-	rootTail    = core.RootUser + 2
-)
 
 // New creates a durable cache on a fresh device.
 func New(cfg Config) (*Cache, error) {
 	cfg.fill()
-	dev := nvram.New(nvram.Config{Size: cfg.MemoryBytes, WriteLatency: cfg.WriteLatency})
-	store, err := core.NewStore(dev, core.Options{
-		MaxThreads: cfg.MaxConns + 1,
-		LinkCache:  !cfg.DisableLinkCache,
-	})
+	rt, err := logfree.New(
+		logfree.WithSize(cfg.MemoryBytes),
+		logfree.WithMaxThreads(cfg.MaxConns+1),
+		logfree.WithWriteLatency(cfg.WriteLatency),
+		logfree.WithLinkCache(!cfg.DisableLinkCache))
 	if err != nil {
 		return nil, err
 	}
-	setup := store.MustCtx(cfg.MaxConns)
-	idx, err := core.NewHashTable(setup, cfg.Buckets)
+	m, err := rt.Map(rt.Handle(cfg.MaxConns), cacheMapName, cfg.Buckets)
 	if err != nil {
 		return nil, err
 	}
-	store.SetRoot(setup, rootBuckets, idx.Buckets())
-	store.SetRoot(setup, rootNBkts, uint64(idx.NumBuckets()))
-	store.SetRoot(setup, rootTail, idx.Tail())
-	return &Cache{dev: dev, store: store, idx: idx, lru: newLRU()}, nil
+	return &Cache{rt: rt, m: m, lru: newLRU()}, nil
 }
 
 // Device exposes the simulated device (crash injection, stats).
-func (m *Cache) Device() *nvram.Device { return m.dev }
+func (m *Cache) Device() *nvram.Device { return m.rt.Device() }
+
+// Runtime exposes the underlying logfree runtime.
+func (m *Cache) Runtime() *logfree.Runtime { return m.rt }
 
 // Stats returns a snapshot of the counters.
 func (m *Cache) Stats() Stats {
@@ -163,7 +149,7 @@ func (m *Cache) Stats() Stats {
 
 // Handle returns the operation context for worker tid.
 func (m *Cache) Handle(tid int) *Handle {
-	return &Handle{cache: m, c: m.store.CtxFor(tid), tid: tid}
+	return &Handle{cache: m, h: m.rt.Handle(tid), tid: tid}
 }
 
 func (m *Cache) bump(f func(*Stats)) {
@@ -172,138 +158,24 @@ func (m *Cache) bump(f func(*Stats)) {
 	m.statsMu.Unlock()
 }
 
-// keyHash maps a key to the hash table's key space.
-func keyHash(key []byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, b := range key {
-		h ^= uint64(b)
-		h *= 1099511628211
-	}
-	if h < core.MinKey {
-		h = core.MinKey
-	}
-	if h > core.MaxKey {
-		h = core.MaxKey
-	}
-	return h
-}
-
-// itemClass picks the slab class for an item (never class 0: index nodes
-// own class-0 pages, preserving the paper's "areas hold one type of data").
-func itemClass(total uint64) (pmem.Class, error) {
-	cl, err := pmem.ClassFor(total)
-	if err != nil {
-		return 0, ErrTooLarge
-	}
-	if cl == 0 {
-		cl = 1
-	}
-	return cl, nil
-}
-
-// writeItem allocates and fully persists an item (contents fenced before it
-// can be linked anywhere).
-func (h *Handle) writeItem(hash uint64, key, value []byte, flags uint16, expiry uint32, hnext Addr) (Addr, error) {
-	total := uint64(itData + len(key) + len(value))
-	cl, err := itemClass(total)
-	if err != nil {
-		return 0, err
-	}
-	it, err := h.c.Epoch().AllocNode(cl)
-	if err != nil {
-		return 0, err
-	}
-	dev := h.cache.dev
-	hdr := uint64(len(key)) | uint64(len(value))<<16 | uint64(flags)<<48
-	dev.Store(it+itHeader, hdr)
-	dev.Store(it+itHash, hash)
-	dev.Store(it+itExpiry, uint64(expiry))
-	dev.Store(it+itHNext, uint64(hnext))
-	data := make([]byte, 0, len(key)+len(value))
-	data = append(append(data, key...), value...)
-	storeBytes(dev, it+itData, data) // word-aligned start; one contiguous blob
-	for off := Addr(0); off < Addr(total+7)/8*8; off += nvram.LineSize {
-		h.c.Flusher().CLWB(it + off)
-	}
-	h.c.Flusher().Fence()
-	return it, nil
-}
-
-// storeBytes writes a byte slice into the device word by word.
-func storeBytes(dev *nvram.Device, a Addr, b []byte) {
-	for i := 0; i < len(b); i += 8 {
-		var w uint64
-		for j := 0; j < 8 && i+j < len(b); j++ {
-			w |= uint64(b[i+j]) << (8 * j)
-		}
-		dev.Store(a+Addr(i), w)
-	}
-}
-
-// loadBytes reads n bytes from the device.
-func loadBytes(dev *nvram.Device, a Addr, n int) []byte {
-	out := make([]byte, n)
-	for i := 0; i < n; i += 8 {
-		w := dev.Load(a + Addr(i))
-		for j := 0; j < 8 && i+j < n; j++ {
-			out[i+j] = byte(w >> (8 * j))
-		}
-	}
-	return out
-}
-
-func (m *Cache) itemKey(it Addr) []byte {
-	hdr := m.dev.Load(it + itHeader)
-	return loadBytes(m.dev, it+itData, int(hdr&0xFFFF))
-}
-
-func (m *Cache) itemValue(it Addr) []byte {
-	hdr := m.dev.Load(it + itHeader)
-	klen := int(hdr & 0xFFFF)
-	vlen := int(hdr >> 16 & 0xFFFFFFFF)
-	return loadBytes(m.dev, it+itData, klen+vlen)[klen:]
-}
-
-func (m *Cache) itemFlags(it Addr) uint16 {
-	return uint16(m.dev.Load(it+itHeader) >> 48)
-}
-
-func (m *Cache) itemExpired(it Addr, now int64) bool {
-	e := m.dev.Load(it + itExpiry)
-	return e != 0 && int64(e) <= now
-}
-
-// findInChain walks a collision chain for an exact key match, returning the
-// item and its predecessor in the chain (0 if it is the head).
-func (m *Cache) findInChain(head Addr, key []byte) (item, pred Addr) {
-	pred = 0
-	for it := head; it != 0; it = Addr(m.dev.Load(it + itHNext)) {
-		if bytes.Equal(m.itemKey(it), key) {
-			return it, pred
-		}
-		pred = it
-	}
-	return 0, 0
+// expired reports whether an item's aux word (unix expiry, 0 = never) has
+// passed.
+func expired(aux uint64, now int64) bool {
+	return aux != 0 && int64(aux) <= now
 }
 
 // Get returns the value and flags bound to key.
 func (h *Handle) Get(key []byte) (value []byte, flags uint16, ok bool) {
 	m := h.cache
 	m.bump(func(s *Stats) { s.Gets++ })
-	hash := keyHash(key)
-	head, found := m.idx.Search(h.c, hash)
-	if !found {
+	v, meta, aux, found := m.m.GetItem(h.h, key)
+	if !found || expired(aux, time.Now().Unix()) {
 		m.bump(func(s *Stats) { s.Misses++ })
 		return nil, 0, false
 	}
-	it, _ := m.findInChain(Addr(head), key)
-	if it == 0 || m.itemExpired(it, time.Now().Unix()) {
-		m.bump(func(s *Stats) { s.Misses++ })
-		return nil, 0, false
-	}
-	m.lru.touch(it)
+	m.lru.touch(string(key))
 	m.bump(func(s *Stats) { s.Hits++ })
-	return m.itemValue(it), m.itemFlags(it), true
+	return v, meta, true
 }
 
 // Set binds key to value, durably, evicting LRU items under memory pressure.
@@ -311,7 +183,7 @@ func (h *Handle) Set(key, value []byte, flags uint16, expiry uint32) error {
 	if len(key) > MaxKeyLen || len(key) == 0 {
 		return errors.New("memcache: bad key length")
 	}
-	if itData+len(key)+len(value) > 2048 {
+	if logfree.MapEntryOverhead+len(key)+len(value) > logfree.MaxMapEntrySize {
 		return ErrTooLarge
 	}
 	m := h.cache
@@ -319,80 +191,45 @@ func (h *Handle) Set(key, value []byte, flags uint16, expiry uint32) error {
 	// Proactive LRU eviction: keep enough headroom that allocations deep in
 	// the index never fail (memcached's behaviour under memory pressure).
 	const lowWater = 256 << 10
-	for i := 0; m.store.Pool().AvailableBytes() < lowWater && i < 256; i++ {
+	for i := 0; m.rt.AvailableBytes() < lowWater && i < 256; i++ {
 		if !h.evictOne() {
 			break
 		}
 		if i%16 == 15 {
 			// Convert retirements into reusable slots right away.
-			h.c.Epoch().FlushAll()
+			h.h.Reclaim()
 		}
 	}
-	hash := keyHash(key)
 	for attempt := 0; ; attempt++ {
-		mu := m.lockHash(hash)
-		mu.Lock()
-		err := h.setOnce(hash, key, value, flags, expiry)
-		mu.Unlock()
+		err := h.setLocked(key, value, flags, expiry)
 		if err == nil {
 			return nil
 		}
-		if !errors.Is(err, pmem.ErrOutOfMemory) || attempt > 64 {
+		if !errors.Is(err, logfree.ErrOutOfMemory) || attempt > 64 {
 			return err
 		}
 		if !h.evictOne() {
 			return err
 		}
-		h.c.Epoch().FlushAll()
+		h.h.Reclaim()
 	}
 }
 
-func (h *Handle) setOnce(hash uint64, key, value []byte, flags uint16, expiry uint32) error {
+// setLocked performs one store attempt under the key's stripe lock,
+// maintaining the item count and LRU.
+func (h *Handle) setLocked(key, value []byte, flags uint16, expiry uint32) error {
 	m := h.cache
-	oldHeadV, exists := m.idx.Search(h.c, hash)
-	oldHead := Addr(oldHeadV)
-	var replaced, chainTail Addr
-	if exists {
-		replaced, _ = m.findInChain(oldHead, key)
-		chainTail = oldHead
-		if replaced == oldHead {
-			chainTail = Addr(m.dev.Load(replaced + itHNext))
-		} else if replaced != 0 {
-			// Key sits mid-chain (double collision — vanishingly rare):
-			// rebuilding the chain head-first keeps surgery simple.
-			chainTail = oldHead
-		}
-	}
-	it, err := h.writeItem(hash, key, value, flags, expiry, chainTail)
+	mu := m.lockKey(key)
+	mu.Lock()
+	defer mu.Unlock()
+	created, err := m.m.SetItem(h.h, key, value, flags, uint64(expiry))
 	if err != nil {
 		return err
 	}
-	if replaced != 0 {
-		// The replacement will make the old item durably unreachable; its
-		// area must be in the APT first (§5.4).
-		h.c.Epoch().PreRetire(replaced)
+	m.lru.add(string(key))
+	if created {
+		m.bump(func(s *Stats) { s.Items++ })
 	}
-	if replaced != 0 && replaced != oldHead && chainTail == oldHead {
-		// Unlink the replaced mid-chain item durably before publishing.
-		_, pred := m.findInChain(oldHead, key)
-		next := m.dev.Load(replaced + itHNext)
-		m.dev.Store(pred+itHNext, next)
-		h.c.Flusher().Sync(pred + itHNext)
-	}
-	if exists {
-		m.idx.Upsert(h.c, hash, uint64(it))
-	} else if !m.idx.Insert(h.c, hash, uint64(it)) {
-		// Lost a race with a concurrent set of a colliding hash: retry via
-		// Upsert (last write wins, as in memcached).
-		m.idx.Upsert(h.c, hash, uint64(it))
-	}
-	m.lru.add(it)
-	if replaced != 0 {
-		m.lru.remove(replaced)
-		h.retireItem(replaced)
-		m.bump(func(s *Stats) { s.Items-- })
-	}
-	m.bump(func(s *Stats) { s.Items++ })
 	return nil
 }
 
@@ -400,67 +237,32 @@ func (h *Handle) setOnce(hash uint64, key, value []byte, flags uint16, expiry ui
 func (h *Handle) Delete(key []byte) bool {
 	m := h.cache
 	m.bump(func(s *Stats) { s.Deletes++ })
-	hash := keyHash(key)
-	mu := m.lockHash(hash)
+	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	headV, exists := m.idx.Search(h.c, hash)
-	if !exists {
+	if !m.m.Delete(h.h, key) {
 		return false
 	}
-	head := Addr(headV)
-	it, pred := m.findInChain(head, key)
-	if it == 0 {
-		return false
-	}
-	// The unlink makes the item durably unreachable; cover its area first.
-	h.c.Epoch().PreRetire(it)
-	next := Addr(m.dev.Load(it + itHNext))
-	switch {
-	case pred == 0 && next == 0:
-		if _, ok := m.idx.Delete(h.c, hash); !ok {
-			return false
-		}
-	case pred == 0:
-		m.idx.Upsert(h.c, hash, uint64(next))
-	default:
-		m.dev.Store(pred+itHNext, uint64(next))
-		h.c.Flusher().Sync(pred + itHNext)
-	}
-	m.lru.remove(it)
-	h.retireItem(it)
+	m.lru.remove(string(key))
 	m.bump(func(s *Stats) { s.Items-- })
 	return true
-}
-
-// retireItem hands an unlinked item to epoch reclamation (PreRetire already
-// happened before the unlink was published).
-func (h *Handle) retireItem(it Addr) {
-	h.c.Epoch().Retire(it)
 }
 
 // evictOne removes the least recently used item (memcached behaviour under
 // memory pressure). Returns false if nothing is evictable.
 func (h *Handle) evictOne() bool {
-	it := h.cache.lru.oldest()
-	if it == 0 {
+	key, ok := h.cache.lru.oldest()
+	if !ok {
 		return false
 	}
-	key := h.cache.itemKey(it)
-	if h.Delete(key) {
+	if h.Delete([]byte(key)) {
 		h.cache.bump(func(s *Stats) { s.Evictions++ })
 		return true
 	}
-	h.cache.lru.remove(it) // stale LRU entry
+	h.cache.lru.remove(key) // stale LRU entry
 	return true
 }
 
 // Flush makes all deferred durability work durable (link cache, retirees).
 // Requires quiescence.
-func (m *Cache) Flush() {
-	for tid := 0; tid < m.store.Options().MaxThreads; tid++ {
-		if c := m.store.ExistingCtx(tid); c != nil {
-			c.Shutdown()
-		}
-	}
-}
+func (m *Cache) Flush() { m.rt.Drain() }

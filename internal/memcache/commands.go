@@ -8,8 +8,8 @@ import (
 
 // Extended memcached operations beyond get/set/delete: add, replace,
 // incr/decr and touch, built from the same durable primitives (every
-// mutation is a Set/Delete under the item lock stripe, so durable
-// linearizability carries over unchanged).
+// mutation runs under the key's stripe lock, so durable linearizability
+// carries over unchanged).
 
 // ErrNotStored reports a failed add/replace precondition.
 var ErrNotStored = errors.New("memcache: precondition failed")
@@ -17,32 +17,54 @@ var ErrNotStored = errors.New("memcache: precondition failed")
 // ErrNotNumber reports incr/decr on a non-numeric value.
 var ErrNotNumber = errors.New("memcache: value is not a number")
 
+// liveLocked reports whether a live (non-expired) item for key exists, and
+// returns its fields. Caller holds the key's stripe lock.
+func (h *Handle) liveLocked(key []byte) (value []byte, flags uint16, expiry uint32, ok bool) {
+	v, meta, aux, found := h.cache.m.GetItem(h.h, key)
+	if !found || expired(aux, time.Now().Unix()) {
+		return nil, 0, 0, false
+	}
+	return v, meta, uint32(aux), true
+}
+
+// storeLocked stores under the held stripe lock, maintaining count and LRU.
+func (h *Handle) storeLocked(key, value []byte, flags uint16, expiry uint32) error {
+	m := h.cache
+	created, err := m.m.SetItem(h.h, key, value, flags, uint64(expiry))
+	if err != nil {
+		return err
+	}
+	m.lru.add(string(key))
+	if created {
+		m.bump(func(s *Stats) { s.Items++ })
+	}
+	return nil
+}
+
 // Add stores key only if it is absent (memcached "add").
 func (h *Handle) Add(key, value []byte, flags uint16, expiry uint32) error {
 	m := h.cache
-	hash := keyHash(key)
-	mu := m.lockHash(hash)
+	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	if it := h.lookupLocked(hash, key); it != 0 {
+	if _, _, _, ok := h.liveLocked(key); ok {
 		return ErrNotStored
 	}
 	m.bump(func(s *Stats) { s.Sets++ })
-	return h.setOnce(hash, key, value, flags, expiry)
+	return h.storeLocked(key, value, flags, expiry)
 }
 
 // Replace stores key only if it is present (memcached "replace").
 func (h *Handle) Replace(key, value []byte, flags uint16, expiry uint32) error {
 	m := h.cache
-	hash := keyHash(key)
-	mu := m.lockHash(hash)
+	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	if it := h.lookupLocked(hash, key); it == 0 {
+	if _, _, _, ok := h.liveLocked(key); !ok {
 		return ErrNotStored
 	}
 	m.bump(func(s *Stats) { s.Sets++ })
-	return h.setOnce(hash, key, value, flags, expiry)
+	return h.storeLocked(key, value, flags, expiry)
 }
 
 // Incr adds delta to a decimal value, returning the new value (memcached
@@ -58,15 +80,14 @@ func (h *Handle) Decr(key []byte, delta uint64) (uint64, error) {
 
 func (h *Handle) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
 	m := h.cache
-	hash := keyHash(key)
-	mu := m.lockHash(hash)
+	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	it := h.lookupLocked(hash, key)
-	if it == 0 {
+	v, flags, exp, ok := h.liveLocked(key)
+	if !ok {
 		return 0, ErrNotFound
 	}
-	cur, err := strconv.ParseUint(string(m.itemValue(it)), 10, 64)
+	cur, err := strconv.ParseUint(string(v), 10, 64)
 	if err != nil {
 		return 0, ErrNotNumber
 	}
@@ -80,9 +101,7 @@ func (h *Handle) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
 	} else {
 		next = cur + delta
 	}
-	flags := m.itemFlags(it)
-	exp := uint32(m.dev.Load(it + itExpiry))
-	if err := h.setOnce(hash, key, []byte(strconv.FormatUint(next, 10)), flags, exp); err != nil {
+	if err := h.storeLocked(key, []byte(strconv.FormatUint(next, 10)), flags, exp); err != nil {
 		return 0, err
 	}
 	return next, nil
@@ -91,31 +110,15 @@ func (h *Handle) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
 // Touch updates an item's expiry without rewriting its value.
 func (h *Handle) Touch(key []byte, expiry uint32) bool {
 	m := h.cache
-	hash := keyHash(key)
-	mu := m.lockHash(hash)
+	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	it := h.lookupLocked(hash, key)
-	if it == 0 {
+	if _, _, _, ok := h.liveLocked(key); !ok {
 		return false
 	}
-	m.dev.Store(it+itExpiry, uint64(expiry))
-	h.c.Flusher().Sync(it + itExpiry)
-	m.lru.touch(it)
+	if !m.m.SetAux(h.h, key, uint64(expiry)) {
+		return false
+	}
+	m.lru.touch(string(key))
 	return true
-}
-
-// lookupLocked finds the live (non-expired) item for key; 0 if absent.
-// Caller holds the hash stripe.
-func (h *Handle) lookupLocked(hash uint64, key []byte) Addr {
-	m := h.cache
-	headV, ok := m.idx.Search(h.c, hash)
-	if !ok {
-		return 0
-	}
-	it, _ := m.findInChain(Addr(headV), key)
-	if it == 0 || m.itemExpired(it, time.Now().Unix()) {
-		return 0
-	}
-	return it
 }

@@ -2,63 +2,64 @@ package memcache
 
 import "sync"
 
-// lruList is the volatile recency list. Memcached's LRU metadata does not
-// need to survive restarts (recovery resets recency, not contents), so it
-// lives in ordinary Go memory, guarded by one mutex — recency updates are
-// cheap relative to the simulated NVRAM costs elsewhere.
+// lruList is the volatile recency list, keyed by item key. Memcached's LRU
+// metadata does not need to survive restarts (recovery resets recency, not
+// contents), so it lives in ordinary Go memory, guarded by one mutex —
+// recency updates are cheap relative to the simulated NVRAM costs
+// elsewhere.
 type lruList struct {
 	mu    sync.Mutex
-	nodes map[Addr]*lruNode
+	nodes map[string]*lruNode
 	head  *lruNode // most recent
 	tail  *lruNode // least recent
 }
 
 type lruNode struct {
-	it         Addr
+	key        string
 	prev, next *lruNode
 }
 
 func newLRU() *lruList {
-	return &lruList{nodes: make(map[Addr]*lruNode)}
+	return &lruList{nodes: make(map[string]*lruNode)}
 }
 
-func (l *lruList) add(it Addr) {
+func (l *lruList) add(key string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if n, ok := l.nodes[it]; ok {
+	if n, ok := l.nodes[key]; ok {
 		l.moveToFront(n)
 		return
 	}
-	n := &lruNode{it: it}
-	l.nodes[it] = n
+	n := &lruNode{key: key}
+	l.nodes[key] = n
 	l.pushFront(n)
 }
 
-func (l *lruList) touch(it Addr) {
+func (l *lruList) touch(key string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if n, ok := l.nodes[it]; ok {
+	if n, ok := l.nodes[key]; ok {
 		l.moveToFront(n)
 	}
 }
 
-func (l *lruList) remove(it Addr) {
+func (l *lruList) remove(key string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if n, ok := l.nodes[it]; ok {
+	if n, ok := l.nodes[key]; ok {
 		l.unlink(n)
-		delete(l.nodes, it)
+		delete(l.nodes, key)
 	}
 }
 
-// oldest returns the least recently used item (0 if empty).
-func (l *lruList) oldest() Addr {
+// oldest returns the least recently used key (ok=false if empty).
+func (l *lruList) oldest() (string, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.tail == nil {
-		return 0
+		return "", false
 	}
-	return l.tail.it
+	return l.tail.key, true
 }
 
 func (l *lruList) len() int {

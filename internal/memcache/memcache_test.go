@@ -3,10 +3,12 @@ package memcache
 import (
 	"bytes"
 	"fmt"
-	"repro/internal/nvram"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/nvram"
+	"repro/logfree"
 )
 
 func newCache(t *testing.T) *Cache {
@@ -177,33 +179,82 @@ func TestCrashRecovery(t *testing.T) {
 	}
 }
 
-func TestRecoveryFreesOrphanItems(t *testing.T) {
+func TestRecoveryAfterAbruptCrash(t *testing.T) {
+	// Crash without an orderly Flush: with the link cache on, the most
+	// recent sets may be legitimately lost (their durability was deferred),
+	// but nothing may be corrupted — every surviving key reads back exactly,
+	// the early flushed key must survive, and the rebuilt item count must
+	// match the live contents.
 	m := newCache(t)
 	h := m.Handle(0)
 	h.Set([]byte("live"), []byte("v"), 0, 0)
 	m.Flush()
-	// Orphan an item: write it durably but never link it — the crash lands
-	// between allocation and table insert (§5.1's failure window), so no
-	// orderly flush may follow it.
-	h.c.Epoch().Begin()
-	it, err := h.writeItem(12345678, []byte("ghost"), []byte("boo"), 0, 0, 0)
-	if err != nil {
-		t.Fatal(err)
+	for i := 0; i < 100; i++ {
+		h.Set([]byte(fmt.Sprintf("burst-%d", i)), []byte(fmt.Sprintf("bv-%d", i)), 0, 0)
 	}
-	h.c.Epoch().End()
 	m.Device().Crash()
-	m2, stats, err := Recover(m.Device(), Config{MemoryBytes: 64 << 20})
+	m2, _, err := Recover(m.Device(), Config{MemoryBytes: 64 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Leaked == 0 {
-		t.Fatal("orphan item not detected")
+	h2 := m2.Handle(0)
+	if v, _, ok := h2.Get([]byte("live")); !ok || string(v) != "v" {
+		t.Fatalf("flushed item lost or corrupt: %q,%v", v, ok)
 	}
-	if m2.store.Pool().SlotAllocated(it) {
-		t.Fatal("orphan item still allocated")
+	live := int64(1)
+	for i := 0; i < 100; i++ {
+		v, _, ok := h2.Get([]byte(fmt.Sprintf("burst-%d", i)))
+		if !ok {
+			continue // legitimately lost: its durability was still deferred
+		}
+		live++
+		if string(v) != fmt.Sprintf("bv-%d", i) {
+			t.Fatalf("burst-%d corrupt after crash: %q", i, v)
+		}
 	}
-	if _, _, ok := m2.Handle(0).Get([]byte("live")); !ok {
-		t.Fatal("live item damaged by recovery")
+	if got := m2.Stats().Items; got != live {
+		t.Fatalf("recovered Items = %d, live contents = %d", got, live)
+	}
+}
+
+func TestCollidingKeysSurviveCrash(t *testing.T) {
+	// Two distinct string keys forced onto one index hash (the v1 clamping
+	// hazard, made deterministic): set/get/delete round-trips must stay
+	// per-key and survive a crash.
+	logfree.SetHashForTesting(func([]byte) uint64 { return logfree.MinKey })
+	defer logfree.SetHashForTesting(nil)
+	m := newCache(t)
+	h := m.Handle(0)
+	if err := h.Set([]byte("twin-a"), []byte("value-a"), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Set([]byte("twin-b"), []byte("value-b"), 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, fl, ok := h.Get([]byte("twin-a")); !ok || string(v) != "value-a" || fl != 1 {
+		t.Fatalf("twin-a aliased: %q,%d,%v", v, fl, ok)
+	}
+	if v, fl, ok := h.Get([]byte("twin-b")); !ok || string(v) != "value-b" || fl != 2 {
+		t.Fatalf("twin-b aliased: %q,%d,%v", v, fl, ok)
+	}
+	m.Flush()
+	m.Device().Crash()
+	m2, _, err := Recover(m.Device(), Config{MemoryBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := m2.Handle(0)
+	if v, _, ok := h2.Get([]byte("twin-a")); !ok || string(v) != "value-a" {
+		t.Fatalf("twin-a after crash: %q,%v", v, ok)
+	}
+	if v, _, ok := h2.Get([]byte("twin-b")); !ok || string(v) != "value-b" {
+		t.Fatalf("twin-b after crash: %q,%v", v, ok)
+	}
+	if !h2.Delete([]byte("twin-a")) {
+		t.Fatal("delete of colliding key failed")
+	}
+	if _, _, ok := h2.Get([]byte("twin-b")); !ok {
+		t.Fatal("deleting twin-a took twin-b with it")
 	}
 }
 

@@ -2,76 +2,47 @@ package memcache
 
 import (
 	"errors"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/nvram"
-	"repro/internal/pmem"
+	"repro/logfree"
 )
 
-// Recover reopens a crashed NV-Memcached instance (§6.5): re-attach the
-// store and durable hash table, then sweep the active slabs for memory that
-// is "marked as allocated but not yet or no longer reachable from the hash
-// table", freeing it. The LRU list is rebuilt (order reset) as the sweep
-// encounters live items.
+// Recover reopens a crashed NV-Memcached instance (§6.5) through the public
+// logfree API: Attach recovers the durable directory and the item map in
+// one combined sweep of the active slabs, freeing memory that is "marked as
+// allocated but not yet or no longer reachable from the hash table". The
+// LRU list is rebuilt (order reset) from one index walk.
 //
 // This is the operation Figure 11 times against the volatile alternative's
 // warm-up: recovering even a large instance takes milliseconds, while
 // re-populating a cold volatile cache takes orders of magnitude longer.
-func Recover(dev *nvram.Device, cfg Config) (*Cache, core.RecoveryStats, error) {
+func Recover(dev *nvram.Device, cfg Config) (*Cache, logfree.RecoveryStats, error) {
 	cfg.fill()
-	store, err := core.AttachStore(dev)
+	rt, err := logfree.Attach(dev, logfree.WithMaxThreads(cfg.MaxConns+1))
 	if err != nil {
-		return nil, core.RecoveryStats{}, err
+		return nil, logfree.RecoveryStats{}, err
 	}
-	nb := int(store.Root(rootNBkts))
-	if nb == 0 {
-		return nil, core.RecoveryStats{}, errors.New("memcache: device holds no cache descriptor")
+	h := rt.Handle(0)
+	if _, ok := rt.Lookup(h, cacheMapName); !ok {
+		return nil, logfree.RecoveryStats{}, errors.New("memcache: device holds no cache descriptor")
 	}
-	idx := core.AttachHashTable(store, store.Root(rootBuckets), nb, store.Root(rootTail))
-	m := &Cache{dev: dev, store: store, idx: idx, lru: newLRU()}
-
-	keepIndex := core.KeepHashNode(idx)
-	var items atomic.Int64
-	keep := func(c *core.Ctx, n Addr) bool {
-		cl, ok := store.Pool().PageClass(pmem.PageOf(n))
-		if !ok {
-			return true // not a heap page; leave alone
-		}
-		if cl == 0 {
-			return keepIndex(c, n) // hash index node
-		}
-		// Item: reachable iff it is on the collision chain for its hash.
-		hash := dev.Load(n + itHash)
-		if hash < core.MinKey || hash > core.MaxKey {
-			return false // never initialized
-		}
-		headV, found := idx.Search(c, hash)
-		if !found {
-			return false
-		}
-		for it := Addr(headV); it != 0; it = Addr(dev.Load(it + itHNext)) {
-			if it == n {
-				return true
-			}
-		}
-		return false
+	idx, err := rt.Map(h, cacheMapName, cfg.Buckets)
+	if err != nil {
+		return nil, logfree.RecoveryStats{}, err
 	}
-	stats := core.RecoverCustom(store, nil, keep, cfg.MaxConns)
+	m := &Cache{rt: rt, m: idx, lru: newLRU()}
 
 	// Rebuild the volatile metadata (item count and LRU list; recency order
 	// is reset, as with a freshly warmed cache) with one index walk.
-	h := m.Handle(0)
-	m.idx.Range(h.c, func(_, headV uint64) bool {
-		for it := Addr(headV); it != 0; it = Addr(dev.Load(it + itHNext)) {
-			m.lru.add(it)
-			items.Add(1)
-		}
+	var items int64
+	idx.RangeItems(h, func(key, _ []byte, _ uint16, _ uint64) bool {
+		m.lru.add(string(key))
+		items++
 		return true
 	})
-	m.stats.Items = items.Load()
-	return m, stats, nil
+	m.stats.Items = items
+	return m, rt.RecoveryStats(), nil
 }
 
 // WarmUp populates a cache with n sequential keys (the Figure 11 warm-up

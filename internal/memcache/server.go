@@ -152,6 +152,8 @@ func (s *Server) cmdSet(kv KV, r *bufio.Reader, w *bufio.Writer, fields [][]byte
 	exp, _ := strconv.ParseUint(string(fields[3]), 10, 32)
 	n, err := strconv.Atoi(string(fields[4]))
 	if err != nil || n < 0 || n > MaxValueLen {
+		// Rejected at the header: the client must not send the data block
+		// (the next line is parsed as a command, as the protocol tests pin).
 		io.WriteString(w, "SERVER_ERROR object too large for cache\r\n")
 		return true
 	}

@@ -4,8 +4,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/nvram"
+	"repro/logfree"
 )
 
 // This file provides the two volatile comparators of Figure 11:
@@ -90,20 +89,18 @@ type CLHTCache struct {
 // instance but with zero write latency and volatile semantics.
 func NewCLHTCache(cfg Config) (*CLHTCache, error) {
 	cfg.fill()
-	dev := nvram.New(nvram.Config{Size: cfg.MemoryBytes}) // no write latency
-	store, err := core.NewStore(dev, core.Options{
-		MaxThreads: cfg.MaxConns + 1,
-		Volatile:   true,
-	})
+	rt, err := logfree.New(
+		logfree.WithSize(cfg.MemoryBytes), // no write latency
+		logfree.WithMaxThreads(cfg.MaxConns+1),
+		logfree.WithVolatile(true))
 	if err != nil {
 		return nil, err
 	}
-	setup := store.MustCtx(cfg.MaxConns)
-	idx, err := core.NewHashTable(setup, cfg.Buckets)
+	m, err := rt.Map(rt.Handle(cfg.MaxConns), cacheMapName, cfg.Buckets)
 	if err != nil {
 		return nil, err
 	}
-	return &CLHTCache{inner: &Cache{dev: dev, store: store, idx: idx, lru: newLRU()}}, nil
+	return &CLHTCache{inner: &Cache{rt: rt, m: m, lru: newLRU()}}, nil
 }
 
 // Handle returns the per-worker context.

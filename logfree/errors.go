@@ -1,0 +1,19 @@
+package logfree
+
+import "errors"
+
+// Errors returned by the runtime.
+var (
+	// ErrKind reports an open of an existing name under a different
+	// structure kind.
+	ErrKind = errors.New("logfree: structure has a different kind")
+	// ErrNotKeyed reports OpenOrCreate on a kind with no key/value
+	// abstraction (queues and stacks); use the typed Runtime methods.
+	ErrNotKeyed = errors.New("logfree: kind has no map abstraction")
+	// ErrKeyRange reports a uint64-plane byte key that is not exactly 8
+	// bytes or does not decode into [MinKey, MaxKey].
+	ErrKeyRange = errors.New("logfree: key outside the uint64 key range")
+	// ErrValueSize reports a uint64-plane value whose length is not exactly
+	// 8 bytes.
+	ErrValueSize = errors.New("logfree: uint64-plane values must be 8 bytes")
+)

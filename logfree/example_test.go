@@ -6,34 +6,37 @@ import (
 	"repro/logfree"
 )
 
-// The canonical lifecycle: create, update, crash, recover, read.
+// The canonical v2 lifecycle: open-or-create a byte-key map, update it,
+// crash, recover, read.
 func Example() {
-	rt, _ := logfree.New(logfree.Config{Size: 32 << 20, MaxThreads: 2, LinkCache: true})
+	rt, _ := logfree.New(logfree.WithSize(32<<20), logfree.WithMaxThreads(2),
+		logfree.WithLinkCache(true))
 	h := rt.Handle(0)
 
-	users, _ := rt.CreateHashTable(h, "users", 256)
-	users.Insert(h, 42, 7)
-	users.Insert(h, 43, 9)
-	users.Delete(h, 43)
+	users, _ := rt.OpenOrCreate(h, "users", logfree.Spec{Buckets: 256})
+	users.Set(h, []byte("alice"), []byte("pro"))
+	users.Set(h, []byte("bob"), []byte("free"))
+	users.Delete(h, []byte("bob"))
 
 	rt.Drain() // make deferred link-cache work durable before pulling the plug
 	rt2, _ := rt.SimulateCrash()
 
-	users2, _ := rt2.OpenHashTable("users")
 	h2 := rt2.Handle(0)
-	v, ok := users2.Search(h2, 42)
-	fmt.Println(v, ok)
-	fmt.Println(users2.Contains(h2, 43))
+	users2, _ := rt2.OpenOrCreate(h2, "users", logfree.Spec{})
+	v, ok := users2.Get(h2, []byte("alice"))
+	fmt.Println(string(v), ok)
+	fmt.Println(users2.Contains(h2, []byte("bob")))
 	// Output:
-	// 7 true
+	// pro true
 	// false
 }
 
-// Ordered structures support in-order iteration.
+// The typed uint64 wrappers remain as thin veneers; ordered structures
+// support in-order iteration.
 func ExampleBST_Range() {
-	rt, _ := logfree.New(logfree.Config{Size: 32 << 20})
+	rt, _ := logfree.New(logfree.WithSize(32 << 20))
 	h := rt.Handle(0)
-	t, _ := rt.CreateBST(h, "scores")
+	t, _ := rt.BST(h, "scores")
 	for _, k := range []uint64{30, 10, 20} {
 		t.Insert(h, k, k*10)
 	}
@@ -49,14 +52,14 @@ func ExampleBST_Range() {
 
 // A durable FIFO queue survives power failures with order intact.
 func ExampleQueue() {
-	rt, _ := logfree.New(logfree.Config{Size: 32 << 20})
+	rt, _ := logfree.New(logfree.WithSize(32 << 20))
 	h := rt.Handle(0)
-	q, _ := rt.CreateQueue(h, "jobs")
+	q, _ := rt.Queue(h, "jobs")
 	q.Enqueue(h, 100)
 	q.Enqueue(h, 200)
 
 	rt2, _ := rt.SimulateCrash()
-	q2, _ := rt2.OpenQueue("jobs")
+	q2, _ := rt2.Queue(rt2.Handle(0), "jobs")
 	h2 := rt2.Handle(0)
 	for {
 		v, ok := q2.Dequeue(h2)

@@ -4,60 +4,87 @@
 //
 // A Runtime owns a simulated NVRAM device and its substrates (persistent
 // allocator, NV-epochs reclamation, link cache). Durable structures are
-// created under a name, registered in a durable directory, and re-opened by
-// name after a crash:
+// created under a name in a durable directory — itself a log-free durable
+// hash table, so the namespace grows without bound — and re-opened by name
+// after a crash:
 //
-//	rt, _ := logfree.New(logfree.Config{Size: 64 << 20, MaxThreads: 8})
+//	rt, _ := logfree.New(logfree.WithSize(64<<20), logfree.WithMaxThreads(8))
 //	h := rt.Handle(0)
-//	users, _ := rt.CreateHashTable(h, "users", 1024)
-//	users.Insert(h, 42, 1)
+//	users, _ := rt.OpenOrCreate(h, "users", logfree.Spec{})
+//	users.Set(h, []byte("alice"), []byte(`{"plan":"pro"}`))
 //
 //	rt2, _ := rt.SimulateCrash() // power failure + reboot + recovery
-//	users2, _ := rt2.OpenHashTable("users")
-//	users2.Search(rt2.Handle(0), 42) // → 1, true
+//	users2, _ := rt2.OpenOrCreate(rt2.Handle(0), "users", logfree.Spec{})
+//	users2.Get(rt2.Handle(0), []byte("alice")) // → the value, true
+//
+// OpenOrCreate is the generic entry point: it returns the unified byte-key
+// Map interface for every keyed structure kind. The uint64-keyed typed
+// wrappers (List, HashTable, SkipList, BST, Queue, Stack) remain available
+// as thin veneers over the same directory via the same-named Runtime
+// methods.
 //
 // Handles are per-goroutine operation contexts (thread id bound); a Handle
 // must not be shared between goroutines.
 package logfree
 
 import (
-	"errors"
+	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/nvram"
+	"repro/internal/pmem"
 )
 
-// Key-space bounds re-exported from the core: user keys must lie in
+// Key-space bounds re-exported from the core: uint64 user keys must lie in
 // [MinKey, MaxKey].
 const (
 	MinKey = core.MinKey
 	MaxKey = core.MaxKey
 )
 
-// Config parameterizes a Runtime.
-type Config struct {
-	// Size is the simulated NVRAM capacity in bytes.
-	Size uint64
-	// WriteLatency is the simulated NVRAM write latency (paper default
-	// 125ns). Zero disables latency injection entirely.
-	WriteLatency time.Duration
-	// MaxThreads bounds concurrent handles. Default 1.
-	MaxThreads int
-	// LinkCache enables the §4 link cache for updates.
-	LinkCache bool
-	// Volatile strips durability (the Figure 7 baseline).
-	Volatile bool
+// config collects the options of a Runtime.
+type config struct {
+	size         uint64
+	writeLatency time.Duration
+	maxThreads   int
+	linkCache    bool
+	volatile     bool
 }
 
-// Errors returned by the runtime.
-var (
-	ErrExists   = errors.New("logfree: a structure with that name already exists")
-	ErrNotFound = errors.New("logfree: no structure with that name")
-	ErrFull     = errors.New("logfree: structure directory full")
-	ErrKind     = errors.New("logfree: structure has a different kind")
-)
+// Option configures a Runtime (functional options; replaces the v1 Config
+// struct).
+type Option func(*config)
+
+// WithSize sets the simulated NVRAM capacity in bytes (default 64 MiB).
+func WithSize(bytes uint64) Option { return func(c *config) { c.size = bytes } }
+
+// WithWriteLatency sets the simulated NVRAM write latency (paper default
+// 125ns via nvram.DefaultWriteLatency). Zero disables latency injection.
+func WithWriteLatency(d time.Duration) Option { return func(c *config) { c.writeLatency = d } }
+
+// WithMaxThreads bounds concurrent handles (default 1; on Attach, the
+// pool's formatted thread count).
+func WithMaxThreads(n int) Option { return func(c *config) { c.maxThreads = n } }
+
+// WithLinkCache toggles the §4 link cache for updates.
+func WithLinkCache(on bool) Option { return func(c *config) { c.linkCache = on } }
+
+// WithVolatile strips durability (the Figure 7 baseline).
+func WithVolatile(on bool) Option { return func(c *config) { c.volatile = on } }
+
+func buildConfig(opts []Option) config {
+	c := config{size: 64 << 20}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.maxThreads < 0 {
+		c.maxThreads = 0
+	}
+	return c
+}
 
 // Kind identifies a structure type in the durable directory.
 type Kind uint8
@@ -70,6 +97,9 @@ const (
 	KindBST
 	KindQueue
 	KindStack
+	// KindMap is the byte-keyed durable hash map (arbitrary []byte keys and
+	// values; the default Spec kind).
+	KindMap
 )
 
 func (k Kind) String() string {
@@ -86,31 +116,45 @@ func (k Kind) String() string {
 		return "queue"
 	case KindStack:
 		return "stack"
+	case KindMap:
+		return "map"
 	}
 	return "unknown"
 }
 
-// Each directory entry occupies 4 root slots:
-// [0] kind | aux<<8 (aux: hash-table bucket count)
-// [1] name hash
-// [2], [3] structure anchor addresses.
-const slotsPerEntry = 4
+// Root slots anchoring the durable directory. The directory is a BytesMap
+// (name → encoded descriptor); everything else lives inside it.
+const (
+	rootDirBuckets = core.RootUser + 0
+	rootDirTail    = core.RootUser + 1
+	rootDirNBkts   = core.RootUser + 2 // written last: directory commit point
+
+	dirBuckets = 64
+)
+
+// RecoveryStats aggregates one recovery pass (alias of the core type so
+// callers never need the internal packages).
+type RecoveryStats = core.RecoveryStats
 
 // Runtime owns one device and its substrates.
 type Runtime struct {
 	dev   *nvram.Device
 	store *core.Store
-	cfg   Config
+	cfg   config
+
+	dir   *core.BytesMap
+	dirMu sync.Mutex // serializes registrations (rare)
 
 	recovered []RecoveryReport
+	recStats  RecoveryStats
 }
 
-// RecoveryReport describes one structure's recovery pass.
+// RecoveryReport names one structure recovered by Attach. Leak statistics
+// are aggregated across the whole pass (all structures share one sweep of
+// the active areas); see RecoveryStats.
 type RecoveryReport struct {
-	Name     string // name hash in hex when the original name is unknown
-	Kind     Kind
-	Leaked   int
-	Duration time.Duration
+	Name string
+	Kind Kind
 }
 
 // Handle is a per-goroutine operation context.
@@ -118,42 +162,83 @@ type Handle struct {
 	c *core.Ctx
 }
 
+// Reclaim flushes this handle's deferred reclamation work, converting
+// retired nodes into reusable slots immediately. Useful between eviction
+// passes under memory pressure; never required for correctness.
+func (h *Handle) Reclaim() { h.c.Epoch().FlushAll() }
+
 // New creates a runtime on a fresh simulated NVRAM device.
-func New(cfg Config) (*Runtime, error) {
-	if cfg.MaxThreads <= 0 {
-		cfg.MaxThreads = 1
+func New(opts ...Option) (*Runtime, error) {
+	cfg := buildConfig(opts)
+	if cfg.maxThreads == 0 {
+		cfg.maxThreads = 1
 	}
-	dev := nvram.New(nvram.Config{Size: cfg.Size, WriteLatency: cfg.WriteLatency})
+	dev := nvram.New(nvram.Config{Size: cfg.size, WriteLatency: cfg.writeLatency})
 	store, err := core.NewStore(dev, core.Options{
-		MaxThreads: cfg.MaxThreads,
-		LinkCache:  cfg.LinkCache,
-		Volatile:   cfg.Volatile,
+		MaxThreads: cfg.maxThreads,
+		LinkCache:  cfg.linkCache,
+		Volatile:   cfg.volatile,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{dev: dev, store: store, cfg: cfg}, nil
+	r := &Runtime{dev: dev, store: store, cfg: cfg}
+	if err := r.createDirectory(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// createDirectory formats the durable directory and commits its anchor
+// roots (bucket count last, as the commit point).
+func (r *Runtime) createDirectory() error {
+	c := r.store.CtxFor(0)
+	dir, err := core.NewBytesMap(c, dirBuckets)
+	if err != nil {
+		return err
+	}
+	r.store.SetRoot(c, rootDirBuckets, dir.Buckets())
+	r.store.SetRoot(c, rootDirTail, dir.Tail())
+	r.store.SetRoot(c, rootDirNBkts, uint64(dir.NumBuckets()))
+	r.dir = dir
+	return nil
 }
 
 // Attach re-opens a runtime on a device that already holds a formatted pool
-// (after a crash or image load) and recovers every registered structure.
-func Attach(dev *nvram.Device, cfg Config) (*Runtime, error) {
+// (after a crash or image load): the directory is recovered first, then
+// every structure it lists, in one combined sweep of the active areas.
+func Attach(dev *nvram.Device, opts ...Option) (*Runtime, error) {
+	cfg := buildConfig(opts)
 	store, err := core.AttachStore(dev)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.maxThreads == 0 {
+		cfg.maxThreads = store.Options().MaxThreads
+	}
 	r := &Runtime{dev: dev, store: store, cfg: cfg}
+	if nb := store.Root(rootDirNBkts); nb == 0 {
+		// The pool was formatted but crashed before the directory committed:
+		// no structure can have been registered, so start one fresh.
+		if err := r.createDirectory(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	r.dir = core.AttachBytesMap(store,
+		store.Root(rootDirBuckets), int(store.Root(rootDirNBkts)), store.Root(rootDirTail))
 	r.recoverAll()
 	return r, nil
 }
 
 // Load opens a runtime from an image file written by Save.
-func Load(path string, cfg Config) (*Runtime, error) {
-	dev, err := nvram.LoadImage(path, nvram.Config{WriteLatency: cfg.WriteLatency})
+func Load(path string, opts ...Option) (*Runtime, error) {
+	cfg := buildConfig(opts)
+	dev, err := nvram.LoadImage(path, nvram.Config{WriteLatency: cfg.writeLatency})
 	if err != nil {
 		return nil, err
 	}
-	return Attach(dev, cfg)
+	return Attach(dev, opts...)
 }
 
 // Save flushes all deferred durability work and writes the persisted image
@@ -166,8 +251,8 @@ func (r *Runtime) Save(path string) error {
 // Drain flushes the link cache and reclaims retired memory across all
 // handles. Requires quiescence.
 func (r *Runtime) Drain() {
-	for tid := 0; tid < r.cfg.MaxThreads; tid++ {
-		if c := r.storeCtx(tid, false); c != nil {
+	for tid := 0; tid < r.cfg.maxThreads; tid++ {
+		if c := r.store.ExistingCtx(tid); c != nil {
 			c.Shutdown()
 		}
 	}
@@ -178,7 +263,12 @@ func (r *Runtime) Drain() {
 // structures are invalid afterwards; use the returned runtime.
 func (r *Runtime) SimulateCrash() (*Runtime, error) {
 	r.dev.Crash()
-	return Attach(r.dev, r.cfg)
+	return Attach(r.dev,
+		WithSize(r.cfg.size),
+		WithWriteLatency(r.cfg.writeLatency),
+		WithMaxThreads(r.cfg.maxThreads),
+		WithLinkCache(r.cfg.linkCache),
+		WithVolatile(r.cfg.volatile))
 }
 
 // Device exposes the underlying simulated device (stats, crash injection).
@@ -187,111 +277,156 @@ func (r *Runtime) Device() *nvram.Device { return r.dev }
 // Store exposes the internal store for benchmarks and tests.
 func (r *Runtime) Store() *core.Store { return r.store }
 
-// RecoveryReports lists the per-structure recovery work done by Attach.
+// AvailableBytes estimates the free NVRAM capacity (uncarved space plus
+// recycled pages). Callers implementing eviction policies poll it.
+func (r *Runtime) AvailableBytes() uint64 { return r.store.Pool().AvailableBytes() }
+
+// RecoveryReports lists the structures recovered by Attach.
 func (r *Runtime) RecoveryReports() []RecoveryReport { return r.recovered }
+
+// RecoveryStats aggregates the recovery pass Attach ran (zero after New).
+func (r *Runtime) RecoveryStats() RecoveryStats { return r.recStats }
 
 // Handle returns the operation context for thread tid (creating it on first
 // use). A Handle must be used by one goroutine at a time.
 func (r *Runtime) Handle(tid int) *Handle {
-	return &Handle{c: r.storeCtx(tid, true)}
+	return &Handle{c: r.store.CtxFor(tid)}
 }
 
-func (r *Runtime) storeCtx(tid int, create bool) *core.Ctx {
-	if c := r.store.ExistingCtx(tid); c != nil || !create {
-		return c
-	}
-	return r.store.CtxFor(tid)
+// --- Durable directory ---------------------------------------------------
+
+// Directory entries are BytesMap entries: key = structure name, value =
+// three little-endian words: kind|aux<<8, anchor1, anchor2 (aux carries the
+// bucket count for hash-backed kinds).
+const dirEntryLen = 24
+
+func encodeDirEntry(kind Kind, aux, a1, a2 uint64) []byte {
+	var v [dirEntryLen]byte
+	binary.LittleEndian.PutUint64(v[0:], uint64(kind)|aux<<8)
+	binary.LittleEndian.PutUint64(v[8:], a1)
+	binary.LittleEndian.PutUint64(v[16:], a2)
+	return v[:]
 }
 
-func nameHash(name string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= 1099511628211
+func decodeDirEntry(v []byte) (kind Kind, aux, a1, a2 uint64, ok bool) {
+	if len(v) != dirEntryLen {
+		return 0, 0, 0, 0, false
 	}
-	if h == 0 {
-		h = 1
-	}
-	return h
+	w0 := binary.LittleEndian.Uint64(v[0:])
+	return Kind(w0 & 0xFF), w0 >> 8,
+		binary.LittleEndian.Uint64(v[8:]), binary.LittleEndian.Uint64(v[16:]), true
 }
 
-func (r *Runtime) entrySlot(name string) (idx int, free int) {
-	h := nameHash(name)
-	free = -1
-	for i := core.RootUser; i+slotsPerEntry <= 64; i += slotsPerEntry {
-		hdr := r.store.Root(i)
-		if hdr == 0 {
-			if free < 0 {
-				free = i
-			}
-			continue
+// Lookup reports whether a structure named name is registered, and its
+// kind. Like every operation it runs on the caller's Handle.
+func (r *Runtime) Lookup(h *Handle, name string) (Kind, bool) {
+	v, ok := r.dir.Get(h.c, []byte(name))
+	if !ok {
+		return 0, false
+	}
+	kind, _, _, _, ok := decodeDirEntry(v)
+	return kind, ok
+}
+
+// Names lists every registered structure name (quiescent use).
+func (r *Runtime) Names(h *Handle) []string {
+	var out []string
+	r.dir.Range(h.c, func(k, _ []byte) bool {
+		out = append(out, string(k))
+		return true
+	})
+	return out
+}
+
+// ensure looks name up under the registration lock and, when absent, runs
+// create and registers its descriptor. It returns the entry either way.
+func (r *Runtime) ensure(h *Handle, name string, kind Kind,
+	create func() (aux, a1, a2 uint64, err error)) (aux, a1, a2 uint64, err error) {
+	if name == "" {
+		return 0, 0, 0, fmt.Errorf("logfree: empty structure name")
+	}
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
+	if v, ok := r.dir.Get(h.c, []byte(name)); ok {
+		k, aux, a1, a2, ok := decodeDirEntry(v)
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("logfree: corrupt directory entry for %q", name)
 		}
-		if r.store.Root(i+1) == h {
-			return i, free
+		if k != kind {
+			return 0, 0, 0, fmt.Errorf("%w: %q is a %v, not a %v", ErrKind, name, k, kind)
 		}
+		return aux, a1, a2, nil
 	}
-	return -1, free
+	aux, a1, a2, err = create()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := r.dir.Set(h.c, []byte(name), encodeDirEntry(kind, aux, a1, a2), 0, 0); err != nil {
+		return 0, 0, 0, err
+	}
+	// Registration is a durable commit point (v1 synced root slots directly;
+	// v2 must match): flush any link-cache entry still covering the
+	// directory update before returning the structure to the caller.
+	if lc := r.store.LinkCache(); lc != nil {
+		lc.FlushAll(h.c.Flusher())
+		h.c.Flusher().Fence()
+	}
+	return aux, a1, a2, nil
 }
 
-func (r *Runtime) register(h *Handle, name string, kind Kind, aux uint64, a1, a2 uint64) error {
-	idx, free := r.entrySlot(name)
-	if idx >= 0 {
-		return fmt.Errorf("%w: %q", ErrExists, name)
-	}
-	if free < 0 {
-		return ErrFull
-	}
-	r.store.SetRoot(h.c, free+1, nameHash(name))
-	r.store.SetRoot(h.c, free+2, a1)
-	r.store.SetRoot(h.c, free+3, a2)
-	r.store.SetRoot(h.c, free, uint64(kind)|aux<<8) // header last: commit point
-	return nil
-}
-
-func (r *Runtime) lookup(name string, kind Kind) (aux, a1, a2 uint64, err error) {
-	idx, _ := r.entrySlot(name)
-	if idx < 0 {
-		return 0, 0, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-	hdr := r.store.Root(idx)
-	if Kind(hdr&0xFF) != kind {
-		return 0, 0, 0, fmt.Errorf("%w: %q is a %v", ErrKind, name, Kind(hdr&0xFF))
-	}
-	return hdr >> 8, r.store.Root(idx + 2), r.store.Root(idx + 3), nil
-}
-
-// recoverAll runs the §5.5 recovery procedure for every registered
-// structure.
+// recoverAll runs the §5.5 recovery procedure once for the directory plus
+// every structure it lists: a single combined sweep of the active areas, so
+// no structure's sweep can mistake a sibling's nodes for leaks.
 func (r *Runtime) recoverAll() {
-	par := r.cfg.MaxThreads
-	for i := core.RootUser; i+slotsPerEntry <= 64; i += slotsPerEntry {
-		hdr := r.store.Root(i)
-		if hdr == 0 {
-			continue
+	c := r.store.CtxFor(0)
+	rs := []core.Recoverer{r.dir.Recoverer()}
+	r.recovered = nil
+	r.dir.Range(c, func(name, v []byte) bool {
+		kind, aux, a1, a2, ok := decodeDirEntry(v)
+		if !ok {
+			return true
 		}
-		kind := Kind(hdr & 0xFF)
-		a1, a2 := r.store.Root(i+2), r.store.Root(i+3)
-		var stats core.RecoveryStats
 		switch kind {
 		case KindList:
-			stats = core.RecoverList(r.store, core.AttachList(r.store, a1, a2), par)
+			rs = append(rs, core.AttachList(r.store, a1, a2).Recoverer())
 		case KindHashTable:
-			h := core.AttachHashTable(r.store, a1, int(hdr>>8), a2)
-			stats = core.RecoverHashTable(r.store, h, par)
+			rs = append(rs, core.AttachHashTable(r.store, a1, int(aux), a2).Recoverer())
 		case KindSkipList:
-			stats = core.RecoverSkipList(r.store, core.AttachSkipList(r.store, a1, a2), par)
+			rs = append(rs, core.AttachSkipList(r.store, a1, a2).Recoverer())
 		case KindBST:
-			stats = core.RecoverBST(r.store, core.AttachBST(r.store, a1, a2), par)
+			rs = append(rs, core.AttachBST(r.store, a1, a2).Recoverer())
 		case KindQueue:
-			stats = core.RecoverQueue(r.store, core.AttachQueue(r.store, a1), par)
+			rs = append(rs, core.AttachQueue(r.store, a1).Recoverer())
 		case KindStack:
-			stats = core.RecoverStack(r.store, core.AttachStack(r.store, a1), par)
+			rs = append(rs, core.AttachStack(r.store, a1).Recoverer())
+		case KindMap:
+			rs = append(rs, core.AttachBytesMap(r.store, a1, int(aux), a2).Recoverer())
+		default:
+			return true
 		}
-		r.recovered = append(r.recovered, RecoveryReport{
-			Name:     fmt.Sprintf("%#x", r.store.Root(i+1)),
-			Kind:     kind,
-			Leaked:   stats.Leaked,
-			Duration: stats.Duration,
-		})
-	}
+		r.recovered = append(r.recovered, RecoveryReport{Name: string(name), Kind: kind})
+		return true
+	})
+	r.recStats = core.RecoverSet(r.store, rs, r.cfg.maxThreads)
 }
+
+// Byte-map entry geometry re-exported from the core: an entry (header +
+// key + value) must fit the largest slab class.
+const (
+	// MaxMapKeyLen bounds ByteMap key length.
+	MaxMapKeyLen = core.MaxBytesKeyLen
+	// MapEntryOverhead is the per-entry durable header size.
+	MapEntryOverhead = core.BytesEntryOverhead
+	// MaxMapEntrySize is the largest storable entry (header + key + value).
+	MaxMapEntrySize = core.MaxBytesEntrySize
+)
+
+// re-exported sentinel errors (see errors.go for the package-owned ones).
+var (
+	// ErrTooLarge reports a byte-map entry exceeding the largest slab class.
+	ErrTooLarge = core.ErrTooLarge
+	// ErrBadKey reports an empty or oversized byte key.
+	ErrBadKey = core.ErrBadKey
+	// ErrOutOfMemory reports device exhaustion; callers may evict and retry.
+	ErrOutOfMemory = pmem.ErrOutOfMemory
+)

@@ -1,44 +1,40 @@
 package logfree
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"sync"
 	"testing"
 )
 
-func newRT(t *testing.T, cfg Config) *Runtime {
+func newRT(t *testing.T, opts ...Option) *Runtime {
 	t.Helper()
-	if cfg.Size == 0 {
-		cfg.Size = 64 << 20
-	}
-	if cfg.MaxThreads == 0 {
-		cfg.MaxThreads = 8
-	}
-	rt, err := New(cfg)
+	rt, err := New(append([]Option{WithSize(64 << 20), WithMaxThreads(8)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return rt
 }
 
-func TestCreateOpenAllKinds(t *testing.T) {
-	rt := newRT(t, Config{})
+func TestOpenOrCreateAllKinds(t *testing.T) {
+	rt := newRT(t)
 	h := rt.Handle(0)
 	var sets []Set
-	l, err := rt.CreateList(h, "l")
+	l, err := rt.List(h, "l")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ht, err := rt.CreateHashTable(h, "h", 64)
+	ht, err := rt.HashTable(h, "h", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sl, err := rt.CreateSkipList(h, "s")
+	sl, err := rt.SkipList(h, "s")
 	if err != nil {
 		t.Fatal(err)
 	}
-	bt, err := rt.CreateBST(h, "b")
+	bt, err := rt.BST(h, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,52 +48,63 @@ func TestCreateOpenAllKinds(t *testing.T) {
 			t.Fatalf("set %d: Search = %d,%v", i, v, ok)
 		}
 	}
-	// Reopen by name.
-	if _, err := rt.OpenList("l"); err != nil {
+	// Reopen by name: the same call is open-or-create.
+	if _, err := rt.List(h, "l"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.OpenHashTable("h"); err != nil {
+	if _, err := rt.HashTable(h, "h", 64); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.OpenSkipList("s"); err != nil {
+	if _, err := rt.SkipList(h, "s"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.OpenBST("b"); err != nil {
+	if _, err := rt.BST(h, "b"); err != nil {
 		t.Fatal(err)
+	}
+	// The reopened veneer sees the same data.
+	l2, _ := rt.List(h, "l")
+	if v, ok := l2.Search(h, 1); !ok || v != 2 {
+		t.Fatalf("reopened list Search = %d,%v", v, ok)
 	}
 }
 
-func TestDuplicateNameRejected(t *testing.T) {
-	rt := newRT(t, Config{})
+func TestOpenWrongKindRejected(t *testing.T) {
+	rt := newRT(t)
 	h := rt.Handle(0)
-	if _, err := rt.CreateList(h, "x"); err != nil {
+	if _, err := rt.List(h, "x"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.CreateBST(h, "x"); err == nil {
-		t.Fatal("duplicate name accepted")
+	if _, err := rt.BST(h, "x"); !errors.Is(err, ErrKind) {
+		t.Fatalf("wrong-kind open: %v, want ErrKind", err)
+	}
+	if _, err := rt.OpenOrCreate(h, "x", Spec{Kind: KindMap}); !errors.Is(err, ErrKind) {
+		t.Fatalf("wrong-kind OpenOrCreate: %v, want ErrKind", err)
 	}
 }
 
-func TestOpenWrongKind(t *testing.T) {
-	rt := newRT(t, Config{})
+func TestLookupAndNames(t *testing.T) {
+	rt := newRT(t)
 	h := rt.Handle(0)
-	rt.CreateList(h, "x")
-	if _, err := rt.OpenBST("x"); err == nil {
-		t.Fatal("wrong-kind open accepted")
+	if _, ok := rt.Lookup(h, "nope"); ok {
+		t.Fatal("missing name found")
 	}
-}
-
-func TestOpenMissing(t *testing.T) {
-	rt := newRT(t, Config{})
-	if _, err := rt.OpenList("nope"); err == nil {
-		t.Fatal("missing open accepted")
+	rt.List(h, "a")
+	rt.Queue(h, "b")
+	if k, ok := rt.Lookup(h, "a"); !ok || k != KindList {
+		t.Fatalf("Lookup(a) = %v,%v", k, ok)
+	}
+	if k, ok := rt.Lookup(h, "b"); !ok || k != KindQueue {
+		t.Fatalf("Lookup(b) = %v,%v", k, ok)
+	}
+	if n := len(rt.Names(h)); n != 2 {
+		t.Fatalf("Names = %d entries, want 2", n)
 	}
 }
 
 func TestCrashRecoverRoundTrip(t *testing.T) {
-	rt := newRT(t, Config{LinkCache: true})
+	rt := newRT(t, WithLinkCache(true))
 	h := rt.Handle(0)
-	ht, _ := rt.CreateHashTable(h, "kv", 128)
+	ht, _ := rt.HashTable(h, "kv", 128)
 	for k := uint64(1); k <= 500; k++ {
 		ht.Insert(h, k, k+7)
 	}
@@ -113,11 +120,11 @@ func TestCrashRecoverRoundTrip(t *testing.T) {
 	if len(rt2.RecoveryReports()) != 1 {
 		t.Fatalf("recovery reports = %d, want 1", len(rt2.RecoveryReports()))
 	}
-	ht2, err := rt2.OpenHashTable("kv")
+	h2 := rt2.Handle(0)
+	ht2, err := rt2.HashTable(h2, "kv", 128)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
 	for k := uint64(1); k <= 500; k++ {
 		want := k%5 != 1
 		if got := ht2.Contains(h2, k); got != want {
@@ -126,12 +133,153 @@ func TestCrashRecoverRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMultiStructureCrashRecovery: several structures of different kinds
+// share one store and all survive one crash — the combined recovery sweep
+// must not mistake one structure's nodes for another's leaks.
+func TestMultiStructureCrashRecovery(t *testing.T) {
+	rt := newRT(t, WithLinkCache(true))
+	h := rt.Handle(0)
+	ht, _ := rt.HashTable(h, "sessions", 256)
+	sl, _ := rt.SkipList(h, "by-expiry")
+	bt, _ := rt.BST(h, "scores")
+	q, _ := rt.Queue(h, "jobs")
+	m, _ := rt.Map(h, "blobs", 64)
+	for k := uint64(1); k <= 300; k++ {
+		ht.Insert(h, k, k)
+		sl.Insert(h, k+1000, k)
+		bt.Insert(h, k+2000, k)
+		q.Enqueue(h, k)
+		m.Set(h, []byte(fmt.Sprintf("blob-%d", k)), []byte(fmt.Sprintf("v-%d", k)))
+	}
+	rt.Drain()
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt2.RecoveryReports()); got != 5 {
+		t.Fatalf("recovery reports = %d, want 5", got)
+	}
+	h2 := rt2.Handle(0)
+	ht2, _ := rt2.HashTable(h2, "sessions", 256)
+	sl2, _ := rt2.SkipList(h2, "by-expiry")
+	bt2, _ := rt2.BST(h2, "scores")
+	q2, _ := rt2.Queue(h2, "jobs")
+	m2, _ := rt2.Map(h2, "blobs", 64)
+	if n := ht2.Len(h2); n != 300 {
+		t.Fatalf("hash table lost entries: %d", n)
+	}
+	if n := sl2.Len(h2); n != 300 {
+		t.Fatalf("skip list lost entries: %d", n)
+	}
+	if n := bt2.Len(h2); n != 300 {
+		t.Fatalf("bst lost entries: %d", n)
+	}
+	if n := q2.Len(h2); n != 300 {
+		t.Fatalf("queue lost entries: %d", n)
+	}
+	if n := m2.Len(h2); n != 300 {
+		t.Fatalf("byte map lost entries: %d", n)
+	}
+	for k := uint64(1); k <= 300; k++ {
+		if !ht2.Contains(h2, k) || !sl2.Contains(h2, k+1000) || !bt2.Contains(h2, k+2000) {
+			t.Fatalf("key %d missing after multi-structure recovery", k)
+		}
+		if v, ok := m2.Get(h2, []byte(fmt.Sprintf("blob-%d", k))); !ok || string(v) != fmt.Sprintf("v-%d", k) {
+			t.Fatalf("blob-%d corrupt after recovery: %q,%v", k, v, ok)
+		}
+	}
+}
+
+// TestDirectoryGrowth: the v1 fixed root-slot directory capped out at ~14
+// structures (ErrFull); the v2 durable-hash-table directory must register
+// far more and recover every one of them after a crash.
+func TestDirectoryGrowth(t *testing.T) {
+	rt := newRT(t, WithSize(128<<20), WithLinkCache(true))
+	h := rt.Handle(0)
+	const n = 24 // well past the old 14-entry ceiling
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("structure-%02d", i)
+		switch i % 4 {
+		case 0:
+			s, err := rt.HashTable(h, name, 64)
+			if err != nil {
+				t.Fatalf("register %d: %v", i, err)
+			}
+			s.Insert(h, uint64(i)+1, uint64(i)*10)
+		case 1:
+			s, err := rt.SkipList(h, name)
+			if err != nil {
+				t.Fatalf("register %d: %v", i, err)
+			}
+			s.Insert(h, uint64(i)+1, uint64(i)*10)
+		case 2:
+			s, err := rt.BST(h, name)
+			if err != nil {
+				t.Fatalf("register %d: %v", i, err)
+			}
+			s.Insert(h, uint64(i)+1, uint64(i)*10)
+		default:
+			m, err := rt.Map(h, name, 64)
+			if err != nil {
+				t.Fatalf("register %d: %v", i, err)
+			}
+			m.Set(h, []byte(name), []byte(fmt.Sprintf("payload-%d", i)))
+		}
+	}
+	rt.Drain()
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt2.RecoveryReports()); got != n {
+		t.Fatalf("recovered %d structures, want %d", got, n)
+	}
+	h2 := rt2.Handle(0)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("structure-%02d", i)
+		switch i % 4 {
+		case 0:
+			s, err := rt2.HashTable(h2, name, 64)
+			if err != nil {
+				t.Fatalf("reopen %d: %v", i, err)
+			}
+			if v, ok := s.Search(h2, uint64(i)+1); !ok || v != uint64(i)*10 {
+				t.Fatalf("structure %d lost its entry: %d,%v", i, v, ok)
+			}
+		case 1:
+			s, err := rt2.SkipList(h2, name)
+			if err != nil {
+				t.Fatalf("reopen %d: %v", i, err)
+			}
+			if v, ok := s.Search(h2, uint64(i)+1); !ok || v != uint64(i)*10 {
+				t.Fatalf("structure %d lost its entry: %d,%v", i, v, ok)
+			}
+		case 2:
+			s, err := rt2.BST(h2, name)
+			if err != nil {
+				t.Fatalf("reopen %d: %v", i, err)
+			}
+			if v, ok := s.Search(h2, uint64(i)+1); !ok || v != uint64(i)*10 {
+				t.Fatalf("structure %d lost its entry: %d,%v", i, v, ok)
+			}
+		default:
+			m, err := rt2.Map(h2, name, 64)
+			if err != nil {
+				t.Fatalf("reopen %d: %v", i, err)
+			}
+			if v, ok := m.Get(h2, []byte(name)); !ok || string(v) != fmt.Sprintf("payload-%d", i) {
+				t.Fatalf("structure %d lost its payload: %q,%v", i, v, ok)
+			}
+		}
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "pool.img")
-	rt := newRT(t, Config{})
+	rt := newRT(t)
 	h := rt.Handle(0)
-	bt, _ := rt.CreateBST(h, "tree")
+	bt, _ := rt.BST(h, "tree")
 	for k := uint64(1); k <= 200; k++ {
 		bt.Insert(h, k, k*3)
 	}
@@ -139,15 +287,15 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rt2, err := Load(path, Config{MaxThreads: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	bt2, err := rt2.OpenBST("tree")
+	rt2, err := Load(path, WithMaxThreads(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	h2 := rt2.Handle(0)
+	bt2, err := rt2.BST(h2, "tree")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for k := uint64(1); k <= 200; k++ {
 		if v, ok := bt2.Search(h2, k); !ok || v != k*3 {
 			t.Fatalf("loaded tree Search(%d) = %d,%v", k, v, ok)
@@ -156,9 +304,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestConcurrentHandles(t *testing.T) {
-	rt := newRT(t, Config{LinkCache: true})
+	rt := newRT(t, WithLinkCache(true))
 	h0 := rt.Handle(0)
-	sl, _ := rt.CreateSkipList(h0, "s")
+	sl, _ := rt.SkipList(h0, "s")
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -188,7 +336,7 @@ func TestConcurrentHandles(t *testing.T) {
 }
 
 func TestHandleReuseSameCtx(t *testing.T) {
-	rt := newRT(t, Config{})
+	rt := newRT(t)
 	a := rt.Handle(3)
 	b := rt.Handle(3)
 	if a.c != b.c {
@@ -197,7 +345,7 @@ func TestHandleReuseSameCtx(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	if KindBST.String() != "bst" || Kind(99).String() != "unknown" {
+	if KindBST.String() != "bst" || KindMap.String() != "map" || Kind(99).String() != "unknown" {
 		t.Fatal("Kind.String broken")
 	}
 }
@@ -205,9 +353,9 @@ func TestKindString(t *testing.T) {
 func TestCrashWithoutDrainKeepsCompletedOps(t *testing.T) {
 	// LP mode (no link cache): every returned update is already durable, so
 	// a crash without Drain must preserve all of them.
-	rt := newRT(t, Config{})
+	rt := newRT(t)
 	h := rt.Handle(0)
-	l, _ := rt.CreateList(h, "l")
+	l, _ := rt.List(h, "l")
 	for k := uint64(1); k <= 100; k++ {
 		l.Insert(h, k, k)
 	}
@@ -215,8 +363,8 @@ func TestCrashWithoutDrainKeepsCompletedOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l2, _ := rt2.OpenList("l")
 	h2 := rt2.Handle(0)
+	l2, _ := rt2.List(h2, "l")
 	for k := uint64(1); k <= 100; k++ {
 		if !l2.Contains(h2, k) {
 			t.Fatalf("completed insert of %d lost without link cache", k)
@@ -225,9 +373,9 @@ func TestCrashWithoutDrainKeepsCompletedOps(t *testing.T) {
 }
 
 func TestQueuePublicAPIAndRecovery(t *testing.T) {
-	rt := newRT(t, Config{LinkCache: true})
+	rt := newRT(t, WithLinkCache(true))
 	h := rt.Handle(0)
-	q, err := rt.CreateQueue(h, "jobs")
+	q, err := rt.Queue(h, "jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,11 +390,11 @@ func TestQueuePublicAPIAndRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q2, err := rt2.OpenQueue("jobs")
+	h2 := rt2.Handle(0)
+	q2, err := rt2.Queue(h2, "jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
 	if got := q2.Len(h2); got != 49 {
 		t.Fatalf("recovered Len = %d, want 49", got)
 	}
@@ -270,9 +418,9 @@ func TestQueuePublicAPIAndRecovery(t *testing.T) {
 // cycles: after every recovery the structure must equal the oracle exactly
 // (single-threaded, so every completed op must persist).
 func TestPropertyCrashRecoverCycles(t *testing.T) {
-	rt := newRT(t, Config{LinkCache: true, MaxThreads: 2})
+	rt := newRT(t, WithLinkCache(true), WithMaxThreads(2))
 	h := rt.Handle(0)
-	set, err := rt.CreateBST(h, "prop")
+	set, err := rt.BST(h, "prop")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +455,7 @@ func TestPropertyCrashRecoverCycles(t *testing.T) {
 		}
 		rt = rt2
 		h = rt.Handle(0)
-		set, err = rt.OpenBST("prop")
+		set, err = rt.BST(h, "prop")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -329,35 +477,38 @@ func TestPropertyCrashRecoverCycles(t *testing.T) {
 	}
 }
 
-// TestDirectoryDurableWithoutDrain: structure registration is synced at
+// TestDirectoryDurableWithoutDrain: structure registration is durable at
 // creation, so a crash immediately afterwards must not lose the directory
 // entry (even with the link cache holding other state).
 func TestDirectoryDurableWithoutDrain(t *testing.T) {
-	rt := newRT(t, Config{LinkCache: true})
+	rt := newRT(t, WithLinkCache(true))
 	h := rt.Handle(0)
-	if _, err := rt.CreateSkipList(h, "early"); err != nil {
+	if _, err := rt.SkipList(h, "early"); err != nil {
 		t.Fatal(err)
 	}
 	rt2, err := rt.SimulateCrash()
 	if err != nil {
 		t.Fatal(err)
 	}
-	sl, err := rt2.OpenSkipList("early")
+	if _, ok := rt2.Lookup(rt2.Handle(0), "early"); !ok {
+		t.Fatal("directory entry lost in crash")
+	}
+	h2 := rt2.Handle(0)
+	sl, err := rt2.SkipList(h2, "early")
 	if err != nil {
 		t.Fatalf("directory entry lost in crash: %v", err)
 	}
-	h2 := rt2.Handle(0)
 	if !sl.Insert(h2, 1, 1) {
 		t.Fatal("recovered structure unusable")
 	}
 }
 
 // TestRuntimeVolatileMode: the Figure 7 configuration through the public
-// API — no persistence actions at all.
+// API — no persistence waits at all on the operation paths.
 func TestRuntimeVolatileMode(t *testing.T) {
-	rt := newRT(t, Config{Volatile: true})
+	rt := newRT(t, WithVolatile(true))
 	h := rt.Handle(0)
-	bt, err := rt.CreateBST(h, "v")
+	bt, err := rt.BST(h, "v")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,9 +522,9 @@ func TestRuntimeVolatileMode(t *testing.T) {
 }
 
 func TestStackPublicAPIAndRecovery(t *testing.T) {
-	rt := newRT(t, Config{LinkCache: true})
+	rt := newRT(t, WithLinkCache(true))
 	h := rt.Handle(0)
-	st, err := rt.CreateStack(h, "undo")
+	st, err := rt.Stack(h, "undo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,11 +537,11 @@ func TestStackPublicAPIAndRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st2, err := rt2.OpenStack("undo")
+	h2 := rt2.Handle(0)
+	st2, err := rt2.Stack(h2, "undo")
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
 	if got := st2.Len(h2); got != 29 {
 		t.Fatalf("recovered Len = %d, want 29", got)
 	}
@@ -398,6 +549,34 @@ func TestStackPublicAPIAndRecovery(t *testing.T) {
 		got, ok := st2.Pop(h2)
 		if !ok || got != v {
 			t.Fatalf("Pop = %d,%v want %d", got, ok, v)
+		}
+	}
+}
+
+// TestUpsertVeneers: every keyed wrapper supports durable in-place value
+// replacement.
+func TestUpsertVeneers(t *testing.T) {
+	rt := newRT(t)
+	h := rt.Handle(0)
+	l, _ := rt.List(h, "l")
+	ht, _ := rt.HashTable(h, "h", 64)
+	sl, _ := rt.SkipList(h, "s")
+	bt, _ := rt.BST(h, "b")
+	for i, s := range []Set{l, ht, sl, bt} {
+		if !s.Upsert(h, 7, 1) {
+			t.Fatalf("set %d: first Upsert did not insert", i)
+		}
+		if s.Upsert(h, 7, 2) {
+			t.Fatalf("set %d: second Upsert claimed insert", i)
+		}
+		if v, ok := s.Search(h, 7); !ok || v != 2 {
+			t.Fatalf("set %d: after Upsert Search = %d,%v", i, v, ok)
+		}
+		if _, ok := s.Delete(h, 7); !ok {
+			t.Fatalf("set %d: Delete after Upsert failed", i)
+		}
+		if s.Contains(h, 7) {
+			t.Fatalf("set %d: key survived Delete", i)
 		}
 	}
 }

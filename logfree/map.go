@@ -1,0 +1,279 @@
+package logfree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Spec describes the structure OpenOrCreate should open or create.
+type Spec struct {
+	// Kind selects the structure; the zero value means KindMap, the
+	// byte-keyed durable hash map.
+	Kind Kind
+	// Buckets sizes hash-backed kinds (KindMap, KindHashTable; rounded up
+	// to a power of two, default 1024). Ignored when opening an existing
+	// structure, whose durable bucket count wins.
+	Buckets int
+}
+
+// Map is the unified byte-key interface of every keyed durable structure.
+//
+// KindMap (the default) stores arbitrary []byte keys and values: the key's
+// hash indexes a log-free durable hash table, the full key is verified in
+// the durable entry, and same-hash keys chain durably — distinct keys can
+// never alias.
+//
+// The uint64-plane kinds (KindList, KindHashTable, KindSkipList, KindBST)
+// expose the same interface over their 8-byte key/value words: keys and
+// values are exactly 8 big-endian bytes, with the key decoding into
+// [MinKey, MaxKey] (a fixed width, so distinct byte keys can never alias).
+// The typed wrappers (Runtime.List, …) give the raw uint64 surface.
+type Map interface {
+	// Set binds key to value (upsert), durably.
+	Set(h *Handle, key, value []byte) error
+	// Get returns a copy of the value bound to key.
+	Get(h *Handle, key []byte) ([]byte, bool)
+	// Delete removes key durably; false if absent.
+	Delete(h *Handle, key []byte) bool
+	// Contains reports whether key is present.
+	Contains(h *Handle, key []byte) bool
+	// Len counts live keys (quiescent use).
+	Len(h *Handle) int
+	// Range visits live entries (order unspecified for hash-backed kinds;
+	// quiescent use).
+	Range(h *Handle, fn func(key, value []byte) bool)
+	// Kind reports the structure kind backing the map.
+	Kind() Kind
+	// Name reports the directory name the map is registered under.
+	Name() string
+}
+
+// OpenOrCreate is the generic entry point of the v2 API: it opens the
+// structure registered under name, or creates and registers it, and returns
+// the unified byte-key Map view. Opening an existing name under a different
+// kind fails with ErrKind; queue and stack kinds have no map abstraction
+// (ErrNotKeyed) — use Runtime.Queue and Runtime.Stack.
+func (r *Runtime) OpenOrCreate(h *Handle, name string, spec Spec) (Map, error) {
+	if spec.Kind == 0 {
+		spec.Kind = KindMap
+	}
+	if spec.Buckets <= 0 {
+		spec.Buckets = 1024
+	}
+	switch spec.Kind {
+	case KindMap:
+		return r.Map(h, name, spec.Buckets)
+	case KindHashTable:
+		t, err := r.HashTable(h, name, spec.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		return &u64View{m: t, kind: KindHashTable, name: name}, nil
+	case KindList:
+		l, err := r.List(h, name)
+		if err != nil {
+			return nil, err
+		}
+		return &u64View{m: l, kind: KindList, name: name}, nil
+	case KindSkipList:
+		s, err := r.SkipList(h, name)
+		if err != nil {
+			return nil, err
+		}
+		return &u64View{m: s, kind: KindSkipList, name: name}, nil
+	case KindBST:
+		t, err := r.BST(h, name)
+		if err != nil {
+			return nil, err
+		}
+		return &u64View{m: t, kind: KindBST, name: name}, nil
+	case KindQueue, KindStack:
+		return nil, fmt.Errorf("%w: %v", ErrNotKeyed, spec.Kind)
+	}
+	return nil, fmt.Errorf("logfree: unknown kind %d", spec.Kind)
+}
+
+// SetHashForTesting overrides the byte-key index-hash derivation (nil
+// restores the default). Tests inject colliding hashes to exercise the
+// durable collision chains deterministically; the override must stay in
+// place across any crash/recover cycle of the test, since entries persist
+// the index key they were stored under.
+func SetHashForTesting(f func([]byte) uint64) { core.SetBytesHashForTesting(f) }
+
+// --- ByteMap -------------------------------------------------------------
+
+// ByteMap is the byte-keyed durable hash map (KindMap): arbitrary []byte
+// keys and values with durable collision chains, plus a 16-bit metadata
+// field and a 64-bit aux word per entry for cache-style metadata (flags,
+// expiry). All methods are safe for concurrent use provided each goroutine
+// uses its own Handle.
+type ByteMap struct {
+	b    *core.BytesMap
+	name string
+}
+
+// Map opens or creates the byte-keyed durable map registered under name
+// (the typed veneer of OpenOrCreate with KindMap).
+func (r *Runtime) Map(h *Handle, name string, buckets int) (*ByteMap, error) {
+	if buckets <= 0 {
+		buckets = 1024
+	}
+	var created *core.BytesMap
+	aux, a1, a2, err := r.ensure(h, name, KindMap, func() (uint64, uint64, uint64, error) {
+		b, err := core.NewBytesMap(h.c, buckets)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		created = b
+		return uint64(b.NumBuckets()), b.Buckets(), b.Tail(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if created != nil {
+		return &ByteMap{b: created, name: name}, nil
+	}
+	return &ByteMap{b: core.AttachBytesMap(r.store, a1, int(aux), a2), name: name}, nil
+}
+
+// Set implements Map (meta 0, aux 0).
+func (m *ByteMap) Set(h *Handle, key, value []byte) error {
+	_, err := m.b.Set(h.c, key, value, 0, 0)
+	return err
+}
+
+// SetItem binds key to value with a metadata field and aux word; reports
+// whether the key was newly created.
+func (m *ByteMap) SetItem(h *Handle, key, value []byte, meta uint16, aux uint64) (created bool, err error) {
+	return m.b.Set(h.c, key, value, meta, aux)
+}
+
+// Get implements Map.
+func (m *ByteMap) Get(h *Handle, key []byte) ([]byte, bool) {
+	return m.b.Get(h.c, key)
+}
+
+// GetItem returns the value with its metadata field and aux word.
+func (m *ByteMap) GetItem(h *Handle, key []byte) (value []byte, meta uint16, aux uint64, ok bool) {
+	return m.b.GetItem(h.c, key)
+}
+
+// SetAux durably replaces the aux word of an existing entry in place
+// (touch-style update); false if key is absent.
+func (m *ByteMap) SetAux(h *Handle, key []byte, aux uint64) bool {
+	return m.b.SetAux(h.c, key, aux)
+}
+
+// Delete implements Map.
+func (m *ByteMap) Delete(h *Handle, key []byte) bool { return m.b.Delete(h.c, key) }
+
+// Contains implements Map.
+func (m *ByteMap) Contains(h *Handle, key []byte) bool { return m.b.Contains(h.c, key) }
+
+// Len implements Map (quiescent use).
+func (m *ByteMap) Len(h *Handle) int { return m.b.Len(h.c) }
+
+// Range implements Map (unordered; quiescent use).
+func (m *ByteMap) Range(h *Handle, fn func(key, value []byte) bool) {
+	m.b.Range(h.c, fn)
+}
+
+// RangeItems is Range including each entry's metadata and aux word.
+func (m *ByteMap) RangeItems(h *Handle, fn func(key, value []byte, meta uint16, aux uint64) bool) {
+	m.b.RangeItems(h.c, fn)
+}
+
+// Kind implements Map.
+func (m *ByteMap) Kind() Kind { return KindMap }
+
+// Name implements Map.
+func (m *ByteMap) Name() string { return m.name }
+
+// --- uint64-plane adapter ------------------------------------------------
+
+// u64ops is the operation set the typed wrappers share (see structures.go).
+type u64ops interface {
+	Insert(h *Handle, key, value uint64) bool
+	Upsert(h *Handle, key, value uint64) bool
+	Delete(h *Handle, key uint64) (uint64, bool)
+	Search(h *Handle, key uint64) (uint64, bool)
+	Contains(h *Handle, key uint64) bool
+	Len(h *Handle) int
+	Range(h *Handle, fn func(key, value uint64) bool)
+}
+
+// u64View adapts a uint64 structure to the byte-key Map interface: keys and
+// values are exactly 8 big-endian bytes (fixed width — variable-length keys
+// with leading zeros would alias onto one uint64).
+type u64View struct {
+	m    u64ops
+	kind Kind
+	name string
+}
+
+func decodeU64Key(key []byte) (uint64, error) {
+	if len(key) != 8 {
+		return 0, ErrKeyRange
+	}
+	k := binary.BigEndian.Uint64(key)
+	if k < MinKey || k > MaxKey {
+		return 0, ErrKeyRange
+	}
+	return k, nil
+}
+
+func (v *u64View) Set(h *Handle, key, value []byte) error {
+	k, err := decodeU64Key(key)
+	if err != nil {
+		return err
+	}
+	if len(value) != 8 {
+		return ErrValueSize
+	}
+	v.m.Upsert(h, k, binary.BigEndian.Uint64(value))
+	return nil
+}
+
+func (v *u64View) Get(h *Handle, key []byte) ([]byte, bool) {
+	k, err := decodeU64Key(key)
+	if err != nil {
+		return nil, false
+	}
+	val, ok := v.m.Search(h, k)
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, val)
+	return out, true
+}
+
+func (v *u64View) Delete(h *Handle, key []byte) bool {
+	k, err := decodeU64Key(key)
+	if err != nil {
+		return false
+	}
+	_, ok := v.m.Delete(h, k)
+	return ok
+}
+
+func (v *u64View) Contains(h *Handle, key []byte) bool {
+	_, ok := v.Get(h, key)
+	return ok
+}
+
+func (v *u64View) Len(h *Handle) int { return v.m.Len(h) }
+
+func (v *u64View) Range(h *Handle, fn func(key, value []byte) bool) {
+	v.m.Range(h, func(k, val uint64) bool {
+		kb, vb := make([]byte, 8), make([]byte, 8)
+		binary.BigEndian.PutUint64(kb, k)
+		binary.BigEndian.PutUint64(vb, val)
+		return fn(kb, vb)
+	})
+}
+
+func (v *u64View) Kind() Kind   { return v.kind }
+func (v *u64View) Name() string { return v.name }

@@ -2,14 +2,19 @@ package logfree
 
 import "repro/internal/core"
 
-// Set is the common interface of all four durable structures: the set
-// abstraction over 8-byte keys and values (§3). All methods are safe for
-// concurrent use provided each goroutine uses its own Handle.
+// Set is the common uint64 interface of the four durable set structures
+// (§3). All methods are safe for concurrent use provided each goroutine
+// uses its own Handle. These typed wrappers are thin veneers over the same
+// durable directory that OpenOrCreate serves; each Runtime method below
+// opens the named structure or creates it (v1's CreateX/OpenX pairs,
+// unified).
 type Set interface {
 	// Insert adds key→value; false if the key is already present. The
 	// effect is durable (or, with the link cache, flushed before any
 	// dependent operation completes) when Insert returns.
 	Insert(h *Handle, key, value uint64) bool
+	// Upsert inserts or durably replaces in place; true if newly inserted.
+	Upsert(h *Handle, key, value uint64) bool
 	// Delete removes key, returning its value.
 	Delete(h *Handle, key uint64) (uint64, bool)
 	// Search returns the value bound to key.
@@ -21,29 +26,31 @@ type Set interface {
 // List is a durable lock-free sorted linked list (Harris + link-and-persist).
 type List struct{ l *core.List }
 
-// CreateList creates and registers a durable list under name.
-func (r *Runtime) CreateList(h *Handle, name string) (*List, error) {
-	l, err := core.NewList(h.c)
+// List opens or creates the durable list registered under name.
+func (r *Runtime) List(h *Handle, name string) (*List, error) {
+	var made *core.List
+	_, a1, a2, err := r.ensure(h, name, KindList, func() (uint64, uint64, uint64, error) {
+		l, err := core.NewList(h.c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		made = l
+		return 0, l.Head(), l.Tail(), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := r.register(h, name, KindList, 0, l.Head(), l.Tail()); err != nil {
-		return nil, err
-	}
-	return &List{l}, nil
-}
-
-// OpenList reopens the list registered under name.
-func (r *Runtime) OpenList(name string) (*List, error) {
-	_, a1, a2, err := r.lookup(name, KindList)
-	if err != nil {
-		return nil, err
+	if made != nil {
+		return &List{made}, nil
 	}
 	return &List{core.AttachList(r.store, a1, a2)}, nil
 }
 
 // Insert implements Set.
 func (l *List) Insert(h *Handle, key, value uint64) bool { return l.l.Insert(h.c, key, value) }
+
+// Upsert implements Set.
+func (l *List) Upsert(h *Handle, key, value uint64) bool { return l.l.Upsert(h.c, key, value) }
 
 // Delete implements Set.
 func (l *List) Delete(h *Handle, key uint64) (uint64, bool) { return l.l.Delete(h.c, key) }
@@ -63,29 +70,33 @@ func (l *List) Range(h *Handle, fn func(key, value uint64) bool) { l.l.Range(h.c
 // HashTable is a durable lock-free hash table (Harris list per bucket).
 type HashTable struct{ t *core.HashTable }
 
-// CreateHashTable creates and registers a durable hash table under name.
-func (r *Runtime) CreateHashTable(h *Handle, name string, buckets int) (*HashTable, error) {
-	t, err := core.NewHashTable(h.c, buckets)
+// HashTable opens or creates the durable hash table registered under name.
+// buckets is used only at creation (rounded up to a power of two); an
+// existing table keeps its durable bucket count.
+func (r *Runtime) HashTable(h *Handle, name string, buckets int) (*HashTable, error) {
+	var made *core.HashTable
+	aux, a1, a2, err := r.ensure(h, name, KindHashTable, func() (uint64, uint64, uint64, error) {
+		t, err := core.NewHashTable(h.c, buckets)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		made = t
+		return uint64(t.NumBuckets()), t.Buckets(), t.Tail(), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := r.register(h, name, KindHashTable, uint64(t.NumBuckets()), t.Buckets(), t.Tail()); err != nil {
-		return nil, err
-	}
-	return &HashTable{t}, nil
-}
-
-// OpenHashTable reopens the hash table registered under name.
-func (r *Runtime) OpenHashTable(name string) (*HashTable, error) {
-	aux, a1, a2, err := r.lookup(name, KindHashTable)
-	if err != nil {
-		return nil, err
+	if made != nil {
+		return &HashTable{made}, nil
 	}
 	return &HashTable{core.AttachHashTable(r.store, a1, int(aux), a2)}, nil
 }
 
 // Insert implements Set.
 func (t *HashTable) Insert(h *Handle, key, value uint64) bool { return t.t.Insert(h.c, key, value) }
+
+// Upsert implements Set.
+func (t *HashTable) Upsert(h *Handle, key, value uint64) bool { return t.t.Upsert(h.c, key, value) }
 
 // Delete implements Set.
 func (t *HashTable) Delete(h *Handle, key uint64) (uint64, bool) { return t.t.Delete(h.c, key) }
@@ -95,9 +106,6 @@ func (t *HashTable) Search(h *Handle, key uint64) (uint64, bool) { return t.t.Se
 
 // Contains implements Set.
 func (t *HashTable) Contains(h *Handle, key uint64) bool { return t.t.Contains(h.c, key) }
-
-// Upsert inserts or durably replaces in place; true if newly inserted.
-func (t *HashTable) Upsert(h *Handle, key, value uint64) bool { return t.t.Upsert(h.c, key, value) }
 
 // Len counts live keys (quiescent use).
 func (t *HashTable) Len(h *Handle) int { return t.t.Len(h.c) }
@@ -109,29 +117,31 @@ func (t *HashTable) Range(h *Handle, fn func(key, value uint64) bool) { t.t.Rang
 // index rebuilt on recovery).
 type SkipList struct{ s *core.SkipList }
 
-// CreateSkipList creates and registers a durable skip list under name.
-func (r *Runtime) CreateSkipList(h *Handle, name string) (*SkipList, error) {
-	s, err := core.NewSkipList(h.c)
+// SkipList opens or creates the durable skip list registered under name.
+func (r *Runtime) SkipList(h *Handle, name string) (*SkipList, error) {
+	var made *core.SkipList
+	_, a1, a2, err := r.ensure(h, name, KindSkipList, func() (uint64, uint64, uint64, error) {
+		s, err := core.NewSkipList(h.c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		made = s
+		return 0, s.Head(), s.Tail(), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := r.register(h, name, KindSkipList, 0, s.Head(), s.Tail()); err != nil {
-		return nil, err
-	}
-	return &SkipList{s}, nil
-}
-
-// OpenSkipList reopens the skip list registered under name.
-func (r *Runtime) OpenSkipList(name string) (*SkipList, error) {
-	_, a1, a2, err := r.lookup(name, KindSkipList)
-	if err != nil {
-		return nil, err
+	if made != nil {
+		return &SkipList{made}, nil
 	}
 	return &SkipList{core.AttachSkipList(r.store, a1, a2)}, nil
 }
 
 // Insert implements Set.
 func (s *SkipList) Insert(h *Handle, key, value uint64) bool { return s.s.Insert(h.c, key, value) }
+
+// Upsert implements Set.
+func (s *SkipList) Upsert(h *Handle, key, value uint64) bool { return s.s.Upsert(h.c, key, value) }
 
 // Delete implements Set.
 func (s *SkipList) Delete(h *Handle, key uint64) (uint64, bool) { return s.s.Delete(h.c, key) }
@@ -151,29 +161,31 @@ func (s *SkipList) Range(h *Handle, fn func(key, value uint64) bool) { s.s.Range
 // BST is a durable lock-free external binary search tree (Natarajan-Mittal).
 type BST struct{ t *core.BST }
 
-// CreateBST creates and registers a durable BST under name.
-func (r *Runtime) CreateBST(h *Handle, name string) (*BST, error) {
-	t, err := core.NewBST(h.c)
+// BST opens or creates the durable BST registered under name.
+func (r *Runtime) BST(h *Handle, name string) (*BST, error) {
+	var made *core.BST
+	_, a1, a2, err := r.ensure(h, name, KindBST, func() (uint64, uint64, uint64, error) {
+		t, err := core.NewBST(h.c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		made = t
+		return 0, t.Root(), t.Sentinel(), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := r.register(h, name, KindBST, 0, t.Root(), t.Sentinel()); err != nil {
-		return nil, err
-	}
-	return &BST{t}, nil
-}
-
-// OpenBST reopens the BST registered under name.
-func (r *Runtime) OpenBST(name string) (*BST, error) {
-	_, a1, a2, err := r.lookup(name, KindBST)
-	if err != nil {
-		return nil, err
+	if made != nil {
+		return &BST{made}, nil
 	}
 	return &BST{core.AttachBST(r.store, a1, a2)}, nil
 }
 
 // Insert implements Set.
 func (t *BST) Insert(h *Handle, key, value uint64) bool { return t.t.Insert(h.c, key, value) }
+
+// Upsert implements Set.
+func (t *BST) Upsert(h *Handle, key, value uint64) bool { return t.t.Upsert(h.c, key, value) }
 
 // Delete implements Set.
 func (t *BST) Delete(h *Handle, key uint64) (uint64, bool) { return t.t.Delete(h.c, key) }
@@ -195,23 +207,22 @@ func (t *BST) Range(h *Handle, fn func(key, value uint64) bool) { t.t.Range(h.c,
 // abstraction.
 type Queue struct{ q *core.Queue }
 
-// CreateQueue creates and registers a durable queue under name.
-func (r *Runtime) CreateQueue(h *Handle, name string) (*Queue, error) {
-	q, err := core.NewQueue(h.c)
+// Queue opens or creates the durable queue registered under name.
+func (r *Runtime) Queue(h *Handle, name string) (*Queue, error) {
+	var made *core.Queue
+	_, a1, _, err := r.ensure(h, name, KindQueue, func() (uint64, uint64, uint64, error) {
+		q, err := core.NewQueue(h.c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		made = q
+		return 0, q.Descriptor(), 0, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := r.register(h, name, KindQueue, 0, q.Descriptor(), 0); err != nil {
-		return nil, err
-	}
-	return &Queue{q}, nil
-}
-
-// OpenQueue reopens the queue registered under name.
-func (r *Runtime) OpenQueue(name string) (*Queue, error) {
-	_, a1, _, err := r.lookup(name, KindQueue)
-	if err != nil {
-		return nil, err
+	if made != nil {
+		return &Queue{made}, nil
 	}
 	return &Queue{core.AttachQueue(r.store, a1)}, nil
 }
@@ -232,23 +243,22 @@ func (q *Queue) Len(h *Handle) int { return q.q.Len(h.c) }
 // Stack is a durable lock-free LIFO stack (Treiber + link-and-persist).
 type Stack struct{ st *core.Stack }
 
-// CreateStack creates and registers a durable stack under name.
-func (r *Runtime) CreateStack(h *Handle, name string) (*Stack, error) {
-	st, err := core.NewStack(h.c)
+// Stack opens or creates the durable stack registered under name.
+func (r *Runtime) Stack(h *Handle, name string) (*Stack, error) {
+	var made *core.Stack
+	_, a1, _, err := r.ensure(h, name, KindStack, func() (uint64, uint64, uint64, error) {
+		st, err := core.NewStack(h.c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		made = st
+		return 0, st.Descriptor(), 0, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := r.register(h, name, KindStack, 0, st.Descriptor(), 0); err != nil {
-		return nil, err
-	}
-	return &Stack{st}, nil
-}
-
-// OpenStack reopens the stack registered under name.
-func (r *Runtime) OpenStack(name string) (*Stack, error) {
-	_, a1, _, err := r.lookup(name, KindStack)
-	if err != nil {
-		return nil, err
+	if made != nil {
+		return &Stack{made}, nil
 	}
 	return &Stack{core.AttachStack(r.store, a1)}, nil
 }
