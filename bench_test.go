@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/memcache"
 	"repro/internal/nvram"
+	"repro/logfree"
 )
 
 // benchPoint runs exactly b.N operations through the workload harness.
@@ -241,4 +242,79 @@ func runMemtierN(b *testing.B, mt *memcache.Memtier, kvFor func(int) memcache.KV
 		}
 	}
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+// --- Ordered byte-key map baseline ---------------------------------------
+//
+// BenchmarkOrderedMap* is the perf baseline for the v2 ordered byte-key
+// surface (KindOrderedMap): Set (insert + replace mix), point Get, and
+// 100-key range Scan over a 10k-key map. scripts/bench.sh runs these and
+// emits BENCH_ordered.json so the ordered-path trajectory is tracked
+// across PRs.
+
+const (
+	orderedBenchKeys   = 10_000
+	orderedScanWindow  = 100
+	orderedBenchValLen = 64
+)
+
+func orderedBenchKey(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func newOrderedBench(b *testing.B, prefill int) (*logfree.OrderedByteMap, *logfree.Handle) {
+	b.Helper()
+	rt, err := logfree.New(logfree.WithSize(256<<20), logfree.WithLinkCache(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := rt.Handle(0)
+	om, err := rt.OrderedMap(h, "bench-ordered")
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, orderedBenchValLen)
+	for i := 0; i < prefill; i++ {
+		if err := om.Set(h, orderedBenchKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return om, h
+}
+
+func BenchmarkOrderedMapSet(b *testing.B) {
+	om, h := newOrderedBench(b, 0)
+	val := make([]byte, orderedBenchValLen)
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := om.Set(h, orderedBenchKey(i%orderedBenchKeys), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+func BenchmarkOrderedMapGet(b *testing.B) {
+	om, h := newOrderedBench(b, orderedBenchKeys)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, ok := om.Get(h, orderedBenchKey(i%orderedBenchKeys)); !ok {
+			b.Fatal("miss")
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+func BenchmarkOrderedMapScan(b *testing.B) {
+	om, h := newOrderedBench(b, orderedBenchKeys)
+	b.ResetTimer()
+	start := time.Now()
+	keys := 0
+	for i := 0; i < b.N; i++ {
+		lo := (i * orderedScanWindow) % (orderedBenchKeys - orderedScanWindow)
+		om.Scan(h, orderedBenchKey(lo), orderedBenchKey(lo+orderedScanWindow),
+			func(_, _ []byte) bool { keys++; return true })
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+	b.ReportMetric(float64(keys)/time.Since(start).Seconds(), "keys/s")
 }

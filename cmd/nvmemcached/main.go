@@ -30,6 +30,7 @@ func main() {
 	conns := flag.Int("conns", 8, "worker slots (max concurrent connections)")
 	image := flag.String("image", "", "NVRAM image file (recovered if present, saved on shutdown)")
 	latency := flag.Duration("latency", nvram.DefaultWriteLatency, "simulated NVRAM write latency")
+	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep interval (0 disables the sweeper)")
 	flag.Parse()
 
 	cfg := memcache.Config{
@@ -74,10 +75,17 @@ func main() {
 	}
 	log.Printf("listening on %s", srv.Addr())
 
+	stopSweeper := func() {}
+	if *sweep > 0 {
+		stopSweeper = cache.StartSweeper(*sweep)
+		log.Printf("expiry sweeper running every %v", *sweep)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	stopSweeper()
 	srv.Close()
 	cache.Flush()
 	if *image != "" {

@@ -1,0 +1,123 @@
+// leaderboard: a durable game leaderboard on the ordered byte-key map
+// (KindOrderedMap) — the "ordered sweep over durable keys" workload the v2
+// ordered surface unlocks. Scores index an ordered map under a
+// score-descending composite key (inverted big-endian score, then player
+// name), so "top N" is one range scan with no sorting, updates are
+// move-by-delete-and-insert, and the whole board survives a power failure.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"repro/logfree"
+)
+
+const (
+	workers      = 4
+	roundsPerBot = 300
+	players      = 64
+)
+
+// rankKey composites a leaderboard key: ^score big-endian first, so an
+// ascending byte scan visits high scores first, then the player name to
+// break ties deterministically.
+func rankKey(score uint64, player string) []byte {
+	k := make([]byte, 8+len(player))
+	binary.BigEndian.PutUint64(k, ^score)
+	copy(k[8:], player)
+	return k
+}
+
+func rankScore(k []byte) uint64 { return ^binary.BigEndian.Uint64(k) }
+
+func playerName(i int) string { return fmt.Sprintf("player-%02d", i) }
+
+func main() {
+	rt, err := logfree.New(
+		logfree.WithSize(128<<20),
+		logfree.WithMaxThreads(workers+1),
+		logfree.WithLinkCache(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h0 := rt.Handle(workers)
+	// Two durable structures share the runtime: the rank index (ordered)
+	// and a hash map holding each player's current score, so an update can
+	// find and remove its stale rank entry.
+	board, err := rt.OrderedMap(h0, "board")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scores, err := rt.Map(h0, "scores", 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bots post monotonically growing scores concurrently.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := rt.Handle(w)
+			rng := rand.New(rand.NewSource(int64(w)))
+			var buf [8]byte
+			for i := 0; i < roundsPerBot; i++ {
+				// Players partition by worker, so each player's
+				// read-delete-insert sequence is single-writer; the board
+				// and score map themselves are shared and contended.
+				p := playerName(w*(players/workers) + rng.Intn(players/workers))
+				gain := uint64(1 + rng.Intn(100))
+				var cur uint64
+				if v, ok := scores.Get(h, []byte(p)); ok {
+					cur = binary.BigEndian.Uint64(v)
+					board.Delete(h, rankKey(cur, p))
+				}
+				next := cur + gain
+				binary.BigEndian.PutUint64(buf[:], next)
+				if err := scores.Set(h, []byte(p), buf[:]); err != nil {
+					log.Fatal(err)
+				}
+				if err := board.Set(h, rankKey(next, p), nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Println("top 5 before the crash:")
+	printTop(rt, board, 5)
+
+	// Power failure + reboot + recovery: the board comes back ordered.
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2 := rt2.Handle(0)
+	board2, err := rt2.OrderedMap(h2, "board")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top 5 after recovery:")
+	printTop(rt2, board2, 5)
+	if min, _, ok := board2.Max(h2); ok {
+		// Max of the inverted-key space is the *lowest* score on the board.
+		fmt.Printf("lowest ranked: %s (%d points)\n", min[8:], rankScore(min))
+	}
+}
+
+func printTop(rt *logfree.Runtime, board *logfree.OrderedByteMap, n int) {
+	h := rt.Handle(0)
+	rank := 0
+	board.Ascend(h, func(k, _ []byte) bool {
+		rank++
+		fmt.Printf("  #%d %s — %d points\n", rank, k[8:], rankScore(k))
+		return rank < n
+	})
+}

@@ -149,28 +149,41 @@ func loadBytes(dev *nvram.Device, a Addr, n int) []byte {
 	return out
 }
 
-// Entry field readers (addresses come from Find or recovery sweeps).
+// Entry field readers (addresses come from Find or recovery sweeps). They
+// are store-level functions because two index structures share the entry
+// layout: the hash-indexed BytesMap here and the skiplist-indexed
+// OrderedBytesMap (bytesindex.go).
 
-func (b *BytesMap) entryKeyLen(e Addr) int { return int(b.s.dev.Load(e+beHeader) & 0xFFFF) }
+func bytesEntryKeyLen(s *Store, e Addr) int { return int(s.dev.Load(e+beHeader) & 0xFFFF) }
 
-// EntryKey reads an entry's key bytes.
-func (b *BytesMap) EntryKey(e Addr) []byte {
-	return loadBytes(b.s.dev, e+beData, b.entryKeyLen(e))
+func bytesEntryKey(s *Store, e Addr) []byte {
+	return loadBytes(s.dev, e+beData, bytesEntryKeyLen(s, e))
 }
 
-// EntryValue reads an entry's value bytes.
-func (b *BytesMap) EntryValue(e Addr) []byte {
-	hdr := b.s.dev.Load(e + beHeader)
+func bytesEntryValue(s *Store, e Addr) []byte {
+	hdr := s.dev.Load(e + beHeader)
 	klen := int(hdr & 0xFFFF)
 	vlen := int(hdr >> 16 & 0xFFFFFFFF)
-	return loadBytes(b.s.dev, e+beData, klen+vlen)[klen:]
+	return loadBytes(s.dev, e+beData, klen+vlen)[klen:]
 }
 
+func bytesEntryMeta(s *Store, e Addr) uint16 { return uint16(s.dev.Load(e+beHeader) >> 48) }
+
+func bytesEntryAux(s *Store, e Addr) uint64 { return s.dev.Load(e + beAux) }
+
+func bytesEntryHash(s *Store, e Addr) uint64 { return s.dev.Load(e + beHash) }
+
+// EntryKey reads an entry's key bytes.
+func (b *BytesMap) EntryKey(e Addr) []byte { return bytesEntryKey(b.s, e) }
+
+// EntryValue reads an entry's value bytes.
+func (b *BytesMap) EntryValue(e Addr) []byte { return bytesEntryValue(b.s, e) }
+
 // EntryMeta reads an entry's 16-bit metadata field.
-func (b *BytesMap) EntryMeta(e Addr) uint16 { return uint16(b.s.dev.Load(e+beHeader) >> 48) }
+func (b *BytesMap) EntryMeta(e Addr) uint16 { return bytesEntryMeta(b.s, e) }
 
 // EntryAux reads an entry's aux word.
-func (b *BytesMap) EntryAux(e Addr) uint64 { return b.s.dev.Load(e + beAux) }
+func (b *BytesMap) EntryAux(e Addr) uint64 { return bytesEntryAux(b.s, e) }
 
 func (b *BytesMap) entryNext(e Addr) Addr { return Addr(b.s.dev.Load(e + beNext)) }
 
@@ -187,9 +200,10 @@ func entryClass(total uint64) (pmem.Class, error) {
 	return cl, nil
 }
 
-// writeEntry allocates and fully persists an entry (contents fenced before
-// it can be linked anywhere).
-func (b *BytesMap) writeEntry(c *Ctx, hash uint64, key, value []byte, meta uint16, aux uint64, next Addr) (Addr, error) {
+// writeBytesEntry allocates and fully persists an entry (contents fenced
+// before it can be linked anywhere). Shared by the hash-indexed and the
+// ordered byte maps; ordered entries carry next = 0 (no collision chains).
+func writeBytesEntry(c *Ctx, hash uint64, key, value []byte, meta uint16, aux uint64, next Addr) (Addr, error) {
 	total := uint64(beData + len(key) + len(value))
 	cl, err := entryClass(total)
 	if err != nil {
@@ -199,7 +213,7 @@ func (b *BytesMap) writeEntry(c *Ctx, hash uint64, key, value []byte, meta uint1
 	if err != nil {
 		return 0, err
 	}
-	dev := b.s.dev
+	dev := c.s.dev
 	hdr := uint64(len(key)) | uint64(len(value))<<16 | uint64(meta)<<48
 	dev.Store(e+beHeader, hdr)
 	dev.Store(e+beHash, hash)
@@ -271,6 +285,24 @@ func (b *BytesMap) GetItem(c *Ctx, key []byte) (value []byte, meta uint16, aux u
 	return b.EntryValue(e), b.EntryMeta(e), b.EntryAux(e), true
 }
 
+// GetAux returns only the aux word bound to key — no value copy, for
+// metadata probes on hot paths (e.g. reading an item's expiry before a
+// rewrite).
+func (b *BytesMap) GetAux(c *Ctx, key []byte) (aux uint64, ok bool) {
+	hash := bytesHash(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	head, found := b.chainHead(c, hash)
+	if !found {
+		return 0, false
+	}
+	e, _ := b.findInChain(head, key)
+	if e == 0 {
+		return 0, false
+	}
+	return b.EntryAux(e), true
+}
+
 // Contains reports whether key is present.
 func (b *BytesMap) Contains(c *Ctx, key []byte) bool {
 	_, ok := b.Find(c, key)
@@ -308,7 +340,7 @@ func (b *BytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64) (crea
 	if replaced != 0 {
 		next = b.entryNext(replaced)
 	}
-	e, err := b.writeEntry(c, hash, key, value, meta, aux, next)
+	e, err := writeBytesEntry(c, hash, key, value, meta, aux, next)
 	if err != nil {
 		return false, err
 	}
@@ -409,15 +441,20 @@ func (b *BytesMap) Delete(c *Ctx, key []byte) bool {
 	return true
 }
 
-// Len counts live entries (quiescent use).
+// Len counts live entries (linearizable only in quiescence; diagnostic).
 func (b *BytesMap) Len(c *Ctx) int {
 	n := 0
 	b.RangeEntries(c, func(Addr) bool { n++; return true })
 	return n
 }
 
-// Range calls fn for every live key/value (copies; unordered; quiescent
-// use).
+// Range calls fn for every live key/value (copies; unordered). Safe for
+// concurrent use: the walk runs inside an epoch section, so entry extents
+// cannot be reclaimed mid-scan and every observed entry is internally
+// consistent (entries are immutable once published). Under concurrent
+// updates the scan is not a snapshot: it may miss keys inserted during the
+// walk and may see either the old or the new binding of a replaced key. fn
+// must not call operations on the same Ctx (epoch sections do not nest).
 func (b *BytesMap) Range(c *Ctx, fn func(key, value []byte) bool) {
 	b.RangeEntries(c, func(e Addr) bool {
 		return fn(b.EntryKey(e), b.EntryValue(e))
@@ -431,8 +468,11 @@ func (b *BytesMap) RangeItems(c *Ctx, fn func(key, value []byte, meta uint16, au
 	})
 }
 
-// RangeEntries visits every live entry address (quiescent use).
+// RangeEntries visits every live entry address under one epoch section (see
+// Range for the concurrency contract).
 func (b *BytesMap) RangeEntries(c *Ctx, fn func(e Addr) bool) {
+	c.ep.Begin()
+	defer c.ep.End()
 	stop := false
 	b.idx.Range(c, func(_, headV uint64) bool {
 		for e := Addr(headV); e != 0 && !stop; e = b.entryNext(e) {

@@ -199,7 +199,7 @@ func TestBytesMapRecoveryFreesOrphanEntry(t *testing.T) {
 	}
 	c.Shutdown()
 	// Orphan an entry: fully persisted, area in the APT, never published.
-	orphan, err := b.writeEntry(c, MinKey+42, []byte("ghost"), []byte("boo"), 0, 0, 0)
+	orphan, err := writeBytesEntry(c, MinKey+42, []byte("ghost"), []byte("boo"), 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -374,6 +374,72 @@ func (sl *SkipList) Range(c *Ctx, fn func(key, value uint64) bool) {
 	}
 }
 
+// SeekGE returns the smallest live key >= key, with its value. The seek
+// runs inside an epoch section; like Search it makes the links it depends
+// on durable before returning.
+func (sl *SkipList) SeekGE(c *Ctx, key uint64) (k, v uint64, ok bool) {
+	checkKey(key)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := sl.s.dev
+	var preds, succs [MaxLevel]Addr
+	sl.find(c, key, &preds, &succs)
+	c.scan(key)
+	c.ensureDurable(preds[0] + slNext(0))
+	curr := succs[0]
+	for curr != sl.tail {
+		w := dev.Load(curr + slNext(0))
+		if !ptrtag.IsMarked(w) {
+			c.ensureDurable(curr + slNext(0))
+			return dev.Load(curr + slKey), dev.Load(curr + slValue), true
+		}
+		curr = ptrtag.Addr(w)
+	}
+	return 0, 0, false
+}
+
+// Succ returns the smallest live key strictly greater than key, with its
+// value. key may be any value in [MinKey-1, MaxKey]; Succ(MinKey-1) is the
+// minimum of the set.
+func (sl *SkipList) Succ(c *Ctx, key uint64) (k, v uint64, ok bool) {
+	if key >= MaxKey {
+		return 0, 0, false
+	}
+	return sl.SeekGE(c, key+1)
+}
+
+// Scan calls fn in ascending key order for every live key in
+// [start, end) — end = 0 means "through MaxKey". The scan positions with
+// the index levels (SeekGE-style), then walks the level-0 chain inside one
+// epoch section, so entries cannot be reclaimed mid-scan; under concurrent
+// updates it is not a snapshot. fn must not call operations on the same
+// Ctx (epoch sections do not nest).
+func (sl *SkipList) Scan(c *Ctx, start, end uint64, fn func(key, value uint64) bool) {
+	if start < MinKey {
+		start = MinKey
+	}
+	checkKey(start)
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := sl.s.dev
+	var preds, succs [MaxLevel]Addr
+	sl.find(c, start, &preds, &succs)
+	curr := succs[0]
+	for curr != sl.tail {
+		w := dev.Load(curr + slNext(0))
+		if !ptrtag.IsMarked(w) {
+			k := dev.Load(curr + slKey)
+			if end != 0 && k >= end {
+				return
+			}
+			if !fn(k, dev.Load(curr+slValue)) {
+				return
+			}
+		}
+		curr = ptrtag.Addr(w)
+	}
+}
+
 // RebuildIndex reconstructs all index levels from the durable level-0 chain.
 // Called during recovery (the index is volatile by design); also strips any
 // leftover Dirty marks on level-0 links. Quiescent use only.

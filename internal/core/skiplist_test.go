@@ -200,3 +200,52 @@ func TestSkipListRandomLevelBounded(t *testing.T) {
 		t.Fatalf("level 0 frequency %d not ≈ half", histo[0])
 	}
 }
+
+func TestSkipListSeekAndScan(t *testing.T) {
+	s := newTestStore(t, Options{})
+	c := s.MustCtx(0)
+	sl := newTestSkip(t, s, c)
+	for _, k := range []uint64{10, 20, 30, 40, 50} {
+		if !sl.Insert(c, k, k*100) {
+			t.Fatal("insert failed")
+		}
+	}
+	if k, v, ok := sl.SeekGE(c, 25); !ok || k != 30 || v != 3000 {
+		t.Fatalf("SeekGE(25) = %d,%d,%v", k, v, ok)
+	}
+	if k, _, ok := sl.SeekGE(c, 30); !ok || k != 30 {
+		t.Fatalf("SeekGE(30) = %d,%v", k, ok)
+	}
+	if _, _, ok := sl.SeekGE(c, 51); ok {
+		t.Fatal("SeekGE past max should miss")
+	}
+	if k, _, ok := sl.Succ(c, 30); !ok || k != 40 {
+		t.Fatalf("Succ(30) = %d,%v", k, ok)
+	}
+	if k, _, ok := sl.Succ(c, MinKey-1); !ok || k != 10 {
+		t.Fatalf("Succ(MinKey-1) = %d,%v", k, ok)
+	}
+	if _, _, ok := sl.Succ(c, MaxKey); ok {
+		t.Fatal("Succ(MaxKey) should miss")
+	}
+	var got []uint64
+	sl.Scan(c, 20, 50, func(k, v uint64) bool {
+		if v != k*100 {
+			t.Fatalf("value mismatch: %d->%d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != 20 || got[1] != 30 || got[2] != 40 {
+		t.Fatalf("Scan[20,50) = %v", got)
+	}
+	got = got[:0]
+	sl.Scan(c, 0, 0, func(k, _ uint64) bool { got = append(got, k); return true })
+	if len(got) != 5 {
+		t.Fatalf("full Scan = %v", got)
+	}
+	sl.Delete(c, 30)
+	if k, _, ok := sl.SeekGE(c, 25); !ok || k != 40 {
+		t.Fatalf("SeekGE(25) after delete = %d,%v", k, ok)
+	}
+}

@@ -18,6 +18,7 @@
 package memcache
 
 import (
+	"encoding/binary"
 	"errors"
 	"sync"
 	"time"
@@ -35,6 +36,11 @@ const (
 
 	// cacheMapName is the durable directory name of the item index.
 	cacheMapName = "memcache"
+	// expMapName is the durable directory name of the ordered expiry index:
+	// an ordered byte-key map whose keys are 8-byte big-endian deadlines
+	// followed by the item key, so "everything due by now" is one range
+	// scan instead of a full-table walk.
+	expMapName = "memcache.exp"
 )
 
 // Errors.
@@ -72,8 +78,13 @@ func (c *Config) fill() {
 
 // Cache is a durable NV-Memcached instance.
 type Cache struct {
-	rt *logfree.Runtime
-	m  *logfree.ByteMap
+	rt  *logfree.Runtime
+	m   *logfree.ByteMap
+	exp *logfree.OrderedByteMap
+
+	// adminTid is the handle slot reserved for maintenance work (creation,
+	// recovery walks, the expiry sweeper) — one past the connection slots.
+	adminTid int
 
 	lru   *lruList
 	stats Stats
@@ -106,6 +117,7 @@ type Stats struct {
 	Gets, Sets, Deletes uint64
 	Hits, Misses        uint64
 	Evictions           uint64
+	Expired             uint64 // items removed by the expiry sweep
 	Items               int64
 }
 
@@ -131,7 +143,11 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{rt: rt, m: m, lru: newLRU()}, nil
+	exp, err := rt.OrderedMap(rt.Handle(cfg.MaxConns), expMapName)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{rt: rt, m: m, exp: exp, adminTid: cfg.MaxConns, lru: newLRU()}, nil
 }
 
 // Device exposes the simulated device (crash injection, stats).
@@ -215,22 +231,52 @@ func (h *Handle) Set(key, value []byte, flags uint16, expiry uint32) error {
 	}
 }
 
-// setLocked performs one store attempt under the key's stripe lock,
-// maintaining the item count and LRU.
-func (h *Handle) setLocked(key, value []byte, flags uint16, expiry uint32) error {
+// expKey builds an expiry-index key: the 8-byte big-endian deadline, then
+// the item key. The index orders by deadline first, so "everything due by
+// now" is the range [nil, expKey(now+1, nil)).
+func expKey(deadline uint64, key []byte) []byte {
+	out := make([]byte, 8+len(key))
+	binary.BigEndian.PutUint64(out, deadline)
+	copy(out[8:], key)
+	return out
+}
+
+// setItemLocked stores an item under the held stripe lock, maintaining the
+// item count, the LRU and the durable expiry index.
+func (h *Handle) setItemLocked(key, value []byte, flags uint16, expiry uint32) error {
 	m := h.cache
-	mu := m.lockKey(key)
-	mu.Lock()
-	defer mu.Unlock()
+	oldAux, hadOld := m.m.GetAux(h.h, key)
+	// Index the new deadline *before* the item write: a crash in between
+	// leaves only a stale index entry, which the sweep double-checks and
+	// discards; the reverse order could leave an expiring item the sweep
+	// never visits. Indexed unconditionally (idempotent) so items from
+	// pre-index images are adopted on their first rewrite even when the
+	// deadline is unchanged.
+	if expiry != 0 {
+		if err := m.exp.Set(h.h, expKey(uint64(expiry), key), nil); err != nil {
+			return err
+		}
+	}
 	created, err := m.m.SetItem(h.h, key, value, flags, uint64(expiry))
 	if err != nil {
 		return err
+	}
+	if hadOld && oldAux != 0 && oldAux != uint64(expiry) {
+		m.exp.Delete(h.h, expKey(oldAux, key))
 	}
 	m.lru.add(string(key))
 	if created {
 		m.bump(func(s *Stats) { s.Items++ })
 	}
 	return nil
+}
+
+// setLocked performs one store attempt under the key's stripe lock.
+func (h *Handle) setLocked(key, value []byte, flags uint16, expiry uint32) error {
+	mu := h.cache.lockKey(key)
+	mu.Lock()
+	defer mu.Unlock()
+	return h.setItemLocked(key, value, flags, expiry)
 }
 
 // Delete removes key durably.
@@ -240,12 +286,75 @@ func (h *Handle) Delete(key []byte) bool {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
+	aux, _ := m.m.GetAux(h.h, key)
 	if !m.m.Delete(h.h, key) {
 		return false
+	}
+	if aux != 0 {
+		m.exp.Delete(h.h, expKey(aux, key))
 	}
 	m.lru.remove(string(key))
 	m.bump(func(s *Stats) { s.Items-- })
 	return true
+}
+
+// SweepExpired removes every item whose deadline has passed, by scanning
+// the durable expiry index up to now — O(items due), not a full-table
+// Range. Stale index entries (rewrites with a different deadline, or a
+// crash between the index and item writes) are double-checked against the
+// item's live aux word and discarded. Safe to run concurrently with
+// serving traffic; returns the number of items removed.
+func (h *Handle) SweepExpired(now int64) int {
+	m := h.cache
+	var due [][]byte
+	m.exp.Scan(h.h, nil, expKey(uint64(now)+1, nil), func(k, _ []byte) bool {
+		due = append(due, append([]byte(nil), k...))
+		return true
+	})
+	n := 0
+	for _, ek := range due {
+		deadline := binary.BigEndian.Uint64(ek[:8])
+		key := ek[8:]
+		mu := m.lockKey(key)
+		mu.Lock()
+		if aux, ok := m.m.GetAux(h.h, key); ok && aux == deadline {
+			if m.m.Delete(h.h, key) {
+				m.lru.remove(string(key))
+				m.bump(func(s *Stats) { s.Items--; s.Expired++ })
+				n++
+			}
+		}
+		m.exp.Delete(h.h, ek) // consumed or stale either way
+		mu.Unlock()
+	}
+	return n
+}
+
+// StartSweeper launches a background goroutine that runs SweepExpired on
+// the cache's admin handle every interval. The returned stop function is
+// idempotent and blocks until the sweeper exits.
+func (m *Cache) StartSweeper(interval time.Duration) (stop func()) {
+	h := m.Handle(m.adminTid)
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				h.SweepExpired(time.Now().Unix())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
 }
 
 // evictOne removes the least recently used item (memcached behaviour under

@@ -27,18 +27,10 @@ func (h *Handle) liveLocked(key []byte) (value []byte, flags uint16, expiry uint
 	return v, meta, uint32(aux), true
 }
 
-// storeLocked stores under the held stripe lock, maintaining count and LRU.
+// storeLocked stores under the held stripe lock, maintaining count, LRU
+// and the expiry index.
 func (h *Handle) storeLocked(key, value []byte, flags uint16, expiry uint32) error {
-	m := h.cache
-	created, err := m.m.SetItem(h.h, key, value, flags, uint64(expiry))
-	if err != nil {
-		return err
-	}
-	m.lru.add(string(key))
-	if created {
-		m.bump(func(s *Stats) { s.Items++ })
-	}
-	return nil
+	return h.setItemLocked(key, value, flags, expiry)
 }
 
 // Add stores key only if it is absent (memcached "add").
@@ -107,17 +99,30 @@ func (h *Handle) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
 	return next, nil
 }
 
-// Touch updates an item's expiry without rewriting its value.
+// Touch updates an item's expiry without rewriting its value, keeping the
+// expiry index in step (new deadline indexed before the aux update, old
+// deadline unindexed after — the sweep discards any stale leftovers).
 func (h *Handle) Touch(key []byte, expiry uint32) bool {
 	m := h.cache
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	if _, _, _, ok := h.liveLocked(key); !ok {
+	_, _, old, ok := h.liveLocked(key)
+	if !ok {
 		return false
+	}
+	// Indexed unconditionally (idempotent), as in setItemLocked, so items
+	// from pre-index images are adopted even when the deadline is unchanged.
+	if expiry != 0 {
+		if err := m.exp.Set(h.h, expKey(uint64(expiry), key), nil); err != nil {
+			return false
+		}
 	}
 	if !m.m.SetAux(h.h, key, uint64(expiry)) {
 		return false
+	}
+	if old != 0 && old != expiry {
+		m.exp.Delete(h.h, expKey(uint64(old), key))
 	}
 	m.lru.touch(string(key))
 	return true

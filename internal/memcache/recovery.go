@@ -31,7 +31,14 @@ func Recover(dev *nvram.Device, cfg Config) (*Cache, logfree.RecoveryStats, erro
 	if err != nil {
 		return nil, logfree.RecoveryStats{}, err
 	}
-	m := &Cache{rt: rt, m: idx, lru: newLRU()}
+	// The expiry index is opened create-or-attach: images from before the
+	// ordered index simply start one empty (their items still expire
+	// lazily on Get and get indexed again on rewrite/touch).
+	exp, err := rt.OrderedMap(h, expMapName)
+	if err != nil {
+		return nil, logfree.RecoveryStats{}, err
+	}
+	m := &Cache{rt: rt, m: idx, exp: exp, adminTid: cfg.MaxConns, lru: newLRU()}
 
 	// Rebuild the volatile metadata (item count and LRU list; recency order
 	// is reset, as with a freshly warmed cache) with one index walk.

@@ -77,6 +77,12 @@ type Device struct {
 	dirty []uint32 // per-line advisory dirty flags (for eviction & stats)
 	lines uint64
 
+	// StoreHook, when non-nil, is called after every mutating word access
+	// (Store, successful CAS, Add). Crash-injection tests use it to abort
+	// an operation mid-flight (panic/recover) at a chosen write point. Set
+	// and clear it only while the device is quiescent.
+	StoreHook func()
+
 	evictTick atomic.Uint64
 
 	// Global statistics (atomic). Per-thread statistics live in Flusher.
@@ -164,6 +170,9 @@ func (d *Device) touch(line uint64) {
 		if d.evictTick.Add(1)%uint64(n) == 0 {
 			d.evictOne(line)
 		}
+	}
+	if h := d.StoreHook; h != nil {
+		h()
 	}
 }
 

@@ -100,6 +100,11 @@ const (
 	// KindMap is the byte-keyed durable hash map (arbitrary []byte keys and
 	// values; the default Spec kind).
 	KindMap
+	// KindOrderedMap is the byte-keyed ordered durable map (arbitrary
+	// []byte keys and values over a byte-key-comparing durable skip list):
+	// everything KindMap offers plus range scans, ordered iteration and
+	// Min/Max. OpenOrCreate returns a Map that also satisfies OrderedMap.
+	KindOrderedMap
 )
 
 func (k Kind) String() string {
@@ -118,6 +123,8 @@ func (k Kind) String() string {
 		return "stack"
 	case KindMap:
 		return "map"
+	case KindOrderedMap:
+		return "orderedmap"
 	}
 	return "unknown"
 }
@@ -401,6 +408,8 @@ func (r *Runtime) recoverAll() {
 			rs = append(rs, core.AttachStack(r.store, a1).Recoverer())
 		case KindMap:
 			rs = append(rs, core.AttachBytesMap(r.store, a1, int(aux), a2).Recoverer())
+		case KindOrderedMap:
+			rs = append(rs, core.AttachOrderedBytesMap(r.store, a1, a2).Recoverer())
 		default:
 			return true
 		}

@@ -1,6 +1,7 @@
 package logfree
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -10,11 +11,12 @@ import (
 // Spec describes the structure OpenOrCreate should open or create.
 type Spec struct {
 	// Kind selects the structure; the zero value means KindMap, the
-	// byte-keyed durable hash map.
+	// byte-keyed durable hash map. KindOrderedMap selects the ordered
+	// byte-keyed map (range scans, Min/Max).
 	Kind Kind
 	// Buckets sizes hash-backed kinds (KindMap, KindHashTable; rounded up
 	// to a power of two, default 1024). Ignored when opening an existing
-	// structure, whose durable bucket count wins.
+	// structure, whose durable bucket count wins, and by ordered kinds.
 	Buckets int
 }
 
@@ -41,13 +43,47 @@ type Map interface {
 	Contains(h *Handle, key []byte) bool
 	// Len counts live keys (quiescent use).
 	Len(h *Handle) int
-	// Range visits live entries (order unspecified for hash-backed kinds;
-	// quiescent use).
+	// Range visits live entries. For ordered kinds (KindOrderedMap,
+	// KindList, KindSkipList, KindBST) iteration is in strictly ascending
+	// byte-key order; for hash-backed kinds (KindMap, KindHashTable) the
+	// order is unspecified. Safe for concurrent use for the byte-map kinds
+	// (no snapshot semantics: concurrent updates may be missed); treat as
+	// quiescent-use for the uint64-plane kinds. fn must not call
+	// operations on the same Handle.
 	Range(h *Handle, fn func(key, value []byte) bool)
 	// Kind reports the structure kind backing the map.
 	Kind() Kind
 	// Name reports the directory name the map is registered under.
 	Name() string
+}
+
+// OrderedMap extends Map with ordered queries. Every Map returned by
+// OpenOrCreate for an ordered kind (KindOrderedMap, KindList,
+// KindSkipList, KindBST) satisfies it:
+//
+//	m, _ := rt.OpenOrCreate(h, "scores", logfree.Spec{Kind: logfree.KindOrderedMap})
+//	om := m.(logfree.OrderedMap)
+//	om.Scan(h, []byte("a"), []byte("b"), func(k, v []byte) bool { ... })
+//
+// Keys order by bytes.Compare over the complete key; same-hash or
+// shared-prefix keys can never alias or reorder.
+type OrderedMap interface {
+	Map
+	// Scan visits every live key k with start <= k < end in strictly
+	// ascending byte order. A nil (or empty) start scans from the smallest
+	// key; a nil end scans through the largest. Scans are safe for
+	// concurrent use but are not snapshots; fn must not call operations on
+	// the same Handle.
+	Scan(h *Handle, start, end []byte, fn func(key, value []byte) bool)
+	// Ascend visits every live key in ascending byte order.
+	Ascend(h *Handle, fn func(key, value []byte) bool)
+	// Descend visits every live key in descending byte order (materializes
+	// the ascending pass first; prefer Scan on very large maps).
+	Descend(h *Handle, fn func(key, value []byte) bool)
+	// Min returns the smallest live key and its value.
+	Min(h *Handle) (key, value []byte, ok bool)
+	// Max returns the largest live key and its value.
+	Max(h *Handle) (key, value []byte, ok bool)
 }
 
 // OpenOrCreate is the generic entry point of the v2 API: it opens the
@@ -65,6 +101,8 @@ func (r *Runtime) OpenOrCreate(h *Handle, name string, spec Spec) (Map, error) {
 	switch spec.Kind {
 	case KindMap:
 		return r.Map(h, name, spec.Buckets)
+	case KindOrderedMap:
+		return r.OrderedMap(h, name)
 	case KindHashTable:
 		t, err := r.HashTable(h, name, spec.Buckets)
 		if err != nil {
@@ -76,19 +114,19 @@ func (r *Runtime) OpenOrCreate(h *Handle, name string, spec Spec) (Map, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &u64View{m: l, kind: KindList, name: name}, nil
+		return &u64OrderedView{u64View{m: l, kind: KindList, name: name}}, nil
 	case KindSkipList:
 		s, err := r.SkipList(h, name)
 		if err != nil {
 			return nil, err
 		}
-		return &u64View{m: s, kind: KindSkipList, name: name}, nil
+		return &u64OrderedView{u64View{m: s, kind: KindSkipList, name: name}}, nil
 	case KindBST:
 		t, err := r.BST(h, name)
 		if err != nil {
 			return nil, err
 		}
-		return &u64View{m: t, kind: KindBST, name: name}, nil
+		return &u64OrderedView{u64View{m: t, kind: KindBST, name: name}}, nil
 	case KindQueue, KindStack:
 		return nil, fmt.Errorf("%w: %v", ErrNotKeyed, spec.Kind)
 	}
@@ -160,6 +198,11 @@ func (m *ByteMap) GetItem(h *Handle, key []byte) (value []byte, meta uint16, aux
 	return m.b.GetItem(h.c, key)
 }
 
+// GetAux returns only the aux word bound to key (no value copy).
+func (m *ByteMap) GetAux(h *Handle, key []byte) (aux uint64, ok bool) {
+	return m.b.GetAux(h.c, key)
+}
+
 // SetAux durably replaces the aux word of an existing entry in place
 // (touch-style update); false if key is absent.
 func (m *ByteMap) SetAux(h *Handle, key []byte, aux uint64) bool {
@@ -190,6 +233,121 @@ func (m *ByteMap) Kind() Kind { return KindMap }
 
 // Name implements Map.
 func (m *ByteMap) Name() string { return m.name }
+
+// --- OrderedByteMap ------------------------------------------------------
+
+// OrderedByteMap is the byte-keyed ordered durable map (KindOrderedMap):
+// arbitrary []byte keys and values over a byte-key-comparing durable skip
+// list, plus a 16-bit metadata field and a 64-bit aux word per entry. It
+// satisfies OrderedMap: Range and Scan visit keys in strictly ascending
+// byte order. All methods are safe for concurrent use provided each
+// goroutine uses its own Handle.
+type OrderedByteMap struct {
+	o    *core.OrderedBytesMap
+	name string
+}
+
+// OrderedMap opens or creates the ordered byte-keyed durable map
+// registered under name (the typed veneer of OpenOrCreate with
+// KindOrderedMap).
+func (r *Runtime) OrderedMap(h *Handle, name string) (*OrderedByteMap, error) {
+	var created *core.OrderedBytesMap
+	_, a1, a2, err := r.ensure(h, name, KindOrderedMap, func() (uint64, uint64, uint64, error) {
+		o, err := core.NewOrderedBytesMap(h.c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		created = o
+		return 0, o.Head(), o.Tail(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if created != nil {
+		return &OrderedByteMap{o: created, name: name}, nil
+	}
+	return &OrderedByteMap{o: core.AttachOrderedBytesMap(r.store, a1, a2), name: name}, nil
+}
+
+// Set implements Map (meta 0, aux 0).
+func (m *OrderedByteMap) Set(h *Handle, key, value []byte) error {
+	_, err := m.o.Set(h.c, key, value, 0, 0)
+	return err
+}
+
+// SetItem binds key to value with a metadata field and aux word; reports
+// whether the key was newly created.
+func (m *OrderedByteMap) SetItem(h *Handle, key, value []byte, meta uint16, aux uint64) (created bool, err error) {
+	return m.o.Set(h.c, key, value, meta, aux)
+}
+
+// Get implements Map.
+func (m *OrderedByteMap) Get(h *Handle, key []byte) ([]byte, bool) {
+	return m.o.Get(h.c, key)
+}
+
+// GetItem returns the value with its metadata field and aux word.
+func (m *OrderedByteMap) GetItem(h *Handle, key []byte) (value []byte, meta uint16, aux uint64, ok bool) {
+	return m.o.GetItem(h.c, key)
+}
+
+// SetAux durably replaces the aux word of an existing entry in place
+// (touch-style update); false if key is absent.
+func (m *OrderedByteMap) SetAux(h *Handle, key []byte, aux uint64) bool {
+	return m.o.SetAux(h.c, key, aux)
+}
+
+// Delete implements Map.
+func (m *OrderedByteMap) Delete(h *Handle, key []byte) bool { return m.o.Delete(h.c, key) }
+
+// Contains implements Map.
+func (m *OrderedByteMap) Contains(h *Handle, key []byte) bool { return m.o.Contains(h.c, key) }
+
+// Len implements Map (quiescent use).
+func (m *OrderedByteMap) Len(h *Handle) int { return m.o.Len(h.c) }
+
+// Range implements Map: ascending byte-key order.
+func (m *OrderedByteMap) Range(h *Handle, fn func(key, value []byte) bool) {
+	m.o.Ascend(h.c, fn)
+}
+
+// RangeItems is Range including each entry's metadata and aux word.
+func (m *OrderedByteMap) RangeItems(h *Handle, fn func(key, value []byte, meta uint16, aux uint64) bool) {
+	m.o.ScanItems(h.c, nil, nil, fn)
+}
+
+// Scan implements OrderedMap: ascending over [start, end) (nil start = from
+// the smallest key, nil end = through the largest).
+func (m *OrderedByteMap) Scan(h *Handle, start, end []byte, fn func(key, value []byte) bool) {
+	m.o.Scan(h.c, start, end, fn)
+}
+
+// ScanItems is Scan including each entry's metadata and aux word.
+func (m *OrderedByteMap) ScanItems(h *Handle, start, end []byte, fn func(key, value []byte, meta uint16, aux uint64) bool) {
+	m.o.ScanItems(h.c, start, end, fn)
+}
+
+// Ascend implements OrderedMap.
+func (m *OrderedByteMap) Ascend(h *Handle, fn func(key, value []byte) bool) {
+	m.o.Ascend(h.c, fn)
+}
+
+// Descend implements OrderedMap.
+func (m *OrderedByteMap) Descend(h *Handle, fn func(key, value []byte) bool) {
+	m.o.Descend(h.c, fn)
+}
+
+// Min implements OrderedMap.
+func (m *OrderedByteMap) Min(h *Handle) (key, value []byte, ok bool) { return m.o.Min(h.c) }
+
+// Max implements OrderedMap.
+func (m *OrderedByteMap) Max(h *Handle) (key, value []byte, ok bool) { return m.o.Max(h.c) }
+
+// Kind implements Map.
+func (m *OrderedByteMap) Kind() Kind { return KindOrderedMap }
+
+// Name implements Map.
+func (m *OrderedByteMap) Name() string { return m.name }
 
 // --- uint64-plane adapter ------------------------------------------------
 
@@ -277,3 +435,100 @@ func (v *u64View) Range(h *Handle, fn func(key, value []byte) bool) {
 
 func (v *u64View) Kind() Kind   { return v.kind }
 func (v *u64View) Name() string { return v.name }
+
+// --- ordered uint64-plane adapter ----------------------------------------
+
+// u64Scanner is implemented by typed wrappers with native ordered
+// iteration plumbing (the skip list's SeekGE-positioned Scan).
+type u64Scanner interface {
+	Scan(h *Handle, start, end uint64, fn func(key, value uint64) bool)
+}
+
+// u64OrderedView wraps u64View over the ordered uint64 kinds (KindList,
+// KindSkipList, KindBST — structures whose Range already iterates in
+// ascending key order), adding the OrderedMap methods. Because keys are a
+// fixed 8 big-endian bytes, bytewise order coincides with numeric order,
+// and Scan bounds of any length compare lexicographically.
+type u64OrderedView struct{ u64View }
+
+func (v *u64OrderedView) Scan(h *Handle, start, end []byte, fn func(key, value []byte) bool) {
+	emit := func(k, val uint64) bool {
+		kb, vb := make([]byte, 8), make([]byte, 8)
+		binary.BigEndian.PutUint64(kb, k)
+		binary.BigEndian.PutUint64(vb, val)
+		return fn(kb, vb)
+	}
+	// Fast path: exact 8-byte (or open) bounds on a structure with native
+	// seek plumbing position with the index instead of filtering.
+	if s, ok := v.m.(u64Scanner); ok && (len(start) == 0 || len(start) == 8) && (end == nil || len(end) == 8) {
+		lo := uint64(MinKey)
+		if len(start) == 8 {
+			if k := binary.BigEndian.Uint64(start); k > lo {
+				lo = k
+			}
+		}
+		hi := uint64(0) // 0 = through MaxKey
+		if len(end) == 8 {
+			hi = binary.BigEndian.Uint64(end)
+			if hi == 0 {
+				return // end below every storable key
+			}
+		}
+		if lo > MaxKey {
+			return
+		}
+		s.Scan(h, lo, hi, emit)
+		return
+	}
+	// Slow path (list, BST, or ragged bounds): the underlying Range walks
+	// without its own epoch section, so open one here — retired nodes then
+	// cannot be reclaimed mid-walk, making the OrderedMap concurrency
+	// contract hold for every ordered kind.
+	h.c.Epoch().Begin()
+	defer h.c.Epoch().End()
+	v.m.Range(h, func(k, val uint64) bool {
+		var kb [8]byte
+		binary.BigEndian.PutUint64(kb[:], k)
+		if len(start) > 0 && bytes.Compare(kb[:], start) < 0 {
+			return true
+		}
+		if end != nil && bytes.Compare(kb[:], end) >= 0 {
+			return false // ascending: nothing after can be in range
+		}
+		return emit(k, val)
+	})
+}
+
+func (v *u64OrderedView) Ascend(h *Handle, fn func(key, value []byte) bool) {
+	v.Scan(h, nil, nil, fn)
+}
+
+func (v *u64OrderedView) Descend(h *Handle, fn func(key, value []byte) bool) {
+	type kv struct{ k, v []byte }
+	var all []kv
+	v.Scan(h, nil, nil, func(k, val []byte) bool {
+		all = append(all, kv{k, val})
+		return true
+	})
+	for i := len(all) - 1; i >= 0; i-- {
+		if !fn(all[i].k, all[i].v) {
+			return
+		}
+	}
+}
+
+func (v *u64OrderedView) Min(h *Handle) (key, value []byte, ok bool) {
+	v.Scan(h, nil, nil, func(k, val []byte) bool {
+		key, value, ok = k, val, true
+		return false
+	})
+	return key, value, ok
+}
+
+func (v *u64OrderedView) Max(h *Handle) (key, value []byte, ok bool) {
+	v.Scan(h, nil, nil, func(k, val []byte) bool {
+		key, value, ok = k, val, true
+		return true
+	})
+	return key, value, ok
+}

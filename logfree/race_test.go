@@ -1,0 +1,192 @@
+package logfree_test
+
+// Concurrency torture for the byte-key maps (ISSUE 2): N goroutines hammer
+// overlapping keys through their own Handles while a scanning goroutine
+// iterates continuously. Run under `go test -race`. The scans must never
+// observe a torn entry (every value carries its key as a prefix, written
+// atomically with the key) and, for the ordered map, never observe keys out
+// of ascending byte order.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/logfree"
+)
+
+// raceOps is sized so the default `-race -short` CI lane stays quick.
+func raceOps() int {
+	if testing.Short() {
+		return 1500
+	}
+	return 6000
+}
+
+const raceWriters = 4
+
+// hammer drives one writer goroutine's op mix over a small overlapping key
+// pool. Values embed the key and a sequence number so a torn read is
+// detectable as a key/value mismatch.
+func hammer(t *testing.T, m logfree.Map, h *logfree.Handle, w int) {
+	rng := rand.New(rand.NewSource(int64(w) * 31))
+	for i := 0; i < raceOps(); i++ {
+		key := []byte(fmt.Sprintf("key-%02d", rng.Intn(32)))
+		switch rng.Intn(4) {
+		case 0, 1:
+			val := append(append([]byte(nil), key...), []byte(fmt.Sprintf("#%d.%d", w, i))...)
+			if err := m.Set(h, key, val); err != nil {
+				t.Error(err)
+				return
+			}
+		case 2:
+			m.Delete(h, key)
+		default:
+			if v, ok := m.Get(h, key); ok && !bytes.HasPrefix(v, key) {
+				t.Errorf("torn get for %q: %q", key, v)
+				return
+			}
+		}
+	}
+}
+
+// runRace spins writers + one scanner until the writers finish.
+func runRace(t *testing.T, m logfree.Map, rt *logfree.Runtime, ordered bool) {
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for w := 0; w < raceWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hammer(t, m, rt.Handle(w), w)
+		}(w)
+	}
+	go func() { wg.Wait(); stop.Store(true) }()
+
+	hs := rt.Handle(raceWriters)
+	scans := 0
+	for !stop.Load() {
+		var prev []byte
+		m.Range(hs, func(k, v []byte) bool {
+			if ordered && prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Errorf("scan out of order: %q then %q", prev, k)
+				return false
+			}
+			if !bytes.HasPrefix(v, k) {
+				t.Errorf("torn scan entry: key %q value %q", k, v)
+				return false
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+		scans++
+		if t.Failed() {
+			return
+		}
+	}
+	if scans == 0 {
+		t.Fatal("scanner never ran")
+	}
+}
+
+func TestRaceByteMap(t *testing.T) {
+	rt, err := logfree.New(
+		logfree.WithSize(128<<20),
+		logfree.WithMaxThreads(raceWriters+2),
+		logfree.WithLinkCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.OpenOrCreate(rt.Handle(raceWriters+1), "race-map", logfree.Spec{Buckets: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRace(t, m, rt, false)
+}
+
+func TestRaceOrderedMap(t *testing.T) {
+	rt, err := logfree.New(
+		logfree.WithSize(128<<20),
+		logfree.WithMaxThreads(raceWriters+2),
+		logfree.WithLinkCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.OpenOrCreate(rt.Handle(raceWriters+1), "race-ordered",
+		logfree.Spec{Kind: logfree.KindOrderedMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRace(t, m, rt, true)
+
+	// Quiescent cross-check: the surviving keys scan in strict order and
+	// agree with point reads.
+	h := rt.Handle(raceWriters)
+	om := m.(logfree.OrderedMap)
+	var prev []byte
+	om.Ascend(h, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("final scan out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		got, ok := om.Get(h, k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("final scan/get disagree on %q", k)
+		}
+		return true
+	})
+}
+
+// TestRaceOrderedMapScanWindow hammers a narrow window of keys while a
+// scanner repeatedly reads a sub-range, the pattern an expiry sweep or
+// leaderboard page uses.
+func TestRaceOrderedMapScanWindow(t *testing.T) {
+	rt, err := logfree.New(
+		logfree.WithSize(128<<20),
+		logfree.WithMaxThreads(raceWriters+2),
+		logfree.WithLinkCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := rt.OrderedMap(rt.Handle(raceWriters+1), "race-window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for w := 0; w < raceWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hammer(t, om, rt.Handle(w), w)
+		}(w)
+	}
+	go func() { wg.Wait(); stop.Store(true) }()
+	h := rt.Handle(raceWriters)
+	lo, hi := []byte("key-08"), []byte("key-24")
+	for !stop.Load() {
+		var prev []byte
+		om.Scan(h, lo, hi, func(k, v []byte) bool {
+			if bytes.Compare(k, lo) < 0 || bytes.Compare(k, hi) >= 0 {
+				t.Errorf("scan escaped [%q,%q): %q", lo, hi, k)
+				return false
+			}
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Errorf("window scan out of order: %q then %q", prev, k)
+				return false
+			}
+			if !bytes.HasPrefix(v, k) {
+				t.Errorf("torn window entry: %q -> %q", k, v)
+				return false
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+		if t.Failed() {
+			return
+		}
+	}
+}

@@ -158,6 +158,25 @@ func (s *SkipList) Len(h *Handle) int { return s.s.Len(h.c) }
 // Range visits live entries in ascending key order (quiescent use).
 func (s *SkipList) Range(h *Handle, fn func(key, value uint64) bool) { s.s.Range(h.c, fn) }
 
+// SeekGE returns the smallest live key >= key, with its value.
+func (s *SkipList) SeekGE(h *Handle, key uint64) (k, v uint64, ok bool) {
+	return s.s.SeekGE(h.c, key)
+}
+
+// Succ returns the smallest live key strictly greater than key, with its
+// value; Succ(MinKey-1) is the minimum of the set.
+func (s *SkipList) Succ(h *Handle, key uint64) (k, v uint64, ok bool) {
+	return s.s.Succ(h.c, key)
+}
+
+// Scan visits live entries with start <= key < end in ascending key order
+// (end = 0 means "through MaxKey"), positioning with the index levels
+// rather than walking from the head. Safe for concurrent use (no snapshot
+// semantics); fn must not call operations on the same Handle.
+func (s *SkipList) Scan(h *Handle, start, end uint64, fn func(key, value uint64) bool) {
+	s.s.Scan(h.c, start, end, fn)
+}
+
 // BST is a durable lock-free external binary search tree (Natarajan-Mittal).
 type BST struct{ t *core.BST }
 

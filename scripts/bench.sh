@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# bench.sh — run the ordered byte-key map benchmark baseline and emit a
+# machine-readable BENCH_ordered.json (ns/op and ops/s per benchmark), so
+# the perf trajectory of the ordered path can be compared across PRs.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#   BENCHTIME=100000x scripts/bench.sh      # longer run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_ordered.json}"
+BENCHTIME="${BENCHTIME:-20000x}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkOrderedMap' -benchtime "$BENCHTIME" .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk '
+  BEGIN { printf "[\n"; sep="" }
+  /^BenchmarkOrderedMap/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = $3
+    ops = "0"; keys = ""
+    for (i = 4; i < NF; i++) {
+      if ($(i+1) == "ops/s")  ops  = $i
+      if ($(i+1) == "keys/s") keys = $i
+    }
+    printf "%s  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"ops_per_sec\":%s", sep, name, iters, ns, ops
+    if (keys != "") printf ",\"keys_per_sec\":%s", keys
+    printf "}"
+    sep = ",\n"
+  }
+  END { printf "\n]\n" }
+' > "$OUT"
+
+echo "wrote $OUT"
