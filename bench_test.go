@@ -12,6 +12,8 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -303,6 +305,248 @@ func BenchmarkOrderedMapGet(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+// --- Parallel throughput harness -----------------------------------------
+//
+// Benchmark*Parallel sweep 1/2/4/8 worker goroutines, each bound to its own
+// per-thread Handle (Ctx), over a partitioned key space — the multi-core
+// scaling trajectory scripts/bench.sh records in BENCH_parallel.json. Keys
+// are precomputed so the measured loop is map work, not fmt formatting.
+
+var benchThreadCounts = []int{1, 2, 4, 8}
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = orderedBenchKey(i)
+	}
+	return keys
+}
+
+// workerKeys builds worker t's key sequence for a g-worker run up front
+// (worker t owns ops t, t+g, t+2g, ... of the global i%len(keys) cycle), so
+// the timed loop is pure map work — no index arithmetic.
+func workerKeys(keys [][]byte, g, t, per int) [][]byte {
+	out := make([][]byte, per)
+	for i := 0; i < per; i++ {
+		out[i] = keys[(i*g+t)%len(keys)]
+	}
+	return out
+}
+
+// runWorkers drives b.N operations split across g goroutines — worker t
+// gets ops t, t+g, t+2g, ... of the global key cycle, as a key slice built
+// before the clock starts — and reports aggregate ops/s.
+func runWorkers(b *testing.B, g int, keys [][]byte, worker func(t int, ks [][]byte) error) {
+	b.Helper()
+	per := b.N / g
+	if per == 0 {
+		per = 1
+	}
+	seqs := make([][][]byte, g)
+	for t := 0; t < g; t++ {
+		seqs[t] = workerKeys(keys, g, t, per)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	b.ResetTimer()
+	start := time.Now()
+	for t := 0; t < g; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			errs[t] = worker(t, seqs[t])
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(per*g)/elapsed.Seconds(), "ops/s")
+}
+
+// newParallelRuntime builds a runtime sized for g worker handles, with an
+// ordered map and a hash map registered, optionally prefilled.
+func newParallelRuntime(b *testing.B, g, prefill int) (*logfree.OrderedByteMap, *logfree.ByteMap, []*logfree.Handle) {
+	b.Helper()
+	rt, err := logfree.New(logfree.WithSize(256<<20), logfree.WithLinkCache(true),
+		logfree.WithMaxThreads(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h0 := rt.Handle(0)
+	om, err := rt.OrderedMap(h0, "bench-ordered")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := rt.Map(h0, "bench-map", 1<<14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, orderedBenchValLen)
+	for i := 0; i < prefill; i++ {
+		k := orderedBenchKey(i)
+		if err := om.Set(h0, k, val); err != nil {
+			b.Fatal(err)
+		}
+		if err := bm.Set(h0, k, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	handles := make([]*logfree.Handle, g)
+	for t := range handles {
+		handles[t] = rt.Handle(t)
+	}
+	// Drop the previous sub-benchmark's 256MB device and reset the GC pacer
+	// so no collection lands inside the timed loop.
+	runtime.GC()
+	return om, bm, handles
+}
+
+func BenchmarkOrderedMapSetParallel(b *testing.B) {
+	keys := benchKeys(orderedBenchKeys)
+	val := make([]byte, orderedBenchValLen)
+	for _, g := range benchThreadCounts {
+		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
+			om, _, hs := newParallelRuntime(b, g, 0)
+			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
+				h := hs[t]
+				for _, k := range ks {
+					if err := om.Set(h, k, val); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func BenchmarkOrderedMapGetParallel(b *testing.B) {
+	keys := benchKeys(orderedBenchKeys)
+	for _, g := range benchThreadCounts {
+		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
+			om, _, hs := newParallelRuntime(b, g, orderedBenchKeys)
+			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
+				h := hs[t]
+				for _, k := range ks {
+					if _, ok := om.Get(h, k); !ok {
+						return fmt.Errorf("miss")
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// BenchmarkOrderedMapMixedParallel runs the memtier-style 1:4 set:get mix.
+func BenchmarkOrderedMapMixedParallel(b *testing.B) {
+	keys := benchKeys(orderedBenchKeys)
+	val := make([]byte, orderedBenchValLen)
+	for _, g := range benchThreadCounts {
+		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
+			om, _, hs := newParallelRuntime(b, g, orderedBenchKeys)
+			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
+				h := hs[t]
+				for i, k := range ks {
+					if i%5 == 0 {
+						if err := om.Set(h, k, val); err != nil {
+							return err
+						}
+					} else {
+						om.Get(h, k)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func BenchmarkMapSetParallel(b *testing.B) {
+	keys := benchKeys(orderedBenchKeys)
+	val := make([]byte, orderedBenchValLen)
+	for _, g := range benchThreadCounts {
+		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
+			_, bm, hs := newParallelRuntime(b, g, 0)
+			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
+				h := hs[t]
+				for _, k := range ks {
+					if err := bm.Set(h, k, val); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func BenchmarkMapGetParallel(b *testing.B) {
+	keys := benchKeys(orderedBenchKeys)
+	for _, g := range benchThreadCounts {
+		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
+			_, bm, hs := newParallelRuntime(b, g, orderedBenchKeys)
+			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
+				h := hs[t]
+				for _, k := range ks {
+					if _, ok := bm.Get(h, k); !ok {
+						return fmt.Errorf("miss")
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// BenchmarkNVMemcachedParallel is the end-to-end memtier-style throughput
+// benchmark: the full NV-Memcached cache (durable index, sharded volatile
+// LRU, expiry index) driven with the paper's 1:4 set:get mix across
+// per-connection handles.
+func BenchmarkNVMemcachedParallel(b *testing.B) {
+	const keyRange = 10000
+	mt := &memcache.Memtier{KeyRange: keyRange, SetRatio: 1, GetRatio: 4, ValueLen: 64, Threads: 8}
+	keys := make([][]byte, keyRange)
+	for i := range keys {
+		keys[i] = mt.Key(nil, i)
+	}
+	val := make([]byte, mt.ValueLen)
+	for _, g := range benchThreadCounts {
+		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
+			c, err := memcache.New(memcache.Config{
+				MemoryBytes: 256 << 20, Buckets: 1 << 14, MaxConns: g})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := mt.Preload(c.Handle(0)); err != nil {
+				b.Fatal(err)
+			}
+			handles := make([]*memcache.Handle, g)
+			for t := range handles {
+				handles[t] = c.Handle(t)
+			}
+			runtime.GC() // see newParallelRuntime
+			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
+				h := handles[t]
+				for i, k := range ks {
+					if i%5 == 0 {
+						if err := h.Set(k, val, 0, 0); err != nil {
+							return err
+						}
+					} else {
+						h.Get(k)
+					}
+				}
+				return nil
+			})
+		})
+	}
 }
 
 func BenchmarkOrderedMapScan(b *testing.B) {

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"bytes"
+	"encoding/binary"
 	"errors"
+	"math/bits"
 	"sync"
 
 	"repro/internal/nvram"
@@ -55,16 +56,30 @@ var (
 	ErrBadKey = errors.New("core: bad byte-key length")
 )
 
-// DefaultBytesHash maps a byte key to the index key space: FNV-1a folded
-// into [MinKey, MaxKey]. Unlike a clamp, out-of-range hashes are reduced
-// modulo the range, and any residual aliasing is harmless: full keys are
-// verified and same-hash keys chain durably.
+// DefaultBytesHash maps a byte key to the index key space: an FNV-style
+// multiply-xor over 8-byte chunks (word-at-a-time rather than byte-at-a-
+// time — the hash runs on every operation and its quality only has to
+// spread keys, since full keys are always verified and same-hash keys
+// chain durably), length-mixed, folded into [MinKey, MaxKey].
 func DefaultBytesHash(key []byte) uint64 {
 	h := uint64(14695981039346656037)
-	for _, b := range key {
-		h ^= uint64(b)
-		h *= 1099511628211
+	i := 0
+	for ; i+8 <= len(key); i += 8 {
+		h = (h ^ binary.LittleEndian.Uint64(key[i:])) * 1099511628211
 	}
+	if i < len(key) {
+		var w uint64
+		for j := 0; i+j < len(key); j++ {
+			w |= uint64(key[i+j]) << (8 * j)
+		}
+		h = (h ^ w) * 1099511628211
+	}
+	// Mix in the length (distinguishes trailing-zero bytes from absence)
+	// and finalize so low-entropy tails still spread.
+	h = (h ^ uint64(len(key))) * 1099511628211
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
 	if h < MinKey || h > MaxKey {
 		h = h%(MaxKey-MinKey+1) + MinKey
 	}
@@ -126,14 +141,41 @@ func (b *BytesMap) lock(hash uint64) *sync.Mutex {
 	return &b.s.bytesLocks[hash%uint64(len(b.s.bytesLocks))]
 }
 
-// storeBytes writes a byte slice into the device word by word.
-func storeBytes(dev *nvram.Device, a Addr, p []byte) {
-	for i := 0; i < len(p); i += 8 {
+// storeBytesPair writes the concatenation p||q into the device word by word
+// without materializing the concatenation (the entry write path stores
+// key||value on every Set; this keeps it allocation-free). Full words that
+// fall entirely inside p or q are composed with one unaligned 8-byte read
+// instead of a byte loop. Writes use StorePrivate: entry extents are
+// unpublished while their contents are written (the publishing CAS is the
+// release point).
+func storeBytesPair(dev *nvram.Device, a Addr, p, q []byte) {
+	total := len(p) + len(q)
+	i := 0
+	for ; i+8 <= len(p); i += 8 { // words entirely within p
+		dev.StorePrivate(a+Addr(i), binary.LittleEndian.Uint64(p[i:]))
+	}
+	if i < total && i < len(p) { // the word straddling the p/q boundary
 		var w uint64
-		for j := 0; j < 8 && i+j < len(p); j++ {
-			w |= uint64(p[i+j]) << (8 * j)
+		for j := 0; j < 8 && i+j < total; j++ {
+			k := i + j
+			if k < len(p) {
+				w |= uint64(p[k]) << (8 * j)
+			} else {
+				w |= uint64(q[k-len(p)]) << (8 * j)
+			}
 		}
-		dev.Store(a+Addr(i), w)
+		dev.StorePrivate(a+Addr(i), w)
+		i += 8
+	}
+	for ; i+8 <= total; i += 8 { // words entirely within q
+		dev.StorePrivate(a+Addr(i), binary.LittleEndian.Uint64(q[i-len(p):]))
+	}
+	if i < total { // final partial word
+		var w uint64
+		for j := 0; i+j < total; j++ {
+			w |= uint64(q[i+j-len(p)]) << (8 * j)
+		}
+		dev.StorePrivate(a+Addr(i), w)
 	}
 }
 
@@ -156,6 +198,98 @@ func loadBytes(dev *nvram.Device, a Addr, n int) []byte {
 
 func bytesEntryKeyLen(s *Store, e Addr) int { return int(s.dev.Load(e+beHeader) & 0xFFFF) }
 
+// bytesEntryKeyEqual reports whether the entry's stored key equals key,
+// comparing a device word at a time without copying the stored key out.
+// This is the chain-walk hot path: materializing a []byte per probe costs
+// an allocation per comparison, which dominates lookup time.
+func bytesEntryKeyEqual(s *Store, e Addr, key []byte) bool {
+	dev := s.dev
+	if int(dev.Load(e+beHeader)&0xFFFF) != len(key) {
+		return false
+	}
+	for i := 0; i < len(key); i += 8 {
+		w := dev.Load(e + beData + Addr(i))
+		rem := len(key) - i
+		if rem >= 8 {
+			if w != binary.LittleEndian.Uint64(key[i:]) {
+				return false
+			}
+			continue
+		}
+		// Final partial word: the bytes above rem belong to the value.
+		if rem >= 4 {
+			if uint32(w) != binary.LittleEndian.Uint32(key[i:]) {
+				return false
+			}
+			w >>= 32
+			i += 4
+			rem -= 4
+		}
+		for j := 0; j < rem; j++ {
+			if byte(w>>(8*j)) != key[i+j] {
+				return false
+			}
+		}
+		break
+	}
+	return true
+}
+
+// bytesEntryKeyCompare orders the entry's stored key against key as
+// bytes.Compare would, again without copying: stored words are packed
+// little-endian (byte i at bit 8i), so byte-reversing a word yields its
+// big-endian value and word comparison becomes lexicographic comparison.
+func bytesEntryKeyCompare(s *Store, e Addr, key []byte) int {
+	dev := s.dev
+	klen := int(dev.Load(e+beHeader) & 0xFFFF)
+	n := min(klen, len(key))
+	for i := 0; i < n; i += 8 {
+		w := dev.Load(e + beData + Addr(i))
+		rem := n - i
+		if rem >= 8 {
+			a := bits.ReverseBytes64(w)
+			b := binary.BigEndian.Uint64(key[i:])
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+			continue
+		}
+		if rem >= 4 { // 4-byte chunk of the final partial word
+			a := bits.ReverseBytes32(uint32(w))
+			b := binary.BigEndian.Uint32(key[i:])
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+			w >>= 32
+			i += 4
+			rem -= 4
+		}
+		for j := 0; j < rem; j++ {
+			a, b := byte(w>>(8*j)), key[i+j]
+			if a != b {
+				if a < b {
+					return -1
+				}
+				return 1
+			}
+		}
+		break
+	}
+	switch {
+	case klen < len(key):
+		return -1
+	case klen > len(key):
+		return 1
+	}
+	return 0
+}
+
 func bytesEntryKey(s *Store, e Addr) []byte {
 	return loadBytes(s.dev, e+beData, bytesEntryKeyLen(s, e))
 }
@@ -164,7 +298,40 @@ func bytesEntryValue(s *Store, e Addr) []byte {
 	hdr := s.dev.Load(e + beHeader)
 	klen := int(hdr & 0xFFFF)
 	vlen := int(hdr >> 16 & 0xFFFFFFFF)
-	return loadBytes(s.dev, e+beData, klen+vlen)[klen:]
+	return loadBytesAt(s.dev, e+beData+Addr(klen), vlen)
+}
+
+// loadBytesAt reads n bytes starting at a (not necessarily word-aligned)
+// into a fresh slice of exactly n bytes: the value-copy path allocates the
+// value, not key+value.
+func loadBytesAt(dev *nvram.Device, a Addr, n int) []byte {
+	out := make([]byte, n)
+	base := a &^ 7
+	shift := int(a&7) * 8
+	if shift == 0 {
+		for i := 0; i < n; i += 8 {
+			w := dev.Load(base + Addr(i))
+			for j := 0; j < 8 && i+j < n; j++ {
+				out[i+j] = byte(w >> (8 * j))
+			}
+		}
+		return out
+	}
+	w := dev.Load(base) >> shift // bytes of the first, partial word
+	have := 8 - shift/8          // how many bytes of w are valid
+	i := 0
+	for {
+		for j := 0; j < have && i < n; j++ {
+			out[i] = byte(w >> (8 * j))
+			i++
+		}
+		if i >= n {
+			return out
+		}
+		base += 8
+		w = dev.Load(base)
+		have = 8
+	}
 }
 
 func bytesEntryMeta(s *Store, e Addr) uint16 { return uint16(s.dev.Load(e+beHeader) >> 48) }
@@ -200,9 +367,15 @@ func entryClass(total uint64) (pmem.Class, error) {
 	return cl, nil
 }
 
-// writeBytesEntry allocates and fully persists an entry (contents fenced
-// before it can be linked anywhere). Shared by the hash-indexed and the
-// ordered byte maps; ordered entries carry next = 0 (no collision chains).
+// writeBytesEntry allocates an entry and schedules write-backs of all its
+// cache lines in the caller's Flusher — WITHOUT fencing. The caller MUST
+// complete the batch with one fence before the entry's address is stored
+// anywhere reachable (link CAS, chain swing, entry-reference swap): the
+// contents have to be durable before any pointer to them can persist, but
+// deferring the fence lets the entry lines share one NVRAM pause with the
+// index node written next (the paper's one-pause-per-batch model, §6.1).
+// Shared by the hash-indexed and the ordered byte maps; ordered entries
+// carry next = 0 (no collision chains).
 func writeBytesEntry(c *Ctx, hash uint64, key, value []byte, meta uint16, aux uint64, next Addr) (Addr, error) {
 	total := uint64(beData + len(key) + len(value))
 	cl, err := entryClass(total)
@@ -215,17 +388,12 @@ func writeBytesEntry(c *Ctx, hash uint64, key, value []byte, meta uint16, aux ui
 	}
 	dev := c.s.dev
 	hdr := uint64(len(key)) | uint64(len(value))<<16 | uint64(meta)<<48
-	dev.Store(e+beHeader, hdr)
-	dev.Store(e+beHash, hash)
-	dev.Store(e+beAux, aux)
-	dev.Store(e+beNext, uint64(next))
-	blob := make([]byte, 0, len(key)+len(value))
-	blob = append(append(blob, key...), value...)
-	storeBytes(dev, e+beData, blob)
-	for off := Addr(0); off < Addr(total+7)/8*8; off += nvram.LineSize {
-		c.f.CLWB(e + off)
-	}
-	c.f.Fence()
+	dev.StorePrivate(e+beHeader, hdr)
+	dev.StorePrivate(e+beHash, hash)
+	dev.StorePrivate(e+beAux, aux)
+	dev.StorePrivate(e+beNext, uint64(next))
+	storeBytesPair(dev, e+beData, key, value)
+	c.clwbRange(e, total)
 	return e, nil
 }
 
@@ -233,7 +401,7 @@ func writeBytesEntry(c *Ctx, hash uint64, key, value []byte, meta uint16, aux ui
 // entry and its predecessor in the chain (0 if it is the head).
 func (b *BytesMap) findInChain(head Addr, key []byte) (entry, pred Addr) {
 	for e := head; e != 0; e = b.entryNext(e) {
-		if bytes.Equal(b.EntryKey(e), key) {
+		if bytesEntryKeyEqual(b.s, e, key) {
 			return e, pred
 		}
 		pred = e
@@ -340,6 +508,10 @@ func (b *BytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64) (crea
 	if replaced != 0 {
 		next = b.entryNext(replaced)
 	}
+	// The entry's write-backs are now pending in the flusher; each branch
+	// below completes them with exactly one fence before the entry's
+	// address can persist anywhere (fence budget: ≤2 sync-waits per Set —
+	// one for the content batch, one for the publishing link).
 	e, err := writeBytesEntry(c, hash, key, value, meta, aux, next)
 	if err != nil {
 		return false, err
@@ -351,31 +523,39 @@ func (b *BytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64) (crea
 	}
 	switch {
 	case !exists:
-		// Fresh index key. A concurrent set of a *different* key with the
-		// same hash may have inserted the index entry meanwhile (different
-		// stripe is impossible — same hash, same stripe — but a helper may
-		// resurrect nothing; Insert failing means the key appeared, so chain
-		// through upsert below).
+		// Fresh index key. listInsert fences its index node together with
+		// our pending entry lines before the linearizing link CAS — the
+		// content batch costs one pause for node and entry combined. (A
+		// concurrent set of a *different* key with the same hash may have
+		// inserted the index entry meanwhile — same hash means same stripe,
+		// so no same-key race; Insert failing means the key appeared, so
+		// chain through upsert below.)
 		if !listInsert(c, b.s, b.idx.bucket(hash), hash, uint64(e)) {
 			// Index key appeared after our lookup. Re-link our entry onto the
 			// current chain head and publish via upsert.
 			h2, _ := b.chainHead(c, hash)
 			dev.Store(e+beNext, uint64(h2))
-			c.f.Sync(e + beNext)
+			c.sync(e + beNext)
 			listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(e))
 		}
 	case replaced == 0:
-		// New key on an existing chain: prepend.
+		// New key on an existing chain: prepend. The index value CAS in
+		// listUpsert publishes the entry, so its contents must be durable
+		// first.
+		c.fence()
 		listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(e))
 	case pred == 0:
-		// Replacing the chain head: swing the index value.
+		// Replacing the chain head: swing the index value (same publish
+		// ordering as above).
+		c.fence()
 		listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(e))
 	default:
 		// Replacing mid-chain: swing the predecessor's next link. One atomic
 		// durable word swap — the old entry and the new one trade
-		// reachability at this single point.
+		// reachability at this single point. Contents first, then the swing.
+		c.fence()
 		dev.Store(pred+beNext, uint64(e))
-		c.f.Sync(pred + beNext)
+		c.sync(pred + beNext)
 	}
 	if replaced != 0 {
 		c.ep.Retire(replaced)
@@ -401,7 +581,7 @@ func (b *BytesMap) SetAux(c *Ctx, key []byte, aux uint64) bool {
 		return false
 	}
 	b.s.dev.Store(e+beAux, aux)
-	c.f.Sync(e + beAux)
+	c.sync(e + beAux)
 	return true
 }
 
@@ -435,7 +615,7 @@ func (b *BytesMap) Delete(c *Ctx, key []byte) bool {
 		listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(next))
 	default:
 		dev.Store(pred+beNext, uint64(next))
-		c.f.Sync(pred + beNext)
+		c.sync(pred + beNext)
 	}
 	c.ep.Retire(e)
 	return true

@@ -198,11 +198,13 @@ func TestBytesMapRecoveryFreesOrphanEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Shutdown()
-	// Orphan an entry: fully persisted, area in the APT, never published.
+	// Orphan an entry: fully persisted (writeBytesEntry defers its fence to
+	// the caller), area in the APT, never published.
 	orphan, err := writeBytesEntry(c, MinKey+42, []byte("ghost"), []byte("boo"), 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.f.Fence()
 	desc := [3]uint64{b.Buckets(), uint64(b.NumBuckets()), b.Tail()}
 
 	s2 := crashAndReattach(t, s)

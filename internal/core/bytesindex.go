@@ -1,7 +1,7 @@
 package core
 
 import (
-	"bytes"
+	"sync/atomic"
 
 	"repro/internal/pmem"
 	"repro/internal/ptrtag"
@@ -64,6 +64,13 @@ type OrderedBytesMap struct {
 	s    *Store
 	head Addr
 	tail Addr
+
+	// hint is a volatile upper bound on the highest index level any live
+	// node has linked (bumped before a taller tower links, lowered only by
+	// RebuildIndex). find starts its descent here instead of MaxLevel-1,
+	// skipping the always-empty top levels; starting low is safe because
+	// every level's links form a valid sublist on their own.
+	hint atomic.Int32
 }
 
 // NewOrderedBytesMap creates an empty ordered durable byte-key map. Persist
@@ -95,11 +102,23 @@ func NewOrderedBytesMap(c *Ctx) (*OrderedBytesMap, error) {
 	return &OrderedBytesMap{s: c.s, head: head, tail: tail}, nil
 }
 
+// bumpHint raises the level hint to at least top.
+func (o *OrderedBytesMap) bumpHint(top int) {
+	for {
+		h := o.hint.Load()
+		if h >= int32(top) || o.hint.CompareAndSwap(h, int32(top)) {
+			return
+		}
+	}
+}
+
 // AttachOrderedBytesMap reopens a map from its durable sentinels. Call
 // RebuildIndex (or run its Recoverer) before serving operations after a
 // crash.
 func AttachOrderedBytesMap(s *Store, head, tail Addr) *OrderedBytesMap {
-	return &OrderedBytesMap{s: s, head: head, tail: tail}
+	o := &OrderedBytesMap{s: s, head: head, tail: tail}
+	o.hint.Store(MaxLevel - 1) // conservative until RebuildIndex measures
+	return o
 }
 
 // Head returns the head sentinel address (persist it).
@@ -131,7 +150,9 @@ func (o *OrderedBytesMap) nodeHash(n Addr) uint64 {
 }
 
 // cmpNode orders node n against key: head precedes and tail follows every
-// user key; other nodes compare by their full key bytes.
+// user key; other nodes compare by their full key bytes, read straight from
+// the slab without copying (find compares O(log n) keys per operation; a
+// copy per comparison would dominate the walk).
 func (o *OrderedBytesMap) cmpNode(n Addr, key []byte) int {
 	switch n {
 	case o.head:
@@ -139,7 +160,7 @@ func (o *OrderedBytesMap) cmpNode(n Addr, key []byte) int {
 	case o.tail:
 		return 1
 	}
-	return bytes.Compare(o.nodeKey(n), key)
+	return bytesEntryKeyCompare(o.s, o.nodeEntry(n), key)
 }
 
 // find locates key, filling preds/succs per level and snipping every marked
@@ -150,10 +171,26 @@ func (o *OrderedBytesMap) cmpNode(n Addr, key []byte) int {
 // (their crashed deleter can no longer retire them).
 func (o *OrderedBytesMap) find(c *Ctx, key []byte, preds, succs *[MaxLevel]Addr) bool {
 	dev := o.s.dev
+	// One-entry comparison memo: the node that stops the walk at level L is
+	// usually the first node visited again at level L-1, and node keys are
+	// immutable (a replace swaps the entry for one with the same key), so
+	// its comparison outcome can be reused across levels and retries.
+	memoNode, memoCmp := Addr(0), 0
+	start := int(o.hint.Load())
+	// Levels above the descent start are not walked; fill them with the
+	// empty-level expectation (head→tail) so a caller that links there —
+	// possible when a concurrent insert bumps the hint between this find
+	// and the caller's own hint check — CASes against a real expectation
+	// and simply fails into its re-find path instead of dereferencing
+	// stale array contents.
+	for level := start + 1; level < MaxLevel; level++ {
+		preds[level] = o.head
+		succs[level] = o.tail
+	}
 retry:
 	for {
 		pred := o.head
-		for level := MaxLevel - 1; level >= 0; level-- {
+		for level := start; level >= 0; level-- {
 			curr := ptrtag.Addr(dev.Load(pred + oNext(level)))
 			for {
 				if curr == o.tail {
@@ -195,17 +232,31 @@ retry:
 					}
 					currW = dev.Load(curr + oNext(level))
 				}
-				if curr != o.tail && o.cmpNode(curr, key) < 0 {
-					pred = curr
-					curr = ptrtag.Addr(currW)
-					continue
+				if curr != o.tail {
+					cr := memoCmp
+					if curr != memoNode {
+						cr = o.cmpNode(curr, key)
+						memoNode, memoCmp = curr, cr
+					}
+					if cr < 0 {
+						pred = curr
+						curr = ptrtag.Addr(currW)
+						continue
+					}
 				}
 				break
 			}
 			preds[level] = pred
 			succs[level] = curr
 		}
-		return succs[0] != o.tail && o.cmpNode(succs[0], key) == 0
+		if succs[0] == o.tail {
+			return false
+		}
+		cr := memoCmp
+		if succs[0] != memoNode {
+			cr = o.cmpNode(succs[0], key)
+		}
+		return cr == 0
 	}
 }
 
@@ -285,12 +336,15 @@ func (o *OrderedBytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64
 		if err != nil {
 			return false, err
 		}
+		// Entry contents durable before the swap can persist (fence budget:
+		// one pause for the content batch, one for the publishing sync).
+		c.fence()
 		old := o.nodeEntry(node)
 		// The swap makes the old entry durably unreachable; its area must be
 		// in the APT first (§5.4).
 		c.ep.PreRetire(old)
 		dev.Store(node+oEntry, uint64(e))
-		c.f.Sync(node + oEntry)
+		c.sync(node + oEntry)
 		c.ep.Retire(old)
 		return false, nil
 	}
@@ -304,6 +358,13 @@ func (o *OrderedBytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64
 		return false, err
 	}
 	top := c.randomLevel()
+	if int(o.hint.Load()) < top {
+		// The tower outgrows the current descent hint: raise it before any
+		// level links, and re-run find to fill preds/succs for the newly
+		// walked levels (rare — the hint rises O(log n) times in total).
+		o.bumpHint(top)
+		o.find(c, key, &preds, &succs)
+	}
 	n, err := c.ep.AllocNode(oClassFor(top))
 	if err != nil {
 		c.alloc.Free(e) // never visible
@@ -319,13 +380,18 @@ func (o *OrderedBytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64
 			o.find(c, key, &preds, &succs)
 			continue
 		}
-		dev.Store(n+oEntry, uint64(e))
-		dev.Store(n+oTop, uint64(top))
+		// The node is unpublished until the level-0 link CAS below, so its
+		// initialization uses private stores (the CAS is the release point).
+		dev.StorePrivate(n+oEntry, uint64(e))
+		dev.StorePrivate(n+oTop, uint64(top))
 		for i := 0; i <= top; i++ {
-			dev.Store(n+oNext(i), succs[i])
+			dev.StorePrivate(n+oNext(i), succs[i])
 		}
 		c.clwb(n) // covers entry, top, next[0..5]
-		c.fence() // node + entry + allocator metadata durable before visibility
+		// One pause for the whole content batch: the node line AND the entry
+		// extent's lines still pending from writeBytesEntry become durable
+		// together, before the linearizing link can make them reachable.
+		c.fence()
 		if c.linkCached(hash, preds[0]+oNext(0), predW, n) {
 			break
 		}
@@ -374,7 +440,7 @@ func (o *OrderedBytesMap) SetAux(c *Ctx, key []byte, aux uint64) bool {
 	}
 	e := o.nodeEntry(succs[0])
 	o.s.dev.Store(e+beAux, aux)
-	c.f.Sync(e + beAux)
+	c.sync(e + beAux)
 	return true
 }
 
@@ -479,7 +545,7 @@ func (o *OrderedBytesMap) ScanEntries(c *Ctx, start, end []byte, fn func(e Addr)
 		w := dev.Load(curr + oNext(0))
 		if !ptrtag.IsMarked(w) {
 			e := o.nodeEntry(curr)
-			if end != nil && bytes.Compare(bytesEntryKey(o.s, e), end) >= 0 {
+			if end != nil && bytesEntryKeyCompare(o.s, e, end) >= 0 {
 				return
 			}
 			if !fn(e) {
@@ -552,7 +618,7 @@ func (o *OrderedBytesMap) Max(c *Ctx) (key, value []byte, ok bool) {
 	defer c.ep.End()
 	dev := o.s.dev
 	pred := o.head
-	for level := MaxLevel - 1; level >= 1; level-- {
+	for level := int(o.hint.Load()); level >= 1; level-- {
 		for {
 			nxt := ptrtag.Addr(dev.Load(pred + oNext(level)))
 			if nxt == o.tail || nxt == 0 {
@@ -601,6 +667,7 @@ func (o *OrderedBytesMap) RebuildIndex(c *Ctx) {
 	for i := range tails {
 		tails[i] = o.head
 	}
+	maxTop := 0
 	curr := ptrtag.Addr(dev.Load(o.head + oNext(0)))
 	for curr != o.tail {
 		w := dev.Load(curr + oNext(0))
@@ -608,6 +675,9 @@ func (o *OrderedBytesMap) RebuildIndex(c *Ctx) {
 			top := int(dev.Load(curr + oTop))
 			if top > MaxLevel-1 {
 				top = MaxLevel - 1
+			}
+			if top > maxTop {
+				maxTop = top
 			}
 			for i := 1; i <= top; i++ {
 				dev.Store(tails[i]+oNext(i), curr)
@@ -619,6 +689,7 @@ func (o *OrderedBytesMap) RebuildIndex(c *Ctx) {
 	for i := 1; i < MaxLevel; i++ {
 		dev.Store(tails[i]+oNext(i), o.tail)
 	}
+	o.hint.Store(int32(maxTop))
 }
 
 // --- Recovery ------------------------------------------------------------

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nvram"
+)
+
+// Fence-budget regression tests.
+//
+// The paper's latency model charges one NVRAM pause per *fence that had
+// pending write-backs* (a "sync wait"), not per CLWB — so the write path's
+// cost is measured in sync waits. The byte-map Set budget is TWO:
+//
+//  1. one fence completing the content batch — the entry extent's lines,
+//     the index node's line (fresh keys), and the allocator bitmap lines
+//     all become durable under a single pause (writeBytesEntry defers its
+//     fence to the caller precisely so these merge), and
+//  2. one sync for the publishing link — the link-and-persist of the index
+//     link (fresh keys) or of the entry-reference/chain swing (replaces).
+//
+// Steady state only: an APT miss (§5.4) legitimately adds a sync when an
+// operation touches a cold area, which is why the budget tests run with
+// large areas and a warmed allocator. Future changes that add a fence to
+// the hot path fail these tests immediately.
+
+// budgetStore builds a store tuned for deterministic fence accounting:
+// link cache off (no deferred/batched link flushes), reclamation deferred
+// past the test horizon, 1MB areas so the working set spans a handful of
+// APT entries.
+func budgetStore(t *testing.T) (*Store, *Ctx) {
+	t.Helper()
+	dev := nvram.New(nvram.Config{Size: 64 << 20})
+	s, err := NewStore(dev, Options{
+		MaxThreads:   1,
+		LinkCache:    false,
+		AreaShift:    20,
+		EpochGenSize: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, s.MustCtx(0)
+}
+
+func assertBudget(t *testing.T, c *Ctx, what string, budget uint64, op func()) {
+	t.Helper()
+	before := c.f.SyncWaits
+	op()
+	if got := c.f.SyncWaits - before; got > budget {
+		t.Fatalf("%s cost %d sync waits, budget is %d", what, got, budget)
+	}
+}
+
+func TestFenceBudgetBytesMapSet(t *testing.T) {
+	s, c := budgetStore(t)
+	b, err := NewBytesMap(c, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+	val := make([]byte, 64)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("budget-%06d", i)) }
+	// Warm the allocator and the APT (first touches of each area pay the
+	// §5.4 insertion sync; that is not part of the steady-state budget).
+	for i := 0; i < 64; i++ {
+		if _, err := b.Set(c, key(i), val, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 64; i < 256; i++ {
+		i := i
+		assertBudget(t, c, "BytesMap.Set (fresh key)", 2, func() {
+			if _, err := b.Set(c, key(i), val, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	for i := 64; i < 256; i++ {
+		i := i
+		assertBudget(t, c, "BytesMap.Set (replace)", 2, func() {
+			if _, err := b.Set(c, key(i), val, 1, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFenceBudgetOrderedBytesMapSet(t *testing.T) {
+	_, c := budgetStore(t)
+	o, err := NewOrderedBytesMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 64)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("budget-%06d", i)) }
+	for i := 0; i < 64; i++ {
+		if _, err := o.Set(c, key(i), val, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 64; i < 256; i++ {
+		i := i
+		assertBudget(t, c, "OrderedBytesMap.Set (fresh key)", 2, func() {
+			if _, err := o.Set(c, key(i), val, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	for i := 64; i < 256; i++ {
+		i := i
+		assertBudget(t, c, "OrderedBytesMap.Set (replace)", 2, func() {
+			if _, err := o.Set(c, key(i), val, 1, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFenceBudgetDeviceTotals cross-checks the budget against the
+// device-wide counters over a longer run: the aggregate rate must stay at
+// ≤2 sync waits per Set plus a small allowance for page-carve syncs and
+// APT misses as the map grows across areas.
+func TestFenceBudgetDeviceTotals(t *testing.T) {
+	s, c := budgetStore(t)
+	o, err := NewOrderedBytesMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 64)
+	for i := 0; i < 256; i++ {
+		if _, err := o.Set(c, []byte(fmt.Sprintf("warm-%06d", i)), val, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const N = 2000
+	s.Device().ResetStats()
+	for i := 0; i < N; i++ {
+		if _, err := o.Set(c, []byte(fmt.Sprintf("tot-%06d", i%500)), val, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Device().Stats()
+	if limit := uint64(2*N + N/8); st.SyncWaits > limit {
+		t.Fatalf("device saw %d sync waits for %d Sets (%.3f/op), limit %d",
+			st.SyncWaits, N, float64(st.SyncWaits)/N, limit)
+	}
+}

@@ -75,16 +75,25 @@ func (c *Ctx) linkCached(key uint64, a Addr, old, new uint64) bool {
 		return c.s.dev.CAS(a, old, new)
 	}
 	if lc := c.s.lc; lc != nil {
-		switch lc.TryLinkAndAdd(key, a, old, new|ptrtag.Dirty) {
-		case linkcache.Added:
-			// Finalized in the cache; remove the in-flight mark. The link
-			// will be written back by a dependent Scan or a flush.
-			c.s.dev.CAS(a, new|ptrtag.Dirty, new)
-			return true
-		case linkcache.CASFailed:
-			return false
+		for attempt := 0; ; attempt++ {
+			switch lc.TryLinkAndAdd(key, a, old, new|ptrtag.Dirty) {
+			case linkcache.Added:
+				// Finalized in the cache; remove the in-flight mark. The link
+				// will be written back by a dependent Scan or a flush.
+				c.s.dev.CAS(a, new|ptrtag.Dirty, new)
+				return true
+			case linkcache.CASFailed:
+				return false
+			}
+			if attempt > 0 {
+				break
+			}
+			// NoSpace, almost always a full bucket: flush it — one batched
+			// sync covering up to six deposited links, the §4.2 amortization
+			// that makes the cache pay off under sustained updates — then
+			// retry the deposit once. (Early durability is always safe.)
+			lc.FlushBucketOf(c.f, key)
 		}
-		// NoSpace: fall through to the slow path.
 	}
 	return c.linkAndPersist(a, old, new)
 }
@@ -102,6 +111,22 @@ func (c *Ctx) scan(key uint64) {
 func (c *Ctx) clwb(a Addr) {
 	if !c.s.opts.Volatile {
 		c.f.CLWB(a)
+	}
+}
+
+// clwbRange schedules write-backs covering [a, a+n) unless the store is in
+// volatile mode. The lines share the next fence's single NVRAM pause.
+func (c *Ctx) clwbRange(a Addr, n uint64) {
+	if !c.s.opts.Volatile {
+		c.f.CLWBRange(a, n)
+	}
+}
+
+// sync is one complete CLWB+Fence unless the store is in volatile mode. Any
+// lines already pending join the batch and share the pause.
+func (c *Ctx) sync(a Addr) {
+	if !c.s.opts.Volatile {
+		c.f.Sync(a)
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/pmem"
 	"repro/internal/ptrtag"
 )
@@ -89,13 +91,12 @@ func (sl *SkipList) Head() Addr { return sl.head }
 // Tail returns the tail sentinel address (persist in a root).
 func (sl *SkipList) Tail() Addr { return sl.tail }
 
-// randomLevel draws a geometric(1/2) tower height in [0, MaxLevel-1].
+// randomLevel draws a geometric(1/2) tower height in [0, MaxLevel-1]: the
+// count of trailing one-bits of a single random word (each bit is a fair
+// coin), capped at MaxLevel-1.
 func (c *Ctx) randomLevel() int {
-	lvl := 0
-	for lvl < MaxLevel-1 && c.rng.Int63()&1 == 1 {
-		lvl++
-	}
-	return lvl
+	r := uint64(c.rng.Int63())
+	return bits.TrailingZeros64(^r | 1<<(MaxLevel-1))
 }
 
 // find locates key, filling preds/succs per level and snipping every marked

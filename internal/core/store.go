@@ -87,8 +87,9 @@ type Store struct {
 	// bytesLocks are the entry-lifecycle stripes of every BytesMap on this
 	// store, keyed by index-key hash (see bytes.go). Store-level so that
 	// independently attached BytesMap values over the same durable map
-	// share one serialization domain.
-	bytesLocks [256]sync.Mutex
+	// share one serialization domain. 2048 stripes keep the collision rate
+	// negligible at the tens-of-threads scale the parallel benchmarks run.
+	bytesLocks [2048]sync.Mutex
 }
 
 // ErrTooManyThreads is returned when NewCtx exceeds Options.MaxThreads.
@@ -228,6 +229,11 @@ func (s *Store) NewCtx(tid int) (*Ctx, error) {
 		ep:    s.mgr.NewCtx(tid, alloc, f),
 		tid:   tid,
 		rng:   rand.New(rand.NewSource(int64(tid)*0x9E3779B9 + 1)),
+	}
+	if old := s.ctxs[tid]; old != nil {
+		// Replaced context: deregister its flusher (counters fold into the
+		// device totals) so re-registration cycles don't pin dead flushers.
+		old.f.Release()
 	}
 	s.ctxs[tid] = c
 	return c, nil

@@ -234,6 +234,7 @@ type Ctx struct {
 
 	useTick      uint64 // recency clock for APT entries
 	trimCooldown int    // misses to skip before the next trim attempt
+	lastAPT      int    // index of the most recently hit APT entry
 	recovery     bool
 
 	stats Stats
@@ -333,7 +334,9 @@ func (c *Ctx) seal() {
 		vec[i] = c.m.epochs[i].v.Load()
 	}
 	c.gens = append(c.gens, generation{seq: c.genSeq, nodes: c.cur, vec: vec})
-	c.cur = nil
+	// Hand the full slice to the generation and start a fresh one at full
+	// capacity: one allocation per generation instead of a growth series.
+	c.cur = make([]Addr, 0, c.m.cfg.GenSize)
 	c.genSeq++
 }
 
@@ -382,6 +385,19 @@ func (c *Ctx) tryReclaim() {
 	}
 }
 
+// aptHit refreshes one APT entry's recency and trim metadata on a hit.
+func (c *Ctx) aptHit(e *aptEntry, isAlloc bool) {
+	e.lastUse = c.useTick
+	if isAlloc {
+		e.lastAllocEp = c.ownEpoch()
+		c.stats.AllocHits++
+	} else {
+		e.lastUnlinkGen = c.genSeq
+		e.hasUnlinks = true
+		c.stats.UnlinkHits++
+	}
+}
+
 // ensureActive makes sure area is in this thread's APT, durably inserting it
 // (one sync) on a miss. isAlloc selects which trim metadata to refresh.
 func (c *Ctx) ensureActive(area Addr, isAlloc bool) {
@@ -389,20 +405,22 @@ func (c *Ctx) ensureActive(area Addr, isAlloc bool) {
 		return
 	}
 	c.useTick++
+	// Fast path: allocations and unlinks cluster in one hot area (locality
+	// is the whole point of the APT, §5.4), so the most recently hit entry
+	// answers most calls without scanning the table. Allocation, PreRetire
+	// and Retire each consult the APT, so this runs several times per
+	// operation.
+	if i := c.lastAPT; i < len(c.apt) && c.apt[i].area == area {
+		c.aptHit(&c.apt[i], isAlloc)
+		return
+	}
 	free := -1
 	occupied := 0
 	for i := range c.apt {
 		e := &c.apt[i]
 		if e.area == area {
-			e.lastUse = c.useTick
-			if isAlloc {
-				e.lastAllocEp = c.ownEpoch()
-				c.stats.AllocHits++
-			} else {
-				e.lastUnlinkGen = c.genSeq
-				e.hasUnlinks = true
-				c.stats.UnlinkHits++
-			}
+			c.lastAPT = i
+			c.aptHit(e, isAlloc)
 			return
 		}
 		if e.area == 0 {
@@ -426,6 +444,12 @@ func (c *Ctx) ensureActive(area Addr, isAlloc bool) {
 		c.trim()
 		if c.APTLen() >= before { // nothing was evictable; back off
 			c.trimCooldown = 32
+		} else {
+			// Even successful trims are rate-limited: each one scans the
+			// table for victims, and trimming lazily is always safe — the
+			// table is merely allowed to sit a few entries above the
+			// threshold between attempts.
+			c.trimCooldown = 4
 		}
 		if free < 0 {
 			for i := range c.apt {
@@ -451,6 +475,7 @@ func (c *Ctx) ensureActive(area Addr, isAlloc bool) {
 		free = oldest
 	}
 	e := &c.apt[free]
+	c.lastAPT = free
 	*e = aptEntry{area: area, lastUse: c.useTick}
 	if isAlloc {
 		e.lastAllocEp = c.ownEpoch()

@@ -90,6 +90,13 @@ type Cache struct {
 	dev     *nvram.Device
 	buckets []bucket
 
+	// busy over-approximates the number of finalized (stBusy) entries in
+	// the whole cache. FlushAll — invoked on every APT trim and every
+	// reclamation batch — returns immediately when it is zero, instead of
+	// probing all buckets; in steady states where deposits are rare the
+	// hooks become free.
+	busy atomic.Int64
+
 	adds      atomic.Uint64
 	noSpace   atomic.Uint64
 	casFails  atomic.Uint64
@@ -169,6 +176,11 @@ func (c *Cache) TryLinkAndAdd(key uint64, linkAddr Addr, old, new uint64) AddRes
 		c.casFails.Add(1)
 		return CASFailed
 	}
+	// Count before the stBusy transition: busy must OVER-approximate (a
+	// concurrent flush could write the entry back and decrement between
+	// the transition and a late increment, letting FlushAll's zero fast
+	// path skip a bucket that still holds a finalized link).
+	c.busy.Add(1)
 	c.setState(b, slot, stBusy)
 	c.adds.Add(1)
 	return Added
@@ -276,6 +288,7 @@ func (c *Cache) FlushBucket(f *nvram.Flusher, b *bucket) {
 		}
 	}
 	f.Fence() // one sync for the whole batch
+	c.busy.Add(-int64(wrote))
 	c.linksSunk.Add(uint64(wrote))
 	for {
 		ctrl := b.ctrl.Load()
@@ -289,6 +302,9 @@ func (c *Cache) FlushBucket(f *nvram.Flusher, b *bucket) {
 // must ensure the cache holds no entries for the pages under consideration)
 // and at orderly shutdown.
 func (c *Cache) FlushAll(f *nvram.Flusher) {
+	if c.busy.Load() == 0 {
+		return // nothing finalized anywhere (the steady-state fast path)
+	}
 	for i := range c.buckets {
 		c.FlushBucket(f, &c.buckets[i])
 	}

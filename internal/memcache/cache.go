@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nvram"
@@ -87,9 +88,7 @@ type Cache struct {
 	adminTid int
 
 	lru   *lruList
-	stats Stats
-
-	statsMu sync.Mutex
+	stats counters
 
 	// keyLocks serialize the lifecycle (set/delete/evict and the composite
 	// commands) of items sharing a key-hash stripe, exactly as memcached's
@@ -98,15 +97,19 @@ type Cache struct {
 }
 
 // stripeHash is a volatile FNV-1a over the key, for lock striping only (the
-// durable index hash lives inside logfree).
-func stripeHash(key []byte) uint64 {
+// durable index hash lives inside logfree). The generic form lets the LRU
+// shard string keys with the SAME function, so both stripings agree on a
+// key's home without two hand-rolled copies.
+func fnv1aStripe[T ~string | ~[]byte](key T) uint64 {
 	h := uint64(14695981039346656037)
-	for _, b := range key {
-		h ^= uint64(b)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
 		h *= 1099511628211
 	}
 	return h
 }
+
+func stripeHash(key []byte) uint64 { return fnv1aStripe(key) }
 
 func (m *Cache) lockKey(key []byte) *sync.Mutex {
 	return &m.keyLocks[stripeHash(key)%uint64(len(m.keyLocks))]
@@ -119,6 +122,17 @@ type Stats struct {
 	Evictions           uint64
 	Expired             uint64 // items removed by the expiry sweep
 	Items               int64
+}
+
+// counters is the live, lock-free form of Stats: plain atomics bumped on
+// the Get/Set hot paths, where the previous single stats mutex serialized
+// every operation of every connection.
+type counters struct {
+	gets, sets, deletes atomic.Uint64
+	hits, misses        atomic.Uint64
+	evictions           atomic.Uint64
+	expired             atomic.Uint64
+	items               atomic.Int64
 }
 
 // Handle is a per-connection (per-goroutine) operation context.
@@ -158,20 +172,21 @@ func (m *Cache) Runtime() *logfree.Runtime { return m.rt }
 
 // Stats returns a snapshot of the counters.
 func (m *Cache) Stats() Stats {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	return m.stats
+	return Stats{
+		Gets:      m.stats.gets.Load(),
+		Sets:      m.stats.sets.Load(),
+		Deletes:   m.stats.deletes.Load(),
+		Hits:      m.stats.hits.Load(),
+		Misses:    m.stats.misses.Load(),
+		Evictions: m.stats.evictions.Load(),
+		Expired:   m.stats.expired.Load(),
+		Items:     m.stats.items.Load(),
+	}
 }
 
 // Handle returns the operation context for worker tid.
 func (m *Cache) Handle(tid int) *Handle {
 	return &Handle{cache: m, h: m.rt.Handle(tid), tid: tid}
-}
-
-func (m *Cache) bump(f func(*Stats)) {
-	m.statsMu.Lock()
-	f(&m.stats)
-	m.statsMu.Unlock()
 }
 
 // expired reports whether an item's aux word (unix expiry, 0 = never) has
@@ -183,14 +198,14 @@ func expired(aux uint64, now int64) bool {
 // Get returns the value and flags bound to key.
 func (h *Handle) Get(key []byte) (value []byte, flags uint16, ok bool) {
 	m := h.cache
-	m.bump(func(s *Stats) { s.Gets++ })
+	m.stats.gets.Add(1)
 	v, meta, aux, found := m.m.GetItem(h.h, key)
 	if !found || expired(aux, time.Now().Unix()) {
-		m.bump(func(s *Stats) { s.Misses++ })
+		m.stats.misses.Add(1)
 		return nil, 0, false
 	}
 	m.lru.touch(string(key))
-	m.bump(func(s *Stats) { s.Hits++ })
+	m.stats.hits.Add(1)
 	return v, meta, true
 }
 
@@ -203,7 +218,7 @@ func (h *Handle) Set(key, value []byte, flags uint16, expiry uint32) error {
 		return ErrTooLarge
 	}
 	m := h.cache
-	m.bump(func(s *Stats) { s.Sets++ })
+	m.stats.sets.Add(1)
 	// Proactive LRU eviction: keep enough headroom that allocations deep in
 	// the index never fail (memcached's behaviour under memory pressure).
 	const lowWater = 256 << 10
@@ -266,7 +281,7 @@ func (h *Handle) setItemLocked(key, value []byte, flags uint16, expiry uint32) e
 	}
 	m.lru.add(string(key))
 	if created {
-		m.bump(func(s *Stats) { s.Items++ })
+		m.stats.items.Add(1)
 	}
 	return nil
 }
@@ -282,7 +297,7 @@ func (h *Handle) setLocked(key, value []byte, flags uint16, expiry uint32) error
 // Delete removes key durably.
 func (h *Handle) Delete(key []byte) bool {
 	m := h.cache
-	m.bump(func(s *Stats) { s.Deletes++ })
+	m.stats.deletes.Add(1)
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -294,7 +309,7 @@ func (h *Handle) Delete(key []byte) bool {
 		m.exp.Delete(h.h, expKey(aux, key))
 	}
 	m.lru.remove(string(key))
-	m.bump(func(s *Stats) { s.Items-- })
+	m.stats.items.Add(-1)
 	return true
 }
 
@@ -320,7 +335,8 @@ func (h *Handle) SweepExpired(now int64) int {
 		if aux, ok := m.m.GetAux(h.h, key); ok && aux == deadline {
 			if m.m.Delete(h.h, key) {
 				m.lru.remove(string(key))
-				m.bump(func(s *Stats) { s.Items--; s.Expired++ })
+				m.stats.items.Add(-1)
+				m.stats.expired.Add(1)
 				n++
 			}
 		}
@@ -365,7 +381,7 @@ func (h *Handle) evictOne() bool {
 		return false
 	}
 	if h.Delete([]byte(key)) {
-		h.cache.bump(func(s *Stats) { s.Evictions++ })
+		h.cache.stats.evictions.Add(1)
 		return true
 	}
 	h.cache.lru.remove(key) // stale LRU entry

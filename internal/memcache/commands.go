@@ -42,7 +42,7 @@ func (h *Handle) Add(key, value []byte, flags uint16, expiry uint32) error {
 	if _, _, _, ok := h.liveLocked(key); ok {
 		return ErrNotStored
 	}
-	m.bump(func(s *Stats) { s.Sets++ })
+	m.stats.sets.Add(1)
 	return h.storeLocked(key, value, flags, expiry)
 }
 
@@ -55,7 +55,7 @@ func (h *Handle) Replace(key, value []byte, flags uint16, expiry uint32) error {
 	if _, _, _, ok := h.liveLocked(key); !ok {
 		return ErrNotStored
 	}
-	m.bump(func(s *Stats) { s.Sets++ })
+	m.stats.sets.Add(1)
 	return h.storeLocked(key, value, flags, expiry)
 }
 

@@ -1,17 +1,38 @@
 package memcache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// lruList is the volatile recency list, keyed by item key. Memcached's LRU
-// metadata does not need to survive restarts (recovery resets recency, not
-// contents), so it lives in ordinary Go memory, guarded by one mutex —
-// recency updates are cheap relative to the simulated NVRAM costs
-// elsewhere.
+// lruList is the volatile recency structure, sharded the way memcached's
+// segmented LRU splits its lists: keys are distributed over lruShards
+// independent doubly-linked lists, each with its own mutex, keyed by the
+// same stripe hash the item locks use. Recency updates on different shards
+// never contend — the single global LRU mutex this replaces serialized
+// every hit across all connections. Memcached's LRU metadata does not need
+// to survive restarts (recovery resets recency, not contents), so it all
+// lives in ordinary Go memory.
+//
+// Sharding makes eviction order approximate: oldest() inspects shards
+// round-robin, so the evicted key is the least recent of ONE shard, not
+// globally. Memcached's segmented LRU accepts the same trade for the same
+// reason.
+const lruShards = 64 // power of two
+
 type lruList struct {
+	shards [lruShards]lruShard
+
+	// cursor rotates eviction across shards (approximate global LRU).
+	cursor atomic.Uint64
+}
+
+type lruShard struct {
 	mu    sync.Mutex
 	nodes map[string]*lruNode
-	head  *lruNode // most recent
-	tail  *lruNode // least recent
+	head  *lruNode  // most recent
+	tail  *lruNode  // least recent
+	_     [4]uint64 // keep shard locks off each other's cache lines
 }
 
 type lruNode struct {
@@ -20,81 +41,107 @@ type lruNode struct {
 }
 
 func newLRU() *lruList {
-	return &lruList{nodes: make(map[string]*lruNode)}
+	l := &lruList{}
+	for i := range l.shards {
+		l.shards[i].nodes = make(map[string]*lruNode)
+	}
+	return l
+}
+
+// shard picks the shard for key, using the same FNV-1a stripe hash as the
+// cache's key locks so both stripings agree on a key's home.
+func (l *lruList) shard(key string) *lruShard {
+	return &l.shards[fnv1aStripe(key)&(lruShards-1)]
 }
 
 func (l *lruList) add(key string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if n, ok := l.nodes[key]; ok {
-		l.moveToFront(n)
+	s := l.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.nodes[key]; ok {
+		s.moveToFront(n)
 		return
 	}
 	n := &lruNode{key: key}
-	l.nodes[key] = n
-	l.pushFront(n)
+	s.nodes[key] = n
+	s.pushFront(n)
 }
 
 func (l *lruList) touch(key string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if n, ok := l.nodes[key]; ok {
-		l.moveToFront(n)
+	s := l.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.nodes[key]; ok {
+		s.moveToFront(n)
 	}
 }
 
 func (l *lruList) remove(key string) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if n, ok := l.nodes[key]; ok {
-		l.unlink(n)
-		delete(l.nodes, key)
+	s := l.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.nodes[key]; ok {
+		s.unlink(n)
+		delete(s.nodes, key)
 	}
 }
 
-// oldest returns the least recently used key (ok=false if empty).
+// oldest returns the least recently used key of the next non-empty shard in
+// round-robin order (ok=false if the whole structure is empty). Approximate
+// global LRU; see the type comment.
 func (l *lruList) oldest() (string, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.tail == nil {
-		return "", false
+	start := l.cursor.Add(1)
+	for i := uint64(0); i < lruShards; i++ {
+		s := &l.shards[(start+i)%lruShards]
+		s.mu.Lock()
+		if s.tail != nil {
+			key := s.tail.key
+			s.mu.Unlock()
+			return key, true
+		}
+		s.mu.Unlock()
 	}
-	return l.tail.key, true
+	return "", false
 }
 
 func (l *lruList) len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.nodes)
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += len(s.nodes)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-func (l *lruList) pushFront(n *lruNode) {
+func (s *lruShard) pushFront(n *lruNode) {
 	n.prev = nil
-	n.next = l.head
-	if l.head != nil {
-		l.head.prev = n
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
 	}
-	l.head = n
-	if l.tail == nil {
-		l.tail = n
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
 	}
 }
 
-func (l *lruList) unlink(n *lruNode) {
+func (s *lruShard) unlink(n *lruNode) {
 	if n.prev != nil {
 		n.prev.next = n.next
 	} else {
-		l.head = n.next
+		s.head = n.next
 	}
 	if n.next != nil {
 		n.next.prev = n.prev
 	} else {
-		l.tail = n.prev
+		s.tail = n.prev
 	}
 	n.prev, n.next = nil, nil
 }
 
-func (l *lruList) moveToFront(n *lruNode) {
-	l.unlink(n)
-	l.pushFront(n)
+func (s *lruShard) moveToFront(n *lruNode) {
+	s.unlink(n)
+	s.pushFront(n)
 }

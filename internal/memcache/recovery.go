@@ -48,7 +48,7 @@ func Recover(dev *nvram.Device, cfg Config) (*Cache, logfree.RecoveryStats, erro
 		items++
 		return true
 	})
-	m.stats.Items = items
+	m.stats.items.Store(items)
 	return m, rt.RecoveryStats(), nil
 }
 

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -85,11 +87,21 @@ type Device struct {
 
 	evictTick atomic.Uint64
 
-	// Global statistics (atomic). Per-thread statistics live in Flusher.
-	statClwbs  atomic.Uint64
-	statFences atomic.Uint64
-	statSyncs  atomic.Uint64 // fences that actually waited (had pending lines)
+	// wbLocks serialize same-line write-backs (two flushers both holding a
+	// shared line pending, e.g. an allocator bitmap line), so the copy into
+	// the persisted image can use plain stores instead of one serializing
+	// atomic store per word — write-back is the hottest loop in the
+	// simulator. Acquire/release of the lock word orders the copies.
+	wbLocks []uint32
+
+	// Device-level statistics. CLWB/fence counters live in the per-thread
+	// Flushers (plain increments, no cross-core traffic); Stats aggregates
+	// them on demand.
 	statEvicts atomic.Uint64
+
+	flmu     sync.Mutex
+	flushers []*Flusher
+	retired  Stats // counters folded in from Released flushers
 }
 
 // New creates a device of the configured size with both images zeroed.
@@ -100,11 +112,12 @@ func New(cfg Config) *Device {
 	cfg.Size = (cfg.Size + LineSize - 1) &^ uint64(LineSize-1)
 	nw := cfg.Size / WordSize
 	d := &Device{
-		cfg:   cfg,
-		words: make([]uint64, nw),
-		pers:  make([]uint64, nw),
-		dirty: make([]uint32, cfg.Size/LineSize),
-		lines: cfg.Size / LineSize,
+		cfg:     cfg,
+		words:   make([]uint64, nw),
+		pers:    make([]uint64, nw),
+		dirty:   make([]uint32, cfg.Size/LineSize),
+		wbLocks: make([]uint32, cfg.Size/LineSize),
+		lines:   cfg.Size / LineSize,
 	}
 	return d
 }
@@ -119,15 +132,23 @@ func (d *Device) Config() Config { return d.cfg }
 // concurrently with Fence.
 func (d *Device) SetWriteLatency(l time.Duration) { d.cfg.WriteLatency = l }
 
+// check validates a word address and returns its index. The failure paths
+// live in checkFail so check stays within the inlining budget — it guards
+// every device access.
 func (d *Device) check(a Addr) uint64 {
+	i := a / WordSize
+	if a&(WordSize-1) != 0 || a == 0 || i >= uint64(len(d.words)) {
+		d.checkFail(a)
+	}
+	return i
+}
+
+//go:noinline
+func (d *Device) checkFail(a Addr) {
 	if a&(WordSize-1) != 0 {
 		panic(fmt.Sprintf("nvram: misaligned access at %#x", a))
 	}
-	i := a / WordSize
-	if a == 0 || i >= uint64(len(d.words)) {
-		panic(fmt.Sprintf("nvram: access out of range at %#x (size %#x)", a, d.cfg.Size))
-	}
-	return i
+	panic(fmt.Sprintf("nvram: access out of range at %#x (size %#x)", a, d.cfg.Size))
 }
 
 // Load atomically reads the word at a.
@@ -140,6 +161,21 @@ func (d *Device) Load(a Addr) uint64 {
 func (d *Device) Store(a Addr, v uint64) {
 	i := d.check(a)
 	atomic.StoreUint64(&d.words[i], v)
+	d.touch(i / lineWords)
+}
+
+// StorePrivate writes v to the word at a without the atomic-store cost.
+// ONLY for initializing memory that no other thread can reach yet (a freshly
+// allocated, unpublished extent): visibility and ordering are provided by
+// the atomic operation that later publishes the extent's address (the
+// linearizing CAS is a release point, loads of the published pointer are
+// acquire points). Under AutoEvictEvery a concurrent uncontrolled eviction
+// may snapshot a line mid-initialization — semantically fine (eviction
+// captures an arbitrary instant, exactly like hardware), so adversarial
+// configs should pair with Store if race-detector cleanliness matters.
+func (d *Device) StorePrivate(a Addr, v uint64) {
+	i := d.check(a)
+	d.words[i] = v
 	d.touch(i / lineWords)
 }
 
@@ -165,7 +201,13 @@ func (d *Device) Add(a Addr, delta uint64) uint64 {
 }
 
 func (d *Device) touch(line uint64) {
-	atomic.StoreUint32(&d.dirty[line], 1)
+	// Fast path: consecutive stores into one line (entry bodies, node
+	// towers) find the flag already set. Re-storing it unconditionally
+	// would ping-pong the dirty-flag array's cache lines between cores
+	// under parallel load; a read of an already-set flag stays shared.
+	if atomic.LoadUint32(&d.dirty[line]) == 0 {
+		atomic.StoreUint32(&d.dirty[line], 1)
+	}
 	if n := d.cfg.AutoEvictEvery; n > 0 {
 		if d.evictTick.Add(1)%uint64(n) == 0 {
 			d.evictOne(line)
@@ -192,15 +234,22 @@ func (d *Device) evictOne(seed uint64) {
 }
 
 // writeBackLine copies a line from the volatile image to the persisted image
-// and clears its dirty flag. The copy is word-atomic; a concurrent store may
-// or may not be included, exactly as on real hardware where eviction
-// snapshots the line at an arbitrary instant.
+// and clears its dirty flag. A concurrent store may or may not be included,
+// exactly as on real hardware where eviction snapshots the line at an
+// arbitrary instant. Same-line write-backs are serialized by a per-line
+// spinlock so the persisted-image stores can be plain word copies; readers
+// of the persisted image (Crash, SaveImage, the Persisted* diagnostics)
+// require quiescence, as documented on Device.
 func (d *Device) writeBackLine(line uint64) {
+	for !atomic.CompareAndSwapUint32(&d.wbLocks[line], 0, 1) {
+		runtime.Gosched() // extremely rare; don't monopolize the P
+	}
 	atomic.StoreUint32(&d.dirty[line], 0)
 	base := line * lineWords
 	for w := base; w < base+lineWords; w++ {
-		atomic.StoreUint64(&d.pers[w], atomic.LoadUint64(&d.words[w]))
+		d.pers[w] = atomic.LoadUint64(&d.words[w])
 	}
+	atomic.StoreUint32(&d.wbLocks[line], 0)
 }
 
 // EvictRandom writes back each dirty line with probability p, simulating a
@@ -261,7 +310,7 @@ func (d *Device) DirtyLines() int {
 	return n
 }
 
-// Stats is a snapshot of global device counters.
+// Stats is a snapshot of device-wide counters.
 type Stats struct {
 	Clwbs     uint64 // write-back instructions issued
 	Fences    uint64 // fences issued
@@ -269,21 +318,34 @@ type Stats struct {
 	Evictions uint64 // uncontrolled evictions simulated
 }
 
-// Stats returns a snapshot of the global counters.
+// Stats aggregates the per-thread flusher counters into device totals. The
+// flusher counters are owner-written without synchronization (keeping the
+// hot path free of cross-core counter traffic), so Stats — like Crash and
+// SaveImage — requires quiescence: no operations may be in flight.
 func (d *Device) Stats() Stats {
-	return Stats{
-		Clwbs:     d.statClwbs.Load(),
-		Fences:    d.statFences.Load(),
-		SyncWaits: d.statSyncs.Load(),
-		Evictions: d.statEvicts.Load(),
+	st := Stats{Evictions: d.statEvicts.Load()}
+	d.flmu.Lock()
+	st.Clwbs += d.retired.Clwbs
+	st.Fences += d.retired.Fences
+	st.SyncWaits += d.retired.SyncWaits
+	for _, f := range d.flushers {
+		st.Clwbs += f.Clwbs
+		st.Fences += f.Fences
+		st.SyncWaits += f.SyncWaits
 	}
+	d.flmu.Unlock()
+	return st
 }
 
-// ResetStats zeroes the global counters.
+// ResetStats zeroes the device totals (including every flusher's counters).
+// Requires quiescence.
 func (d *Device) ResetStats() {
-	d.statClwbs.Store(0)
-	d.statFences.Store(0)
-	d.statSyncs.Store(0)
+	d.flmu.Lock()
+	d.retired = Stats{}
+	for _, f := range d.flushers {
+		f.Clwbs, f.Fences, f.SyncWaits = 0, 0, 0
+	}
+	d.flmu.Unlock()
 	d.statEvicts.Store(0)
 }
 
@@ -291,7 +353,14 @@ func (d *Device) ResetStats() {
 // completes them at Fence. A Flusher must not be shared between goroutines.
 type Flusher struct {
 	d       *Device
-	pending []uint64 // line indices, deduplicated best-effort
+	pending []uint64 // line indices, deduplicated
+
+	// pendingSet mirrors pending once it grows past clwbDedupThreshold,
+	// turning the duplicate check from a linear scan into one map probe.
+	// Below the threshold the scan over a handful of words is cheaper than
+	// hashing. The map is kept allocated across fences (cleared, not
+	// reallocated) so steady-state batches never reallocate it.
+	pendingSet map[uint64]struct{}
 
 	// Per-context statistics, readable by the owner at any time.
 	Clwbs     uint64
@@ -299,9 +368,19 @@ type Flusher struct {
 	SyncWaits uint64
 }
 
-// NewFlusher returns a persistence context for one goroutine.
+// clwbDedupThreshold is the pending-batch size past which CLWB switches its
+// duplicate detection from a linear scan to a map probe. See
+// BenchmarkFlusherCLWB for the crossover measurement.
+const clwbDedupThreshold = 16
+
+// NewFlusher returns a persistence context for one goroutine. The device
+// keeps a reference for statistics aggregation.
 func (d *Device) NewFlusher() *Flusher {
-	return &Flusher{d: d, pending: make([]uint64, 0, 16)}
+	f := &Flusher{d: d, pending: make([]uint64, 0, 16)}
+	d.flmu.Lock()
+	d.flushers = append(d.flushers, f)
+	d.flmu.Unlock()
+	return f
 }
 
 // Device returns the device this flusher operates on.
@@ -311,14 +390,50 @@ func (f *Flusher) Device() *Device { return f.d }
 // not durable until the next Fence.
 func (f *Flusher) CLWB(a Addr) {
 	line := f.d.check(a) / lineWords
-	for _, l := range f.pending {
-		if l == line {
+	if len(f.pending) < clwbDedupThreshold {
+		for _, l := range f.pending {
+			if l == line {
+				return
+			}
+		}
+	} else {
+		if len(f.pendingSet) == 0 {
+			// First CLWB past the threshold: adopt the batch into the set.
+			if f.pendingSet == nil {
+				f.pendingSet = make(map[uint64]struct{}, 4*clwbDedupThreshold)
+			}
+			for _, l := range f.pending {
+				f.pendingSet[l] = struct{}{}
+			}
+		}
+		if _, dup := f.pendingSet[line]; dup {
 			return
 		}
+		f.pendingSet[line] = struct{}{}
 	}
 	f.pending = append(f.pending, line)
 	f.Clwbs++
-	f.d.statClwbs.Add(1)
+}
+
+// CLWBRange schedules write-backs for every cache line overlapping
+// [a, a+n): the batched-persistence helper for multi-line objects (entry
+// extents, node towers). The lines are not durable until the next Fence —
+// and by the latency model they all cost that single fence's one pause.
+func (f *Flusher) CLWBRange(a Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := a &^ uint64(LineSize-1)
+	last := (a + n - 1) &^ uint64(LineSize-1)
+	if first == 0 {
+		// Line 0 holds the reserved nil address; name it by its first
+		// valid word instead.
+		f.CLWB(WordSize)
+		first += LineSize
+	}
+	for l := first; l <= last; l += LineSize {
+		f.CLWB(l)
+	}
 }
 
 // Fence completes all pending write-backs issued through this flusher and
@@ -326,7 +441,6 @@ func (f *Flusher) CLWB(a Addr) {
 // one-pause-per-batch model).
 func (f *Flusher) Fence() {
 	f.Fences++
-	f.d.statFences.Add(1)
 	if len(f.pending) == 0 {
 		return
 	}
@@ -334,14 +448,46 @@ func (f *Flusher) Fence() {
 		f.d.writeBackLine(line)
 	}
 	f.pending = f.pending[:0]
+	if len(f.pendingSet) > 0 {
+		clear(f.pendingSet)
+	}
 	f.SyncWaits++
-	f.d.statSyncs.Add(1)
 	Wait(f.d.cfg.WriteLatency)
 }
 
 // Sync is CLWB(a) followed by Fence: one complete sync operation.
 func (f *Flusher) Sync(a Addr) {
 	f.CLWB(a)
+	f.Fence()
+}
+
+// Release deregisters the flusher from its device, folding its counters
+// into the device totals. Call when the owning context retires (a device
+// that lives through many attach/recover cycles would otherwise accumulate
+// dead flushers forever). The flusher must not be used afterwards.
+func (f *Flusher) Release() {
+	d := f.d
+	d.flmu.Lock()
+	for i, g := range d.flushers {
+		if g == f {
+			d.flushers = append(d.flushers[:i], d.flushers[i+1:]...)
+			d.retired.Clwbs += f.Clwbs
+			d.retired.Fences += f.Fences
+			d.retired.SyncWaits += f.SyncWaits
+			break
+		}
+	}
+	d.flmu.Unlock()
+}
+
+// SyncBatch schedules write-backs for every address and completes them with
+// a single Fence: the paper-sanctioned fast path in which a batch of CLWBs
+// costs one NVRAM pause (§6.1). Any lines already pending in the flusher
+// join the batch and share the pause.
+func (f *Flusher) SyncBatch(addrs ...Addr) {
+	for _, a := range addrs {
+		f.CLWB(a)
+	}
 	f.Fence()
 }
 

@@ -29,6 +29,7 @@ package pmem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -124,9 +125,14 @@ type Pool struct {
 	// memory is promptly reallocated, which packs the live set into few
 	// pages — the allocation/deallocation locality NV-epochs exploits
 	// (§5.1).
-	partial   [NumClasses][]Addr
-	inPartial map[Addr]bool
-	inFree    map[Addr]bool
+	partial [NumClasses][]Addr
+
+	// pageFlags holds one word per device page (flagPartial | flagFree
+	// membership bits). Mutations happen under mu; the atomic loads give
+	// the free path a lock-free "already registered" fast check — frees
+	// cluster on hot partial pages, so most notePartial calls return
+	// without touching the pool lock.
+	pageFlags []atomic.Uint32
 
 	statCarved atomic.Uint64
 	statAllocs atomic.Uint64
@@ -143,15 +149,22 @@ type Pool struct {
 // pointer sync). Used by the NVRAM-oblivious baseline configuration.
 func (p *Pool) SetVolatile(on bool) { p.volatileMode = on }
 
+const (
+	flagPartial = 1 << 0 // page is in the partial list of its class
+	flagFree    = 1 << 1 // page is in the free-page list
+)
+
 func newPoolShell(dev *nvram.Device) *Pool {
 	return &Pool{
 		dev:       dev,
 		hdrFl:     dev.NewFlusher(),
 		pinned:    make(map[Addr]int),
-		inPartial: make(map[Addr]bool),
-		inFree:    make(map[Addr]bool),
+		pageFlags: make([]atomic.Uint32, dev.Size()/PageSize+1),
 	}
 }
+
+// flag returns the membership word of the page containing a.
+func (p *Pool) flag(page Addr) *atomic.Uint32 { return &p.pageFlags[page/PageSize] }
 
 // pushFree adds page to the empty-page list exactly once. Callers hold mu.
 // The owner's unpin and a remote freer's maybeRecycle can both legitimately
@@ -159,11 +172,10 @@ func newPoolShell(dev *nvram.Device) *Pool {
 // de-duplication the page would be handed to two contexts, which then race
 // on slot allocation and corrupt two structures at once.
 func (p *Pool) pushFree(page Addr) {
-	if p.inFree[page] {
+	if p.flag(page).Load()&flagFree != 0 {
 		return
 	}
-	p.inFree[page] = true
-	delete(p.inPartial, page)
+	p.flag(page).Store(flagFree)
 	p.freePages = append(p.freePages, page)
 }
 
@@ -216,7 +228,7 @@ func Attach(dev *nvram.Device) (*Pool, error) {
 			p.pushFree(page)
 		} else if bm != (uint64(1)<<slotsPerPage[cls])-1 {
 			p.partial[cls] = append(p.partial[cls], page)
-			p.inPartial[page] = true
+			p.flag(page).Store(flagPartial)
 		}
 		page += PageSize
 	}
@@ -279,7 +291,7 @@ func (p *Pool) getPage(f *nvram.Flusher, c Class) (Addr, error) {
 		best, bestIdx := Addr(0), -1
 		live := p.partial[c][:0]
 		for _, page := range p.partial[c] {
-			if !p.inPartial[page] {
+			if p.flag(page).Load()&flagPartial == 0 {
 				continue // stale entry (page was recycled meanwhile)
 			}
 			live = append(live, page)
@@ -293,7 +305,7 @@ func (p *Pool) getPage(f *nvram.Flusher, c Class) (Addr, error) {
 		}
 		page := best
 		p.partial[c] = append(p.partial[c][:bestIdx], p.partial[c][bestIdx+1:]...)
-		delete(p.inPartial, page)
+		p.flag(page).Store(p.flag(page).Load() &^ flagPartial)
 		if p.pinned[page] > 0 {
 			continue // owned by another context; slot races are not allowed
 		}
@@ -329,7 +341,7 @@ func (p *Pool) getPage(f *nvram.Flusher, c Class) (Addr, error) {
 		}
 		cand := p.freePages[n-1]
 		p.freePages = p.freePages[:n-1]
-		delete(p.inFree, cand)
+		p.flag(cand).Store(p.flag(cand).Load() &^ flagFree)
 		// Defense in depth: only truly empty, unowned pages are usable.
 		if p.pinned[cand] > 0 || p.dev.Load(cand+headerBitmapOff) != 0 {
 			continue
@@ -368,10 +380,10 @@ func (p *Pool) unpin(page Addr) {
 		case bm == 0:
 			p.pushFree(page)
 		default:
-			if cl, ok := p.PageClass(page); ok && !p.inPartial[page] &&
+			if cl, ok := p.PageClass(page); ok && p.flag(page).Load()&flagPartial == 0 &&
 				bm != (uint64(1)<<slotsPerPage[cl])-1 {
 				p.partial[cl] = append(p.partial[cl], page)
-				p.inPartial[page] = true
+				p.flag(page).Store(p.flag(page).Load() | flagPartial)
 			}
 		}
 	}
@@ -511,12 +523,12 @@ func (c *Ctx) Prepare(cl Class) (Addr, error) {
 		page := c.cur[cl]
 		if page != 0 {
 			bm := c.p.dev.Load(page + headerBitmapOff)
-			for slot := uint64(0); slot < slotsPerPage[cl]; slot++ {
-				if bm&(1<<slot) == 0 {
-					a := page + SlotAlign + Addr(slot)*cl.Size()
-					c.prepared[cl] = a
-					return a, nil
-				}
+			// One-word bitmap: the lowest clear bit is the next free slot.
+			if free := ^bm & (1<<slotsPerPage[cl] - 1); free != 0 {
+				slot := uint64(bits.TrailingZeros64(free))
+				a := page + SlotAlign + Addr(slot)*cl.Size()
+				c.prepared[cl] = a
+				return a, nil
 			}
 			// Page full: release and take a new one.
 			c.cur[cl] = 0
@@ -650,10 +662,13 @@ func (c *Ctx) maybeRecycle(page Addr) {
 // notePartial records that page has at least one free slot, making it a
 // preferred allocation target (prompt reuse).
 func (p *Pool) notePartial(page Addr, cl Class) {
+	if p.flag(page).Load()&(flagPartial|flagFree) != 0 {
+		return // already registered; steady-state frees take this path
+	}
 	p.mu.Lock()
-	if !p.inPartial[page] && p.pinned[page] == 0 {
+	if p.flag(page).Load()&(flagPartial|flagFree) == 0 && p.pinned[page] == 0 {
 		p.partial[cl] = append(p.partial[cl], page)
-		p.inPartial[page] = true
+		p.flag(page).Store(p.flag(page).Load() | flagPartial)
 	}
 	p.mu.Unlock()
 }
@@ -684,7 +699,7 @@ func (c *Ctx) Adopt(page Addr) {
 		return
 	}
 	c.p.pinned[page]++
-	delete(c.p.inPartial, page) // owned now; its partial-slice entry goes stale
+	c.p.flag(page).Store(c.p.flag(page).Load() &^ flagPartial) // owned now; its slice entry goes stale
 	c.p.mu.Unlock()
 	old := c.cur[cl]
 	c.cur[cl] = page

@@ -50,6 +50,7 @@ type config struct {
 	size         uint64
 	writeLatency time.Duration
 	maxThreads   int
+	areaShift    uint
 	linkCache    bool
 	volatile     bool
 }
@@ -72,11 +73,18 @@ func WithMaxThreads(n int) Option { return func(c *config) { c.maxThreads = n } 
 // WithLinkCache toggles the §4 link cache for updates.
 func WithLinkCache(on bool) Option { return func(c *config) { c.linkCache = on } }
 
+// WithAreaShift sets log2 of the NV-epochs active-area granularity (§5.4).
+// The runtime default is 16 (64KB areas): a production working set spans
+// few areas, so the active page table almost never misses — at the cost of
+// a proportionally larger recovery sweep per table entry. The paper's
+// evaluation granularity (4KB pages, as in internal/bench) is shift 12.
+func WithAreaShift(shift uint) Option { return func(c *config) { c.areaShift = shift } }
+
 // WithVolatile strips durability (the Figure 7 baseline).
 func WithVolatile(on bool) Option { return func(c *config) { c.volatile = on } }
 
 func buildConfig(opts []Option) config {
-	c := config{size: 64 << 20}
+	c := config{size: 64 << 20, areaShift: 16}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -184,6 +192,7 @@ func New(opts ...Option) (*Runtime, error) {
 	store, err := core.NewStore(dev, core.Options{
 		MaxThreads: cfg.maxThreads,
 		LinkCache:  cfg.linkCache,
+		AreaShift:  cfg.areaShift,
 		Volatile:   cfg.volatile,
 	})
 	if err != nil {

@@ -68,7 +68,11 @@ func runRace(t *testing.T, m logfree.Map, rt *logfree.Runtime, ordered bool) {
 
 	hs := rt.Handle(raceWriters)
 	scans := 0
-	for !stop.Load() {
+	// At least one full scan always runs, even if the writers finish before
+	// the scanner gets scheduled (on a single-CPU host fast writers can beat
+	// the scanner to completion).
+	for done := false; !done; {
+		done = stop.Load()
 		var prev []byte
 		m.Range(hs, func(k, v []byte) bool {
 			if ordered && prev != nil && bytes.Compare(prev, k) >= 0 {
