@@ -182,27 +182,27 @@ func BenchmarkFig11(b *testing.B) {
 		if err := mt.Preload(c); err != nil {
 			b.Fatal(err)
 		}
-		runMemtierN(b, mt, func(int) memcache.KV { return c })
+		runMemtierN(b, mt, c)
 	})
 	b.Run("memcached-clht", func(b *testing.B) {
 		c, err := memcache.NewCLHTCache(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := mt.Preload(c.Handle(0)); err != nil {
+		if err := mt.Preload(c); err != nil {
 			b.Fatal(err)
 		}
-		runMemtierN(b, mt, func(tid int) memcache.KV { return c.Handle(tid) })
+		runMemtierN(b, mt, c)
 	})
 	b.Run("nv-memcached", func(b *testing.B) {
 		c, err := memcache.New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := mt.Preload(c.Handle(0)); err != nil {
+		if err := mt.Preload(c); err != nil {
 			b.Fatal(err)
 		}
-		runMemtierN(b, mt, func(tid int) memcache.KV { return c.Handle(tid) })
+		runMemtierN(b, mt, c)
 	})
 	b.Run("nv-memcached/recovery", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -211,7 +211,7 @@ func BenchmarkFig11(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := mt.Preload(c.Handle(0)); err != nil {
+			if err := mt.Preload(c); err != nil {
 				b.Fatal(err)
 			}
 			c.Flush()
@@ -226,9 +226,8 @@ func BenchmarkFig11(b *testing.B) {
 
 // runMemtierN drives b.N single operations through one client thread so the
 // standard ns/op is meaningful, reporting throughput too.
-func runMemtierN(b *testing.B, mt *memcache.Memtier, kvFor func(int) memcache.KV) {
+func runMemtierN(b *testing.B, mt *memcache.Memtier, kv memcache.KV) {
 	b.Helper()
-	kv := kvFor(0)
 	val := make([]byte, mt.ValueLen)
 	var kb [32]byte
 	start := time.Now()
@@ -262,33 +261,39 @@ const (
 
 func orderedBenchKey(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
 
-func newOrderedBench(b *testing.B, prefill int) (*logfree.OrderedByteMap, *logfree.Handle) {
+// newOrderedBench returns the map view pinned to one session, the
+// steady-state single-goroutine configuration.
+func newOrderedBench(b *testing.B, prefill int) *logfree.OrderedByteMap {
 	b.Helper()
 	rt, err := logfree.New(logfree.WithSize(256<<20), logfree.WithLinkCache(true))
 	if err != nil {
 		b.Fatal(err)
 	}
-	h := rt.Handle(0)
-	om, err := rt.OrderedMap(h, "bench-ordered")
+	om, err := rt.OrderedMap("bench-ordered")
 	if err != nil {
 		b.Fatal(err)
 	}
+	s, err := rt.Session()
+	if err != nil {
+		b.Fatal(err)
+	}
+	om = om.WithSession(s)
 	val := make([]byte, orderedBenchValLen)
 	for i := 0; i < prefill; i++ {
-		if err := om.Set(h, orderedBenchKey(i), val); err != nil {
+		if err := om.Set(orderedBenchKey(i), val); err != nil {
 			b.Fatal(err)
 		}
 	}
-	return om, h
+	return om
 }
 
 func BenchmarkOrderedMapSet(b *testing.B) {
-	om, h := newOrderedBench(b, 0)
+	om := newOrderedBench(b, 0)
 	val := make([]byte, orderedBenchValLen)
 	start := time.Now()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := om.Set(h, orderedBenchKey(i%orderedBenchKeys), val); err != nil {
+		if err := om.Set(orderedBenchKey(i%orderedBenchKeys), val); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -296,11 +301,11 @@ func BenchmarkOrderedMapSet(b *testing.B) {
 }
 
 func BenchmarkOrderedMapGet(b *testing.B) {
-	om, h := newOrderedBench(b, orderedBenchKeys)
+	om := newOrderedBench(b, orderedBenchKeys)
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		if _, ok := om.Get(h, orderedBenchKey(i%orderedBenchKeys)); !ok {
+		if _, ok := om.Get(orderedBenchKey(i % orderedBenchKeys)); !ok {
 			b.Fatal("miss")
 		}
 	}
@@ -369,42 +374,49 @@ func runWorkers(b *testing.B, g int, keys [][]byte, worker func(t int, ks [][]by
 	b.ReportMetric(float64(per*g)/elapsed.Seconds(), "ops/s")
 }
 
-// newParallelRuntime builds a runtime sized for g worker handles, with an
-// ordered map and a hash map registered, optionally prefilled.
-func newParallelRuntime(b *testing.B, g, prefill int) (*logfree.OrderedByteMap, *logfree.ByteMap, []*logfree.Handle) {
+// newParallelRuntime builds a runtime sized for g workers, with an ordered
+// map and a hash map registered (optionally prefilled), and one pinned
+// session per worker: worker t uses the t-th views, the per-thread
+// steady-state configuration.
+func newParallelRuntime(b *testing.B, g, prefill int) (oms []*logfree.OrderedByteMap, bms []*logfree.ByteMap) {
 	b.Helper()
 	rt, err := logfree.New(logfree.WithSize(256<<20), logfree.WithLinkCache(true),
 		logfree.WithMaxThreads(g))
 	if err != nil {
 		b.Fatal(err)
 	}
-	h0 := rt.Handle(0)
-	om, err := rt.OrderedMap(h0, "bench-ordered")
+	om, err := rt.OrderedMap("bench-ordered")
 	if err != nil {
 		b.Fatal(err)
 	}
-	bm, err := rt.Map(h0, "bench-map", 1<<14)
+	bm, err := rt.Map("bench-map", 1<<14)
 	if err != nil {
 		b.Fatal(err)
 	}
 	val := make([]byte, orderedBenchValLen)
 	for i := 0; i < prefill; i++ {
 		k := orderedBenchKey(i)
-		if err := om.Set(h0, k, val); err != nil {
+		if err := om.Set(k, val); err != nil {
 			b.Fatal(err)
 		}
-		if err := bm.Set(h0, k, val); err != nil {
+		if err := bm.Set(k, val); err != nil {
 			b.Fatal(err)
 		}
 	}
-	handles := make([]*logfree.Handle, g)
-	for t := range handles {
-		handles[t] = rt.Handle(t)
+	oms = make([]*logfree.OrderedByteMap, g)
+	bms = make([]*logfree.ByteMap, g)
+	for t := 0; t < g; t++ {
+		s, err := rt.Session()
+		if err != nil {
+			b.Fatal(err)
+		}
+		oms[t] = om.WithSession(s)
+		bms[t] = bm.WithSession(s)
 	}
 	// Drop the previous sub-benchmark's 256MB device and reset the GC pacer
 	// so no collection lands inside the timed loop.
 	runtime.GC()
-	return om, bm, handles
+	return oms, bms
 }
 
 func BenchmarkOrderedMapSetParallel(b *testing.B) {
@@ -412,11 +424,11 @@ func BenchmarkOrderedMapSetParallel(b *testing.B) {
 	val := make([]byte, orderedBenchValLen)
 	for _, g := range benchThreadCounts {
 		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
-			om, _, hs := newParallelRuntime(b, g, 0)
+			oms, _ := newParallelRuntime(b, g, 0)
 			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
-				h := hs[t]
+				om := oms[t]
 				for _, k := range ks {
-					if err := om.Set(h, k, val); err != nil {
+					if err := om.Set(k, val); err != nil {
 						return err
 					}
 				}
@@ -430,11 +442,11 @@ func BenchmarkOrderedMapGetParallel(b *testing.B) {
 	keys := benchKeys(orderedBenchKeys)
 	for _, g := range benchThreadCounts {
 		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
-			om, _, hs := newParallelRuntime(b, g, orderedBenchKeys)
+			oms, _ := newParallelRuntime(b, g, orderedBenchKeys)
 			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
-				h := hs[t]
+				om := oms[t]
 				for _, k := range ks {
-					if _, ok := om.Get(h, k); !ok {
+					if _, ok := om.Get(k); !ok {
 						return fmt.Errorf("miss")
 					}
 				}
@@ -450,16 +462,16 @@ func BenchmarkOrderedMapMixedParallel(b *testing.B) {
 	val := make([]byte, orderedBenchValLen)
 	for _, g := range benchThreadCounts {
 		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
-			om, _, hs := newParallelRuntime(b, g, orderedBenchKeys)
+			oms, _ := newParallelRuntime(b, g, orderedBenchKeys)
 			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
-				h := hs[t]
+				om := oms[t]
 				for i, k := range ks {
 					if i%5 == 0 {
-						if err := om.Set(h, k, val); err != nil {
+						if err := om.Set(k, val); err != nil {
 							return err
 						}
 					} else {
-						om.Get(h, k)
+						om.Get(k)
 					}
 				}
 				return nil
@@ -473,11 +485,11 @@ func BenchmarkMapSetParallel(b *testing.B) {
 	val := make([]byte, orderedBenchValLen)
 	for _, g := range benchThreadCounts {
 		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
-			_, bm, hs := newParallelRuntime(b, g, 0)
+			_, bms := newParallelRuntime(b, g, 0)
 			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
-				h := hs[t]
+				bm := bms[t]
 				for _, k := range ks {
-					if err := bm.Set(h, k, val); err != nil {
+					if err := bm.Set(k, val); err != nil {
 						return err
 					}
 				}
@@ -491,11 +503,11 @@ func BenchmarkMapGetParallel(b *testing.B) {
 	keys := benchKeys(orderedBenchKeys)
 	for _, g := range benchThreadCounts {
 		b.Run(fmt.Sprintf("%dg", g), func(b *testing.B) {
-			_, bm, hs := newParallelRuntime(b, g, orderedBenchKeys)
+			_, bms := newParallelRuntime(b, g, orderedBenchKeys)
 			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
-				h := hs[t]
+				bm := bms[t]
 				for _, k := range ks {
-					if _, ok := bm.Get(h, k); !ok {
+					if _, ok := bm.Get(k); !ok {
 						return fmt.Errorf("miss")
 					}
 				}
@@ -524,23 +536,18 @@ func BenchmarkNVMemcachedParallel(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := mt.Preload(c.Handle(0)); err != nil {
+			if err := mt.Preload(c); err != nil {
 				b.Fatal(err)
-			}
-			handles := make([]*memcache.Handle, g)
-			for t := range handles {
-				handles[t] = c.Handle(t)
 			}
 			runtime.GC() // see newParallelRuntime
 			runWorkers(b, g, keys, func(t int, ks [][]byte) error {
-				h := handles[t]
 				for i, k := range ks {
 					if i%5 == 0 {
-						if err := h.Set(k, val, 0, 0); err != nil {
+						if err := c.Set(k, val, 0, 0); err != nil {
 							return err
 						}
 					} else {
-						h.Get(k)
+						c.Get(k)
 					}
 				}
 				return nil
@@ -550,15 +557,95 @@ func BenchmarkNVMemcachedParallel(b *testing.B) {
 }
 
 func BenchmarkOrderedMapScan(b *testing.B) {
-	om, h := newOrderedBench(b, orderedBenchKeys)
+	om := newOrderedBench(b, orderedBenchKeys)
 	b.ResetTimer()
 	start := time.Now()
 	keys := 0
 	for i := 0; i < b.N; i++ {
 		lo := (i * orderedScanWindow) % (orderedBenchKeys - orderedScanWindow)
-		om.Scan(h, orderedBenchKey(lo), orderedBenchKey(lo+orderedScanWindow),
-			func(_, _ []byte) bool { keys++; return true })
+		for range om.Scan(orderedBenchKey(lo), orderedBenchKey(lo+orderedScanWindow)) {
+			keys++
+		}
 	}
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
 	b.ReportMetric(float64(keys)/time.Since(start).Seconds(), "keys/s")
+}
+
+// --- Batch commit throughput ---------------------------------------------
+//
+// BenchmarkMapSetBatch measures the v3 amortized-fence Batch against the
+// single-op baseline on the SAME runtime configuration: a hash byte-map Set
+// cycling a 10k key space (first pass fresh, steady state replaces), with
+// batch sizes 1, 8 and 64. The simulated NVRAM write latency is 10× the
+// paper's 125ns default — the midpoint of Figure 6's latency sweep (the
+// paper treats NVRAM write latency as the uncertain variable, sweeping
+// 125ns → 12.5µs) — where persistence waits, the thing Batch amortizes,
+// actually dominate a write. scripts/bench.sh records the single/64 ratio
+// in BENCH_batch.json; the acceptance bar is ≥1.5× at batch size 64.
+
+const batchBenchLatency = 10 * nvram.DefaultWriteLatency
+
+// newBatchBench builds a hash byte-map view pinned to one session on a
+// write-latency device.
+func newBatchBench(b *testing.B) *logfree.ByteMap {
+	b.Helper()
+	rt, err := logfree.New(logfree.WithSize(256<<20),
+		logfree.WithWriteLatency(batchBenchLatency))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rt.Map("bench-batch", 1<<14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := rt.Session()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m = m.WithSession(s)
+	// Prefill so the timed loop runs the steady-state replace mix.
+	val := make([]byte, orderedBenchValLen)
+	for i := 0; i < orderedBenchKeys; i++ {
+		if err := m.Set(orderedBenchKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.GC()
+	return m
+}
+
+func BenchmarkMapSetBatch(b *testing.B) {
+	keys := benchKeys(orderedBenchKeys)
+	val := make([]byte, orderedBenchValLen)
+	b.Run("single", func(b *testing.B) {
+		m := newBatchBench(b)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := m.Set(keys[i%len(keys)], val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+	})
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("%dops", size), func(b *testing.B) {
+			m := newBatchBench(b)
+			bt := m.Batch()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				bt.Set(keys[i%len(keys)], val)
+				if bt.Len() == size {
+					if err := bt.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := bt.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+		})
+	}
 }

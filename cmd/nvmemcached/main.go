@@ -67,9 +67,7 @@ func main() {
 		log.Printf("fresh cache: %d MiB simulated NVRAM, %d buckets", *mem>>20, *buckets)
 	}
 
-	srv, err := memcache.NewServer(*listen, *conns,
-		func(tid int) memcache.KV { return cache.Handle(tid) },
-		cache.Stats)
+	srv, err := memcache.NewServer(*listen, *conns, cache, cache.Stats)
 	if err != nil {
 		log.Fatalf("nvmemcached: listen: %v", err)
 	}

@@ -29,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	set, err := rt.BST(rt.Handle(0), "torture")
+	set, err := rt.BST("torture")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,16 +48,15 @@ func main() {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				h := rt.Handle(w)
 				rng := rand.New(rand.NewSource(int64(round*1000 + w)))
 				for i := 0; i < 400; i++ {
 					k := uint64(w)<<20 | uint64(rng.Intn(256)) + 1
 					if rng.Intn(2) == 0 {
-						if set.Insert(h, k, uint64(round)) {
+						if set.Insert(k, uint64(round)) {
 							mustHave[w][k] = true
 						}
 					} else {
-						if _, ok := set.Delete(h, k); ok {
+						if _, ok := set.Delete(k); ok {
 							delete(mustHave[w], k)
 						}
 					}
@@ -74,17 +73,16 @@ func main() {
 			log.Fatalf("round %d: recovery failed: %v", round, err)
 		}
 		rt = rt2
-		set, err = rt.BST(rt.Handle(0), "torture")
+		set, err = rt.BST("torture")
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		h := rt.Handle(0)
 		checked, total := 0, 0
 		for w := 0; w < *workers; w++ {
 			for k := range mustHave[w] {
 				total++
-				if !set.Contains(h, k) {
+				if !set.Contains(k) {
 					log.Fatalf("round %d: completed insert of %d lost in crash", round, k)
 				}
 				checked++

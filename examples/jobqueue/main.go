@@ -23,13 +23,12 @@ const (
 func main() {
 	rt, err := logfree.New(
 		logfree.WithSize(64<<20),
-		logfree.WithMaxThreads(producers+consumers+1),
 		logfree.WithLinkCache(true),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	q, err := rt.Queue(rt.Handle(0), "jobs")
+	q, err := rt.Queue("jobs")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,9 +40,8 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			h := rt.Handle(p)
 			for j := 0; j < jobsPer; j++ {
-				q.Enqueue(h, uint64(p)<<32|uint64(j))
+				q.Enqueue(uint64(p)<<32 | uint64(j))
 			}
 		}(p)
 	}
@@ -51,9 +49,8 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			h := rt.Handle(producers + c)
 			for processed.Load() < producers*jobsPer/2 {
-				if _, ok := q.Dequeue(h); ok {
+				if _, ok := q.Dequeue(); ok {
 					processed.Add(1)
 				}
 			}
@@ -62,7 +59,7 @@ func main() {
 	wg.Wait()
 	rt.Drain()
 	done := processed.Load()
-	remaining := q.Len(rt.Handle(0))
+	remaining := q.Len()
 	fmt.Printf("before crash: %d jobs processed, %d queued\n", done, remaining)
 
 	// Power failure mid-shift.
@@ -70,12 +67,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q2, err := rt2.Queue(rt2.Handle(0), "jobs")
+	q2, err := rt2.Queue("jobs")
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := rt2.Handle(0)
-	got := q2.Len(h)
+	got := q2.Len()
 	fmt.Printf("after recovery: %d jobs queued (recovery: %v)\n",
 		got, rt2.RecoveryStats().Duration)
 	if uint64(got)+done != producers*jobsPer {
@@ -86,7 +82,7 @@ func main() {
 	// Finish the backlog after the restart.
 	drained := 0
 	for {
-		if _, ok := q2.Dequeue(h); !ok {
+		if _, ok := q2.Dequeue(); !ok {
 			break
 		}
 		drained++

@@ -1,6 +1,6 @@
 // kvstore: a durable key-value store whose contents persist across process
 // runs through an NVRAM image file — the paper's "restart and resume"
-// scenario end to end, over arbitrary string keys and values (the v2
+// scenario end to end, over arbitrary string keys and values (the
 // byte-key API).
 //
 //	go run ./examples/kvstore set name alice
@@ -48,8 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := rt.Handle(0)
-	store, err := rt.OpenOrCreate(h, "kv", logfree.Spec{Buckets: 256})
+	store, err := rt.OpenOrCreate("kv", logfree.Spec{Buckets: 256})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,8 +59,8 @@ func main() {
 			log.Fatal("set needs key and value")
 		}
 		k, v := []byte(args[1]), []byte(args[2])
-		existed := store.Contains(h, k)
-		if err := store.Set(h, k, v); err != nil {
+		existed := store.Contains(k)
+		if err := store.Set(k, v); err != nil {
 			log.Fatal(err)
 		}
 		if existed {
@@ -73,7 +72,7 @@ func main() {
 		if len(args) != 2 {
 			log.Fatal("get needs a key")
 		}
-		if v, ok := store.Get(h, []byte(args[1])); ok {
+		if v, ok := store.Get([]byte(args[1])); ok {
 			fmt.Printf("%s = %s\n", args[1], v)
 		} else {
 			fmt.Printf("%s not found\n", args[1])
@@ -82,18 +81,17 @@ func main() {
 		if len(args) != 2 {
 			log.Fatal("del needs a key")
 		}
-		if store.Delete(h, []byte(args[1])) {
+		if store.Delete([]byte(args[1])) {
 			fmt.Printf("deleted %s\n", args[1])
 		} else {
 			fmt.Printf("%s not found\n", args[1])
 		}
 	case "list":
 		n := 0
-		store.Range(h, func(k, v []byte) bool {
+		for k, v := range store.All() {
 			fmt.Printf("%s = %s\n", k, v)
 			n++
-			return true
-		})
+		}
 		fmt.Printf("(%d keys)\n", n)
 	default:
 		log.Fatalf("kvstore: unknown command %q", args[0])

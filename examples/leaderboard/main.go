@@ -39,21 +39,19 @@ func playerName(i int) string { return fmt.Sprintf("player-%02d", i) }
 func main() {
 	rt, err := logfree.New(
 		logfree.WithSize(128<<20),
-		logfree.WithMaxThreads(workers+1),
 		logfree.WithLinkCache(true),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	h0 := rt.Handle(workers)
 	// Two durable structures share the runtime: the rank index (ordered)
 	// and a hash map holding each player's current score, so an update can
 	// find and remove its stale rank entry.
-	board, err := rt.OrderedMap(h0, "board")
+	board, err := rt.OrderedMap("board")
 	if err != nil {
 		log.Fatal(err)
 	}
-	scores, err := rt.Map(h0, "scores", 1024)
+	scores, err := rt.Map("scores", 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +62,6 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := rt.Handle(w)
 			rng := rand.New(rand.NewSource(int64(w)))
 			var buf [8]byte
 			for i := 0; i < roundsPerBot; i++ {
@@ -74,16 +71,16 @@ func main() {
 				p := playerName(w*(players/workers) + rng.Intn(players/workers))
 				gain := uint64(1 + rng.Intn(100))
 				var cur uint64
-				if v, ok := scores.Get(h, []byte(p)); ok {
+				if v, ok := scores.Get([]byte(p)); ok {
 					cur = binary.BigEndian.Uint64(v)
-					board.Delete(h, rankKey(cur, p))
+					board.Delete(rankKey(cur, p))
 				}
 				next := cur + gain
 				binary.BigEndian.PutUint64(buf[:], next)
-				if err := scores.Set(h, []byte(p), buf[:]); err != nil {
+				if err := scores.Set([]byte(p), buf[:]); err != nil {
 					log.Fatal(err)
 				}
-				if err := board.Set(h, rankKey(next, p), nil); err != nil {
+				if err := board.Set(rankKey(next, p), nil); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -92,32 +89,32 @@ func main() {
 	wg.Wait()
 
 	fmt.Println("top 5 before the crash:")
-	printTop(rt, board, 5)
+	printTop(board, 5)
 
 	// Power failure + reboot + recovery: the board comes back ordered.
 	rt2, err := rt.SimulateCrash()
 	if err != nil {
 		log.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
-	board2, err := rt2.OrderedMap(h2, "board")
+	board2, err := rt2.OrderedMap("board")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("top 5 after recovery:")
-	printTop(rt2, board2, 5)
-	if min, _, ok := board2.Max(h2); ok {
+	printTop(board2, 5)
+	if min, _, ok := board2.Max(); ok {
 		// Max of the inverted-key space is the *lowest* score on the board.
 		fmt.Printf("lowest ranked: %s (%d points)\n", min[8:], rankScore(min))
 	}
 }
 
-func printTop(rt *logfree.Runtime, board *logfree.OrderedByteMap, n int) {
-	h := rt.Handle(0)
+func printTop(board *logfree.OrderedByteMap, n int) {
 	rank := 0
-	board.Ascend(h, func(k, _ []byte) bool {
+	for k := range board.Ascend() {
 		rank++
 		fmt.Printf("  #%d %s — %d points\n", rank, k[8:], rankScore(k))
-		return rank < n
-	})
+		if rank >= n {
+			break
+		}
+	}
 }

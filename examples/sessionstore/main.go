@@ -23,83 +23,89 @@ const (
 func main() {
 	rt, err := logfree.New(
 		logfree.WithSize(128<<20),
-		logfree.WithMaxThreads(workers),
 		logfree.WithLinkCache(true),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	h0 := rt.Handle(0)
-	sessions, err := rt.HashTable(h0, "sessions", 4096)
+	sessions, err := rt.HashTable("sessions", 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
-	byExpiry, err := rt.SkipList(h0, "by-expiry")
+	byExpiry, err := rt.SkipList("by-expiry")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Concurrent login/logout churn. Session ids partition by worker; the
-	// expiry index is shared and contended.
+	// expiry index is shared and contended. Each worker pins one session
+	// (WithSession) to skip the pool round-trip in its tight loop — plain
+	// calls would be equally correct.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := rt.Handle(w)
+			s, err := rt.Session()
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer s.Close()
+			mySessions, myExpiry := sessions.WithSession(s), byExpiry.WithSession(s)
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < sessionsPerWorker; i++ {
 				sid := uint64(w)<<32 | uint64(i) + 1
 				expiry := uint64(1_000_000) + uint64(rng.Intn(86_400))<<20 | sid&0xFFFFF
-				sessions.Insert(h, sid, uint64(w)*10_000+uint64(i))
-				byExpiry.Insert(h, expiry, sid)
+				mySessions.Insert(sid, uint64(w)*10_000+uint64(i))
+				myExpiry.Insert(expiry, sid)
 				if i%3 == 0 { // a third of the sessions log out again
-					sessions.Delete(h, sid)
-					byExpiry.Delete(h, expiry)
+					mySessions.Delete(sid)
+					myExpiry.Delete(expiry)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 	fmt.Printf("live sessions before crash: %d (expiry index: %d)\n",
-		sessions.Len(h0), byExpiry.Len(h0))
+		sessions.Len(), byExpiry.Len())
 
 	// Expire the 100 oldest sessions via the ordered index.
 	type pair struct{ exp, sid uint64 }
 	var oldest []pair
-	byExpiry.Range(h0, func(exp, sid uint64) bool {
+	for exp, sid := range byExpiry.All() {
 		oldest = append(oldest, pair{exp, sid})
-		return len(oldest) < 100
-	})
-	for _, p := range oldest {
-		sessions.Delete(h0, p.sid)
-		byExpiry.Delete(h0, p.exp)
+		if len(oldest) >= 100 {
+			break
+		}
 	}
-	fmt.Printf("expired %d sessions; live: %d\n", len(oldest), sessions.Len(h0))
+	for _, p := range oldest {
+		sessions.Delete(p.sid)
+		byExpiry.Delete(p.exp)
+	}
+	fmt.Printf("expired %d sessions; live: %d\n", len(oldest), sessions.Len())
 	// Flush the link cache so "completed" means durable (§4.1) before the
 	// deliberate power failure; without this, the last few buffered updates
 	// would be legitimately lost (their callers' operations are not
 	// considered complete until flushed).
 	rt.Drain()
-	want := sessions.Len(h0)
+	want := sessions.Len()
 
 	// Power failure + recovery.
 	rt2, err := rt.SimulateCrash()
 	if err != nil {
 		log.Fatal(err)
 	}
-	sessions2, err := rt2.HashTable(rt2.Handle(0), "sessions", 4096)
+	sessions2, err := rt2.HashTable("sessions", 4096)
 	if err != nil {
 		log.Fatal(err)
 	}
-	byExpiry2, err := rt2.SkipList(rt2.Handle(0), "by-expiry")
+	byExpiry2, err := rt2.SkipList("by-expiry")
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := rt2.Handle(0)
-	got := sessions2.Len(h)
+	got := sessions2.Len()
 	fmt.Printf("live sessions after recovery: %d (expiry index: %d)\n",
-		got, byExpiry2.Len(h))
+		got, byExpiry2.Len())
 	if got != want {
 		log.Fatalf("lost sessions in the crash: want %d, got %d", want, got)
 	}

@@ -51,7 +51,7 @@ func fig11Point(o FigureOptions, keys int) (*Row, error) {
 		return nil, err
 	}
 	wuLock := time.Since(wuLockStart)
-	rLock := mt.RunKV(func(int) memcache.KV { return lock })
+	rLock := mt.RunKV(lock)
 
 	// memcached-clht model: same lock-free table, volatile.
 	clht, err := memcache.NewCLHTCache(cfg)
@@ -59,21 +59,21 @@ func fig11Point(o FigureOptions, keys int) (*Row, error) {
 		return nil, err
 	}
 	wuCLHTStart := time.Now()
-	if err := mt.Preload(clht.Handle(o.Threads - 1)); err != nil {
+	if err := mt.Preload(clht); err != nil {
 		return nil, err
 	}
 	wuCLHT := time.Since(wuCLHTStart)
-	rCLHT := mt.RunKV(func(tid int) memcache.KV { return clht.Handle(tid) })
+	rCLHT := mt.RunKV(clht)
 
 	// NV-Memcached.
 	nv, err := memcache.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := mt.Preload(nv.Handle(o.Threads - 1)); err != nil {
+	if err := mt.Preload(nv); err != nil {
 		return nil, err
 	}
-	rNV := mt.RunKV(func(tid int) memcache.KV { return nv.Handle(tid) })
+	rNV := mt.RunKV(nv)
 
 	// Restart comparison: crash NV-Memcached and time its recovery.
 	nv.Flush()

@@ -47,8 +47,7 @@ func fig11TCPPoint(o FigureOptions, keys int) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	srvV, err := memcache.NewServer("127.0.0.1:0", o.Threads,
-		func(tid int) memcache.KV { return clht.Handle(tid) }, clht.Stats)
+	srvV, err := memcache.NewServer("127.0.0.1:0", o.Threads, clht, clht.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -69,8 +68,7 @@ func fig11TCPPoint(o FigureOptions, keys int) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	srvN, err := memcache.NewServer("127.0.0.1:0", o.Threads,
-		func(tid int) memcache.KV { return nv.Handle(tid) }, nv.Stats)
+	srvN, err := memcache.NewServer("127.0.0.1:0", o.Threads, nv, nv.Stats)
 	if err != nil {
 		return nil, err
 	}

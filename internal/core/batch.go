@@ -1,0 +1,495 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/ptrtag"
+)
+
+// This file implements amortized-fence batch application for the two byte-key
+// maps. A single Set pays two sync waits: one fence for its content batch
+// (entry extent + index node + allocator metadata lines) and one for the
+// publishing link. ApplyBatch shares the first across a whole group of
+// operations:
+//
+//	phase 1  write every op's entry extent (and, for fresh keys, its index
+//	         node) with write-backs scheduled but NOT fenced, planning each
+//	         op's publish point against the current durable state plus the
+//	         group's own earlier planned nodes;
+//	phase 2  ONE fence makes every pending content line durable together
+//	         (the paper's one-pause-per-batch latency model, §6.1);
+//	phase 3  publish each op in order with its single linearizing sync.
+//
+// N sets therefore cost ~N+1 sync waits instead of 2N (enforced by
+// fencebudget_test.go). Batches are NOT transactions: each op publishes
+// through its own atomic durable point, in batch order, so a crash leaves a
+// per-op prefix of the batch (plus at most the in-flight op's own atomic
+// before/after ambiguity) — the same durable linearizability every single op
+// already has, never a torn multi-op state.
+//
+// Correctness hinges on the stripe locks: the group locks the stripes of all
+// its index hashes up front (sorted, deduplicated — single ops take one
+// stripe and batches acquire in order, so there is no deadlock), which
+// freezes the publish points planned in phase 1: no concurrent operation can
+// touch any group key's chain, index node or skip-list membership. Bucket and
+// skip-list *neighbourhoods* may still shift under concurrent different-hash
+// traffic; publishes revalidate with the standard retry loops and, only when
+// a planned successor really moved, restore the contents-before-reachability
+// ordering with one extra sync. Ops whose index hash repeats within a batch
+// split it into sequential groups, so planning never has to model two
+// lifecycle changes of one chain.
+
+// BytesOp is one operation of a byte-map batch: a durable upsert of Key
+// (with the entry's metadata field and aux word), or, with Del set, a
+// durable delete of Key.
+type BytesOp struct {
+	Del   bool
+	Key   []byte
+	Value []byte
+	Meta  uint16
+	Aux   uint64
+}
+
+// validateBytesOps applies the single-op argument checks to a whole batch
+// before anything mutates, so a malformed op cannot abort a half-applied
+// group.
+func validateBytesOps(ops []BytesOp) error {
+	for i := range ops {
+		op := &ops[i]
+		if len(op.Key) == 0 || len(op.Key) > MaxBytesKeyLen {
+			return ErrBadKey
+		}
+		if !op.Del && beData+len(op.Key)+len(op.Value) > MaxBytesEntrySize {
+			return ErrTooLarge
+		}
+	}
+	return nil
+}
+
+// batchGroups yields [start,end) ranges of ops whose index hashes are
+// pairwise distinct; a repeated hash starts a new group.
+func batchGroups(hashes []uint64, fn func(start, end int) error) error {
+	start := 0
+	seen := make(map[uint64]struct{}, len(hashes))
+	for i, h := range hashes {
+		if _, dup := seen[h]; dup {
+			if err := fn(start, i); err != nil {
+				return err
+			}
+			start = i
+			clear(seen)
+		}
+		seen[h] = struct{}{}
+	}
+	if start < len(hashes) {
+		return fn(start, len(hashes))
+	}
+	return nil
+}
+
+// lockStripes locks the distinct stripe locks of hashes in ascending index
+// order and returns an unlock function. Single operations lock exactly one
+// stripe, so ordered multi-acquisition cannot deadlock against them or
+// against another batch.
+func (s *Store) lockStripes(hashes []uint64) (unlock func()) {
+	idx := make([]int, 0, len(hashes))
+	for _, h := range hashes {
+		idx = append(idx, int(h%uint64(len(s.bytesLocks))))
+	}
+	sort.Ints(idx)
+	n := 0
+	for i, v := range idx {
+		if i == 0 || v != idx[i-1] {
+			idx[n] = v
+			n++
+		}
+	}
+	idx = idx[:n]
+	for _, v := range idx {
+		s.bytesLocks[v].Lock()
+	}
+	return func() {
+		for _, v := range idx {
+			s.bytesLocks[v].Unlock()
+		}
+	}
+}
+
+// --- Hash-indexed map -----------------------------------------------------
+
+type bytesPlanKind uint8
+
+const (
+	bytesPlanDelete bytesPlanKind = iota
+	bytesPlanFresh                // new index key: link a planned index node
+	bytesPlanSwing                // prepend or head replace: swing the index node's value word
+	bytesPlanMid                  // mid-chain replace: swing the predecessor entry's next word
+)
+
+type bytesPlan struct {
+	kind     bytesPlanKind
+	e        Addr   // new entry extent (sets)
+	n        Addr   // planned index node (fresh) — or the existing node (swing)
+	old      uint64 // expected index-node value word (swing)
+	pred     Addr   // predecessor entry (mid)
+	replaced Addr   // replaced entry to retire (swing/mid; 0 for prepends)
+	next     Addr   // planned bucket successor (fresh)
+}
+
+// ApplyBatch applies ops in order with one shared content fence per group
+// (see the file comment for the phase structure and crash semantics). On
+// error the failing group's unpublished allocations are released and the
+// batch stops: earlier groups — and earlier *published* ops never exist,
+// publishes only start once the whole group is staged — remain applied.
+func (b *BytesMap) ApplyBatch(c *Ctx, ops []BytesOp) error {
+	if err := validateBytesOps(ops); err != nil {
+		return err
+	}
+	hashes := make([]uint64, len(ops))
+	for i := range ops {
+		hashes[i] = bytesHash(ops[i].Key)
+	}
+	return batchGroups(hashes, func(start, end int) error {
+		return b.applyGroup(c, ops[start:end], hashes[start:end])
+	})
+}
+
+func (b *BytesMap) applyGroup(c *Ctx, ops []BytesOp, hashes []uint64) error {
+	unlock := b.s.lockStripes(hashes)
+	defer unlock()
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := b.s.dev
+
+	plans := make([]bytesPlan, len(ops))
+	// freshInBucket tracks the group's planned fresh index nodes per bucket,
+	// so later plans can aim at nodes that will exist by their publish turn.
+	var freshInBucket map[Addr][]int
+	release := func(upto int) {
+		for i := 0; i < upto; i++ {
+			if p := &plans[i]; !ops[i].Del {
+				if p.e != 0 {
+					c.alloc.Free(p.e)
+				}
+				if p.kind == bytesPlanFresh && p.n != 0 {
+					c.alloc.Free(p.n)
+				}
+			}
+		}
+	}
+
+	// Phase 1: stage entries and plan publish points.
+	for i := range ops {
+		hash := hashes[i]
+		p := &plans[i]
+		if ops[i].Del {
+			p.kind = bytesPlanDelete
+			continue
+		}
+		bucket := b.idx.bucket(hash)
+		_, curr, _ := searchFrom(c, b.s, bucket, hash)
+		exists := b.s.nodeKey(curr) == hash
+		var head, replaced, predE Addr
+		if exists {
+			head = Addr(b.s.nodeValue(curr))
+			replaced, predE = b.findInChain(head, ops[i].Key)
+		}
+		next := head
+		if replaced != 0 {
+			next = b.entryNext(replaced)
+		}
+		e, err := writeBytesEntry(c, hash, ops[i].Key, ops[i].Value, ops[i].Meta, ops[i].Aux, next)
+		if err != nil {
+			release(i)
+			return err
+		}
+		p.e = e
+		switch {
+		case !exists:
+			// Plan the bucket successor against live state plus the group's
+			// earlier planned nodes in this bucket: the smallest planned hash
+			// in (hash, key(curr)) will have been linked before this op's
+			// publish turn.
+			succ := curr
+			succKey := b.s.nodeKey(curr)
+			for _, j := range freshInBucket[bucket] {
+				if hj := hashes[j]; hj > hash && hj < succKey {
+					succ, succKey = plans[j].n, hj
+				}
+			}
+			n, err := c.ep.AllocNode(listClass)
+			if err != nil {
+				c.alloc.Free(e)
+				release(i)
+				return err
+			}
+			dev.StorePrivate(n+nKey, hash)
+			dev.StorePrivate(n+nValue, uint64(e))
+			dev.StorePrivate(n+nNext, uint64(succ))
+			c.clwb(n)
+			p.kind, p.n, p.next = bytesPlanFresh, n, succ
+			if freshInBucket == nil {
+				freshInBucket = make(map[Addr][]int)
+			}
+			freshInBucket[bucket] = append(freshInBucket[bucket], i)
+		case predE == 0:
+			// Prepend (replaced == 0) or head replace: either way the index
+			// node's value word swings from the current head to e.
+			p.kind, p.n, p.old, p.replaced = bytesPlanSwing, curr, uint64(head), replaced
+		default:
+			p.kind, p.pred, p.replaced = bytesPlanMid, predE, replaced
+		}
+	}
+
+	// Phase 2: one pause covers every staged entry, index node and allocator
+	// metadata line.
+	c.fence()
+
+	// Phase 3: publish in op order — each publish is its own fenced
+	// linearization, so batch order is durability order (prefix semantics).
+	for i := range ops {
+		hash := hashes[i]
+		switch p := &plans[i]; p.kind {
+		case bytesPlanDelete:
+			b.deleteLocked(c, ops[i].Key, hash)
+		case bytesPlanFresh:
+			b.publishFresh(c, hash, p)
+		case bytesPlanSwing:
+			if p.replaced != 0 {
+				c.ep.PreRetire(p.replaced)
+			}
+			c.scan(hash)
+			if dev.CAS(p.n+nValue, p.old, uint64(p.e)) {
+				c.sync(p.n + nValue)
+			} else {
+				// Unreachable while the stripe is held; fall back to the
+				// general upsert rather than trusting the plan.
+				listUpsert(c, b.s, b.idx.bucket(hash), hash, uint64(p.e))
+			}
+			if p.replaced != 0 {
+				c.ep.Retire(p.replaced)
+			}
+		case bytesPlanMid:
+			c.ep.PreRetire(p.replaced)
+			dev.Store(p.pred+beNext, uint64(p.e))
+			c.sync(p.pred + beNext)
+			c.ep.Retire(p.replaced)
+		}
+	}
+	return nil
+}
+
+// publishFresh links a staged index node into its bucket with the standard
+// insert retry loop. The node's contents (including its planned next link)
+// are already durable from the group fence; only if the bucket moved since
+// planning does the next link need one extra sync before the linearizing
+// link-and-persist — a concurrent reader may help-persist the link the
+// moment the CAS lands, so the node must be entirely durable first (§3).
+func (b *BytesMap) publishFresh(c *Ctx, hash uint64, p *bytesPlan) {
+	s := b.s
+	dev := s.dev
+	bucket := b.idx.bucket(hash)
+	for {
+		pred, curr, inPred := searchFrom(c, s, bucket, hash)
+		c.scan(hash)
+		if s.nodeKey(curr) == hash {
+			// Unreachable while the stripe is held (no other op can create
+			// this index key); defensive: publish through the value word and
+			// drop the never-visible planned node.
+			listUpsert(c, s, bucket, hash, uint64(p.e))
+			c.alloc.Free(p.n)
+			return
+		}
+		if inPred != 0 {
+			c.ensureDurable(inPred)
+			c.scan(s.nodeKey(pred))
+		}
+		predW := c.loadClean(pred + nNext)
+		if ptrtag.Addr(predW) != curr || ptrtag.IsMarked(predW) {
+			continue
+		}
+		if curr != p.next {
+			dev.Store(p.n+nNext, uint64(curr))
+			c.sync(p.n + nNext)
+			p.next = curr
+		}
+		if c.linkCached(hash, pred+nNext, predW, uint64(p.n)) {
+			return
+		}
+	}
+}
+
+// --- Ordered map ----------------------------------------------------------
+
+type orderedPlanKind uint8
+
+const (
+	orderedPlanDelete  orderedPlanKind = iota
+	orderedPlanFresh                   // link a staged node into the skip list
+	orderedPlanReplace                 // swing an existing node's entry reference
+)
+
+type orderedPlan struct {
+	kind  orderedPlanKind
+	e     Addr // new entry extent (sets)
+	n     Addr // staged node (fresh) — or the existing node (replace)
+	top   int
+	succ0 Addr // planned level-0 successor (fresh)
+	preds [MaxLevel]Addr
+	succs [MaxLevel]Addr
+}
+
+// ApplyBatch applies ops in order with one shared content fence per group;
+// see BytesMap.ApplyBatch for the phase structure and crash semantics.
+func (o *OrderedBytesMap) ApplyBatch(c *Ctx, ops []BytesOp) error {
+	if err := validateBytesOps(ops); err != nil {
+		return err
+	}
+	hashes := make([]uint64, len(ops))
+	for i := range ops {
+		hashes[i] = bytesHash(ops[i].Key)
+	}
+	return batchGroups(hashes, func(start, end int) error {
+		return o.applyGroup(c, ops[start:end], hashes[start:end])
+	})
+}
+
+func (o *OrderedBytesMap) applyGroup(c *Ctx, ops []BytesOp, hashes []uint64) error {
+	unlock := o.s.lockStripes(hashes)
+	defer unlock()
+	c.ep.Begin()
+	defer c.ep.End()
+	dev := o.s.dev
+
+	plans := make([]orderedPlan, len(ops))
+	var fresh []int // indices of earlier fresh plans, for successor planning
+	release := func(upto int) {
+		for i := 0; i < upto; i++ {
+			if p := &plans[i]; !ops[i].Del {
+				if p.e != 0 {
+					c.alloc.Free(p.e)
+				}
+				if p.kind == orderedPlanFresh && p.n != 0 {
+					c.alloc.Free(p.n)
+				}
+			}
+		}
+	}
+
+	// Phase 1: stage entries and nodes.
+	for i := range ops {
+		hash := hashes[i]
+		key := ops[i].Key
+		p := &plans[i]
+		if ops[i].Del {
+			p.kind = orderedPlanDelete
+			continue
+		}
+		if o.find(c, key, &p.preds, &p.succs) {
+			node := p.succs[0]
+			c.scan(hash)
+			c.ensureDurable(p.preds[0] + oNext(0))
+			c.ensureDurable(node + oNext(0))
+			e, err := writeBytesEntry(c, hash, key, ops[i].Value, ops[i].Meta, ops[i].Aux, 0)
+			if err != nil {
+				release(i)
+				return err
+			}
+			p.kind, p.e, p.n = orderedPlanReplace, e, node
+			continue
+		}
+		e, err := writeBytesEntry(c, hash, key, ops[i].Value, ops[i].Meta, ops[i].Aux, 0)
+		if err != nil {
+			release(i)
+			return err
+		}
+		top := c.randomLevel()
+		if int(o.hint.Load()) < top {
+			o.bumpHint(top)
+			o.find(c, key, &p.preds, &p.succs)
+		}
+		n, err := c.ep.AllocNode(oClassFor(top))
+		if err != nil {
+			c.alloc.Free(e)
+			release(i)
+			return err
+		}
+		// Plan the level-0 successor against live state plus the group's
+		// earlier staged nodes: the smallest staged key in (key, key(succ))
+		// will have been linked before this op's publish turn.
+		succ0 := p.succs[0]
+		var bestKey []byte
+		for _, j := range fresh {
+			kj := ops[j].Key
+			if bytes.Compare(kj, key) > 0 && o.cmpNode(p.succs[0], kj) > 0 {
+				if bestKey == nil || bytes.Compare(kj, bestKey) < 0 {
+					bestKey, succ0 = kj, plans[j].n
+				}
+			}
+		}
+		dev.StorePrivate(n+oEntry, uint64(e))
+		dev.StorePrivate(n+oTop, uint64(top))
+		for level := 0; level <= top; level++ {
+			dev.StorePrivate(n+oNext(level), p.succs[level])
+		}
+		dev.StorePrivate(n+oNext(0), succ0)
+		c.clwb(n) // covers entry, top, next[0..5]
+		p.kind, p.e, p.n, p.top, p.succ0 = orderedPlanFresh, e, n, top, succ0
+		fresh = append(fresh, i)
+	}
+
+	// Phase 2: one pause for the whole group's content lines.
+	c.fence()
+
+	// Phase 3: publish in op order.
+	for i := range ops {
+		hash := hashes[i]
+		key := ops[i].Key
+		switch p := &plans[i]; p.kind {
+		case orderedPlanDelete:
+			o.deleteLocked(c, key, hash)
+		case orderedPlanReplace:
+			old := o.nodeEntry(p.n)
+			c.ep.PreRetire(old)
+			dev.Store(p.n+oEntry, uint64(p.e))
+			c.sync(p.n + oEntry)
+			c.ep.Retire(old)
+		case orderedPlanFresh:
+			o.publishFresh(c, hash, key, p)
+		}
+	}
+	return nil
+}
+
+// publishFresh links a staged skip-list node at level 0 (the durable
+// linearization) and then its index levels. The node is already durable from
+// the group fence; only if its planned successor moved does the level-0 link
+// need one extra sync before the linearizing link-and-persist.
+func (o *OrderedBytesMap) publishFresh(c *Ctx, hash uint64, key []byte, p *orderedPlan) {
+	dev := o.s.dev
+	for {
+		c.scan(hash)
+		c.scan(o.nodeHash(p.preds[0]))
+		predW := c.loadClean(p.preds[0] + oNext(0))
+		if ptrtag.Addr(predW) != p.succ0 || ptrtag.IsMarked(predW) {
+			o.find(c, key, &p.preds, &p.succs)
+			if p.succs[0] != p.succ0 {
+				dev.Store(p.n+oNext(0), p.succs[0])
+				c.sync(p.n + oNext(0))
+				p.succ0 = p.succs[0]
+			}
+			continue
+		}
+		if c.linkCached(hash, p.preds[0]+oNext(0), predW, p.n) {
+			break
+		}
+		o.find(c, key, &p.preds, &p.succs)
+		if p.succs[0] != p.succ0 {
+			dev.Store(p.n+oNext(0), p.succs[0])
+			c.sync(p.n + oNext(0))
+			p.succ0 = p.succs[0]
+		}
+	}
+	o.linkTower(c, key, p.n, p.top, &p.preds, &p.succs)
+}

@@ -593,6 +593,12 @@ func (b *BytesMap) Delete(c *Ctx, key []byte) bool {
 	defer mu.Unlock()
 	c.ep.Begin()
 	defer c.ep.End()
+	return b.deleteLocked(c, key, hash)
+}
+
+// deleteLocked is Delete's body: the caller holds the key's stripe lock and
+// an open epoch section (the batch path shares both across many ops).
+func (b *BytesMap) deleteLocked(c *Ctx, key []byte, hash uint64) bool {
 	dev := b.s.dev
 
 	head, exists := b.chainHead(c, hash)

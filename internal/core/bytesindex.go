@@ -397,14 +397,21 @@ func (o *OrderedBytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64
 		}
 		o.find(c, key, &preds, &succs)
 	}
-	// Link the index levels (volatile quality; rebuilt on recovery).
+	o.linkTower(c, key, n, top, &preds, &succs)
+	return true, nil
+}
+
+// linkTower links a freshly published node's index levels (volatile quality;
+// rebuilt on recovery). Shared by Set and the batch publish path.
+func (o *OrderedBytesMap) linkTower(c *Ctx, key []byte, n Addr, top int, preds, succs *[MaxLevel]Addr) {
+	dev := o.s.dev
 	for level := 1; level <= top; level++ {
 		for {
 			nextW := dev.Load(n + oNext(level))
 			if ptrtag.IsMarked(nextW) {
 				// A concurrent delete reached this level; stop linking.
-				o.find(c, key, &preds, &succs) // help complete the unlink
-				return true, nil
+				o.find(c, key, preds, succs) // help complete the unlink
+				return
 			}
 			if succs[level] != ptrtag.Addr(nextW) {
 				if !dev.CAS(n+oNext(level), nextW, succs[level]) {
@@ -414,16 +421,15 @@ func (o *OrderedBytesMap) Set(c *Ctx, key, value []byte, meta uint16, aux uint64
 			if dev.CAS(preds[level]+oNext(level), succs[level], n) {
 				break
 			}
-			o.find(c, key, &preds, &succs) // refresh preds/succs
+			o.find(c, key, preds, succs) // refresh preds/succs
 			if succs[0] != n {
-				return true, nil // our node was deleted already
+				return // our node was deleted already
 			}
 		}
 	}
 	if ptrtag.IsMarked(dev.Load(n + oNext(0))) {
-		o.find(c, key, &preds, &succs)
+		o.find(c, key, preds, succs)
 	}
-	return true, nil
 }
 
 // SetAux durably replaces the aux word of an existing entry in place
@@ -454,6 +460,12 @@ func (o *OrderedBytesMap) Delete(c *Ctx, key []byte) bool {
 	defer o.unlock(hash)
 	c.ep.Begin()
 	defer c.ep.End()
+	return o.deleteLocked(c, key, hash)
+}
+
+// deleteLocked is Delete's body: the caller holds the key's stripe lock and
+// an open epoch section (the batch path shares both across many ops).
+func (o *OrderedBytesMap) deleteLocked(c *Ctx, key []byte, hash uint64) bool {
 	dev := o.s.dev
 
 	var preds, succs [MaxLevel]Addr

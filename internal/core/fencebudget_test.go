@@ -118,6 +118,71 @@ func TestFenceBudgetOrderedBytesMapSet(t *testing.T) {
 	}
 }
 
+// TestFenceBudgetBatch pins the amortized batch budget: a 64-op all-Set
+// batch pays at most 64+2 sync waits — one publishing link per op, one
+// shared content fence, plus one of slack for an APT insertion as the batch
+// crosses into a cold area — instead of the 2×64 the ops would cost issued
+// singly. Covers all four steady states: fresh keys and replaces, on both
+// the hash-indexed and the ordered map.
+func TestFenceBudgetBatch(t *testing.T) {
+	const N = 64
+	val := make([]byte, 64)
+	batch := func(base string, round int) []BytesOp {
+		ops := make([]BytesOp, N)
+		for i := range ops {
+			ops[i] = BytesOp{
+				Key:   []byte(fmt.Sprintf("%s-%06d", base, i)),
+				Value: val,
+				Meta:  uint16(round),
+			}
+		}
+		return ops
+	}
+	apply := map[string]func(c *Ctx) func([]BytesOp) error{
+		"map": func(c *Ctx) func([]BytesOp) error {
+			b, err := NewBytesMap(c, 1<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func(ops []BytesOp) error { return b.ApplyBatch(c, ops) }
+		},
+		"ordered": func(c *Ctx) func([]BytesOp) error {
+			o, err := NewOrderedBytesMap(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func(ops []BytesOp) error { return o.ApplyBatch(c, ops) }
+		},
+	}
+	for name, build := range apply {
+		t.Run(name, func(t *testing.T) {
+			_, c := budgetStore(t)
+			commit := build(c)
+			// Warm the allocator and APT (cold-area insertion syncs are not
+			// part of the steady-state budget).
+			if err := commit(batch("warm", 0)); err != nil {
+				t.Fatal(err)
+			}
+			for round, base := range []string{"fresh", "fresh", "fresh"} {
+				ops := batch(fmt.Sprintf("%s-%d", base, round), 0)
+				assertBudget(t, c, "ApplyBatch (fresh keys)", N+2, func() {
+					if err := commit(ops); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			for round := 1; round <= 3; round++ {
+				ops := batch("fresh-1", round) // rewrite round 1's keys
+				assertBudget(t, c, "ApplyBatch (replace)", N+2, func() {
+					if err := commit(ops); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestFenceBudgetDeviceTotals cross-checks the budget against the
 // device-wide counters over a longer run: the aggregate rate must stay at
 // ≤2 sync waits per Set plus a small allowance for page-carve syncs and

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/nvram"
+)
+
+// TestCtxGrowthBeyondMaxThreads: contexts grow past the formatted thread
+// count (each grown thread backed by its own durable APT bank), operations on
+// grown contexts are fully durable, and a crash recovers APT entries written
+// by grown threads — their banks are found through the durable bank table.
+func TestCtxGrowthBeyondMaxThreads(t *testing.T) {
+	dev := nvram.New(nvram.Config{Size: 64 << 20})
+	s, err := NewStore(dev, Options{MaxThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := s.MustCtx(0)
+	b, err := NewBytesMap(c0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot(c0, RootUser+0, b.Buckets())
+	s.SetRoot(c0, RootUser+1, uint64(b.NumBuckets()))
+	s.SetRoot(c0, RootUser+2, b.Tail())
+
+	const workers = 6 // 5 past the formatted single thread
+	ctxs := make([]*Ctx, workers)
+	ctxs[0] = c0
+	for w := 1; w < workers; w++ {
+		c, err := s.GrowCtx()
+		if err != nil {
+			t.Fatalf("GrowCtx %d: %v", w, err)
+		}
+		ctxs[w] = c
+	}
+	if got := s.Manager().NumThreads(); got < workers {
+		t.Fatalf("manager grew to %d threads, want >= %d", got, workers)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := ctxs[w]
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("w%d-%04d", w, i))
+				if _, err := b.Set(c, k, k, 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	dev.Crash()
+	s2, err := AttachStore(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := AttachBytesMap(s2, s2.Root(RootUser+0), int(s2.Root(RootUser+1)), s2.Root(RootUser+2))
+	RecoverSet(s2, []Recoverer{b2.Recoverer()}, 2)
+	c2 := s2.MustCtx(0)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 200; i++ {
+			k := []byte(fmt.Sprintf("w%d-%04d", w, i))
+			if v, ok := b2.Get(c2, k); !ok || string(v) != string(k) {
+				t.Fatalf("key %s lost across crash (grown-thread durability): %q,%v", k, v, ok)
+			}
+		}
+	}
+	// Grown banks must survive re-attach too: a context on a high tid works.
+	if _, err := s2.NewCtx(workers + 3); err != nil {
+		t.Fatalf("NewCtx on grown tid after attach: %v", err)
+	}
+}
+
+// TestBatchApplyBasic: ApplyBatch is equivalent to the ops applied in order,
+// including batches that rewrite and delete their own keys (group splitting)
+// and forced same-hash collisions.
+func TestBatchApplyBasic(t *testing.T) {
+	for _, collide := range []bool{false, true} {
+		t.Run(fmt.Sprintf("collide=%v", collide), func(t *testing.T) {
+			if collide {
+				SetBytesHashForTesting(func([]byte) uint64 { return MinKey + 7 })
+				defer SetBytesHashForTesting(nil)
+			}
+			dev := nvram.New(nvram.Config{Size: 64 << 20})
+			s, err := NewStore(dev, Options{MaxThreads: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := s.MustCtx(0)
+			b, err := NewBytesMap(c, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := NewOrderedBytesMap(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ops []BytesOp
+			model := map[string]string{}
+			for i := 0; i < 40; i++ {
+				k := fmt.Sprintf("k%02d", i%13)
+				v := fmt.Sprintf("v%d", i)
+				if i%7 == 3 {
+					ops = append(ops, BytesOp{Del: true, Key: []byte(k)})
+					delete(model, k)
+				} else {
+					ops = append(ops, BytesOp{Key: []byte(k), Value: []byte(v)})
+					model[k] = v
+				}
+			}
+			if err := b.ApplyBatch(c, ops); err != nil {
+				t.Fatal(err)
+			}
+			if err := o.ApplyBatch(c, ops); err != nil {
+				t.Fatal(err)
+			}
+			for k, want := range model {
+				if v, ok := b.Get(c, []byte(k)); !ok || string(v) != want {
+					t.Fatalf("map %q = %q,%v want %q", k, v, ok, want)
+				}
+				if v, ok := o.Get(c, []byte(k)); !ok || string(v) != want {
+					t.Fatalf("ordered %q = %q,%v want %q", k, v, ok, want)
+				}
+			}
+			if got := b.Len(c); got != len(model) {
+				t.Fatalf("map Len = %d want %d", got, len(model))
+			}
+			// Ordered map must also scan in strict order.
+			var prev string
+			n := 0
+			o.Ascend(c, func(k, _ []byte) bool {
+				if n > 0 && !(prev < string(k)) {
+					t.Fatalf("scan out of order: %q then %q", prev, k)
+				}
+				prev = string(k)
+				n++
+				return true
+			})
+			if n != len(model) {
+				t.Fatalf("ordered Len = %d want %d", n, len(model))
+			}
+		})
+	}
+}

@@ -36,6 +36,9 @@ type mcMap interface {
 	set(c *Ctx, key, value []byte) error
 	get(c *Ctx, key []byte) (string, bool)
 	del(c *Ctx, key []byte) bool
+	// batch applies a whole op group through ApplyBatch (amortized-fence
+	// commit): crash points inside it must recover to a per-op prefix.
+	batch(c *Ctx, ops []BytesOp) error
 	// pairs returns every live key/value; ordered maps report them in scan
 	// order.
 	pairs(c *Ctx) [][2]string
@@ -49,7 +52,8 @@ func (m mcBytes) get(c *Ctx, k []byte) (string, bool) {
 	v, ok := m.b.Get(c, k)
 	return string(v), ok
 }
-func (m mcBytes) del(c *Ctx, k []byte) bool { return m.b.Delete(c, k) }
+func (m mcBytes) del(c *Ctx, k []byte) bool         { return m.b.Delete(c, k) }
+func (m mcBytes) batch(c *Ctx, ops []BytesOp) error { return m.b.ApplyBatch(c, ops) }
 func (m mcBytes) pairs(c *Ctx) [][2]string {
 	var out [][2]string
 	m.b.Range(c, func(k, v []byte) bool {
@@ -67,7 +71,8 @@ func (m mcOrdered) get(c *Ctx, k []byte) (string, bool) {
 	v, ok := m.o.Get(c, k)
 	return string(v), ok
 }
-func (m mcOrdered) del(c *Ctx, k []byte) bool { return m.o.Delete(c, k) }
+func (m mcOrdered) del(c *Ctx, k []byte) bool         { return m.o.Delete(c, k) }
+func (m mcOrdered) batch(c *Ctx, ops []BytesOp) error { return m.o.ApplyBatch(c, ops) }
 func (m mcOrdered) pairs(c *Ctx) [][2]string {
 	var out [][2]string
 	m.o.Ascend(c, func(k, v []byte) bool {
@@ -126,22 +131,36 @@ var mcUniverse = []string{
 }
 
 type mcOp struct {
-	kind int // 0 = set, 1 = delete, 2 = get, 3 = scan
-	key  string
-	val  string
+	kind  int // 0 = set, 1 = delete, 2 = get, 3 = scan, 4 = batch commit
+	key   string
+	val   string
+	batch []BytesOp // kind 4: sets and deletes applied via ApplyBatch
 }
 
 func randOp(rng *rand.Rand, seq int) mcOp {
 	key := mcUniverse[rng.Intn(len(mcUniverse))]
 	switch r := rng.Intn(100); {
-	case r < 55:
+	case r < 45:
 		return mcOp{kind: 0, key: key, val: fmt.Sprintf("%s=%d", key, seq)}
-	case r < 80:
+	case r < 70:
 		return mcOp{kind: 1, key: key}
-	case r < 95:
+	case r < 82:
 		return mcOp{kind: 2, key: key}
-	default:
+	case r < 90:
 		return mcOp{kind: 3}
+	default:
+		n := 2 + rng.Intn(5)
+		ops := make([]BytesOp, n)
+		for i := range ops {
+			k := mcUniverse[rng.Intn(len(mcUniverse))]
+			if rng.Intn(3) == 0 {
+				ops[i] = BytesOp{Del: true, Key: []byte(k)}
+			} else {
+				ops[i] = BytesOp{Key: []byte(k),
+					Value: []byte(fmt.Sprintf("%s=b%d.%d", k, seq, i))}
+			}
+		}
+		return mcOp{kind: 4, batch: ops}
 	}
 }
 
@@ -152,7 +171,44 @@ func applyModel(model map[string]string, op mcOp) {
 		model[op.key] = op.val
 	case 1:
 		delete(model, op.key)
+	case 4:
+		for _, b := range op.batch {
+			if b.Del {
+				delete(model, string(b.Key))
+			} else {
+				model[string(b.Key)] = string(b.Value)
+			}
+		}
 	}
+}
+
+// frontiers returns every admissible durable state of op crashed mid-flight
+// over the model state before: each op — and each op OF A BATCH — publishes
+// through one atomic durable point, in order, so the admissible states are
+// exactly the per-op prefixes (batches are crash-atomic per op, not
+// transactional).
+func frontiers(before map[string]string, op mcOp) []map[string]string {
+	cp := func(m map[string]string) map[string]string {
+		out := make(map[string]string, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	out := []map[string]string{cp(before)}
+	switch op.kind {
+	case 0, 1:
+		after := cp(before)
+		applyModel(after, op)
+		out = append(out, after)
+	case 4:
+		cur := cp(before)
+		for _, b := range op.batch {
+			applyModel(cur, mcOp{kind: 4, batch: []BytesOp{b}})
+			out = append(out, cp(cur))
+		}
+	}
+	return out
 }
 
 // applyDurable applies op to the structure, checking read results against
@@ -179,28 +235,44 @@ func applyDurable(t *testing.T, m mcMap, c *Ctx, op mcOp, model map[string]strin
 		if got, want := len(m.pairs(c)), len(model); got != want {
 			t.Fatalf("scan saw %d keys, model has %d", got, want)
 		}
+	case 4:
+		if err := m.batch(c, op.batch); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
-// verifyFrontier checks the recovered durable state against the linearizable
-// frontiers: modelBefore everywhere, except the in-flight key which may also
-// hold its modelAfter state.
-func verifyFrontier(t *testing.T, m mcMap, c *Ctx, before, after map[string]string, inflight string) {
+// verifyFrontiers checks the recovered durable state against the
+// linearizable frontiers: the state read back must equal one of the
+// admissible models exactly (for a crashed batch: some per-op prefix).
+func verifyFrontiers(t *testing.T, m mcMap, c *Ctx, fronts []map[string]string) {
 	t.Helper()
+	got := make(map[string]string, len(mcUniverse))
 	for _, key := range mcUniverse {
-		got, ok := m.get(c, []byte(key))
-		bv, bok := before[key]
-		if key == inflight {
-			av, aok := after[key]
-			if (ok == bok && (!ok || got == bv)) || (ok == aok && (!ok || got == av)) {
-				continue
+		if v, ok := m.get(c, []byte(key)); ok {
+			got[key] = v
+		}
+	}
+	matched := false
+	for _, f := range fronts {
+		if len(f) != len(got) {
+			continue
+		}
+		eq := true
+		for k, v := range f {
+			if gv, ok := got[k]; !ok || gv != v {
+				eq = false
+				break
 			}
-			t.Fatalf("in-flight key %q after crash: %q,%v; admissible %q,%v or %q,%v",
-				key, got, ok, bv, bok, av, aok)
 		}
-		if ok != bok || (ok && got != bv) {
-			t.Fatalf("key %q after crash: %q,%v; model %q,%v", key, got, ok, bv, bok)
+		if eq {
+			matched = true
+			break
 		}
+	}
+	if !matched {
+		t.Fatalf("state after crash matches no admissible frontier (of %d): %v",
+			len(fronts), got)
 	}
 	// The scan must agree with the point reads — and stay strictly ordered
 	// for the ordered map.
@@ -259,19 +331,7 @@ func runModelCheck(t *testing.T, shape mcShape, seed int64) {
 		// The armed op: crash after a random number of word stores.
 		op := randOp(rng, seq)
 		seq++
-		before := make(map[string]string, len(model))
-		for k, v := range model {
-			before[k] = v
-		}
-		after := make(map[string]string, len(model))
-		for k, v := range model {
-			after[k] = v
-		}
-		applyModel(after, op)
-		inflight := ""
-		if op.kind == 0 || op.kind == 1 {
-			inflight = op.key
-		}
+		fronts := frontiers(model, op)
 
 		countdown := 1 + rng.Intn(80)
 		dev.StoreHook = func() {
@@ -295,9 +355,9 @@ func runModelCheck(t *testing.T, shape mcShape, seed int64) {
 		dev.StoreHook = nil
 		if !crashed {
 			// The op completed before the trigger fired: it is durable, so
-			// the frontier collapses to the after state.
+			// the frontier collapses to the fully applied state.
 			applyModel(model, op)
-			before, inflight = after, ""
+			fronts = fronts[len(fronts)-1:]
 		}
 
 		// Power failure with an adversarial partial eviction, reboot,
@@ -310,7 +370,7 @@ func runModelCheck(t *testing.T, shape mcShape, seed int64) {
 		m2, rec := shape.attach(s2)
 		RecoverSet(s2, []Recoverer{rec}, 2)
 		c2 := s2.MustCtx(0)
-		verifyFrontier(t, m2, c2, before, after, inflight)
+		verifyFrontiers(t, m2, c2, fronts)
 
 		// Adopt the durable outcome of the in-flight op and keep going on
 		// the recovered store.

@@ -139,20 +139,13 @@ func sweep(s *Store, r Recoverer, par int) RecoveryStats {
 // recoveryCtx returns (creating if needed) the context for tid with the
 // epoch layer in recovery mode.
 func (s *Store) recoveryCtx(tid int) *Ctx {
-	c := s.ctxs[tid]
-	if c == nil {
-		c = s.MustCtx(tid)
-	}
+	c := s.CtxFor(tid)
 	c.ep.SetRecovery(true)
 	return c
 }
 
 func (s *Store) endRecovery() {
-	for _, c := range s.ctxs {
-		if c != nil {
-			c.ep.SetRecovery(false)
-		}
-	}
+	s.ForEachCtx(func(c *Ctx) { c.ep.SetRecovery(false) })
 }
 
 // --- Hash table -------------------------------------------------------

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/epoch"
 	"repro/internal/linkcache"
@@ -42,10 +43,11 @@ const (
 
 // Root-directory slot assignments.
 const (
-	rootMgrAPT = 0 // epoch manager's active-page-table region
-	rootMgrLog = 1 // epoch manager's alloc-log region (baseline mode)
-	rootMeta   = 2 // packed store options, for Attach
-	RootUser   = 8 // first slot available to structure descriptors
+	rootMgrAPT   = 0 // epoch manager's active-page-table region
+	rootMgrLog   = 1 // epoch manager's alloc-log region (baseline mode)
+	rootMeta     = 2 // packed store options, for Attach
+	rootMgrBanks = 3 // epoch manager's grown-thread bank table
+	RootUser     = 8 // first slot available to structure descriptors
 )
 
 // Options configures a Store.
@@ -82,7 +84,12 @@ type Store struct {
 	lc   *linkcache.Cache
 	opts Options
 
-	ctxs []*Ctx // registered per-thread contexts, indexed by tid
+	// Registered per-thread contexts, indexed by tid. The slice grows past
+	// Options.MaxThreads on demand (the manager carves a durable APT bank
+	// per extra thread): readers load the pointer lock-free, growth copies
+	// under ctxMu.
+	ctxMu sync.Mutex
+	ctxs  atomic.Pointer[[]*Ctx]
 
 	// bytesLocks are the entry-lifecycle stripes of every BytesMap on this
 	// store, keyed by index-key hash (see bytes.go). Store-level so that
@@ -92,7 +99,8 @@ type Store struct {
 	bytesLocks [2048]sync.Mutex
 }
 
-// ErrTooManyThreads is returned when NewCtx exceeds Options.MaxThreads.
+// ErrTooManyThreads is returned when a context cannot be created: a negative
+// tid, or thread growth past the epoch manager's durable bank limit.
 var ErrTooManyThreads = errors.New("core: tid out of range")
 
 // NewStore formats dev and initializes the substrates.
@@ -116,9 +124,10 @@ func NewStore(dev *nvram.Device, opts Options) (*Store, error) {
 	}
 	pool.SetRoot(f, rootMgrAPT, mgr.RegionAddr())
 	pool.SetRoot(f, rootMgrLog, mgr.LogRegionAddr())
+	pool.SetRoot(f, rootMgrBanks, mgr.BanksRegionAddr())
 	pool.SetRoot(f, rootMeta, packMeta(opts))
-	s := &Store{dev: dev, pool: pool, mgr: mgr, opts: opts,
-		ctxs: make([]*Ctx, opts.MaxThreads)}
+	s := &Store{dev: dev, pool: pool, mgr: mgr, opts: opts}
+	s.storeCtxs(make([]*Ctx, opts.MaxThreads))
 	s.initVolatile()
 	return s, nil
 }
@@ -133,13 +142,14 @@ func AttachStore(dev *nvram.Device) (*Store, error) {
 	}
 	opts := unpackMeta(pool.Root(rootMeta))
 	mgr := epoch.AttachManager(pool, pool.Root(rootMgrAPT), pool.Root(rootMgrLog),
+		pool.Root(rootMgrBanks),
 		epoch.Config{
 			MaxThreads:   opts.MaxThreads,
 			AreaShift:    opts.AreaShift,
 			AllocLogging: opts.AllocLogging,
 		})
-	s := &Store{dev: dev, pool: pool, mgr: mgr, opts: opts,
-		ctxs: make([]*Ctx, opts.MaxThreads)}
+	s := &Store{dev: dev, pool: pool, mgr: mgr, opts: opts}
+	s.storeCtxs(make([]*Ctx, opts.MaxThreads))
 	s.initVolatile()
 	return s, nil
 }
@@ -154,7 +164,7 @@ func (s *Store) initVolatile() {
 		if s.lc == nil {
 			return
 		}
-		if c := s.ctxs[tid]; c != nil {
+		if c := s.ExistingCtx(tid); c != nil {
 			s.lc.FlushAll(c.f)
 		}
 	}
@@ -215,12 +225,21 @@ type Ctx struct {
 	rng   *rand.Rand
 }
 
-// NewCtx creates (and registers) the context for thread tid.
-func (s *Store) NewCtx(tid int) (*Ctx, error) {
-	if tid < 0 || tid >= s.opts.MaxThreads {
-		return nil, fmt.Errorf("%w: %d (max %d)", ErrTooManyThreads, tid, s.opts.MaxThreads)
+func (s *Store) loadCtxs() []*Ctx    { return *s.ctxs.Load() }
+func (s *Store) storeCtxs(cs []*Ctx) { s.ctxs.Store(&cs) }
+
+// newCtxLocked creates and registers the context for tid (growing the epoch
+// manager's durable thread banks when tid is past the formatted MaxThreads).
+// Caller holds ctxMu.
+func (s *Store) newCtxLocked(tid int) (*Ctx, error) {
+	if tid < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyThreads, tid)
 	}
 	f := s.dev.NewFlusher()
+	if err := s.mgr.EnsureThread(tid, f); err != nil {
+		f.Release()
+		return nil, fmt.Errorf("%w: %d: %v", ErrTooManyThreads, tid, err)
+	}
 	alloc := s.pool.NewCtx(f)
 	c := &Ctx{
 		s:     s,
@@ -230,13 +249,31 @@ func (s *Store) NewCtx(tid int) (*Ctx, error) {
 		tid:   tid,
 		rng:   rand.New(rand.NewSource(int64(tid)*0x9E3779B9 + 1)),
 	}
-	if old := s.ctxs[tid]; old != nil {
+	cur := s.loadCtxs()
+	var grown []*Ctx
+	if tid >= len(cur) {
+		grown = make([]*Ctx, tid+1)
+	} else {
+		grown = make([]*Ctx, len(cur))
+	}
+	copy(grown, cur)
+	if old := grown[tid]; old != nil {
 		// Replaced context: deregister its flusher (counters fold into the
 		// device totals) so re-registration cycles don't pin dead flushers.
 		old.f.Release()
 	}
-	s.ctxs[tid] = c
+	grown[tid] = c
+	s.storeCtxs(grown)
 	return c, nil
+}
+
+// NewCtx creates (and registers) the context for thread tid, replacing any
+// existing registration. tids at or past Options.MaxThreads grow the store's
+// thread count (each grown thread gets its own durable APT bank).
+func (s *Store) NewCtx(tid int) (*Ctx, error) {
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	return s.newCtxLocked(tid)
 }
 
 // MustCtx is NewCtx that panics on error, for tests and examples.
@@ -251,18 +288,58 @@ func (s *Store) MustCtx(tid int) *Ctx {
 // CtxFor returns the registered context for tid, creating it on first use.
 // Unlike NewCtx it never replaces an existing context.
 func (s *Store) CtxFor(tid int) *Ctx {
-	if tid >= 0 && tid < len(s.ctxs) && s.ctxs[tid] != nil {
-		return s.ctxs[tid]
+	if cs := s.loadCtxs(); tid >= 0 && tid < len(cs) && cs[tid] != nil {
+		return cs[tid]
 	}
-	return s.MustCtx(tid)
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	if cs := s.loadCtxs(); tid >= 0 && tid < len(cs) && cs[tid] != nil {
+		return cs[tid]
+	}
+	c, err := s.newCtxLocked(tid)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// GrowCtx creates a context on the lowest unregistered tid — the session
+// pool's growth path: callers that just need "one more context" and do not
+// care which tid backs it.
+func (s *Store) GrowCtx() (*Ctx, error) {
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	cur := s.loadCtxs()
+	tid := len(cur)
+	for i, c := range cur {
+		if c == nil {
+			tid = i
+			break
+		}
+	}
+	return s.newCtxLocked(tid)
 }
 
 // ExistingCtx returns the registered context for tid, or nil.
 func (s *Store) ExistingCtx(tid int) *Ctx {
-	if tid >= 0 && tid < len(s.ctxs) {
-		return s.ctxs[tid]
+	if cs := s.loadCtxs(); tid >= 0 && tid < len(cs) {
+		return cs[tid]
 	}
 	return nil
+}
+
+// NumCtxSlots returns the current length of the context registry (tids ever
+// registered; some slots may be nil).
+func (s *Store) NumCtxSlots() int { return len(s.loadCtxs()) }
+
+// ForEachCtx calls fn for every registered context. Intended for quiescent
+// maintenance (drain, shutdown).
+func (s *Store) ForEachCtx(fn func(c *Ctx)) {
+	for _, c := range s.loadCtxs() {
+		if c != nil {
+			fn(c)
+		}
+	}
 }
 
 // Flusher exposes the context's persistence context (stats, manual syncs).

@@ -141,7 +141,7 @@ func TestActiveAreasSurviveCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2 := AttachManager(pool2, fx.m.RegionAddr(), fx.m.LogRegionAddr(), fx.m.Config())
+	m2 := AttachManager(pool2, fx.m.RegionAddr(), fx.m.LogRegionAddr(), fx.m.BanksRegionAddr(), fx.m.Config())
 	areas := m2.ActiveAreas()
 	found := false
 	for _, x := range areas {

@@ -13,6 +13,11 @@
 //   - The LRU list is volatile (recovery resets recency, not contents),
 //     mirroring Memcached's behaviour that cache metadata is advisory.
 //
+// Threading (v3): every method of Cache is safe for concurrent use from any
+// goroutine — the logfree runtime's implicit sessions replaced the old
+// per-connection Handle plumbing, so connections need no worker-slot
+// assignment to issue operations.
+//
 // Durable linearizability: a Set/Delete that returned is reflected after a
 // crash (link-and-persist end to end); Gets are unaffected.
 package memcache
@@ -56,7 +61,9 @@ type Config struct {
 	MemoryBytes uint64
 	// Buckets is the hash-table bucket count (rounded to a power of two).
 	Buckets int
-	// MaxConns bounds concurrent handles (one per connection/worker).
+	// MaxConns sizes the formatted session region (one per expected
+	// concurrent connection/worker). Not a cap: the runtime's session pool
+	// grows past it on demand.
 	MaxConns int
 	// WriteLatency is the simulated NVRAM write latency.
 	WriteLatency time.Duration
@@ -77,15 +84,12 @@ func (c *Config) fill() {
 	}
 }
 
-// Cache is a durable NV-Memcached instance.
+// Cache is a durable NV-Memcached instance. All methods are safe for
+// concurrent use from any goroutine.
 type Cache struct {
 	rt  *logfree.Runtime
 	m   *logfree.ByteMap
 	exp *logfree.OrderedByteMap
-
-	// adminTid is the handle slot reserved for maintenance work (creation,
-	// recovery walks, the expiry sweeper) — one past the connection slots.
-	adminTid int
 
 	lru   *lruList
 	stats counters
@@ -135,13 +139,6 @@ type counters struct {
 	items               atomic.Int64
 }
 
-// Handle is a per-connection (per-goroutine) operation context.
-type Handle struct {
-	cache *Cache
-	h     *logfree.Handle
-	tid   int
-}
-
 // New creates a durable cache on a fresh device.
 func New(cfg Config) (*Cache, error) {
 	cfg.fill()
@@ -153,15 +150,15 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := rt.Map(rt.Handle(cfg.MaxConns), cacheMapName, cfg.Buckets)
+	m, err := rt.Map(cacheMapName, cfg.Buckets)
 	if err != nil {
 		return nil, err
 	}
-	exp, err := rt.OrderedMap(rt.Handle(cfg.MaxConns), expMapName)
+	exp, err := rt.OrderedMap(expMapName)
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{rt: rt, m: m, exp: exp, adminTid: cfg.MaxConns, lru: newLRU()}, nil
+	return &Cache{rt: rt, m: m, exp: exp, lru: newLRU()}, nil
 }
 
 // Device exposes the simulated device (crash injection, stats).
@@ -184,11 +181,6 @@ func (m *Cache) Stats() Stats {
 	}
 }
 
-// Handle returns the operation context for worker tid.
-func (m *Cache) Handle(tid int) *Handle {
-	return &Handle{cache: m, h: m.rt.Handle(tid), tid: tid}
-}
-
 // expired reports whether an item's aux word (unix expiry, 0 = never) has
 // passed.
 func expired(aux uint64, now int64) bool {
@@ -196,10 +188,9 @@ func expired(aux uint64, now int64) bool {
 }
 
 // Get returns the value and flags bound to key.
-func (h *Handle) Get(key []byte) (value []byte, flags uint16, ok bool) {
-	m := h.cache
+func (m *Cache) Get(key []byte) (value []byte, flags uint16, ok bool) {
 	m.stats.gets.Add(1)
-	v, meta, aux, found := m.m.GetItem(h.h, key)
+	v, meta, aux, found := m.m.GetItem(key)
 	if !found || expired(aux, time.Now().Unix()) {
 		m.stats.misses.Add(1)
 		return nil, 0, false
@@ -209,40 +200,49 @@ func (h *Handle) Get(key []byte) (value []byte, flags uint16, ok bool) {
 	return v, meta, true
 }
 
+// reclaim converts recently retired nodes into reusable slots (best
+// effort): it flushes the session the pool hands back, which in the
+// single-flow eviction loop is the one the preceding deletes retired into.
+func (m *Cache) reclaim() {
+	if s, err := m.rt.Session(); err == nil {
+		s.Reclaim()
+		s.Close()
+	}
+}
+
 // Set binds key to value, durably, evicting LRU items under memory pressure.
-func (h *Handle) Set(key, value []byte, flags uint16, expiry uint32) error {
+func (m *Cache) Set(key, value []byte, flags uint16, expiry uint32) error {
 	if len(key) > MaxKeyLen || len(key) == 0 {
 		return errors.New("memcache: bad key length")
 	}
 	if logfree.MapEntryOverhead+len(key)+len(value) > logfree.MaxMapEntrySize {
 		return ErrTooLarge
 	}
-	m := h.cache
 	m.stats.sets.Add(1)
 	// Proactive LRU eviction: keep enough headroom that allocations deep in
 	// the index never fail (memcached's behaviour under memory pressure).
 	const lowWater = 256 << 10
 	for i := 0; m.rt.AvailableBytes() < lowWater && i < 256; i++ {
-		if !h.evictOne() {
+		if !m.evictOne() {
 			break
 		}
 		if i%16 == 15 {
 			// Convert retirements into reusable slots right away.
-			h.h.Reclaim()
+			m.reclaim()
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		err := h.setLocked(key, value, flags, expiry)
+		err := m.setLocked(key, value, flags, expiry)
 		if err == nil {
 			return nil
 		}
-		if !errors.Is(err, logfree.ErrOutOfMemory) || attempt > 64 {
+		if !errors.Is(err, logfree.ErrFull) || attempt > 64 {
 			return err
 		}
-		if !h.evictOne() {
+		if !m.evictOne() {
 			return err
 		}
-		h.h.Reclaim()
+		m.reclaim()
 	}
 }
 
@@ -258,9 +258,8 @@ func expKey(deadline uint64, key []byte) []byte {
 
 // setItemLocked stores an item under the held stripe lock, maintaining the
 // item count, the LRU and the durable expiry index.
-func (h *Handle) setItemLocked(key, value []byte, flags uint16, expiry uint32) error {
-	m := h.cache
-	oldAux, hadOld := m.m.GetAux(h.h, key)
+func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) error {
+	oldAux, hadOld := m.m.GetAux(key)
 	// Index the new deadline *before* the item write: a crash in between
 	// leaves only a stale index entry, which the sweep double-checks and
 	// discards; the reverse order could leave an expiring item the sweep
@@ -268,16 +267,16 @@ func (h *Handle) setItemLocked(key, value []byte, flags uint16, expiry uint32) e
 	// pre-index images are adopted on their first rewrite even when the
 	// deadline is unchanged.
 	if expiry != 0 {
-		if err := m.exp.Set(h.h, expKey(uint64(expiry), key), nil); err != nil {
+		if err := m.exp.Set(expKey(uint64(expiry), key), nil); err != nil {
 			return err
 		}
 	}
-	created, err := m.m.SetItem(h.h, key, value, flags, uint64(expiry))
+	created, err := m.m.SetItem(key, value, flags, uint64(expiry))
 	if err != nil {
 		return err
 	}
 	if hadOld && oldAux != 0 && oldAux != uint64(expiry) {
-		m.exp.Delete(h.h, expKey(oldAux, key))
+		m.exp.Delete(expKey(oldAux, key))
 	}
 	m.lru.add(string(key))
 	if created {
@@ -287,26 +286,25 @@ func (h *Handle) setItemLocked(key, value []byte, flags uint16, expiry uint32) e
 }
 
 // setLocked performs one store attempt under the key's stripe lock.
-func (h *Handle) setLocked(key, value []byte, flags uint16, expiry uint32) error {
-	mu := h.cache.lockKey(key)
+func (m *Cache) setLocked(key, value []byte, flags uint16, expiry uint32) error {
+	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	return h.setItemLocked(key, value, flags, expiry)
+	return m.setItemLocked(key, value, flags, expiry)
 }
 
 // Delete removes key durably.
-func (h *Handle) Delete(key []byte) bool {
-	m := h.cache
+func (m *Cache) Delete(key []byte) bool {
 	m.stats.deletes.Add(1)
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	aux, _ := m.m.GetAux(h.h, key)
-	if !m.m.Delete(h.h, key) {
+	aux, _ := m.m.GetAux(key)
+	if !m.m.Delete(key) {
 		return false
 	}
 	if aux != 0 {
-		m.exp.Delete(h.h, expKey(aux, key))
+		m.exp.Delete(expKey(aux, key))
 	}
 	m.lru.remove(string(key))
 	m.stats.items.Add(-1)
@@ -315,42 +313,39 @@ func (h *Handle) Delete(key []byte) bool {
 
 // SweepExpired removes every item whose deadline has passed, by scanning
 // the durable expiry index up to now — O(items due), not a full-table
-// Range. Stale index entries (rewrites with a different deadline, or a
+// walk. Stale index entries (rewrites with a different deadline, or a
 // crash between the index and item writes) are double-checked against the
 // item's live aux word and discarded. Safe to run concurrently with
 // serving traffic; returns the number of items removed.
-func (h *Handle) SweepExpired(now int64) int {
-	m := h.cache
+func (m *Cache) SweepExpired(now int64) int {
 	var due [][]byte
-	m.exp.Scan(h.h, nil, expKey(uint64(now)+1, nil), func(k, _ []byte) bool {
+	for k := range m.exp.Scan(nil, expKey(uint64(now)+1, nil)) {
 		due = append(due, append([]byte(nil), k...))
-		return true
-	})
+	}
 	n := 0
 	for _, ek := range due {
 		deadline := binary.BigEndian.Uint64(ek[:8])
 		key := ek[8:]
 		mu := m.lockKey(key)
 		mu.Lock()
-		if aux, ok := m.m.GetAux(h.h, key); ok && aux == deadline {
-			if m.m.Delete(h.h, key) {
+		if aux, ok := m.m.GetAux(key); ok && aux == deadline {
+			if m.m.Delete(key) {
 				m.lru.remove(string(key))
 				m.stats.items.Add(-1)
 				m.stats.expired.Add(1)
 				n++
 			}
 		}
-		m.exp.Delete(h.h, ek) // consumed or stale either way
+		m.exp.Delete(ek) // consumed or stale either way
 		mu.Unlock()
 	}
 	return n
 }
 
-// StartSweeper launches a background goroutine that runs SweepExpired on
-// the cache's admin handle every interval. The returned stop function is
-// idempotent and blocks until the sweeper exits.
+// StartSweeper launches a background goroutine that runs SweepExpired every
+// interval. The returned stop function is idempotent and blocks until the
+// sweeper exits.
 func (m *Cache) StartSweeper(interval time.Duration) (stop func()) {
-	h := m.Handle(m.adminTid)
 	done := make(chan struct{})
 	exited := make(chan struct{})
 	go func() {
@@ -362,7 +357,7 @@ func (m *Cache) StartSweeper(interval time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				h.SweepExpired(time.Now().Unix())
+				m.SweepExpired(time.Now().Unix())
 			}
 		}
 	}()
@@ -375,16 +370,16 @@ func (m *Cache) StartSweeper(interval time.Duration) (stop func()) {
 
 // evictOne removes the least recently used item (memcached behaviour under
 // memory pressure). Returns false if nothing is evictable.
-func (h *Handle) evictOne() bool {
-	key, ok := h.cache.lru.oldest()
+func (m *Cache) evictOne() bool {
+	key, ok := m.lru.oldest()
 	if !ok {
 		return false
 	}
-	if h.Delete([]byte(key)) {
-		h.cache.stats.evictions.Add(1)
+	if m.Delete([]byte(key)) {
+		m.stats.evictions.Add(1)
 		return true
 	}
-	h.cache.lru.remove(key) // stale LRU entry
+	m.lru.remove(key) // stale LRU entry
 	return true
 }
 

@@ -19,63 +19,54 @@ var ErrNotNumber = errors.New("memcache: value is not a number")
 
 // liveLocked reports whether a live (non-expired) item for key exists, and
 // returns its fields. Caller holds the key's stripe lock.
-func (h *Handle) liveLocked(key []byte) (value []byte, flags uint16, expiry uint32, ok bool) {
-	v, meta, aux, found := h.cache.m.GetItem(h.h, key)
+func (m *Cache) liveLocked(key []byte) (value []byte, flags uint16, expiry uint32, ok bool) {
+	v, meta, aux, found := m.m.GetItem(key)
 	if !found || expired(aux, time.Now().Unix()) {
 		return nil, 0, 0, false
 	}
 	return v, meta, uint32(aux), true
 }
 
-// storeLocked stores under the held stripe lock, maintaining count, LRU
-// and the expiry index.
-func (h *Handle) storeLocked(key, value []byte, flags uint16, expiry uint32) error {
-	return h.setItemLocked(key, value, flags, expiry)
-}
-
 // Add stores key only if it is absent (memcached "add").
-func (h *Handle) Add(key, value []byte, flags uint16, expiry uint32) error {
-	m := h.cache
+func (m *Cache) Add(key, value []byte, flags uint16, expiry uint32) error {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	if _, _, _, ok := h.liveLocked(key); ok {
+	if _, _, _, ok := m.liveLocked(key); ok {
 		return ErrNotStored
 	}
 	m.stats.sets.Add(1)
-	return h.storeLocked(key, value, flags, expiry)
+	return m.setItemLocked(key, value, flags, expiry)
 }
 
 // Replace stores key only if it is present (memcached "replace").
-func (h *Handle) Replace(key, value []byte, flags uint16, expiry uint32) error {
-	m := h.cache
+func (m *Cache) Replace(key, value []byte, flags uint16, expiry uint32) error {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	if _, _, _, ok := h.liveLocked(key); !ok {
+	if _, _, _, ok := m.liveLocked(key); !ok {
 		return ErrNotStored
 	}
 	m.stats.sets.Add(1)
-	return h.storeLocked(key, value, flags, expiry)
+	return m.setItemLocked(key, value, flags, expiry)
 }
 
 // Incr adds delta to a decimal value, returning the new value (memcached
 // "incr"; the mutation is durable via the item replacement).
-func (h *Handle) Incr(key []byte, delta uint64) (uint64, error) {
-	return h.incrDecr(key, delta, false)
+func (m *Cache) Incr(key []byte, delta uint64) (uint64, error) {
+	return m.incrDecr(key, delta, false)
 }
 
 // Decr subtracts delta (floored at zero, as memcached specifies).
-func (h *Handle) Decr(key []byte, delta uint64) (uint64, error) {
-	return h.incrDecr(key, delta, true)
+func (m *Cache) Decr(key []byte, delta uint64) (uint64, error) {
+	return m.incrDecr(key, delta, true)
 }
 
-func (h *Handle) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
-	m := h.cache
+func (m *Cache) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	v, flags, exp, ok := h.liveLocked(key)
+	v, flags, exp, ok := m.liveLocked(key)
 	if !ok {
 		return 0, ErrNotFound
 	}
@@ -93,7 +84,7 @@ func (h *Handle) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
 	} else {
 		next = cur + delta
 	}
-	if err := h.storeLocked(key, []byte(strconv.FormatUint(next, 10)), flags, exp); err != nil {
+	if err := m.setItemLocked(key, []byte(strconv.FormatUint(next, 10)), flags, exp); err != nil {
 		return 0, err
 	}
 	return next, nil
@@ -102,27 +93,26 @@ func (h *Handle) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
 // Touch updates an item's expiry without rewriting its value, keeping the
 // expiry index in step (new deadline indexed before the aux update, old
 // deadline unindexed after — the sweep discards any stale leftovers).
-func (h *Handle) Touch(key []byte, expiry uint32) bool {
-	m := h.cache
+func (m *Cache) Touch(key []byte, expiry uint32) bool {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	_, _, old, ok := h.liveLocked(key)
+	_, _, old, ok := m.liveLocked(key)
 	if !ok {
 		return false
 	}
 	// Indexed unconditionally (idempotent), as in setItemLocked, so items
 	// from pre-index images are adopted even when the deadline is unchanged.
 	if expiry != 0 {
-		if err := m.exp.Set(h.h, expKey(uint64(expiry), key), nil); err != nil {
+		if err := m.exp.Set(expKey(uint64(expiry), key), nil); err != nil {
 			return false
 		}
 	}
-	if !m.m.SetAux(h.h, key, uint64(expiry)) {
+	if !m.m.SetAux(key, uint64(expiry)) {
 		return false
 	}
 	if old != 0 && old != expiry {
-		m.exp.Delete(h.h, expKey(uint64(old), key))
+		m.exp.Delete(expKey(uint64(old), key))
 	}
 	m.lru.touch(string(key))
 	return true

@@ -19,26 +19,25 @@ func testCache(t *testing.T) *Cache {
 // passed, via the ordered expiry index rather than a full-table walk.
 func TestExpirySweep(t *testing.T) {
 	c := testCache(t)
-	h := c.Handle(0)
 	now := time.Now().Unix()
 
 	for i := 0; i < 10; i++ {
 		key := []byte(fmt.Sprintf("dead-%d", i))
-		if err := h.Set(key, []byte("x"), 0, uint32(now-int64(i)-1)); err != nil {
+		if err := c.Set(key, []byte("x"), 0, uint32(now-int64(i)-1)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 5; i++ {
 		key := []byte(fmt.Sprintf("live-%d", i))
-		if err := h.Set(key, []byte("y"), 0, uint32(now+3600)); err != nil {
+		if err := c.Set(key, []byte("y"), 0, uint32(now+3600)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := h.Set([]byte("forever"), []byte("z"), 0, 0); err != nil {
+	if err := c.Set([]byte("forever"), []byte("z"), 0, 0); err != nil {
 		t.Fatal(err)
 	}
 
-	if n := h.SweepExpired(now); n != 10 {
+	if n := c.SweepExpired(now); n != 10 {
 		t.Fatalf("SweepExpired = %d, want 10", n)
 	}
 	st := c.Stats()
@@ -46,24 +45,24 @@ func TestExpirySweep(t *testing.T) {
 		t.Fatalf("stats after sweep: expired=%d items=%d", st.Expired, st.Items)
 	}
 	for i := 0; i < 10; i++ {
-		if _, _, ok := h.Get([]byte(fmt.Sprintf("dead-%d", i))); ok {
+		if _, _, ok := c.Get([]byte(fmt.Sprintf("dead-%d", i))); ok {
 			t.Fatalf("expired item dead-%d still served", i)
 		}
 	}
 	for i := 0; i < 5; i++ {
-		if _, _, ok := h.Get([]byte(fmt.Sprintf("live-%d", i))); !ok {
+		if _, _, ok := c.Get([]byte(fmt.Sprintf("live-%d", i))); !ok {
 			t.Fatalf("live item live-%d swept", i)
 		}
 	}
-	if _, _, ok := h.Get([]byte("forever")); !ok {
+	if _, _, ok := c.Get([]byte("forever")); !ok {
 		t.Fatal("no-expiry item swept")
 	}
 	// A second sweep finds nothing — the index was consumed.
-	if n := h.SweepExpired(now); n != 0 {
+	if n := c.SweepExpired(now); n != 0 {
 		t.Fatalf("second SweepExpired = %d, want 0", n)
 	}
-	if c.exp.Len(h.h) != 5 {
-		t.Fatalf("expiry index holds %d entries, want 5 (the live deadlines)", c.exp.Len(h.h))
+	if c.exp.Len() != 5 {
+		t.Fatalf("expiry index holds %d entries, want 5 (the live deadlines)", c.exp.Len())
 	}
 }
 
@@ -71,37 +70,36 @@ func TestExpirySweep(t *testing.T) {
 // that could sweep a live item away.
 func TestExpirySweepStaleEntries(t *testing.T) {
 	c := testCache(t)
-	h := c.Handle(0)
 	now := time.Now().Unix()
 
 	// Item indexed at a near deadline, then rewritten with a far one.
-	if err := h.Set([]byte("k"), []byte("v1"), 0, uint32(now+1)); err != nil {
+	if err := c.Set([]byte("k"), []byte("v1"), 0, uint32(now+1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Set([]byte("k"), []byte("v2"), 0, uint32(now+3600)); err != nil {
+	if err := c.Set([]byte("k"), []byte("v2"), 0, uint32(now+3600)); err != nil {
 		t.Fatal(err)
 	}
 	// Item touched from near to far.
-	if err := h.Set([]byte("k2"), []byte("w1"), 0, uint32(now+1)); err != nil {
+	if err := c.Set([]byte("k2"), []byte("w1"), 0, uint32(now+1)); err != nil {
 		t.Fatal(err)
 	}
-	if !h.Touch([]byte("k2"), uint32(now+3600)) {
+	if !c.Touch([]byte("k2"), uint32(now+3600)) {
 		t.Fatal("touch failed")
 	}
-	if n := h.SweepExpired(now + 10); n != 0 {
+	if n := c.SweepExpired(now + 10); n != 0 {
 		t.Fatalf("sweep removed %d items via stale deadlines", n)
 	}
-	if v, _, ok := h.Get([]byte("k")); !ok || string(v) != "v2" {
+	if v, _, ok := c.Get([]byte("k")); !ok || string(v) != "v2" {
 		t.Fatalf("rewritten item: %q,%v", v, ok)
 	}
-	if v, _, ok := h.Get([]byte("k2")); !ok || string(v) != "w1" {
+	if v, _, ok := c.Get([]byte("k2")); !ok || string(v) != "w1" {
 		t.Fatalf("touched item: %q,%v", v, ok)
 	}
 	// Touch into the past makes the item sweepable.
-	if !h.Touch([]byte("k2"), uint32(now-5)) {
+	if !c.Touch([]byte("k2"), uint32(now-5)) {
 		t.Fatal("touch into past failed")
 	}
-	if n := h.SweepExpired(now); n != 1 {
+	if n := c.SweepExpired(now); n != 1 {
 		t.Fatalf("sweep after past touch = %d, want 1", n)
 	}
 }
@@ -114,14 +112,13 @@ func TestExpirySweepSurvivesCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := c.Handle(0)
 	now := time.Now().Unix()
 	for i := 0; i < 8; i++ {
-		if err := h.Set([]byte(fmt.Sprintf("dead-%d", i)), []byte("x"), 0, uint32(now-1)); err != nil {
+		if err := c.Set([]byte(fmt.Sprintf("dead-%d", i)), []byte("x"), 0, uint32(now-1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := h.Set([]byte("live"), []byte("y"), 0, uint32(now+3600)); err != nil {
+	if err := c.Set([]byte("live"), []byte("y"), 0, uint32(now+3600)); err != nil {
 		t.Fatal(err)
 	}
 	c.Flush()
@@ -131,11 +128,10 @@ func TestExpirySweepSurvivesCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := c2.Handle(0)
-	if n := h2.SweepExpired(now); n != 8 {
+	if n := c2.SweepExpired(now); n != 8 {
 		t.Fatalf("post-crash sweep = %d, want 8", n)
 	}
-	if _, _, ok := h2.Get([]byte("live")); !ok {
+	if _, _, ok := c2.Get([]byte("live")); !ok {
 		t.Fatal("live item lost across crash+sweep")
 	}
 	if st := c2.Stats(); st.Items != 1 {
@@ -147,9 +143,8 @@ func TestExpirySweepSurvivesCrash(t *testing.T) {
 // client touching them.
 func TestSweeperGoroutine(t *testing.T) {
 	c := testCache(t)
-	h := c.Handle(0)
 	now := time.Now().Unix()
-	if err := h.Set([]byte("soon"), []byte("x"), 0, uint32(now-1)); err != nil {
+	if err := c.Set([]byte("soon"), []byte("x"), 0, uint32(now-1)); err != nil {
 		t.Fatal(err)
 	}
 	stop := c.StartSweeper(5 * time.Millisecond)

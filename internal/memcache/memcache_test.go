@@ -22,34 +22,32 @@ func newCache(t *testing.T) *Cache {
 
 func TestSetGetDelete(t *testing.T) {
 	m := newCache(t)
-	h := m.Handle(0)
-	if err := h.Set([]byte("hello"), []byte("world"), 7, 0); err != nil {
+	if err := m.Set([]byte("hello"), []byte("world"), 7, 0); err != nil {
 		t.Fatal(err)
 	}
-	v, fl, ok := h.Get([]byte("hello"))
+	v, fl, ok := m.Get([]byte("hello"))
 	if !ok || string(v) != "world" || fl != 7 {
 		t.Fatalf("Get = %q,%d,%v", v, fl, ok)
 	}
-	if _, _, ok := h.Get([]byte("nope")); ok {
+	if _, _, ok := m.Get([]byte("nope")); ok {
 		t.Fatal("missing key found")
 	}
-	if !h.Delete([]byte("hello")) {
+	if !m.Delete([]byte("hello")) {
 		t.Fatal("delete failed")
 	}
-	if _, _, ok := h.Get([]byte("hello")); ok {
+	if _, _, ok := m.Get([]byte("hello")); ok {
 		t.Fatal("deleted key still present")
 	}
-	if h.Delete([]byte("hello")) {
+	if m.Delete([]byte("hello")) {
 		t.Fatal("double delete succeeded")
 	}
 }
 
 func TestOverwrite(t *testing.T) {
 	m := newCache(t)
-	h := m.Handle(0)
-	h.Set([]byte("k"), []byte("v1"), 0, 0)
-	h.Set([]byte("k"), []byte("v2-longer"), 1, 0)
-	v, fl, ok := h.Get([]byte("k"))
+	m.Set([]byte("k"), []byte("v1"), 0, 0)
+	m.Set([]byte("k"), []byte("v2-longer"), 1, 0)
+	v, fl, ok := m.Get([]byte("k"))
 	if !ok || string(v) != "v2-longer" || fl != 1 {
 		t.Fatalf("after overwrite: %q,%d,%v", v, fl, ok)
 	}
@@ -60,17 +58,16 @@ func TestOverwrite(t *testing.T) {
 
 func TestManyKeysAndValues(t *testing.T) {
 	m := newCache(t)
-	h := m.Handle(0)
 	for i := 0; i < 2000; i++ {
 		key := []byte(fmt.Sprintf("key-%04d", i))
 		val := bytes.Repeat([]byte{byte(i)}, 1+i%500)
-		if err := h.Set(key, val, uint16(i), 0); err != nil {
+		if err := m.Set(key, val, uint16(i), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 2000; i++ {
 		key := []byte(fmt.Sprintf("key-%04d", i))
-		v, fl, ok := h.Get(key)
+		v, fl, ok := m.Get(key)
 		if !ok || fl != uint16(i) || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 1+i%500)) {
 			t.Fatalf("key %d corrupt: ok=%v fl=%d len=%d", i, ok, fl, len(v))
 		}
@@ -79,18 +76,16 @@ func TestManyKeysAndValues(t *testing.T) {
 
 func TestValueTooLarge(t *testing.T) {
 	m := newCache(t)
-	h := m.Handle(0)
-	if err := h.Set([]byte("k"), make([]byte, 4096), 0, 0); err == nil {
+	if err := m.Set([]byte("k"), make([]byte, 4096), 0, 0); err == nil {
 		t.Fatal("oversized value accepted")
 	}
 }
 
 func TestExpiry(t *testing.T) {
 	m := newCache(t)
-	h := m.Handle(0)
 	past := uint32(time.Now().Add(-time.Hour).Unix())
-	h.Set([]byte("old"), []byte("v"), 0, past)
-	if _, _, ok := h.Get([]byte("old")); ok {
+	m.Set([]byte("old"), []byte("v"), 0, past)
+	if _, _, ok := m.Get([]byte("old")); ok {
 		t.Fatal("expired item served")
 	}
 }
@@ -100,11 +95,10 @@ func TestEvictionUnderMemoryPressure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := m.Handle(0)
 	val := make([]byte, 1024)
 	for i := 0; i < 20000; i++ {
 		key := []byte(fmt.Sprintf("fill-%06d", i))
-		if err := h.Set(key, val, 0, 0); err != nil {
+		if err := m.Set(key, val, 0, 0); err != nil {
 			t.Fatalf("set %d failed despite LRU eviction: %v", i, err)
 		}
 	}
@@ -112,7 +106,7 @@ func TestEvictionUnderMemoryPressure(t *testing.T) {
 		t.Fatal("no evictions under memory pressure")
 	}
 	// Most recent key must be present.
-	if _, _, ok := h.Get([]byte("fill-019999")); !ok {
+	if _, _, ok := m.Get([]byte("fill-019999")); !ok {
 		t.Fatal("most recent key evicted")
 	}
 }
@@ -124,19 +118,18 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := m.Handle(w)
 			for i := 0; i < 500; i++ {
 				key := []byte(fmt.Sprintf("w%d-%d", w, i))
-				if err := h.Set(key, key, 0, 0); err != nil {
+				if err := m.Set(key, key, 0, 0); err != nil {
 					t.Error(err)
 					return
 				}
-				if v, _, ok := h.Get(key); !ok || !bytes.Equal(v, key) {
+				if v, _, ok := m.Get(key); !ok || !bytes.Equal(v, key) {
 					t.Errorf("w%d readback %d failed", w, i)
 					return
 				}
 				if i%3 == 0 {
-					h.Delete(key)
+					m.Delete(key)
 				}
 			}
 		}(w)
@@ -146,13 +139,12 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestCrashRecovery(t *testing.T) {
 	m := newCache(t)
-	h := m.Handle(0)
 	for i := 0; i < 1000; i++ {
 		key := []byte(fmt.Sprintf("persist-%d", i))
-		h.Set(key, []byte(fmt.Sprintf("value-%d", i)), 0, 0)
+		m.Set(key, []byte(fmt.Sprintf("value-%d", i)), 0, 0)
 	}
 	for i := 0; i < 1000; i += 4 {
-		h.Delete([]byte(fmt.Sprintf("persist-%d", i)))
+		m.Delete([]byte(fmt.Sprintf("persist-%d", i)))
 	}
 	m.Flush() // completed operations become durable at the latest here
 	m.Device().Crash()
@@ -162,10 +154,9 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = stats // after an orderly Flush the APT may legitimately be empty
-	h2 := m2.Handle(0)
 	for i := 0; i < 1000; i++ {
 		key := []byte(fmt.Sprintf("persist-%d", i))
-		v, _, ok := h2.Get(key)
+		v, _, ok := m2.Get(key)
 		want := i%4 != 0
 		if ok != want {
 			t.Fatalf("key %d after recovery: present=%v want %v", i, ok, want)
@@ -186,24 +177,22 @@ func TestRecoveryAfterAbruptCrash(t *testing.T) {
 	// the early flushed key must survive, and the rebuilt item count must
 	// match the live contents.
 	m := newCache(t)
-	h := m.Handle(0)
-	h.Set([]byte("live"), []byte("v"), 0, 0)
+	m.Set([]byte("live"), []byte("v"), 0, 0)
 	m.Flush()
 	for i := 0; i < 100; i++ {
-		h.Set([]byte(fmt.Sprintf("burst-%d", i)), []byte(fmt.Sprintf("bv-%d", i)), 0, 0)
+		m.Set([]byte(fmt.Sprintf("burst-%d", i)), []byte(fmt.Sprintf("bv-%d", i)), 0, 0)
 	}
 	m.Device().Crash()
 	m2, _, err := Recover(m.Device(), Config{MemoryBytes: 64 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := m2.Handle(0)
-	if v, _, ok := h2.Get([]byte("live")); !ok || string(v) != "v" {
+	if v, _, ok := m2.Get([]byte("live")); !ok || string(v) != "v" {
 		t.Fatalf("flushed item lost or corrupt: %q,%v", v, ok)
 	}
 	live := int64(1)
 	for i := 0; i < 100; i++ {
-		v, _, ok := h2.Get([]byte(fmt.Sprintf("burst-%d", i)))
+		v, _, ok := m2.Get([]byte(fmt.Sprintf("burst-%d", i)))
 		if !ok {
 			continue // legitimately lost: its durability was still deferred
 		}
@@ -224,17 +213,16 @@ func TestCollidingKeysSurviveCrash(t *testing.T) {
 	logfree.SetHashForTesting(func([]byte) uint64 { return logfree.MinKey })
 	defer logfree.SetHashForTesting(nil)
 	m := newCache(t)
-	h := m.Handle(0)
-	if err := h.Set([]byte("twin-a"), []byte("value-a"), 1, 0); err != nil {
+	if err := m.Set([]byte("twin-a"), []byte("value-a"), 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Set([]byte("twin-b"), []byte("value-b"), 2, 0); err != nil {
+	if err := m.Set([]byte("twin-b"), []byte("value-b"), 2, 0); err != nil {
 		t.Fatal(err)
 	}
-	if v, fl, ok := h.Get([]byte("twin-a")); !ok || string(v) != "value-a" || fl != 1 {
+	if v, fl, ok := m.Get([]byte("twin-a")); !ok || string(v) != "value-a" || fl != 1 {
 		t.Fatalf("twin-a aliased: %q,%d,%v", v, fl, ok)
 	}
-	if v, fl, ok := h.Get([]byte("twin-b")); !ok || string(v) != "value-b" || fl != 2 {
+	if v, fl, ok := m.Get([]byte("twin-b")); !ok || string(v) != "value-b" || fl != 2 {
 		t.Fatalf("twin-b aliased: %q,%d,%v", v, fl, ok)
 	}
 	m.Flush()
@@ -243,26 +231,23 @@ func TestCollidingKeysSurviveCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := m2.Handle(0)
-	if v, _, ok := h2.Get([]byte("twin-a")); !ok || string(v) != "value-a" {
+	if v, _, ok := m2.Get([]byte("twin-a")); !ok || string(v) != "value-a" {
 		t.Fatalf("twin-a after crash: %q,%v", v, ok)
 	}
-	if v, _, ok := h2.Get([]byte("twin-b")); !ok || string(v) != "value-b" {
+	if v, _, ok := m2.Get([]byte("twin-b")); !ok || string(v) != "value-b" {
 		t.Fatalf("twin-b after crash: %q,%v", v, ok)
 	}
-	if !h2.Delete([]byte("twin-a")) {
+	if !m2.Delete([]byte("twin-a")) {
 		t.Fatal("delete of colliding key failed")
 	}
-	if _, _, ok := h2.Get([]byte("twin-b")); !ok {
+	if _, _, ok := m2.Get([]byte("twin-b")); !ok {
 		t.Fatal("deleting twin-a took twin-b with it")
 	}
 }
 
 func TestServerProtocol(t *testing.T) {
 	m := newCache(t)
-	srv, err := NewServer("127.0.0.1:0", 4,
-		func(tid int) KV { return m.Handle(tid) },
-		m.Stats)
+	srv, err := NewServer("127.0.0.1:0", 4, m, m.Stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,15 +267,15 @@ func TestMemtierInProcessAllBackends(t *testing.T) {
 	mt := &Memtier{KeyRange: 200, Threads: 2, Duration: 40 * time.Millisecond, ValueLen: 32}
 
 	m := newCache(t)
-	mt.Preload(m.Handle(0))
-	r := mt.RunKV(func(tid int) KV { return m.Handle(tid) })
+	mt.Preload(m)
+	r := mt.RunKV(m)
 	if r.Ops == 0 || r.Hits == 0 {
 		t.Fatalf("nv-memcached run empty: %+v", r)
 	}
 
 	lc := NewLockCache()
 	mt.Preload(lc)
-	r = mt.RunKV(func(int) KV { return lc })
+	r = mt.RunKV(lc)
 	if r.Ops == 0 {
 		t.Fatalf("lock cache run empty: %+v", r)
 	}
@@ -299,8 +284,8 @@ func TestMemtierInProcessAllBackends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mt.Preload(cl.Handle(0))
-	r = mt.RunKV(func(tid int) KV { return cl.Handle(tid) })
+	mt.Preload(cl)
+	r = mt.RunKV(cl)
 	if r.Ops == 0 {
 		t.Fatalf("clht cache run empty: %+v", r)
 	}
@@ -313,21 +298,20 @@ func TestHashCollisionChains(t *testing.T) {
 	// bucket count (bucket collisions exercise the list; hash collisions
 	// exercise chains — simulate the latter by monkey keys below).
 	m := newCache(t)
-	h := m.Handle(0)
 	// These keys all go through the same code paths; verify a couple of
 	// hundred keys with identical prefixes and tiny diffs survive rounds of
 	// overwrite + delete without cross-talk.
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 200; i++ {
 			key := []byte(fmt.Sprintf("chain-%d", i))
-			if err := h.Set(key, []byte(fmt.Sprintf("r%d-%d", round, i)), 0, 0); err != nil {
+			if err := m.Set(key, []byte(fmt.Sprintf("r%d-%d", round, i)), 0, 0); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	for i := 0; i < 200; i++ {
 		key := []byte(fmt.Sprintf("chain-%d", i))
-		v, _, ok := h.Get(key)
+		v, _, ok := m.Get(key)
 		if !ok || string(v) != fmt.Sprintf("r2-%d", i) {
 			t.Fatalf("key %d: %q,%v", i, v, ok)
 		}
@@ -336,7 +320,7 @@ func TestHashCollisionChains(t *testing.T) {
 
 func TestWarmUpHelper(t *testing.T) {
 	m := newCache(t)
-	d, err := WarmUp(m.Handle(0), 500, 32)
+	d, err := WarmUp(m, 500, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,9 +338,8 @@ func TestImageRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	img := dir + "/nvmc.img"
 	m := newCache(t)
-	h := m.Handle(0)
 	for i := 0; i < 200; i++ {
-		h.Set([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i)), 0, 0)
+		m.Set([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i)), 0, 0)
 	}
 	m.Flush()
 	if err := m.Device().SaveImage(img); err != nil {
@@ -371,9 +354,8 @@ func TestImageRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := m2.Handle(0)
 	for i := 0; i < 200; i++ {
-		v, _, ok := h2.Get([]byte(fmt.Sprintf("key-%d", i)))
+		v, _, ok := m2.Get([]byte(fmt.Sprintf("key-%d", i)))
 		if !ok || string(v) != fmt.Sprintf("val-%d", i) {
 			t.Fatalf("key %d after image round trip: %q,%v", i, v, ok)
 		}

@@ -112,8 +112,9 @@ func (mt *Memtier) PreloadTCP(addr string) error {
 	return nil
 }
 
-// RunKV drives the mix against per-thread KV handles in-process.
-func (mt *Memtier) RunKV(kvFor func(tid int) KV) MemtierResult {
+// RunKV drives the mix against a shared KV in-process (implementations are
+// safe for concurrent use; NV-Memcached draws implicit sessions).
+func (mt *Memtier) RunKV(kv KV) MemtierResult {
 	mt.fill()
 	var ops, hits, misses atomic.Uint64
 	var stop atomic.Bool
@@ -123,7 +124,6 @@ func (mt *Memtier) RunKV(kvFor func(tid int) KV) MemtierResult {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			kv := kvFor(t)
 			rng := rand.New(rand.NewSource(mt.Seed + int64(t)))
 			val := bytes.Repeat([]byte{0xCD}, mt.ValueLen)
 			var kb [32]byte

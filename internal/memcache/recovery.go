@@ -23,31 +23,29 @@ func Recover(dev *nvram.Device, cfg Config) (*Cache, logfree.RecoveryStats, erro
 	if err != nil {
 		return nil, logfree.RecoveryStats{}, err
 	}
-	h := rt.Handle(0)
-	if _, ok := rt.Lookup(h, cacheMapName); !ok {
+	if _, ok := rt.Lookup(cacheMapName); !ok {
 		return nil, logfree.RecoveryStats{}, errors.New("memcache: device holds no cache descriptor")
 	}
-	idx, err := rt.Map(h, cacheMapName, cfg.Buckets)
+	idx, err := rt.Map(cacheMapName, cfg.Buckets)
 	if err != nil {
 		return nil, logfree.RecoveryStats{}, err
 	}
 	// The expiry index is opened create-or-attach: images from before the
 	// ordered index simply start one empty (their items still expire
 	// lazily on Get and get indexed again on rewrite/touch).
-	exp, err := rt.OrderedMap(h, expMapName)
+	exp, err := rt.OrderedMap(expMapName)
 	if err != nil {
 		return nil, logfree.RecoveryStats{}, err
 	}
-	m := &Cache{rt: rt, m: idx, exp: exp, adminTid: cfg.MaxConns, lru: newLRU()}
+	m := &Cache{rt: rt, m: idx, exp: exp, lru: newLRU()}
 
 	// Rebuild the volatile metadata (item count and LRU list; recency order
 	// is reset, as with a freshly warmed cache) with one index walk.
 	var items int64
-	idx.RangeItems(h, func(key, _ []byte, _ uint16, _ uint64) bool {
+	for key := range idx.All() {
 		m.lru.add(string(key))
 		items++
-		return true
-	})
+	}
 	m.stats.items.Store(items)
 	return m, rt.RecoveryStats(), nil
 }

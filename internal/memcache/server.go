@@ -13,14 +13,17 @@ import (
 
 // Server speaks the memcached text protocol (the subset memtier and most
 // clients use: set, get, gets, delete, stats, flush_all, version, quit) over
-// TCP, backed by any KV (NV-Memcached handle or a volatile comparator).
+// TCP, backed by any KV (NV-Memcached or a volatile comparator). The backend
+// is shared by all connections — implicit sessions make it safe from any
+// goroutine, so connections no longer bind to per-worker handles.
 //
-// Each accepted connection is bound to a worker slot; the slot count equals
-// the cache's MaxConns (memcached's worker-thread model).
+// Each accepted connection still takes a worker slot (memcached's
+// worker-thread model): the slot count bounds concurrently served
+// connections.
 type Server struct {
 	ln    net.Listener
 	slots chan int
-	kv    func(tid int) KV
+	kv    KV
 	stats func() Stats
 
 	mu     sync.Mutex
@@ -29,8 +32,8 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer serves cache on addr ("host:port"; ":0" picks a free port).
-func NewServer(addr string, workers int, kv func(tid int) KV, stats func() Stats) (*Server, error) {
+// NewServer serves kv on addr ("host:port"; ":0" picks a free port).
+func NewServer(addr string, workers int, kv KV, stats func() Stats) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -81,12 +84,12 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		tid := <-s.slots
+		slot := <-s.slots
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serve(conn, s.kv(tid))
-			s.slots <- tid
+			s.serve(conn, s.kv)
+			s.slots <- slot
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -162,16 +165,16 @@ func (s *Server) cmdSet(kv KV, r *bufio.Reader, w *bufio.Writer, fields [][]byte
 	if _, err := io.ReadFull(r, data); err != nil {
 		return false
 	}
-	h, _ := kv.(*Handle)
+	c, _ := kv.(*Cache)
 	switch {
 	case verb == "set":
 		err = kv.Set(key, data[:n], uint16(flags), uint32(exp))
-	case h == nil:
+	case c == nil:
 		err = errors.New("command not supported by this backend")
 	case verb == "add":
-		err = h.Add(key, data[:n], uint16(flags), uint32(exp))
+		err = c.Add(key, data[:n], uint16(flags), uint32(exp))
 	default: // replace
-		err = h.Replace(key, data[:n], uint16(flags), uint32(exp))
+		err = c.Replace(key, data[:n], uint16(flags), uint32(exp))
 	}
 	if noreply {
 		return true
@@ -189,8 +192,8 @@ func (s *Server) cmdSet(kv KV, r *bufio.Reader, w *bufio.Writer, fields [][]byte
 
 // cmdIncrDecr parses: incr|decr <key> <delta> [noreply].
 func (s *Server) cmdIncrDecr(kv KV, w *bufio.Writer, fields [][]byte) {
-	h, _ := kv.(*Handle)
-	if h == nil || len(fields) < 3 {
+	c, _ := kv.(*Cache)
+	if c == nil || len(fields) < 3 {
 		io.WriteString(w, "CLIENT_ERROR bad command line format\r\n")
 		return
 	}
@@ -201,9 +204,9 @@ func (s *Server) cmdIncrDecr(kv KV, w *bufio.Writer, fields [][]byte) {
 	}
 	var v uint64
 	if string(fields[0]) == "incr" {
-		v, err = h.Incr(fields[1], delta)
+		v, err = c.Incr(fields[1], delta)
 	} else {
-		v, err = h.Decr(fields[1], delta)
+		v, err = c.Decr(fields[1], delta)
 	}
 	switch {
 	case err == nil:
@@ -217,13 +220,13 @@ func (s *Server) cmdIncrDecr(kv KV, w *bufio.Writer, fields [][]byte) {
 
 // cmdTouch parses: touch <key> <exptime> [noreply].
 func (s *Server) cmdTouch(kv KV, w *bufio.Writer, fields [][]byte) {
-	h, _ := kv.(*Handle)
-	if h == nil || len(fields) < 3 {
+	c, _ := kv.(*Cache)
+	if c == nil || len(fields) < 3 {
 		io.WriteString(w, "CLIENT_ERROR bad command line format\r\n")
 		return
 	}
 	exp, _ := strconv.ParseUint(string(fields[2]), 10, 32)
-	if h.Touch(fields[1], uint32(exp)) {
+	if c.Touch(fields[1], uint32(exp)) {
 		io.WriteString(w, "TOUCHED\r\n")
 	} else {
 		io.WriteString(w, "NOT_FOUND\r\n")

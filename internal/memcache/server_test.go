@@ -16,8 +16,7 @@ func dialServer(t *testing.T) (*Cache, *Server, *bufio.ReadWriter, net.Conn) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer("127.0.0.1:0", 2,
-		func(tid int) KV { return m.Handle(tid) }, m.Stats)
+	srv, err := NewServer("127.0.0.1:0", 2, m, m.Stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,9 +207,8 @@ func TestIncrDurableAcrossCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := m.Handle(0)
-	h.Set([]byte("ctr"), []byte("41"), 0, 0)
-	if v, err := h.Incr([]byte("ctr"), 1); err != nil || v != 42 {
+	m.Set([]byte("ctr"), []byte("41"), 0, 0)
+	if v, err := m.Incr([]byte("ctr"), 1); err != nil || v != 42 {
 		t.Fatalf("Incr = %d,%v", v, err)
 	}
 	m.Flush()
@@ -219,7 +217,7 @@ func TestIncrDurableAcrossCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, _, ok := m2.Handle(0).Get([]byte("ctr"))
+	v, _, ok := m2.Get([]byte("ctr"))
 	if !ok || string(v) != "42" {
 		t.Fatalf("counter after crash = %q,%v", v, ok)
 	}

@@ -19,15 +19,16 @@ import (
 // cache, which Figure 11 shows takes orders of magnitude longer than
 // NV-Memcached's actual recovery.
 
-// KV is the operation set shared by NV-Memcached handles and the volatile
-// comparators, so benchmarks drive all three identically.
+// KV is the operation set shared by NV-Memcached and the volatile
+// comparators, so benchmarks drive all three identically. Implementations
+// are safe for concurrent use from any goroutine.
 type KV interface {
 	Set(key, value []byte, flags uint16, expiry uint32) error
 	Get(key []byte) (value []byte, flags uint16, ok bool)
 	Delete(key []byte) bool
 }
 
-var _ KV = (*Handle)(nil)
+var _ KV = (*Cache)(nil)
 
 // LockCache is the mutex-protected volatile baseline ("memcached").
 type LockCache struct {
@@ -96,15 +97,27 @@ func NewCLHTCache(cfg Config) (*CLHTCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := rt.Map(rt.Handle(cfg.MaxConns), cacheMapName, cfg.Buckets)
+	m, err := rt.Map(cacheMapName, cfg.Buckets)
 	if err != nil {
 		return nil, err
 	}
-	return &CLHTCache{inner: &Cache{rt: rt, m: m, lru: newLRU()}}, nil
+	exp, err := rt.OrderedMap(expMapName)
+	if err != nil {
+		return nil, err
+	}
+	return &CLHTCache{inner: &Cache{rt: rt, m: m, exp: exp, lru: newLRU()}}, nil
 }
 
-// Handle returns the per-worker context.
-func (c *CLHTCache) Handle(tid int) *Handle { return c.inner.Handle(tid) }
+// Set implements KV.
+func (c *CLHTCache) Set(key, value []byte, flags uint16, expiry uint32) error {
+	return c.inner.Set(key, value, flags, expiry)
+}
+
+// Get implements KV.
+func (c *CLHTCache) Get(key []byte) ([]byte, uint16, bool) { return c.inner.Get(key) }
+
+// Delete implements KV.
+func (c *CLHTCache) Delete(key []byte) bool { return c.inner.Delete(key) }
 
 // Stats proxies the inner counters.
 func (c *CLHTCache) Stats() Stats { return c.inner.Stats() }

@@ -355,12 +355,17 @@ type Flusher struct {
 	d       *Device
 	pending []uint64 // line indices, deduplicated
 
-	// pendingSet mirrors pending once it grows past clwbDedupThreshold,
-	// turning the duplicate check from a linear scan into one map probe.
+	// pendingSet mirrors pending once it grows past clwbDedupThreshold: an
+	// open-addressed hash set (entries store line+1; 0 = empty) that turns
+	// the duplicate check from a linear scan into a couple of array probes.
 	// Below the threshold the scan over a handful of words is cheaper than
-	// hashing. The map is kept allocated across fences (cleared, not
-	// reallocated) so steady-state batches never reallocate it.
-	pendingSet map[uint64]struct{}
+	// hashing; past it — amortized-fence batch commits hold hundreds of
+	// lines pending — probe cost is what bounds CLWB, which is why this is
+	// a flat table rather than a Go map. Kept allocated across fences
+	// (cleared, not reallocated) so steady-state batches never reallocate.
+	pendingSet []uint64
+	setMask    uint64
+	setActive  bool
 
 	// Per-context statistics, readable by the owner at any time.
 	Clwbs     uint64
@@ -369,7 +374,7 @@ type Flusher struct {
 }
 
 // clwbDedupThreshold is the pending-batch size past which CLWB switches its
-// duplicate detection from a linear scan to a map probe. See
+// duplicate detection from a linear scan to a set probe. See
 // BenchmarkFlusherCLWB for the crossover measurement.
 const clwbDedupThreshold = 16
 
@@ -381,6 +386,48 @@ func (d *Device) NewFlusher() *Flusher {
 	d.flushers = append(d.flushers, f)
 	d.flmu.Unlock()
 	return f
+}
+
+// setInsert adds line to the open-addressed pending set, reporting whether
+// it was already present. Occupancy stays at or under half: growSet runs
+// whenever the live count (len(pending)) reaches half the table.
+func (f *Flusher) setInsert(line uint64) (dup bool) {
+	if uint64(len(f.pending))*2 >= uint64(len(f.pendingSet)) {
+		f.growSet()
+	}
+	h := (line * 0x9E3779B97F4A7C15) & f.setMask
+	for {
+		switch f.pendingSet[h] {
+		case 0:
+			f.pendingSet[h] = line + 1
+			return false
+		case line + 1:
+			return true
+		}
+		h = (h + 1) & f.setMask
+	}
+}
+
+// growSet (re)builds the pending set from pending — which holds exactly the
+// live members — sizing the table to at least 4× the live count. A table
+// retained from an earlier batch (cleared at Fence) is reused when already
+// big enough, so steady-state batches never reallocate it.
+func (f *Flusher) growSet() {
+	need := uint64(4 * clwbDedupThreshold)
+	for need <= 2*uint64(len(f.pending)) {
+		need *= 2
+	}
+	if uint64(len(f.pendingSet)) < need {
+		f.pendingSet = make([]uint64, need)
+		f.setMask = need - 1
+	}
+	for _, l := range f.pending {
+		h := (l * 0x9E3779B97F4A7C15) & f.setMask
+		for f.pendingSet[h] != 0 {
+			h = (h + 1) & f.setMask
+		}
+		f.pendingSet[h] = l + 1
+	}
 }
 
 // Device returns the device this flusher operates on.
@@ -397,19 +444,14 @@ func (f *Flusher) CLWB(a Addr) {
 			}
 		}
 	} else {
-		if len(f.pendingSet) == 0 {
+		if !f.setActive {
 			// First CLWB past the threshold: adopt the batch into the set.
-			if f.pendingSet == nil {
-				f.pendingSet = make(map[uint64]struct{}, 4*clwbDedupThreshold)
-			}
-			for _, l := range f.pending {
-				f.pendingSet[l] = struct{}{}
-			}
+			f.setActive = true
+			f.growSet()
 		}
-		if _, dup := f.pendingSet[line]; dup {
+		if f.setInsert(line) {
 			return
 		}
-		f.pendingSet[line] = struct{}{}
 	}
 	f.pending = append(f.pending, line)
 	f.Clwbs++
@@ -448,8 +490,9 @@ func (f *Flusher) Fence() {
 		f.d.writeBackLine(line)
 	}
 	f.pending = f.pending[:0]
-	if len(f.pendingSet) > 0 {
+	if f.setActive {
 		clear(f.pendingSet)
+		f.setActive = false
 	}
 	f.SyncWaits++
 	Wait(f.d.cfg.WriteLatency)

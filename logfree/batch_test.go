@@ -1,0 +1,246 @@
+package logfree_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/logfree"
+)
+
+// TestBatchCommitSemantics: Commit equals the ops applied in order
+// (including a batch overwriting and deleting its own keys), copies buffered
+// bytes, resets on success, and works on every Map kind (u64 kinds apply
+// unamortized).
+func TestBatchCommitSemantics(t *testing.T) {
+	rt, err := logfree.New(logfree.WithSize(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []logfree.Kind{logfree.KindMap, logfree.KindOrderedMap} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m, err := rt.OpenOrCreate("batch-"+kind.String(), logfree.Spec{Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := m.Batch()
+			keyBuf := []byte("k-reused")
+			b.Set(keyBuf, []byte("first"))
+			keyBuf[2] = 'X' // buffered bytes must have been copied
+			b.Set([]byte("a"), []byte("1")).
+				Set([]byte("b"), []byte("2")).
+				Set([]byte("a"), []byte("1-again")).
+				Delete([]byte("b")).
+				SetItem([]byte("c"), []byte("3"), 7, 99)
+			if b.Len() != 6 {
+				t.Fatalf("Len = %d", b.Len())
+			}
+			if err := b.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() != 0 {
+				t.Fatalf("batch not reset after Commit: %d", b.Len())
+			}
+			for key, want := range map[string]string{
+				"k-reused": "first", "a": "1-again", "c": "3",
+			} {
+				if v, ok := m.Get([]byte(key)); !ok || string(v) != want {
+					t.Fatalf("%q = %q,%v want %q", key, v, ok, want)
+				}
+			}
+			if m.Contains([]byte("b")) {
+				t.Fatal("in-batch delete lost")
+			}
+			if m.Len() != 3 {
+				t.Fatalf("Len = %d", m.Len())
+			}
+		})
+	}
+	// u64 plane: Batch applies sequentially; argument errors surface.
+	u, err := rt.OpenOrCreate("batch-u64", logfree.Spec{Kind: logfree.KindSkipList})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Batch().Set(u64key(9), u64key(90)).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := u.Get(u64key(9)); !ok || !bytes.Equal(v, u64key(90)) {
+		t.Fatalf("u64 batch Get = %q,%v", v, ok)
+	}
+	if err := u.Batch().Set([]byte("bad"), u64key(1)).Commit(); !errors.Is(err, logfree.ErrKeyRange) {
+		t.Fatalf("u64 batch bad key: %v", err)
+	}
+	// uint64 entries store no meta/aux: a batch must reject them rather
+	// than drop them silently.
+	if err := u.Batch().SetItem(u64key(9), u64key(90), 7, 0).Commit(); !errors.Is(err, logfree.ErrNoItemMeta) {
+		t.Fatalf("u64 batch with meta: %v, want ErrNoItemMeta", err)
+	}
+	if err := u.Batch().SetItem(u64key(9), u64key(90), 0, 99).Commit(); !errors.Is(err, logfree.ErrNoItemMeta) {
+		t.Fatalf("u64 batch with aux: %v, want ErrNoItemMeta", err)
+	}
+}
+
+// TestBatchErrors: the taxonomy flows through Commit via errors.Is — size
+// cap, bad arguments — all checked before anything applies.
+func TestBatchErrors(t *testing.T) {
+	rt, err := logfree.New(logfree.WithSize(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.Map("b", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := m.Batch()
+	for i := 0; i <= logfree.MaxBatchOps; i++ {
+		big.Set([]byte(fmt.Sprintf("k%05d", i)), nil)
+	}
+	if err := big.Commit(); !errors.Is(err, logfree.ErrBatchTooLarge) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("oversized batch partially applied")
+	}
+	if err := m.Batch().Set(nil, []byte("v")).Commit(); !errors.Is(err, logfree.ErrBadKey) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if err := m.Batch().Set([]byte("k"), make([]byte, 4096)).Commit(); !errors.Is(err, logfree.ErrTooLarge) {
+		t.Fatalf("oversized value: %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("argument-error batch partially applied")
+	}
+	if err := m.Batch().Commit(); err != nil {
+		t.Fatalf("empty Commit: %v", err)
+	}
+}
+
+// TestErrFullTaxonomy: exhausting a tiny device surfaces ErrFull (and the
+// deprecated ErrOutOfMemory cause) through the public surface, on both the
+// single-op and the batch path.
+func TestErrFullTaxonomy(t *testing.T) {
+	rt, err := logfree.New(logfree.WithSize(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.Map("full", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 1024)
+	var setErr error
+	for i := 0; i < 4096 && setErr == nil; i++ {
+		setErr = m.Set([]byte(fmt.Sprintf("k%05d", i)), val)
+	}
+	if !errors.Is(setErr, logfree.ErrFull) {
+		t.Fatalf("exhaustion error = %v, want ErrFull", setErr)
+	}
+	if !errors.Is(setErr, logfree.ErrOutOfMemory) {
+		t.Fatalf("ErrFull must wrap the core cause: %v", setErr)
+	}
+	b := m.Batch()
+	for i := 0; i < 64; i++ {
+		b.Set([]byte(fmt.Sprintf("b%05d", i)), val)
+	}
+	if err := b.Commit(); !errors.Is(err, logfree.ErrFull) {
+		t.Fatalf("batch exhaustion error = %v, want ErrFull", err)
+	}
+}
+
+// TestBatchFenceBudgetPublic pins the amortization through the public
+// surface: the same 64-replace workload costs close to half the sync waits
+// batched as it does issued singly (~N+1 vs ~2N write-path waits; device
+// totals also include the amortized reclamation fences both sides pay). The
+// strict ≤N+2 write-path proof — counting only the operating flusher, with
+// reclamation deferred — is the core-level TestFenceBudgetBatch.
+func TestBatchFenceBudgetPublic(t *testing.T) {
+	const N = 64
+	rt, err := logfree.New(logfree.WithSize(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.Map("budget", 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 64)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("steady-%06d", i)) }
+	commitBatch := func(round int) {
+		b := m.Batch()
+		for i := 0; i < N; i++ {
+			b.SetItem(key(i), val, uint16(round), 0)
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitBatch(0) // warm-up: allocator pages, APT areas, the key set
+	rt.Drain()
+
+	rt.Device().ResetStats()
+	for i := 0; i < N; i++ {
+		if _, err := m.SetItem(key(i), val, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	single := rt.Device().Stats().SyncWaits
+
+	rt.Device().ResetStats()
+	commitBatch(2)
+	batched := rt.Device().Stats().SyncWaits
+
+	if single < 2*N {
+		t.Fatalf("single-op baseline paid only %d sync waits for %d replaces", single, N)
+	}
+	if limit := N + N/8; batched > uint64(limit) {
+		t.Fatalf("batched round cost %d sync waits for %d ops (single-op: %d), limit %d",
+			batched, N, single, limit)
+	}
+}
+
+// TestBatchCrashPrefix: a drained batch survives a crash whole; committing
+// and crashing without Drain (link cache off) keeps every committed op —
+// batch order is durability order.
+func TestBatchCrashPrefix(t *testing.T) {
+	rt, err := logfree.New(logfree.WithSize(64 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := rt.OrderedMap("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := om.Batch()
+	for i := 0; i < 100; i++ {
+		b.SetItem([]byte(fmt.Sprintf("rec-%04d", i)), []byte(fmt.Sprintf("payload-%d", i)), 0, uint64(i))
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// No Drain: without the link cache every committed op is already
+	// durable when Commit returns.
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	om2, err := rt2.OrderedMap("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var prev []byte
+	for k, it := range om2.ScanItems(nil, nil) {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("post-crash scan out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		if want := fmt.Sprintf("payload-%d", it.Aux); string(it.Value) != want {
+			t.Fatalf("%q value = %q want %q", k, it.Value, want)
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("recovered %d of 100 committed batch ops", n)
+	}
+}

@@ -1,12 +1,33 @@
 package logfree
 
-import "errors"
+import (
+	"errors"
+	"fmt"
 
-// Errors returned by the runtime.
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+// Sentinel errors of the v3 surface. Every error returned by a Runtime,
+// structure or Batch matches one of these through errors.Is: core-layer
+// causes are wrapped with %w, so callers never import internal packages to
+// classify failures.
 var (
-	// ErrKind reports an open of an existing name under a different
+	// ErrFull reports device exhaustion: the simulated NVRAM has no page
+	// left for the allocation. Callers implementing caches may evict and
+	// retry (see AvailableBytes).
+	ErrFull = errors.New("logfree: device full")
+	// ErrKindMismatch reports an open of an existing name under a different
 	// structure kind.
-	ErrKind = errors.New("logfree: structure has a different kind")
+	ErrKindMismatch = errors.New("logfree: structure has a different kind")
+	// ErrClosed reports an operation on a closed Runtime (Close was called,
+	// or the runtime was invalidated by SimulateCrash). Methods without an
+	// error result panic with an ErrClosed-wrapping error instead.
+	ErrClosed = errors.New("logfree: runtime is closed")
+	// ErrBatchTooLarge reports a Batch.Commit of more than MaxBatchOps
+	// operations.
+	ErrBatchTooLarge = errors.New("logfree: batch too large")
+
 	// ErrNotKeyed reports OpenOrCreate on a kind with no key/value
 	// abstraction (queues and stacks); use the typed Runtime methods.
 	ErrNotKeyed = errors.New("logfree: kind has no map abstraction")
@@ -16,4 +37,40 @@ var (
 	// ErrValueSize reports a uint64-plane value whose length is not exactly
 	// 8 bytes.
 	ErrValueSize = errors.New("logfree: uint64-plane values must be 8 bytes")
+	// ErrNoItemMeta reports a batch op carrying per-entry meta/aux against a
+	// kind whose entries store none (the uint64 plane).
+	ErrNoItemMeta = errors.New("logfree: kind stores no per-entry meta/aux")
 )
+
+// Re-exported core sentinels (argument errors; returned as-is).
+var (
+	// ErrTooLarge reports a byte-map entry exceeding the largest slab class.
+	ErrTooLarge = core.ErrTooLarge
+	// ErrBadKey reports an empty or oversized byte key.
+	ErrBadKey = core.ErrBadKey
+)
+
+// Deprecated aliases of the v2 surface.
+var (
+	// ErrKind is the v2 name of ErrKindMismatch.
+	//
+	// Deprecated: use ErrKindMismatch.
+	ErrKind = ErrKindMismatch
+	// ErrOutOfMemory is the core cause wrapped by ErrFull; errors.Is against
+	// either matches.
+	//
+	// Deprecated: use ErrFull.
+	ErrOutOfMemory = pmem.ErrOutOfMemory
+)
+
+// wrapErr maps core-layer errors onto the public taxonomy, preserving the
+// cause chain (%w on both sentinels, so errors.Is matches old and new).
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, pmem.ErrOutOfMemory) {
+		return fmt.Errorf("%w: %w", ErrFull, err)
+	}
+	return err
+}

@@ -6,44 +6,58 @@ import (
 	"repro/logfree"
 )
 
-// The canonical v2 lifecycle: open-or-create a byte-key map, update it,
-// crash, recover, read.
+// The canonical v3 lifecycle: open-or-create a byte-key map, update it,
+// crash, recover, read — no per-thread handles anywhere.
 func Example() {
-	rt, _ := logfree.New(logfree.WithSize(32<<20), logfree.WithMaxThreads(2),
-		logfree.WithLinkCache(true))
-	h := rt.Handle(0)
+	rt, _ := logfree.New(logfree.WithSize(32<<20), logfree.WithLinkCache(true))
 
-	users, _ := rt.OpenOrCreate(h, "users", logfree.Spec{Buckets: 256})
-	users.Set(h, []byte("alice"), []byte("pro"))
-	users.Set(h, []byte("bob"), []byte("free"))
-	users.Delete(h, []byte("bob"))
+	users, _ := rt.OpenOrCreate("users", logfree.Spec{Buckets: 256})
+	users.Set([]byte("alice"), []byte("pro"))
+	users.Set([]byte("bob"), []byte("free"))
+	users.Delete([]byte("bob"))
 
 	rt.Drain() // make deferred link-cache work durable before pulling the plug
 	rt2, _ := rt.SimulateCrash()
 
-	h2 := rt2.Handle(0)
-	users2, _ := rt2.OpenOrCreate(h2, "users", logfree.Spec{})
-	v, ok := users2.Get(h2, []byte("alice"))
+	users2, _ := rt2.OpenOrCreate("users", logfree.Spec{})
+	v, ok := users2.Get([]byte("alice"))
 	fmt.Println(string(v), ok)
-	fmt.Println(users2.Contains(h2, []byte("bob")))
+	fmt.Println(users2.Contains([]byte("bob")))
 	// Output:
 	// pro true
 	// false
 }
 
-// The typed uint64 wrappers remain as thin veneers; ordered structures
-// support in-order iteration.
-func ExampleBST_Range() {
+// Batch amortizes the per-write NVRAM sync waits: N buffered writes commit
+// under one shared content fence (~N+1 pauses instead of 2N), each op still
+// individually crash-atomic, in order.
+func ExampleBatch() {
 	rt, _ := logfree.New(logfree.WithSize(32 << 20))
-	h := rt.Handle(0)
-	t, _ := rt.BST(h, "scores")
-	for _, k := range []uint64{30, 10, 20} {
-		t.Insert(h, k, k*10)
+	m, _ := rt.OpenOrCreate("events", logfree.Spec{})
+
+	b := m.Batch()
+	for i := 0; i < 3; i++ {
+		b.Set([]byte(fmt.Sprintf("event-%d", i)), []byte("payload"))
 	}
-	t.Range(h, func(k, v uint64) bool {
+	if err := b.Commit(); err != nil {
+		fmt.Println("commit:", err)
+	}
+	fmt.Println(m.Len())
+	// Output:
+	// 3
+}
+
+// The typed uint64 wrappers remain as thin veneers; ordered structures
+// iterate in key order via range-over-func.
+func ExampleBST_All() {
+	rt, _ := logfree.New(logfree.WithSize(32 << 20))
+	t, _ := rt.BST("scores")
+	for _, k := range []uint64{30, 10, 20} {
+		t.Insert(k, k*10)
+	}
+	for k, v := range t.All() {
 		fmt.Println(k, v)
-		return true
-	})
+	}
 	// Output:
 	// 10 100
 	// 20 200
@@ -53,16 +67,14 @@ func ExampleBST_Range() {
 // A durable FIFO queue survives power failures with order intact.
 func ExampleQueue() {
 	rt, _ := logfree.New(logfree.WithSize(32 << 20))
-	h := rt.Handle(0)
-	q, _ := rt.Queue(h, "jobs")
-	q.Enqueue(h, 100)
-	q.Enqueue(h, 200)
+	q, _ := rt.Queue("jobs")
+	q.Enqueue(100)
+	q.Enqueue(200)
 
 	rt2, _ := rt.SimulateCrash()
-	q2, _ := rt2.Queue(rt2.Handle(0), "jobs")
-	h2 := rt2.Handle(0)
+	q2, _ := rt2.Queue("jobs")
 	for {
-		v, ok := q2.Dequeue(h2)
+		v, ok := q2.Dequeue()
 		if !ok {
 			break
 		}

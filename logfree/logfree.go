@@ -8,34 +8,43 @@
 // hash table, so the namespace grows without bound — and re-opened by name
 // after a crash:
 //
-//	rt, _ := logfree.New(logfree.WithSize(64<<20), logfree.WithMaxThreads(8))
-//	h := rt.Handle(0)
-//	users, _ := rt.OpenOrCreate(h, "users", logfree.Spec{})
-//	users.Set(h, []byte("alice"), []byte(`{"plan":"pro"}`))
+//	rt, _ := logfree.New(logfree.WithSize(64 << 20))
+//	users, _ := rt.OpenOrCreate("users", logfree.Spec{})
+//	users.Set([]byte("alice"), []byte(`{"plan":"pro"}`))
 //
 //	rt2, _ := rt.SimulateCrash() // power failure + reboot + recovery
-//	users2, _ := rt2.OpenOrCreate(rt2.Handle(0), "users", logfree.Spec{})
-//	users2.Get(rt2.Handle(0), []byte("alice")) // → the value, true
+//	users2, _ := rt2.OpenOrCreate("users", logfree.Spec{})
+//	users2.Get([]byte("alice")) // → the value, true
 //
-// OpenOrCreate is the generic entry point: it returns the unified byte-key
-// Map interface for every keyed structure kind. The uint64-keyed typed
-// wrappers (List, HashTable, SkipList, BST, Queue, Stack) remain available
-// as thin veneers over the same directory via the same-named Runtime
-// methods.
+// Threading (v3): there are no per-thread handles. Every method of every
+// structure is safe to call from any goroutine — each operation draws an
+// operation context from the runtime's lock-free session pool, which grows
+// on demand past any formatted thread count. Advanced callers can pin a
+// Session (Runtime.Session + the structures' WithSession views) to amortize
+// the pool round-trip in tight loops; the deprecated Handle(tid) remains as
+// a thin shim over pinned sessions.
 //
-// Handles are per-goroutine operation contexts (thread id bound); a Handle
-// must not be shared between goroutines.
+// Batching (v3): m.Batch() collects Set/SetItem/Delete operations and
+// Commit applies them with one shared content fence before the per-op
+// publishing links, so N writes pay ~N+1 NVRAM sync waits instead of 2N.
+// Batches are crash-atomic per op with prefix semantics, not transactional.
+//
+// Iteration (v3): All, Items, Scan, Ascend and Descend return Go
+// range-over-func iterators (iter.Seq2); the reclamation epoch section is
+// held across the whole loop, so iteration is safe against concurrent
+// updates (no snapshot semantics), and loop bodies may freely call other
+// operations — those draw their own sessions.
 package logfree
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/nvram"
-	"repro/internal/pmem"
 )
 
 // Key-space bounds re-exported from the core: uint64 user keys must lie in
@@ -66,8 +75,11 @@ func WithSize(bytes uint64) Option { return func(c *config) { c.size = bytes } }
 // 125ns via nvram.DefaultWriteLatency). Zero disables latency injection.
 func WithWriteLatency(d time.Duration) Option { return func(c *config) { c.writeLatency = d } }
 
-// WithMaxThreads bounds concurrent handles (default 1; on Attach, the
-// pool's formatted thread count).
+// WithMaxThreads sizes the formatted per-thread region of the durable active
+// page table (default 1; on Attach, the pool's formatted thread count). It
+// is no longer a cap: the session pool grows past it on demand, each extra
+// session backed by its own durable APT bank — pre-sizing just packs the
+// expected steady-state concurrency into one region.
 func WithMaxThreads(n int) Option { return func(c *config) { c.maxThreads = n } }
 
 // WithLinkCache toggles the §4 link cache for updates.
@@ -156,6 +168,11 @@ type Runtime struct {
 	dev   *nvram.Device
 	store *core.Store
 	cfg   config
+	pool  *sessionPool
+
+	closed   atomic.Bool
+	handleMu sync.Mutex
+	handles  map[int]*Session // Handle(tid) shim sessions, by tid
 
 	dir   *core.BytesMap
 	dirMu sync.Mutex // serializes registrations (rare)
@@ -171,16 +188,6 @@ type RecoveryReport struct {
 	Name string
 	Kind Kind
 }
-
-// Handle is a per-goroutine operation context.
-type Handle struct {
-	c *core.Ctx
-}
-
-// Reclaim flushes this handle's deferred reclamation work, converting
-// retired nodes into reusable slots immediately. Useful between eviction
-// passes under memory pressure; never required for correctness.
-func (h *Handle) Reclaim() { h.c.Epoch().FlushAll() }
 
 // New creates a runtime on a fresh simulated NVRAM device.
 func New(opts ...Option) (*Runtime, error) {
@@ -198,11 +205,26 @@ func New(opts ...Option) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Runtime{dev: dev, store: store, cfg: cfg}
+	r := &Runtime{dev: dev, store: store, cfg: cfg, pool: newSessionPool(store)}
 	if err := r.createDirectory(); err != nil {
 		return nil, err
 	}
+	r.seedPool()
 	return r, nil
+}
+
+// seedPool hands every core context registered so far to the session pool
+// so they serve operations instead of idling: the directory-setup context
+// after New, and all the recovery-pass contexts (tids 0..par-1, quiescent
+// once Attach returns) after Attach — otherwise the pool would carve fresh
+// durable APT banks while formatted thread slots sit unused.
+func (r *Runtime) seedPool() {
+	r.store.CtxFor(0) // ensure at least one context exists (fresh Attach path)
+	r.store.ForEachCtx(func(c *core.Ctx) {
+		s := &Session{rt: r, c: c}
+		r.pool.register(s)
+		r.pool.push(s)
+	})
 }
 
 // createDirectory formats the durable directory and commits its anchor
@@ -232,18 +254,20 @@ func Attach(dev *nvram.Device, opts ...Option) (*Runtime, error) {
 	if cfg.maxThreads == 0 {
 		cfg.maxThreads = store.Options().MaxThreads
 	}
-	r := &Runtime{dev: dev, store: store, cfg: cfg}
+	r := &Runtime{dev: dev, store: store, cfg: cfg, pool: newSessionPool(store)}
 	if nb := store.Root(rootDirNBkts); nb == 0 {
 		// The pool was formatted but crashed before the directory committed:
 		// no structure can have been registered, so start one fresh.
 		if err := r.createDirectory(); err != nil {
 			return nil, err
 		}
+		r.seedPool()
 		return r, nil
 	}
 	r.dir = core.AttachBytesMap(store,
 		store.Root(rootDirBuckets), int(store.Root(rootDirNBkts)), store.Root(rootDirTail))
 	r.recoverAll()
+	r.seedPool()
 	return r, nil
 }
 
@@ -265,19 +289,27 @@ func (r *Runtime) Save(path string) error {
 }
 
 // Drain flushes the link cache and reclaims retired memory across all
-// handles. Requires quiescence.
+// sessions. Requires quiescence.
 func (r *Runtime) Drain() {
-	for tid := 0; tid < r.cfg.maxThreads; tid++ {
-		if c := r.store.ExistingCtx(tid); c != nil {
-			c.Shutdown()
-		}
+	r.store.ForEachCtx(func(c *core.Ctx) { c.Shutdown() })
+}
+
+// Close drains the runtime and marks it closed: subsequent operations
+// return (or panic with) ErrClosed. Requires quiescence. Idempotent.
+func (r *Runtime) Close() error {
+	if r.closed.Swap(true) {
+		return nil
 	}
+	r.Drain()
+	return nil
 }
 
 // SimulateCrash power-fails the device (losing everything not written
-// back), reboots, and recovers. The receiver and all its handles and
-// structures are invalid afterwards; use the returned runtime.
+// back), reboots, and recovers. The receiver and all its sessions and
+// structures are invalid afterwards (it is closed); use the returned
+// runtime.
 func (r *Runtime) SimulateCrash() (*Runtime, error) {
+	r.closed.Store(true)
 	r.dev.Crash()
 	return Attach(r.dev,
 		WithSize(r.cfg.size),
@@ -302,12 +334,6 @@ func (r *Runtime) RecoveryReports() []RecoveryReport { return r.recovered }
 
 // RecoveryStats aggregates the recovery pass Attach ran (zero after New).
 func (r *Runtime) RecoveryStats() RecoveryStats { return r.recStats }
-
-// Handle returns the operation context for thread tid (creating it on first
-// use). A Handle must be used by one goroutine at a time.
-func (r *Runtime) Handle(tid int) *Handle {
-	return &Handle{c: r.store.CtxFor(tid)}
-}
 
 // --- Durable directory ---------------------------------------------------
 
@@ -334,9 +360,11 @@ func decodeDirEntry(v []byte) (kind Kind, aux, a1, a2 uint64, ok bool) {
 }
 
 // Lookup reports whether a structure named name is registered, and its
-// kind. Like every operation it runs on the caller's Handle.
-func (r *Runtime) Lookup(h *Handle, name string) (Kind, bool) {
-	v, ok := r.dir.Get(h.c, []byte(name))
+// kind.
+func (r *Runtime) Lookup(name string) (Kind, bool) {
+	s := r.acquire()
+	defer r.release(s)
+	v, ok := r.dir.Get(s.c, []byte(name))
 	if !ok {
 		return 0, false
 	}
@@ -345,9 +373,11 @@ func (r *Runtime) Lookup(h *Handle, name string) (Kind, bool) {
 }
 
 // Names lists every registered structure name (quiescent use).
-func (r *Runtime) Names(h *Handle) []string {
+func (r *Runtime) Names() []string {
+	s := r.acquire()
+	defer r.release(s)
 	var out []string
-	r.dir.Range(h.c, func(k, _ []byte) bool {
+	r.dir.Range(s.c, func(k, _ []byte) bool {
 		out = append(out, string(k))
 		return true
 	})
@@ -356,20 +386,20 @@ func (r *Runtime) Names(h *Handle) []string {
 
 // ensure looks name up under the registration lock and, when absent, runs
 // create and registers its descriptor. It returns the entry either way.
-func (r *Runtime) ensure(h *Handle, name string, kind Kind,
+func (r *Runtime) ensure(c *core.Ctx, name string, kind Kind,
 	create func() (aux, a1, a2 uint64, err error)) (aux, a1, a2 uint64, err error) {
 	if name == "" {
 		return 0, 0, 0, fmt.Errorf("logfree: empty structure name")
 	}
 	r.dirMu.Lock()
 	defer r.dirMu.Unlock()
-	if v, ok := r.dir.Get(h.c, []byte(name)); ok {
+	if v, ok := r.dir.Get(c, []byte(name)); ok {
 		k, aux, a1, a2, ok := decodeDirEntry(v)
 		if !ok {
 			return 0, 0, 0, fmt.Errorf("logfree: corrupt directory entry for %q", name)
 		}
 		if k != kind {
-			return 0, 0, 0, fmt.Errorf("%w: %q is a %v, not a %v", ErrKind, name, k, kind)
+			return 0, 0, 0, fmt.Errorf("%w: %q is a %v, not a %v", ErrKindMismatch, name, k, kind)
 		}
 		return aux, a1, a2, nil
 	}
@@ -377,15 +407,15 @@ func (r *Runtime) ensure(h *Handle, name string, kind Kind,
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if _, err := r.dir.Set(h.c, []byte(name), encodeDirEntry(kind, aux, a1, a2), 0, 0); err != nil {
+	if _, err := r.dir.Set(c, []byte(name), encodeDirEntry(kind, aux, a1, a2), 0, 0); err != nil {
 		return 0, 0, 0, err
 	}
 	// Registration is a durable commit point (v1 synced root slots directly;
 	// v2 must match): flush any link-cache entry still covering the
 	// directory update before returning the structure to the caller.
 	if lc := r.store.LinkCache(); lc != nil {
-		lc.FlushAll(h.c.Flusher())
-		h.c.Flusher().Fence()
+		lc.FlushAll(c.Flusher())
+		c.Flusher().Fence()
 	}
 	return aux, a1, a2, nil
 }
@@ -437,14 +467,4 @@ const (
 	MapEntryOverhead = core.BytesEntryOverhead
 	// MaxMapEntrySize is the largest storable entry (header + key + value).
 	MaxMapEntrySize = core.MaxBytesEntrySize
-)
-
-// re-exported sentinel errors (see errors.go for the package-owned ones).
-var (
-	// ErrTooLarge reports a byte-map entry exceeding the largest slab class.
-	ErrTooLarge = core.ErrTooLarge
-	// ErrBadKey reports an empty or oversized byte key.
-	ErrBadKey = core.ErrBadKey
-	// ErrOutOfMemory reports device exhaustion; callers may evict and retry.
-	ErrOutOfMemory = pmem.ErrOutOfMemory
 )

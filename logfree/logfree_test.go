@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -20,96 +21,96 @@ func newRT(t *testing.T, opts ...Option) *Runtime {
 
 func TestOpenOrCreateAllKinds(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
 	var sets []Set
-	l, err := rt.List(h, "l")
+	l, err := rt.List("l")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ht, err := rt.HashTable(h, "h", 64)
+	ht, err := rt.HashTable("h", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sl, err := rt.SkipList(h, "s")
+	sl, err := rt.SkipList("s")
 	if err != nil {
 		t.Fatal(err)
 	}
-	bt, err := rt.BST(h, "b")
+	bt, err := rt.BST("b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	sets = append(sets, l, ht, sl, bt)
 	for i, s := range sets {
 		k := uint64(i*100 + 1)
-		if !s.Insert(h, k, k*2) {
+		if !s.Insert(k, k*2) {
 			t.Fatalf("set %d: insert failed", i)
 		}
-		if v, ok := s.Search(h, k); !ok || v != k*2 {
+		if v, ok := s.Search(k); !ok || v != k*2 {
 			t.Fatalf("set %d: Search = %d,%v", i, v, ok)
 		}
 	}
 	// Reopen by name: the same call is open-or-create.
-	if _, err := rt.List(h, "l"); err != nil {
+	if _, err := rt.List("l"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.HashTable(h, "h", 64); err != nil {
+	if _, err := rt.HashTable("h", 64); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.SkipList(h, "s"); err != nil {
+	if _, err := rt.SkipList("s"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.BST(h, "b"); err != nil {
+	if _, err := rt.BST("b"); err != nil {
 		t.Fatal(err)
 	}
 	// The reopened veneer sees the same data.
-	l2, _ := rt.List(h, "l")
-	if v, ok := l2.Search(h, 1); !ok || v != 2 {
+	l2, _ := rt.List("l")
+	if v, ok := l2.Search(1); !ok || v != 2 {
 		t.Fatalf("reopened list Search = %d,%v", v, ok)
 	}
 }
 
 func TestOpenWrongKindRejected(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
-	if _, err := rt.List(h, "x"); err != nil {
+	if _, err := rt.List("x"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.BST(h, "x"); !errors.Is(err, ErrKind) {
+	if _, err := rt.BST("x"); !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("wrong-kind open: %v, want ErrKindMismatch", err)
+	}
+	// The deprecated alias keeps matching.
+	if _, err := rt.BST("x"); !errors.Is(err, ErrKind) {
 		t.Fatalf("wrong-kind open: %v, want ErrKind", err)
 	}
-	if _, err := rt.OpenOrCreate(h, "x", Spec{Kind: KindMap}); !errors.Is(err, ErrKind) {
-		t.Fatalf("wrong-kind OpenOrCreate: %v, want ErrKind", err)
+	if _, err := rt.OpenOrCreate("x", Spec{Kind: KindMap}); !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("wrong-kind OpenOrCreate: %v, want ErrKindMismatch", err)
 	}
 }
 
 func TestLookupAndNames(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
-	if _, ok := rt.Lookup(h, "nope"); ok {
+	if _, ok := rt.Lookup("nope"); ok {
 		t.Fatal("missing name found")
 	}
-	rt.List(h, "a")
-	rt.Queue(h, "b")
-	if k, ok := rt.Lookup(h, "a"); !ok || k != KindList {
+	rt.List("a")
+	rt.Queue("b")
+	if k, ok := rt.Lookup("a"); !ok || k != KindList {
 		t.Fatalf("Lookup(a) = %v,%v", k, ok)
 	}
-	if k, ok := rt.Lookup(h, "b"); !ok || k != KindQueue {
+	if k, ok := rt.Lookup("b"); !ok || k != KindQueue {
 		t.Fatalf("Lookup(b) = %v,%v", k, ok)
 	}
-	if n := len(rt.Names(h)); n != 2 {
+	if n := len(rt.Names()); n != 2 {
 		t.Fatalf("Names = %d entries, want 2", n)
 	}
 }
 
 func TestCrashRecoverRoundTrip(t *testing.T) {
 	rt := newRT(t, WithLinkCache(true))
-	h := rt.Handle(0)
-	ht, _ := rt.HashTable(h, "kv", 128)
+	ht, _ := rt.HashTable("kv", 128)
 	for k := uint64(1); k <= 500; k++ {
-		ht.Insert(h, k, k+7)
+		ht.Insert(k, k+7)
 	}
 	for k := uint64(1); k <= 500; k += 5 {
-		ht.Delete(h, k)
+		ht.Delete(k)
 	}
 	rt.Drain() // make everything durable before the deliberate crash
 
@@ -120,14 +121,13 @@ func TestCrashRecoverRoundTrip(t *testing.T) {
 	if len(rt2.RecoveryReports()) != 1 {
 		t.Fatalf("recovery reports = %d, want 1", len(rt2.RecoveryReports()))
 	}
-	h2 := rt2.Handle(0)
-	ht2, err := rt2.HashTable(h2, "kv", 128)
+	ht2, err := rt2.HashTable("kv", 128)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for k := uint64(1); k <= 500; k++ {
 		want := k%5 != 1
-		if got := ht2.Contains(h2, k); got != want {
+		if got := ht2.Contains(k); got != want {
 			t.Fatalf("key %d after recovery: %v, want %v", k, got, want)
 		}
 	}
@@ -138,18 +138,17 @@ func TestCrashRecoverRoundTrip(t *testing.T) {
 // must not mistake one structure's nodes for another's leaks.
 func TestMultiStructureCrashRecovery(t *testing.T) {
 	rt := newRT(t, WithLinkCache(true))
-	h := rt.Handle(0)
-	ht, _ := rt.HashTable(h, "sessions", 256)
-	sl, _ := rt.SkipList(h, "by-expiry")
-	bt, _ := rt.BST(h, "scores")
-	q, _ := rt.Queue(h, "jobs")
-	m, _ := rt.Map(h, "blobs", 64)
+	ht, _ := rt.HashTable("sessions", 256)
+	sl, _ := rt.SkipList("by-expiry")
+	bt, _ := rt.BST("scores")
+	q, _ := rt.Queue("jobs")
+	m, _ := rt.Map("blobs", 64)
 	for k := uint64(1); k <= 300; k++ {
-		ht.Insert(h, k, k)
-		sl.Insert(h, k+1000, k)
-		bt.Insert(h, k+2000, k)
-		q.Enqueue(h, k)
-		m.Set(h, []byte(fmt.Sprintf("blob-%d", k)), []byte(fmt.Sprintf("v-%d", k)))
+		ht.Insert(k, k)
+		sl.Insert(k+1000, k)
+		bt.Insert(k+2000, k)
+		q.Enqueue(k)
+		m.Set([]byte(fmt.Sprintf("blob-%d", k)), []byte(fmt.Sprintf("v-%d", k)))
 	}
 	rt.Drain()
 	rt2, err := rt.SimulateCrash()
@@ -159,71 +158,69 @@ func TestMultiStructureCrashRecovery(t *testing.T) {
 	if got := len(rt2.RecoveryReports()); got != 5 {
 		t.Fatalf("recovery reports = %d, want 5", got)
 	}
-	h2 := rt2.Handle(0)
-	ht2, _ := rt2.HashTable(h2, "sessions", 256)
-	sl2, _ := rt2.SkipList(h2, "by-expiry")
-	bt2, _ := rt2.BST(h2, "scores")
-	q2, _ := rt2.Queue(h2, "jobs")
-	m2, _ := rt2.Map(h2, "blobs", 64)
-	if n := ht2.Len(h2); n != 300 {
+	ht2, _ := rt2.HashTable("sessions", 256)
+	sl2, _ := rt2.SkipList("by-expiry")
+	bt2, _ := rt2.BST("scores")
+	q2, _ := rt2.Queue("jobs")
+	m2, _ := rt2.Map("blobs", 64)
+	if n := ht2.Len(); n != 300 {
 		t.Fatalf("hash table lost entries: %d", n)
 	}
-	if n := sl2.Len(h2); n != 300 {
+	if n := sl2.Len(); n != 300 {
 		t.Fatalf("skip list lost entries: %d", n)
 	}
-	if n := bt2.Len(h2); n != 300 {
+	if n := bt2.Len(); n != 300 {
 		t.Fatalf("bst lost entries: %d", n)
 	}
-	if n := q2.Len(h2); n != 300 {
+	if n := q2.Len(); n != 300 {
 		t.Fatalf("queue lost entries: %d", n)
 	}
-	if n := m2.Len(h2); n != 300 {
+	if n := m2.Len(); n != 300 {
 		t.Fatalf("byte map lost entries: %d", n)
 	}
 	for k := uint64(1); k <= 300; k++ {
-		if !ht2.Contains(h2, k) || !sl2.Contains(h2, k+1000) || !bt2.Contains(h2, k+2000) {
+		if !ht2.Contains(k) || !sl2.Contains(k+1000) || !bt2.Contains(k+2000) {
 			t.Fatalf("key %d missing after multi-structure recovery", k)
 		}
-		if v, ok := m2.Get(h2, []byte(fmt.Sprintf("blob-%d", k))); !ok || string(v) != fmt.Sprintf("v-%d", k) {
+		if v, ok := m2.Get([]byte(fmt.Sprintf("blob-%d", k))); !ok || string(v) != fmt.Sprintf("v-%d", k) {
 			t.Fatalf("blob-%d corrupt after recovery: %q,%v", k, v, ok)
 		}
 	}
 }
 
 // TestDirectoryGrowth: the v1 fixed root-slot directory capped out at ~14
-// structures (ErrFull); the v2 durable-hash-table directory must register
-// far more and recover every one of them after a crash.
+// structures (ErrFull); the durable-hash-table directory must register far
+// more and recover every one of them after a crash.
 func TestDirectoryGrowth(t *testing.T) {
 	rt := newRT(t, WithSize(128<<20), WithLinkCache(true))
-	h := rt.Handle(0)
 	const n = 24 // well past the old 14-entry ceiling
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("structure-%02d", i)
 		switch i % 4 {
 		case 0:
-			s, err := rt.HashTable(h, name, 64)
+			s, err := rt.HashTable(name, 64)
 			if err != nil {
 				t.Fatalf("register %d: %v", i, err)
 			}
-			s.Insert(h, uint64(i)+1, uint64(i)*10)
+			s.Insert(uint64(i)+1, uint64(i)*10)
 		case 1:
-			s, err := rt.SkipList(h, name)
+			s, err := rt.SkipList(name)
 			if err != nil {
 				t.Fatalf("register %d: %v", i, err)
 			}
-			s.Insert(h, uint64(i)+1, uint64(i)*10)
+			s.Insert(uint64(i)+1, uint64(i)*10)
 		case 2:
-			s, err := rt.BST(h, name)
+			s, err := rt.BST(name)
 			if err != nil {
 				t.Fatalf("register %d: %v", i, err)
 			}
-			s.Insert(h, uint64(i)+1, uint64(i)*10)
+			s.Insert(uint64(i)+1, uint64(i)*10)
 		default:
-			m, err := rt.Map(h, name, 64)
+			m, err := rt.Map(name, 64)
 			if err != nil {
 				t.Fatalf("register %d: %v", i, err)
 			}
-			m.Set(h, []byte(name), []byte(fmt.Sprintf("payload-%d", i)))
+			m.Set([]byte(name), []byte(fmt.Sprintf("payload-%d", i)))
 		}
 	}
 	rt.Drain()
@@ -234,40 +231,39 @@ func TestDirectoryGrowth(t *testing.T) {
 	if got := len(rt2.RecoveryReports()); got != n {
 		t.Fatalf("recovered %d structures, want %d", got, n)
 	}
-	h2 := rt2.Handle(0)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("structure-%02d", i)
 		switch i % 4 {
 		case 0:
-			s, err := rt2.HashTable(h2, name, 64)
+			s, err := rt2.HashTable(name, 64)
 			if err != nil {
 				t.Fatalf("reopen %d: %v", i, err)
 			}
-			if v, ok := s.Search(h2, uint64(i)+1); !ok || v != uint64(i)*10 {
+			if v, ok := s.Search(uint64(i) + 1); !ok || v != uint64(i)*10 {
 				t.Fatalf("structure %d lost its entry: %d,%v", i, v, ok)
 			}
 		case 1:
-			s, err := rt2.SkipList(h2, name)
+			s, err := rt2.SkipList(name)
 			if err != nil {
 				t.Fatalf("reopen %d: %v", i, err)
 			}
-			if v, ok := s.Search(h2, uint64(i)+1); !ok || v != uint64(i)*10 {
+			if v, ok := s.Search(uint64(i) + 1); !ok || v != uint64(i)*10 {
 				t.Fatalf("structure %d lost its entry: %d,%v", i, v, ok)
 			}
 		case 2:
-			s, err := rt2.BST(h2, name)
+			s, err := rt2.BST(name)
 			if err != nil {
 				t.Fatalf("reopen %d: %v", i, err)
 			}
-			if v, ok := s.Search(h2, uint64(i)+1); !ok || v != uint64(i)*10 {
+			if v, ok := s.Search(uint64(i) + 1); !ok || v != uint64(i)*10 {
 				t.Fatalf("structure %d lost its entry: %d,%v", i, v, ok)
 			}
 		default:
-			m, err := rt2.Map(h2, name, 64)
+			m, err := rt2.Map(name, 64)
 			if err != nil {
 				t.Fatalf("reopen %d: %v", i, err)
 			}
-			if v, ok := m.Get(h2, []byte(name)); !ok || string(v) != fmt.Sprintf("payload-%d", i) {
+			if v, ok := m.Get([]byte(name)); !ok || string(v) != fmt.Sprintf("payload-%d", i) {
 				t.Fatalf("structure %d lost its payload: %q,%v", i, v, ok)
 			}
 		}
@@ -278,10 +274,9 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "pool.img")
 	rt := newRT(t)
-	h := rt.Handle(0)
-	bt, _ := rt.BST(h, "tree")
+	bt, _ := rt.BST("tree")
 	for k := uint64(1); k <= 200; k++ {
-		bt.Insert(h, k, k*3)
+		bt.Insert(k, k*3)
 	}
 	if err := rt.Save(path); err != nil {
 		t.Fatal(err)
@@ -291,56 +286,196 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
-	bt2, err := rt2.BST(h2, "tree")
+	bt2, err := rt2.BST("tree")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for k := uint64(1); k <= 200; k++ {
-		if v, ok := bt2.Search(h2, k); !ok || v != k*3 {
+		if v, ok := bt2.Search(k); !ok || v != k*3 {
 			t.Fatalf("loaded tree Search(%d) = %d,%v", k, v, ok)
 		}
 	}
 }
 
-func TestConcurrentHandles(t *testing.T) {
+// TestConcurrentImplicitSessions: goroutines call structure methods with no
+// per-thread plumbing at all; the session pool serves them all.
+func TestConcurrentImplicitSessions(t *testing.T) {
 	rt := newRT(t, WithLinkCache(true))
-	h0 := rt.Handle(0)
-	sl, _ := rt.SkipList(h0, "s")
+	sl, _ := rt.SkipList("s")
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := rt.Handle(w)
 			base := uint64(w)*1000 + 1
 			for i := uint64(0); i < 300; i++ {
-				sl.Insert(h, base+i, i)
+				sl.Insert(base+i, i)
 			}
 			for i := uint64(0); i < 300; i += 2 {
-				sl.Delete(h, base+i)
+				sl.Delete(base + i)
 			}
 		}(w)
 	}
 	wg.Wait()
-	h := rt.Handle(0)
 	for w := 0; w < 8; w++ {
 		base := uint64(w)*1000 + 1
 		for i := uint64(0); i < 300; i++ {
 			want := i%2 == 1
-			if got := sl.Contains(h, base+i); got != want {
+			if got := sl.Contains(base + i); got != want {
 				t.Fatalf("w%d key %d: %v want %v", w, base+i, got, want)
 			}
 		}
 	}
 }
 
-func TestHandleReuseSameCtx(t *testing.T) {
+// TestSessionPoolGrowsPastMaxThreads: far more goroutines than the formatted
+// thread count, on a runtime formatted for ONE thread — the pool must grow
+// (durable APT banks) instead of capping or panicking, and the data must
+// survive a crash.
+func TestSessionPoolGrowsPastMaxThreads(t *testing.T) {
+	rt, err := New(WithSize(64<<20), WithMaxThreads(1), WithLinkCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.Map("grow", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	var gate sync.WaitGroup
+	gate.Add(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gate.Wait() // maximize overlap so the pool must actually grow
+			for i := 0; i < 100; i++ {
+				k := []byte(fmt.Sprintf("w%02d-%03d", w, i))
+				if err := m.Set(k, k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	gate.Done()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	rt.Drain()
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := rt2.Map("grow", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 100; i++ {
+			k := []byte(fmt.Sprintf("w%02d-%03d", w, i))
+			if v, ok := m2.Get(k); !ok || string(v) != string(k) {
+				t.Fatalf("%s lost across crash: %q,%v", k, v, ok)
+			}
+		}
+	}
+}
+
+// TestAttachSeedsRecoveredContexts: the recovery pass registers one core
+// context per formatted thread; Attach must hand them all to the session
+// pool instead of carving fresh durable APT banks while formatted slots sit
+// idle.
+func TestAttachSeedsRecoveredContexts(t *testing.T) {
+	rt := newRT(t, WithMaxThreads(4))
+	m, err := rt.Map("seed", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rt.Drain()
+	rt2, err := rt.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt2.Sessions(); got < 4 {
+		t.Fatalf("pool seeded with %d sessions, want the 4 recovered contexts", got)
+	}
+	seeded := rt2.Sessions()
+	m2, err := rt2.Map("seed", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := m2.Get([]byte("k")); !ok {
+			t.Fatal("recovered key missing")
+		}
+	}
+	if got := rt2.Sessions(); got != seeded {
+		t.Fatalf("single-flow ops grew the pool from %d to %d sessions", seeded, got)
+	}
+}
+
+// TestPinnedSession: WithSession views run on the pinned context and skip
+// the pool; Close returns the session.
+func TestPinnedSession(t *testing.T) {
+	rt := newRT(t)
+	s, err := rt.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rt.Map("pin", 64)
+	pm := m.WithSession(s)
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("p-%03d", i))
+		if err := pm.Set(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := pm.Len(); n != 100 {
+		t.Fatalf("Len = %d", n)
+	}
+	s.Reclaim()
+	s.Close()
+	// The unpinned map still works after the session went back to the pool.
+	if _, ok := m.Get([]byte("p-007")); !ok {
+		t.Fatal("unpinned read failed")
+	}
+}
+
+// TestHandleShim: the deprecated Handle(tid) keeps working as a pinned
+// session — same tid, same context — and rejects out-of-range tids with a
+// descriptive panic (the v2 behaviour was whatever the core context table
+// did).
+func TestHandleShim(t *testing.T) {
 	rt := newRT(t)
 	a := rt.Handle(3)
 	b := rt.Handle(3)
-	if a.c != b.c {
+	if a != b || a.c != b.c {
 		t.Fatal("Handle(3) created two distinct contexts")
+	}
+	a.Reclaim()
+	a.Close() // no-op for pinned shim sessions
+	if c := rt.Handle(3); c != a {
+		t.Fatal("Handle(3) changed identity after Close")
+	}
+	for _, tid := range []int{-1, maxHandleTid} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Handle(%d) did not panic", tid)
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "out of range") || !strings.Contains(msg, fmt.Sprint(tid)) {
+					t.Fatalf("Handle(%d) panic not descriptive: %q", tid, msg)
+				}
+			}()
+			rt.Handle(tid)
+		}()
 	}
 }
 
@@ -354,19 +489,17 @@ func TestCrashWithoutDrainKeepsCompletedOps(t *testing.T) {
 	// LP mode (no link cache): every returned update is already durable, so
 	// a crash without Drain must preserve all of them.
 	rt := newRT(t)
-	h := rt.Handle(0)
-	l, _ := rt.List(h, "l")
+	l, _ := rt.List("l")
 	for k := uint64(1); k <= 100; k++ {
-		l.Insert(h, k, k)
+		l.Insert(k, k)
 	}
 	rt2, err := rt.SimulateCrash()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
-	l2, _ := rt2.List(h2, "l")
+	l2, _ := rt2.List("l")
 	for k := uint64(1); k <= 100; k++ {
-		if !l2.Contains(h2, k) {
+		if !l2.Contains(k) {
 			t.Fatalf("completed insert of %d lost without link cache", k)
 		}
 	}
@@ -374,15 +507,14 @@ func TestCrashWithoutDrainKeepsCompletedOps(t *testing.T) {
 
 func TestQueuePublicAPIAndRecovery(t *testing.T) {
 	rt := newRT(t, WithLinkCache(true))
-	h := rt.Handle(0)
-	q, err := rt.Queue(h, "jobs")
+	q, err := rt.Queue("jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for v := uint64(1); v <= 50; v++ {
-		q.Enqueue(h, v)
+		q.Enqueue(v)
 	}
-	if v, ok := q.Dequeue(h); !ok || v != 1 {
+	if v, ok := q.Dequeue(); !ok || v != 1 {
 		t.Fatalf("Dequeue = %d,%v", v, ok)
 	}
 	rt.Drain()
@@ -390,16 +522,15 @@ func TestQueuePublicAPIAndRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
-	q2, err := rt2.Queue(h2, "jobs")
+	q2, err := rt2.Queue("jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := q2.Len(h2); got != 49 {
+	if got := q2.Len(); got != 49 {
 		t.Fatalf("recovered Len = %d, want 49", got)
 	}
 	for v := uint64(2); v <= 51; v++ {
-		got, ok := q2.Dequeue(h2)
+		got, ok := q2.Dequeue()
 		if v <= 50 {
 			if !ok || got != v {
 				t.Fatalf("Dequeue = %d,%v want %d", got, ok, v)
@@ -408,7 +539,7 @@ func TestQueuePublicAPIAndRecovery(t *testing.T) {
 			t.Fatal("queue should be empty")
 		}
 	}
-	if _, ok := q2.Peek(h2); ok {
+	if _, ok := q2.Peek(); ok {
 		t.Fatal("Peek on empty queue")
 	}
 }
@@ -419,8 +550,7 @@ func TestQueuePublicAPIAndRecovery(t *testing.T) {
 // (single-threaded, so every completed op must persist).
 func TestPropertyCrashRecoverCycles(t *testing.T) {
 	rt := newRT(t, WithLinkCache(true), WithMaxThreads(2))
-	h := rt.Handle(0)
-	set, err := rt.BST(h, "prop")
+	set, err := rt.BST("prop")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,15 +562,15 @@ func TestPropertyCrashRecoverCycles(t *testing.T) {
 			v := uint64(cycle*1000 + i)
 			switch rng.Intn(3) {
 			case 0:
-				if set.Insert(h, k, v) {
+				if set.Insert(k, v) {
 					oracle[k] = v
 				}
 			case 1:
-				if _, ok := set.Delete(h, k); ok {
+				if _, ok := set.Delete(k); ok {
 					delete(oracle, k)
 				}
 			default:
-				got, ok := set.Search(h, k)
+				got, ok := set.Search(k)
 				want, had := oracle[k]
 				if ok != had || (ok && got != want) {
 					t.Fatalf("cycle %d: Search(%d) = %d,%v oracle %d,%v",
@@ -454,25 +584,20 @@ func TestPropertyCrashRecoverCycles(t *testing.T) {
 			t.Fatalf("cycle %d: %v", cycle, err)
 		}
 		rt = rt2
-		h = rt.Handle(0)
-		set, err = rt.BST(h, "prop")
+		set, err = rt.BST("prop")
 		if err != nil {
 			t.Fatal(err)
 		}
 		// Exact equality with the oracle after recovery.
 		count := 0
-		ok := true
-		set.Range(h, func(k, v uint64) bool {
+		for k, v := range set.All() {
 			count++
 			if want, had := oracle[k]; !had || want != v {
-				ok = false
-				return false
+				t.Fatalf("cycle %d: recovered %d=%d diverges from oracle", cycle, k, v)
 			}
-			return true
-		})
-		if !ok || count != len(oracle) {
-			t.Fatalf("cycle %d: recovered contents diverge from oracle (%d vs %d keys)",
-				cycle, count, len(oracle))
+		}
+		if count != len(oracle) {
+			t.Fatalf("cycle %d: recovered %d keys, oracle has %d", cycle, count, len(oracle))
 		}
 	}
 }
@@ -482,23 +607,21 @@ func TestPropertyCrashRecoverCycles(t *testing.T) {
 // entry (even with the link cache holding other state).
 func TestDirectoryDurableWithoutDrain(t *testing.T) {
 	rt := newRT(t, WithLinkCache(true))
-	h := rt.Handle(0)
-	if _, err := rt.SkipList(h, "early"); err != nil {
+	if _, err := rt.SkipList("early"); err != nil {
 		t.Fatal(err)
 	}
 	rt2, err := rt.SimulateCrash()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := rt2.Lookup(rt2.Handle(0), "early"); !ok {
+	if _, ok := rt2.Lookup("early"); !ok {
 		t.Fatal("directory entry lost in crash")
 	}
-	h2 := rt2.Handle(0)
-	sl, err := rt2.SkipList(h2, "early")
+	sl, err := rt2.SkipList("early")
 	if err != nil {
 		t.Fatalf("directory entry lost in crash: %v", err)
 	}
-	if !sl.Insert(h2, 1, 1) {
+	if !sl.Insert(1, 1) {
 		t.Fatal("recovered structure unusable")
 	}
 }
@@ -507,14 +630,13 @@ func TestDirectoryDurableWithoutDrain(t *testing.T) {
 // API — no persistence waits at all on the operation paths.
 func TestRuntimeVolatileMode(t *testing.T) {
 	rt := newRT(t, WithVolatile(true))
-	h := rt.Handle(0)
-	bt, err := rt.BST(h, "v")
+	bt, err := rt.BST("v")
 	if err != nil {
 		t.Fatal(err)
 	}
 	rt.Device().ResetStats()
 	for k := uint64(1); k <= 500; k++ {
-		bt.Insert(h, k, k)
+		bt.Insert(k, k)
 	}
 	if st := rt.Device().Stats(); st.SyncWaits != 0 {
 		t.Fatalf("volatile runtime paid %d syncs", st.SyncWaits)
@@ -523,30 +645,28 @@ func TestRuntimeVolatileMode(t *testing.T) {
 
 func TestStackPublicAPIAndRecovery(t *testing.T) {
 	rt := newRT(t, WithLinkCache(true))
-	h := rt.Handle(0)
-	st, err := rt.Stack(h, "undo")
+	st, err := rt.Stack("undo")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for v := uint64(1); v <= 30; v++ {
-		st.Push(h, v)
+		st.Push(v)
 	}
-	st.Pop(h)
+	st.Pop()
 	rt.Drain()
 	rt2, err := rt.SimulateCrash()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
-	st2, err := rt2.Stack(h2, "undo")
+	st2, err := rt2.Stack("undo")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := st2.Len(h2); got != 29 {
+	if got := st2.Len(); got != 29 {
 		t.Fatalf("recovered Len = %d, want 29", got)
 	}
 	for v := uint64(29); v >= 1; v-- {
-		got, ok := st2.Pop(h2)
+		got, ok := st2.Pop()
 		if !ok || got != v {
 			t.Fatalf("Pop = %d,%v want %d", got, ok, v)
 		}
@@ -557,26 +677,70 @@ func TestStackPublicAPIAndRecovery(t *testing.T) {
 // replacement.
 func TestUpsertVeneers(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
-	l, _ := rt.List(h, "l")
-	ht, _ := rt.HashTable(h, "h", 64)
-	sl, _ := rt.SkipList(h, "s")
-	bt, _ := rt.BST(h, "b")
+	l, _ := rt.List("l")
+	ht, _ := rt.HashTable("h", 64)
+	sl, _ := rt.SkipList("s")
+	bt, _ := rt.BST("b")
 	for i, s := range []Set{l, ht, sl, bt} {
-		if !s.Upsert(h, 7, 1) {
+		if !s.Upsert(7, 1) {
 			t.Fatalf("set %d: first Upsert did not insert", i)
 		}
-		if s.Upsert(h, 7, 2) {
+		if s.Upsert(7, 2) {
 			t.Fatalf("set %d: second Upsert claimed insert", i)
 		}
-		if v, ok := s.Search(h, 7); !ok || v != 2 {
+		if v, ok := s.Search(7); !ok || v != 2 {
 			t.Fatalf("set %d: after Upsert Search = %d,%v", i, v, ok)
 		}
-		if _, ok := s.Delete(h, 7); !ok {
+		if _, ok := s.Delete(7); !ok {
 			t.Fatalf("set %d: Delete after Upsert failed", i)
 		}
-		if s.Contains(h, 7) {
+		if s.Contains(7) {
 			t.Fatalf("set %d: key survived Delete", i)
 		}
+	}
+}
+
+// TestClosedRuntime: operations on a closed runtime fail with ErrClosed
+// through errors.Is; a crashed-away runtime is closed too.
+func TestClosedRuntime(t *testing.T) {
+	rt := newRT(t)
+	m, err := rt.Map("c", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := m.Set([]byte("k"), []byte("v2")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Set on closed runtime: %v, want ErrClosed", err)
+	}
+	if _, err := rt.Map("c2", 64); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Map on closed runtime: %v, want ErrClosed", err)
+	}
+	if _, err := rt.Session(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Session on closed runtime: %v, want ErrClosed", err)
+	}
+	if err := m.Batch().Set([]byte("k"), []byte("v3")).Commit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit on closed runtime: %v, want ErrClosed", err)
+	}
+
+	rt2 := newRT(t)
+	m2, _ := rt2.Map("c", 64)
+	rt3, err := rt2.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Set([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Set on crashed-away runtime: %v, want ErrClosed", err)
+	}
+	m3, _ := rt3.Map("c", 64)
+	if err := m3.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"iter"
 
 	"repro/internal/core"
 )
@@ -20,7 +21,18 @@ type Spec struct {
 	Buckets int
 }
 
+// Item is the per-entry payload surfaced by the Items and ScanItems
+// iterators: the value bytes plus the entry's 16-bit metadata field and
+// 64-bit aux word (cache-style metadata: flags, expiry, versions).
+type Item struct {
+	Value []byte
+	Meta  uint16
+	Aux   uint64
+}
+
 // Map is the unified byte-key interface of every keyed durable structure.
+// All methods are safe for concurrent use from any goroutine (implicit
+// sessions).
 //
 // KindMap (the default) stores arbitrary []byte keys and values: the key's
 // hash indexes a log-free durable hash table, the full key is verified in
@@ -34,23 +46,27 @@ type Spec struct {
 // The typed wrappers (Runtime.List, …) give the raw uint64 surface.
 type Map interface {
 	// Set binds key to value (upsert), durably.
-	Set(h *Handle, key, value []byte) error
+	Set(key, value []byte) error
 	// Get returns a copy of the value bound to key.
-	Get(h *Handle, key []byte) ([]byte, bool)
+	Get(key []byte) ([]byte, bool)
 	// Delete removes key durably; false if absent.
-	Delete(h *Handle, key []byte) bool
+	Delete(key []byte) bool
 	// Contains reports whether key is present.
-	Contains(h *Handle, key []byte) bool
+	Contains(key []byte) bool
 	// Len counts live keys (quiescent use).
-	Len(h *Handle) int
-	// Range visits live entries. For ordered kinds (KindOrderedMap,
-	// KindList, KindSkipList, KindBST) iteration is in strictly ascending
-	// byte-key order; for hash-backed kinds (KindMap, KindHashTable) the
-	// order is unspecified. Safe for concurrent use for the byte-map kinds
-	// (no snapshot semantics: concurrent updates may be missed); treat as
-	// quiescent-use for the uint64-plane kinds. fn must not call
-	// operations on the same Handle.
-	Range(h *Handle, fn func(key, value []byte) bool)
+	Len() int
+	// All iterates over live entries (range-over-func). For ordered kinds
+	// (KindOrderedMap, KindList, KindSkipList, KindBST) iteration is in
+	// strictly ascending byte-key order; for hash-backed kinds (KindMap,
+	// KindHashTable) the order is unspecified. The reclamation epoch
+	// section is held across the whole loop: iteration is safe for
+	// concurrent use for the byte-map kinds (no snapshot semantics —
+	// concurrent updates may be missed); treat as quiescent-use for the
+	// uint64-plane kinds. Loop bodies may call operations (they draw their
+	// own sessions) but must not operate through the same pinned Session.
+	All() iter.Seq2[[]byte, []byte]
+	// Batch starts an operation batch against this map; see Batch.
+	Batch() *Batch
 	// Kind reports the structure kind backing the map.
 	Kind() Kind
 	// Name reports the directory name the map is registered under.
@@ -61,37 +77,38 @@ type Map interface {
 // OpenOrCreate for an ordered kind (KindOrderedMap, KindList,
 // KindSkipList, KindBST) satisfies it:
 //
-//	m, _ := rt.OpenOrCreate(h, "scores", logfree.Spec{Kind: logfree.KindOrderedMap})
+//	m, _ := rt.OpenOrCreate("scores", logfree.Spec{Kind: logfree.KindOrderedMap})
 //	om := m.(logfree.OrderedMap)
-//	om.Scan(h, []byte("a"), []byte("b"), func(k, v []byte) bool { ... })
+//	for k, v := range om.Scan([]byte("a"), []byte("b")) { ... }
 //
 // Keys order by bytes.Compare over the complete key; same-hash or
 // shared-prefix keys can never alias or reorder.
 type OrderedMap interface {
 	Map
-	// Scan visits every live key k with start <= k < end in strictly
+	// Scan iterates every live key k with start <= k < end in strictly
 	// ascending byte order. A nil (or empty) start scans from the smallest
 	// key; a nil end scans through the largest. Scans are safe for
-	// concurrent use but are not snapshots; fn must not call operations on
-	// the same Handle.
-	Scan(h *Handle, start, end []byte, fn func(key, value []byte) bool)
-	// Ascend visits every live key in ascending byte order.
-	Ascend(h *Handle, fn func(key, value []byte) bool)
-	// Descend visits every live key in descending byte order (materializes
-	// the ascending pass first; prefer Scan on very large maps).
-	Descend(h *Handle, fn func(key, value []byte) bool)
+	// concurrent use but are not snapshots; see Map.All for the loop-body
+	// contract.
+	Scan(start, end []byte) iter.Seq2[[]byte, []byte]
+	// Ascend iterates every live key in ascending byte order.
+	Ascend() iter.Seq2[[]byte, []byte]
+	// Descend iterates every live key in descending byte order
+	// (materializes the ascending pass first; prefer Scan on very large
+	// maps).
+	Descend() iter.Seq2[[]byte, []byte]
 	// Min returns the smallest live key and its value.
-	Min(h *Handle) (key, value []byte, ok bool)
+	Min() (key, value []byte, ok bool)
 	// Max returns the largest live key and its value.
-	Max(h *Handle) (key, value []byte, ok bool)
+	Max() (key, value []byte, ok bool)
 }
 
-// OpenOrCreate is the generic entry point of the v2 API: it opens the
+// OpenOrCreate is the generic entry point of the API: it opens the
 // structure registered under name, or creates and registers it, and returns
 // the unified byte-key Map view. Opening an existing name under a different
-// kind fails with ErrKind; queue and stack kinds have no map abstraction
-// (ErrNotKeyed) — use Runtime.Queue and Runtime.Stack.
-func (r *Runtime) OpenOrCreate(h *Handle, name string, spec Spec) (Map, error) {
+// kind fails with ErrKindMismatch; queue and stack kinds have no map
+// abstraction (ErrNotKeyed) — use Runtime.Queue and Runtime.Stack.
+func (r *Runtime) OpenOrCreate(name string, spec Spec) (Map, error) {
 	if spec.Kind == 0 {
 		spec.Kind = KindMap
 	}
@@ -100,33 +117,33 @@ func (r *Runtime) OpenOrCreate(h *Handle, name string, spec Spec) (Map, error) {
 	}
 	switch spec.Kind {
 	case KindMap:
-		return r.Map(h, name, spec.Buckets)
+		return r.Map(name, spec.Buckets)
 	case KindOrderedMap:
-		return r.OrderedMap(h, name)
+		return r.OrderedMap(name)
 	case KindHashTable:
-		t, err := r.HashTable(h, name, spec.Buckets)
+		t, err := r.HashTable(name, spec.Buckets)
 		if err != nil {
 			return nil, err
 		}
-		return &u64View{m: t, kind: KindHashTable, name: name}, nil
+		return &u64View{binding: t.binding, m: t.t, kind: KindHashTable, name: name}, nil
 	case KindList:
-		l, err := r.List(h, name)
+		l, err := r.List(name)
 		if err != nil {
 			return nil, err
 		}
-		return &u64OrderedView{u64View{m: l, kind: KindList, name: name}}, nil
+		return &u64OrderedView{u64View{binding: l.binding, m: l.l, kind: KindList, name: name}}, nil
 	case KindSkipList:
-		s, err := r.SkipList(h, name)
+		s, err := r.SkipList(name)
 		if err != nil {
 			return nil, err
 		}
-		return &u64OrderedView{u64View{m: s, kind: KindSkipList, name: name}}, nil
+		return &u64OrderedView{u64View{binding: s.binding, m: s.s, kind: KindSkipList, name: name}}, nil
 	case KindBST:
-		t, err := r.BST(h, name)
+		t, err := r.BST(name)
 		if err != nil {
 			return nil, err
 		}
-		return &u64OrderedView{u64View{m: t, kind: KindBST, name: name}}, nil
+		return &u64OrderedView{u64View{binding: t.binding, m: t.t, kind: KindBST, name: name}}, nil
 	case KindQueue, KindStack:
 		return nil, fmt.Errorf("%w: %v", ErrNotKeyed, spec.Kind)
 	}
@@ -145,22 +162,27 @@ func SetHashForTesting(f func([]byte) uint64) { core.SetBytesHashForTesting(f) }
 // ByteMap is the byte-keyed durable hash map (KindMap): arbitrary []byte
 // keys and values with durable collision chains, plus a 16-bit metadata
 // field and a 64-bit aux word per entry for cache-style metadata (flags,
-// expiry). All methods are safe for concurrent use provided each goroutine
-// uses its own Handle.
+// expiry). All methods are safe for concurrent use from any goroutine.
 type ByteMap struct {
+	binding
 	b    *core.BytesMap
 	name string
 }
 
 // Map opens or creates the byte-keyed durable map registered under name
 // (the typed veneer of OpenOrCreate with KindMap).
-func (r *Runtime) Map(h *Handle, name string, buckets int) (*ByteMap, error) {
+func (r *Runtime) Map(name string, buckets int) (*ByteMap, error) {
 	if buckets <= 0 {
 		buckets = 1024
 	}
+	c, s, err := binding{rt: r}.beginErr()
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(s)
 	var created *core.BytesMap
-	aux, a1, a2, err := r.ensure(h, name, KindMap, func() (uint64, uint64, uint64, error) {
-		b, err := core.NewBytesMap(h.c, buckets)
+	aux, a1, a2, err := r.ensure(c, name, KindMap, func() (uint64, uint64, uint64, error) {
+		b, err := core.NewBytesMap(c, buckets)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -168,64 +190,130 @@ func (r *Runtime) Map(h *Handle, name string, buckets int) (*ByteMap, error) {
 		return uint64(b.NumBuckets()), b.Buckets(), b.Tail(), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	if created != nil {
-		return &ByteMap{b: created, name: name}, nil
+	if created == nil {
+		created = core.AttachBytesMap(r.store, a1, int(aux), a2)
 	}
-	return &ByteMap{b: core.AttachBytesMap(r.store, a1, int(aux), a2), name: name}, nil
+	return &ByteMap{binding: binding{rt: r}, b: created, name: name}, nil
+}
+
+// WithSession returns a view of the map whose operations all run on the
+// pinned session s instead of drawing pooled sessions — for tight
+// single-goroutine loops. The view must only be used by the goroutine
+// owning s.
+func (m *ByteMap) WithSession(s *Session) *ByteMap {
+	cp := *m
+	cp.pin = s
+	return &cp
 }
 
 // Set implements Map (meta 0, aux 0).
-func (m *ByteMap) Set(h *Handle, key, value []byte) error {
-	_, err := m.b.Set(h.c, key, value, 0, 0)
-	return err
+func (m *ByteMap) Set(key, value []byte) error {
+	c, s, err := m.beginErr()
+	if err != nil {
+		return err
+	}
+	defer m.end(s)
+	_, err = m.b.Set(c, key, value, 0, 0)
+	return wrapErr(err)
 }
 
 // SetItem binds key to value with a metadata field and aux word; reports
 // whether the key was newly created.
-func (m *ByteMap) SetItem(h *Handle, key, value []byte, meta uint16, aux uint64) (created bool, err error) {
-	return m.b.Set(h.c, key, value, meta, aux)
+func (m *ByteMap) SetItem(key, value []byte, meta uint16, aux uint64) (created bool, err error) {
+	c, s, err := m.beginErr()
+	if err != nil {
+		return false, err
+	}
+	defer m.end(s)
+	created, err = m.b.Set(c, key, value, meta, aux)
+	return created, wrapErr(err)
 }
 
 // Get implements Map.
-func (m *ByteMap) Get(h *Handle, key []byte) ([]byte, bool) {
-	return m.b.Get(h.c, key)
+func (m *ByteMap) Get(key []byte) ([]byte, bool) {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.b.Get(c, key)
 }
 
 // GetItem returns the value with its metadata field and aux word.
-func (m *ByteMap) GetItem(h *Handle, key []byte) (value []byte, meta uint16, aux uint64, ok bool) {
-	return m.b.GetItem(h.c, key)
+func (m *ByteMap) GetItem(key []byte) (value []byte, meta uint16, aux uint64, ok bool) {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.b.GetItem(c, key)
 }
 
 // GetAux returns only the aux word bound to key (no value copy).
-func (m *ByteMap) GetAux(h *Handle, key []byte) (aux uint64, ok bool) {
-	return m.b.GetAux(h.c, key)
+func (m *ByteMap) GetAux(key []byte) (aux uint64, ok bool) {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.b.GetAux(c, key)
 }
 
 // SetAux durably replaces the aux word of an existing entry in place
 // (touch-style update); false if key is absent.
-func (m *ByteMap) SetAux(h *Handle, key []byte, aux uint64) bool {
-	return m.b.SetAux(h.c, key, aux)
+func (m *ByteMap) SetAux(key []byte, aux uint64) bool {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.b.SetAux(c, key, aux)
 }
 
 // Delete implements Map.
-func (m *ByteMap) Delete(h *Handle, key []byte) bool { return m.b.Delete(h.c, key) }
-
-// Contains implements Map.
-func (m *ByteMap) Contains(h *Handle, key []byte) bool { return m.b.Contains(h.c, key) }
-
-// Len implements Map (quiescent use).
-func (m *ByteMap) Len(h *Handle) int { return m.b.Len(h.c) }
-
-// Range implements Map (unordered; quiescent use).
-func (m *ByteMap) Range(h *Handle, fn func(key, value []byte) bool) {
-	m.b.Range(h.c, fn)
+func (m *ByteMap) Delete(key []byte) bool {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.b.Delete(c, key)
 }
 
-// RangeItems is Range including each entry's metadata and aux word.
-func (m *ByteMap) RangeItems(h *Handle, fn func(key, value []byte, meta uint16, aux uint64) bool) {
-	m.b.RangeItems(h.c, fn)
+// Contains implements Map.
+func (m *ByteMap) Contains(key []byte) bool {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.b.Contains(c, key)
+}
+
+// Len implements Map (quiescent use).
+func (m *ByteMap) Len() int {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.b.Len(c)
+}
+
+// All implements Map: unordered iteration, epoch-protected across the whole
+// loop (safe-concurrent, no snapshot semantics).
+func (m *ByteMap) All() iter.Seq2[[]byte, []byte] {
+	return func(yield func([]byte, []byte) bool) {
+		c, s := m.begin()
+		defer m.end(s)
+		m.b.Range(c, yield)
+	}
+}
+
+// Items is All including each entry's metadata and aux word.
+func (m *ByteMap) Items() iter.Seq2[[]byte, Item] {
+	return func(yield func([]byte, Item) bool) {
+		c, s := m.begin()
+		defer m.end(s)
+		m.b.RangeItems(c, func(k, v []byte, meta uint16, aux uint64) bool {
+			return yield(k, Item{Value: v, Meta: meta, Aux: aux})
+		})
+	}
+}
+
+// Batch implements Map: Commit applies the collected ops with one shared
+// content fence before the per-op publishing links (~N+1 sync waits for N
+// sets instead of 2N).
+func (m *ByteMap) Batch() *Batch {
+	return &Batch{apply: func(ops []core.BytesOp) error {
+		c, s, err := m.beginErr()
+		if err != nil {
+			return err
+		}
+		defer m.end(s)
+		return wrapErr(m.b.ApplyBatch(c, ops))
+	}}
 }
 
 // Kind implements Map.
@@ -239,10 +327,10 @@ func (m *ByteMap) Name() string { return m.name }
 // OrderedByteMap is the byte-keyed ordered durable map (KindOrderedMap):
 // arbitrary []byte keys and values over a byte-key-comparing durable skip
 // list, plus a 16-bit metadata field and a 64-bit aux word per entry. It
-// satisfies OrderedMap: Range and Scan visit keys in strictly ascending
-// byte order. All methods are safe for concurrent use provided each
-// goroutine uses its own Handle.
+// satisfies OrderedMap: All and Scan iterate keys in strictly ascending
+// byte order. All methods are safe for concurrent use from any goroutine.
 type OrderedByteMap struct {
+	binding
 	o    *core.OrderedBytesMap
 	name string
 }
@@ -250,10 +338,15 @@ type OrderedByteMap struct {
 // OrderedMap opens or creates the ordered byte-keyed durable map
 // registered under name (the typed veneer of OpenOrCreate with
 // KindOrderedMap).
-func (r *Runtime) OrderedMap(h *Handle, name string) (*OrderedByteMap, error) {
+func (r *Runtime) OrderedMap(name string) (*OrderedByteMap, error) {
+	c, s, err := binding{rt: r}.beginErr()
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(s)
 	var created *core.OrderedBytesMap
-	_, a1, a2, err := r.ensure(h, name, KindOrderedMap, func() (uint64, uint64, uint64, error) {
-		o, err := core.NewOrderedBytesMap(h.c)
+	_, a1, a2, err := r.ensure(c, name, KindOrderedMap, func() (uint64, uint64, uint64, error) {
+		o, err := core.NewOrderedBytesMap(c)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -261,87 +354,153 @@ func (r *Runtime) OrderedMap(h *Handle, name string) (*OrderedByteMap, error) {
 		return 0, o.Head(), o.Tail(), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	if created != nil {
-		return &OrderedByteMap{o: created, name: name}, nil
+	if created == nil {
+		created = core.AttachOrderedBytesMap(r.store, a1, a2)
 	}
-	return &OrderedByteMap{o: core.AttachOrderedBytesMap(r.store, a1, a2), name: name}, nil
+	return &OrderedByteMap{binding: binding{rt: r}, o: created, name: name}, nil
+}
+
+// WithSession returns a view of the map whose operations all run on the
+// pinned session s; see ByteMap.WithSession.
+func (m *OrderedByteMap) WithSession(s *Session) *OrderedByteMap {
+	cp := *m
+	cp.pin = s
+	return &cp
 }
 
 // Set implements Map (meta 0, aux 0).
-func (m *OrderedByteMap) Set(h *Handle, key, value []byte) error {
-	_, err := m.o.Set(h.c, key, value, 0, 0)
-	return err
+func (m *OrderedByteMap) Set(key, value []byte) error {
+	c, s, err := m.beginErr()
+	if err != nil {
+		return err
+	}
+	defer m.end(s)
+	_, err = m.o.Set(c, key, value, 0, 0)
+	return wrapErr(err)
 }
 
 // SetItem binds key to value with a metadata field and aux word; reports
 // whether the key was newly created.
-func (m *OrderedByteMap) SetItem(h *Handle, key, value []byte, meta uint16, aux uint64) (created bool, err error) {
-	return m.o.Set(h.c, key, value, meta, aux)
+func (m *OrderedByteMap) SetItem(key, value []byte, meta uint16, aux uint64) (created bool, err error) {
+	c, s, err := m.beginErr()
+	if err != nil {
+		return false, err
+	}
+	defer m.end(s)
+	created, err = m.o.Set(c, key, value, meta, aux)
+	return created, wrapErr(err)
 }
 
 // Get implements Map.
-func (m *OrderedByteMap) Get(h *Handle, key []byte) ([]byte, bool) {
-	return m.o.Get(h.c, key)
+func (m *OrderedByteMap) Get(key []byte) ([]byte, bool) {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.o.Get(c, key)
 }
 
 // GetItem returns the value with its metadata field and aux word.
-func (m *OrderedByteMap) GetItem(h *Handle, key []byte) (value []byte, meta uint16, aux uint64, ok bool) {
-	return m.o.GetItem(h.c, key)
+func (m *OrderedByteMap) GetItem(key []byte) (value []byte, meta uint16, aux uint64, ok bool) {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.o.GetItem(c, key)
 }
 
 // SetAux durably replaces the aux word of an existing entry in place
 // (touch-style update); false if key is absent.
-func (m *OrderedByteMap) SetAux(h *Handle, key []byte, aux uint64) bool {
-	return m.o.SetAux(h.c, key, aux)
+func (m *OrderedByteMap) SetAux(key []byte, aux uint64) bool {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.o.SetAux(c, key, aux)
 }
 
 // Delete implements Map.
-func (m *OrderedByteMap) Delete(h *Handle, key []byte) bool { return m.o.Delete(h.c, key) }
+func (m *OrderedByteMap) Delete(key []byte) bool {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.o.Delete(c, key)
+}
 
 // Contains implements Map.
-func (m *OrderedByteMap) Contains(h *Handle, key []byte) bool { return m.o.Contains(h.c, key) }
+func (m *OrderedByteMap) Contains(key []byte) bool {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.o.Contains(c, key)
+}
 
 // Len implements Map (quiescent use).
-func (m *OrderedByteMap) Len(h *Handle) int { return m.o.Len(h.c) }
-
-// Range implements Map: ascending byte-key order.
-func (m *OrderedByteMap) Range(h *Handle, fn func(key, value []byte) bool) {
-	m.o.Ascend(h.c, fn)
+func (m *OrderedByteMap) Len() int {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.o.Len(c)
 }
 
-// RangeItems is Range including each entry's metadata and aux word.
-func (m *OrderedByteMap) RangeItems(h *Handle, fn func(key, value []byte, meta uint16, aux uint64) bool) {
-	m.o.ScanItems(h.c, nil, nil, fn)
-}
+// All implements Map: ascending byte-key order, epoch-protected across the
+// whole loop.
+func (m *OrderedByteMap) All() iter.Seq2[[]byte, []byte] { return m.Scan(nil, nil) }
+
+// Items is All including each entry's metadata and aux word.
+func (m *OrderedByteMap) Items() iter.Seq2[[]byte, Item] { return m.ScanItems(nil, nil) }
 
 // Scan implements OrderedMap: ascending over [start, end) (nil start = from
 // the smallest key, nil end = through the largest).
-func (m *OrderedByteMap) Scan(h *Handle, start, end []byte, fn func(key, value []byte) bool) {
-	m.o.Scan(h.c, start, end, fn)
+func (m *OrderedByteMap) Scan(start, end []byte) iter.Seq2[[]byte, []byte] {
+	return func(yield func([]byte, []byte) bool) {
+		c, s := m.begin()
+		defer m.end(s)
+		m.o.Scan(c, start, end, yield)
+	}
 }
 
 // ScanItems is Scan including each entry's metadata and aux word.
-func (m *OrderedByteMap) ScanItems(h *Handle, start, end []byte, fn func(key, value []byte, meta uint16, aux uint64) bool) {
-	m.o.ScanItems(h.c, start, end, fn)
+func (m *OrderedByteMap) ScanItems(start, end []byte) iter.Seq2[[]byte, Item] {
+	return func(yield func([]byte, Item) bool) {
+		c, s := m.begin()
+		defer m.end(s)
+		m.o.ScanItems(c, start, end, func(k, v []byte, meta uint16, aux uint64) bool {
+			return yield(k, Item{Value: v, Meta: meta, Aux: aux})
+		})
+	}
 }
 
 // Ascend implements OrderedMap.
-func (m *OrderedByteMap) Ascend(h *Handle, fn func(key, value []byte) bool) {
-	m.o.Ascend(h.c, fn)
-}
+func (m *OrderedByteMap) Ascend() iter.Seq2[[]byte, []byte] { return m.Scan(nil, nil) }
 
 // Descend implements OrderedMap.
-func (m *OrderedByteMap) Descend(h *Handle, fn func(key, value []byte) bool) {
-	m.o.Descend(h.c, fn)
+func (m *OrderedByteMap) Descend() iter.Seq2[[]byte, []byte] {
+	return func(yield func([]byte, []byte) bool) {
+		c, s := m.begin()
+		defer m.end(s)
+		m.o.Descend(c, yield)
+	}
 }
 
 // Min implements OrderedMap.
-func (m *OrderedByteMap) Min(h *Handle) (key, value []byte, ok bool) { return m.o.Min(h.c) }
+func (m *OrderedByteMap) Min() (key, value []byte, ok bool) {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.o.Min(c)
+}
 
 // Max implements OrderedMap.
-func (m *OrderedByteMap) Max(h *Handle) (key, value []byte, ok bool) { return m.o.Max(h.c) }
+func (m *OrderedByteMap) Max() (key, value []byte, ok bool) {
+	c, s := m.begin()
+	defer m.end(s)
+	return m.o.Max(c)
+}
+
+// Batch implements Map; see ByteMap.Batch.
+func (m *OrderedByteMap) Batch() *Batch {
+	return &Batch{apply: func(ops []core.BytesOp) error {
+		c, s, err := m.beginErr()
+		if err != nil {
+			return err
+		}
+		defer m.end(s)
+		return wrapErr(m.o.ApplyBatch(c, ops))
+	}}
+}
 
 // Kind implements Map.
 func (m *OrderedByteMap) Kind() Kind { return KindOrderedMap }
@@ -351,22 +510,30 @@ func (m *OrderedByteMap) Name() string { return m.name }
 
 // --- uint64-plane adapter ------------------------------------------------
 
-// u64ops is the operation set the typed wrappers share (see structures.go).
-type u64ops interface {
-	Insert(h *Handle, key, value uint64) bool
-	Upsert(h *Handle, key, value uint64) bool
-	Delete(h *Handle, key uint64) (uint64, bool)
-	Search(h *Handle, key uint64) (uint64, bool)
-	Contains(h *Handle, key uint64) bool
-	Len(h *Handle) int
-	Range(h *Handle, fn func(key, value uint64) bool)
+// u64core is the operation set the core uint64 structures share; the typed
+// wrappers and the byte-key views both drive it with the session they hold.
+type u64core interface {
+	Insert(c *core.Ctx, key, value uint64) bool
+	Upsert(c *core.Ctx, key, value uint64) bool
+	Delete(c *core.Ctx, key uint64) (uint64, bool)
+	Search(c *core.Ctx, key uint64) (uint64, bool)
+	Contains(c *core.Ctx, key uint64) bool
+	Len(c *core.Ctx) int
+	Range(c *core.Ctx, fn func(key, value uint64) bool)
+}
+
+// u64coreScanner is implemented by core structures with native ordered
+// iteration plumbing (the skip list's SeekGE-positioned Scan).
+type u64coreScanner interface {
+	Scan(c *core.Ctx, start, end uint64, fn func(key, value uint64) bool)
 }
 
 // u64View adapts a uint64 structure to the byte-key Map interface: keys and
 // values are exactly 8 big-endian bytes (fixed width — variable-length keys
 // with leading zeros would alias onto one uint64).
 type u64View struct {
-	m    u64ops
+	binding
+	m    u64core
 	kind Kind
 	name string
 }
@@ -382,7 +549,7 @@ func decodeU64Key(key []byte) (uint64, error) {
 	return k, nil
 }
 
-func (v *u64View) Set(h *Handle, key, value []byte) error {
+func (v *u64View) Set(key, value []byte) error {
 	k, err := decodeU64Key(key)
 	if err != nil {
 		return err
@@ -390,16 +557,23 @@ func (v *u64View) Set(h *Handle, key, value []byte) error {
 	if len(value) != 8 {
 		return ErrValueSize
 	}
-	v.m.Upsert(h, k, binary.BigEndian.Uint64(value))
+	c, s, err := v.beginErr()
+	if err != nil {
+		return err
+	}
+	defer v.end(s)
+	v.m.Upsert(c, k, binary.BigEndian.Uint64(value))
 	return nil
 }
 
-func (v *u64View) Get(h *Handle, key []byte) ([]byte, bool) {
+func (v *u64View) Get(key []byte) ([]byte, bool) {
 	k, err := decodeU64Key(key)
 	if err != nil {
 		return nil, false
 	}
-	val, ok := v.m.Search(h, k)
+	c, s := v.begin()
+	defer v.end(s)
+	val, ok := v.m.Search(c, k)
 	if !ok {
 		return nil, false
 	}
@@ -408,41 +582,71 @@ func (v *u64View) Get(h *Handle, key []byte) ([]byte, bool) {
 	return out, true
 }
 
-func (v *u64View) Delete(h *Handle, key []byte) bool {
+func (v *u64View) Delete(key []byte) bool {
 	k, err := decodeU64Key(key)
 	if err != nil {
 		return false
 	}
-	_, ok := v.m.Delete(h, k)
+	c, s := v.begin()
+	defer v.end(s)
+	_, ok := v.m.Delete(c, k)
 	return ok
 }
 
-func (v *u64View) Contains(h *Handle, key []byte) bool {
-	_, ok := v.Get(h, key)
+func (v *u64View) Contains(key []byte) bool {
+	_, ok := v.Get(key)
 	return ok
 }
 
-func (v *u64View) Len(h *Handle) int { return v.m.Len(h) }
+func (v *u64View) Len() int {
+	c, s := v.begin()
+	defer v.end(s)
+	return v.m.Len(c)
+}
 
-func (v *u64View) Range(h *Handle, fn func(key, value []byte) bool) {
-	v.m.Range(h, func(k, val uint64) bool {
-		kb, vb := make([]byte, 8), make([]byte, 8)
-		binary.BigEndian.PutUint64(kb, k)
-		binary.BigEndian.PutUint64(vb, val)
-		return fn(kb, vb)
-	})
+func (v *u64View) All() iter.Seq2[[]byte, []byte] {
+	return func(yield func([]byte, []byte) bool) {
+		c, s := v.begin()
+		defer v.end(s)
+		v.m.Range(c, func(k, val uint64) bool {
+			kb, vb := make([]byte, 8), make([]byte, 8)
+			binary.BigEndian.PutUint64(kb, k)
+			binary.BigEndian.PutUint64(vb, val)
+			return yield(kb, vb)
+		})
+	}
+}
+
+// Batch implements Map. The uint64 plane has no deferred-fence plumbing, so
+// Commit simply applies the ops in order (same crash semantics — each op is
+// individually durable — without the fence amortization of the byte maps).
+// uint64 entries store no per-entry metadata: a buffered SetItem with a
+// non-zero meta or aux fails with ErrNoItemMeta rather than dropping the
+// fields silently.
+func (v *u64View) Batch() *Batch {
+	return &Batch{apply: func(ops []core.BytesOp) error {
+		for i := range ops {
+			if ops[i].Meta != 0 || ops[i].Aux != 0 {
+				return fmt.Errorf("%w: %v batch op carries meta/aux", ErrNoItemMeta, v.kind)
+			}
+		}
+		for i := range ops {
+			if ops[i].Del {
+				v.Delete(ops[i].Key)
+				continue
+			}
+			if err := v.Set(ops[i].Key, ops[i].Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
 }
 
 func (v *u64View) Kind() Kind   { return v.kind }
 func (v *u64View) Name() string { return v.name }
 
 // --- ordered uint64-plane adapter ----------------------------------------
-
-// u64Scanner is implemented by typed wrappers with native ordered
-// iteration plumbing (the skip list's SeekGE-positioned Scan).
-type u64Scanner interface {
-	Scan(h *Handle, start, end uint64, fn func(key, value uint64) bool)
-}
 
 // u64OrderedView wraps u64View over the ordered uint64 kinds (KindList,
 // KindSkipList, KindBST — structures whose Range already iterates in
@@ -451,84 +655,85 @@ type u64Scanner interface {
 // and Scan bounds of any length compare lexicographically.
 type u64OrderedView struct{ u64View }
 
-func (v *u64OrderedView) Scan(h *Handle, start, end []byte, fn func(key, value []byte) bool) {
-	emit := func(k, val uint64) bool {
-		kb, vb := make([]byte, 8), make([]byte, 8)
-		binary.BigEndian.PutUint64(kb, k)
-		binary.BigEndian.PutUint64(vb, val)
-		return fn(kb, vb)
-	}
-	// Fast path: exact 8-byte (or open) bounds on a structure with native
-	// seek plumbing position with the index instead of filtering.
-	if s, ok := v.m.(u64Scanner); ok && (len(start) == 0 || len(start) == 8) && (end == nil || len(end) == 8) {
-		lo := uint64(MinKey)
-		if len(start) == 8 {
-			if k := binary.BigEndian.Uint64(start); k > lo {
-				lo = k
-			}
+func (v *u64OrderedView) Scan(start, end []byte) iter.Seq2[[]byte, []byte] {
+	return func(yield func([]byte, []byte) bool) {
+		c, s := v.begin()
+		defer v.end(s)
+		emit := func(k, val uint64) bool {
+			kb, vb := make([]byte, 8), make([]byte, 8)
+			binary.BigEndian.PutUint64(kb, k)
+			binary.BigEndian.PutUint64(vb, val)
+			return yield(kb, vb)
 		}
-		hi := uint64(0) // 0 = through MaxKey
-		if len(end) == 8 {
-			hi = binary.BigEndian.Uint64(end)
-			if hi == 0 {
-				return // end below every storable key
+		// Fast path: exact 8-byte (or open) bounds on a structure with
+		// native seek plumbing position with the index instead of filtering.
+		if sc, ok := v.m.(u64coreScanner); ok && (len(start) == 0 || len(start) == 8) && (end == nil || len(end) == 8) {
+			lo := uint64(MinKey)
+			if len(start) == 8 {
+				if k := binary.BigEndian.Uint64(start); k > lo {
+					lo = k
+				}
 			}
-		}
-		if lo > MaxKey {
+			hi := uint64(0) // 0 = through MaxKey
+			if len(end) == 8 {
+				hi = binary.BigEndian.Uint64(end)
+				if hi == 0 {
+					return // end below every storable key
+				}
+			}
+			if lo > MaxKey {
+				return
+			}
+			sc.Scan(c, lo, hi, emit)
 			return
 		}
-		s.Scan(h, lo, hi, emit)
-		return
+		// Slow path (list, BST, or ragged bounds): the underlying Range
+		// walks without its own epoch section, so open one here — retired
+		// nodes then cannot be reclaimed mid-walk, making the OrderedMap
+		// concurrency contract hold for every ordered kind.
+		c.Epoch().Begin()
+		defer c.Epoch().End()
+		v.m.Range(c, func(k, val uint64) bool {
+			var kb [8]byte
+			binary.BigEndian.PutUint64(kb[:], k)
+			if len(start) > 0 && bytes.Compare(kb[:], start) < 0 {
+				return true
+			}
+			if end != nil && bytes.Compare(kb[:], end) >= 0 {
+				return false // ascending: nothing after can be in range
+			}
+			return emit(k, val)
+		})
 	}
-	// Slow path (list, BST, or ragged bounds): the underlying Range walks
-	// without its own epoch section, so open one here — retired nodes then
-	// cannot be reclaimed mid-walk, making the OrderedMap concurrency
-	// contract hold for every ordered kind.
-	h.c.Epoch().Begin()
-	defer h.c.Epoch().End()
-	v.m.Range(h, func(k, val uint64) bool {
-		var kb [8]byte
-		binary.BigEndian.PutUint64(kb[:], k)
-		if len(start) > 0 && bytes.Compare(kb[:], start) < 0 {
-			return true
-		}
-		if end != nil && bytes.Compare(kb[:], end) >= 0 {
-			return false // ascending: nothing after can be in range
-		}
-		return emit(k, val)
-	})
 }
 
-func (v *u64OrderedView) Ascend(h *Handle, fn func(key, value []byte) bool) {
-	v.Scan(h, nil, nil, fn)
-}
+func (v *u64OrderedView) Ascend() iter.Seq2[[]byte, []byte] { return v.Scan(nil, nil) }
 
-func (v *u64OrderedView) Descend(h *Handle, fn func(key, value []byte) bool) {
-	type kv struct{ k, v []byte }
-	var all []kv
-	v.Scan(h, nil, nil, func(k, val []byte) bool {
-		all = append(all, kv{k, val})
-		return true
-	})
-	for i := len(all) - 1; i >= 0; i-- {
-		if !fn(all[i].k, all[i].v) {
-			return
+func (v *u64OrderedView) Descend() iter.Seq2[[]byte, []byte] {
+	return func(yield func([]byte, []byte) bool) {
+		type kv struct{ k, v []byte }
+		var all []kv
+		for k, val := range v.Scan(nil, nil) {
+			all = append(all, kv{k, val})
+		}
+		for i := len(all) - 1; i >= 0; i-- {
+			if !yield(all[i].k, all[i].v) {
+				return
+			}
 		}
 	}
 }
 
-func (v *u64OrderedView) Min(h *Handle) (key, value []byte, ok bool) {
-	v.Scan(h, nil, nil, func(k, val []byte) bool {
-		key, value, ok = k, val, true
-		return false
-	})
-	return key, value, ok
+func (v *u64OrderedView) Min() (key, value []byte, ok bool) {
+	for k, val := range v.Scan(nil, nil) {
+		return k, val, true
+	}
+	return nil, nil, false
 }
 
-func (v *u64OrderedView) Max(h *Handle) (key, value []byte, ok bool) {
-	v.Scan(h, nil, nil, func(k, val []byte) bool {
+func (v *u64OrderedView) Max() (key, value []byte, ok bool) {
+	for k, val := range v.Scan(nil, nil) {
 		key, value, ok = k, val, true
-		return true
-	})
+	}
 	return key, value, ok
 }

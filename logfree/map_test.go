@@ -9,113 +9,114 @@ import (
 
 func TestByteMapBasics(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
-	m, err := rt.Map(h, "kv", 64)
+	m, err := rt.Map("kv", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Set(h, []byte("hello"), []byte("world")); err != nil {
+	if err := m.Set([]byte("hello"), []byte("world")); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := m.Get(h, []byte("hello")); !ok || string(v) != "world" {
+	if v, ok := m.Get([]byte("hello")); !ok || string(v) != "world" {
 		t.Fatalf("Get = %q,%v", v, ok)
 	}
-	if _, ok := m.Get(h, []byte("nope")); ok {
+	if _, ok := m.Get([]byte("nope")); ok {
 		t.Fatal("missing key found")
 	}
-	if err := m.Set(h, []byte("hello"), []byte("mundo, otra vez")); err != nil {
+	if err := m.Set([]byte("hello"), []byte("mundo, otra vez")); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := m.Get(h, []byte("hello")); !ok || string(v) != "mundo, otra vez" {
+	if v, ok := m.Get([]byte("hello")); !ok || string(v) != "mundo, otra vez" {
 		t.Fatalf("after overwrite: %q,%v", v, ok)
 	}
-	if m.Len(h) != 1 {
-		t.Fatalf("Len = %d, want 1", m.Len(h))
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
 	}
-	if !m.Delete(h, []byte("hello")) {
+	if !m.Delete([]byte("hello")) {
 		t.Fatal("delete failed")
 	}
-	if m.Delete(h, []byte("hello")) {
+	if m.Delete([]byte("hello")) {
 		t.Fatal("double delete succeeded")
 	}
-	if m.Contains(h, []byte("hello")) {
+	if m.Contains([]byte("hello")) {
 		t.Fatal("deleted key still present")
 	}
 }
 
 func TestByteMapMetaAux(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
-	m, _ := rt.Map(h, "kv", 64)
-	created, err := m.SetItem(h, []byte("k"), []byte("v"), 7, 99)
+	m, _ := rt.Map("kv", 64)
+	created, err := m.SetItem([]byte("k"), []byte("v"), 7, 99)
 	if err != nil || !created {
 		t.Fatalf("SetItem = %v,%v", created, err)
 	}
-	v, meta, aux, ok := m.GetItem(h, []byte("k"))
+	v, meta, aux, ok := m.GetItem([]byte("k"))
 	if !ok || string(v) != "v" || meta != 7 || aux != 99 {
 		t.Fatalf("GetItem = %q,%d,%d,%v", v, meta, aux, ok)
 	}
-	if !m.SetAux(h, []byte("k"), 123) {
+	if !m.SetAux([]byte("k"), 123) {
 		t.Fatal("SetAux failed")
 	}
-	if _, _, aux, _ := m.GetItem(h, []byte("k")); aux != 123 {
+	if _, _, aux, _ := m.GetItem([]byte("k")); aux != 123 {
 		t.Fatalf("aux after SetAux = %d", aux)
 	}
-	if m.SetAux(h, []byte("absent"), 1) {
+	if m.SetAux([]byte("absent"), 1) {
 		t.Fatal("SetAux on missing key succeeded")
 	}
-	created, err = m.SetItem(h, []byte("k"), []byte("v2"), 8, 100)
+	created, err = m.SetItem([]byte("k"), []byte("v2"), 8, 100)
 	if err != nil || created {
 		t.Fatalf("replacing SetItem = %v,%v", created, err)
+	}
+	// The Items iterator surfaces meta and aux.
+	for k, it := range m.Items() {
+		if string(k) != "k" || string(it.Value) != "v2" || it.Meta != 8 || it.Aux != 100 {
+			t.Fatalf("Items = %q -> %+v", k, it)
+		}
 	}
 }
 
 func TestByteMapLimits(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
-	m, _ := rt.Map(h, "kv", 64)
-	if err := m.Set(h, nil, []byte("v")); !errors.Is(err, ErrBadKey) {
+	m, _ := rt.Map("kv", 64)
+	if err := m.Set(nil, []byte("v")); !errors.Is(err, ErrBadKey) {
 		t.Fatalf("empty key: %v", err)
 	}
-	if err := m.Set(h, bytes.Repeat([]byte("k"), 600), []byte("v")); !errors.Is(err, ErrBadKey) {
+	if err := m.Set(bytes.Repeat([]byte("k"), 600), []byte("v")); !errors.Is(err, ErrBadKey) {
 		t.Fatalf("oversized key: %v", err)
 	}
-	if err := m.Set(h, []byte("k"), make([]byte, 4096)); !errors.Is(err, ErrTooLarge) {
+	if err := m.Set([]byte("k"), make([]byte, 4096)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversized value: %v", err)
 	}
 	// The largest storable entry fits exactly.
-	if err := m.Set(h, []byte("k"), make([]byte, 2048-32-1)); err != nil {
+	if err := m.Set([]byte("k"), make([]byte, 2048-32-1)); err != nil {
 		t.Fatalf("max-size value rejected: %v", err)
 	}
 }
 
 func TestByteMapManyKeysCrashRecover(t *testing.T) {
 	rt := newRT(t, WithLinkCache(true))
-	h := rt.Handle(0)
-	m, _ := rt.Map(h, "kv", 128)
+	m, _ := rt.Map("kv", 128)
 	for i := 0; i < 1000; i++ {
 		key := []byte(fmt.Sprintf("key-%04d", i))
 		val := bytes.Repeat([]byte{byte(i)}, 1+i%300)
-		if err := m.Set(h, key, val); err != nil {
+		if err := m.Set(key, val); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 1000; i += 4 {
-		m.Delete(h, []byte(fmt.Sprintf("key-%04d", i)))
+		m.Delete([]byte(fmt.Sprintf("key-%04d", i)))
 	}
 	rt.Drain()
 	rt2, err := rt.SimulateCrash()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
-	m2, err := rt2.Map(h2, "kv", 128)
+	m2, err := rt2.Map("kv", 128)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 1000; i++ {
 		key := []byte(fmt.Sprintf("key-%04d", i))
-		v, ok := m2.Get(h2, key)
+		v, ok := m2.Get(key)
 		want := i%4 != 0
 		if ok != want {
 			t.Fatalf("key %d after recovery: present=%v want %v", i, ok, want)
@@ -124,7 +125,7 @@ func TestByteMapManyKeysCrashRecover(t *testing.T) {
 			t.Fatalf("key %d value corrupt after recovery (len %d)", i, len(v))
 		}
 	}
-	if n := m2.Len(h2); n != 750 {
+	if n := m2.Len(); n != 750 {
 		t.Fatalf("recovered Len = %d, want 750", n)
 	}
 }
@@ -141,32 +142,31 @@ func TestHashCollisionKeysStayDistinct(t *testing.T) {
 	defer SetHashForTesting(nil)
 
 	rt := newRT(t, WithLinkCache(true))
-	h := rt.Handle(0)
-	m, err := rt.Map(h, "collide", 64)
+	m, err := rt.Map("collide", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const n = 40
 	for i := 0; i < n; i++ {
-		if err := m.Set(h, []byte(fmt.Sprintf("alias-%d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+		if err := m.Set([]byte(fmt.Sprintf("alias-%d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// All keys collide on one index key yet stay individually addressable.
 	for i := 0; i < n; i++ {
-		v, ok := m.Get(h, []byte(fmt.Sprintf("alias-%d", i)))
+		v, ok := m.Get([]byte(fmt.Sprintf("alias-%d", i)))
 		if !ok || string(v) != fmt.Sprintf("val-%d", i) {
 			t.Fatalf("colliding key %d aliased: %q,%v", i, v, ok)
 		}
 	}
 	// Overwrites and deletes stay per-key, head, mid-chain and tail alike.
-	if err := m.Set(h, []byte("alias-0"), []byte("rewritten-0")); err != nil {
+	if err := m.Set([]byte("alias-0"), []byte("rewritten-0")); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Set(h, []byte(fmt.Sprintf("alias-%d", n/2)), []byte("rewritten-mid")); err != nil {
+	if err := m.Set([]byte(fmt.Sprintf("alias-%d", n/2)), []byte("rewritten-mid")); err != nil {
 		t.Fatal(err)
 	}
-	if !m.Delete(h, []byte("alias-1")) {
+	if !m.Delete([]byte("alias-1")) {
 		t.Fatal("delete of colliding key failed")
 	}
 	rt.Drain()
@@ -174,8 +174,7 @@ func TestHashCollisionKeysStayDistinct(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
-	m2, err := rt2.Map(h2, "collide", 64)
+	m2, err := rt2.Map("collide", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,27 +187,26 @@ func TestHashCollisionKeysStayDistinct(t *testing.T) {
 		case n / 2:
 			want = "rewritten-mid"
 		case 1:
-			if m2.Contains(h2, key) {
+			if m2.Contains(key) {
 				t.Fatal("deleted colliding key resurrected after crash")
 			}
 			continue
 		}
-		v, ok := m2.Get(h2, key)
+		v, ok := m2.Get(key)
 		if !ok || string(v) != want {
 			t.Fatalf("colliding key %d after crash: %q,%v want %q", i, v, ok, want)
 		}
 	}
-	if n2 := m2.Len(h2); n2 != n-1 {
+	if n2 := m2.Len(); n2 != n-1 {
 		t.Fatalf("recovered Len = %d, want %d", n2, n-1)
 	}
 }
 
 func TestOpenOrCreateU64Kinds(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
 	for _, kind := range []Kind{KindList, KindHashTable, KindSkipList, KindBST} {
 		name := "u64-" + kind.String()
-		m, err := rt.OpenOrCreate(h, name, Spec{Kind: kind, Buckets: 64})
+		m, err := rt.OpenOrCreate(name, Spec{Kind: kind, Buckets: 64})
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -217,43 +215,42 @@ func TestOpenOrCreateU64Kinds(t *testing.T) {
 		}
 		key := []byte{0, 0, 0, 0, 0, 0, 0, 42}
 		val := []byte("12345678")
-		if err := m.Set(h, key, val); err != nil {
+		if err := m.Set(key, val); err != nil {
 			t.Fatalf("%v: Set: %v", kind, err)
 		}
-		if v, ok := m.Get(h, key); !ok || !bytes.Equal(v, val) {
+		if v, ok := m.Get(key); !ok || !bytes.Equal(v, val) {
 			t.Fatalf("%v: Get = %q,%v", kind, v, ok)
 		}
 		// Upsert semantics.
-		if err := m.Set(h, key, []byte("abcdefgh")); err != nil {
+		if err := m.Set(key, []byte("abcdefgh")); err != nil {
 			t.Fatal(err)
 		}
-		if v, _ := m.Get(h, key); string(v) != "abcdefgh" {
+		if v, _ := m.Get(key); string(v) != "abcdefgh" {
 			t.Fatalf("%v: overwrite lost: %q", kind, v)
 		}
-		if m.Len(h) != 1 {
-			t.Fatalf("%v: Len = %d", kind, m.Len(h))
+		if m.Len() != 1 {
+			t.Fatalf("%v: Len = %d", kind, m.Len())
 		}
-		m.Range(h, func(k, v []byte) bool {
+		for k := range m.All() {
 			if !bytes.Equal(k, key) {
-				t.Fatalf("%v: Range key = %v", kind, k)
+				t.Fatalf("%v: All key = %v", kind, k)
 			}
-			return true
-		})
-		if !m.Delete(h, key) {
+		}
+		if !m.Delete(key) {
 			t.Fatalf("%v: Delete failed", kind)
 		}
 		// Validation errors: keys are a fixed 8 bytes (variable widths would
 		// alias, e.g. {0,42} and {42}), values exactly 8 bytes.
-		if err := m.Set(h, nil, val); !errors.Is(err, ErrKeyRange) {
+		if err := m.Set(nil, val); !errors.Is(err, ErrKeyRange) {
 			t.Fatalf("%v: empty key: %v", kind, err)
 		}
-		if err := m.Set(h, []byte{42}, val); !errors.Is(err, ErrKeyRange) {
+		if err := m.Set([]byte{42}, val); !errors.Is(err, ErrKeyRange) {
 			t.Fatalf("%v: short key: %v", kind, err)
 		}
-		if err := m.Set(h, []byte("ninebytes"), val); !errors.Is(err, ErrKeyRange) {
+		if err := m.Set([]byte("ninebytes"), val); !errors.Is(err, ErrKeyRange) {
 			t.Fatalf("%v: long key: %v", kind, err)
 		}
-		if err := m.Set(h, key, []byte("short")); !errors.Is(err, ErrValueSize) {
+		if err := m.Set(key, []byte("short")); !errors.Is(err, ErrValueSize) {
 			t.Fatalf("%v: short value: %v", kind, err)
 		}
 	}
@@ -261,8 +258,7 @@ func TestOpenOrCreateU64Kinds(t *testing.T) {
 
 func TestOpenOrCreateDefaultsToMap(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
-	m, err := rt.OpenOrCreate(h, "d", Spec{})
+	m, err := rt.OpenOrCreate("d", Spec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,11 +272,47 @@ func TestOpenOrCreateDefaultsToMap(t *testing.T) {
 
 func TestOpenOrCreateUnkeyedKinds(t *testing.T) {
 	rt := newRT(t)
-	h := rt.Handle(0)
-	if _, err := rt.OpenOrCreate(h, "q", Spec{Kind: KindQueue}); !errors.Is(err, ErrNotKeyed) {
+	if _, err := rt.OpenOrCreate("q", Spec{Kind: KindQueue}); !errors.Is(err, ErrNotKeyed) {
 		t.Fatalf("queue OpenOrCreate: %v", err)
 	}
-	if _, err := rt.OpenOrCreate(h, "s", Spec{Kind: KindStack}); !errors.Is(err, ErrNotKeyed) {
+	if _, err := rt.OpenOrCreate("s", Spec{Kind: KindStack}); !errors.Is(err, ErrNotKeyed) {
 		t.Fatalf("stack OpenOrCreate: %v", err)
+	}
+}
+
+// TestIteratorEarlyBreakAndNesting: range-over-func iterators stop cleanly
+// on break, and loop bodies may call operations on the same map (they draw
+// their own sessions — with v2 handles this was forbidden).
+func TestIteratorEarlyBreakAndNesting(t *testing.T) {
+	rt := newRT(t)
+	om, err := rt.OrderedMap("it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := om.Set([]byte(fmt.Sprintf("k-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for range om.All() {
+		n++
+		if n == 5 {
+			break
+		}
+	}
+	if n != 5 {
+		t.Fatalf("early break visited %d", n)
+	}
+	// Nested point reads from inside an open iteration.
+	n = 0
+	for k := range om.Scan([]byte("k-05"), []byte("k-10")) {
+		if _, ok := om.Get(k); !ok {
+			t.Fatalf("nested Get(%q) missed", k)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("window visited %d keys, want 5", n)
 	}
 }

@@ -3,6 +3,7 @@ package logfree_test
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -20,8 +21,7 @@ func TestOrderedMapPublicSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := rt.Handle(0)
-	m, err := rt.OpenOrCreate(h, "scores", logfree.Spec{Kind: logfree.KindOrderedMap})
+	m, err := rt.OpenOrCreate("scores", logfree.Spec{Kind: logfree.KindOrderedMap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,45 +33,45 @@ func TestOrderedMapPublicSurface(t *testing.T) {
 		t.Fatalf("Kind/Name = %v/%q", m.Kind(), m.Name())
 	}
 	for _, k := range []string{"delta", "alpha", "charlie", "bravo", "echo"} {
-		if err := om.Set(h, []byte(k), []byte("v-"+k)); err != nil {
+		if err := om.Set([]byte(k), []byte("v-"+k)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	want := []string{"alpha", "bravo", "charlie", "delta", "echo"}
 	var got []string
-	om.Ascend(h, func(k, v []byte) bool {
+	for k, v := range om.Ascend() {
 		if string(v) != "v-"+string(k) {
 			t.Fatalf("value mismatch: %q -> %q", k, v)
 		}
 		got = append(got, string(k))
-		return true
-	})
+	}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("Ascend = %v", got)
 	}
 	got = nil
-	om.Scan(h, []byte("b"), []byte("d"), func(k, _ []byte) bool {
+	for k := range om.Scan([]byte("b"), []byte("d")) {
 		got = append(got, string(k))
-		return true
-	})
+	}
 	if fmt.Sprint(got) != fmt.Sprint([]string{"bravo", "charlie"}) {
 		t.Fatalf("Scan[b,d) = %v", got)
 	}
-	if k, _, ok := om.Min(h); !ok || string(k) != "alpha" {
+	if k, _, ok := om.Min(); !ok || string(k) != "alpha" {
 		t.Fatalf("Min = %q,%v", k, ok)
 	}
-	if k, _, ok := om.Max(h); !ok || string(k) != "echo" {
+	if k, _, ok := om.Max(); !ok || string(k) != "echo" {
 		t.Fatalf("Max = %q,%v", k, ok)
 	}
 	got = nil
-	om.Descend(h, func(k, _ []byte) bool { got = append(got, string(k)); return true })
+	for k := range om.Descend() {
+		got = append(got, string(k))
+	}
 	if fmt.Sprint(got) != fmt.Sprint([]string{"echo", "delta", "charlie", "bravo", "alpha"}) {
 		t.Fatalf("Descend = %v", got)
 	}
 
 	// Opening the same name under a different kind fails.
-	if _, err := rt.OpenOrCreate(h, "scores", logfree.Spec{Kind: logfree.KindMap}); err == nil {
-		t.Fatal("kind mismatch not detected")
+	if _, err := rt.OpenOrCreate("scores", logfree.Spec{Kind: logfree.KindMap}); !errors.Is(err, logfree.ErrKindMismatch) {
+		t.Fatalf("kind mismatch not detected: %v", err)
 	}
 }
 
@@ -80,62 +80,59 @@ func TestOrderedMapCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := rt.Handle(0)
-	om, err := rt.OrderedMap(h, "sessions")
+	om, err := rt.OrderedMap("sessions")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A sibling hash map shares the store: the combined sweep must keep
 	// both structures' objects apart.
-	bm, err := rt.Map(h, "blobs", 64)
+	bm, err := rt.Map("blobs", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const n = 50
 	for i := 0; i < n; i++ {
 		k := []byte(fmt.Sprintf("s-%03d", i))
-		if err := om.Set(h, k, []byte(fmt.Sprintf("ov-%d", i))); err != nil {
+		if err := om.Set(k, []byte(fmt.Sprintf("ov-%d", i))); err != nil {
 			t.Fatal(err)
 		}
-		if err := bm.Set(h, k, []byte(fmt.Sprintf("bv-%d", i))); err != nil {
+		if err := bm.Set(k, []byte(fmt.Sprintf("bv-%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	om.Delete(h, []byte("s-010"))
+	om.Delete([]byte("s-010"))
 	rt.Drain() // make deferred link-cache work durable before pulling the plug
 
 	rt2, err := rt.SimulateCrash()
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2 := rt2.Handle(0)
-	om2, err := rt2.OrderedMap(h2, "sessions")
+	om2, err := rt2.OrderedMap("sessions")
 	if err != nil {
 		t.Fatal(err)
 	}
-	bm2, err := rt2.Map(h2, "blobs", 64)
+	bm2, err := rt2.Map("blobs", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var prev []byte
 	count := 0
-	om2.Ascend(h2, func(k, v []byte) bool {
+	for k := range om2.Ascend() {
 		if prev != nil && bytes.Compare(prev, k) >= 0 {
 			t.Fatalf("post-crash scan out of order: %q then %q", prev, k)
 		}
 		prev = append(prev[:0], k...)
 		count++
-		return true
-	})
+	}
 	if count != n-1 {
 		t.Fatalf("ordered keys after crash = %d, want %d", count, n-1)
 	}
 	for i := 0; i < n; i++ {
 		k := []byte(fmt.Sprintf("s-%03d", i))
-		if v, ok := bm2.Get(h2, k); !ok || string(v) != fmt.Sprintf("bv-%d", i) {
+		if v, ok := bm2.Get(k); !ok || string(v) != fmt.Sprintf("bv-%d", i) {
 			t.Fatalf("sibling hash map damaged at %q: %q,%v", k, v, ok)
 		}
-		v, ok := om2.Get(h2, k)
+		v, ok := om2.Get(k)
 		if i == 10 {
 			if ok {
 				t.Fatal("deleted ordered key resurrected")
@@ -149,7 +146,7 @@ func TestOrderedMapCrashRecovery(t *testing.T) {
 }
 
 // TestU64ViewsIterateInKeyOrder pins the ordered-iteration guarantee of the
-// uint64-plane veneers: list, skip list and BST maps range in ascending
+// uint64-plane veneers: list, skip list and BST maps iterate in ascending
 // byte (= numeric) key order and satisfy OrderedMap; the hash table does
 // not claim ordering.
 func TestU64ViewsIterateInKeyOrder(t *testing.T) {
@@ -157,10 +154,9 @@ func TestU64ViewsIterateInKeyOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := rt.Handle(0)
 	keys := []uint64{500, 2, 77, 10_000, 42, 1, 900}
 	for _, kind := range []logfree.Kind{logfree.KindList, logfree.KindSkipList, logfree.KindBST} {
-		m, err := rt.OpenOrCreate(h, "u64-"+kind.String(), logfree.Spec{Kind: kind})
+		m, err := rt.OpenOrCreate("u64-"+kind.String(), logfree.Spec{Kind: kind})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,46 +165,46 @@ func TestU64ViewsIterateInKeyOrder(t *testing.T) {
 			t.Fatalf("%v view does not satisfy OrderedMap", kind)
 		}
 		for _, k := range keys {
-			if err := m.Set(h, u64key(k), u64key(k*3)); err != nil {
+			if err := m.Set(u64key(k), u64key(k*3)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		var got []uint64
-		m.Range(h, func(k, _ []byte) bool {
+		for k := range m.All() {
 			got = append(got, binary.BigEndian.Uint64(k))
-			return true
-		})
+		}
 		want := []uint64{1, 2, 42, 77, 500, 900, 10_000}
 		if fmt.Sprint(got) != fmt.Sprint(want) {
-			t.Fatalf("%v Range order = %v, want %v", kind, got, want)
+			t.Fatalf("%v All order = %v, want %v", kind, got, want)
 		}
 		got = nil
-		om.Scan(h, u64key(42), u64key(900), func(k, v []byte) bool {
+		for k, v := range om.Scan(u64key(42), u64key(900)) {
 			kk := binary.BigEndian.Uint64(k)
 			if binary.BigEndian.Uint64(v) != kk*3 {
 				t.Fatalf("%v Scan value mismatch at %d", kind, kk)
 			}
 			got = append(got, kk)
-			return true
-		})
+		}
 		if fmt.Sprint(got) != fmt.Sprint([]uint64{42, 77, 500}) {
 			t.Fatalf("%v Scan[42,900) = %v", kind, got)
 		}
 		// Arbitrary-length bounds compare lexicographically against the
 		// 8-byte big-endian keys: a 1-byte \x00 prefix bound includes all.
 		count := 0
-		om.Scan(h, []byte{0}, nil, func(_, _ []byte) bool { count++; return true })
+		for range om.Scan([]byte{0}, nil) {
+			count++
+		}
 		if count != len(keys) {
 			t.Fatalf("%v Scan with short start bound = %d keys", kind, count)
 		}
-		if k, _, ok := om.Min(h); !ok || binary.BigEndian.Uint64(k) != 1 {
+		if k, _, ok := om.Min(); !ok || binary.BigEndian.Uint64(k) != 1 {
 			t.Fatalf("%v Min = %v,%v", kind, k, ok)
 		}
-		if k, _, ok := om.Max(h); !ok || binary.BigEndian.Uint64(k) != 10_000 {
+		if k, _, ok := om.Max(); !ok || binary.BigEndian.Uint64(k) != 10_000 {
 			t.Fatalf("%v Max = %v,%v", kind, k, ok)
 		}
 	}
-	ht, err := rt.OpenOrCreate(h, "u64-hash", logfree.Spec{Kind: logfree.KindHashTable})
+	ht, err := rt.OpenOrCreate("u64-hash", logfree.Spec{Kind: logfree.KindHashTable})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,22 +220,23 @@ func TestSkipListSeekVeneer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := rt.Handle(0)
-	sl, err := rt.SkipList(h, "sl")
+	sl, err := rt.SkipList("sl")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range []uint64{5, 10, 15} {
-		sl.Insert(h, k, k+1)
+		sl.Insert(k, k+1)
 	}
-	if k, v, ok := sl.SeekGE(h, 7); !ok || k != 10 || v != 11 {
+	if k, v, ok := sl.SeekGE(7); !ok || k != 10 || v != 11 {
 		t.Fatalf("SeekGE = %d,%d,%v", k, v, ok)
 	}
-	if k, _, ok := sl.Succ(h, 10); !ok || k != 15 {
+	if k, _, ok := sl.Succ(10); !ok || k != 15 {
 		t.Fatalf("Succ = %d,%v", k, ok)
 	}
 	var got []uint64
-	sl.Scan(h, 5, 15, func(k, _ uint64) bool { got = append(got, k); return true })
+	for k := range sl.Scan(5, 15) {
+		got = append(got, k)
+	}
 	if fmt.Sprint(got) != fmt.Sprint([]uint64{5, 10}) {
 		t.Fatalf("Scan = %v", got)
 	}

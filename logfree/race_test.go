@@ -1,11 +1,11 @@
 package logfree_test
 
-// Concurrency torture for the byte-key maps (ISSUE 2): N goroutines hammer
-// overlapping keys through their own Handles while a scanning goroutine
-// iterates continuously. Run under `go test -race`. The scans must never
-// observe a torn entry (every value carries its key as a prefix, written
-// atomically with the key) and, for the ordered map, never observe keys out
-// of ascending byte order.
+// Concurrency torture for the byte-key maps: N goroutines hammer
+// overlapping keys through the implicit session pool (no per-thread
+// plumbing at all) while a scanning goroutine iterates continuously. Run
+// under `go test -race`. The scans must never observe a torn entry (every
+// value carries its key as a prefix, written atomically with the key) and,
+// for the ordered map, never observe keys out of ascending byte order.
 
 import (
 	"bytes"
@@ -31,21 +31,32 @@ const raceWriters = 4
 // hammer drives one writer goroutine's op mix over a small overlapping key
 // pool. Values embed the key and a sequence number so a torn read is
 // detectable as a key/value mismatch.
-func hammer(t *testing.T, m logfree.Map, h *logfree.Handle, w int) {
+func hammer(t *testing.T, m logfree.Map, w int) {
 	rng := rand.New(rand.NewSource(int64(w) * 31))
 	for i := 0; i < raceOps(); i++ {
 		key := []byte(fmt.Sprintf("key-%02d", rng.Intn(32)))
-		switch rng.Intn(4) {
+		switch rng.Intn(5) {
 		case 0, 1:
 			val := append(append([]byte(nil), key...), []byte(fmt.Sprintf("#%d.%d", w, i))...)
-			if err := m.Set(h, key, val); err != nil {
+			if err := m.Set(key, val); err != nil {
 				t.Error(err)
 				return
 			}
 		case 2:
-			m.Delete(h, key)
+			m.Delete(key)
+		case 3:
+			// Batch commits race against single ops and scans too.
+			b := m.Batch()
+			for j := 0; j < 4; j++ {
+				k := []byte(fmt.Sprintf("key-%02d", rng.Intn(32)))
+				b.Set(k, append(append([]byte(nil), k...), []byte(fmt.Sprintf("#b%d.%d.%d", w, i, j))...))
+			}
+			if err := b.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
 		default:
-			if v, ok := m.Get(h, key); ok && !bytes.HasPrefix(v, key) {
+			if v, ok := m.Get(key); ok && !bytes.HasPrefix(v, key) {
 				t.Errorf("torn get for %q: %q", key, v)
 				return
 			}
@@ -54,19 +65,18 @@ func hammer(t *testing.T, m logfree.Map, h *logfree.Handle, w int) {
 }
 
 // runRace spins writers + one scanner until the writers finish.
-func runRace(t *testing.T, m logfree.Map, rt *logfree.Runtime, ordered bool) {
+func runRace(t *testing.T, m logfree.Map, ordered bool) {
 	var wg sync.WaitGroup
 	var stop atomic.Bool
 	for w := 0; w < raceWriters; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			hammer(t, m, rt.Handle(w), w)
+			hammer(t, m, w)
 		}(w)
 	}
 	go func() { wg.Wait(); stop.Store(true) }()
 
-	hs := rt.Handle(raceWriters)
 	scans := 0
 	// At least one full scan always runs, even if the writers finish before
 	// the scanner gets scheduled (on a single-CPU host fast writers can beat
@@ -74,18 +84,17 @@ func runRace(t *testing.T, m logfree.Map, rt *logfree.Runtime, ordered bool) {
 	for done := false; !done; {
 		done = stop.Load()
 		var prev []byte
-		m.Range(hs, func(k, v []byte) bool {
+		for k, v := range m.All() {
 			if ordered && prev != nil && bytes.Compare(prev, k) >= 0 {
 				t.Errorf("scan out of order: %q then %q", prev, k)
-				return false
+				break
 			}
 			if !bytes.HasPrefix(v, k) {
 				t.Errorf("torn scan entry: key %q value %q", k, v)
-				return false
+				break
 			}
 			prev = append(prev[:0], k...)
-			return true
-		})
+		}
 		scans++
 		if t.Failed() {
 			return
@@ -104,11 +113,11 @@ func TestRaceByteMap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := rt.OpenOrCreate(rt.Handle(raceWriters+1), "race-map", logfree.Spec{Buckets: 64})
+	m, err := rt.OpenOrCreate("race-map", logfree.Spec{Buckets: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	runRace(t, m, rt, false)
+	runRace(t, m, false)
 }
 
 func TestRaceOrderedMap(t *testing.T) {
@@ -119,29 +128,27 @@ func TestRaceOrderedMap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := rt.OpenOrCreate(rt.Handle(raceWriters+1), "race-ordered",
+	m, err := rt.OpenOrCreate("race-ordered",
 		logfree.Spec{Kind: logfree.KindOrderedMap})
 	if err != nil {
 		t.Fatal(err)
 	}
-	runRace(t, m, rt, true)
+	runRace(t, m, true)
 
 	// Quiescent cross-check: the surviving keys scan in strict order and
 	// agree with point reads.
-	h := rt.Handle(raceWriters)
 	om := m.(logfree.OrderedMap)
 	var prev []byte
-	om.Ascend(h, func(k, v []byte) bool {
+	for k, v := range om.Ascend() {
 		if prev != nil && bytes.Compare(prev, k) >= 0 {
 			t.Fatalf("final scan out of order: %q then %q", prev, k)
 		}
 		prev = append(prev[:0], k...)
-		got, ok := om.Get(h, k)
+		got, ok := om.Get(k)
 		if !ok || !bytes.Equal(got, v) {
 			t.Fatalf("final scan/get disagree on %q", k)
 		}
-		return true
-	})
+	}
 }
 
 // TestRaceOrderedMapScanWindow hammers a narrow window of keys while a
@@ -155,7 +162,7 @@ func TestRaceOrderedMapScanWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	om, err := rt.OrderedMap(rt.Handle(raceWriters+1), "race-window")
+	om, err := rt.OrderedMap("race-window")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,30 +172,28 @@ func TestRaceOrderedMapScanWindow(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			hammer(t, om, rt.Handle(w), w)
+			hammer(t, om, w)
 		}(w)
 	}
 	go func() { wg.Wait(); stop.Store(true) }()
-	h := rt.Handle(raceWriters)
 	lo, hi := []byte("key-08"), []byte("key-24")
 	for !stop.Load() {
 		var prev []byte
-		om.Scan(h, lo, hi, func(k, v []byte) bool {
+		for k, v := range om.Scan(lo, hi) {
 			if bytes.Compare(k, lo) < 0 || bytes.Compare(k, hi) >= 0 {
 				t.Errorf("scan escaped [%q,%q): %q", lo, hi, k)
-				return false
+				break
 			}
 			if prev != nil && bytes.Compare(prev, k) >= 0 {
 				t.Errorf("window scan out of order: %q then %q", prev, k)
-				return false
+				break
 			}
 			if !bytes.HasPrefix(v, k) {
 				t.Errorf("torn window entry: %q -> %q", k, v)
-				return false
+				break
 			}
 			prev = append(prev[:0], k...)
-			return true
-		})
+		}
 		if t.Failed() {
 			return
 		}

@@ -1,36 +1,108 @@
 package logfree
 
-import "repro/internal/core"
+import (
+	"iter"
+
+	"repro/internal/core"
+)
 
 // Set is the common uint64 interface of the four durable set structures
-// (§3). All methods are safe for concurrent use provided each goroutine
-// uses its own Handle. These typed wrappers are thin veneers over the same
+// (§3). All methods are safe for concurrent use from any goroutine
+// (implicit sessions). These typed wrappers are thin veneers over the same
 // durable directory that OpenOrCreate serves; each Runtime method below
-// opens the named structure or creates it (v1's CreateX/OpenX pairs,
-// unified).
+// opens the named structure or creates it.
 type Set interface {
 	// Insert adds key→value; false if the key is already present. The
 	// effect is durable (or, with the link cache, flushed before any
 	// dependent operation completes) when Insert returns.
-	Insert(h *Handle, key, value uint64) bool
+	Insert(key, value uint64) bool
 	// Upsert inserts or durably replaces in place; true if newly inserted.
-	Upsert(h *Handle, key, value uint64) bool
+	Upsert(key, value uint64) bool
 	// Delete removes key, returning its value.
-	Delete(h *Handle, key uint64) (uint64, bool)
+	Delete(key uint64) (uint64, bool)
 	// Search returns the value bound to key.
-	Search(h *Handle, key uint64) (uint64, bool)
+	Search(key uint64) (uint64, bool)
 	// Contains reports whether key is present.
-	Contains(h *Handle, key uint64) bool
+	Contains(key uint64) bool
+}
+
+// u64Veneer is the shared implementation of the four keyed uint64 veneers:
+// a core structure driven through the runtime's session pool (or a pinned
+// session).
+type u64Veneer struct {
+	binding
+	m u64core
+}
+
+// Insert implements Set.
+func (v *u64Veneer) Insert(key, value uint64) bool {
+	c, s := v.begin()
+	defer v.end(s)
+	return v.m.Insert(c, key, value)
+}
+
+// Upsert implements Set.
+func (v *u64Veneer) Upsert(key, value uint64) bool {
+	c, s := v.begin()
+	defer v.end(s)
+	return v.m.Upsert(c, key, value)
+}
+
+// Delete implements Set.
+func (v *u64Veneer) Delete(key uint64) (uint64, bool) {
+	c, s := v.begin()
+	defer v.end(s)
+	return v.m.Delete(c, key)
+}
+
+// Search implements Set.
+func (v *u64Veneer) Search(key uint64) (uint64, bool) {
+	c, s := v.begin()
+	defer v.end(s)
+	return v.m.Search(c, key)
+}
+
+// Contains implements Set.
+func (v *u64Veneer) Contains(key uint64) bool {
+	c, s := v.begin()
+	defer v.end(s)
+	return v.m.Contains(c, key)
+}
+
+// Len counts live keys (quiescent use).
+func (v *u64Veneer) Len() int {
+	c, s := v.begin()
+	defer v.end(s)
+	return v.m.Len(c)
+}
+
+// All iterates live entries (range-over-func; quiescent use — for the
+// ordered structures iteration is in ascending key order, for the hash
+// table unordered).
+func (v *u64Veneer) All() iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) {
+		c, s := v.begin()
+		defer v.end(s)
+		v.m.Range(c, yield)
+	}
 }
 
 // List is a durable lock-free sorted linked list (Harris + link-and-persist).
-type List struct{ l *core.List }
+type List struct {
+	u64Veneer
+	l *core.List
+}
 
 // List opens or creates the durable list registered under name.
-func (r *Runtime) List(h *Handle, name string) (*List, error) {
+func (r *Runtime) List(name string) (*List, error) {
+	c, s, err := binding{rt: r}.beginErr()
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(s)
 	var made *core.List
-	_, a1, a2, err := r.ensure(h, name, KindList, func() (uint64, uint64, uint64, error) {
-		l, err := core.NewList(h.c)
+	_, a1, a2, err := r.ensure(c, name, KindList, func() (uint64, uint64, uint64, error) {
+		l, err := core.NewList(c)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -38,45 +110,40 @@ func (r *Runtime) List(h *Handle, name string) (*List, error) {
 		return 0, l.Head(), l.Tail(), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	if made != nil {
-		return &List{made}, nil
+	if made == nil {
+		made = core.AttachList(r.store, a1, a2)
 	}
-	return &List{core.AttachList(r.store, a1, a2)}, nil
+	return &List{u64Veneer{binding{rt: r}, made}, made}, nil
 }
 
-// Insert implements Set.
-func (l *List) Insert(h *Handle, key, value uint64) bool { return l.l.Insert(h.c, key, value) }
-
-// Upsert implements Set.
-func (l *List) Upsert(h *Handle, key, value uint64) bool { return l.l.Upsert(h.c, key, value) }
-
-// Delete implements Set.
-func (l *List) Delete(h *Handle, key uint64) (uint64, bool) { return l.l.Delete(h.c, key) }
-
-// Search implements Set.
-func (l *List) Search(h *Handle, key uint64) (uint64, bool) { return l.l.Search(h.c, key) }
-
-// Contains implements Set.
-func (l *List) Contains(h *Handle, key uint64) bool { return l.l.Contains(h.c, key) }
-
-// Len counts live keys (quiescent use).
-func (l *List) Len(h *Handle) int { return l.l.Len(h.c) }
-
-// Range visits live entries in ascending key order (quiescent use).
-func (l *List) Range(h *Handle, fn func(key, value uint64) bool) { l.l.Range(h.c, fn) }
+// WithSession returns a view of the list whose operations all run on the
+// pinned session s; see ByteMap.WithSession.
+func (l *List) WithSession(s *Session) *List {
+	cp := *l
+	cp.pin = s
+	return &cp
+}
 
 // HashTable is a durable lock-free hash table (Harris list per bucket).
-type HashTable struct{ t *core.HashTable }
+type HashTable struct {
+	u64Veneer
+	t *core.HashTable
+}
 
 // HashTable opens or creates the durable hash table registered under name.
 // buckets is used only at creation (rounded up to a power of two); an
 // existing table keeps its durable bucket count.
-func (r *Runtime) HashTable(h *Handle, name string, buckets int) (*HashTable, error) {
+func (r *Runtime) HashTable(name string, buckets int) (*HashTable, error) {
+	c, s, err := binding{rt: r}.beginErr()
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(s)
 	var made *core.HashTable
-	aux, a1, a2, err := r.ensure(h, name, KindHashTable, func() (uint64, uint64, uint64, error) {
-		t, err := core.NewHashTable(h.c, buckets)
+	aux, a1, a2, err := r.ensure(c, name, KindHashTable, func() (uint64, uint64, uint64, error) {
+		t, err := core.NewHashTable(c, buckets)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -84,107 +151,105 @@ func (r *Runtime) HashTable(h *Handle, name string, buckets int) (*HashTable, er
 		return uint64(t.NumBuckets()), t.Buckets(), t.Tail(), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	if made != nil {
-		return &HashTable{made}, nil
+	if made == nil {
+		made = core.AttachHashTable(r.store, a1, int(aux), a2)
 	}
-	return &HashTable{core.AttachHashTable(r.store, a1, int(aux), a2)}, nil
+	return &HashTable{u64Veneer{binding{rt: r}, made}, made}, nil
 }
 
-// Insert implements Set.
-func (t *HashTable) Insert(h *Handle, key, value uint64) bool { return t.t.Insert(h.c, key, value) }
-
-// Upsert implements Set.
-func (t *HashTable) Upsert(h *Handle, key, value uint64) bool { return t.t.Upsert(h.c, key, value) }
-
-// Delete implements Set.
-func (t *HashTable) Delete(h *Handle, key uint64) (uint64, bool) { return t.t.Delete(h.c, key) }
-
-// Search implements Set.
-func (t *HashTable) Search(h *Handle, key uint64) (uint64, bool) { return t.t.Search(h.c, key) }
-
-// Contains implements Set.
-func (t *HashTable) Contains(h *Handle, key uint64) bool { return t.t.Contains(h.c, key) }
-
-// Len counts live keys (quiescent use).
-func (t *HashTable) Len(h *Handle) int { return t.t.Len(h.c) }
-
-// Range visits live entries (unordered; quiescent use).
-func (t *HashTable) Range(h *Handle, fn func(key, value uint64) bool) { t.t.Range(h.c, fn) }
+// WithSession returns a view of the table whose operations all run on the
+// pinned session s; see ByteMap.WithSession.
+func (t *HashTable) WithSession(s *Session) *HashTable {
+	cp := *t
+	cp.pin = s
+	return &cp
+}
 
 // SkipList is a durable lock-free skip list (durable level 0, volatile
 // index rebuilt on recovery).
-type SkipList struct{ s *core.SkipList }
+type SkipList struct {
+	u64Veneer
+	s *core.SkipList
+}
 
 // SkipList opens or creates the durable skip list registered under name.
-func (r *Runtime) SkipList(h *Handle, name string) (*SkipList, error) {
-	var made *core.SkipList
-	_, a1, a2, err := r.ensure(h, name, KindSkipList, func() (uint64, uint64, uint64, error) {
-		s, err := core.NewSkipList(h.c)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		made = s
-		return 0, s.Head(), s.Tail(), nil
-	})
+func (r *Runtime) SkipList(name string) (*SkipList, error) {
+	c, s, err := binding{rt: r}.beginErr()
 	if err != nil {
 		return nil, err
 	}
-	if made != nil {
-		return &SkipList{made}, nil
+	defer r.release(s)
+	var made *core.SkipList
+	_, a1, a2, err := r.ensure(c, name, KindSkipList, func() (uint64, uint64, uint64, error) {
+		sl, err := core.NewSkipList(c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		made = sl
+		return 0, sl.Head(), sl.Tail(), nil
+	})
+	if err != nil {
+		return nil, wrapErr(err)
 	}
-	return &SkipList{core.AttachSkipList(r.store, a1, a2)}, nil
+	if made == nil {
+		made = core.AttachSkipList(r.store, a1, a2)
+	}
+	return &SkipList{u64Veneer{binding{rt: r}, made}, made}, nil
 }
 
-// Insert implements Set.
-func (s *SkipList) Insert(h *Handle, key, value uint64) bool { return s.s.Insert(h.c, key, value) }
-
-// Upsert implements Set.
-func (s *SkipList) Upsert(h *Handle, key, value uint64) bool { return s.s.Upsert(h.c, key, value) }
-
-// Delete implements Set.
-func (s *SkipList) Delete(h *Handle, key uint64) (uint64, bool) { return s.s.Delete(h.c, key) }
-
-// Search implements Set.
-func (s *SkipList) Search(h *Handle, key uint64) (uint64, bool) { return s.s.Search(h.c, key) }
-
-// Contains implements Set.
-func (s *SkipList) Contains(h *Handle, key uint64) bool { return s.s.Contains(h.c, key) }
-
-// Len counts live keys (quiescent use).
-func (s *SkipList) Len(h *Handle) int { return s.s.Len(h.c) }
-
-// Range visits live entries in ascending key order (quiescent use).
-func (s *SkipList) Range(h *Handle, fn func(key, value uint64) bool) { s.s.Range(h.c, fn) }
+// WithSession returns a view of the skip list whose operations all run on
+// the pinned session s; see ByteMap.WithSession.
+func (s *SkipList) WithSession(sess *Session) *SkipList {
+	cp := *s
+	cp.pin = sess
+	return &cp
+}
 
 // SeekGE returns the smallest live key >= key, with its value.
-func (s *SkipList) SeekGE(h *Handle, key uint64) (k, v uint64, ok bool) {
-	return s.s.SeekGE(h.c, key)
+func (s *SkipList) SeekGE(key uint64) (k, v uint64, ok bool) {
+	c, sess := s.begin()
+	defer s.end(sess)
+	return s.s.SeekGE(c, key)
 }
 
 // Succ returns the smallest live key strictly greater than key, with its
 // value; Succ(MinKey-1) is the minimum of the set.
-func (s *SkipList) Succ(h *Handle, key uint64) (k, v uint64, ok bool) {
-	return s.s.Succ(h.c, key)
+func (s *SkipList) Succ(key uint64) (k, v uint64, ok bool) {
+	c, sess := s.begin()
+	defer s.end(sess)
+	return s.s.Succ(c, key)
 }
 
-// Scan visits live entries with start <= key < end in ascending key order
+// Scan iterates live entries with start <= key < end in ascending key order
 // (end = 0 means "through MaxKey"), positioning with the index levels
 // rather than walking from the head. Safe for concurrent use (no snapshot
-// semantics); fn must not call operations on the same Handle.
-func (s *SkipList) Scan(h *Handle, start, end uint64, fn func(key, value uint64) bool) {
-	s.s.Scan(h.c, start, end, fn)
+// semantics); see Map.All for the loop-body contract.
+func (s *SkipList) Scan(start, end uint64) iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) {
+		c, sess := s.begin()
+		defer s.end(sess)
+		s.s.Scan(c, start, end, yield)
+	}
 }
 
 // BST is a durable lock-free external binary search tree (Natarajan-Mittal).
-type BST struct{ t *core.BST }
+type BST struct {
+	u64Veneer
+	t *core.BST
+}
 
 // BST opens or creates the durable BST registered under name.
-func (r *Runtime) BST(h *Handle, name string) (*BST, error) {
+func (r *Runtime) BST(name string) (*BST, error) {
+	c, s, err := binding{rt: r}.beginErr()
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(s)
 	var made *core.BST
-	_, a1, a2, err := r.ensure(h, name, KindBST, func() (uint64, uint64, uint64, error) {
-		t, err := core.NewBST(h.c)
+	_, a1, a2, err := r.ensure(c, name, KindBST, func() (uint64, uint64, uint64, error) {
+		t, err := core.NewBST(c)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -192,45 +257,40 @@ func (r *Runtime) BST(h *Handle, name string) (*BST, error) {
 		return 0, t.Root(), t.Sentinel(), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	if made != nil {
-		return &BST{made}, nil
+	if made == nil {
+		made = core.AttachBST(r.store, a1, a2)
 	}
-	return &BST{core.AttachBST(r.store, a1, a2)}, nil
+	return &BST{u64Veneer{binding{rt: r}, made}, made}, nil
 }
 
-// Insert implements Set.
-func (t *BST) Insert(h *Handle, key, value uint64) bool { return t.t.Insert(h.c, key, value) }
-
-// Upsert implements Set.
-func (t *BST) Upsert(h *Handle, key, value uint64) bool { return t.t.Upsert(h.c, key, value) }
-
-// Delete implements Set.
-func (t *BST) Delete(h *Handle, key uint64) (uint64, bool) { return t.t.Delete(h.c, key) }
-
-// Search implements Set.
-func (t *BST) Search(h *Handle, key uint64) (uint64, bool) { return t.t.Search(h.c, key) }
-
-// Contains implements Set.
-func (t *BST) Contains(h *Handle, key uint64) bool { return t.t.Contains(h.c, key) }
-
-// Len counts live keys (quiescent use).
-func (t *BST) Len(h *Handle) int { return t.t.Len(h.c) }
-
-// Range visits live entries in ascending key order (quiescent use).
-func (t *BST) Range(h *Handle, fn func(key, value uint64) bool) { t.t.Range(h.c, fn) }
+// WithSession returns a view of the tree whose operations all run on the
+// pinned session s; see ByteMap.WithSession.
+func (t *BST) WithSession(s *Session) *BST {
+	cp := *t
+	cp.pin = s
+	return &cp
+}
 
 // Queue is a durable lock-free FIFO queue (Michael-Scott with
 // link-and-persist) — the paper's techniques applied beyond the set
 // abstraction.
-type Queue struct{ q *core.Queue }
+type Queue struct {
+	binding
+	q *core.Queue
+}
 
 // Queue opens or creates the durable queue registered under name.
-func (r *Runtime) Queue(h *Handle, name string) (*Queue, error) {
+func (r *Runtime) Queue(name string) (*Queue, error) {
+	c, s, err := binding{rt: r}.beginErr()
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(s)
 	var made *core.Queue
-	_, a1, _, err := r.ensure(h, name, KindQueue, func() (uint64, uint64, uint64, error) {
-		q, err := core.NewQueue(h.c)
+	_, a1, _, err := r.ensure(c, name, KindQueue, func() (uint64, uint64, uint64, error) {
+		q, err := core.NewQueue(c)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -238,35 +298,67 @@ func (r *Runtime) Queue(h *Handle, name string) (*Queue, error) {
 		return 0, q.Descriptor(), 0, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	if made != nil {
-		return &Queue{made}, nil
+	if made == nil {
+		made = core.AttachQueue(r.store, a1)
 	}
-	return &Queue{core.AttachQueue(r.store, a1)}, nil
+	return &Queue{binding{rt: r}, made}, nil
+}
+
+// WithSession returns a view of the queue whose operations all run on the
+// pinned session s; see ByteMap.WithSession.
+func (q *Queue) WithSession(s *Session) *Queue {
+	cp := *q
+	cp.pin = s
+	return &cp
 }
 
 // Enqueue appends value; durable when it returns (or when the link cache
 // flushes, under deferred completion).
-func (q *Queue) Enqueue(h *Handle, value uint64) { q.q.Enqueue(h.c, value) }
+func (q *Queue) Enqueue(value uint64) {
+	c, s := q.begin()
+	defer q.end(s)
+	q.q.Enqueue(c, value)
+}
 
 // Dequeue removes and returns the oldest value.
-func (q *Queue) Dequeue(h *Handle) (uint64, bool) { return q.q.Dequeue(h.c) }
+func (q *Queue) Dequeue() (uint64, bool) {
+	c, s := q.begin()
+	defer q.end(s)
+	return q.q.Dequeue(c)
+}
 
 // Peek returns the oldest value without removing it.
-func (q *Queue) Peek(h *Handle) (uint64, bool) { return q.q.Peek(h.c) }
+func (q *Queue) Peek() (uint64, bool) {
+	c, s := q.begin()
+	defer q.end(s)
+	return q.q.Peek(c)
+}
 
 // Len counts queued values (quiescent use).
-func (q *Queue) Len(h *Handle) int { return q.q.Len(h.c) }
+func (q *Queue) Len() int {
+	c, s := q.begin()
+	defer q.end(s)
+	return q.q.Len(c)
+}
 
 // Stack is a durable lock-free LIFO stack (Treiber + link-and-persist).
-type Stack struct{ st *core.Stack }
+type Stack struct {
+	binding
+	st *core.Stack
+}
 
 // Stack opens or creates the durable stack registered under name.
-func (r *Runtime) Stack(h *Handle, name string) (*Stack, error) {
+func (r *Runtime) Stack(name string) (*Stack, error) {
+	c, s, err := binding{rt: r}.beginErr()
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(s)
 	var made *core.Stack
-	_, a1, _, err := r.ensure(h, name, KindStack, func() (uint64, uint64, uint64, error) {
-		st, err := core.NewStack(h.c)
+	_, a1, _, err := r.ensure(c, name, KindStack, func() (uint64, uint64, uint64, error) {
+		st, err := core.NewStack(c)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -274,22 +366,46 @@ func (r *Runtime) Stack(h *Handle, name string) (*Stack, error) {
 		return 0, st.Descriptor(), 0, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
-	if made != nil {
-		return &Stack{made}, nil
+	if made == nil {
+		made = core.AttachStack(r.store, a1)
 	}
-	return &Stack{core.AttachStack(r.store, a1)}, nil
+	return &Stack{binding{rt: r}, made}, nil
+}
+
+// WithSession returns a view of the stack whose operations all run on the
+// pinned session s; see ByteMap.WithSession.
+func (s *Stack) WithSession(sess *Session) *Stack {
+	cp := *s
+	cp.pin = sess
+	return &cp
 }
 
 // Push adds value (durably linearizable).
-func (s *Stack) Push(h *Handle, value uint64) { s.st.Push(h.c, value) }
+func (s *Stack) Push(value uint64) {
+	c, sess := s.begin()
+	defer s.end(sess)
+	s.st.Push(c, value)
+}
 
 // Pop removes and returns the most recent value.
-func (s *Stack) Pop(h *Handle) (uint64, bool) { return s.st.Pop(h.c) }
+func (s *Stack) Pop() (uint64, bool) {
+	c, sess := s.begin()
+	defer s.end(sess)
+	return s.st.Pop(c)
+}
 
 // Peek returns the top value without removing it.
-func (s *Stack) Peek(h *Handle) (uint64, bool) { return s.st.Peek(h.c) }
+func (s *Stack) Peek() (uint64, bool) {
+	c, sess := s.begin()
+	defer s.end(sess)
+	return s.st.Peek(c)
+}
 
 // Len counts entries (quiescent use).
-func (s *Stack) Len(h *Handle) int { return s.st.Len(h.c) }
+func (s *Stack) Len() int {
+	c, sess := s.begin()
+	defer s.end(sess)
+	return s.st.Len(c)
+}

@@ -5,6 +5,9 @@
 #   BENCH_ordered.json   single-thread ordered-map Set/Get/Scan
 #   BENCH_parallel.json  1/2/4/8-goroutine Set/Get/Mixed rows (ordered map,
 #                        hash map, and the end-to-end NV-Memcached mix)
+#   BENCH_batch.json     amortized-fence Batch commits vs the single-op
+#                        baseline (batch sizes 1/8/64, plus the 64-op
+#                        speedup ratio)
 #
 # Usage:
 #   scripts/bench.sh                  # both files, default length
@@ -21,6 +24,7 @@ cd "$(dirname "$0")/.."
 
 ORDERED_OUT="${1:-BENCH_ordered.json}"
 PARALLEL_OUT="${PARALLEL_OUT:-BENCH_parallel.json}"
+BATCH_OUT="${BATCH_OUT:-BENCH_batch.json}"
 BENCHTIME="${BENCHTIME:-20000x}"
 COUNT="${COUNT:-3}"
 
@@ -79,3 +83,37 @@ printf '%s\n' "$praw" | awk '
   }
 ' > "$PARALLEL_OUT"
 echo "wrote $PARALLEL_OUT"
+
+# The batch sweep: BenchmarkMapSetBatch/{single,1ops,8ops,64ops}, best of
+# COUNT runs per row; speedup_64x is the acceptance-bar ratio (64-op batch
+# over the non-batched baseline of the same run set).
+braw=$(go test -run '^$' -bench 'BenchmarkMapSetBatch' -benchtime "$BENCHTIME" -count "$COUNT" .)
+printf '%s\n' "$braw"
+
+printf '%s\n' "$braw" | awk '
+  /^BenchmarkMapSetBatch\// {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    variant = name; sub(/^.*\//, "", variant)
+    iters = $2; ns = $3
+    ops = "0"
+    for (i = 4; i < NF; i++) if ($(i+1) == "ops/s") ops = $i
+    if (!(variant in best) || ops+0 > best[variant]+0) {
+      best[variant] = ops; bns[variant] = ns; bit[variant] = iters
+      if (!(variant in seen)) { order[n++] = variant; seen[variant] = 1 }
+    }
+  }
+  END {
+    printf "[\n"; sep=""
+    for (i = 0; i < n; i++) {
+      v = order[i]
+      printf "%s  {\"name\":\"BenchmarkMapSetBatch\",\"variant\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"ops_per_sec\":%s}", \
+        sep, v, bit[v], bns[v], best[v]
+      sep = ",\n"
+    }
+    if (("single" in best) && ("64ops" in best) && best["single"]+0 > 0)
+      printf "%s  {\"name\":\"BenchmarkMapSetBatch\",\"variant\":\"speedup_64x\",\"ratio\":%.3f}", \
+        sep, best["64ops"] / best["single"]
+    printf "\n]\n"
+  }
+' > "$BATCH_OUT"
+echo "wrote $BATCH_OUT"
