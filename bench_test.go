@@ -649,3 +649,122 @@ func BenchmarkMapSetBatch(b *testing.B) {
 		})
 	}
 }
+
+// --- File-backend comparison rows -----------------------------------------
+//
+// BenchmarkMapSetFile / BenchmarkMapGetFile / BenchmarkNVMemcachedFile run
+// the same single-thread workload on both persistence backends: the
+// in-process MemBackend ("mem") and the mmap file-backed FileBackend
+// ("file", in a per-run temp dir). scripts/bench.sh emits the rows into
+// BENCH_file.json. The file rows price the default durability contract —
+// write-backs into a shared mapping plus ranged msync(MS_ASYNC) per fence
+// (kill -9 safe) — NOT strict fdatasync mode, whose cost is the storage
+// stack's, not ours. Absolute file-row numbers depend on the filesystem
+// backing the temp dir, which is why the bench gate holds them to a looser
+// tolerance than the mem rows.
+
+func newFileBenchMap(b *testing.B, file bool, prefill int) *logfree.ByteMap {
+	b.Helper()
+	opts := []logfree.Option{logfree.WithSize(256 << 20)}
+	if file {
+		opts = append(opts, logfree.WithFile(b.TempDir()+"/bench.pmem"))
+	}
+	rt, err := logfree.New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { rt.Close() }) // unmap the 256MB file between subs
+	m, err := rt.Map("bench-file", 1<<14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := rt.Session()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m = m.WithSession(s)
+	val := make([]byte, orderedBenchValLen)
+	for i := 0; i < prefill; i++ {
+		if err := m.Set(orderedBenchKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.GC()
+	return m
+}
+
+func benchBothBackends(b *testing.B, f func(b *testing.B, file bool)) {
+	b.Run("mem", func(b *testing.B) { f(b, false) })
+	b.Run("file", func(b *testing.B) { f(b, true) })
+}
+
+func BenchmarkMapSetFile(b *testing.B) {
+	benchBothBackends(b, func(b *testing.B, file bool) {
+		m := newFileBenchMap(b, file, 0)
+		val := make([]byte, orderedBenchValLen)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := m.Set(orderedBenchKey(i%orderedBenchKeys), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+	})
+}
+
+func BenchmarkMapGetFile(b *testing.B) {
+	benchBothBackends(b, func(b *testing.B, file bool) {
+		m := newFileBenchMap(b, file, orderedBenchKeys)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, ok := m.Get(orderedBenchKey(i % orderedBenchKeys)); !ok {
+				b.Fatal("miss")
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+	})
+}
+
+func BenchmarkNVMemcachedFile(b *testing.B) {
+	const keyRange = 10000
+	mt := &memcache.Memtier{KeyRange: keyRange, SetRatio: 1, GetRatio: 4, ValueLen: 64, Threads: 1}
+	keys := make([][]byte, keyRange)
+	for i := range keys {
+		keys[i] = mt.Key(nil, i)
+	}
+	val := make([]byte, mt.ValueLen)
+	benchBothBackends(b, func(b *testing.B, file bool) {
+		// Link cache off in BOTH variants: file mode forces it off, so the
+		// mem row must drop it too for the file_vs_mem ratio to price the
+		// backend alone rather than the link cache.
+		cfg := memcache.Config{MemoryBytes: 256 << 20, Buckets: 1 << 14, MaxConns: 1,
+			DisableLinkCache: true}
+		if file {
+			cfg.File = b.TempDir() + "/bench-mc.pmem"
+		}
+		c, err := memcache.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		if err := mt.Preload(c); err != nil {
+			b.Fatal(err)
+		}
+		runtime.GC()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			k := keys[i%keyRange]
+			if i%5 == 0 {
+				if err := c.Set(k, val, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				c.Get(k)
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+	})
+}

@@ -1,0 +1,267 @@
+// Command crashcheck is the load/verify client behind scripts/crash_e2e.sh:
+// it drives an nvmemcached server over the memcached text protocol, records
+// exactly which writes the server acknowledged, and — after the server has
+// been kill -9'd and restarted — asserts that every acknowledged write
+// recovered.
+//
+//	crashcheck -addr 127.0.0.1:11211 -state /tmp/st -prefix r1 load
+//	crashcheck -addr 127.0.0.1:11211 -state /tmp/st -prefix r1 verify
+//
+// load sets prefix-keyed items sequentially (value deterministically derived
+// from the index) and bumps a counter key every 16th op, persisting the
+// acknowledged frontier to the state file after every ack. The server dying
+// mid-load is the expected outcome: load finalizes the state and exits 0.
+//
+// verify reads the state file and requires, for every acknowledged set, the
+// exact value; for the counter, the last acknowledged value or one more
+// (one increment may have been in flight, acknowledged-but-unread). Any
+// miss or mismatch exits 1: an acknowledged write was lost.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11211", "server address")
+	state := flag.String("state", "crashcheck.state", "acknowledged-frontier file")
+	prefix := flag.String("prefix", "cc", "key prefix (one per load round)")
+	n := flag.Int("n", 0, "max sets to issue (0 = until the connection dies)")
+	flag.Parse()
+
+	var err error
+	switch flag.Arg(0) {
+	case "load":
+		err = load(*addr, *state, *prefix, *n)
+	case "verify":
+		err = verify(*addr, *state, *prefix)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: crashcheck [-addr a] [-state f] [-prefix p] [-n max] {load|verify}")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashcheck %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+}
+
+func key(prefix string, i int) string { return fmt.Sprintf("%s-key-%07d", prefix, i) }
+func value(prefix string, i int) string {
+	return fmt.Sprintf("%s-val-%07d-%08x", prefix, i, uint32(i)*2654435761)
+}
+func ctrKey(prefix string) string { return prefix + "-ctr" }
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// set issues one set and waits for STORED.
+func (c *client) set(k, v string) error {
+	fmt.Fprintf(c.w, "set %s 0 0 %d\r\n%s\r\n", k, len(v), v)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != "STORED" {
+		return fmt.Errorf("set %s: %q", k, strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// incr issues one incr and returns the new value.
+func (c *client) incr(k string, delta uint64) (uint64, error) {
+	fmt.Fprintf(c.w, "incr %s %d\r\n", k, delta)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(strings.TrimSpace(line), 10, 64)
+}
+
+// get returns the value of k, or ok=false on a miss.
+func (c *client) get(k string) (string, bool, error) {
+	fmt.Fprintf(c.w, "get %s\r\n", k)
+	if err := c.w.Flush(); err != nil {
+		return "", false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", false, err
+	}
+	line = strings.TrimSpace(line)
+	if line == "END" {
+		return "", false, nil
+	}
+	parts := strings.Fields(line) // VALUE <key> <flags> <bytes>
+	if len(parts) != 4 || parts[0] != "VALUE" {
+		return "", false, fmt.Errorf("get %s: %q", k, line)
+	}
+	size, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return "", false, fmt.Errorf("get %s: bad size in %q", k, line)
+	}
+	buf := make([]byte, size+2) // data + CRLF
+	if _, err := readFull(c.r, buf); err != nil {
+		return "", false, err
+	}
+	if end, err := c.r.ReadString('\n'); err != nil {
+		return "", false, err
+	} else if strings.TrimSpace(end) != "END" {
+		return "", false, fmt.Errorf("get %s: trailer %q", k, strings.TrimSpace(end))
+	}
+	return string(buf[:size]), true, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// frontier is the durably acknowledged state of one load round.
+type frontier struct {
+	Acked int    // sets 0..Acked-1 were acknowledged
+	Ctr   uint64 // last acknowledged counter value (0 = none yet)
+}
+
+func writeFrontier(path string, f frontier) error {
+	return os.WriteFile(path, []byte(fmt.Sprintf("acked=%d\nctr=%d\n", f.Acked, f.Ctr)), 0o644)
+}
+
+func readFrontier(path string) (frontier, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return frontier{}, err
+	}
+	var f frontier
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return frontier{}, fmt.Errorf("bad state line %q", line)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return frontier{}, fmt.Errorf("bad state line %q", line)
+		}
+		switch k {
+		case "acked":
+			f.Acked = int(n)
+		case "ctr":
+			f.Ctr = n
+		}
+	}
+	return f, nil
+}
+
+func load(addr, state, prefix string, n int) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.conn.Close()
+	// Seed the counter before the sets so incr never hits NOT_FOUND.
+	if err := c.set(ctrKey(prefix), "0"); err != nil {
+		return err
+	}
+	var f frontier
+	if err := writeFrontier(state, f); err != nil {
+		return err
+	}
+	for i := 0; n == 0 || i < n; i++ {
+		if err := c.set(key(prefix, i), value(prefix, i)); err != nil {
+			// The server dying mid-load is the point of the exercise: the
+			// frontier already on disk names every acknowledged op.
+			fmt.Printf("load: connection lost after %d acked sets (ctr=%d): %v\n", f.Acked, f.Ctr, err)
+			return nil
+		}
+		f.Acked = i + 1
+		if i%16 == 15 {
+			v, err := c.incr(ctrKey(prefix), 1)
+			if err != nil {
+				fmt.Printf("load: connection lost after %d acked sets (ctr=%d): %v\n", f.Acked, f.Ctr, err)
+				// The set preceding this incr WAS acknowledged: record it, so
+				// verify still holds the server to it.
+				return writeFrontier(state, f)
+			}
+			f.Ctr = v
+		}
+		if err := writeFrontier(state, f); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("load: completed all %d sets (ctr=%d)\n", f.Acked, f.Ctr)
+	return nil
+}
+
+func verify(addr, state, prefix string) error {
+	f, err := readFrontier(state)
+	if err != nil {
+		return err
+	}
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.conn.Close()
+	for i := 0; i < f.Acked; i++ {
+		v, ok, err := c.get(key(prefix, i))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("acknowledged set %d lost (key %s)", i, key(prefix, i))
+		}
+		if want := value(prefix, i); v != want {
+			return fmt.Errorf("key %s corrupted: got %q want %q", key(prefix, i), v, want)
+		}
+	}
+	// The counter: last acked value, or one more for an in-flight incr the
+	// server completed but whose reply the load never read.
+	got, ok, err := c.get(ctrKey(prefix))
+	if err != nil {
+		return err
+	}
+	if f.Acked > 0 || f.Ctr > 0 {
+		if !ok {
+			return fmt.Errorf("counter %s lost", ctrKey(prefix))
+		}
+		cv, err := strconv.ParseUint(got, 10, 64)
+		if err != nil {
+			return fmt.Errorf("counter %s corrupted: %q", ctrKey(prefix), got)
+		}
+		if cv != f.Ctr && cv != f.Ctr+1 {
+			return fmt.Errorf("counter %s = %d, want %d or %d", ctrKey(prefix), cv, f.Ctr, f.Ctr+1)
+		}
+	}
+	fmt.Printf("verify: %d acknowledged sets intact, counter consistent (prefix %s)\n", f.Acked, prefix)
+	return nil
+}

@@ -2,17 +2,25 @@
 // Memcached speaking the standard text protocol, whose contents survive
 // restarts of the simulated NVRAM image.
 //
+// Two durability modes:
+//
+//	nvmemcached -listen :11211 -mem 268435456 -pmem-file /var/lib/nvmc.pmem
+//
+// backs the NVRAM image with an mmap'd file: every acknowledged write is in
+// the file's page cache the moment the operation returns, so the cache
+// survives ANY process death — kill -9 included — and a restart with the
+// same -pmem-file recovers it with no shutdown handshake. Add -pmem-sync
+// for machine-crash (power-loss) durability at the cost of one fdatasync
+// per linearizing fence.
+//
 //	nvmemcached -listen :11211 -mem 268435456 -image /tmp/nvmc.img
 //
-// If -image points to an existing image, the server recovers from it (the
-// paper's restart scenario: recovery takes milliseconds where re-warming a
-// volatile cache takes orders of magnitude longer). On SIGINT/SIGTERM the
-// image is flushed and saved, ready for the next start.
+// is the legacy in-process mode: contents survive only a clean SIGTERM,
+// which saves the image for the next start.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -28,20 +36,44 @@ func main() {
 	mem := flag.Uint64("mem", 256<<20, "simulated NVRAM bytes")
 	buckets := flag.Int("buckets", 1<<16, "hash table buckets")
 	conns := flag.Int("conns", 8, "worker slots (max concurrent connections)")
-	image := flag.String("image", "", "NVRAM image file (recovered if present, saved on shutdown)")
+	image := flag.String("image", "", "NVRAM image file (recovered if present, saved on clean shutdown)")
+	pmemFile := flag.String("pmem-file", "", "file-backed NVRAM (mmap): kill -9 safe, no image save needed")
+	pmemSync := flag.Bool("pmem-sync", false, "with -pmem-file: fdatasync per fence (power-loss durability)")
 	latency := flag.Duration("latency", nvram.DefaultWriteLatency, "simulated NVRAM write latency")
 	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep interval (0 disables the sweeper)")
 	flag.Parse()
+
+	if *image != "" && *pmemFile != "" {
+		log.Fatalf("nvmemcached: -image and -pmem-file are mutually exclusive")
+	}
 
 	cfg := memcache.Config{
 		MemoryBytes:  *mem,
 		Buckets:      *buckets,
 		MaxConns:     *conns,
 		WriteLatency: *latency,
+		File:         *pmemFile,
+		FileSync:     *pmemSync,
 	}
 
 	var cache *memcache.Cache
-	if *image != "" {
+	switch {
+	case *pmemFile != "":
+		start := time.Now()
+		c, err := memcache.New(cfg)
+		if err != nil {
+			log.Fatalf("nvmemcached: open %s: %v", *pmemFile, err)
+		}
+		cache = c
+		if rt := cache.Runtime(); rt.Recovered() {
+			rs := rt.RecoveryStats()
+			log.Printf("recovered %d items from %s in %v (%d active areas, %d leaked objects freed)",
+				cache.Stats().Items, *pmemFile, time.Since(start).Round(time.Microsecond),
+				rs.ActiveAreas, rs.Leaked)
+		} else {
+			log.Printf("fresh file-backed cache: %d MiB NVRAM mapped at %s", *mem>>20, *pmemFile)
+		}
+	case *image != "":
 		if _, err := os.Stat(*image); err == nil {
 			dev, err := nvram.LoadImage(*image, nvram.Config{WriteLatency: *latency})
 			if err != nil {
@@ -85,11 +117,20 @@ func main() {
 	log.Printf("shutting down")
 	stopSweeper()
 	srv.Close()
-	cache.Flush()
-	if *image != "" {
+	items := cache.Stats().Items
+	switch {
+	case *pmemFile != "":
+		// No image dance: the mapping already holds everything; Close just
+		// flushes it synchronously and unmaps.
+		if err := cache.Close(); err != nil {
+			log.Fatalf("nvmemcached: close: %v", err)
+		}
+		log.Printf("pmem file %s holds %d items", *pmemFile, items)
+	case *image != "":
+		cache.Flush()
 		if err := cache.Device().SaveImage(*image); err != nil {
 			log.Fatalf("nvmemcached: save image: %v", err)
 		}
-		fmt.Printf("image saved to %s (%d items)\n", *image, cache.Stats().Items)
+		log.Printf("image saved to %s (%d items)", *image, items)
 	}
 }

@@ -3,7 +3,9 @@
 // partial cache eviction (any subset of un-flushed lines may or may not
 // have made it to NVRAM); after each recovery the store must still contain
 // every operation that completed, reject none that were undone, and leak no
-// memory. Run it with -rounds 50 for a soak test.
+// memory. Run it with -rounds 50 for a soak test, or with -pmem-file to
+// drive the same torture over the file-backed (mmap) NVRAM backend — the
+// recovery paths must hold identically on both persistence substrates.
 package main
 
 import (
@@ -19,13 +21,19 @@ import (
 func main() {
 	rounds := flag.Int("rounds", 10, "crash/recover rounds")
 	workers := flag.Int("workers", 8, "concurrent updaters")
+	pmemFile := flag.String("pmem-file", "", "torture the file-backed (mmap) backend at this path")
 	flag.Parse()
 
-	rt, err := logfree.New(
-		logfree.WithSize(128<<20),
+	opts := []logfree.Option{
+		logfree.WithSize(128 << 20),
 		logfree.WithMaxThreads(*workers),
-		logfree.WithLinkCache(true),
-	)
+	}
+	if *pmemFile != "" {
+		opts = append(opts, logfree.WithFile(*pmemFile))
+	} else {
+		opts = append(opts, logfree.WithLinkCache(true))
+	}
+	rt, err := logfree.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,7 +11,10 @@
 //
 // State lives in kvstore.img in the working directory (override with
 // -image). Each run loads the image (running recovery), applies one
-// command, and saves the image back.
+// command, and saves the image back. Pass -pmem-file instead to back the
+// store with an mmap'd file: no explicit load/save step at all — the file
+// IS the NVRAM, recovery happens on open, and the store would survive even
+// an abrupt kill mid-run.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 
 func main() {
 	image := flag.String("image", "kvstore.img", "NVRAM image file")
+	pmemFile := flag.String("pmem-file", "", "file-backed NVRAM (mmap; replaces the image load/save dance)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -40,7 +44,16 @@ func main() {
 
 	var rt *logfree.Runtime
 	var err error
-	if _, serr := os.Stat(*image); serr == nil {
+	if *pmemFile != "" {
+		// Open-or-recover: the mapping is the durable state, so there is no
+		// image to load or save. The link cache stays off in this mode —
+		// its deferred link persistence would need a clean flush, which an
+		// abrupt kill never grants.
+		rt, err = logfree.New(
+			logfree.WithSize(32<<20),
+			logfree.WithMaxThreads(2),
+			logfree.WithFile(*pmemFile))
+	} else if _, serr := os.Stat(*image); serr == nil {
 		rt, err = logfree.Load(*image, opts...)
 	} else {
 		rt, err = logfree.New(opts...)
@@ -97,6 +110,12 @@ func main() {
 		log.Fatalf("kvstore: unknown command %q", args[0])
 	}
 
+	if *pmemFile != "" {
+		if err := rt.Close(); err != nil { // flushes the mapping; no save step
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := rt.Save(*image); err != nil {
 		log.Fatal(err)
 	}

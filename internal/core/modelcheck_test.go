@@ -18,11 +18,14 @@ package core
 //
 // The harness runs for both byte-map shapes the public API serves: the
 // hash-indexed map (KindMap) and the ordered skiplist-indexed map
-// (KindOrderedMap).
+// (KindOrderedMap) — and over both persistence backends (the in-process
+// MemBackend and the file-backed mmap FileBackend), since the recovery
+// guarantees must be substrate-independent.
 
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/nvram"
@@ -302,9 +305,41 @@ func verifyFrontiers(t *testing.T, m mcMap, c *Ctx, fronts []map[string]string) 
 	}
 }
 
-func runModelCheck(t *testing.T, shape mcShape, seed int64) {
+// mcBackends builds one fresh device per persistence backend. Every torture
+// seed runs on each: crash frontiers, recovery sweeps and scan order must
+// hold identically whether the persisted image is process memory or an
+// mmap'd file.
+func mcBackends() map[string]func(t *testing.T) *nvram.Device {
+	return map[string]func(t *testing.T) *nvram.Device{
+		"mem": func(t *testing.T) *nvram.Device {
+			return nvram.New(nvram.Config{Size: 16 << 20})
+		},
+		"file": func(t *testing.T) *nvram.Device {
+			d, _, err := nvram.OpenFileDevice(
+				filepath.Join(t.TempDir(), "mc.pmem"), nvram.Config{Size: 16 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Release the mapping and descriptor when the subtest ends: the
+			// nightly lane runs hundreds of these in one process.
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+	}
+}
+
+// runModelCheckBackends fans one (shape, seed) torture out over every
+// persistence backend.
+func runModelCheckBackends(t *testing.T, shape mcShape, seed int64) {
+	for name, mk := range mcBackends() {
+		t.Run(name, func(t *testing.T) {
+			runModelCheck(t, shape, seed, mk(t))
+		})
+	}
+}
+
+func runModelCheck(t *testing.T, shape mcShape, seed int64, dev *nvram.Device) {
 	rng := rand.New(rand.NewSource(seed))
-	dev := nvram.New(nvram.Config{Size: 16 << 20})
 	s, err := NewStore(dev, Options{MaxThreads: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -404,7 +439,7 @@ func modelCheckSeeds() int {
 func TestModelCheckMap(t *testing.T) {
 	for seed := 0; seed < modelCheckSeeds(); seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runModelCheck(t, mcBytesShape, int64(seed)*7919+1)
+			runModelCheckBackends(t, mcBytesShape, int64(seed)*7919+1)
 		})
 	}
 }
@@ -412,7 +447,7 @@ func TestModelCheckMap(t *testing.T) {
 func TestModelCheckOrderedMap(t *testing.T) {
 	for seed := 0; seed < modelCheckSeeds(); seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runModelCheck(t, mcOrderedShape, int64(seed)*104729+2)
+			runModelCheckBackends(t, mcOrderedShape, int64(seed)*104729+2)
 		})
 	}
 }
@@ -429,10 +464,10 @@ func TestModelCheckSameHash(t *testing.T) {
 	}
 	for seed := 0; seed < seeds; seed++ {
 		t.Run(fmt.Sprintf("map/seed=%d", seed), func(t *testing.T) {
-			runModelCheck(t, mcBytesShape, int64(seed)*31+5)
+			runModelCheckBackends(t, mcBytesShape, int64(seed)*31+5)
 		})
 		t.Run(fmt.Sprintf("ordered/seed=%d", seed), func(t *testing.T) {
-			runModelCheck(t, mcOrderedShape, int64(seed)*37+6)
+			runModelCheckBackends(t, mcOrderedShape, int64(seed)*37+6)
 		})
 	}
 }

@@ -132,6 +132,11 @@ func NewStore(dev *nvram.Device, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// PoolFormatted reports whether dev's persisted image already holds a
+// formatted pool: the open-or-create probe deciding NewStore vs AttachStore
+// for durable backends (file-backed devices reopened after a crash).
+func PoolFormatted(dev *nvram.Device) bool { return pmem.Formatted(dev) }
+
 // AttachStore re-opens a store after a crash or restart. Volatile state
 // (link cache, epochs, generations) starts empty, exactly as after a reboot.
 // Run the structures' Recover methods before serving operations.

@@ -70,6 +70,15 @@ type Config struct {
 	// DisableLinkCache turns the §4 link cache off (on by default in
 	// NV-Memcached).
 	DisableLinkCache bool
+	// File, when set, backs the NVRAM image with an mmap'd file at this
+	// path: contents survive process death (kill -9 included) with no
+	// image save, and New recovers a populated file instead of formatting
+	// it (check Runtime().Recovered()).
+	File string
+	// FileSync, with File, adds one fdatasync per linearizing fence so
+	// acknowledged writes survive machine crashes too (real storage
+	// latency per fence).
+	FileSync bool
 }
 
 func (c *Config) fill() {
@@ -139,14 +148,26 @@ type counters struct {
 	items               atomic.Int64
 }
 
-// New creates a durable cache on a fresh device.
+// New creates a durable cache. On the default in-process backend the device
+// is always fresh; with Config.File set, a backing file that already holds
+// a cache is recovered in place (the kill -9 restart path — check
+// Runtime().Recovered()).
 func New(cfg Config) (*Cache, error) {
 	cfg.fill()
-	rt, err := logfree.New(
+	// File-backed caches run WITHOUT the §4 link cache: it batches link
+	// persistence (buffered durable linearizability), and a kill -9 gives
+	// no flush opportunity — the whole point of file mode is that every
+	// acknowledged write is durable the moment the operation returns.
+	opts := []logfree.Option{
 		logfree.WithSize(cfg.MemoryBytes),
-		logfree.WithMaxThreads(cfg.MaxConns+1),
+		logfree.WithMaxThreads(cfg.MaxConns + 1),
 		logfree.WithWriteLatency(cfg.WriteLatency),
-		logfree.WithLinkCache(!cfg.DisableLinkCache))
+		logfree.WithLinkCache(!cfg.DisableLinkCache && cfg.File == ""),
+	}
+	if cfg.File != "" {
+		opts = append(opts, logfree.WithFile(cfg.File), logfree.WithFileSync(cfg.FileSync))
+	}
+	rt, err := logfree.New(opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -158,8 +179,29 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{rt: rt, m: m, exp: exp, lru: newLRU()}, nil
+	c := &Cache{rt: rt, m: m, exp: exp, lru: newLRU()}
+	if rt.Recovered() {
+		c.rebuildVolatile()
+	}
+	return c, nil
 }
+
+// rebuildVolatile repopulates the LRU list and item count from one index
+// walk — the volatile metadata reset a recovery implies (recency order is
+// lost, contents are not).
+func (m *Cache) rebuildVolatile() {
+	var items int64
+	for key := range m.m.All() {
+		m.lru.add(string(key))
+		items++
+	}
+	m.stats.items.Store(items)
+}
+
+// Close drains the cache and closes the underlying runtime; file-backed
+// images are synchronously flushed, so after Close the backing file alone
+// carries the cache. The cache must be quiescent.
+func (m *Cache) Close() error { return m.rt.Close() }
 
 // Device exposes the simulated device (crash injection, stats).
 func (m *Cache) Device() *nvram.Device { return m.rt.Device() }

@@ -1,0 +1,100 @@
+package memcache
+
+// File-backed NV-Memcached: Config.File turns the cache into a kill -9
+// survivable server — these tests exercise the recovery path the crash_e2e
+// script drives across real process boundaries.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nvram"
+)
+
+func TestFileCacheRecoversWithoutSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mc.pmem")
+	cfg := Config{MemoryBytes: 32 << 20, Buckets: 1 << 10, MaxConns: 2, File: path}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Runtime().Recovered() {
+		t.Fatal("fresh file reported recovered")
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("item-%03d", i))
+		if err := c.Set(k, []byte(fmt.Sprintf("payload-%03d", i)), uint16(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Set([]byte("ctr"), []byte("0"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Incr([]byte("ctr"), 7); err != nil || v != 7 {
+		t.Fatalf("incr = %d, %v", v, err)
+	}
+	// Abandon without Close or SaveImage: the kill -9 model (Abandon drops
+	// the single-owner file lock the way a process death does).
+	if err := c.Runtime().Device().Backend().(*nvram.FileBackend).Abandon(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Runtime().Recovered() {
+		t.Fatal("populated file not recovered")
+	}
+	if got := c2.Stats().Items; got != n+1 {
+		t.Fatalf("recovered item count = %d, want %d", got, n+1)
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("item-%03d", i))
+		v, flags, ok := c2.Get(k)
+		if !ok || string(v) != fmt.Sprintf("payload-%03d", i) || flags != uint16(i) {
+			t.Fatalf("item %d after reopen: %q flags=%d ok=%v", i, v, flags, ok)
+		}
+	}
+	if v, err := c2.Incr([]byte("ctr"), 0); err != nil || v != 7 {
+		t.Fatalf("counter after reopen = %d, %v; want 7", v, err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileCacheSurvivesServesAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mc.pmem")
+	cfg := Config{MemoryBytes: 32 << 20, Buckets: 1 << 10, MaxConns: 2, File: path}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set([]byte("k"), []byte("v1"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered cache must keep serving writes (allocator, expiry index
+	// and session pool all rebuilt over the mapped image).
+	if err := c2.Set([]byte("k"), []byte("v2"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Delete([]byte("k")) {
+		t.Fatal("delete of live key reported miss")
+	}
+	if _, _, ok := c2.Get([]byte("k")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

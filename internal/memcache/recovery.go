@@ -38,15 +38,7 @@ func Recover(dev *nvram.Device, cfg Config) (*Cache, logfree.RecoveryStats, erro
 		return nil, logfree.RecoveryStats{}, err
 	}
 	m := &Cache{rt: rt, m: idx, exp: exp, lru: newLRU()}
-
-	// Rebuild the volatile metadata (item count and LRU list; recency order
-	// is reset, as with a freshly warmed cache) with one index walk.
-	var items int64
-	for key := range idx.All() {
-		m.lru.add(string(key))
-		items++
-	}
-	m.stats.items.Store(items)
+	m.rebuildVolatile()
 	return m, rt.RecoveryStats(), nil
 }
 

@@ -1,0 +1,82 @@
+package nvram
+
+// Backend is the persistence substrate of a Device: the storage that holds
+// the persisted image (what survives a crash) plus the hook that makes
+// completed write-backs durable at fence points.
+//
+// The device keeps the backend's word slice cached and writes lines into it
+// directly (plain stores, serialized per line by the device's write-back
+// locks), so the write-back hot path is identical for every backend. The
+// only backend-specific work happens at a Fence, after the pending lines
+// have been copied in — and even that interface call is skipped entirely
+// when NeedsSync reports false, keeping MemBackend's fence path exactly as
+// cheap as the pre-Backend simulator.
+//
+// Durability contract by backend:
+//
+//   - MemBackend: the persisted image is process memory. Crash/CrashPartial
+//     simulate power failure in-process; cross-process durability requires
+//     an explicit SaveImage.
+//   - FileBackend: the persisted image is a shared file mapping. Every
+//     write-back lands in the OS page cache of the backing file, so the
+//     image survives the death of the process — including kill -9 — with no
+//     image save. Fences additionally msync the written ranges; see
+//     FileBackend for the full-machine-crash (fdatasync) story.
+type Backend interface {
+	// Name identifies the backend kind ("mem", "file") for logs and stats.
+	Name() string
+
+	// Words exposes the persisted image as 8-byte words. The slice must
+	// stay valid and fixed (same backing array) for the backend's lifetime;
+	// its length times WordSize is the device capacity.
+	Words() []uint64
+
+	// SyncLines makes the given just-written-back lines durable per the
+	// backend's contract. The device calls it at each Fence that had
+	// pending lines, after copying them into Words — and only when
+	// NeedsSync reports true. The slice may be reordered in place but must
+	// not be retained.
+	SyncLines(lines []uint64)
+
+	// NeedsSync reports whether SyncLines must be called at fences. The
+	// device caches the answer at construction; returning false keeps the
+	// fence hot path free of interface dispatch.
+	NeedsSync() bool
+
+	// Close releases backend resources (file mappings, descriptors). The
+	// owning device must not be used afterwards.
+	Close() error
+}
+
+// MemBackend is the in-process backend: the persisted image is a plain heap
+// slice, exactly the pre-Backend simulator. It is the default backend of
+// New and the fastest one — a fence costs nothing beyond the simulated
+// NVRAM latency.
+type MemBackend struct {
+	words []uint64
+}
+
+// NewMemBackend creates an in-process backend of the given capacity in
+// bytes (rounded up to a full cache line).
+func NewMemBackend(size uint64) *MemBackend {
+	if size < LineSize {
+		size = LineSize
+	}
+	size = (size + LineSize - 1) &^ uint64(LineSize-1)
+	return &MemBackend{words: make([]uint64, size/WordSize)}
+}
+
+// Name identifies the backend kind.
+func (m *MemBackend) Name() string { return "mem" }
+
+// Words returns the persisted image.
+func (m *MemBackend) Words() []uint64 { return m.words }
+
+// SyncLines is a no-op: process memory needs no flushing.
+func (m *MemBackend) SyncLines([]uint64) {}
+
+// NeedsSync reports false: the device skips SyncLines entirely.
+func (m *MemBackend) NeedsSync() bool { return false }
+
+// Close is a no-op.
+func (m *MemBackend) Close() error { return nil }

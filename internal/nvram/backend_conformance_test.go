@@ -1,0 +1,408 @@
+package nvram
+
+// Backend conformance: every persistence backend must present identical
+// store/flush/fence semantics to the layers above — torn-line granularity,
+// CrashPartial frontiers, StoreHook abort points, reboot visibility — so the
+// whole recovery stack proven against the simulator carries over unchanged.
+// The suite runs the same table of scenarios against MemBackend and
+// FileBackend; file-only subtests cover the backing-file header validation.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// backendCase opens a fresh device and simulates a process restart over the
+// persisted image alone (mem: SaveImage+LoadImage; file: Close+reopen).
+type backendCase struct {
+	name   string
+	open   func(t *testing.T, size uint64) *Device
+	reopen func(t *testing.T, d *Device) *Device
+}
+
+func backendCases() []backendCase {
+	return []backendCase{
+		{
+			name: "mem",
+			open: func(t *testing.T, size uint64) *Device {
+				return New(Config{Size: size})
+			},
+			reopen: func(t *testing.T, d *Device) *Device {
+				path := filepath.Join(t.TempDir(), "mem.img")
+				if err := d.SaveImage(path); err != nil {
+					t.Fatalf("SaveImage: %v", err)
+				}
+				nd, err := LoadImage(path, Config{})
+				if err != nil {
+					t.Fatalf("LoadImage: %v", err)
+				}
+				return nd
+			},
+		},
+		{
+			name: "file",
+			open: func(t *testing.T, size uint64) *Device {
+				path := filepath.Join(t.TempDir(), "pm.img")
+				d, created, err := OpenFileDevice(path, Config{Size: size})
+				if err != nil {
+					t.Fatalf("OpenFileDevice: %v", err)
+				}
+				if !created {
+					t.Fatalf("fresh path reported as existing")
+				}
+				return d
+			},
+			reopen: func(t *testing.T, d *Device) *Device {
+				path := d.Backend().(*FileBackend).Path()
+				if err := d.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+				nd, created, err := OpenFileDevice(path, Config{})
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				if created {
+					t.Fatalf("existing file reported as created")
+				}
+				return nd
+			},
+		},
+	}
+}
+
+func forEachBackend(t *testing.T, f func(t *testing.T, bc backendCase)) {
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) { f(t, bc) })
+	}
+}
+
+func TestBackendStoreVisibleNotDurable(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bc backendCase) {
+		d := bc.open(t, 1<<16)
+		fl := d.NewFlusher()
+		d.Store(64, 7)
+		if got := d.Load(64); got != 7 {
+			t.Fatalf("volatile load = %d, want 7", got)
+		}
+		if got := d.PersistedWord(64); got != 0 {
+			t.Fatalf("persisted before fence = %d, want 0", got)
+		}
+		fl.Sync(64)
+		if got := d.PersistedWord(64); got != 7 {
+			t.Fatalf("persisted after fence = %d, want 7", got)
+		}
+	})
+}
+
+// Torn-line semantics: write-back granularity is the whole 64-byte line —
+// words sharing a line persist together, words in different lines persist
+// independently, on every backend.
+func TestBackendTornLineGranularity(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bc backendCase) {
+		d := bc.open(t, 1<<16)
+		fl := d.NewFlusher()
+		d.Store(128, 1)
+		d.Store(136, 2) // same line as 128
+		d.Store(256, 3) // different line
+		fl.Sync(128)    // names the first line only
+		if a, b := d.PersistedWord(128), d.PersistedWord(136); a != 1 || b != 2 {
+			t.Fatalf("same-line words persisted %d,%d, want 1,2", a, b)
+		}
+		if c := d.PersistedWord(256); c != 0 {
+			t.Fatalf("unfenced line persisted %d, want 0", c)
+		}
+	})
+}
+
+// CrashPartial frontiers: after an adversarial partial eviction + crash,
+// fenced lines hold their new contents, unfenced lines are atomically old
+// or new (never torn), and a reboot over the persisted image agrees.
+func TestBackendCrashPartialFrontier(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bc backendCase) {
+		d := bc.open(t, 1<<16)
+		fl := d.NewFlusher()
+		const lines = 32
+		addr := func(i int) Addr { return Addr(i+1) * LineSize }
+		for i := 0; i < lines; i++ {
+			d.Store(addr(i), uint64(i+1))
+			d.Store(addr(i)+8, uint64(i+1000))
+			if i%2 == 0 {
+				fl.CLWB(addr(i))
+			}
+		}
+		fl.Fence()
+		d.CrashPartial(rand.New(rand.NewSource(42)), 0.5)
+		check := func(d *Device, stage string) {
+			for i := 0; i < lines; i++ {
+				a, b := d.Load(addr(i)), d.Load(addr(i)+8)
+				switch {
+				case i%2 == 0:
+					if a != uint64(i+1) || b != uint64(i+1000) {
+						t.Fatalf("%s: fenced line %d lost: %d,%d", stage, i, a, b)
+					}
+				case a == 0 && b == 0: // line lost whole
+				case a == uint64(i+1) && b == uint64(i+1000): // line evicted whole
+				default:
+					t.Fatalf("%s: line %d torn: %d,%d", stage, i, a, b)
+				}
+			}
+		}
+		check(d, "post-crash")
+		check(bc.reopen(t, d), "post-reboot")
+	})
+}
+
+// StoreHook abort points: the hook fires after every mutating word access
+// (Store, successful CAS, Add — not failed CAS), and an operation aborted at
+// hook point k leaves exactly the synced prefix durable.
+func TestBackendStoreHookAbortPoints(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bc backendCase) {
+		d := bc.open(t, 1<<16)
+		fl := d.NewFlusher()
+
+		fires := 0
+		d.StoreHook = func() { fires++ }
+		d.Store(64, 1)
+		if !d.CAS(64, 1, 2) {
+			t.Fatal("CAS should succeed")
+		}
+		if d.CAS(64, 99, 3) {
+			t.Fatal("CAS should fail")
+		}
+		d.Add(64, 1)
+		if fires != 3 {
+			t.Fatalf("hook fired %d times, want 3 (failed CAS must not fire)", fires)
+		}
+
+		// Abort the 5th mutating access mid-sequence of store+sync ops.
+		const abortAt = 5
+		countdown := abortAt
+		type abort struct{}
+		d.StoreHook = func() {
+			countdown--
+			if countdown == 0 {
+				panic(abort{})
+			}
+		}
+		addr := func(i int) Addr { return Addr(i+2) * LineSize }
+		completed := 0
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abort); !ok {
+						panic(r)
+					}
+				}
+			}()
+			for i := 0; ; i++ {
+				d.Store(addr(i), uint64(i+1))
+				fl.Sync(addr(i))
+				completed++
+			}
+		}()
+		d.StoreHook = nil
+		if completed != abortAt-1 {
+			t.Fatalf("completed %d ops before abort, want %d", completed, abortAt-1)
+		}
+		d.Crash()
+		nd := bc.reopen(t, d)
+		for i := 0; i < completed; i++ {
+			if got := nd.Load(addr(i)); got != uint64(i+1) {
+				t.Fatalf("synced op %d lost after abort+reboot: %d", i, got)
+			}
+		}
+		if got := nd.Load(addr(completed)); got != 0 {
+			t.Fatalf("aborted op durable without fence: %d", got)
+		}
+	})
+}
+
+// Reboot visibility: only the persisted image crosses a restart, and the
+// volatile image starts as its copy.
+func TestBackendReopenRecoversPersistedOnly(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bc backendCase) {
+		d := bc.open(t, 1<<16)
+		fl := d.NewFlusher()
+		d.Store(64, 11)
+		fl.Sync(64)
+		d.Store(128, 22) // never fenced: must not survive
+		nd := bc.reopen(t, d)
+		if got := nd.Load(64); got != 11 {
+			t.Fatalf("synced word lost across reopen: %d", got)
+		}
+		if got := nd.Load(128); got != 0 {
+			t.Fatalf("unfenced word survived reopen: %d", got)
+		}
+		if got := nd.PersistedWord(64); got != 11 {
+			t.Fatalf("persisted image lost across reopen: %d", got)
+		}
+	})
+}
+
+// SaveImage / LoadImage keep working on both backends: the image file is a
+// portable snapshot of the persisted image regardless of backend.
+func TestBackendSaveImagePortable(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bc backendCase) {
+		d := bc.open(t, 1<<16)
+		fl := d.NewFlusher()
+		d.Store(64, 33)
+		fl.Sync(64)
+		path := filepath.Join(t.TempDir(), "snap.img")
+		if err := d.SaveImage(path); err != nil {
+			t.Fatalf("SaveImage: %v", err)
+		}
+		nd, err := LoadImage(path, Config{})
+		if err != nil {
+			t.Fatalf("LoadImage: %v", err)
+		}
+		if got := nd.Load(64); got != 33 {
+			t.Fatalf("image round trip lost word: %d", got)
+		}
+	})
+}
+
+// Kill -9 analogue: abandon a file-backed device without Close — the
+// persisted image must still be complete when the file is opened again,
+// because write-backs land in the shared page cache, not process memory.
+func TestFileBackendSurvivesAbandonment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pm.img")
+	d, _, err := OpenFileDevice(path, Config{Size: 1 << 16})
+	if err != nil {
+		t.Fatalf("OpenFileDevice: %v", err)
+	}
+	fl := d.NewFlusher()
+	d.Store(64, 44)
+	fl.Sync(64)
+	// No Close, no SaveImage: the first device is abandoned, dropping the
+	// single-owner lock the way a process death would.
+	if err := d.Backend().(*FileBackend).Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+	nd, created, err := OpenFileDevice(path, Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if created {
+		t.Fatal("existing file reported created")
+	}
+	if got := nd.Load(64); got != 44 {
+		t.Fatalf("synced word lost without clean shutdown: %d", got)
+	}
+}
+
+// Single ownership: a backing file mapped by one live process cannot be
+// opened by another — two independent allocators over one shared mapping
+// would corrupt the image undetectably. The flock dies with the process,
+// so kill -9 never wedges the file.
+func TestFileBackendSingleOwner(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pm.img")
+	fb, _, err := OpenFileBackend(path, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFileBackend(path, 0); err == nil ||
+		!strings.Contains(err.Error(), "locked by another live process") {
+		t.Fatalf("second open = %v, want lock error", err)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fb2, _, err := OpenFileBackend(path, 0)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	fb2.Close()
+}
+
+// Header validation: a backing file is mapped only after its header proves
+// it is ours, the right version and geometry, and physically complete.
+func TestFileBackendHeaderValidation(t *testing.T) {
+	newFile := func(t *testing.T) string {
+		path := filepath.Join(t.TempDir(), "pm.img")
+		d, _, err := OpenFileDevice(path, Config{Size: 1 << 16})
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		return path
+	}
+	mustFail := func(t *testing.T, path string, size uint64, frag string) {
+		t.Helper()
+		_, _, err := OpenFileBackend(path, size)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Fatalf("open = %v, want error containing %q", err, frag)
+		}
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		path := newFile(t)
+		if err := os.Truncate(path, int64(fileHeaderSize+1<<15)); err != nil {
+			t.Fatal(err)
+		}
+		mustFail(t, path, 0, "truncated")
+	})
+	t.Run("wrong-magic", func(t *testing.T) {
+		path := newFile(t)
+		corruptWord(t, path, fhMagicOff, 0xDEAD)
+		mustFail(t, path, 0, "not a pmem backing file")
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		path := newFile(t)
+		corruptWord(t, path, fhVersionOff, fileVersion+1)
+		mustFail(t, path, 0, "layout version")
+	})
+	t.Run("wrong-line-geometry", func(t *testing.T) {
+		path := newFile(t)
+		corruptWord(t, path, fhLineOff, 128)
+		mustFail(t, path, 0, "line size")
+	})
+	t.Run("wrong-word-geometry", func(t *testing.T) {
+		path := newFile(t)
+		corruptWord(t, path, fhWordOff, 4)
+		mustFail(t, path, 0, "word size")
+	})
+	t.Run("size-mismatch", func(t *testing.T) {
+		path := newFile(t)
+		mustFail(t, path, 1<<17, "formatted for")
+	})
+	t.Run("shorter-than-header", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "tiny.img")
+		if err := os.WriteFile(path, []byte("NV"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mustFail(t, path, 0, "too short")
+	})
+	t.Run("create-needs-size", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "new.img")
+		mustFail(t, path, 0, "requires a size")
+	})
+	t.Run("matching-size-ok", func(t *testing.T) {
+		path := newFile(t)
+		fb, created, err := OpenFileBackend(path, 1<<16)
+		if err != nil || created {
+			t.Fatalf("open with matching size: %v created=%v", err, created)
+		}
+		fb.Close()
+	})
+}
+
+func corruptWord(t *testing.T, path string, off int64, v uint64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+//go:build unix
+
+package nvram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"slices"
+	"syscall"
+	"unsafe"
+)
+
+// FileBackend is the file-backed persistence backend: the persisted image
+// lives in a shared mmap of a regular file, so every write-back lands in the
+// OS page cache of that file and survives the death of the process — kill -9
+// included — with no image save step. Recovery is opening the same file
+// again and running the normal attach path over the mapped image.
+//
+// Durability model:
+//
+//   - Process crash (panic, kill -9, OOM kill): safe by construction. The
+//     kernel owns the mapped pages; they reach the file regardless of how
+//     the process died.
+//   - Machine crash (power loss, kernel panic): each fence issues ranged
+//     msync(MS_ASYNC) over the written-back lines, which starts writeback
+//     without stalling the fence. Full power-fail durability needs strict
+//     mode (SetStrict), which adds one fdatasync per fence — the honest
+//     storage-hardware cost, typically 10-100× the simulated NVRAM latency.
+//
+// The file starts with one 4KB header page (magic, version, size, line and
+// word geometry) that OpenFileBackend validates before mapping; the image
+// proper follows at fileHeaderSize.
+type FileBackend struct {
+	f       *os.File
+	mapping []byte
+	words   []uint64
+	pageSz  uint64
+	strict  bool
+	path    string
+}
+
+const (
+	// fileHeaderSize is the reserved header region before the image.
+	fileHeaderSize = 4096
+	// fileMagic identifies a pmem backing file ("NVFBCK01").
+	fileMagic = uint64(0x31304B4342465648)
+	// fileVersion is the current backing-file layout version.
+	fileVersion = 1
+
+	fhMagicOff   = 0
+	fhVersionOff = 8
+	fhSizeOff    = 16
+	fhLineOff    = 24
+	fhWordOff    = 32
+)
+
+// OpenFileBackend opens path as a file-backed persistence backend, creating
+// and formatting it when it does not exist (or is empty — a fresh mktemp
+// file counts as absent). size is the device capacity in bytes for the
+// create case, rounded up to a full cache line; when opening an existing
+// file, size 0 adopts the file's formatted capacity and any other value
+// must match it exactly. The second result reports whether the file was
+// created (true) or an existing image was opened (false).
+func OpenFileBackend(path string, size uint64) (fb *FileBackend, created bool, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("nvram: open pmem file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+		}
+	}()
+	if err = lockFile(f, path); err != nil {
+		return nil, false, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, fmt.Errorf("nvram: stat pmem file: %w", err)
+	}
+	devSize := size
+	if st.Size() == 0 {
+		if devSize == 0 {
+			return nil, false, fmt.Errorf("nvram: creating %s requires a size", path)
+		}
+		if devSize < LineSize {
+			devSize = LineSize
+		}
+		devSize = (devSize + LineSize - 1) &^ uint64(LineSize-1)
+		if err := initFile(f, devSize); err != nil {
+			return nil, false, err
+		}
+		created = true
+	} else {
+		devSize, err = validateFileHeader(f, st.Size(), size)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	mapping, err := syscall.Mmap(int(f.Fd()), 0, int(fileHeaderSize+devSize),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("nvram: mmap pmem file: %w", err)
+	}
+	fb = &FileBackend{
+		f:       f,
+		mapping: mapping,
+		words:   unsafe.Slice((*uint64)(unsafe.Pointer(&mapping[fileHeaderSize])), devSize/WordSize),
+		pageSz:  uint64(os.Getpagesize()),
+		path:    path,
+	}
+	return fb, created, nil
+}
+
+// initFile sizes a fresh backing file and durably writes its header before
+// any mapping exists, so a crash mid-creation leaves either an empty file
+// (recreated on the next open) or a fully valid header — never a mapped
+// half-formatted image.
+func initFile(f *os.File, devSize uint64) error {
+	if err := f.Truncate(int64(fileHeaderSize + devSize)); err != nil {
+		return fmt.Errorf("nvram: size pmem file: %w", err)
+	}
+	var hdr [fileHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[fhMagicOff:], fileMagic)
+	binary.LittleEndian.PutUint64(hdr[fhVersionOff:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[fhSizeOff:], devSize)
+	binary.LittleEndian.PutUint64(hdr[fhLineOff:], LineSize)
+	binary.LittleEndian.PutUint64(hdr[fhWordOff:], WordSize)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("nvram: write pmem header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("nvram: sync pmem header: %w", err)
+	}
+	return nil
+}
+
+// validateFileHeader checks an existing backing file before it is mapped:
+// magic, layout version, line/word geometry, and that the file really
+// contains the full image its header promises. wantSize, when non-zero,
+// must match the formatted capacity exactly.
+func validateFileHeader(f *os.File, fileSize int64, wantSize uint64) (uint64, error) {
+	var hdr [40]byte
+	if n, err := f.ReadAt(hdr[:], 0); err != nil || n != len(hdr) {
+		return 0, fmt.Errorf("nvram: pmem file too short for a header (%d bytes)", fileSize)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[fhMagicOff:]); got != fileMagic {
+		return 0, fmt.Errorf("nvram: not a pmem backing file (magic %#x)", got)
+	}
+	if v := binary.LittleEndian.Uint64(hdr[fhVersionOff:]); v != fileVersion {
+		return 0, fmt.Errorf("nvram: pmem file layout version %d, want %d", v, fileVersion)
+	}
+	if l := binary.LittleEndian.Uint64(hdr[fhLineOff:]); l != LineSize {
+		return 0, fmt.Errorf("nvram: pmem file line size %d, want %d", l, LineSize)
+	}
+	if w := binary.LittleEndian.Uint64(hdr[fhWordOff:]); w != WordSize {
+		return 0, fmt.Errorf("nvram: pmem file word size %d, want %d", w, WordSize)
+	}
+	devSize := binary.LittleEndian.Uint64(hdr[fhSizeOff:])
+	if devSize == 0 || devSize%LineSize != 0 {
+		return 0, fmt.Errorf("nvram: pmem file capacity %d is not line-aligned", devSize)
+	}
+	if uint64(fileSize) != fileHeaderSize+devSize {
+		return 0, fmt.Errorf("nvram: pmem file truncated: header says %d image bytes, file holds %d",
+			devSize, fileSize-fileHeaderSize)
+	}
+	if wantSize != 0 {
+		rounded := (wantSize + LineSize - 1) &^ uint64(LineSize-1)
+		if rounded < LineSize {
+			rounded = LineSize
+		}
+		if rounded != devSize {
+			return 0, fmt.Errorf("nvram: pmem file formatted for %d bytes, requested %d", devSize, rounded)
+		}
+	}
+	return devSize, nil
+}
+
+// Name identifies the backend kind.
+func (fb *FileBackend) Name() string { return "file" }
+
+// Path returns the backing file path.
+func (fb *FileBackend) Path() string { return fb.path }
+
+// Words returns the persisted image: the mapped file past the header.
+func (fb *FileBackend) Words() []uint64 { return fb.words }
+
+// NeedsSync reports true: fences must reach the mapping's sync hook.
+func (fb *FileBackend) NeedsSync() bool { return true }
+
+// SetStrict toggles full power-fail durability: every fence additionally
+// issues one fdatasync, so acknowledged operations survive machine crashes,
+// not just process crashes. Set it before serving operations.
+func (fb *FileBackend) SetStrict(on bool) { fb.strict = on }
+
+// SyncLines coalesces the just-written-back lines into page ranges of the
+// mapping and issues one ranged msync(MS_ASYNC) per run — starting kernel
+// writeback without stalling the fence — plus one fdatasync in strict mode
+// (the single linearizing wait of the fence). Sync failures are fatal: a
+// backend that silently drops acknowledged durability would corrupt every
+// recovery guarantee built on top of it.
+func (fb *FileBackend) SyncLines(lines []uint64) {
+	if len(lines) > 0 {
+		slices.Sort(lines)
+		ps := fb.pageSz
+		var start, end uint64
+		flush := func() {
+			if end > start {
+				if err := msyncRange(fb.mapping[start:end:end], false); err != nil {
+					panic(fmt.Sprintf("nvram: msync %s: %v", fb.path, err))
+				}
+			}
+		}
+		for _, l := range lines {
+			lo := (fileHeaderSize + l*LineSize) &^ (ps - 1)
+			hi := (fileHeaderSize + (l+1)*LineSize + ps - 1) &^ (ps - 1)
+			if hi > uint64(len(fb.mapping)) {
+				hi = uint64(len(fb.mapping))
+			}
+			if end == 0 {
+				start, end = lo, hi
+			} else if lo <= end {
+				if hi > end {
+					end = hi
+				}
+			} else {
+				flush()
+				start, end = lo, hi
+			}
+		}
+		flush()
+	}
+	if fb.strict {
+		if err := fdatasyncFile(fb.f); err != nil {
+			panic(fmt.Sprintf("nvram: fdatasync %s: %v", fb.path, err))
+		}
+	}
+}
+
+// Abandon simulates abrupt process death for in-process crash tests: it
+// closes the descriptor and drops the mapping WITHOUT any flush, so the
+// backing file holds precisely the write-backs that completed — and the
+// single-owner lock is released, exactly as a kill -9 would release it.
+// (The munmap is required for that: a live MAP_SHARED mapping keeps the
+// open file description — and its flock — alive past the fd close; dirty
+// pages stay in the page cache regardless, which is the whole durability
+// story.) The backend and its device must not be used afterwards.
+func (fb *FileBackend) Abandon() error {
+	err := fb.f.Close()
+	if fb.mapping != nil {
+		if e := syscall.Munmap(fb.mapping); err == nil {
+			err = e
+		}
+		fb.mapping, fb.words = nil, nil
+	}
+	return err
+}
+
+// Close synchronously flushes the whole mapping to the file, unmaps it and
+// closes the descriptor. The clean-shutdown equivalent of SaveImage — after
+// Close the file alone carries the device state.
+func (fb *FileBackend) Close() error {
+	if fb.mapping == nil {
+		return nil
+	}
+	errSync := msyncRange(fb.mapping, true)
+	if err := fb.f.Sync(); errSync == nil {
+		errSync = err
+	}
+	if err := syscall.Munmap(fb.mapping); errSync == nil {
+		errSync = err
+	}
+	fb.mapping, fb.words = nil, nil
+	if err := fb.f.Close(); errSync == nil {
+		errSync = err
+	}
+	return errSync
+}
+
+// OpenFileDevice opens (or creates) a file-backed device: the persisted
+// image is the mapped file at path, the volatile image starts as its copy —
+// exactly the state after a reboot — and recovery is the caller's normal
+// attach path. The second result reports whether the file was created.
+func OpenFileDevice(path string, cfg Config) (*Device, bool, error) {
+	fb, created, err := OpenFileBackend(path, cfg.Size)
+	if err != nil {
+		return nil, false, err
+	}
+	cfg.Size = 0 // adopt the backend's formatted capacity
+	d, err := NewWithBackend(cfg, fb)
+	if err != nil {
+		fb.Close()
+		return nil, false, err
+	}
+	return d, created, nil
+}

@@ -1,0 +1,10 @@
+//go:build unix && !linux && !darwin && !freebsd && !netbsd && !openbsd && !dragonfly
+
+package nvram
+
+import "os"
+
+// lockFile is a no-op where flock(2) is unavailable: double-start
+// protection is advisory hardening, not a correctness dependency of the
+// backend itself.
+func lockFile(*os.File, string) error { return nil }

@@ -1,0 +1,26 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package nvram
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on the backing
+// file: two live processes mapping the same pmem image MAP_SHARED would
+// serve independent allocators into one image and corrupt it undetectably,
+// so the second open must fail loudly instead. The lock dies with the
+// process (kill -9 included), which is exactly the ownership lifetime a
+// crash-recoverable backing file needs.
+func lockFile(f *os.File, path string) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return fmt.Errorf("nvram: pmem file %s is locked by another live process", path)
+		}
+		return fmt.Errorf("nvram: lock pmem file %s: %w", path, err)
+	}
+	return nil
+}

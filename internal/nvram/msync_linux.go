@@ -1,0 +1,36 @@
+//go:build linux
+
+package nvram
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// msyncRange flushes a page-aligned slice of a shared mapping to its file:
+// MS_ASYNC (sync=false) starts kernel writeback without waiting, MS_SYNC
+// (sync=true) waits for it.
+func msyncRange(b []byte, sync bool) error {
+	if len(b) == 0 {
+		return nil
+	}
+	flags := uintptr(syscall.MS_ASYNC)
+	if sync {
+		flags = syscall.MS_SYNC
+	}
+	// The raw syscall stays: golang.org/x/sys is not a dependency of this
+	// module, and msync has no wrapper in the standard syscall package.
+	//lint:ignore SA1019 no msync wrapper exists outside x/sys
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), flags)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// fdatasyncFile flushes file data (not metadata) to stable storage.
+func fdatasyncFile(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

@@ -1,0 +1,15 @@
+//go:build unix && !linux
+
+package nvram
+
+import "os"
+
+// msyncRange is a no-op outside linux: a MAP_SHARED mapping is already
+// kill-9 durable through the page cache, and the strict path below provides
+// the machine-crash barrier portably. (Raw msync syscalls are deliberately
+// avoided here — darwin deprecated the raw-syscall path, and x/sys is not a
+// dependency of this module.)
+func msyncRange([]byte, bool) error { return nil }
+
+// fdatasyncFile falls back to a full fsync where fdatasync is unavailable.
+func fdatasyncFile(f *os.File) error { return f.Sync() }

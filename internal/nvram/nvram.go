@@ -72,12 +72,23 @@ type Config struct {
 // use except Crash, CrashPartial, SaveImage and LoadImage, which require
 // external quiescence (no in-flight operations), exactly like a real
 // power failure treated at a point in time.
+//
+// The persisted image is owned by a pluggable Backend: MemBackend (the
+// default) keeps it in process memory, FileBackend in a shared file mapping
+// that survives kill -9. The write-back hot path is backend-independent —
+// plain stores into the backend's word slice — and fences reach the backend
+// sync hook only when it declares one (needSync), so MemBackend devices run
+// exactly as before the Backend split.
 type Device struct {
-	cfg   Config
-	words []uint64 // volatile image (cache + memory merged view)
-	pers  []uint64 // persisted image (survives Crash)
-	dirty []uint32 // per-line advisory dirty flags (for eviction & stats)
-	lines uint64
+	cfg     Config
+	backend Backend
+	words   []uint64 // volatile image (cache + memory merged view)
+	pers    []uint64 // persisted image (backend.Words(); survives Crash)
+	dirty   []uint32 // per-line advisory dirty flags (for eviction & stats)
+	lines   uint64
+	// needSync caches backend.NeedsSync so MemBackend fences skip the
+	// interface call entirely.
+	needSync bool
 
 	// StoreHook, when non-nil, is called after every mutating word access
 	// (Store, successful CAS, Add). Crash-injection tests use it to abort
@@ -104,26 +115,63 @@ type Device struct {
 	retired  Stats // counters folded in from Released flushers
 }
 
-// New creates a device of the configured size with both images zeroed.
+// New creates a device of the configured size with both images zeroed,
+// backed by an in-process MemBackend.
 func New(cfg Config) *Device {
-	if cfg.Size < LineSize {
-		cfg.Size = LineSize
-	}
-	cfg.Size = (cfg.Size + LineSize - 1) &^ uint64(LineSize-1)
-	nw := cfg.Size / WordSize
-	d := &Device{
-		cfg:     cfg,
-		words:   make([]uint64, nw),
-		pers:    make([]uint64, nw),
-		dirty:   make([]uint32, cfg.Size/LineSize),
-		wbLocks: make([]uint32, cfg.Size/LineSize),
-		lines:   cfg.Size / LineSize,
+	d, err := NewWithBackend(cfg, NewMemBackend(cfg.Size))
+	if err != nil {
+		// NewMemBackend derives its size from cfg.Size, so a mismatch is a
+		// bug in this package, not a caller error.
+		panic(err)
 	}
 	return d
 }
 
+// NewWithBackend creates a device whose persisted image is owned by b. The
+// capacity is the backend's; cfg.Size, when non-zero, must agree (after
+// line rounding). The volatile image starts as a copy of the persisted one
+// — the state after a reboot — so a backend holding a formatted pool is
+// ready for the caller's attach/recovery path.
+func NewWithBackend(cfg Config, b Backend) (*Device, error) {
+	pers := b.Words()
+	size := uint64(len(pers)) * WordSize
+	if size == 0 || size%LineSize != 0 {
+		return nil, fmt.Errorf("nvram: backend %q image (%d bytes) is not line-aligned", b.Name(), size)
+	}
+	if cfg.Size != 0 {
+		want := cfg.Size
+		if want < LineSize {
+			want = LineSize
+		}
+		want = (want + LineSize - 1) &^ uint64(LineSize-1)
+		if want != size {
+			return nil, fmt.Errorf("nvram: backend %q holds %d bytes, config wants %d", b.Name(), size, want)
+		}
+	}
+	cfg.Size = size
+	d := &Device{
+		cfg:      cfg,
+		backend:  b,
+		words:    make([]uint64, size/WordSize),
+		pers:     pers,
+		dirty:    make([]uint32, size/LineSize),
+		wbLocks:  make([]uint32, size/LineSize),
+		lines:    size / LineSize,
+		needSync: b.NeedsSync(),
+	}
+	copy(d.words, pers)
+	return d, nil
+}
+
 // Size returns the device capacity in bytes.
 func (d *Device) Size() uint64 { return d.cfg.Size }
+
+// Backend returns the persistence backend owning the persisted image.
+func (d *Device) Backend() Backend { return d.backend }
+
+// Close releases the backend (flushing and unmapping file-backed images).
+// Requires quiescence; the device must not be used afterwards.
+func (d *Device) Close() error { return d.backend.Close() }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
@@ -488,6 +536,11 @@ func (f *Flusher) Fence() {
 	}
 	for _, line := range f.pending {
 		f.d.writeBackLine(line)
+	}
+	if f.d.needSync {
+		// File-backed devices flush the written ranges (msync / fdatasync);
+		// the hook may reorder f.pending, which is discarded right after.
+		f.d.backend.SyncLines(f.pending)
 	}
 	f.pending = f.pending[:0]
 	if f.setActive {

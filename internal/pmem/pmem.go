@@ -197,6 +197,12 @@ func Format(dev *nvram.Device) *Pool {
 	return p
 }
 
+// Formatted reports whether dev's persisted image holds a formatted pool —
+// the open-or-create probe used before choosing Format vs Attach.
+func Formatted(dev *nvram.Device) bool {
+	return dev.Load(hdrMagicOff) == poolMagic
+}
+
 // Attach opens an existing pool after a restart, rebuilding the volatile
 // free-page list by scanning durable page headers.
 func Attach(dev *nvram.Device) (*Pool, error) {

@@ -39,6 +39,7 @@ package logfree
 import (
 	"encoding/binary"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,20 +57,49 @@ const (
 
 // config collects the options of a Runtime.
 type config struct {
-	size         uint64
+	size         uint64 // 0 = default (fresh devices) or adopt (file/backend)
 	writeLatency time.Duration
 	maxThreads   int
 	areaShift    uint
 	linkCache    bool
 	volatile     bool
+	file         string
+	fileStrict   bool
+	backend      nvram.Backend
 }
+
+// defaultSize is the simulated NVRAM capacity when none is configured.
+const defaultSize = 64 << 20
 
 // Option configures a Runtime (functional options; replaces the v1 Config
 // struct).
 type Option func(*config)
 
 // WithSize sets the simulated NVRAM capacity in bytes (default 64 MiB).
+// With WithFile it sizes a newly created backing file; reopening an
+// existing file adopts the file's formatted capacity, and an explicit
+// WithSize that disagrees with it is an error.
 func WithSize(bytes uint64) Option { return func(c *config) { c.size = bytes } }
+
+// WithFile backs the persisted image with an mmap'd file at path instead of
+// process memory: every completed write-back lands in the backing file's
+// page cache, so the runtime's contents survive process death — kill -9
+// included — with no image save. New opens-or-creates: a path holding a
+// formatted pool is recovered (Recovered reports true), anything else is
+// formatted fresh. SaveImage/LoadImage keep working as portable snapshots.
+// Mutually exclusive with WithBackend and WithVolatile.
+func WithFile(path string) Option { return func(c *config) { c.file = path } }
+
+// WithFileSync, with WithFile, makes every fence issue one fdatasync so
+// acknowledged operations survive machine crashes (power loss), not just
+// process crashes. This pays real storage-stack latency per linearizing
+// fence — typically 10-100× the simulated NVRAM write latency.
+func WithFileSync(strict bool) Option { return func(c *config) { c.fileStrict = strict } }
+
+// WithBackend runs the runtime on a caller-constructed persistence backend
+// (see nvram.Backend). Like WithFile, a backend holding a formatted pool is
+// recovered rather than reformatted. Mutually exclusive with WithFile.
+func WithBackend(b nvram.Backend) Option { return func(c *config) { c.backend = b } }
 
 // WithWriteLatency sets the simulated NVRAM write latency (paper default
 // 125ns via nvram.DefaultWriteLatency). Zero disables latency injection.
@@ -96,7 +126,7 @@ func WithAreaShift(shift uint) Option { return func(c *config) { c.areaShift = s
 func WithVolatile(on bool) Option { return func(c *config) { c.volatile = on } }
 
 func buildConfig(opts []Option) config {
-	c := config{size: 64 << 20, areaShift: 16}
+	c := config{areaShift: 16}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -104,6 +134,40 @@ func buildConfig(opts []Option) config {
 		c.maxThreads = 0
 	}
 	return c
+}
+
+// openDevice builds the NVRAM device the configuration names: the default
+// in-process simulator, a file-backed device, or a caller backend.
+func (c *config) openDevice() (*nvram.Device, error) {
+	ncfg := nvram.Config{WriteLatency: c.writeLatency}
+	switch {
+	case c.backend != nil && c.file != "":
+		return nil, fmt.Errorf("logfree: WithBackend and WithFile are mutually exclusive")
+	case c.volatile && (c.backend != nil || c.file != ""):
+		return nil, fmt.Errorf("logfree: WithVolatile strips the write-backs a durable backend exists to capture")
+	case c.backend != nil:
+		ncfg.Size = c.size // 0 adopts the backend's capacity
+		return nvram.NewWithBackend(ncfg, c.backend)
+	case c.file != "":
+		ncfg.Size = c.size
+		if st, err := os.Stat(c.file); (err != nil || st.Size() == 0) && ncfg.Size == 0 {
+			ncfg.Size = defaultSize // creating fresh with no explicit size
+		}
+		dev, _, err := nvram.OpenFileDevice(c.file, ncfg)
+		if err != nil {
+			return nil, err
+		}
+		if fb, ok := dev.Backend().(*nvram.FileBackend); ok {
+			fb.SetStrict(c.fileStrict)
+		}
+		return dev, nil
+	default:
+		ncfg.Size = c.size
+		if ncfg.Size == 0 {
+			ncfg.Size = defaultSize
+		}
+		return nvram.New(ncfg), nil
+	}
 }
 
 // Kind identifies a structure type in the durable directory.
@@ -171,6 +235,7 @@ type Runtime struct {
 	pool  *sessionPool
 
 	closed   atomic.Bool
+	attached bool // true when Attach recovered an existing image
 	handleMu sync.Mutex
 	handles  map[int]*Session // Handle(tid) shim sessions, by tid
 
@@ -189,13 +254,37 @@ type RecoveryReport struct {
 	Kind Kind
 }
 
-// New creates a runtime on a fresh simulated NVRAM device.
+// New creates a runtime. On the default in-process backend the device is
+// always fresh; with WithFile or WithBackend, a persisted image that
+// already holds a formatted pool is recovered instead of destroyed
+// (open-or-create — Recovered reports which path ran).
 func New(opts ...Option) (*Runtime, error) {
 	cfg := buildConfig(opts)
+	dev, err := cfg.openDevice()
+	if err != nil {
+		return nil, err
+	}
+	var r *Runtime
+	if core.PoolFormatted(dev) {
+		r, err = attachRuntime(dev, cfg)
+	} else {
+		r, err = createRuntime(dev, cfg)
+	}
+	if err != nil {
+		// Release the backend (file mapping + descriptor + owner lock):
+		// a supervisor retrying a failing open must not leak one mapping
+		// per attempt.
+		dev.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// createRuntime formats dev and initializes a fresh runtime on it.
+func createRuntime(dev *nvram.Device, cfg config) (*Runtime, error) {
 	if cfg.maxThreads == 0 {
 		cfg.maxThreads = 1
 	}
-	dev := nvram.New(nvram.Config{Size: cfg.size, WriteLatency: cfg.writeLatency})
 	store, err := core.NewStore(dev, core.Options{
 		MaxThreads: cfg.maxThreads,
 		LinkCache:  cfg.linkCache,
@@ -246,7 +335,10 @@ func (r *Runtime) createDirectory() error {
 // (after a crash or image load): the directory is recovered first, then
 // every structure it lists, in one combined sweep of the active areas.
 func Attach(dev *nvram.Device, opts ...Option) (*Runtime, error) {
-	cfg := buildConfig(opts)
+	return attachRuntime(dev, buildConfig(opts))
+}
+
+func attachRuntime(dev *nvram.Device, cfg config) (*Runtime, error) {
 	store, err := core.AttachStore(dev)
 	if err != nil {
 		return nil, err
@@ -267,6 +359,7 @@ func Attach(dev *nvram.Device, opts ...Option) (*Runtime, error) {
 	r.dir = core.AttachBytesMap(store,
 		store.Root(rootDirBuckets), int(store.Root(rootDirNBkts)), store.Root(rootDirTail))
 	r.recoverAll()
+	r.attached = true
 	r.seedPool()
 	return r, nil
 }
@@ -294,15 +387,23 @@ func (r *Runtime) Drain() {
 	r.store.ForEachCtx(func(c *core.Ctx) { c.Shutdown() })
 }
 
-// Close drains the runtime and marks it closed: subsequent operations
-// return (or panic with) ErrClosed. Requires quiescence. Idempotent.
+// Close drains the runtime, marks it closed (subsequent operations return
+// or panic with ErrClosed) and releases the device backend — for
+// file-backed runtimes that synchronously flushes the mapping, so after
+// Close the backing file alone carries the state. Requires quiescence.
+// Idempotent.
 func (r *Runtime) Close() error {
 	if r.closed.Swap(true) {
 		return nil
 	}
 	r.Drain()
-	return nil
+	return r.dev.Close()
 }
+
+// Recovered reports whether this runtime attached to an existing formatted
+// image (New on a populated WithFile/WithBackend device, Attach, Load)
+// rather than formatting a fresh pool.
+func (r *Runtime) Recovered() bool { return r.attached }
 
 // SimulateCrash power-fails the device (losing everything not written
 // back), reboots, and recovers. The receiver and all its sessions and

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# benchgate.sh — make CI actually read the bench artifacts it uploads: every
+# metric in the freshly produced BENCH_*.json files is compared against the
+# committed baseline of the same file (git show HEAD:<file>), and the job
+# fails if any gated metric regressed beyond tolerance. A 2× throughput
+# collapse can no longer merge green.
+#
+# Usage:
+#   scripts/bench.sh && scripts/benchgate.sh
+#
+# Environment:
+#   BENCH_TOLERANCE        allowed fractional drop per metric (default 0.30:
+#                          CI smoke runs are short and shared-runner noisy)
+#   BENCH_TOLERANCE_FILE   tolerance for BENCH_file.json only (default 0.90:
+#                          absolute file-backend rows depend on the runner's
+#                          filesystem; the file_vs_mem ratio rows are the
+#                          meaningful signal and ride the same tolerance)
+#   BENCH_FILES            files to gate (default: all four BENCH_*.json)
+#
+# Output: a markdown table per file, appended to $GITHUB_STEP_SUMMARY when
+# set (the Actions job summary) and always echoed to stdout. Improvements
+# beyond tolerance are flagged as a reminder to refresh the committed
+# baseline, but never fail the gate — only regressions do.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_TOLERANCE:-0.30}"
+TOLERANCE_FILE="${BENCH_TOLERANCE_FILE:-0.90}"
+FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json}"
+
+command -v jq >/dev/null || { echo "benchgate: jq is required" >&2; exit 2; }
+
+# flatten — stdin JSON array to one "key<TAB>value<TAB>kind" line per
+# metric: key is name[/variant][/<threads>g], value is ops_per_sec / ratio /
+# keys_per_sec, kind distinguishes derived ratio rows ("ratio") from
+# absolute throughput rows ("abs").
+flatten() {
+  jq -r '.[] | [
+    (.name
+      + (if .variant  then "/" + .variant                else "" end)
+      + (if .threads  then "/" + (.threads|tostring) + "g" else "" end)),
+    ((.ops_per_sec // .ratio // .keys_per_sec // 0) | tostring),
+    (if .ratio then "ratio" else "abs" end)
+  ] | @tsv'
+}
+
+summary() {
+  echo "$1"
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    echo "$1" >> "$GITHUB_STEP_SUMMARY"
+  fi
+}
+
+fail=0
+summary "## Bench gate (tolerance ${TOLERANCE}, file rows ${TOLERANCE_FILE})"
+for f in $FILES; do
+  if [ ! -f "$f" ]; then
+    summary ""
+    summary "**$f**: missing from the working tree — did bench.sh run?"
+    fail=1
+    continue
+  fi
+  if ! base_json=$(git show "HEAD:$f" 2>/dev/null); then
+    summary ""
+    summary "**$f**: no committed baseline at HEAD (new benchmark file; not gated)."
+    continue
+  fi
+  # BENCH_file.json's absolute rows depend on the runner's filesystem and
+  # get the loose tolerance; its file_vs_mem RATIO rows are the
+  # machine-independent signal and ride the default tolerance like
+  # everything else.
+  tol="$TOLERANCE" tol_abs="$TOLERANCE"
+  [ "$f" = "BENCH_file.json" ] && tol_abs="$TOLERANCE_FILE"
+
+  summary ""
+  summary "**$f**"
+  summary ""
+  summary "| metric | baseline | current | ratio | status |"
+  summary "|---|---:|---:|---:|---|"
+
+  rows=$(
+    {
+      printf '%s\n' "$base_json" | flatten | sed 's/^/B\t/'
+      flatten < "$f" | sed 's/^/C\t/'
+    } | awk -F'\t' -v rtol="$tol" -v atol="$tol_abs" '
+      $1 == "B" { base[$2] = $3; kind[$2] = $4; order[n++] = $2 }
+      $1 == "C" { cur[$2] = $3 }
+      END {
+        bad = 0
+        for (i = 0; i < n; i++) {
+          k = order[i]
+          tol = (kind[k] == "ratio") ? rtol : atol
+          b = base[k] + 0
+          if (!(k in cur)) {
+            printf "| %s | %.4g | (missing) | — | ❌ metric disappeared |\n", k, b
+            bad = 1
+            continue
+          }
+          c = cur[k] + 0
+          if (b <= 0) {
+            printf "| %s | %.4g | %.4g | — | skipped (zero baseline) |\n", k, b, c
+            continue
+          }
+          r = c / b
+          if (r < 1 - tol) {
+            printf "| %s | %.4g | %.4g | %.2f | ❌ regression beyond tolerance |\n", k, b, c, r
+            bad = 1
+          } else if (r > 1 + tol) {
+            printf "| %s | %.4g | %.4g | %.2f | ⬆️ improvement — refresh baseline |\n", k, b, c, r
+          } else {
+            printf "| %s | %.4g | %.4g | %.2f | ✅ |\n", k, b, c, r
+          }
+        }
+        for (k in cur) if (!(k in base))
+          printf "| %s | (new) | %.4g | — | ➕ not gated |\n", k, cur[k] + 0
+        exit bad
+      }'
+  ) && file_ok=1 || file_ok=0
+  while IFS= read -r line; do summary "$line"; done <<< "$rows"
+  [ "$file_ok" = 1 ] || fail=1
+done
+
+summary ""
+if [ "$fail" != 0 ]; then
+  summary "**Bench gate: FAILED** — a gated metric regressed beyond tolerance (or is missing)."
+  exit 1
+fi
+summary "Bench gate: all metrics within tolerance."

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# crash_e2e.sh — the kill -9 crash matrix: proves, across REAL process
+# boundaries, that nvmemcached on a file-backed NVRAM image (-pmem-file)
+# recovers every acknowledged write after an abrupt SIGKILL — no SIGTERM
+# image save, no shutdown handshake.
+#
+# Each round: start the server on the same pmem file, drive sets + counter
+# incrs over TCP while recording the acknowledged frontier (cmd/crashcheck),
+# kill -9 the server mid-load, restart it, and verify the frontier of EVERY
+# round so far — earlier rounds must keep surviving later crashes. A final
+# clean-SIGTERM cycle checks the graceful path too.
+#
+# Environment:
+#   CRASH_ROUNDS  kill -9 rounds (default 3)
+#   LOAD_SECONDS  load time before each kill (default 1)
+#
+# Portable across ubuntu/macos runners: no timeout(1), no /dev/tcp, no nc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${CRASH_ROUNDS:-3}"
+LOAD_SECONDS="${LOAD_SECONDS:-1}"
+
+WORK=$(mktemp -d)
+SRV_PID=""
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building =="
+go build -o "$WORK/nvmemcached" ./cmd/nvmemcached
+go build -o "$WORK/crashcheck" ./cmd/crashcheck
+
+PMEM="$WORK/cache.pmem"
+LOG="$WORK/server.log"
+
+start_server() {
+  : > "$LOG"
+  "$WORK/nvmemcached" -listen 127.0.0.1:0 -mem $((64 << 20)) -buckets 4096 \
+    -pmem-file "$PMEM" -latency 0 -sweep 0 >> "$LOG" 2>&1 &
+  SRV_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(awk '/listening on/ {a=$NF} END {print a}' "$LOG")
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+      echo "server died during startup:" >&2
+      cat "$LOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$ADDR" ]; then
+    echo "server never reported its listen address:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+}
+
+verify_all_rounds() {
+  upto=$1
+  for p in $(seq 1 "$upto"); do
+    "$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.$p" -prefix "r$p" verify
+  done
+}
+
+echo "== round 0: fresh server =="
+start_server
+echo "   listening on $ADDR (pid $SRV_PID)"
+
+for r in $(seq 1 "$ROUNDS"); do
+  echo "== round $r: load, kill -9, recover =="
+  "$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.$r" -prefix "r$r" load &
+  LOAD_PID=$!
+  sleep "$LOAD_SECONDS"
+  kill -9 "$SRV_PID"
+  SRV_PID=""
+  wait "$LOAD_PID"
+
+  ACKED=$(awk -F= '/^acked=/ {print $2}' "$WORK/state.$r")
+  if [ "${ACKED:-0}" -lt 100 ]; then
+    echo "round $r: only $ACKED acknowledged sets before the kill — not a meaningful crash test" >&2
+    exit 1
+  fi
+  echo "   killed server with $ACKED acknowledged sets in flight history"
+
+  start_server
+  if ! grep -q "recovered" "$LOG"; then
+    echo "restart did not run recovery:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  echo "   $(awk '/recovered/ {sub(/^.*recovered/, "recovered"); print; exit}' "$LOG")"
+  verify_all_rounds "$r"
+done
+
+echo "== clean shutdown round (SIGTERM) =="
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+start_server
+verify_all_rounds "$ROUNDS"
+
+echo "crash_e2e: PASS — every acknowledged write survived $ROUNDS kill -9 crashes and a clean restart"
