@@ -21,6 +21,7 @@ import (
 	"repro/internal/memcache"
 	"repro/internal/nvram"
 	"repro/logfree"
+	"repro/logfree/sharded"
 )
 
 // benchPoint runs exactly b.N operations through the workload harness.
@@ -554,6 +555,95 @@ func BenchmarkNVMemcachedParallel(b *testing.B) {
 			})
 		})
 	}
+}
+
+// --- Sharded-pool shard sweep ---------------------------------------------
+//
+// BenchmarkShardedOrderedMapSetParallel sweeps shard count × goroutines over
+// the sharded.Pool ordered Set path — the multi-runtime architecture built
+// to break the single-runtime parallel ceiling. The pool's total device
+// budget is the single-runtime benchmark's 256MB split across shards, so the
+// comparison prices topology, not extra memory. scripts/bench.sh records the
+// rows in BENCH_parallel.json and derives sharded_8x8_vs_single (8-shard
+// 8-goroutine pool over the single-runtime 8-goroutine baseline), which
+// benchgate holds to tolerance. NOTE: on a single-vCPU host every
+// configuration serializes on the one core (the profiling finding behind
+// this subsystem — the flat parallel curve is CPU saturation, not a lock),
+// so the ratio reflects the host's core count, not the architecture's limit.
+
+var benchShardCounts = []int{1, 2, 4, 8}
+
+// newShardedBench opens an s-shard pool (memory-backed, or file-backed under
+// dir when non-empty) holding an ordered map, with one PoolSession-pinned
+// view per worker.
+func newShardedBench(b *testing.B, s, g int, dir string) []*sharded.OrderedMap {
+	b.Helper()
+	opts := []sharded.Option{
+		sharded.WithShards(s),
+		sharded.WithShardSize((256 << 20) / uint64(s)),
+		sharded.WithMaxThreads(g),
+		sharded.WithLinkCache(dir == ""), // same rule as single-runtime file mode
+	}
+	if dir != "" {
+		opts = append(opts, sharded.WithDir(dir))
+	}
+	pool, err := sharded.Open(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { pool.Close() })
+	om, err := pool.OrderedMap("bench-ordered")
+	if err != nil {
+		b.Fatal(err)
+	}
+	views := make([]*sharded.OrderedMap, g)
+	for t := 0; t < g; t++ {
+		ps, err := pool.Session()
+		if err != nil {
+			b.Fatal(err)
+		}
+		views[t] = om.WithSession(ps)
+	}
+	runtime.GC() // see newParallelRuntime
+	return views
+}
+
+func shardedSetWorker(views []*sharded.OrderedMap, val []byte) func(t int, ks [][]byte) error {
+	return func(t int, ks [][]byte) error {
+		om := views[t]
+		for _, k := range ks {
+			if err := om.Set(k, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func BenchmarkShardedOrderedMapSetParallel(b *testing.B) {
+	keys := benchKeys(orderedBenchKeys)
+	val := make([]byte, orderedBenchValLen)
+	for _, s := range benchShardCounts {
+		for _, g := range benchThreadCounts {
+			b.Run(fmt.Sprintf("%ds/%dg", s, g), func(b *testing.B) {
+				views := newShardedBench(b, s, g, "")
+				runWorkers(b, g, keys, shardedSetWorker(views, val))
+			})
+		}
+	}
+}
+
+// BenchmarkShardedOrderedMapSetFileParallel is the acceptance row's
+// file-backed twin: the full 8-shard 8-goroutine configuration with every
+// shard on its own mmap'd backing file (default durability: write-back +
+// ranged msync per fence, link cache off as in all file modes).
+func BenchmarkShardedOrderedMapSetFileParallel(b *testing.B) {
+	keys := benchKeys(orderedBenchKeys)
+	val := make([]byte, orderedBenchValLen)
+	b.Run("8s/8g", func(b *testing.B) {
+		views := newShardedBench(b, 8, 8, b.TempDir())
+		runWorkers(b, 8, keys, shardedSetWorker(views, val))
+	})
 }
 
 func BenchmarkOrderedMapScan(b *testing.B) {

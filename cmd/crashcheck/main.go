@@ -26,6 +26,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -33,23 +34,54 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:11211", "server address")
 	state := flag.String("state", "crashcheck.state", "acknowledged-frontier file")
 	prefix := flag.String("prefix", "cc", "key prefix (one per load round)")
-	n := flag.Int("n", 0, "max sets to issue (0 = until the connection dies)")
+	n := flag.Int("n", 0, "max sets to issue per worker (0 = until the connection dies)")
+	workers := flag.Int("workers", 1, "concurrent load connections; >1 uses per-worker state files <state>.wK and prefixes <prefix>-wK")
 	flag.Parse()
 
 	var err error
 	switch flag.Arg(0) {
 	case "load":
-		err = load(*addr, *state, *prefix, *n)
+		err = eachWorker(*workers, *state, *prefix, func(state, prefix string) error {
+			return load(*addr, state, prefix, *n)
+		})
 	case "verify":
-		err = verify(*addr, *state, *prefix)
+		err = eachWorker(*workers, *state, *prefix, func(state, prefix string) error {
+			return verify(*addr, state, prefix)
+		})
 	default:
-		fmt.Fprintln(os.Stderr, "usage: crashcheck [-addr a] [-state f] [-prefix p] [-n max] {load|verify}")
+		fmt.Fprintln(os.Stderr, "usage: crashcheck [-addr a] [-state f] [-prefix p] [-n max] [-workers w] {load|verify}")
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crashcheck %s: %v\n", flag.Arg(0), err)
 		os.Exit(1)
 	}
+}
+
+// eachWorker runs fn once with the plain state/prefix (workers <= 1, the
+// exact legacy behaviour and file format) or concurrently per worker with
+// derived names — the multi-connection load that spreads keys over every
+// shard of a sharded server. The first error wins.
+func eachWorker(workers int, state, prefix string, fn func(state, prefix string) error) error {
+	if workers <= 1 {
+		return fn(state, prefix)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = fn(fmt.Sprintf("%s.w%d", state, w), fmt.Sprintf("%s-w%d", prefix, w))
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func key(prefix string, i int) string { return fmt.Sprintf("%s-key-%07d", prefix, i) }

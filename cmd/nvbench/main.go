@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -28,6 +30,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
 	threads := flag.Int("threads", 8, "concurrent worker threads (the paper uses 8)")
 	maxSize := flag.Int("maxsize", 1<<20, "cap on structure sizes (paper max: 4194304)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile (full sampling) to this file")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile (full sampling) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: nvbench [flags] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 fig5 fig6 fig7 fig8 fig9a fig9b fig10 fig11 fig11-tcp all\n")
@@ -80,6 +85,30 @@ func main() {
 		todo = append(todo, e)
 	}
 
+	// Profile hooks, so the serialization hunt behind the sharded-pool work
+	// is reproducible: -mutexprofile/-blockprofile answer "is a lock or a
+	// channel the ceiling?", -cpuprofile answers "then what is?".
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProfile)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProfile)
+	}
+
 	for _, e := range todo {
 		start := time.Now()
 		tab, err := e.run()
@@ -93,5 +122,18 @@ func main() {
 			tab.Fprint(os.Stdout)
 		}
 		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeProfile dumps a named runtime profile (mutex, block) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "nvbench: write %s profile: %v\n", name, err)
 	}
 }

@@ -22,6 +22,8 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,18 +35,32 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:11211", "listen address")
-	mem := flag.Uint64("mem", 256<<20, "simulated NVRAM bytes")
-	buckets := flag.Int("buckets", 1<<16, "hash table buckets")
+	mem := flag.Uint64("mem", 256<<20, "simulated NVRAM bytes (split across shards when -shards > 1)")
+	buckets := flag.Int("buckets", 1<<16, "hash table buckets (split across shards when -shards > 1)")
 	conns := flag.Int("conns", 8, "worker slots (max concurrent connections)")
 	image := flag.String("image", "", "NVRAM image file (recovered if present, saved on clean shutdown)")
-	pmemFile := flag.String("pmem-file", "", "file-backed NVRAM (mmap): kill -9 safe, no image save needed")
+	pmemFile := flag.String("pmem-file", "", "file-backed NVRAM (mmap): kill -9 safe, no image save needed; a pool DIRECTORY when -shards > 1")
 	pmemSync := flag.Bool("pmem-sync", false, "with -pmem-file: fdatasync per fence (power-loss durability)")
+	shards := flag.Int("shards", 1, "independent runtime shards (power of two); >1 hash-routes keys across a sharded pool")
 	latency := flag.Duration("latency", nvram.DefaultWriteLatency, "simulated NVRAM write latency")
 	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep interval (0 disables the sweeper)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *image != "" && *pmemFile != "" {
 		log.Fatalf("nvmemcached: -image and -pmem-file are mutually exclusive")
+	}
+	if *shards > 1 && *image != "" {
+		log.Fatalf("nvmemcached: -shards > 1 requires -pmem-file (a pool directory) or pure memory, not -image")
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("nvmemcached: pprof server: %v", err)
+			}
+		}()
 	}
 
 	cfg := memcache.Config{
@@ -54,6 +70,7 @@ func main() {
 		WriteLatency: *latency,
 		File:         *pmemFile,
 		FileSync:     *pmemSync,
+		Shards:       *shards,
 	}
 
 	var cache *memcache.Cache
@@ -65,11 +82,29 @@ func main() {
 			log.Fatalf("nvmemcached: open %s: %v", *pmemFile, err)
 		}
 		cache = c
-		if rt := cache.Runtime(); rt.Recovered() {
-			rs := rt.RecoveryStats()
+		if cache.Recovered() {
+			rs := cache.RecoveryStats()
 			log.Printf("recovered %d items from %s in %v (%d active areas, %d leaked objects freed)",
 				cache.Stats().Items, *pmemFile, time.Since(start).Round(time.Microsecond),
 				rs.ActiveAreas, rs.Leaked)
+			if pool := cache.Pool(); pool != nil {
+				// Machine-parseable parallelism evidence for crash_e2e.sh:
+				// total is the sum of the per-shard recovery wall clocks, max
+				// the slowest shard — parallel recovery keeps the pool's
+				// actual open time near max, not total.
+				var total, max time.Duration
+				for _, d := range pool.ShardRecoveryDurations() {
+					total += d
+					if d > max {
+						max = d
+					}
+				}
+				log.Printf("shard recovery: shards=%d total_ms=%d max_ms=%d",
+					pool.Shards(), total.Milliseconds(), max.Milliseconds())
+			}
+		} else if pool := cache.Pool(); pool != nil {
+			log.Printf("fresh file-backed pool: %d MiB NVRAM across %d shards under %s",
+				*mem>>20, pool.Shards(), *pmemFile)
 		} else {
 			log.Printf("fresh file-backed cache: %d MiB NVRAM mapped at %s", *mem>>20, *pmemFile)
 		}
@@ -96,7 +131,11 @@ func main() {
 			log.Fatalf("nvmemcached: %v", err)
 		}
 		cache = c
-		log.Printf("fresh cache: %d MiB simulated NVRAM, %d buckets", *mem>>20, *buckets)
+		if pool := cache.Pool(); pool != nil {
+			log.Printf("fresh cache: %d MiB simulated NVRAM across %d shards, %d buckets", *mem>>20, pool.Shards(), *buckets)
+		} else {
+			log.Printf("fresh cache: %d MiB simulated NVRAM, %d buckets", *mem>>20, *buckets)
+		}
 	}
 
 	srv, err := memcache.NewServer(*listen, *conns, cache, cache.Stats)

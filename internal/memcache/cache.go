@@ -25,12 +25,14 @@ package memcache
 import (
 	"encoding/binary"
 	"errors"
+	"iter"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/nvram"
 	"repro/logfree"
+	"repro/logfree/sharded"
 )
 
 const (
@@ -79,6 +81,13 @@ type Config struct {
 	// acknowledged writes survive machine crashes too (real storage
 	// latency per fence).
 	FileSync bool
+	// Shards > 1 runs the cache on a sharded.Pool of that many independent
+	// runtimes (rounded to a power of two) instead of one: keys hash-route
+	// to shards, MemoryBytes and Buckets are split evenly across them, and
+	// with File set, File names the pool DIRECTORY (per-shard backing files
+	// plus a topology manifest) rather than a single image file. 0 or 1
+	// keeps the classic single-runtime cache.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -93,12 +102,46 @@ func (c *Config) fill() {
 	}
 }
 
+// itemIndex is the byte-map surface the cache needs from its item index —
+// satisfied by both *logfree.ByteMap (single runtime) and *sharded.Map
+// (hash-routed pool).
+type itemIndex interface {
+	SetItem(key, value []byte, meta uint16, aux uint64) (created bool, err error)
+	GetItem(key []byte) (value []byte, meta uint16, aux uint64, ok bool)
+	GetAux(key []byte) (aux uint64, ok bool)
+	SetAux(key []byte, aux uint64) bool
+	Delete(key []byte) bool
+	All() iter.Seq2[[]byte, []byte]
+}
+
+// expIndex is the ordered-map surface backing the expiry index — satisfied
+// by both *logfree.OrderedByteMap and *sharded.OrderedMap.
+type expIndex interface {
+	Set(key, value []byte) error
+	Delete(key []byte) bool
+	Len() int
+	Scan(start, end []byte) iter.Seq2[[]byte, []byte]
+}
+
+// engine is the runtime surface the cache needs regardless of topology —
+// satisfied by both *logfree.Runtime and *sharded.Pool.
+type engine interface {
+	Close() error
+	Drain()
+	Reclaim()
+	AvailableBytes() uint64
+	Recovered() bool
+	RecoveryStats() logfree.RecoveryStats
+}
+
 // Cache is a durable NV-Memcached instance. All methods are safe for
 // concurrent use from any goroutine.
 type Cache struct {
-	rt  *logfree.Runtime
-	m   *logfree.ByteMap
-	exp *logfree.OrderedByteMap
+	rt   *logfree.Runtime // nil when sharded
+	pool *sharded.Pool    // nil when single-runtime
+	eng  engine           // whichever of the two is live
+	m    itemIndex
+	exp  expIndex
 
 	lru   *lruList
 	stats counters
@@ -154,6 +197,9 @@ type counters struct {
 // Runtime().Recovered()).
 func New(cfg Config) (*Cache, error) {
 	cfg.fill()
+	if cfg.Shards > 1 {
+		return newSharded(cfg)
+	}
 	// File-backed caches run WITHOUT the §4 link cache: it batches link
 	// persistence (buffered durable linearizability), and a kill -9 gives
 	// no flush opportunity — the whole point of file mode is that every
@@ -179,8 +225,48 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cache{rt: rt, m: m, exp: exp, lru: newLRU()}
+	c := &Cache{rt: rt, eng: rt, m: m, exp: exp, lru: newLRU()}
 	if rt.Recovered() {
+		c.rebuildVolatile()
+	}
+	return c, nil
+}
+
+// newSharded is the Shards > 1 construction path: the same cache on a
+// hash-routed pool, with the memory and bucket budgets split evenly across
+// the shards. With Config.File set the pool lives in that directory and a
+// populated one is recovered in place — shards in parallel.
+func newSharded(cfg Config) (*Cache, error) {
+	opts := []sharded.Option{
+		sharded.WithShards(cfg.Shards),
+		sharded.WithShardSize(cfg.MemoryBytes / uint64(cfg.Shards)),
+		sharded.WithWriteLatency(cfg.WriteLatency),
+		sharded.WithMaxThreads(cfg.MaxConns + 1),
+		sharded.WithLinkCache(!cfg.DisableLinkCache && cfg.File == ""),
+	}
+	if cfg.File != "" {
+		opts = append(opts, sharded.WithDir(cfg.File), sharded.WithFileSync(cfg.FileSync))
+	}
+	pool, err := sharded.Open(opts...)
+	if err != nil {
+		return nil, err
+	}
+	buckets := cfg.Buckets / pool.Shards()
+	if buckets < 1024 {
+		buckets = 1024
+	}
+	m, err := pool.Map(cacheMapName, buckets)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	exp, err := pool.OrderedMap(expMapName)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	c := &Cache{pool: pool, eng: pool, m: m, exp: exp, lru: newLRU()}
+	if pool.Recovered() {
 		c.rebuildVolatile()
 	}
 	return c, nil
@@ -198,16 +284,34 @@ func (m *Cache) rebuildVolatile() {
 	m.stats.items.Store(items)
 }
 
-// Close drains the cache and closes the underlying runtime; file-backed
-// images are synchronously flushed, so after Close the backing file alone
-// carries the cache. The cache must be quiescent.
-func (m *Cache) Close() error { return m.rt.Close() }
+// Close drains the cache and closes the underlying runtime or pool;
+// file-backed images are synchronously flushed, so after Close the backing
+// file(s) alone carry the cache. The cache must be quiescent.
+func (m *Cache) Close() error { return m.eng.Close() }
 
-// Device exposes the simulated device (crash injection, stats).
-func (m *Cache) Device() *nvram.Device { return m.rt.Device() }
+// Device exposes the simulated device (crash injection, stats). Nil on a
+// sharded cache — use Pool().Runtimes() for per-shard devices.
+func (m *Cache) Device() *nvram.Device {
+	if m.rt == nil {
+		return nil
+	}
+	return m.rt.Device()
+}
 
-// Runtime exposes the underlying logfree runtime.
+// Runtime exposes the underlying logfree runtime; nil on a sharded cache.
 func (m *Cache) Runtime() *logfree.Runtime { return m.rt }
+
+// Pool exposes the underlying sharded pool; nil on a single-runtime cache.
+func (m *Cache) Pool() *sharded.Pool { return m.pool }
+
+// Recovered reports whether the cache attached to existing durable state
+// rather than formatting fresh.
+func (m *Cache) Recovered() bool { return m.eng.Recovered() }
+
+// RecoveryStats reports the recovery pass of the underlying runtime (or the
+// aggregate across a pool's shards — counters summed, duration = slowest
+// shard, since shards recover in parallel).
+func (m *Cache) RecoveryStats() logfree.RecoveryStats { return m.eng.RecoveryStats() }
 
 // Stats returns a snapshot of the counters.
 func (m *Cache) Stats() Stats {
@@ -245,12 +349,7 @@ func (m *Cache) Get(key []byte) (value []byte, flags uint16, ok bool) {
 // reclaim converts recently retired nodes into reusable slots (best
 // effort): it flushes the session the pool hands back, which in the
 // single-flow eviction loop is the one the preceding deletes retired into.
-func (m *Cache) reclaim() {
-	if s, err := m.rt.Session(); err == nil {
-		s.Reclaim()
-		s.Close()
-	}
-}
+func (m *Cache) reclaim() { m.eng.Reclaim() }
 
 // Set binds key to value, durably, evicting LRU items under memory pressure.
 func (m *Cache) Set(key, value []byte, flags uint16, expiry uint32) error {
@@ -264,7 +363,7 @@ func (m *Cache) Set(key, value []byte, flags uint16, expiry uint32) error {
 	// Proactive LRU eviction: keep enough headroom that allocations deep in
 	// the index never fail (memcached's behaviour under memory pressure).
 	const lowWater = 256 << 10
-	for i := 0; m.rt.AvailableBytes() < lowWater && i < 256; i++ {
+	for i := 0; m.eng.AvailableBytes() < lowWater && i < 256; i++ {
 		if !m.evictOne() {
 			break
 		}
@@ -427,4 +526,4 @@ func (m *Cache) evictOne() bool {
 
 // Flush makes all deferred durability work durable (link cache, retirees).
 // Requires quiescence.
-func (m *Cache) Flush() { m.rt.Drain() }
+func (m *Cache) Flush() { m.eng.Drain() }

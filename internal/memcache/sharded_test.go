@@ -1,0 +1,104 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestShardedCache exercises the Shards > 1 construction path: the same
+// cache semantics over a hash-routed pool, including the durable expiry
+// sweep whose index entries now live spread across shards.
+func TestShardedCache(t *testing.T) {
+	c, err := New(Config{MemoryBytes: 64 << 20, Buckets: 4096, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Pool() == nil || c.Runtime() != nil || c.Device() != nil {
+		t.Fatal("sharded cache should expose a pool and no single runtime/device")
+	}
+	if got := c.Pool().Shards(); got != 4 {
+		t.Fatalf("pool has %d shards, want 4", got)
+	}
+
+	const n = 2000
+	key := func(i int) []byte { return fmt.Appendf(nil, "item-%05d", i) }
+	val := func(i int) []byte { return fmt.Appendf(nil, "value-%05d", i) }
+	for i := 0; i < n; i++ {
+		if err := c.Set(key(i), val(i), uint16(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, flags, ok := c.Get(key(i))
+		if !ok || !bytes.Equal(v, val(i)) || flags != uint16(i) {
+			t.Fatalf("Get(%d) = %q, %d, %v", i, v, flags, ok)
+		}
+	}
+	if st := c.Stats(); st.Items != n {
+		t.Fatalf("Items = %d, want %d", st.Items, n)
+	}
+	if !c.Delete(key(0)) || c.Delete(key(0)) {
+		t.Fatal("Delete semantics broken on sharded cache")
+	}
+
+	// Expiry: deadline-indexed items spread over all shards still sweep.
+	now := time.Now().Unix()
+	for i := 0; i < 100; i++ {
+		if err := c.Set(fmt.Appendf(nil, "exp-%03d", i), []byte("v"), 0, uint32(now+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if removed := c.SweepExpired(now + 2); removed != 100 {
+		t.Fatalf("SweepExpired removed %d, want 100", removed)
+	}
+}
+
+// TestShardedCacheFileRecovery is the sharded kill -9 analogue in-process:
+// populate a file-backed 2-shard cache, Close, reopen the directory through
+// New with the same Shards, and find every item again.
+func TestShardedCacheFileRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{MemoryBytes: 32 << 20, Buckets: 4096, Shards: 2, File: dir}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	key := func(i int) []byte { return fmt.Appendf(nil, "item-%05d", i) }
+	val := func(i int) []byte { return fmt.Appendf(nil, "value-%05d", i) }
+	for i := 0; i < n; i++ {
+		if err := c.Set(key(i), val(i), 7, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Recovered() {
+		t.Fatal("fresh pool claims to be recovered")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Recovered() {
+		t.Fatal("reopened pool does not report Recovered")
+	}
+	if rs := c2.RecoveryStats(); rs.ObjectsChecked == 0 {
+		t.Fatalf("aggregated recovery stats empty: %+v", rs)
+	}
+	if st := c2.Stats(); st.Items != n {
+		t.Fatalf("rebuilt item count = %d, want %d", st.Items, n)
+	}
+	for i := 0; i < n; i++ {
+		v, flags, ok := c2.Get(key(i))
+		if !ok || !bytes.Equal(v, val(i)) || flags != 7 {
+			t.Fatalf("Get(%d) after recovery = %q, %d, %v", i, v, flags, ok)
+		}
+	}
+}

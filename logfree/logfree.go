@@ -387,6 +387,17 @@ func (r *Runtime) Drain() {
 	r.store.ForEachCtx(func(c *core.Ctx) { c.Shutdown() })
 }
 
+// Reclaim runs one epoch-reclamation pass over memory retired by any
+// session of this runtime, freeing what every thread has provably moved
+// past. Handy for tests and quiescent maintenance; regular operation
+// reclaims incrementally on its own.
+func (r *Runtime) Reclaim() {
+	if s, err := r.Session(); err == nil {
+		s.Reclaim()
+		s.Close()
+	}
+}
+
 // Close drains the runtime, marks it closed (subsequent operations return
 // or panic with ErrClosed) and releases the device backend — for
 // file-backed runtimes that synchronously flushes the mapping, so after

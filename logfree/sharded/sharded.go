@@ -1,0 +1,559 @@
+// Package sharded runs N independent logfree Runtimes as one pool and
+// routes byte keys to shards by hash, re-exporting the v3 byte-key surface
+// (Map/OrderedMap open-or-create, implicit sessions, Batch, iter.Seq2
+// iterators) on top.
+//
+// Why a pool instead of one bigger runtime: every substrate of a single
+// runtime — device write-back locks, allocator, epoch manager, skip-list
+// index — is shared state that every operation touches. A pool multiplies
+// the whole stack: each shard owns a private device, allocator, epochs and
+// session pool, so shards share *nothing* on the write path and scale with
+// cores (in the spirit of TQCache's ShardedCache worker-per-shard design).
+// Per-shard structures are also 1/N the size, which shortens the dominant
+// CPU cost of the single-runtime write path (ordered-index key-compare
+// searches; see README §Sharding for the profile).
+//
+// Topology. The shard count is fixed at pool creation (power of two,
+// default GOMAXPROCS rounded up) and routing is a stable hash of the full
+// key (FNV-1a 64 finalized with the murmur3 fmix64 mixer), independent of
+// any hash used inside logfree — the same key maps to the same shard in
+// every process, on every backend, forever. File-backed pools persist the
+// topology in a manifest that Open validates, so a pool can never silently
+// reopen with the wrong shard count or geometry.
+//
+// Durability. Each shard fences independently: a Set that returned is
+// durably linearized on its shard exactly as on a single runtime. A Batch
+// whose keys span shards commits the per-shard groups in parallel; each
+// shard keeps the per-op prefix crash guarantee for its own ops, but there
+// is NO cross-shard atomicity and no ordering between ops routed to
+// different shards — a crash can persist shard A's ops and none of shard
+// B's. Batches needing a global prefix must route through one shard (or one
+// runtime).
+package sharded
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nvram"
+	"repro/logfree"
+)
+
+const (
+	// poolBase names the pool's files inside its directory: shard images are
+	// "<poolBase>.shard-%03d" and the manifest is "<poolBase>.manifest".
+	poolBase = "nvpool"
+	// manifestMagic identifies a pool manifest.
+	manifestMagic = "NVPOOL01"
+	// manifestVersion is the current manifest layout version.
+	manifestVersion = 1
+	// routeHashID names the key→shard hash so a manifest written by a build
+	// with different routing can never be opened: entries would already live
+	// on the "wrong" shards.
+	routeHashID = "fnv1a64-fmix64-v1"
+	// maxShards bounds the topology (file naming uses three digits; far past
+	// any sane core count either way).
+	maxShards = 256
+)
+
+// defaultShardSize is the per-shard device capacity when none is configured.
+const defaultShardSize = 64 << 20
+
+// config collects the pool options.
+type config struct {
+	shards       int
+	shardSize    uint64
+	dir          string
+	fileSync     bool
+	writeLatency time.Duration
+	maxThreads   int
+	linkCache    bool
+	latencySet   bool
+}
+
+// Option configures a Pool.
+type Option func(*config)
+
+// WithShards sets the shard count, rounded up to a power of two (default:
+// GOMAXPROCS rounded up). Opening an existing file-backed pool with an
+// explicit count that disagrees with its manifest is an error; 0 adopts.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithShardSize sets each shard's device capacity in bytes (default 64 MiB
+// per shard — note: per shard, not pool-wide). Opening an existing
+// file-backed pool with an explicit size that disagrees with its manifest
+// is an error; 0 adopts.
+func WithShardSize(bytes uint64) Option { return func(c *config) { c.shardSize = bytes } }
+
+// WithDir backs every shard with an mmap'd file under dir
+// ("nvpool.shard-000", "nvpool.shard-001", ...) plus a manifest recording
+// the topology. Open-or-create: a directory holding a manifest is validated
+// and recovered (all shards in parallel); otherwise the pool is formatted
+// fresh and the manifest write is the creation commit point. Without this
+// option shards run on in-process memory backends.
+func WithDir(dir string) Option { return func(c *config) { c.dir = dir } }
+
+// WithFileSync, with WithDir, makes every fence of every shard issue one
+// fdatasync (power-loss durability); see logfree.WithFileSync.
+func WithFileSync(strict bool) Option { return func(c *config) { c.fileSync = strict } }
+
+// WithWriteLatency sets the simulated NVRAM write latency of every shard.
+func WithWriteLatency(d time.Duration) Option {
+	return func(c *config) { c.writeLatency = d; c.latencySet = true }
+}
+
+// WithMaxThreads sizes each shard's formatted session region; see
+// logfree.WithMaxThreads. Not a cap — sessions grow on demand.
+func WithMaxThreads(n int) Option { return func(c *config) { c.maxThreads = n } }
+
+// WithLinkCache toggles the §4 link cache on every shard; see
+// logfree.WithLinkCache (file-backed pools should leave it off, exactly as
+// with a single file-backed runtime).
+func WithLinkCache(on bool) Option { return func(c *config) { c.linkCache = on } }
+
+// manifest is the durable topology record of a file-backed pool, written
+// atomically (tmp + rename) after every shard file exists. Reopening
+// validates it before touching any shard, so a pool can never come back
+// with a different shard count, shard geometry, or routing hash than it was
+// created with.
+type manifest struct {
+	Magic      string `json:"magic"`
+	Version    int    `json:"version"`
+	Shards     int    `json:"shards"`
+	ShardBytes uint64 `json:"shard_bytes"`
+	Hash       string `json:"hash"`
+}
+
+// Pool is a set of independent logfree Runtimes with hash-routed byte keys.
+// All exported methods are safe for concurrent use unless noted.
+type Pool struct {
+	rts  []*logfree.Runtime
+	mask uint64
+	cfg  config
+
+	closed    atomic.Bool
+	recovered bool
+	recDur    []time.Duration // per-shard open+recovery wall clock
+}
+
+func buildConfig(opts []Option) config {
+	c := config{}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func shardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.shard-%03d", poolBase, i))
+}
+
+func manifestPath(dir string) string {
+	return filepath.Join(dir, poolBase+".manifest")
+}
+
+// validateManifest checks a loaded manifest against this build and the
+// caller's explicit options (0 values adopt the manifest's).
+func (m *manifest) validate(c *config) error {
+	if m.Magic != manifestMagic {
+		return fmt.Errorf("sharded: not a pool manifest (magic %q)", m.Magic)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("sharded: pool manifest layout version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Shards < 1 || m.Shards > maxShards || m.Shards&(m.Shards-1) != 0 {
+		return fmt.Errorf("sharded: pool manifest shard count %d is not a power of two in [1,%d]", m.Shards, maxShards)
+	}
+	if m.ShardBytes == 0 {
+		return fmt.Errorf("sharded: pool manifest shard capacity is zero")
+	}
+	if m.Hash != routeHashID {
+		return fmt.Errorf("sharded: pool routed by hash %q, this build routes by %q", m.Hash, routeHashID)
+	}
+	if c.shards != 0 && nextPow2(c.shards) != m.Shards {
+		return fmt.Errorf("sharded: pool formatted with %d shards, requested %d", m.Shards, nextPow2(c.shards))
+	}
+	if c.shardSize != 0 && c.shardSize != m.ShardBytes {
+		return fmt.Errorf("sharded: pool shards formatted for %d bytes, requested %d", m.ShardBytes, c.shardSize)
+	}
+	return nil
+}
+
+// readManifest loads and validates dir's manifest; ok=false means no
+// manifest exists (fresh-create path).
+func readManifest(dir string, c *config) (m manifest, ok bool, err error) {
+	raw, err := os.ReadFile(manifestPath(dir))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("sharded: read pool manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("sharded: corrupt pool manifest %s: %w", manifestPath(dir), err)
+	}
+	if err := m.validate(c); err != nil {
+		return manifest{}, false, err
+	}
+	return m, true, nil
+}
+
+// writeManifest durably commits the pool's topology: tmp + fsync + rename,
+// so the manifest either exists complete or not at all. Its appearance is
+// the pool-creation commit point.
+func writeManifest(dir string, m manifest) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := manifestPath(dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("sharded: write pool manifest: %w", err)
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("sharded: write pool manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sharded: sync pool manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sharded: close pool manifest: %w", err)
+	}
+	if err := os.Rename(tmp, manifestPath(dir)); err != nil {
+		return fmt.Errorf("sharded: commit pool manifest: %w", err)
+	}
+	return nil
+}
+
+// Open creates or reopens a pool. Shards open concurrently — on a
+// file-backed pool that is also the parallel recovery path, each shard
+// running its own attach sweep in its own goroutine. If any shard fails,
+// every shard that did open is closed again (releasing its mapping and
+// flock) before Open returns the error: a failed Open never leaks a locked
+// backing file.
+func Open(opts ...Option) (*Pool, error) {
+	cfg := buildConfig(opts)
+	if cfg.shards < 0 || cfg.shards > maxShards {
+		return nil, fmt.Errorf("sharded: shard count %d out of range [0,%d]", cfg.shards, maxShards)
+	}
+	if cfg.fileSync && cfg.dir == "" {
+		return nil, fmt.Errorf("sharded: WithFileSync requires WithDir")
+	}
+
+	n := cfg.shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	n = nextPow2(n)
+	size := cfg.shardSize
+	attached := false
+
+	if cfg.dir != "" {
+		man, ok, err := readManifest(cfg.dir, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			// Reopen: the manifest owns the topology; missing shard files are
+			// rejected here rather than silently recreated empty by the
+			// open-or-create file backend below.
+			n, size, attached = man.Shards, man.ShardBytes, true
+			for i := 0; i < n; i++ {
+				if _, err := os.Stat(shardPath(cfg.dir, i)); err != nil {
+					return nil, fmt.Errorf("sharded: pool manifest names %d shards but shard file %s is missing: %w",
+						n, shardPath(cfg.dir, i), err)
+				}
+			}
+		} else if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("sharded: create pool directory: %w", err)
+		}
+	}
+	if size == 0 {
+		size = defaultShardSize
+	}
+
+	shardOpts := func(i int) []logfree.Option {
+		o := []logfree.Option{
+			logfree.WithSize(size),
+			logfree.WithLinkCache(cfg.linkCache),
+		}
+		if cfg.latencySet {
+			o = append(o, logfree.WithWriteLatency(cfg.writeLatency))
+		}
+		if cfg.maxThreads > 0 {
+			o = append(o, logfree.WithMaxThreads(cfg.maxThreads))
+		}
+		if cfg.dir != "" {
+			o = append(o, logfree.WithFile(shardPath(cfg.dir, i)), logfree.WithFileSync(cfg.fileSync))
+		}
+		return o
+	}
+
+	rts := make([]*logfree.Runtime, n)
+	durs := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			rts[i], errs[i] = logfree.New(shardOpts(i)...)
+			durs[i] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Error-path hygiene: close every shard that DID open (logfree.New
+		// already closed the device of the shard that failed), releasing
+		// mappings and flocks, so a retry or a repair can open the files.
+		for _, rt := range rts {
+			if rt != nil {
+				rt.Close()
+			}
+		}
+		return nil, fmt.Errorf("sharded: opening shard %d of %d: %w", i, n, err)
+	}
+
+	if cfg.dir != "" && !attached {
+		if err := writeManifest(cfg.dir, manifest{
+			Magic: manifestMagic, Version: manifestVersion,
+			Shards: n, ShardBytes: size, Hash: routeHashID,
+		}); err != nil {
+			for _, rt := range rts {
+				rt.Close()
+			}
+			return nil, err
+		}
+	}
+
+	cfg.shards, cfg.shardSize = n, size
+	return &Pool{rts: rts, mask: uint64(n - 1), cfg: cfg, recovered: attached, recDur: durs}, nil
+}
+
+// --- routing --------------------------------------------------------------
+
+// routeHash is the stable key→shard hash (ID routeHashID): FNV-1a 64 over
+// the key, finalized with the murmur3 fmix64 mixer so the low bits used by
+// the mask are well distributed even for short sequential keys. It is
+// deliberately independent of any hash inside logfree: the index hash can
+// evolve per runtime, routing cannot (entries live where the hash of their
+// creation put them).
+func routeHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// shardOf routes a key to its shard index.
+func (p *Pool) shardOf(key []byte) int { return int(routeHash(key) & p.mask) }
+
+// ShardOf exposes the routing for tests and diagnostics.
+func (p *Pool) ShardOf(key []byte) int { return p.shardOf(key) }
+
+// --- pool surface ---------------------------------------------------------
+
+// Shards reports the shard count.
+func (p *Pool) Shards() int { return len(p.rts) }
+
+// Runtimes exposes the per-shard runtimes (crash injection, stats; do not
+// close them individually — Close the pool).
+func (p *Pool) Runtimes() []*logfree.Runtime { return p.rts }
+
+// Recovered reports whether Open attached to an existing pool (a manifest
+// was present) rather than creating one. Memory-backed pools are always
+// fresh.
+func (p *Pool) Recovered() bool { return p.recovered }
+
+// RecoveryStats aggregates the shards' recovery passes: counters sum;
+// Duration is the slowest shard's pass, which is the pool's recovery wall
+// clock since shards recover concurrently.
+func (p *Pool) RecoveryStats() logfree.RecoveryStats {
+	var agg logfree.RecoveryStats
+	for _, rt := range p.rts {
+		rs := rt.RecoveryStats()
+		agg.ActiveAreas += rs.ActiveAreas
+		agg.ObjectsChecked += rs.ObjectsChecked
+		agg.Leaked += rs.Leaked
+		if rs.Duration > agg.Duration {
+			agg.Duration = rs.Duration
+		}
+	}
+	return agg
+}
+
+// ShardRecoveryDurations returns each shard's open+recovery wall clock from
+// the Open call (index = shard). The pool's total open time approaches
+// max(durations) when shards truly recover in parallel and sum(durations)
+// when something serializes them.
+func (p *Pool) ShardRecoveryDurations() []time.Duration {
+	out := make([]time.Duration, len(p.recDur))
+	copy(out, p.recDur)
+	return out
+}
+
+// AvailableBytes estimates free capacity as the MINIMUM across shards: keys
+// hash-spread near-uniformly, so the fullest shard is where the next
+// allocation failure happens — eviction policies should act on it, not on
+// the pool-wide sum.
+func (p *Pool) AvailableBytes() uint64 {
+	min := ^uint64(0)
+	for _, rt := range p.rts {
+		if a := rt.AvailableBytes(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// Stats sums the shards' device counters. Requires quiescence (see
+// nvram.Device.Stats).
+func (p *Pool) Stats() nvram.Stats {
+	var agg nvram.Stats
+	for _, rt := range p.rts {
+		st := rt.Device().Stats()
+		agg.Clwbs += st.Clwbs
+		agg.Fences += st.Fences
+		agg.SyncWaits += st.SyncWaits
+		agg.Evictions += st.Evictions
+	}
+	return agg
+}
+
+// Drain flushes deferred durability work on every shard. Requires
+// quiescence.
+func (p *Pool) Drain() {
+	for _, rt := range p.rts {
+		rt.Drain()
+	}
+}
+
+// Reclaim converts recently retired memory into reusable slots on every
+// shard (best effort; see Session.Reclaim).
+func (p *Pool) Reclaim() {
+	for _, rt := range p.rts {
+		rt.Reclaim()
+	}
+}
+
+// Close drains and closes every shard (file-backed shards flush their
+// mappings synchronously, so afterwards the directory alone carries the
+// pool). Requires quiescence. Idempotent. All shards are attempted; the
+// first error is returned.
+func (p *Pool) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, rt := range p.rts {
+		if err := rt.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SimulateCrash power-fails every shard (losing all unwritten-back state),
+// reboots and recovers them concurrently, and returns the recovered pool.
+// The receiver, its sessions and its structures are invalid afterwards.
+// Works on both backends; for file-backed pools the on-disk crash path
+// (process kill + reopen via Open) is the stronger test.
+func (p *Pool) SimulateCrash() (*Pool, error) {
+	p.closed.Store(true)
+	n := len(p.rts)
+	rts := make([]*logfree.Runtime, n)
+	durs := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, rt := range p.rts {
+		wg.Add(1)
+		go func(i int, rt *logfree.Runtime) {
+			defer wg.Done()
+			start := time.Now()
+			rts[i], errs[i] = rt.SimulateCrash()
+			durs[i] = time.Since(start)
+		}(i, rt)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, rt := range rts {
+				if rt != nil {
+					rt.Close()
+				}
+			}
+			return nil, fmt.Errorf("sharded: recovering shard %d: %w", i, err)
+		}
+	}
+	return &Pool{rts: rts, mask: p.mask, cfg: p.cfg, recovered: true, recDur: durs}, nil
+}
+
+// --- sessions -------------------------------------------------------------
+
+// PoolSession pins one session per shard, for tight loops that want to skip
+// the per-operation session-pool round-trip on every shard they touch (see
+// logfree.Session). Use via the structures' WithSession views; must only be
+// used by one goroutine.
+type PoolSession struct {
+	ss []*logfree.Session
+}
+
+// Session acquires one pinned session per shard.
+func (p *Pool) Session() (*PoolSession, error) {
+	ss := make([]*logfree.Session, len(p.rts))
+	for i, rt := range p.rts {
+		s, err := rt.Session()
+		if err != nil {
+			for _, open := range ss[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		ss[i] = s
+	}
+	return &PoolSession{ss: ss}, nil
+}
+
+// Reclaim flushes deferred reclamation on every pinned session.
+func (s *PoolSession) Reclaim() {
+	for _, ses := range s.ss {
+		ses.Reclaim()
+	}
+}
+
+// Close returns every pinned session to its shard's pool. The PoolSession
+// must not be used afterwards.
+func (s *PoolSession) Close() {
+	for _, ses := range s.ss {
+		ses.Close()
+	}
+}

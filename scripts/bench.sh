@@ -54,7 +54,14 @@ printf '%s\n' "$raw" | awk '
 echo "wrote $ORDERED_OUT"
 
 # The parallel sweep: every Benchmark*Parallel sub-benchmark is named .../Ng
-# where N is the goroutine count.
+# where N is the goroutine count; the sharded-pool sweep nests a shard
+# segment first (.../Ss/Ng), which stays part of the row name. The derived
+# sharded_8x8_vs_single / sharded_8x8_file_vs_single ratios compare the
+# 8-shard 8-goroutine pool against the single-runtime 8-goroutine ordered
+# Set baseline — the machine-independent signal benchgate holds to
+# tolerance. (On a single-vCPU runner the ratio hovers near 1: every
+# configuration serializes on the one core. It gates against architectural
+# regressions, and rises with the runner's core count.)
 praw=$(go test -run '^$' -bench 'Parallel' -benchtime "$BENCHTIME" -count "$COUNT" .)
 printf '%s\n' "$praw"
 
@@ -62,7 +69,7 @@ printf '%s\n' "$praw" | awk '
   /^Benchmark.*Parallel\// {
     name = $1; sub(/-[0-9]+$/, "", name)
     threads = name; sub(/^.*\//, "", threads); sub(/g$/, "", threads)
-    base = name; sub(/\/.*$/, "", base)
+    base = name; sub(/\/[0-9]+g$/, "", base) # strip only the goroutine leg
     iters = $2; ns = $3
     ops = "0"
     for (i = 4; i < NF; i++) if ($(i+1) == "ops/s") ops = $i
@@ -76,11 +83,20 @@ printf '%s\n' "$praw" | awk '
     printf "[\n"; sep=""
     for (i = 0; i < n; i++) {
       key = order[i]
-      base = key; sub(/\/.*$/, "", base)
+      base = key; sub(/\/[0-9]+$/, "", base)
       threads = key; sub(/^.*\//, "", threads)
       printf "%s  {\"name\":\"%s\",\"threads\":%s,\"iters\":%s,\"ns_per_op\":%s,\"ops_per_sec\":%s}", \
         sep, base, threads, bit[key], bns[key], best[key]
       sep = ",\n"
+    }
+    single = best["BenchmarkOrderedMapSetParallel/8"]
+    if (single+0 > 0) {
+      sh = best["BenchmarkShardedOrderedMapSetParallel/8s/8"]
+      if (sh+0 > 0)
+        { printf "%s  {\"name\":\"sharded_8x8_vs_single\",\"ratio\":%.3f}", sep, sh / single; sep = ",\n" }
+      shf = best["BenchmarkShardedOrderedMapSetFileParallel/8s/8"]
+      if (shf+0 > 0)
+        { printf "%s  {\"name\":\"sharded_8x8_file_vs_single\",\"ratio\":%.3f}", sep, shf / single; sep = ",\n" }
     }
     printf "\n]\n"
   }

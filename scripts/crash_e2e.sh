@@ -13,6 +13,11 @@
 # Environment:
 #   CRASH_ROUNDS  kill -9 rounds (default 3)
 #   LOAD_SECONDS  load time before each kill (default 1)
+#   SHARDS        shard count (default 1 = classic single-runtime server;
+#                 >1 runs the server on a sharded pool directory, loads over
+#                 multiple concurrent connections so every shard takes
+#                 writes, and checks that recovery ran the shards in
+#                 parallel)
 #
 # Portable across ubuntu/macos runners: no timeout(1), no /dev/tcp, no nc.
 set -euo pipefail
@@ -20,6 +25,9 @@ cd "$(dirname "$0")/.."
 
 ROUNDS="${CRASH_ROUNDS:-3}"
 LOAD_SECONDS="${LOAD_SECONDS:-1}"
+SHARDS="${SHARDS:-1}"
+WORKERS=1
+[ "$SHARDS" -gt 1 ] && WORKERS=4
 
 WORK=$(mktemp -d)
 SRV_PID=""
@@ -34,12 +42,13 @@ go build -o "$WORK/nvmemcached" ./cmd/nvmemcached
 go build -o "$WORK/crashcheck" ./cmd/crashcheck
 
 PMEM="$WORK/cache.pmem"
+[ "$SHARDS" -gt 1 ] && PMEM="$WORK/pool" # a directory in sharded mode
 LOG="$WORK/server.log"
 
 start_server() {
   : > "$LOG"
   "$WORK/nvmemcached" -listen 127.0.0.1:0 -mem $((64 << 20)) -buckets 4096 \
-    -pmem-file "$PMEM" -latency 0 -sweep 0 >> "$LOG" 2>&1 &
+    -pmem-file "$PMEM" -shards "$SHARDS" -latency 0 -sweep 0 >> "$LOG" 2>&1 &
   SRV_PID=$!
   ADDR=""
   for _ in $(seq 1 100); do
@@ -62,8 +71,41 @@ start_server() {
 verify_all_rounds() {
   upto=$1
   for p in $(seq 1 "$upto"); do
-    "$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.$p" -prefix "r$p" verify
+    "$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.$p" -prefix "r$p" -workers "$WORKERS" verify
   done
+}
+
+# acked_total sums the acknowledged frontier over a round's state file(s) —
+# one file in classic mode, one per load worker in sharded mode.
+acked_total() {
+  cat "$WORK/state.$1"* 2>/dev/null | awk -F= '/^acked=/ {s += $2} END {print s + 0}'
+}
+
+# check_parallel_recovery reads the server's "shard recovery:" line and
+# asserts wall clock ~= slowest shard, not the sum: total <= 2*max + 250ms.
+# The 250ms slack keeps the check honest on single-core runners, where
+# per-shard recoveries are single-digit milliseconds and goroutines
+# interleave on one CPU; on multicore the 2*max bound is the signal that
+# shards really recovered concurrently rather than one after another.
+check_parallel_recovery() {
+  [ "$SHARDS" -gt 1 ] || return 0
+  line=$(grep "shard recovery:" "$LOG" | tail -1)
+  if [ -z "$line" ]; then
+    echo "sharded restart logged no 'shard recovery:' line:" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  echo "   $line"
+  echo "$line" | awk '{
+    for (i = 1; i <= NF; i++) {
+      if ($i ~ /^total_ms=/) { sub(/^total_ms=/, "", $i); total = $i + 0 }
+      if ($i ~ /^max_ms=/)   { sub(/^max_ms=/, "", $i);   max = $i + 0 }
+    }
+    if (total > 2 * max + 250) {
+      printf "shard recovery looks serialized: total=%dms > 2*max(%dms)+250ms\n", total, max > "/dev/stderr"
+      exit 1
+    }
+  }'
 }
 
 echo "== round 0: fresh server =="
@@ -72,14 +114,14 @@ echo "   listening on $ADDR (pid $SRV_PID)"
 
 for r in $(seq 1 "$ROUNDS"); do
   echo "== round $r: load, kill -9, recover =="
-  "$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.$r" -prefix "r$r" load &
+  "$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.$r" -prefix "r$r" -workers "$WORKERS" load &
   LOAD_PID=$!
   sleep "$LOAD_SECONDS"
   kill -9 "$SRV_PID"
   SRV_PID=""
   wait "$LOAD_PID"
 
-  ACKED=$(awk -F= '/^acked=/ {print $2}' "$WORK/state.$r")
+  ACKED=$(acked_total "$r")
   if [ "${ACKED:-0}" -lt 100 ]; then
     echo "round $r: only $ACKED acknowledged sets before the kill — not a meaningful crash test" >&2
     exit 1
@@ -93,6 +135,7 @@ for r in $(seq 1 "$ROUNDS"); do
     exit 1
   fi
   echo "   $(awk '/recovered/ {sub(/^.*recovered/, "recovered"); print; exit}' "$LOG")"
+  check_parallel_recovery
   verify_all_rounds "$r"
 done
 
@@ -103,4 +146,4 @@ SRV_PID=""
 start_server
 verify_all_rounds "$ROUNDS"
 
-echo "crash_e2e: PASS — every acknowledged write survived $ROUNDS kill -9 crashes and a clean restart"
+echo "crash_e2e: PASS — every acknowledged write survived $ROUNDS kill -9 crashes and a clean restart (shards=$SHARDS)"
