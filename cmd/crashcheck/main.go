@@ -8,25 +8,37 @@
 //	crashcheck -addr 127.0.0.1:11211 -state /tmp/st -prefix r1 verify
 //
 // load sets prefix-keyed items sequentially (value deterministically derived
-// from the index) and bumps a counter key every 16th op, persisting the
-// acknowledged frontier to the state file after every ack. The server dying
-// mid-load is the expected outcome: load finalizes the state and exits 0.
+// from the index), bumps a counter key every 16th op, and advances a CAS
+// chain every 16th op (offset by 8): a single key mutated ONLY through
+// gets + cas, whose value encodes its generation. Because the per-item CAS
+// sequence starts at 1 and bumps by one per mutation, the chain key must
+// always satisfy cas == generation + 1 — a CAS/value pair that is published
+// atomically per mutation and so must hold across any crash. The
+// acknowledged frontier persists to the state file after every ack; the
+// server dying mid-load is the expected outcome: load finalizes the state
+// and exits 0.
 //
 // verify reads the state file and requires, for every acknowledged set, the
 // exact value; for the counter, the last acknowledged value or one more
-// (one increment may have been in flight, acknowledged-but-unread). Any
-// miss or mismatch exits 1: an acknowledged write was lost.
+// (one increment may have been in flight, acknowledged-but-unread); for the
+// CAS chain, generation casgen or casgen+1 AND a gets cas exactly equal to
+// generation+1 — a recovered image whose CAS metadata is stale, reset, or
+// detached from its value fails here. Any miss or mismatch exits 1: an
+// acknowledged write was lost.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -89,6 +101,16 @@ func value(prefix string, i int) string {
 	return fmt.Sprintf("%s-val-%07d-%08x", prefix, i, uint32(i)*2654435761)
 }
 func ctrKey(prefix string) string { return prefix + "-ctr" }
+func casKey(prefix string) string { return prefix + "-cas" }
+func casValue(gen uint64) string  { return fmt.Sprintf("gen-%07d", gen) }
+
+func parseCasValue(v string) (uint64, error) {
+	rest, ok := strings.CutPrefix(v, "gen-")
+	if !ok {
+		return 0, fmt.Errorf("cas chain value %q: no gen- prefix", v)
+	}
+	return strconv.ParseUint(rest, 10, 64)
+}
 
 type client struct {
 	conn net.Conn
@@ -167,6 +189,62 @@ func (c *client) get(k string) (string, bool, error) {
 	return string(buf[:size]), true, nil
 }
 
+// gets returns the value and cas unique of k, or ok=false on a miss.
+func (c *client) gets(k string) (string, uint64, bool, error) {
+	fmt.Fprintf(c.w, "gets %s\r\n", k)
+	if err := c.w.Flush(); err != nil {
+		return "", 0, false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", 0, false, err
+	}
+	line = strings.TrimSpace(line)
+	if line == "END" {
+		return "", 0, false, nil
+	}
+	parts := strings.Fields(line) // VALUE <key> <flags> <bytes> <cas>
+	if len(parts) != 5 || parts[0] != "VALUE" {
+		return "", 0, false, fmt.Errorf("gets %s: %q", k, line)
+	}
+	size, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return "", 0, false, fmt.Errorf("gets %s: bad size in %q", k, line)
+	}
+	cas, err := strconv.ParseUint(parts[4], 10, 64)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("gets %s: bad cas in %q", k, line)
+	}
+	buf := make([]byte, size+2) // data + CRLF
+	if _, err := readFull(c.r, buf); err != nil {
+		return "", 0, false, err
+	}
+	if end, err := c.r.ReadString('\n'); err != nil {
+		return "", 0, false, err
+	} else if strings.TrimSpace(end) != "END" {
+		return "", 0, false, fmt.Errorf("gets %s: trailer %q", k, strings.TrimSpace(end))
+	}
+	return string(buf[:size]), cas, true, nil
+}
+
+// cas issues one compare-and-swap against the given cas unique and waits
+// for STORED. This load is single-writer per prefix, so EXISTS/NOT_FOUND
+// are real failures, not races.
+func (c *client) cas(k, v string, casid uint64) error {
+	fmt.Fprintf(c.w, "cas %s 0 0 %d %d\r\n%s\r\n", k, len(v), casid, v)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != "STORED" {
+		return fmt.Errorf("cas %s (unique %d): %q", k, casid, strings.TrimSpace(line))
+	}
+	return nil
+}
+
 func readFull(r *bufio.Reader, buf []byte) (int, error) {
 	total := 0
 	for total < len(buf) {
@@ -181,12 +259,13 @@ func readFull(r *bufio.Reader, buf []byte) (int, error) {
 
 // frontier is the durably acknowledged state of one load round.
 type frontier struct {
-	Acked int    // sets 0..Acked-1 were acknowledged
-	Ctr   uint64 // last acknowledged counter value (0 = none yet)
+	Acked  int    // sets 0..Acked-1 were acknowledged
+	Ctr    uint64 // last acknowledged counter value (0 = none yet)
+	CasGen uint64 // last acknowledged CAS-chain generation
 }
 
 func writeFrontier(path string, f frontier) error {
-	return os.WriteFile(path, []byte(fmt.Sprintf("acked=%d\nctr=%d\n", f.Acked, f.Ctr)), 0o644)
+	return os.WriteFile(path, []byte(fmt.Sprintf("acked=%d\nctr=%d\ncasgen=%d\n", f.Acked, f.Ctr, f.CasGen)), 0o644)
 }
 
 func readFrontier(path string) (frontier, error) {
@@ -209,6 +288,8 @@ func readFrontier(path string) (frontier, error) {
 			f.Acked = int(n)
 		case "ctr":
 			f.Ctr = n
+		case "casgen":
+			f.CasGen = n
 		}
 	}
 	return f, nil
@@ -220,38 +301,92 @@ func load(addr, state, prefix string, n int) error {
 		return err
 	}
 	defer c.conn.Close()
-	// Seed the counter before the sets so incr never hits NOT_FOUND.
+	// Seed the counter before the sets so incr never hits NOT_FOUND, and the
+	// CAS chain at generation 0 — its very first mutation, so its per-item
+	// cas unique is exactly 1 and stays generation+1 for the chain's life.
 	if err := c.set(ctrKey(prefix), "0"); err != nil {
+		return err
+	}
+	if err := c.set(casKey(prefix), casValue(0)); err != nil {
 		return err
 	}
 	var f frontier
 	if err := writeFrontier(state, f); err != nil {
 		return err
 	}
+	lost := func(err error) {
+		fmt.Printf("load: connection lost after %d acked sets (ctr=%d, casgen=%d): %v\n",
+			f.Acked, f.Ctr, f.CasGen, err)
+	}
 	for i := 0; n == 0 || i < n; i++ {
 		if err := c.set(key(prefix, i), value(prefix, i)); err != nil {
 			// The server dying mid-load is the point of the exercise: the
 			// frontier already on disk names every acknowledged op.
-			fmt.Printf("load: connection lost after %d acked sets (ctr=%d): %v\n", f.Acked, f.Ctr, err)
+			lost(err)
 			return nil
 		}
 		f.Acked = i + 1
 		if i%16 == 15 {
 			v, err := c.incr(ctrKey(prefix), 1)
 			if err != nil {
-				fmt.Printf("load: connection lost after %d acked sets (ctr=%d): %v\n", f.Acked, f.Ctr, err)
+				lost(err)
 				// The set preceding this incr WAS acknowledged: record it, so
 				// verify still holds the server to it.
 				return writeFrontier(state, f)
 			}
 			f.Ctr = v
 		}
+		if i%16 == 7 {
+			gen, err := casStep(c, prefix)
+			if err != nil {
+				if isConnError(err) {
+					lost(err)
+					return writeFrontier(state, f)
+				}
+				return err // a protocol-level CAS failure, not a dead server
+			}
+			f.CasGen = gen
+		}
 		if err := writeFrontier(state, f); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("load: completed all %d sets (ctr=%d)\n", f.Acked, f.Ctr)
+	fmt.Printf("load: completed all %d sets (ctr=%d, casgen=%d)\n", f.Acked, f.Ctr, f.CasGen)
 	return nil
+}
+
+// casStep advances the CAS chain by one generation: gets the current
+// value+cas, checks the cas == generation+1 invariant live, then swaps in
+// the next generation under that cas unique. Returns the newly acknowledged
+// generation.
+func casStep(c *client, prefix string) (uint64, error) {
+	k := casKey(prefix)
+	v, cas, ok, err := c.gets(k)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("cas chain key %s missing mid-load", k)
+	}
+	gen, err := parseCasValue(v)
+	if err != nil {
+		return 0, fmt.Errorf("cas chain key %s: %v", k, err)
+	}
+	if cas != gen+1 {
+		return 0, fmt.Errorf("cas chain key %s: generation %d but cas unique %d (want %d)", k, gen, cas, gen+1)
+	}
+	if err := c.cas(k, casValue(gen+1), cas); err != nil {
+		return 0, err
+	}
+	return gen + 1, nil
+}
+
+// isConnError reports whether err came from the transport (server killed)
+// rather than a well-formed protocol reply asserting something false.
+func isConnError(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
 }
 
 func verify(addr, state, prefix string) error {
@@ -294,6 +429,31 @@ func verify(addr, state, prefix string) error {
 			return fmt.Errorf("counter %s = %d, want %d or %d", ctrKey(prefix), cv, f.Ctr, f.Ctr+1)
 		}
 	}
-	fmt.Printf("verify: %d acknowledged sets intact, counter consistent (prefix %s)\n", f.Acked, prefix)
+	// The CAS chain: the recovered generation may be the last acknowledged
+	// one or one more (a cas the server completed whose STORED was never
+	// read), but whatever generation recovered, its cas unique must be
+	// EXACTLY generation+1 — the per-mutation CAS/value pair is published
+	// atomically, so a crash can never leave them detached.
+	cv, cas, ok, err := c.gets(casKey(prefix))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("cas chain key %s lost", casKey(prefix))
+	}
+	gen, err := parseCasValue(cv)
+	if err != nil {
+		return fmt.Errorf("cas chain key %s corrupted: %v", casKey(prefix), err)
+	}
+	if gen != f.CasGen && gen != f.CasGen+1 {
+		return fmt.Errorf("cas chain key %s at generation %d, want %d or %d",
+			casKey(prefix), gen, f.CasGen, f.CasGen+1)
+	}
+	if cas != gen+1 {
+		return fmt.Errorf("cas chain key %s: generation %d with cas unique %d, want %d — CAS detached from value across the crash",
+			casKey(prefix), gen, cas, gen+1)
+	}
+	fmt.Printf("verify: %d acknowledged sets intact, counter consistent, cas chain at gen %d with cas %d (prefix %s)\n",
+		f.Acked, gen, cas, prefix)
 	return nil
 }

@@ -1,14 +1,21 @@
 // Command memtier is a load generator modeled on memtier-benchmark (§6.5):
 // it drives a memcached-protocol server with a configurable set:get mix over
-// a uniform key range and reports throughput, as used for Figure 11.
+// a uniform key range and reports throughput plus end-to-end latency
+// percentiles (p50/p99/p999), as used for Figure 11 and BENCH_latency.json.
 //
-//	memtier -server 127.0.0.1:11211 -keys 100000 -ratio 1:4 -threads 4 -dur 10s
+// It scales to thousands of concurrent connections (one goroutine each) and
+// speaks both wire protocols:
+//
+//	memtier -server 127.0.0.1:11211 -keys 100000 -ratio 1:4 -conns 1000 -dur 10s
+//	memtier -server 127.0.0.1:11211 -protocol binary -conns 1000 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -20,14 +27,20 @@ func main() {
 	keys := flag.Int("keys", 10000, "key range (keys drawn uniformly at random)")
 	ratio := flag.String("ratio", "1:4", "set:get ratio")
 	valueLen := flag.Int("data", 64, "value payload bytes")
-	threads := flag.Int("threads", 4, "client threads")
+	threads := flag.Int("threads", 4, "client threads (alias for -conns when -conns is 0)")
+	conns := flag.Int("conns", 0, "concurrent TCP connections (0 = -threads)")
+	protocol := flag.String("protocol", "text", "wire protocol: text or binary")
 	dur := flag.Duration("dur", 5*time.Second, "run duration")
 	preload := flag.Bool("preload", true, "warm the cache with half the key range first")
+	jsonOut := flag.Bool("json", false, "emit the result as one JSON object on stdout")
 	flag.Parse()
 
 	var setR, getR int
 	if _, err := fmt.Sscanf(strings.ReplaceAll(*ratio, ":", " "), "%d %d", &setR, &getR); err != nil {
 		log.Fatalf("memtier: bad -ratio %q: %v", *ratio, err)
+	}
+	if *protocol != "text" && *protocol != "binary" {
+		log.Fatalf("memtier: bad -protocol %q (want text or binary)", *protocol)
 	}
 
 	mt := &memcache.Memtier{
@@ -35,6 +48,8 @@ func main() {
 		SetRatio: setR, GetRatio: getR,
 		ValueLen: *valueLen,
 		Threads:  *threads,
+		Conns:    *conns,
+		Protocol: *protocol,
 		Duration: *dur,
 	}
 
@@ -43,16 +58,42 @@ func main() {
 		if err := mt.PreloadTCP(*server); err != nil {
 			log.Fatalf("memtier: preload: %v", err)
 		}
-		fmt.Printf("preloaded %d keys in %v\n", *keys/2, time.Since(start).Round(time.Millisecond))
+		if !*jsonOut {
+			fmt.Printf("preloaded %d keys in %v\n", *keys/2, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	res, err := mt.RunTCP(*server)
 	if err != nil {
 		log.Fatalf("memtier: %v", err)
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(map[string]any{
+			"protocol":    *protocol,
+			"conns":       res.Conns,
+			"ops":         res.Ops,
+			"elapsed_sec": res.Elapsed.Seconds(),
+			"ops_per_sec": res.Throughput,
+			"hits":        res.Hits,
+			"misses":      res.Misses,
+			"p50_us":      float64(res.P50) / float64(time.Microsecond),
+			"p99_us":      float64(res.P99) / float64(time.Microsecond),
+			"p999_us":     float64(res.P999) / float64(time.Microsecond),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("protocol:   %s\n", *protocol)
+	fmt.Printf("conns:      %d\n", res.Conns)
 	fmt.Printf("ops:        %d\n", res.Ops)
 	fmt.Printf("elapsed:    %v\n", res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f ops/sec (%.2f x 100Kop/s)\n", res.Throughput, res.Throughput/100000)
 	fmt.Printf("hits:       %d\n", res.Hits)
 	fmt.Printf("misses:     %d\n", res.Misses)
+	fmt.Printf("p50:        %v\n", res.P50)
+	fmt.Printf("p99:        %v\n", res.P99)
+	fmt.Printf("p999:       %v\n", res.P999)
 }

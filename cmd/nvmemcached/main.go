@@ -1,6 +1,9 @@
 // Command nvmemcached runs an NV-Memcached server (§6.5): a durable
-// Memcached speaking the standard text protocol, whose contents survive
-// restarts of the simulated NVRAM image.
+// Memcached speaking the standard wire protocol — the full text command set
+// (including cas/gets, append/prepend, noreply pipelining) and the binary
+// protocol, auto-detected per connection from its first byte, so unmodified
+// standard clients work in either mode — whose contents survive restarts of
+// the simulated NVRAM image.
 //
 // Two durability modes:
 //
@@ -37,7 +40,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:11211", "listen address")
 	mem := flag.Uint64("mem", 256<<20, "simulated NVRAM bytes (split across shards when -shards > 1)")
 	buckets := flag.Int("buckets", 1<<16, "hash table buckets (split across shards when -shards > 1)")
-	conns := flag.Int("conns", 8, "worker slots (max concurrent connections)")
+	conns := flag.Int("conns", 4096, "max concurrently served connections (excess connections wait, they are not refused)")
 	image := flag.String("image", "", "NVRAM image file (recovered if present, saved on clean shutdown)")
 	pmemFile := flag.String("pmem-file", "", "file-backed NVRAM (mmap): kill -9 safe, no image save needed; a pool DIRECTORY when -shards > 1")
 	pmemSync := flag.Bool("pmem-sync", false, "with -pmem-file: fdatasync per fence (power-loss durability)")
@@ -63,10 +66,18 @@ func main() {
 		}()
 	}
 
+	// The formatted session region stays modest regardless of the
+	// connection cap: sessions grow dynamically past the formatted slots
+	// (PR 4), so thousands of connections do not need thousands of
+	// preformatted contexts.
+	sessionSlots := *conns
+	if sessionSlots > 64 {
+		sessionSlots = 64
+	}
 	cfg := memcache.Config{
 		MemoryBytes:  *mem,
 		Buckets:      *buckets,
-		MaxConns:     *conns,
+		MaxConns:     sessionSlots,
 		WriteLatency: *latency,
 		File:         *pmemFile,
 		FileSync:     *pmemSync,

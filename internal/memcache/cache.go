@@ -55,7 +55,40 @@ const (
 var (
 	ErrTooLarge = errors.New("memcache: item exceeds the largest slab class")
 	ErrNotFound = errors.New("memcache: key not found")
+	// ErrCASConflict reports a cas with a stale token: the item was modified
+	// since the gets that produced it (wire response EXISTS).
+	ErrCASConflict = errors.New("memcache: cas conflict (item modified)")
 )
+
+// Item metadata layout. The durable entry carries a uint16 meta word (the
+// client flags) and a uint64 aux word, packed as
+//
+//	aux[63:32] per-item CAS sequence (bumped on every mutation, 0 = none)
+//	aux[31:0]  unix expiry deadline (0 = never)
+//
+// Both halves are written in the same durable entry publish, so the CAS
+// unique and the value are crash-atomic: no recovery can observe a value
+// with the previous value's CAS. Images from before this layout stored the
+// bare expiry in aux — a unix timestamp, always < 2^32 — so old items read
+// as CAS 0 and lazily adopt a real sequence on their first mutation.
+//
+// The CAS sequence is 32-bit in storage (presented as the protocol's 64-bit
+// unique on the wire); it is per-item monotonic, wraps past 2^32-1 mutations
+// of one item, and skips 0.
+func packAux(cas uint32, expiry uint32) uint64 { return uint64(cas)<<32 | uint64(expiry) }
+
+func auxExpiry(aux uint64) uint32 { return uint32(aux) }
+func auxCAS(aux uint64) uint32    { return uint32(aux >> 32) }
+
+// nextCAS is the successor in the per-item CAS sequence (skipping 0, which
+// means "no CAS assigned yet").
+func nextCAS(old uint32) uint32 {
+	old++
+	if old == 0 {
+		old = 1
+	}
+	return old
+}
 
 // Config parameterizes a Cache.
 type Config struct {
@@ -178,6 +211,13 @@ type Stats struct {
 	Evictions           uint64
 	Expired             uint64 // items removed by the expiry sweep
 	Items               int64
+
+	// Wire-compatibility counters (PR 7).
+	Touches   uint64 // touch/gat commands served
+	CasHits   uint64 // cas mutations applied
+	CasBadval uint64 // cas rejected: token stale (EXISTS)
+	CasMisses uint64 // cas rejected: key absent (NOT_FOUND)
+	Flushes   uint64 // flush_all invocations applied
 }
 
 // counters is the live, lock-free form of Stats: plain atomics bumped on
@@ -189,6 +229,12 @@ type counters struct {
 	evictions           atomic.Uint64
 	expired             atomic.Uint64
 	items               atomic.Int64
+
+	touches   atomic.Uint64
+	casHits   atomic.Uint64
+	casBadval atomic.Uint64
+	casMisses atomic.Uint64
+	flushes   atomic.Uint64
 }
 
 // New creates a durable cache. On the default in-process backend the device
@@ -324,13 +370,19 @@ func (m *Cache) Stats() Stats {
 		Evictions: m.stats.evictions.Load(),
 		Expired:   m.stats.expired.Load(),
 		Items:     m.stats.items.Load(),
+		Touches:   m.stats.touches.Load(),
+		CasHits:   m.stats.casHits.Load(),
+		CasBadval: m.stats.casBadval.Load(),
+		CasMisses: m.stats.casMisses.Load(),
+		Flushes:   m.stats.flushes.Load(),
 	}
 }
 
-// expired reports whether an item's aux word (unix expiry, 0 = never) has
-// passed.
+// expired reports whether an item's aux word's expiry half (unix deadline,
+// 0 = never) has passed.
 func expired(aux uint64, now int64) bool {
-	return aux != 0 && int64(aux) <= now
+	e := auxExpiry(aux)
+	return e != 0 && int64(e) <= now
 }
 
 // Get returns the value and flags bound to key.
@@ -353,11 +405,18 @@ func (m *Cache) reclaim() { m.eng.Reclaim() }
 
 // Set binds key to value, durably, evicting LRU items under memory pressure.
 func (m *Cache) Set(key, value []byte, flags uint16, expiry uint32) error {
+	_, err := m.SetCAS(key, value, flags, expiry)
+	return err
+}
+
+// SetCAS is Set returning the item's new CAS unique (the wire protocols
+// report it in gets/binary responses).
+func (m *Cache) SetCAS(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
 	if len(key) > MaxKeyLen || len(key) == 0 {
-		return errors.New("memcache: bad key length")
+		return 0, errors.New("memcache: bad key length")
 	}
 	if logfree.MapEntryOverhead+len(key)+len(value) > logfree.MaxMapEntrySize {
-		return ErrTooLarge
+		return 0, ErrTooLarge
 	}
 	m.stats.sets.Add(1)
 	// Proactive LRU eviction: keep enough headroom that allocations deep in
@@ -373,15 +432,15 @@ func (m *Cache) Set(key, value []byte, flags uint16, expiry uint32) error {
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		err := m.setLocked(key, value, flags, expiry)
+		cas, err := m.setLocked(key, value, flags, expiry)
 		if err == nil {
-			return nil
+			return cas, nil
 		}
 		if !errors.Is(err, logfree.ErrFull) || attempt > 64 {
-			return err
+			return 0, err
 		}
 		if !m.evictOne() {
-			return err
+			return 0, err
 		}
 		m.reclaim()
 	}
@@ -398,9 +457,12 @@ func expKey(deadline uint64, key []byte) []byte {
 }
 
 // setItemLocked stores an item under the held stripe lock, maintaining the
-// item count, the LRU and the durable expiry index.
-func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) error {
+// item count, the LRU and the durable expiry index, and bumping the item's
+// per-item CAS sequence (new items and items from pre-CAS images start the
+// sequence at 1). Returns the item's new CAS unique.
+func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
 	oldAux, hadOld := m.m.GetAux(key)
+	cas := nextCAS(auxCAS(oldAux))
 	// Index the new deadline *before* the item write: a crash in between
 	// leaves only a stale index entry, which the sweep double-checks and
 	// discards; the reverse order could leave an expiring item the sweep
@@ -409,25 +471,25 @@ func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) er
 	// deadline is unchanged.
 	if expiry != 0 {
 		if err := m.exp.Set(expKey(uint64(expiry), key), nil); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	created, err := m.m.SetItem(key, value, flags, uint64(expiry))
+	created, err := m.m.SetItem(key, value, flags, packAux(cas, expiry))
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if hadOld && oldAux != 0 && oldAux != uint64(expiry) {
-		m.exp.Delete(expKey(oldAux, key))
+	if oldExp := auxExpiry(oldAux); hadOld && oldExp != 0 && oldExp != expiry {
+		m.exp.Delete(expKey(uint64(oldExp), key))
 	}
 	m.lru.add(string(key))
 	if created {
 		m.stats.items.Add(1)
 	}
-	return nil
+	return uint64(cas), nil
 }
 
 // setLocked performs one store attempt under the key's stripe lock.
-func (m *Cache) setLocked(key, value []byte, flags uint16, expiry uint32) error {
+func (m *Cache) setLocked(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -444,12 +506,65 @@ func (m *Cache) Delete(key []byte) bool {
 	if !m.m.Delete(key) {
 		return false
 	}
-	if aux != 0 {
-		m.exp.Delete(expKey(aux, key))
+	if e := auxExpiry(aux); e != 0 {
+		m.exp.Delete(expKey(uint64(e), key))
 	}
 	m.lru.remove(string(key))
 	m.stats.items.Add(-1)
 	return true
+}
+
+// DeleteCAS deletes key only when its stored CAS unique matches cas (the
+// binary protocol's DELETE-with-cas). cas 0 deletes unconditionally.
+func (m *Cache) DeleteCAS(key []byte, cas uint64) error {
+	if cas == 0 {
+		if m.Delete(key) {
+			return nil
+		}
+		return ErrNotFound
+	}
+	mu := m.lockKey(key)
+	mu.Lock()
+	defer mu.Unlock()
+	_, _, aux, ok := m.liveLocked(key)
+	if !ok {
+		m.stats.casMisses.Add(1)
+		return ErrNotFound
+	}
+	if uint64(auxCAS(aux)) != cas {
+		m.stats.casBadval.Add(1)
+		return ErrCASConflict
+	}
+	m.stats.deletes.Add(1)
+	m.m.Delete(key)
+	if e := auxExpiry(aux); e != 0 {
+		m.exp.Delete(expKey(uint64(e), key))
+	}
+	m.lru.remove(string(key))
+	m.stats.items.Add(-1)
+	m.stats.casHits.Add(1)
+	return nil
+}
+
+// FlushAll durably removes every item (memcached flush_all). Unlike stock
+// memcached's lazy oldest_live invalidation, this walks the index and
+// deletes each item, so the flush is crash-consistent: items removed before
+// a crash stay removed, items not yet reached survive it (flush_all makes
+// no atomicity promise across the whole cache). Returns items removed.
+func (m *Cache) FlushAll() int {
+	m.stats.flushes.Add(1)
+	var keys [][]byte
+	for k := range m.m.All() {
+		keys = append(keys, append([]byte(nil), k...))
+	}
+	n := 0
+	for _, k := range keys {
+		if m.Delete(k) {
+			n++
+		}
+	}
+	m.reclaim()
+	return n
 }
 
 // SweepExpired removes every item whose deadline has passed, by scanning
@@ -469,7 +584,7 @@ func (m *Cache) SweepExpired(now int64) int {
 		key := ek[8:]
 		mu := m.lockKey(key)
 		mu.Lock()
-		if aux, ok := m.m.GetAux(key); ok && aux == deadline {
+		if aux, ok := m.m.GetAux(key); ok && uint64(auxExpiry(aux)) == deadline {
 			if m.m.Delete(key) {
 				m.lru.remove(string(key))
 				m.stats.items.Add(-1)

@@ -4,75 +4,170 @@ import (
 	"errors"
 	"strconv"
 	"time"
+
+	"repro/logfree"
 )
 
-// Extended memcached operations beyond get/set/delete: add, replace,
-// incr/decr and touch, built from the same durable primitives (every
-// mutation runs under the key's stripe lock, so durable linearizability
-// carries over unchanged).
+// Extended memcached operations beyond get/set/delete: add, replace, cas,
+// append/prepend, incr/decr, touch and get-and-touch, built from the same
+// durable primitives (every mutation runs under the key's stripe lock, so
+// durable linearizability carries over unchanged). Every mutation bumps the
+// item's CAS sequence; the CAS unique and the value travel in one durable
+// entry publish, so they are mutually consistent across any crash.
 
-// ErrNotStored reports a failed add/replace precondition.
+// ErrNotStored reports a failed add/replace/append/prepend precondition.
 var ErrNotStored = errors.New("memcache: precondition failed")
 
 // ErrNotNumber reports incr/decr on a non-numeric value.
 var ErrNotNumber = errors.New("memcache: value is not a number")
 
 // liveLocked reports whether a live (non-expired) item for key exists, and
-// returns its fields. Caller holds the key's stripe lock.
-func (m *Cache) liveLocked(key []byte) (value []byte, flags uint16, expiry uint32, ok bool) {
+// returns its fields with the raw aux word (unpack with auxCAS/auxExpiry).
+// Caller holds the key's stripe lock (or tolerates racing mutations).
+func (m *Cache) liveLocked(key []byte) (value []byte, flags uint16, aux uint64, ok bool) {
 	v, meta, aux, found := m.m.GetItem(key)
 	if !found || expired(aux, time.Now().Unix()) {
 		return nil, 0, 0, false
 	}
-	return v, meta, uint32(aux), true
+	return v, meta, aux, true
 }
 
-// Add stores key only if it is absent (memcached "add").
-func (m *Cache) Add(key, value []byte, flags uint16, expiry uint32) error {
+// Gets is Get returning the item's CAS unique as well (text "gets", binary
+// GET): the token a later cas must present. Items last written by a pre-CAS
+// image report 0 until their first mutation.
+func (m *Cache) Gets(key []byte) (value []byte, flags uint16, cas uint64, ok bool) {
+	m.stats.gets.Add(1)
+	v, meta, aux, found := m.m.GetItem(key)
+	if !found || expired(aux, time.Now().Unix()) {
+		m.stats.misses.Add(1)
+		return nil, 0, 0, false
+	}
+	m.lru.touch(string(key))
+	m.stats.hits.Add(1)
+	return v, meta, uint64(auxCAS(aux)), true
+}
+
+// Add stores key only if it is absent (memcached "add"). Returns the new
+// CAS unique.
+func (m *Cache) Add(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
 	if _, _, _, ok := m.liveLocked(key); ok {
-		return ErrNotStored
+		return 0, ErrNotStored
 	}
 	m.stats.sets.Add(1)
 	return m.setItemLocked(key, value, flags, expiry)
 }
 
 // Replace stores key only if it is present (memcached "replace").
-func (m *Cache) Replace(key, value []byte, flags uint16, expiry uint32) error {
+func (m *Cache) Replace(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
 	if _, _, _, ok := m.liveLocked(key); !ok {
-		return ErrNotStored
+		return 0, ErrNotStored
 	}
 	m.stats.sets.Add(1)
 	return m.setItemLocked(key, value, flags, expiry)
 }
 
+// CompareAndSwap stores key only if its current CAS unique equals cas
+// (memcached "cas"). ErrNotFound when the key is absent (NOT_FOUND),
+// ErrCASConflict when the token is stale (EXISTS).
+func (m *Cache) CompareAndSwap(key, value []byte, flags uint16, expiry uint32, cas uint64) (uint64, error) {
+	mu := m.lockKey(key)
+	mu.Lock()
+	defer mu.Unlock()
+	_, _, aux, ok := m.liveLocked(key)
+	if !ok {
+		m.stats.casMisses.Add(1)
+		return 0, ErrNotFound
+	}
+	if uint64(auxCAS(aux)) != cas {
+		m.stats.casBadval.Add(1)
+		return 0, ErrCASConflict
+	}
+	m.stats.sets.Add(1)
+	newCAS, err := m.setItemLocked(key, value, flags, expiry)
+	if err == nil {
+		m.stats.casHits.Add(1)
+	}
+	return newCAS, err
+}
+
+// Append concatenates data after an existing item's value (memcached
+// "append"); the item's flags and expiry are preserved, per the spec. With
+// cas != 0 the append additionally requires a matching CAS token (the
+// binary protocol's APPEND-with-cas).
+func (m *Cache) Append(key, data []byte, cas uint64) (uint64, error) {
+	return m.concat(key, data, cas, false)
+}
+
+// Prepend concatenates data before an existing item's value.
+func (m *Cache) Prepend(key, data []byte, cas uint64) (uint64, error) {
+	return m.concat(key, data, cas, true)
+}
+
+func (m *Cache) concat(key, data []byte, cas uint64, front bool) (uint64, error) {
+	mu := m.lockKey(key)
+	mu.Lock()
+	defer mu.Unlock()
+	v, flags, aux, ok := m.liveLocked(key)
+	if !ok {
+		return 0, ErrNotStored
+	}
+	if cas != 0 && uint64(auxCAS(aux)) != cas {
+		m.stats.casBadval.Add(1)
+		return 0, ErrCASConflict
+	}
+	if logfree.MapEntryOverhead+len(key)+len(v)+len(data) > logfree.MaxMapEntrySize {
+		return 0, ErrTooLarge
+	}
+	joined := make([]byte, 0, len(v)+len(data))
+	if front {
+		joined = append(append(joined, data...), v...)
+	} else {
+		joined = append(append(joined, v...), data...)
+	}
+	m.stats.sets.Add(1)
+	return m.setItemLocked(key, joined, flags, auxExpiry(aux))
+}
+
 // Incr adds delta to a decimal value, returning the new value (memcached
 // "incr"; the mutation is durable via the item replacement).
 func (m *Cache) Incr(key []byte, delta uint64) (uint64, error) {
-	return m.incrDecr(key, delta, false)
+	v, _, err := m.IncrDecrCAS(key, delta, 0, 0, false, false)
+	return v, err
 }
 
 // Decr subtracts delta (floored at zero, as memcached specifies).
 func (m *Cache) Decr(key []byte, delta uint64) (uint64, error) {
-	return m.incrDecr(key, delta, true)
+	v, _, err := m.IncrDecrCAS(key, delta, 0, 0, false, true)
+	return v, err
 }
 
-func (m *Cache) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
+// IncrDecrCAS is the full arithmetic primitive behind text incr/decr and
+// the binary INCREMENT/DECREMENT ops: with create set, an absent key is
+// seeded with initial (and expiry) instead of returning ErrNotFound — the
+// binary protocol's initial-value semantics. Returns the new value and the
+// item's new CAS unique.
+func (m *Cache) IncrDecrCAS(key []byte, delta, initial uint64, expiry uint32, create, down bool) (uint64, uint64, error) {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	v, flags, exp, ok := m.liveLocked(key)
+	v, flags, aux, ok := m.liveLocked(key)
 	if !ok {
-		return 0, ErrNotFound
+		if !create {
+			return 0, 0, ErrNotFound
+		}
+		m.stats.sets.Add(1)
+		cas, err := m.setItemLocked(key, []byte(strconv.FormatUint(initial, 10)), 0, expiry)
+		return initial, cas, err
 	}
 	cur, err := strconv.ParseUint(string(v), 10, 64)
 	if err != nil {
-		return 0, ErrNotNumber
+		return 0, 0, ErrNotNumber
 	}
 	var next uint64
 	if down {
@@ -84,36 +179,68 @@ func (m *Cache) incrDecr(key []byte, delta uint64, down bool) (uint64, error) {
 	} else {
 		next = cur + delta
 	}
-	if err := m.setItemLocked(key, []byte(strconv.FormatUint(next, 10)), flags, exp); err != nil {
-		return 0, err
+	cas, err := m.setItemLocked(key, []byte(strconv.FormatUint(next, 10)), flags, auxExpiry(aux))
+	if err != nil {
+		return 0, 0, err
 	}
-	return next, nil
+	return next, cas, nil
 }
 
 // Touch updates an item's expiry without rewriting its value, keeping the
 // expiry index in step (new deadline indexed before the aux update, old
-// deadline unindexed after — the sweep discards any stale leftovers).
-func (m *Cache) Touch(key []byte, expiry uint32) bool {
+// deadline unindexed after — the sweep discards any stale leftovers). The
+// item's CAS sequence is bumped (the aux replace is one atomic durable
+// word, so the new CAS and new deadline land together); the new unique is
+// returned for the binary TOUCH/GAT responses.
+func (m *Cache) Touch(key []byte, expiry uint32) (uint64, bool) {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	_, _, old, ok := m.liveLocked(key)
+	return m.touchLocked(key, expiry)
+}
+
+func (m *Cache) touchLocked(key []byte, expiry uint32) (uint64, bool) {
+	_, _, aux, ok := m.liveLocked(key)
 	if !ok {
-		return false
+		return 0, false
 	}
 	// Indexed unconditionally (idempotent), as in setItemLocked, so items
 	// from pre-index images are adopted even when the deadline is unchanged.
 	if expiry != 0 {
 		if err := m.exp.Set(expKey(uint64(expiry), key), nil); err != nil {
-			return false
+			return 0, false
 		}
 	}
-	if !m.m.SetAux(key, uint64(expiry)) {
-		return false
+	cas := nextCAS(auxCAS(aux))
+	if !m.m.SetAux(key, packAux(cas, expiry)) {
+		return 0, false
 	}
-	if old != 0 && old != expiry {
+	if old := auxExpiry(aux); old != 0 && old != expiry {
 		m.exp.Delete(expKey(uint64(old), key))
 	}
 	m.lru.touch(string(key))
-	return true
+	m.stats.touches.Add(1)
+	return uint64(cas), true
+}
+
+// GetAndTouch returns the item and updates its expiry in one operation
+// (text "gat"/"gats", binary GAT/GATQ). The returned CAS unique is the
+// post-touch one.
+func (m *Cache) GetAndTouch(key []byte, expiry uint32) (value []byte, flags uint16, cas uint64, ok bool) {
+	mu := m.lockKey(key)
+	mu.Lock()
+	defer mu.Unlock()
+	m.stats.gets.Add(1)
+	v, f, _, ok := m.liveLocked(key)
+	if !ok {
+		m.stats.misses.Add(1)
+		return nil, 0, 0, false
+	}
+	cas, ok = m.touchLocked(key, expiry)
+	if !ok {
+		m.stats.misses.Add(1)
+		return nil, 0, 0, false
+	}
+	m.stats.hits.Add(1)
+	return v, f, cas, true
 }

@@ -83,7 +83,7 @@ func TestExpirySweepStaleEntries(t *testing.T) {
 	if err := c.Set([]byte("k2"), []byte("w1"), 0, uint32(now+1)); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Touch([]byte("k2"), uint32(now+3600)) {
+	if _, ok := c.Touch([]byte("k2"), uint32(now+3600)); !ok {
 		t.Fatal("touch failed")
 	}
 	if n := c.SweepExpired(now + 10); n != 0 {
@@ -96,7 +96,7 @@ func TestExpirySweepStaleEntries(t *testing.T) {
 		t.Fatalf("touched item: %q,%v", v, ok)
 	}
 	// Touch into the past makes the item sweepable.
-	if !c.Touch([]byte("k2"), uint32(now-5)) {
+	if _, ok := c.Touch([]byte("k2"), uint32(now-5)); !ok {
 		t.Fatal("touch into past failed")
 	}
 	if n := c.SweepExpired(now); n != 1 {

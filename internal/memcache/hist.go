@@ -1,0 +1,99 @@
+package memcache
+
+import (
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is a log-linear latency histogram (HDR-lite): microsecond
+// resolution with bounded relative error, fixed memory, and no locking —
+// each load-generator connection records into its own histogram and the
+// results Merge at the end, so the record path is a single increment.
+//
+// Layout: values below 64µs are exact; above that, 64 linear sub-buckets
+// per power-of-two decade. Relative error is bounded by 1/64 ≈ 1.6%.
+type LatencyHist struct {
+	count   uint64
+	buckets [latHistBuckets]uint64
+}
+
+const (
+	latHistSubBits = 6 // 64 linear sub-buckets per decade
+	latHistSub     = 1 << latHistSubBits
+	latHistDecades = 22 // top bucket ≈ 133s
+	latHistBuckets = latHistSub * latHistDecades
+)
+
+// latBucket maps a duration to its bucket index.
+func latBucket(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us < latHistSub {
+		return int(us) // exact below 64µs
+	}
+	// Shift right until the value fits in [64, 128): the shift count picks
+	// the decade, the remaining low bits the linear sub-bucket.
+	k := bits.Len64(us) - latHistSubBits - 1
+	idx := latHistSub*(k+1) + int((us>>uint(k))-latHistSub)
+	if idx >= latHistBuckets {
+		return latHistBuckets - 1
+	}
+	return idx
+}
+
+// latBucketValue returns a representative (lower-edge) duration for bucket i.
+func latBucketValue(i int) time.Duration {
+	if i < latHistSub {
+		return time.Duration(i) * time.Microsecond
+	}
+	k := i/latHistSub - 1
+	sub := uint64(i % latHistSub)
+	return time.Duration((latHistSub+sub)<<uint(k)) * time.Microsecond
+}
+
+// Record adds one observation.
+func (h *LatencyHist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[latBucket(d)]++
+	h.count++
+}
+
+// Merge folds other into h.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	if other == nil {
+		return
+	}
+	for i, v := range other.buckets {
+		h.buckets[i] += v
+	}
+	h.count += other.count
+}
+
+// Count returns the number of recorded observations.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Percentile returns the value at quantile p in [0,100]; 0 with no data.
+func (h *LatencyHist) Percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(p / 100 * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, v := range h.buckets {
+		seen += v
+		if seen > rank {
+			return latBucketValue(i)
+		}
+	}
+	return latBucketValue(latHistBuckets - 1)
+}

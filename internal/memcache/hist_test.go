@@ -1,0 +1,87 @@
+package memcache
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistPercentiles(t *testing.T) {
+	var h LatencyHist
+	// 1..1000µs uniformly: p50 ≈ 500µs, p99 ≈ 990µs within the 1/64
+	// log-linear error bound.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(p float64, want time.Duration) {
+		t.Helper()
+		got := h.Percentile(p)
+		err := float64(got-want) / float64(want)
+		if err < 0 {
+			err = -err
+		}
+		if err > 0.04 {
+			t.Fatalf("p%.1f = %v, want ~%v (err %.1f%%)", p, got, want, err*100)
+		}
+	}
+	check(50, 500*time.Microsecond)
+	check(99, 990*time.Microsecond)
+	check(99.9, 999*time.Microsecond)
+}
+
+func TestLatencyHistMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, all LatencyHist
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1<<20)) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		all.Record(d)
+	}
+	a.Merge(&b)
+	for _, p := range []float64{0, 10, 50, 90, 99, 99.9, 100} {
+		if a.Percentile(p) != all.Percentile(p) {
+			t.Fatalf("p%v: merged %v != combined %v", p, a.Percentile(p), all.Percentile(p))
+		}
+	}
+}
+
+func TestLatencyHistBucketMonotonic(t *testing.T) {
+	// Bucket index and representative value must both be monotonic in the
+	// recorded duration.
+	prevIdx := -1
+	for us := uint64(0); us < 1<<22; us = us*5/4 + 1 {
+		idx := latBucket(time.Duration(us) * time.Microsecond)
+		if idx < prevIdx {
+			t.Fatalf("bucket(%dµs) = %d < previous %d", us, idx, prevIdx)
+		}
+		prevIdx = idx
+	}
+	for i := 1; i < latHistBuckets; i++ {
+		if latBucketValue(i) < latBucketValue(i-1) {
+			t.Fatalf("bucket value not monotonic at %d", i)
+		}
+	}
+}
+
+func TestLatencyHistExtremes(t *testing.T) {
+	var h LatencyHist
+	h.Record(-time.Second) // clamped to 0
+	h.Record(0)
+	h.Record(time.Hour) // clamped to the top bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Percentile(0); got != 0 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := h.Percentile(100); got < time.Second {
+		t.Fatalf("p100 = %v, want clamped top bucket", got)
+	}
+}

@@ -23,8 +23,15 @@ type Memtier struct {
 	SetRatio, GetRatio int
 	// ValueLen is the value payload size.
 	ValueLen int
-	// Threads is the number of client workers.
+	// Threads is the number of client workers (in-process RunKV), and the
+	// default connection count for RunTCP when Conns is zero.
 	Threads int
+	// Conns is the number of concurrent TCP connections RunTCP drives —
+	// the connection-scale knob; thousands are fine (one goroutine each).
+	Conns int
+	// Protocol selects the wire protocol for RunTCP: "text" (default) or
+	// "binary".
+	Protocol string
 	// Duration of the run.
 	Duration time.Duration
 	// Seed for reproducibility.
@@ -50,6 +57,12 @@ func (mt *Memtier) fill() {
 	if mt.Seed == 0 {
 		mt.Seed = 42
 	}
+	if mt.Conns == 0 {
+		mt.Conns = mt.Threads
+	}
+	if mt.Protocol == "" {
+		mt.Protocol = "text"
+	}
 }
 
 // MemtierResult reports one run.
@@ -59,6 +72,13 @@ type MemtierResult struct {
 	Throughput float64 // ops/sec
 	Hits       uint64
 	Misses     uint64
+
+	// End-to-end per-request latency percentiles (RunTCP only): measured
+	// from the first byte of the request written to the full response
+	// parsed, per connection, merged across all connections.
+	P50, P99, P999 time.Duration
+	// Conns is the connection count the run actually used.
+	Conns int
 }
 
 // Key renders the i-th key.
@@ -155,17 +175,24 @@ func (mt *Memtier) RunKV(kv KV) MemtierResult {
 	}
 }
 
-// RunTCP drives the mix against a memcached server over TCP.
+// RunTCP drives the mix against a memcached server over TCP with mt.Conns
+// concurrent connections speaking mt.Protocol ("text" or "binary"), and
+// measures per-request end-to-end latency into per-connection histograms
+// merged into the result's p50/p99/p999.
 func (mt *Memtier) RunTCP(addr string) (MemtierResult, error) {
 	mt.fill()
 	var ops, hits, misses atomic.Uint64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	errs := make(chan error, mt.Threads)
+	errs := make(chan error, mt.Conns)
+	hists := make([]*LatencyHist, mt.Conns)
+	binary := mt.Protocol == "binary"
 	start := time.Now()
-	for t := 0; t < mt.Threads; t++ {
+	for t := 0; t < mt.Conns; t++ {
 		wg.Add(1)
-		go func(t int) {
+		h := &LatencyHist{}
+		hists[t] = h
+		go func(t int, h *LatencyHist) {
 			defer wg.Done()
 			conn, err := net.Dial("tcp", addr)
 			if err != nil {
@@ -173,52 +200,29 @@ func (mt *Memtier) RunTCP(addr string) (MemtierResult, error) {
 				return
 			}
 			defer conn.Close()
-			r := bufio.NewReader(conn)
-			w := bufio.NewWriter(conn)
-			rng := rand.New(rand.NewSource(mt.Seed + int64(t)))
-			val := bytes.Repeat([]byte{0xEF}, mt.ValueLen)
-			var kb [32]byte
+			w := &memtierConn{
+				r:   bufio.NewReader(conn),
+				w:   bufio.NewWriter(conn),
+				rng: rand.New(rand.NewSource(mt.Seed + int64(t))),
+				val: bytes.Repeat([]byte{0xEF}, mt.ValueLen),
+			}
 			n := uint64(0)
 			for !stop.Load() {
-				k := mt.Key(kb[:0], rng.Intn(mt.KeyRange))
-				if rng.Intn(mt.SetRatio+mt.GetRatio) < mt.SetRatio {
-					fmt.Fprintf(w, "set %s 0 0 %d\r\n", k, len(val))
-					w.Write(val)
-					w.WriteString("\r\n")
-					w.Flush()
-					line, err := r.ReadString('\n')
-					if err != nil {
-						errs <- err
-						return
-					}
-					if line != "STORED\r\n" {
-						errs <- fmt.Errorf("memtier: set got %q", line)
-						return
-					}
+				k := mt.Key(w.kb[:0], w.rng.Intn(mt.KeyRange))
+				isSet := w.rng.Intn(mt.SetRatio+mt.GetRatio) < mt.SetRatio
+				t0 := time.Now()
+				var hit bool
+				if binary {
+					hit, err = w.opBinary(k, isSet)
 				} else {
-					fmt.Fprintf(w, "get %s\r\n", k)
-					w.Flush()
-					hit := false
-					for {
-						line, err := r.ReadString('\n')
-						if err != nil {
-							errs <- err
-							return
-						}
-						if line == "END\r\n" {
-							break
-						}
-						if len(line) > 5 && line[:5] == "VALUE" {
-							parts := bytes.Fields([]byte(line))
-							sz, _ := strconv.Atoi(string(parts[3]))
-							buf := make([]byte, sz+2)
-							if _, err := readFull(r, buf); err != nil {
-								errs <- err
-								return
-							}
-							hit = true
-						}
-					}
+					hit, err = w.opText(k, isSet)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				h.Record(time.Since(t0))
+				if !isSet {
 					if hit {
 						hits.Add(1)
 					} else {
@@ -228,7 +232,7 @@ func (mt *Memtier) RunTCP(addr string) (MemtierResult, error) {
 				n++
 			}
 			ops.Add(n)
-		}(t)
+		}(t, h)
 	}
 	time.Sleep(mt.Duration)
 	stop.Store(true)
@@ -239,11 +243,133 @@ func (mt *Memtier) RunTCP(addr string) (MemtierResult, error) {
 		return MemtierResult{}, err
 	default:
 	}
+	var merged LatencyHist
+	for _, h := range hists {
+		merged.Merge(h)
+	}
 	return MemtierResult{
 		Ops: ops.Load(), Elapsed: el,
 		Throughput: float64(ops.Load()) / el.Seconds(),
 		Hits:       hits.Load(), Misses: misses.Load(),
+		P50:   merged.Percentile(50),
+		P99:   merged.Percentile(99),
+		P999:  merged.Percentile(99.9),
+		Conns: mt.Conns,
 	}, nil
+}
+
+// memtierConn is one load connection's client-side state.
+type memtierConn struct {
+	r   *bufio.Reader
+	w   *bufio.Writer
+	rng *rand.Rand
+	val []byte
+	kb  [32]byte
+	buf []byte
+}
+
+// opText issues one text-protocol set or get and parses the response.
+func (c *memtierConn) opText(k []byte, isSet bool) (hit bool, err error) {
+	if isSet {
+		fmt.Fprintf(c.w, "set %s 0 0 %d\r\n", k, len(c.val))
+		c.w.Write(c.val)
+		c.w.WriteString("\r\n")
+		if err := c.w.Flush(); err != nil {
+			return false, err
+		}
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return false, err
+		}
+		if line != "STORED\r\n" {
+			return false, fmt.Errorf("memtier: set got %q", line)
+		}
+		return false, nil
+	}
+	fmt.Fprintf(c.w, "get %s\r\n", k)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return false, err
+		}
+		if line == "END\r\n" {
+			return hit, nil
+		}
+		if len(line) > 5 && line[:5] == "VALUE" {
+			parts := bytes.Fields([]byte(line))
+			sz, _ := strconv.Atoi(string(parts[3]))
+			if cap(c.buf) < sz+2 {
+				c.buf = make([]byte, sz+2)
+			}
+			if _, err := readFull(c.r, c.buf[:sz+2]); err != nil {
+				return false, err
+			}
+			hit = true
+		}
+	}
+}
+
+// opBinary issues one binary-protocol SET or GET and parses the response
+// frame (status 0x0000 = hit / stored, 0x0001 = miss).
+func (c *memtierConn) opBinary(k []byte, isSet bool) (hit bool, err error) {
+	var hdr [binHeaderLen]byte
+	hdr[0] = binMagicReq
+	if isSet {
+		hdr[1] = binOpSet
+		putU16(hdr[2:], uint16(len(k)))
+		hdr[4] = 8
+		putU32(hdr[8:], uint32(8+len(k)+len(c.val)))
+		c.w.Write(hdr[:])
+		var ext [8]byte // flags 0, expiry 0
+		c.w.Write(ext[:])
+		c.w.Write(k)
+		c.w.Write(c.val)
+	} else {
+		hdr[1] = binOpGet
+		putU16(hdr[2:], uint16(len(k)))
+		putU32(hdr[8:], uint32(len(k)))
+		c.w.Write(hdr[:])
+		c.w.Write(k)
+	}
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	var res [binHeaderLen]byte
+	if _, err := readFull(c.r, res[:]); err != nil {
+		return false, err
+	}
+	if res[0] != binMagicRes {
+		return false, fmt.Errorf("memtier: bad response magic 0x%02x", res[0])
+	}
+	status := uint16(res[6])<<8 | uint16(res[7])
+	bodyLen := int(uint32(res[8])<<24 | uint32(res[9])<<16 | uint32(res[10])<<8 | uint32(res[11]))
+	if bodyLen > 0 {
+		if cap(c.buf) < bodyLen {
+			c.buf = make([]byte, bodyLen)
+		}
+		if _, err := readFull(c.r, c.buf[:bodyLen]); err != nil {
+			return false, err
+		}
+	}
+	switch status {
+	case 0x0000:
+		return true, nil
+	case 0x0001: // key not found
+		return false, nil
+	default:
+		return false, fmt.Errorf("memtier: op status 0x%04x", status)
+	}
+}
+
+func putU16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
 }
 
 func readFull(r *bufio.Reader, buf []byte) (int, error) {

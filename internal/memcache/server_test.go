@@ -95,7 +95,11 @@ func TestProtocolErrors(t *testing.T) {
 	expect(t, rw, "ERROR")
 	send(t, rw, "set onlykey")
 	expect(t, rw, "CLIENT_ERROR bad command line format")
-	send(t, rw, fmt.Sprintf("set big 0 0 %d", MaxValueLen+1))
+	// An oversized set with a parseable length: the server swallows the
+	// declared data block (keeping the connection in sync, as stock
+	// memcached does) and reports SERVER_ERROR.
+	big := strings.Repeat("x", MaxValueLen+1)
+	send(t, rw, fmt.Sprintf("set big 0 0 %d", len(big)), big)
 	expect(t, rw, "SERVER_ERROR object too large for cache")
 	send(t, rw, "delete")
 	expect(t, rw, "CLIENT_ERROR bad command line format")
@@ -195,8 +199,9 @@ func TestProtocolTouch(t *testing.T) {
 	expect(t, rw, "TOUCHED")
 	send(t, rw, "touch missing 0")
 	expect(t, rw, "NOT_FOUND")
-	// Touch into the past expires the item.
-	send(t, rw, "touch k 1")
+	// Touch into the past expires the item (negative exptime = already
+	// expired; small positive values are now spec-correctly relative).
+	send(t, rw, "touch k -1")
 	expect(t, rw, "TOUCHED")
 	send(t, rw, "get k")
 	expect(t, rw, "END")

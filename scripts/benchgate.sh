@@ -15,7 +15,10 @@
 #                          absolute file-backend rows depend on the runner's
 #                          filesystem; the file_vs_mem ratio rows are the
 #                          meaningful signal and ride the same tolerance)
-#   BENCH_FILES            files to gate (default: all four BENCH_*.json)
+#   BENCH_TOLERANCE_LAT    tolerance for latency (lat_us) rows (default 1.50:
+#                          tail percentiles on shared runners are very noisy;
+#                          the gate only catches order-of-magnitude blowups)
+#   BENCH_FILES            files to gate (default: all BENCH_*.json)
 #
 # Output: a markdown table per file, appended to $GITHUB_STEP_SUMMARY when
 # set (the Actions job summary) and always echoed to stdout. Improvements
@@ -26,21 +29,23 @@ cd "$(dirname "$0")/.."
 
 TOLERANCE="${BENCH_TOLERANCE:-0.30}"
 TOLERANCE_FILE="${BENCH_TOLERANCE_FILE:-0.90}"
-FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json}"
+TOLERANCE_LAT="${BENCH_TOLERANCE_LAT:-1.50}"
+FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json BENCH_latency.json}"
 
 command -v jq >/dev/null || { echo "benchgate: jq is required" >&2; exit 2; }
 
 # flatten — stdin JSON array to one "key<TAB>value<TAB>kind" line per
 # metric: key is name[/variant][/<threads>g], value is ops_per_sec / ratio /
-# keys_per_sec, kind distinguishes derived ratio rows ("ratio") from
-# absolute throughput rows ("abs").
+# keys_per_sec / lat_us, kind distinguishes derived ratio rows ("ratio"),
+# absolute throughput rows ("abs"), and latency rows ("lat" — the one kind
+# where LOWER is better, so the regression direction inverts).
 flatten() {
   jq -r '.[] | [
     (.name
       + (if .variant  then "/" + .variant                else "" end)
       + (if .threads  then "/" + (.threads|tostring) + "g" else "" end)),
-    ((.ops_per_sec // .ratio // .keys_per_sec // 0) | tostring),
-    (if .ratio then "ratio" else "abs" end)
+    ((.ops_per_sec // .ratio // .keys_per_sec // .lat_us // 0) | tostring),
+    (if .ratio then "ratio" elif .lat_us then "lat" else "abs" end)
   ] | @tsv'
 }
 
@@ -52,7 +57,7 @@ summary() {
 }
 
 fail=0
-summary "## Bench gate (tolerance ${TOLERANCE}, file rows ${TOLERANCE_FILE})"
+summary "## Bench gate (tolerance ${TOLERANCE}, file rows ${TOLERANCE_FILE}, latency rows ${TOLERANCE_LAT})"
 for f in $FILES; do
   if [ ! -f "$f" ]; then
     summary ""
@@ -82,14 +87,15 @@ for f in $FILES; do
     {
       printf '%s\n' "$base_json" | flatten | sed 's/^/B\t/'
       flatten < "$f" | sed 's/^/C\t/'
-    } | awk -F'\t' -v rtol="$tol" -v atol="$tol_abs" '
+    } | awk -F'\t' -v rtol="$tol" -v atol="$tol_abs" -v ltol="$TOLERANCE_LAT" '
       $1 == "B" { base[$2] = $3; kind[$2] = $4; order[n++] = $2 }
       $1 == "C" { cur[$2] = $3 }
       END {
         bad = 0
         for (i = 0; i < n; i++) {
           k = order[i]
-          tol = (kind[k] == "ratio") ? rtol : atol
+          lat = (kind[k] == "lat")
+          tol = lat ? ltol : (kind[k] == "ratio") ? rtol : atol
           b = base[k] + 0
           if (!(k in cur)) {
             printf "| %s | %.4g | (missing) | — | ❌ metric disappeared |\n", k, b
@@ -101,11 +107,16 @@ for f in $FILES; do
             printf "| %s | %.4g | %.4g | — | skipped (zero baseline) |\n", k, b, c
             continue
           }
+          # For throughput/ratio rows higher is better and a drop below
+          # 1 - tol fails; for latency rows lower is better and a rise above
+          # 1 + tol fails.
           r = c / b
-          if (r < 1 - tol) {
+          worse = lat ? (r > 1 + tol) : (r < 1 - tol)
+          better = lat ? (r < 1 / (1 + tol)) : (r > 1 + tol)
+          if (worse) {
             printf "| %s | %.4g | %.4g | %.2f | ❌ regression beyond tolerance |\n", k, b, c, r
             bad = 1
-          } else if (r > 1 + tol) {
+          } else if (better) {
             printf "| %s | %.4g | %.4g | %.2f | ⬆️ improvement — refresh baseline |\n", k, b, c, r
           } else {
             printf "| %s | %.4g | %.4g | %.2f | ✅ |\n", k, b, c, r

@@ -5,10 +5,14 @@
 # image save, no shutdown handshake.
 #
 # Each round: start the server on the same pmem file, drive sets + counter
-# incrs over TCP while recording the acknowledged frontier (cmd/crashcheck),
-# kill -9 the server mid-load, restart it, and verify the frontier of EVERY
-# round so far — earlier rounds must keep surviving later crashes. A final
-# clean-SIGTERM cycle checks the graceful path too.
+# incrs + a gets/cas chain over TCP while recording the acknowledged
+# frontier (cmd/crashcheck), kill -9 the server mid-load, restart it, and
+# verify the frontier of EVERY round so far — earlier rounds must keep
+# surviving later crashes. The cas chain additionally pins the CAS unique to
+# its value's generation (cas == gen+1), so a recovery that resets or
+# detaches CAS metadata from item values fails even when the values
+# themselves survive. A final clean-SIGTERM cycle checks the graceful path
+# too.
 #
 # Environment:
 #   CRASH_ROUNDS  kill -9 rounds (default 3)

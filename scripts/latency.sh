@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# latency.sh — the many-connections latency harness: start nvmemcached, drive
+# it with cmd/memtier over CONNS concurrent real-socket connections in BOTH
+# wire protocols, and emit end-to-end latency percentiles (p50/p99/p999) plus
+# throughput as BENCH_latency.json, gated by benchgate.sh like every other
+# bench artifact.
+#
+# Usage:
+#   scripts/latency.sh                 # full run: 1000 conns, 5s per protocol
+#   CONNS=300 DUR=2s scripts/latency.sh   # CI smoke
+#
+# Environment:
+#   CONNS  concurrent connections per protocol run (default 1000)
+#   DUR    measured duration per protocol run      (default 5s)
+#   KEYS   key range                               (default 20000)
+#   OUT    output file                             (default BENCH_latency.json)
+#
+# Metric names are stable ("text", "text/p50", ...) regardless of CONNS so
+# smoke runs gate against the committed full-run baseline; the conns count
+# rides along as an ungated field.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CONNS="${CONNS:-1000}"
+DUR="${DUR:-5s}"
+KEYS="${KEYS:-20000}"
+OUT="${OUT:-BENCH_latency.json}"
+
+command -v jq >/dev/null || { echo "latency.sh: jq is required" >&2; exit 2; }
+
+BIN=$(mktemp -d)
+trap 'kill $SERVER_PID 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/nvmemcached" ./cmd/nvmemcached
+go build -o "$BIN/memtier" ./cmd/memtier
+
+# Pick a free port by letting the kernel assign one, then reading the log.
+"$BIN/nvmemcached" -listen 127.0.0.1:0 -mem $((256 << 20)) -conns $((CONNS * 2 + 16)) \
+  -sweep 0 >"$BIN/server.log" 2>&1 &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$BIN/server.log" | head -1)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "latency.sh: server did not start:"; cat "$BIN/server.log"; exit 1; }
+echo "latency.sh: server at $ADDR, $CONNS conns, $DUR per protocol" >&2
+
+rows="[]"
+for proto in text binary; do
+  echo "latency.sh: running $proto..." >&2
+  res=$("$BIN/memtier" -server "$ADDR" -protocol "$proto" -conns "$CONNS" \
+    -keys "$KEYS" -dur "$DUR" -json -preload=$([ "$proto" = text ] && echo true || echo false))
+  echo "  $res" >&2
+  rows=$(jq -c --argjson r "$res" '. + [
+    {name: $r.protocol, conns: $r.conns, ops_per_sec: $r.ops_per_sec},
+    {name: ($r.protocol + "/p50"),  conns: $r.conns, lat_us: $r.p50_us},
+    {name: ($r.protocol + "/p99"),  conns: $r.conns, lat_us: $r.p99_us},
+    {name: ($r.protocol + "/p999"), conns: $r.conns, lat_us: $r.p999_us}
+  ]' <<<"$rows")
+done
+
+jq '.' <<<"$rows" >"$OUT"
+echo "latency.sh: wrote $OUT" >&2
