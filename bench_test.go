@@ -20,6 +20,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/memcache"
 	"repro/internal/nvram"
+	"repro/internal/repl"
 	"repro/logfree"
 	"repro/logfree/sharded"
 )
@@ -815,6 +816,76 @@ func BenchmarkMapGetFile(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
 	})
+}
+
+// BenchmarkNVMemcachedRepl prices the warm-standby replication tax: the
+// same memtier-style 1:4 set:get mix as BenchmarkNVMemcachedFile, run solo
+// and then with a live in-process loopback follower streaming and acking
+// every mutation (semi-synchronous mode: each Set's response waits for the
+// in-sync follower's ack). scripts/bench.sh emits both rows into
+// BENCH_repl.json plus the repl_overhead ratio (follower/solo) — the
+// machine-independent signal the bench gate holds to tolerance; the
+// absolute follower row also prices the loopback RTT, which is the
+// runner's, not ours.
+func BenchmarkNVMemcachedRepl(b *testing.B) {
+	const keyRange = 10000
+	mt := &memcache.Memtier{KeyRange: keyRange, SetRatio: 1, GetRatio: 4, ValueLen: 64, Threads: 1}
+	keys := make([][]byte, keyRange)
+	for i := range keys {
+		keys[i] = mt.Key(nil, i)
+	}
+	val := make([]byte, mt.ValueLen)
+	run := func(b *testing.B, withFollower bool) {
+		c, err := memcache.New(memcache.Config{MemoryBytes: 256 << 20, Buckets: 1 << 14, MaxConns: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		if err := mt.Preload(c); err != nil {
+			b.Fatal(err)
+		}
+		if withFollower {
+			p := repl.NewPrimary(c, repl.Options{})
+			if err := p.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { p.Close() })
+			c.SetReplication(p, func() memcache.ReplStats {
+				st := p.Stats()
+				return memcache.ReplStats{State: st.State, Seq: st.Seq, LagOps: st.LagOps}
+			})
+			fc, err := memcache.New(memcache.Config{MemoryBytes: 256 << 20, Buckets: 1 << 14, MaxConns: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { fc.Close() })
+			f := repl.NewFollower(p.Addr(), fc, repl.FollowerOptions{})
+			b.Cleanup(f.Close)
+			go f.Run()
+			for deadline := time.Now().Add(10 * time.Second); p.Stats().State != "streaming"; {
+				if time.Now().After(deadline) {
+					b.Fatalf("follower never reached streaming (primary state %q)", p.Stats().State)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		runtime.GC()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			k := keys[i%keyRange]
+			if i%5 == 0 {
+				if err := c.Set(k, val, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				c.Get(k)
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+	}
+	b.Run("solo", func(b *testing.B) { run(b, false) })
+	b.Run("follower", func(b *testing.B) { run(b, true) })
 }
 
 func BenchmarkNVMemcachedFile(b *testing.B) {

@@ -60,8 +60,10 @@ func main() {
 		err = eachWorker(*workers, *state, *prefix, func(state, prefix string) error {
 			return verify(*addr, state, prefix)
 		})
+	case "stats":
+		err = stats(*addr)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: crashcheck [-addr a] [-state f] [-prefix p] [-n max] [-workers w] {load|verify}")
+		fmt.Fprintln(os.Stderr, "usage: crashcheck [-addr a] [-state f] [-prefix p] [-n max] [-workers w] {load|verify|stats}")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -100,6 +102,25 @@ func key(prefix string, i int) string { return fmt.Sprintf("%s-key-%07d", prefix
 func value(prefix string, i int) string {
 	return fmt.Sprintf("%s-val-%07d-%08x", prefix, i, uint32(i)*2654435761)
 }
+
+// Every 8th key (offset 3) carries nonzero client flags and a far-future
+// absolute expiry, both deterministic in i, so verify can hold a recovered
+// (or promoted-follower) image to the full item metadata, not just values.
+func keyFlags(i int) uint32 {
+	if i%8 == 3 {
+		return (uint32(i) * 2654435761 >> 16) & 0xFFFF
+	}
+	return 0
+}
+
+// keyExp is 2100-01-01 (absolute unix) for flagged keys: far enough out to
+// never expire mid-run, large enough to exercise the absolute-expiry path.
+func keyExp(i int) int64 {
+	if i%8 == 3 {
+		return 4102444800
+	}
+	return 0
+}
 func ctrKey(prefix string) string { return prefix + "-ctr" }
 func casKey(prefix string) string { return prefix + "-cas" }
 func casValue(gen uint64) string  { return fmt.Sprintf("gen-%07d", gen) }
@@ -127,8 +148,11 @@ func dial(addr string) (*client, error) {
 }
 
 // set issues one set and waits for STORED.
-func (c *client) set(k, v string) error {
-	fmt.Fprintf(c.w, "set %s 0 0 %d\r\n%s\r\n", k, len(v), v)
+func (c *client) set(k, v string) error { return c.setFull(k, v, 0, 0) }
+
+// setFull is set with explicit flags and exptime.
+func (c *client) setFull(k, v string, flags uint32, exp int64) error {
+	fmt.Fprintf(c.w, "set %s %d %d %d\r\n%s\r\n", k, flags, exp, len(v), v)
 	if err := c.w.Flush(); err != nil {
 		return err
 	}
@@ -155,38 +179,42 @@ func (c *client) incr(k string, delta uint64) (uint64, error) {
 	return strconv.ParseUint(strings.TrimSpace(line), 10, 64)
 }
 
-// get returns the value of k, or ok=false on a miss.
-func (c *client) get(k string) (string, bool, error) {
+// get returns the value and flags of k, or ok=false on a miss.
+func (c *client) get(k string) (string, uint32, bool, error) {
 	fmt.Fprintf(c.w, "get %s\r\n", k)
 	if err := c.w.Flush(); err != nil {
-		return "", false, err
+		return "", 0, false, err
 	}
 	line, err := c.r.ReadString('\n')
 	if err != nil {
-		return "", false, err
+		return "", 0, false, err
 	}
 	line = strings.TrimSpace(line)
 	if line == "END" {
-		return "", false, nil
+		return "", 0, false, nil
 	}
 	parts := strings.Fields(line) // VALUE <key> <flags> <bytes>
 	if len(parts) != 4 || parts[0] != "VALUE" {
-		return "", false, fmt.Errorf("get %s: %q", k, line)
+		return "", 0, false, fmt.Errorf("get %s: %q", k, line)
+	}
+	flags, err := strconv.ParseUint(parts[2], 10, 32)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("get %s: bad flags in %q", k, line)
 	}
 	size, err := strconv.Atoi(parts[3])
 	if err != nil {
-		return "", false, fmt.Errorf("get %s: bad size in %q", k, line)
+		return "", 0, false, fmt.Errorf("get %s: bad size in %q", k, line)
 	}
 	buf := make([]byte, size+2) // data + CRLF
 	if _, err := readFull(c.r, buf); err != nil {
-		return "", false, err
+		return "", 0, false, err
 	}
 	if end, err := c.r.ReadString('\n'); err != nil {
-		return "", false, err
+		return "", 0, false, err
 	} else if strings.TrimSpace(end) != "END" {
-		return "", false, fmt.Errorf("get %s: trailer %q", k, strings.TrimSpace(end))
+		return "", 0, false, fmt.Errorf("get %s: trailer %q", k, strings.TrimSpace(end))
 	}
-	return string(buf[:size]), true, nil
+	return string(buf[:size]), uint32(flags), true, nil
 }
 
 // gets returns the value and cas unique of k, or ok=false on a miss.
@@ -319,7 +347,7 @@ func load(addr, state, prefix string, n int) error {
 			f.Acked, f.Ctr, f.CasGen, err)
 	}
 	for i := 0; n == 0 || i < n; i++ {
-		if err := c.set(key(prefix, i), value(prefix, i)); err != nil {
+		if err := c.setFull(key(prefix, i), value(prefix, i), keyFlags(i), keyExp(i)); err != nil {
 			// The server dying mid-load is the point of the exercise: the
 			// frontier already on disk names every acknowledged op.
 			lost(err)
@@ -400,7 +428,7 @@ func verify(addr, state, prefix string) error {
 	}
 	defer c.conn.Close()
 	for i := 0; i < f.Acked; i++ {
-		v, ok, err := c.get(key(prefix, i))
+		v, flags, ok, err := c.get(key(prefix, i))
 		if err != nil {
 			return err
 		}
@@ -410,10 +438,13 @@ func verify(addr, state, prefix string) error {
 		if want := value(prefix, i); v != want {
 			return fmt.Errorf("key %s corrupted: got %q want %q", key(prefix, i), v, want)
 		}
+		if want := keyFlags(i); flags != want {
+			return fmt.Errorf("key %s flags corrupted: got %d want %d", key(prefix, i), flags, want)
+		}
 	}
 	// The counter: last acked value, or one more for an in-flight incr the
 	// server completed but whose reply the load never read.
-	got, ok, err := c.get(ctrKey(prefix))
+	got, _, ok, err := c.get(ctrKey(prefix))
 	if err != nil {
 		return err
 	}
@@ -453,7 +484,35 @@ func verify(addr, state, prefix string) error {
 		return fmt.Errorf("cas chain key %s: generation %d with cas unique %d, want %d — CAS detached from value across the crash",
 			casKey(prefix), gen, cas, gen+1)
 	}
-	fmt.Printf("verify: %d acknowledged sets intact, counter consistent, cas chain at gen %d with cas %d (prefix %s)\n",
+	fmt.Printf("verify: %d acknowledged sets intact (values+flags), counter consistent, cas chain at gen %d with cas %d (prefix %s)\n",
 		f.Acked, gen, cas, prefix)
 	return nil
+}
+
+// stats dumps the server's `stats` table as "name value" lines — the
+// machine-readable surface the failover scripts poll (repl_state, repl_seq,
+// repl_reconnects).
+func stats(addr string) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.conn.Close()
+	fmt.Fprintf(c.w, "stats\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		line = strings.TrimSpace(line)
+		if line == "END" {
+			return nil
+		}
+		if name, val, ok := strings.Cut(strings.TrimPrefix(line, "STAT "), " "); ok {
+			fmt.Printf("%s %s\n", name, val)
+		}
+	}
 }

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/memcache"
 	"repro/internal/nvram"
+	"repro/internal/repl"
 )
 
 func main() {
@@ -48,6 +49,9 @@ func main() {
 	latency := flag.Duration("latency", nvram.DefaultWriteLatency, "simulated NVRAM write latency")
 	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep interval (0 disables the sweeper)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
+	replicateTo := flag.String("replicate-to", "", "accept warm-standby followers on this address (primary role; \"127.0.0.1:0\" picks a free port)")
+	follow := flag.String("follow", "", "stream from the primary's replication address (follower role: read-only until promoted via SIGUSR1)")
+	promote := flag.Bool("promote", false, "start a previously-killed follower's image as a writable primary (clears its replication resume point)")
 	flag.Parse()
 
 	if *image != "" && *pmemFile != "" {
@@ -55,6 +59,12 @@ func main() {
 	}
 	if *shards > 1 && *image != "" {
 		log.Fatalf("nvmemcached: -shards > 1 requires -pmem-file (a pool directory) or pure memory, not -image")
+	}
+	if *replicateTo != "" && *follow != "" {
+		log.Fatalf("nvmemcached: -replicate-to and -follow are mutually exclusive")
+	}
+	if *promote && *follow != "" {
+		log.Fatalf("nvmemcached: -promote starts a standalone server; promote a LIVE follower with SIGUSR1 instead")
 	}
 
 	if *pprofAddr != "" {
@@ -87,6 +97,9 @@ func main() {
 	var cache *memcache.Cache
 	switch {
 	case *pmemFile != "":
+		// Logged before the (potentially long) attach-and-sweep so the crash
+		// matrix can kill -9 a recovery in flight and verify the next one.
+		log.Printf("attaching to %s", *pmemFile)
 		start := time.Now()
 		c, err := memcache.New(cfg)
 		if err != nil {
@@ -149,23 +162,103 @@ func main() {
 		}
 	}
 
+	// Replication roles. Wired before the client listener so a follower is
+	// read-only from its very first client connection, and logged before the
+	// "listening on" line so scripts scraping the CLIENT address still grab
+	// the last "listening on" match.
+	var primary *repl.Primary
+	var follower *repl.Follower
+	switch {
+	case *replicateTo != "":
+		primary = repl.NewPrimary(cache, repl.Options{})
+		if err := primary.Listen(*replicateTo); err != nil {
+			log.Fatalf("nvmemcached: replication listen: %v", err)
+		}
+		cache.SetReplication(primary, func() memcache.ReplStats {
+			st := primary.Stats()
+			return memcache.ReplStats{State: st.State, Seq: st.Seq, LagOps: st.LagOps, Reconnects: st.Accepts}
+		})
+		log.Printf("replication: accepting followers on %s", primary.Addr())
+	case *follow != "":
+		follower = repl.NewFollower(*follow, cache, repl.FollowerOptions{})
+		cache.SetReplication(nil, func() memcache.ReplStats {
+			st := follower.Stats()
+			return memcache.ReplStats{State: st.State, Seq: st.Seq, LagOps: st.LagOps, Reconnects: st.Reconnects}
+		})
+		go follower.Run()
+		log.Printf("replication: following %s (read-only until promoted)", *follow)
+	case *promote:
+		if err := cache.SetReplMeta(0, 0); err != nil {
+			log.Fatalf("nvmemcached: clear replication resume point: %v", err)
+		}
+		cache.SetReplication(nil, func() memcache.ReplStats {
+			return memcache.ReplStats{State: "promoted"}
+		})
+		log.Printf("promoted: serving writes")
+	}
+
 	srv, err := memcache.NewServer(*listen, *conns, cache, cache.Stats)
 	if err != nil {
 		log.Fatalf("nvmemcached: listen: %v", err)
 	}
+	if follower != nil {
+		srv.SetReadOnly(true)
+	}
 	log.Printf("listening on %s", srv.Addr())
 
 	stopSweeper := func() {}
-	if *sweep > 0 {
-		stopSweeper = cache.StartSweeper(*sweep)
-		log.Printf("expiry sweeper running every %v", *sweep)
+	startSweeper := func() {
+		if *sweep > 0 {
+			stopSweeper = cache.StartSweeper(*sweep)
+			log.Printf("expiry sweeper running every %v", *sweep)
+		}
+	}
+	if follower == nil {
+		// A follower's expirations arrive through the stream (the primary
+		// sweeps and replicates the deletes); its own sweeper starts at
+		// promotion.
+		startSweeper()
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGUSR2)
+loop:
+	for s := range sig {
+		switch s {
+		case syscall.SIGUSR1:
+			if follower == nil {
+				log.Printf("SIGUSR1 ignored: not a follower")
+				continue
+			}
+			if err := follower.Promote(); err != nil {
+				log.Fatalf("nvmemcached: promote: %v", err)
+			}
+			cache.SetReplication(nil, func() memcache.ReplStats {
+				st := follower.Stats()
+				return memcache.ReplStats{State: st.State, Seq: st.Seq, LagOps: st.LagOps, Reconnects: st.Reconnects}
+			})
+			srv.SetReadOnly(false)
+			startSweeper()
+			log.Printf("promoted: serving writes")
+		case syscall.SIGUSR2:
+			if primary == nil {
+				log.Printf("SIGUSR2 ignored: not a primary")
+				continue
+			}
+			log.Printf("replication: dropping followers (fault injection)")
+			primary.DropFollowers()
+		default:
+			break loop
+		}
+	}
 	log.Printf("shutting down")
 	stopSweeper()
+	if primary != nil {
+		primary.Close()
+	}
+	if follower != nil {
+		follower.Close()
+	}
 	srv.Close()
 	items := cache.Stats().Items
 	switch {

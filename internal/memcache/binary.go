@@ -220,11 +220,29 @@ func (s *Server) serveBinary(c *connState) {
 	}
 }
 
+// binMutates reports whether a (base) opcode writes to the cache — the set
+// gated while the server is a read-only replica. GAT counts: it mutates
+// the expiry.
+func binMutates(op uint8) bool {
+	switch op {
+	case binOpSet, binOpAdd, binOpReplace, binOpAppend, binOpPrepend,
+		binOpDelete, binOpIncr, binOpDecr, binOpTouch, binOpGAT, binOpFlush:
+		return true
+	}
+	return false
+}
+
 // dispatchBinary runs one request; false ends the connection.
 func (s *Server) dispatchBinary(c *connState, req *binReq) bool {
 	op, quiet := quietOf(req.op)
 	cache, _ := s.kv.(*Cache)
 	now := time.Now().Unix()
+	if s.readonly.Load() && binMutates(op) {
+		// The body is already consumed, so the connection stays in sync.
+		// Errors are sent even for quiet variants, per the binary contract.
+		c.binRespond(req.op, binStatusNotStored, req.opaque, 0, nil, nil, []byte("replica is read-only"))
+		return true
+	}
 	switch op {
 	case binOpGet, binOpGetK:
 		if len(req.ext) != 0 || len(req.key) == 0 || len(req.value) != 0 {
@@ -489,5 +507,13 @@ func (s *Server) binStats(c *connState, req *binReq) {
 	row("evictions", st.Evictions)
 	row("expired_unfetched", st.Expired)
 	row("curr_items", uint64(st.Items))
+	row("repl_seq", st.ReplSeq)
+	row("repl_lag_ops", st.ReplLagOps)
+	row("repl_reconnects", st.ReplReconnects)
+	state := st.ReplState
+	if state == "" {
+		state = "none"
+	}
+	c.binRespond(req.op, binStatusOK, req.opaque, 0, nil, []byte("repl_state"), []byte(state))
 	c.binRespond(req.op, binStatusOK, req.opaque, 0, nil, nil, nil)
 }

@@ -145,6 +145,7 @@ type itemIndex interface {
 	SetAux(key []byte, aux uint64) bool
 	Delete(key []byte) bool
 	All() iter.Seq2[[]byte, []byte]
+	Items() iter.Seq2[[]byte, logfree.Item]
 }
 
 // expIndex is the ordered-map surface backing the expiry index — satisfied
@@ -178,6 +179,10 @@ type Cache struct {
 
 	lru   *lruList
 	stats counters
+
+	// repl holds the replication hooks (nil pointer or nil fields = not
+	// replicating): one atomic so SetReplication is safe mid-traffic.
+	repl atomic.Pointer[replHooks]
 
 	// keyLocks serialize the lifecycle (set/delete/evict and the composite
 	// commands) of items sharing a key-hash stripe, exactly as memcached's
@@ -218,6 +223,12 @@ type Stats struct {
 	CasBadval uint64 // cas rejected: token stale (EXISTS)
 	CasMisses uint64 // cas rejected: key absent (NOT_FOUND)
 	Flushes   uint64 // flush_all invocations applied
+
+	// Replication rows (PR 8). ReplState is "none" when not replicating.
+	ReplState      string
+	ReplSeq        uint64
+	ReplLagOps     uint64
+	ReplReconnects uint64
 }
 
 // counters is the live, lock-free form of Stats: plain atomics bumped on
@@ -324,6 +335,9 @@ func newSharded(cfg Config) (*Cache, error) {
 func (m *Cache) rebuildVolatile() {
 	var items int64
 	for key := range m.m.All() {
+		if isReplMeta(key) {
+			continue
+		}
 		m.lru.add(string(key))
 		items++
 	}
@@ -361,20 +375,25 @@ func (m *Cache) RecoveryStats() logfree.RecoveryStats { return m.eng.RecoverySta
 
 // Stats returns a snapshot of the counters.
 func (m *Cache) Stats() Stats {
+	rs := m.replStats()
 	return Stats{
-		Gets:      m.stats.gets.Load(),
-		Sets:      m.stats.sets.Load(),
-		Deletes:   m.stats.deletes.Load(),
-		Hits:      m.stats.hits.Load(),
-		Misses:    m.stats.misses.Load(),
-		Evictions: m.stats.evictions.Load(),
-		Expired:   m.stats.expired.Load(),
-		Items:     m.stats.items.Load(),
-		Touches:   m.stats.touches.Load(),
-		CasHits:   m.stats.casHits.Load(),
-		CasBadval: m.stats.casBadval.Load(),
-		CasMisses: m.stats.casMisses.Load(),
-		Flushes:   m.stats.flushes.Load(),
+		ReplState:      rs.State,
+		ReplSeq:        rs.Seq,
+		ReplLagOps:     rs.LagOps,
+		ReplReconnects: rs.Reconnects,
+		Gets:           m.stats.gets.Load(),
+		Sets:           m.stats.sets.Load(),
+		Deletes:        m.stats.deletes.Load(),
+		Hits:           m.stats.hits.Load(),
+		Misses:         m.stats.misses.Load(),
+		Evictions:      m.stats.evictions.Load(),
+		Expired:        m.stats.expired.Load(),
+		Items:          m.stats.items.Load(),
+		Touches:        m.stats.touches.Load(),
+		CasHits:        m.stats.casHits.Load(),
+		CasBadval:      m.stats.casBadval.Load(),
+		CasMisses:      m.stats.casMisses.Load(),
+		Flushes:        m.stats.flushes.Load(),
 	}
 }
 
@@ -419,6 +438,8 @@ func (m *Cache) SetCAS(key, value []byte, flags uint16, expiry uint32) (uint64, 
 		return 0, ErrTooLarge
 	}
 	m.stats.sets.Add(1)
+	var seq uint64
+	defer func() { m.waitRepl(seq) }()
 	// Proactive LRU eviction: keep enough headroom that allocations deep in
 	// the index never fail (memcached's behaviour under memory pressure).
 	const lowWater = 256 << 10
@@ -432,8 +453,9 @@ func (m *Cache) SetCAS(key, value []byte, flags uint16, expiry uint32) (uint64, 
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		cas, err := m.setLocked(key, value, flags, expiry)
+		cas, s, err := m.setLocked(key, value, flags, expiry)
 		if err == nil {
+			seq = s
 			return cas, nil
 		}
 		if !errors.Is(err, logfree.ErrFull) || attempt > 64 {
@@ -459,8 +481,10 @@ func expKey(deadline uint64, key []byte) []byte {
 // setItemLocked stores an item under the held stripe lock, maintaining the
 // item count, the LRU and the durable expiry index, and bumping the item's
 // per-item CAS sequence (new items and items from pre-CAS images start the
-// sequence at 1). Returns the item's new CAS unique.
-func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
+// sequence at 1). Returns the item's new CAS unique plus the replication
+// seq assigned to the mutation (0 when not replicating) — the caller waits
+// on it AFTER releasing the stripe lock.
+func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) (uint64, uint64, error) {
 	oldAux, hadOld := m.m.GetAux(key)
 	cas := nextCAS(auxCAS(oldAux))
 	// Index the new deadline *before* the item write: a crash in between
@@ -471,13 +495,16 @@ func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) (u
 	// deadline is unchanged.
 	if expiry != 0 {
 		if err := m.exp.Set(expKey(uint64(expiry), key), nil); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	created, err := m.m.SetItem(key, value, flags, packAux(cas, expiry))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
+	// Publish after the durable write, under the stripe lock: the stream's
+	// per-key order is exactly the store's.
+	seq := m.publishSet(key, value, flags, packAux(cas, expiry))
 	if oldExp := auxExpiry(oldAux); hadOld && oldExp != 0 && oldExp != expiry {
 		m.exp.Delete(expKey(uint64(oldExp), key))
 	}
@@ -485,11 +512,11 @@ func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) (u
 	if created {
 		m.stats.items.Add(1)
 	}
-	return uint64(cas), nil
+	return uint64(cas), seq, nil
 }
 
 // setLocked performs one store attempt under the key's stripe lock.
-func (m *Cache) setLocked(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
+func (m *Cache) setLocked(key, value []byte, flags uint16, expiry uint32) (uint64, uint64, error) {
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -498,20 +525,30 @@ func (m *Cache) setLocked(key, value []byte, flags uint16, expiry uint32) (uint6
 
 // Delete removes key durably.
 func (m *Cache) Delete(key []byte) bool {
+	ok, seq := m.deleteNoWait(key)
+	m.waitRepl(seq)
+	return ok
+}
+
+// deleteNoWait is Delete without the replication-ack wait: internal callers
+// (evictions, flush_all, the covering client op of an eviction) either do
+// not need per-delete acks or wait once on a later covering seq.
+func (m *Cache) deleteNoWait(key []byte) (bool, uint64) {
 	m.stats.deletes.Add(1)
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
 	aux, _ := m.m.GetAux(key)
 	if !m.m.Delete(key) {
-		return false
+		return false, 0
 	}
+	seq := m.publishDelete(key)
 	if e := auxExpiry(aux); e != 0 {
 		m.exp.Delete(expKey(uint64(e), key))
 	}
 	m.lru.remove(string(key))
 	m.stats.items.Add(-1)
-	return true
+	return true, seq
 }
 
 // DeleteCAS deletes key only when its stored CAS unique matches cas (the
@@ -523,6 +560,8 @@ func (m *Cache) DeleteCAS(key []byte, cas uint64) error {
 		}
 		return ErrNotFound
 	}
+	var seq uint64
+	defer func() { m.waitRepl(seq) }()
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -537,6 +576,7 @@ func (m *Cache) DeleteCAS(key []byte, cas uint64) error {
 	}
 	m.stats.deletes.Add(1)
 	m.m.Delete(key)
+	seq = m.publishDelete(key)
 	if e := auxExpiry(aux); e != 0 {
 		m.exp.Delete(expKey(uint64(e), key))
 	}
@@ -555,15 +595,26 @@ func (m *Cache) FlushAll() int {
 	m.stats.flushes.Add(1)
 	var keys [][]byte
 	for k := range m.m.All() {
+		if isReplMeta(k) {
+			continue
+		}
 		keys = append(keys, append([]byte(nil), k...))
 	}
 	n := 0
+	var last uint64
 	for _, k := range keys {
-		if m.Delete(k) {
+		ok, seq := m.deleteNoWait(k)
+		if ok {
 			n++
+		}
+		if seq != 0 {
+			last = seq
 		}
 	}
 	m.reclaim()
+	// One ack wait covers the whole flush: the stream is ordered, so the
+	// last delete's ack implies all the earlier ones.
+	m.waitRepl(last)
 	return n
 }
 
@@ -586,6 +637,10 @@ func (m *Cache) SweepExpired(now int64) int {
 		mu.Lock()
 		if aux, ok := m.m.GetAux(key); ok && uint64(auxExpiry(aux)) == deadline {
 			if m.m.Delete(key) {
+				// Replicated without an ack wait: followers share the item's
+				// deadline (aux travels verbatim), so an unreplicated sweep
+				// delete is merely deferred tidiness there, never staleness.
+				m.publishDelete(key)
 				m.lru.remove(string(key))
 				m.stats.items.Add(-1)
 				m.stats.expired.Add(1)
@@ -631,7 +686,9 @@ func (m *Cache) evictOne() bool {
 	if !ok {
 		return false
 	}
-	if m.Delete([]byte(key)) {
+	// No ack wait: the client op driving the eviction waits on its own
+	// (later) seq, which the ordered stream makes a covering ack.
+	if ok, _ := m.deleteNoWait([]byte(key)); ok {
 		m.stats.evictions.Add(1)
 		return true
 	}

@@ -50,6 +50,8 @@ func (m *Cache) Gets(key []byte) (value []byte, flags uint16, cas uint64, ok boo
 // Add stores key only if it is absent (memcached "add"). Returns the new
 // CAS unique.
 func (m *Cache) Add(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
+	var seq uint64
+	defer func() { m.waitRepl(seq) }() // runs after the stripe lock unlock
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -57,11 +59,15 @@ func (m *Cache) Add(key, value []byte, flags uint16, expiry uint32) (uint64, err
 		return 0, ErrNotStored
 	}
 	m.stats.sets.Add(1)
-	return m.setItemLocked(key, value, flags, expiry)
+	cas, s, err := m.setItemLocked(key, value, flags, expiry)
+	seq = s
+	return cas, err
 }
 
 // Replace stores key only if it is present (memcached "replace").
 func (m *Cache) Replace(key, value []byte, flags uint16, expiry uint32) (uint64, error) {
+	var seq uint64
+	defer func() { m.waitRepl(seq) }()
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -69,13 +75,17 @@ func (m *Cache) Replace(key, value []byte, flags uint16, expiry uint32) (uint64,
 		return 0, ErrNotStored
 	}
 	m.stats.sets.Add(1)
-	return m.setItemLocked(key, value, flags, expiry)
+	cas, s, err := m.setItemLocked(key, value, flags, expiry)
+	seq = s
+	return cas, err
 }
 
 // CompareAndSwap stores key only if its current CAS unique equals cas
 // (memcached "cas"). ErrNotFound when the key is absent (NOT_FOUND),
 // ErrCASConflict when the token is stale (EXISTS).
 func (m *Cache) CompareAndSwap(key, value []byte, flags uint16, expiry uint32, cas uint64) (uint64, error) {
+	var seq uint64
+	defer func() { m.waitRepl(seq) }()
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -89,9 +99,10 @@ func (m *Cache) CompareAndSwap(key, value []byte, flags uint16, expiry uint32, c
 		return 0, ErrCASConflict
 	}
 	m.stats.sets.Add(1)
-	newCAS, err := m.setItemLocked(key, value, flags, expiry)
+	newCAS, s, err := m.setItemLocked(key, value, flags, expiry)
 	if err == nil {
 		m.stats.casHits.Add(1)
+		seq = s
 	}
 	return newCAS, err
 }
@@ -110,6 +121,8 @@ func (m *Cache) Prepend(key, data []byte, cas uint64) (uint64, error) {
 }
 
 func (m *Cache) concat(key, data []byte, cas uint64, front bool) (uint64, error) {
+	var seq uint64
+	defer func() { m.waitRepl(seq) }()
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -131,7 +144,9 @@ func (m *Cache) concat(key, data []byte, cas uint64, front bool) (uint64, error)
 		joined = append(append(joined, v...), data...)
 	}
 	m.stats.sets.Add(1)
-	return m.setItemLocked(key, joined, flags, auxExpiry(aux))
+	newCAS, s, err := m.setItemLocked(key, joined, flags, auxExpiry(aux))
+	seq = s
+	return newCAS, err
 }
 
 // Incr adds delta to a decimal value, returning the new value (memcached
@@ -153,6 +168,8 @@ func (m *Cache) Decr(key []byte, delta uint64) (uint64, error) {
 // binary protocol's initial-value semantics. Returns the new value and the
 // item's new CAS unique.
 func (m *Cache) IncrDecrCAS(key []byte, delta, initial uint64, expiry uint32, create, down bool) (uint64, uint64, error) {
+	var seq uint64
+	defer func() { m.waitRepl(seq) }()
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -162,7 +179,8 @@ func (m *Cache) IncrDecrCAS(key []byte, delta, initial uint64, expiry uint32, cr
 			return 0, 0, ErrNotFound
 		}
 		m.stats.sets.Add(1)
-		cas, err := m.setItemLocked(key, []byte(strconv.FormatUint(initial, 10)), 0, expiry)
+		cas, s, err := m.setItemLocked(key, []byte(strconv.FormatUint(initial, 10)), 0, expiry)
+		seq = s
 		return initial, cas, err
 	}
 	cur, err := strconv.ParseUint(string(v), 10, 64)
@@ -179,10 +197,11 @@ func (m *Cache) IncrDecrCAS(key []byte, delta, initial uint64, expiry uint32, cr
 	} else {
 		next = cur + delta
 	}
-	cas, err := m.setItemLocked(key, []byte(strconv.FormatUint(next, 10)), flags, auxExpiry(aux))
+	cas, s, err := m.setItemLocked(key, []byte(strconv.FormatUint(next, 10)), flags, auxExpiry(aux))
 	if err != nil {
 		return 0, 0, err
 	}
+	seq = s
 	return next, cas, nil
 }
 
@@ -193,40 +212,50 @@ func (m *Cache) IncrDecrCAS(key []byte, delta, initial uint64, expiry uint32, cr
 // word, so the new CAS and new deadline land together); the new unique is
 // returned for the binary TOUCH/GAT responses.
 func (m *Cache) Touch(key []byte, expiry uint32) (uint64, bool) {
+	var seq uint64
+	defer func() { m.waitRepl(seq) }()
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
-	return m.touchLocked(key, expiry)
+	cas, s, ok := m.touchLocked(key, expiry)
+	seq = s
+	return cas, ok
 }
 
-func (m *Cache) touchLocked(key []byte, expiry uint32) (uint64, bool) {
-	_, _, aux, ok := m.liveLocked(key)
+func (m *Cache) touchLocked(key []byte, expiry uint32) (uint64, uint64, bool) {
+	v, flags, aux, ok := m.liveLocked(key)
 	if !ok {
-		return 0, false
+		return 0, 0, false
 	}
 	// Indexed unconditionally (idempotent), as in setItemLocked, so items
 	// from pre-index images are adopted even when the deadline is unchanged.
 	if expiry != 0 {
 		if err := m.exp.Set(expKey(uint64(expiry), key), nil); err != nil {
-			return 0, false
+			return 0, 0, false
 		}
 	}
 	cas := nextCAS(auxCAS(aux))
 	if !m.m.SetAux(key, packAux(cas, expiry)) {
-		return 0, false
+		return 0, 0, false
 	}
+	// Touch mutates only the aux word locally, but the stream has no
+	// aux-only record: replicate the whole item (value and flags ride
+	// along unchanged) so the follower lands the same CAS and deadline.
+	seq := m.publishSet(key, v, flags, packAux(cas, expiry))
 	if old := auxExpiry(aux); old != 0 && old != expiry {
 		m.exp.Delete(expKey(uint64(old), key))
 	}
 	m.lru.touch(string(key))
 	m.stats.touches.Add(1)
-	return uint64(cas), true
+	return uint64(cas), seq, true
 }
 
 // GetAndTouch returns the item and updates its expiry in one operation
 // (text "gat"/"gats", binary GAT/GATQ). The returned CAS unique is the
 // post-touch one.
 func (m *Cache) GetAndTouch(key []byte, expiry uint32) (value []byte, flags uint16, cas uint64, ok bool) {
+	var seq uint64
+	defer func() { m.waitRepl(seq) }()
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
@@ -236,11 +265,12 @@ func (m *Cache) GetAndTouch(key []byte, expiry uint32) (value []byte, flags uint
 		m.stats.misses.Add(1)
 		return nil, 0, 0, false
 	}
-	cas, ok = m.touchLocked(key, expiry)
+	cas, s, ok := m.touchLocked(key, expiry)
 	if !ok {
 		m.stats.misses.Add(1)
 		return nil, 0, 0, false
 	}
+	seq = s
 	m.stats.hits.Add(1)
 	return v, f, cas, true
 }

@@ -1,0 +1,235 @@
+package memcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+
+	"repro/logfree"
+)
+
+// Replication wiring: the cache publishes every acknowledged mutation to an
+// optional ReplSink (the primary side) and can itself be driven as a warm
+// standby through the Applier surface (ApplySet/ApplyDelete/SnapshotItems/
+// ResetForSnapshot/ReplMeta), which internal/repl's Follower consumes. The
+// cache never imports internal/repl — the coupling is structural, so the
+// replication transport stays independently testable and fuzzable.
+//
+// Publication protocol: publish AFTER the durable mutation, under the same
+// key stripe lock (so the stream's per-key order is the store's order), and
+// wait for follower acknowledgement AFTER the stripe lock is released (so a
+// slow follower can never block other keys' writes — it only defers the
+// publishing client's response, and only until the sink's ack timeout sheds
+// the laggard).
+
+// ReplSink receives acknowledged mutations for streaming to followers.
+// Satisfied by *repl.Primary. PublishSet/PublishDelete return the assigned
+// stream sequence (0 = nothing published); WaitAcked blocks until every
+// in-sync follower has durably applied seq, the sink's ack timeout sheds
+// the laggards, or the sink is closed — it must never block indefinitely.
+type ReplSink interface {
+	PublishSet(key, value []byte, flags uint16, aux uint64) uint64
+	PublishDelete(key []byte) uint64
+	WaitAcked(seq uint64)
+}
+
+// ReplStats is the replication surface reported through `stats`, filled by
+// whichever role is live (primary sink or follower).
+type ReplStats struct {
+	State      string // none | streaming | degraded | connecting | snapshot | promoted | stopped
+	Seq        uint64 // stream frontier (primary) or last applied seq (follower)
+	LagOps     uint64 // ops the slowest follower trails by (primary) or ops behind the primary (follower)
+	Reconnects uint64 // follower connections accepted (primary) or made (follower)
+}
+
+type replHooks struct {
+	sink  ReplSink
+	stats func() ReplStats
+}
+
+// SetReplication installs the replication hooks: sink receives every
+// subsequent mutation (nil detaches), stats feeds the repl_* rows of
+// `stats`. Safe to call while serving traffic.
+func (m *Cache) SetReplication(sink ReplSink, stats func() ReplStats) {
+	m.repl.Store(&replHooks{sink: sink, stats: stats})
+}
+
+func (m *Cache) publishSet(key, value []byte, flags uint16, aux uint64) uint64 {
+	if h := m.repl.Load(); h != nil && h.sink != nil {
+		return h.sink.PublishSet(key, value, flags, aux)
+	}
+	return 0
+}
+
+func (m *Cache) publishDelete(key []byte) uint64 {
+	if h := m.repl.Load(); h != nil && h.sink != nil {
+		return h.sink.PublishDelete(key)
+	}
+	return 0
+}
+
+// waitRepl defers the caller's acknowledgement until seq is replicated.
+// Must be called WITHOUT the key's stripe lock held. seq 0 (no sink, or
+// the mutation did not publish) returns immediately.
+func (m *Cache) waitRepl(seq uint64) {
+	if seq == 0 {
+		return
+	}
+	if h := m.repl.Load(); h != nil && h.sink != nil {
+		h.sink.WaitAcked(seq)
+	}
+}
+
+func (m *Cache) replStats() ReplStats {
+	if h := m.repl.Load(); h != nil && h.stats != nil {
+		return h.stats()
+	}
+	return ReplStats{State: "none"}
+}
+
+// replMetaKey is the reserved index slot holding a follower's durable
+// resume point. The leading NUL keeps it out of any key a text-protocol
+// client can express; every whole-index walk (rebuild, flush, snapshot,
+// reset) skips it explicitly.
+var replMetaKey = []byte("\x00nvmc\x00repl")
+
+func isReplMeta(key []byte) bool {
+	return len(key) > 0 && key[0] == 0 && bytes.Equal(key, replMetaKey)
+}
+
+// ReplMeta loads the durable resume point: which primary incarnation
+// (runID) this cache last followed and the last stream seq it applied.
+// (0, 0) means "never followed" (or promoted) — the follower will
+// re-snapshot.
+func (m *Cache) ReplMeta() (runID, seq uint64) {
+	v, _, _, ok := m.m.GetItem(replMetaKey)
+	if !ok || len(v) != 16 {
+		return 0, 0
+	}
+	return binary.BigEndian.Uint64(v), binary.BigEndian.Uint64(v[8:])
+}
+
+// SetReplMeta durably stores the resume point. The meta is an optimization,
+// not a durability boundary: applied ops are themselves durable before
+// being acked, and replaying past a stale resume point is idempotent
+// (records carry items verbatim).
+func (m *Cache) SetReplMeta(runID, seq uint64) error {
+	var v [16]byte
+	binary.BigEndian.PutUint64(v[:], runID)
+	binary.BigEndian.PutUint64(v[8:], seq)
+	_, err := m.m.SetItem(replMetaKey, v[:], 0, 0)
+	return err
+}
+
+// ApplySet stores one replicated item byte-faithfully: the value, flags and
+// aux word (CAS unique + expiry packed) land exactly as the primary wrote
+// them, so a promoted follower's CAS generation chain continues the
+// primary's. Runs the same LRU-eviction pressure valve as SetCAS.
+func (m *Cache) ApplySet(key, value []byte, flags uint16, aux uint64) error {
+	const lowWater = 256 << 10
+	for i := 0; m.eng.AvailableBytes() < lowWater && i < 256; i++ {
+		if !m.evictOne() {
+			break
+		}
+		if i%16 == 15 {
+			m.reclaim()
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		err := m.applySetLocked(key, value, flags, aux)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, logfree.ErrFull) || attempt > 64 {
+			return err
+		}
+		if !m.evictOne() {
+			return err
+		}
+		m.reclaim()
+	}
+}
+
+// applySetLocked is setItemLocked with a verbatim aux word (no CAS bump —
+// the primary already did it) and no publication.
+func (m *Cache) applySetLocked(key, value []byte, flags uint16, aux uint64) error {
+	mu := m.lockKey(key)
+	mu.Lock()
+	defer mu.Unlock()
+	oldAux, hadOld := m.m.GetAux(key)
+	expiry := auxExpiry(aux)
+	if expiry != 0 {
+		if err := m.exp.Set(expKey(uint64(expiry), key), nil); err != nil {
+			return err
+		}
+	}
+	created, err := m.m.SetItem(key, value, flags, aux)
+	if err != nil {
+		return err
+	}
+	if oldExp := auxExpiry(oldAux); hadOld && oldExp != 0 && oldExp != expiry {
+		m.exp.Delete(expKey(uint64(oldExp), key))
+	}
+	m.lru.add(string(key))
+	if created {
+		m.stats.items.Add(1)
+	}
+	return nil
+}
+
+// ApplyDelete removes one replicated key. A miss is not an error: the
+// follower may be replaying ops it already applied (idempotent resume).
+func (m *Cache) ApplyDelete(key []byte) error {
+	mu := m.lockKey(key)
+	mu.Lock()
+	defer mu.Unlock()
+	aux, _ := m.m.GetAux(key)
+	if !m.m.Delete(key) {
+		return nil
+	}
+	if e := auxExpiry(aux); e != 0 {
+		m.exp.Delete(expKey(uint64(e), key))
+	}
+	m.lru.remove(string(key))
+	m.stats.items.Add(-1)
+	return nil
+}
+
+// SnapshotItems walks the live index, emitting every item verbatim (value,
+// flags, raw aux) — the primary side of initial sync. The walk is weakly
+// consistent (lock-free, concurrent mutations may or may not be seen);
+// the follower re-converges by replaying the stream from the snapshot's
+// start seq, which is idempotent because records carry items verbatim.
+func (m *Cache) SnapshotItems(emit func(key, value []byte, flags uint16, aux uint64) error) error {
+	for k, it := range m.m.Items() {
+		if isReplMeta(k) {
+			continue
+		}
+		if err := emit(k, it.Value, it.Meta, it.Aux); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetForSnapshot clears every item (but not the repl meta slot) before a
+// fresh snapshot lands: keys the primary deleted while this follower was
+// away must not linger. Nothing is published (the follower cache has no
+// sink) and the flush counter is not bumped (this is not a client
+// flush_all).
+func (m *Cache) ResetForSnapshot() error {
+	var keys [][]byte
+	for k := range m.m.All() {
+		if isReplMeta(k) {
+			continue
+		}
+		keys = append(keys, append([]byte(nil), k...))
+	}
+	for _, k := range keys {
+		if err := m.ApplyDelete(k); err != nil {
+			return err
+		}
+	}
+	m.reclaim()
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,6 +39,11 @@ type Server struct {
 	sem   chan struct{}
 	kv    KV
 	stats func() Stats
+
+	// readonly gates every mutating command (a warm-standby replica serves
+	// reads only; its writes come from the replication stream). Flipped off
+	// at promotion.
+	readonly atomic.Bool
 
 	mu     sync.Mutex
 	closed bool
@@ -90,6 +96,14 @@ func NewServer(addr string, maxConns int, kv KV, stats func() Stats) (*Server, e
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetReadOnly gates (or ungates) every mutating command on both protocols:
+// a read-only server answers stores with "SERVER_ERROR replica is
+// read-only" (binary: NOT_STORED status) and serves retrievals normally.
+// Used while the cache is a replication follower; promotion flips it off.
+func (s *Server) SetReadOnly(v bool) { s.readonly.Store(v) }
+
+const readOnlyMsg = "SERVER_ERROR replica is read-only\r\n"
 
 // Close stops accepting, closes active connections, and cancels pending
 // delayed flush_all timers.
@@ -449,6 +463,15 @@ func (s *Server) cmdStore(c *connState, f [][]byte) bool {
 	value := c.data[:n]
 	exp := normalizeExp(expRaw, time.Now().Unix())
 
+	// Gated here, after the data block is swallowed, so the connection
+	// stays in sync for the next command.
+	if s.readonly.Load() {
+		if !noreply {
+			io.WriteString(c.w, readOnlyMsg)
+		}
+		return true
+	}
+
 	cache, _ := s.kv.(*Cache)
 	var err error
 	switch {
@@ -547,6 +570,10 @@ func (s *Server) cmdGat(c *connState, f [][]byte, withCAS bool) {
 		clientError(c, "invalid exptime argument")
 		return
 	}
+	if s.readonly.Load() { // gat mutates the expiry
+		io.WriteString(c.w, readOnlyMsg)
+		return
+	}
 	exp := normalizeExp(expRaw, time.Now().Unix())
 	for _, key := range f[2:] {
 		if len(key) == 0 || len(key) > MaxKeyLen {
@@ -565,6 +592,12 @@ func (s *Server) cmdDelete(c *connState, f [][]byte) {
 	if len(f) < 2 || len(f) > 3 || (len(f) == 3 && !noreply) {
 		if !noreply {
 			clientError(c, "bad command line format")
+		}
+		return
+	}
+	if s.readonly.Load() {
+		if !noreply {
+			io.WriteString(c.w, readOnlyMsg)
 		}
 		return
 	}
@@ -595,6 +628,10 @@ func (s *Server) cmdIncrDecr(c *connState, f [][]byte) {
 	delta, ok := parseUint(f[2])
 	if !ok {
 		reply("CLIENT_ERROR invalid numeric delta argument\r\n")
+		return
+	}
+	if s.readonly.Load() {
+		reply(readOnlyMsg)
 		return
 	}
 	var v uint64
@@ -635,6 +672,10 @@ func (s *Server) cmdTouch(c *connState, f [][]byte) {
 		reply("CLIENT_ERROR invalid exptime argument\r\n")
 		return
 	}
+	if s.readonly.Load() {
+		reply(readOnlyMsg)
+		return
+	}
 	if _, ok := cache.Touch(f[1], normalizeExp(expRaw, time.Now().Unix())); ok {
 		reply("TOUCHED\r\n")
 	} else {
@@ -658,6 +699,12 @@ func (s *Server) cmdFlushAll(c *connState, f [][]byte) {
 		rest = rest[1:]
 	}
 	noreply := len(rest) > 0 && string(rest[0]) == "noreply"
+	if s.readonly.Load() {
+		if !noreply {
+			io.WriteString(c.w, readOnlyMsg)
+		}
+		return
+	}
 	if cache, okC := s.kv.(*Cache); okC {
 		if delay == 0 {
 			cache.FlushAll()
@@ -712,5 +759,15 @@ func (s *Server) cmdStats(c *connState) {
 	row("evictions", st.Evictions)
 	row("expired_unfetched", st.Expired)
 	row("curr_items", uint64(st.Items))
+	row("repl_seq", st.ReplSeq)
+	row("repl_lag_ops", st.ReplLagOps)
+	row("repl_reconnects", st.ReplReconnects)
+	state := st.ReplState
+	if state == "" {
+		state = "none" // stats funcs that predate replication
+	}
+	c.w.WriteString("STAT repl_state ")
+	c.w.WriteString(state)
+	c.writeCRLF()
 	io.WriteString(c.w, "END\r\n")
 }

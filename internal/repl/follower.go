@@ -1,0 +1,386 @@
+package repl
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Applier is what a follower needs from its cache: byte-faithful item
+// application (exact value, flags and aux — CAS unique and expiry ride in
+// aux verbatim) plus a tiny durable metadata slot recording how far into
+// which primary incarnation it has applied, so a restarted follower can
+// resume from its last seq instead of re-snapshotting.
+type Applier interface {
+	ApplySet(key, value []byte, flags uint16, aux uint64) error
+	ApplyDelete(key []byte) error
+	// ResetForSnapshot clears the cache before a snapshot lands: keys
+	// deleted on the primary while this follower was away must not linger.
+	ResetForSnapshot() error
+	ReplMeta() (runID, seq uint64)
+	SetReplMeta(runID, seq uint64) error
+}
+
+// FollowerOptions parameterize a Follower. Zero values pick defaults.
+type FollowerOptions struct {
+	// BackoffMin/BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 100ms and 5s; each failed dial doubles the delay,
+	// ±25% jitter so restarted fleets do not reconnect in lockstep).
+	BackoffMin, BackoffMax time.Duration
+	// DialTimeout bounds one connection attempt. Default 3s.
+	DialTimeout time.Duration
+	// ReadTimeout is the dead-primary detector: the primary heartbeats an
+	// idle stream, so a read stalled past this means the peer is gone.
+	// Must exceed the primary's heartbeat interval. Default 3s.
+	ReadTimeout time.Duration
+	// MetaEvery persists the (runID, seq) resume point every N applied
+	// ops. The meta is an optimization, not a durability boundary: applies
+	// themselves are durable before being acked, and re-applying ops past
+	// a stale resume point is idempotent (records carry items verbatim).
+	// Default 64.
+	MetaEvery int
+}
+
+func (o *FollowerOptions) fill() {
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 3 * time.Second
+	}
+	if o.MetaEvery <= 0 {
+		o.MetaEvery = 64
+	}
+}
+
+// Follower streams from a primary into an Applier: dial (with jittered
+// exponential backoff), handshake (resume-from-seq when the primary still
+// holds our position in its replay ring, snapshot otherwise), apply, ack.
+// Acks coalesce — one ack whenever the inbound pipe runs dry — and are
+// sent only after the apply returned, i.e. after it is durable, which is
+// what lets the primary's WaitAcked promise the acked frontier.
+type Follower struct {
+	addr string
+	app  Applier
+	opt  FollowerOptions
+
+	mu         sync.Mutex
+	state      string // connecting | snapshot | streaming | promoted | stopped
+	seq        uint64 // last applied seq
+	runID      uint64 // primary incarnation seq belongs to
+	primarySeq uint64 // primary frontier, as last heard (heartbeats/ops)
+	reconnects uint64 // successful replication connections established
+	conn       net.Conn
+	stopped    bool
+
+	stopCh chan struct{} // closed by stop(): interrupts backoff sleeps
+	done   chan struct{} // closed when Run exits
+}
+
+// NewFollower creates a follower of the primary at addr, applying into
+// app. The resume point is loaded from app's durable repl metadata. Call
+// Run (usually in a goroutine) to start streaming.
+func NewFollower(addr string, app Applier, opt FollowerOptions) *Follower {
+	opt.fill()
+	runID, seq := app.ReplMeta()
+	return &Follower{
+		addr:   addr,
+		app:    app,
+		opt:    opt,
+		state:  "connecting",
+		seq:    seq,
+		runID:  runID,
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Run streams until Promote or Close. It reconnects forever on transient
+// failures; it never returns an error for a dead primary (outliving the
+// primary is the job).
+func (f *Follower) Run() {
+	defer close(f.done)
+	backoff := f.opt.BackoffMin
+	for {
+		f.mu.Lock()
+		if f.stopped {
+			f.mu.Unlock()
+			return
+		}
+		f.state = "connecting"
+		f.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", f.addr, f.opt.DialTimeout)
+		if err == nil {
+			f.mu.Lock()
+			if f.stopped {
+				f.mu.Unlock()
+				conn.Close()
+				return
+			}
+			f.conn = conn
+			f.reconnects++
+			f.mu.Unlock()
+
+			streamed := f.session(conn)
+
+			f.mu.Lock()
+			f.conn = nil
+			stopped := f.stopped
+			f.mu.Unlock()
+			conn.Close()
+			if stopped {
+				return
+			}
+			if streamed {
+				backoff = f.opt.BackoffMin // the session was healthy; start over gently
+			}
+		}
+		// Jittered exponential backoff: ±25% around the current delay.
+		d := backoff + time.Duration(rand.Int63n(int64(backoff)))/2 - backoff/4
+		t := time.NewTimer(d)
+		select {
+		case <-f.stopCh:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		backoff *= 2
+		if backoff > f.opt.BackoffMax {
+			backoff = f.opt.BackoffMax
+		}
+	}
+}
+
+// session runs one connection: handshake then apply-and-ack until the
+// stream breaks. Reports whether it reached the streaming state.
+func (f *Follower) session(conn net.Conn) (streamed bool) {
+	r := NewReader(conn)
+	w := NewWriter(conn)
+
+	f.mu.Lock()
+	hello := Record{Type: TypeHello, Seq: f.seq, Aux: f.runID}
+	f.mu.Unlock()
+	if w.WriteRecord(&hello) != nil || w.Flush() != nil {
+		return false
+	}
+
+	var rec Record
+	conn.SetReadDeadline(time.Now().Add(f.opt.ReadTimeout))
+	if r.ReadRecord(&rec) != nil || rec.Type != TypeWelcome {
+		return false
+	}
+	newRunID := rec.Aux
+	if rec.Flags == ModeSnapshot {
+		f.setState("snapshot")
+		startSeq := rec.Seq
+		if f.app.ResetForSnapshot() != nil {
+			return false
+		}
+		for {
+			conn.SetReadDeadline(time.Now().Add(f.opt.ReadTimeout))
+			if r.ReadRecord(&rec) != nil {
+				return false
+			}
+			if rec.Type == TypeSnapEnd {
+				break
+			}
+			if rec.Type != TypeSnapItem {
+				return false
+			}
+			if f.app.ApplySet(rec.Key, rec.Value, rec.Flags, rec.Aux) != nil {
+				return false
+			}
+		}
+		f.mu.Lock()
+		f.seq = startSeq
+		f.runID = newRunID
+		f.mu.Unlock()
+	} else {
+		f.mu.Lock()
+		f.runID = newRunID
+		f.mu.Unlock()
+	}
+	if f.app.SetReplMeta(newRunID, f.currentSeq()) != nil {
+		return false
+	}
+	f.setState("streaming")
+
+	// Ack immediately: on an idle primary this is what promotes us to
+	// in-sync (and on resume, confirms the resume point).
+	if f.sendAck(w) != nil {
+		return false
+	}
+
+	sinceMeta := 0
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.opt.ReadTimeout))
+		if r.ReadRecord(&rec) != nil {
+			return true
+		}
+		switch rec.Type {
+		case TypeSet:
+			if f.app.ApplySet(rec.Key, rec.Value, rec.Flags, rec.Aux) != nil {
+				return true
+			}
+			f.advance(rec.Seq)
+			sinceMeta++
+		case TypeDelete:
+			if f.app.ApplyDelete(rec.Key) != nil {
+				return true
+			}
+			f.advance(rec.Seq)
+			sinceMeta++
+		case TypeHeartbeat:
+			f.mu.Lock()
+			if rec.Seq > f.primarySeq {
+				f.primarySeq = rec.Seq
+			}
+			f.mu.Unlock()
+		case TypeWelcome:
+			// Mid-stream re-snapshot: we fell out of the primary's replay
+			// ring and it shed us to a fresh snapshot.
+			if rec.Flags != ModeSnapshot {
+				return true
+			}
+			f.setState("snapshot")
+			startSeq, runID := rec.Seq, rec.Aux
+			if f.app.ResetForSnapshot() != nil {
+				return true
+			}
+			for {
+				conn.SetReadDeadline(time.Now().Add(f.opt.ReadTimeout))
+				if r.ReadRecord(&rec) != nil {
+					return true
+				}
+				if rec.Type == TypeSnapEnd {
+					break
+				}
+				if rec.Type != TypeSnapItem ||
+					f.app.ApplySet(rec.Key, rec.Value, rec.Flags, rec.Aux) != nil {
+					return true
+				}
+			}
+			f.mu.Lock()
+			f.seq = startSeq
+			f.runID = runID
+			f.mu.Unlock()
+			if f.app.SetReplMeta(runID, startSeq) != nil {
+				return true
+			}
+			f.setState("streaming")
+		default:
+			return true
+		}
+		// Coalesced ack + periodic resume-point persistence, only when the
+		// pipe runs dry (the heartbeat guarantees it periodically does).
+		if r.Buffered() == 0 {
+			if sinceMeta >= f.opt.MetaEvery {
+				if f.app.SetReplMeta(f.currentRunID(), f.currentSeq()) != nil {
+					return true
+				}
+				sinceMeta = 0
+			}
+			if f.sendAck(w) != nil {
+				return true
+			}
+		}
+	}
+}
+
+func (f *Follower) sendAck(w *Writer) error {
+	if err := w.WriteRecord(&Record{Type: TypeAck, Seq: f.currentSeq()}); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func (f *Follower) advance(seq uint64) {
+	f.mu.Lock()
+	f.seq = seq
+	if seq > f.primarySeq {
+		f.primarySeq = seq
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) setState(s string) {
+	f.mu.Lock()
+	if !f.stopped {
+		f.state = s
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) currentSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+func (f *Follower) currentRunID() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runID
+}
+
+// Promote stops following and marks the follower promoted, waiting for any
+// in-flight apply to finish — after Promote returns, the cache holds every
+// op this follower ever acked and is safe to serve writes. The stored
+// resume point is cleared: a promoted cache has diverged from any future
+// primary incarnation and must never silently resume into one.
+func (f *Follower) Promote() error {
+	f.stop("promoted")
+	<-f.done
+	return f.app.SetReplMeta(0, 0)
+}
+
+// Close stops following without promoting (tests, shutdown).
+func (f *Follower) Close() {
+	f.stop("stopped")
+	<-f.done
+}
+
+func (f *Follower) stop(state string) {
+	f.mu.Lock()
+	if !f.stopped {
+		f.stopped = true
+		close(f.stopCh)
+	}
+	f.state = state
+	conn := f.conn
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// FollowerStats is the follower-side replication surface behind `stats`.
+type FollowerStats struct {
+	State      string // connecting | snapshot | streaming | promoted | stopped
+	Seq        uint64 // last applied seq
+	LagOps     uint64 // primary frontier (as last heard) minus applied seq
+	Reconnects uint64 // successful replication connections established
+}
+
+// Stats snapshots the follower's replication counters.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowerStats{
+		State:      f.state,
+		Seq:        f.seq,
+		Reconnects: f.reconnects,
+	}
+	if f.primarySeq > f.seq {
+		st.LagOps = f.primarySeq - f.seq
+	}
+	return st
+}

@@ -10,6 +10,9 @@
 #                        speedup ratio)
 #   BENCH_file.json      FileBackend (mmap) vs MemBackend set/get rows plus
 #                        per-benchmark file_vs_mem ratios
+#   BENCH_repl.json      NV-Memcached 1:4 mix solo vs with a live loopback
+#                        replication follower acking every mutation, plus
+#                        the repl_overhead ratio (follower/solo)
 #
 # Usage:
 #   scripts/bench.sh                  # both files, default length
@@ -28,6 +31,7 @@ ORDERED_OUT="${1:-BENCH_ordered.json}"
 PARALLEL_OUT="${PARALLEL_OUT:-BENCH_parallel.json}"
 BATCH_OUT="${BATCH_OUT:-BENCH_batch.json}"
 FILE_OUT="${FILE_OUT:-BENCH_file.json}"
+REPL_OUT="${REPL_OUT:-BENCH_repl.json}"
 BENCHTIME="${BENCHTIME:-20000x}"
 COUNT="${COUNT:-3}"
 
@@ -183,3 +187,41 @@ printf '%s\n' "$fraw" | awk '
   }
 ' > "$FILE_OUT"
 echo "wrote $FILE_OUT"
+
+# The replication sweep: BenchmarkNVMemcachedRepl/{solo,follower} prices the
+# warm-standby tax — the same 1:4 set:get mix with no replication and with a
+# live in-process loopback follower acking every mutation, best of COUNT
+# runs per row. repl_overhead (follower/solo) is the machine-independent
+# signal; the absolute follower row also prices the runner's loopback RTT,
+# which is why the bench gate holds BENCH_repl.json's absolute rows to the
+# looser file tolerance.
+rraw=$(go test -run '^$' -bench 'BenchmarkNVMemcachedRepl' -benchtime "$BENCHTIME" -count "$COUNT" .)
+printf '%s\n' "$rraw"
+
+printf '%s\n' "$rraw" | awk '
+  /^BenchmarkNVMemcachedRepl\// {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    variant = name; sub(/^.*\//, "", variant)
+    iters = $2; ns = $3
+    ops = "0"
+    for (i = 4; i < NF; i++) if ($(i+1) == "ops/s") ops = $i
+    if (!(variant in best) || ops+0 > best[variant]+0) {
+      best[variant] = ops; bns[variant] = ns; bit[variant] = iters
+      if (!(variant in seen)) { order[n++] = variant; seen[variant] = 1 }
+    }
+  }
+  END {
+    printf "[\n"; sep=""
+    for (i = 0; i < n; i++) {
+      v = order[i]
+      printf "%s  {\"name\":\"BenchmarkNVMemcachedRepl\",\"variant\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"ops_per_sec\":%s}", \
+        sep, v, bit[v], bns[v], best[v]
+      sep = ",\n"
+    }
+    if (("solo" in best) && ("follower" in best) && best["solo"]+0 > 0)
+      printf "%s  {\"name\":\"BenchmarkNVMemcachedRepl\",\"variant\":\"repl_overhead\",\"ratio\":%.3f}", \
+        sep, best["follower"] / best["solo"]
+    printf "\n]\n"
+  }
+' > "$REPL_OUT"
+echo "wrote $REPL_OUT"

@@ -30,7 +30,7 @@ cd "$(dirname "$0")/.."
 TOLERANCE="${BENCH_TOLERANCE:-0.30}"
 TOLERANCE_FILE="${BENCH_TOLERANCE_FILE:-0.90}"
 TOLERANCE_LAT="${BENCH_TOLERANCE_LAT:-1.50}"
-FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json BENCH_latency.json}"
+FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json BENCH_repl.json BENCH_latency.json}"
 
 command -v jq >/dev/null || { echo "benchgate: jq is required" >&2; exit 2; }
 
@@ -70,12 +70,13 @@ for f in $FILES; do
     summary "**$f**: no committed baseline at HEAD (new benchmark file; not gated)."
     continue
   fi
-  # BENCH_file.json's absolute rows depend on the runner's filesystem and
-  # get the loose tolerance; its file_vs_mem RATIO rows are the
+  # BENCH_file.json's absolute rows depend on the runner's filesystem, and
+  # BENCH_repl.json's follower row on its loopback RTT — both get the loose
+  # tolerance; their file_vs_mem / repl_overhead RATIO rows are the
   # machine-independent signal and ride the default tolerance like
   # everything else.
   tol="$TOLERANCE" tol_abs="$TOLERANCE"
-  [ "$f" = "BENCH_file.json" ] && tol_abs="$TOLERANCE_FILE"
+  case "$f" in BENCH_file.json|BENCH_repl.json) tol_abs="$TOLERANCE_FILE" ;; esac
 
   summary ""
   summary "**$f**"

@@ -143,6 +143,46 @@ for r in $(seq 1 "$ROUNDS"); do
   verify_all_rounds "$r"
 done
 
+echo "== kill-during-recovery round =="
+# Recovery itself must be crash-safe: SIGKILL the restarting process while
+# it is mid-attach-sweep (after "attaching to", before "listening on"),
+# then prove the NEXT recovery still serves the full acknowledged frontier.
+kill -9 "$SRV_PID"
+SRV_PID=""
+KILLED_MID=0
+for attempt in $(seq 1 10); do
+  : > "$LOG"
+  "$WORK/nvmemcached" -listen 127.0.0.1:0 -mem $((64 << 20)) -buckets 4096 \
+    -pmem-file "$PMEM" -shards "$SHARDS" -latency 0 -sweep 0 >> "$LOG" 2>&1 &
+  SRV_PID=$!
+  # Kill the instant the attach line appears — the window to "listening on"
+  # is the recovery sweep.
+  for _ in $(seq 1 500); do
+    grep -q "attaching to" "$LOG" && break
+    kill -0 "$SRV_PID" 2>/dev/null || break
+  done
+  kill -9 "$SRV_PID" 2>/dev/null || true
+  wait "$SRV_PID" 2>/dev/null || true
+  SRV_PID=""
+  if grep -q "attaching to" "$LOG" && ! grep -q "listening on" "$LOG"; then
+    KILLED_MID=1
+    echo "   killed recovery in flight on attempt $attempt"
+    break
+  fi
+done
+if [ "$KILLED_MID" != 1 ]; then
+  echo "could not land a SIGKILL inside the recovery window in 10 attempts" >&2
+  exit 1
+fi
+start_server
+if ! grep -q "recovered" "$LOG"; then
+  echo "restart after killed recovery did not run recovery:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "   $(awk '/recovered/ {sub(/^.*recovered/, "recovered"); print; exit}' "$LOG")"
+verify_all_rounds "$ROUNDS"
+
 echo "== clean shutdown round (SIGTERM) =="
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" 2>/dev/null || true
@@ -150,4 +190,4 @@ SRV_PID=""
 start_server
 verify_all_rounds "$ROUNDS"
 
-echo "crash_e2e: PASS — every acknowledged write survived $ROUNDS kill -9 crashes and a clean restart (shards=$SHARDS)"
+echo "crash_e2e: PASS — every acknowledged write survived $ROUNDS kill -9 crashes, a kill -9 mid-recovery, and a clean restart (shards=$SHARDS)"

@@ -1,0 +1,191 @@
+#!/usr/bin/env bash
+# failover_e2e.sh — the warm-standby failover matrix: proves, across REAL
+# process boundaries, that a follower streaming from a primary over TCP can
+# take over after the primary is kill -9'd mid-load and serve 100% of the
+# acknowledged frontier — values, flags, expiry, counter values, and the CAS
+# generation chain (cas == gen+1) — and that the promoted follower is itself
+# a first-class durable server (kill -9 + recover + verify again).
+#
+# The run also exercises reconnect-and-resume in the SAME run: mid-load the
+# primary drops its followers (SIGUSR2 fault injection), the follower must
+# reconnect with backoff, resume from its durable seq, and catch back up
+# before the real kill lands.
+#
+# Phases:
+#   1. start primary (-replicate-to) + follower (-follow), wait until both
+#      report repl_state streaming over the memcached stats command
+#   2. load round f1 against the primary; mid-load SIGUSR2 the primary and
+#      wait for the follower's repl_reconnects to tick and streaming to
+#      resume; keep loading; kill -9 the primary mid-load
+#   3. SIGUSR1 the follower -> promoted; verify the ENTIRE f1 acked frontier
+#      against the promoted follower
+#   4. load round f2 against the promoted follower, kill -9 it mid-load,
+#      restart its image with -promote, verify f1 AND f2
+#
+# Environment:
+#   LOAD_SECONDS      load time before each fault (default 1)
+#   FAILOVER_WORKERS  concurrent load workers (default 1; nightly runs 4)
+#
+# Portable across ubuntu/macos runners: no timeout(1), no /dev/tcp, no nc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LOAD_SECONDS="${LOAD_SECONDS:-1}"
+WORKERS="${FAILOVER_WORKERS:-1}"
+
+WORK=$(mktemp -d)
+PRIMARY_PID=""
+FOLLOWER_PID=""
+cleanup() {
+  [ -n "$PRIMARY_PID" ] && kill -9 "$PRIMARY_PID" 2>/dev/null || true
+  [ -n "$FOLLOWER_PID" ] && kill -9 "$FOLLOWER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building =="
+go build -o "$WORK/nvmemcached" ./cmd/nvmemcached
+go build -o "$WORK/crashcheck" ./cmd/crashcheck
+
+PLOG="$WORK/primary.log"
+FLOG="$WORK/follower.log"
+
+# scrape_addr LOG PATTERN — last match's final field, with startup polling.
+scrape_addr() {
+  log=$1 pat=$2 pid=$3
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(awk -v p="$pat" '$0 ~ p {a=$NF} END {print a}' "$log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "server died during startup:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "server never logged '$pat':" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  printf '%s' "$addr"
+}
+
+get_stat() { # get_stat ADDR NAME
+  "$WORK/crashcheck" -addr "$1" stats 2>/dev/null | awk -v n="$2" '$1 == n {print $2}'
+}
+
+wait_stat() { # wait_stat WHO ADDR NAME WANT — poll until NAME == WANT
+  who=$1 addr=$2 name=$3 want=$4
+  for _ in $(seq 1 100); do
+    [ "$(get_stat "$addr" "$name")" = "$want" ] && return 0
+    sleep 0.1
+  done
+  echo "$who: stat $name never reached $want (last: $(get_stat "$addr" "$name"))" >&2
+  exit 1
+}
+
+wait_stat_ge() { # wait_stat_ge WHO ADDR NAME MIN — poll until NAME >= MIN
+  who=$1 addr=$2 name=$3 min=$4
+  for _ in $(seq 1 100); do
+    v=$(get_stat "$addr" "$name")
+    [ "${v:-0}" -ge "$min" ] 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "$who: stat $name never reached >= $min (last: $(get_stat "$addr" "$name"))" >&2
+  exit 1
+}
+
+acked_total() { # sum of a round's acked frontier over its per-worker state files
+  cat "$WORK/state.$1"* 2>/dev/null | awk -F= '/^acked=/ {s += $2} END {print s + 0}'
+}
+
+echo "== phase 1: primary + warm standby =="
+"$WORK/nvmemcached" -listen 127.0.0.1:0 -mem $((64 << 20)) -buckets 4096 \
+  -pmem-file "$WORK/primary.pmem" -replicate-to 127.0.0.1:0 \
+  -latency 0 -sweep 0 > "$PLOG" 2>&1 &
+PRIMARY_PID=$!
+REPL_ADDR=$(scrape_addr "$PLOG" "accepting followers on" "$PRIMARY_PID")
+PRIMARY_ADDR=$(scrape_addr "$PLOG" "listening on" "$PRIMARY_PID")
+echo "   primary $PRIMARY_ADDR (pid $PRIMARY_PID), replication $REPL_ADDR"
+
+"$WORK/nvmemcached" -listen 127.0.0.1:0 -mem $((64 << 20)) -buckets 4096 \
+  -pmem-file "$WORK/follower.pmem" -follow "$REPL_ADDR" \
+  -latency 0 -sweep 0 > "$FLOG" 2>&1 &
+FOLLOWER_PID=$!
+FOLLOWER_ADDR=$(scrape_addr "$FLOG" "listening on" "$FOLLOWER_PID")
+echo "   follower $FOLLOWER_ADDR (pid $FOLLOWER_PID)"
+
+wait_stat follower "$FOLLOWER_ADDR" repl_state streaming
+wait_stat primary "$PRIMARY_ADDR" repl_state streaming
+echo "   both sides streaming"
+
+echo "== phase 2: load, drop-and-reconnect, kill -9 the primary =="
+"$WORK/crashcheck" -addr "$PRIMARY_ADDR" -state "$WORK/state.f1" -prefix f1 \
+  -workers "$WORKERS" load &
+LOAD_PID=$!
+sleep "$LOAD_SECONDS"
+
+# Fault injection: the primary severs every follower connection. The follower
+# must reconnect (repl_reconnects ticks past its initial 1), resume from its
+# durable seq, and both sides must report streaming again — all while the
+# load keeps acknowledging writes.
+kill -USR2 "$PRIMARY_PID"
+wait_stat_ge follower "$FOLLOWER_ADDR" repl_reconnects 2
+wait_stat follower "$FOLLOWER_ADDR" repl_state streaming
+wait_stat primary "$PRIMARY_ADDR" repl_state streaming
+RECONNECTS=$(get_stat "$FOLLOWER_ADDR" repl_reconnects)
+echo "   follower reconnected and resumed (repl_reconnects=$RECONNECTS)"
+
+sleep "$LOAD_SECONDS"
+kill -9 "$PRIMARY_PID"
+PRIMARY_PID=""
+wait "$LOAD_PID"
+
+ACKED=$(acked_total f1)
+if [ "${ACKED:-0}" -lt 100 ]; then
+  echo "phase 2: only $ACKED acknowledged sets before the kill — not a meaningful failover test" >&2
+  exit 1
+fi
+echo "   killed primary with $ACKED acknowledged sets in flight history"
+
+echo "== phase 3: promote the follower, verify the acked frontier =="
+kill -USR1 "$FOLLOWER_PID"
+wait_stat follower "$FOLLOWER_ADDR" repl_state promoted
+"$WORK/crashcheck" -addr "$FOLLOWER_ADDR" -state "$WORK/state.f1" -prefix f1 \
+  -workers "$WORKERS" verify
+echo "   promoted follower serves 100% of the acked frontier"
+
+echo "== phase 4: kill -9 the promoted follower, recover, verify both rounds =="
+"$WORK/crashcheck" -addr "$FOLLOWER_ADDR" -state "$WORK/state.f2" -prefix f2 \
+  -workers "$WORKERS" load &
+LOAD_PID=$!
+sleep "$LOAD_SECONDS"
+kill -9 "$FOLLOWER_PID"
+FOLLOWER_PID=""
+wait "$LOAD_PID"
+
+ACKED2=$(acked_total f2)
+if [ "${ACKED2:-0}" -lt 100 ]; then
+  echo "phase 4: only $ACKED2 acknowledged sets before the kill — not a meaningful crash test" >&2
+  exit 1
+fi
+echo "   killed promoted follower with $ACKED2 acknowledged sets in flight history"
+
+"$WORK/nvmemcached" -listen 127.0.0.1:0 -mem $((64 << 20)) -buckets 4096 \
+  -pmem-file "$WORK/follower.pmem" -promote -latency 0 -sweep 0 > "$FLOG" 2>&1 &
+FOLLOWER_PID=$!
+FOLLOWER_ADDR=$(scrape_addr "$FLOG" "listening on" "$FOLLOWER_PID")
+if ! grep -q "recovered" "$FLOG"; then
+  echo "promoted restart did not run recovery:" >&2
+  cat "$FLOG" >&2
+  exit 1
+fi
+echo "   $(awk '/recovered/ {sub(/^.*recovered/, "recovered"); print; exit}' "$FLOG")"
+"$WORK/crashcheck" -addr "$FOLLOWER_ADDR" -state "$WORK/state.f1" -prefix f1 \
+  -workers "$WORKERS" verify
+"$WORK/crashcheck" -addr "$FOLLOWER_ADDR" -state "$WORK/state.f2" -prefix f2 \
+  -workers "$WORKERS" verify
+
+echo "failover_e2e: PASS — promoted follower served every acknowledged write after a primary kill -9 (with a reconnect-and-resume mid-run), then survived its own kill -9 (workers=$WORKERS)"
