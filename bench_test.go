@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -886,6 +887,73 @@ func BenchmarkNVMemcachedRepl(b *testing.B) {
 	}
 	b.Run("solo", func(b *testing.B) { run(b, false) })
 	b.Run("follower", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkSnapshotLive prices the live point-in-time snapshot tax: the
+// same memtier-style 1:4 set:get mix run solo and then with a background
+// goroutine continuously streaming Snapshot() over the full key space while
+// the mix runs. The snapshot walks the durable index under epoch protection
+// without blocking writers, so the overhead should stay small — the
+// snapshot_overhead ratio (snapshot/solo) in BENCH_snapshot.json is the
+// machine-independent signal the bench gate holds to tolerance.
+func BenchmarkSnapshotLive(b *testing.B) {
+	const keyRange = 10000
+	mt := &memcache.Memtier{KeyRange: keyRange, SetRatio: 1, GetRatio: 4, ValueLen: 64, Threads: 1}
+	keys := make([][]byte, keyRange)
+	for i := range keys {
+		keys[i] = mt.Key(nil, i)
+	}
+	val := make([]byte, mt.ValueLen)
+	run := func(b *testing.B, withSnapshot bool) {
+		c, err := memcache.New(memcache.Config{MemoryBytes: 256 << 20, Buckets: 1 << 14, MaxConns: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		if err := mt.Preload(c); err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		if withSnapshot {
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := c.Snapshot(io.Discard); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		} else {
+			close(done)
+		}
+		runtime.GC()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			k := keys[i%keyRange]
+			if i%5 == 0 {
+				if err := c.Set(k, val, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				c.Get(k)
+			}
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		close(stop)
+		<-done
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ops/s")
+	}
+	b.Run("solo", func(b *testing.B) { run(b, false) })
+	b.Run("snapshot", func(b *testing.B) { run(b, true) })
 }
 
 func BenchmarkNVMemcachedFile(b *testing.B) {

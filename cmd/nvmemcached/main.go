@@ -23,12 +23,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -52,6 +54,10 @@ func main() {
 	replicateTo := flag.String("replicate-to", "", "accept warm-standby followers on this address (primary role; \"127.0.0.1:0\" picks a free port)")
 	follow := flag.String("follow", "", "stream from the primary's replication address (follower role: read-only until promoted via SIGUSR1)")
 	promote := flag.Bool("promote", false, "start a previously-killed follower's image as a writable primary (clears its replication resume point)")
+	maxGrow := flag.Uint64("max-grow", 0, "online-growth reserve in bytes: under allocator pressure the pool doubles (crash-atomically) up to this cap before evicting; 0 disables growth")
+	maxBytes := flag.Uint64("max-bytes", 0, "logical cache budget in bytes (entry overhead + key + value): writes past it evict LRU items; 0 = unlimited")
+	snapshotTo := flag.String("snapshot-to", "", "on SIGUSR1 (non-follower), stream a live point-in-time snapshot to this path (written to .tmp, then renamed)")
+	restoreFrom := flag.String("restore-from", "", "restore a snapshot stream into the cache at startup (requires an empty cache)")
 	flag.Parse()
 
 	if *image != "" && *pmemFile != "" {
@@ -92,6 +98,11 @@ func main() {
 		File:         *pmemFile,
 		FileSync:     *pmemSync,
 		Shards:       *shards,
+		MaxBytes:     *maxBytes,
+		MaxGrowBytes: *maxGrow,
+		// Logged so the crash matrix can reconcile a restart's recovered
+		// capacity against the set of grow targets ever acknowledged.
+		OnGrow: func(total uint64) { log.Printf("grew pool to %d bytes", total) },
 	}
 
 	var cache *memcache.Cache
@@ -161,6 +172,64 @@ func main() {
 			log.Printf("fresh cache: %d MiB simulated NVRAM, %d buckets", *mem>>20, *buckets)
 		}
 	}
+	log.Printf("pool bytes: total=%d", cache.SizeBytes())
+
+	if *restoreFrom != "" {
+		f, err := os.Open(*restoreFrom)
+		if err != nil {
+			log.Fatalf("nvmemcached: restore: %v", err)
+		}
+		start := time.Now()
+		n, err := cache.RestoreSnapshot(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			log.Fatalf("nvmemcached: restore %s: %v", *restoreFrom, err)
+		}
+		log.Printf("restored %d items from snapshot %s in %v",
+			n, *restoreFrom, time.Since(start).Round(time.Microsecond))
+	}
+
+	// dumpSnapshot streams a live snapshot in the background (the serving
+	// loop keeps running); tmp+rename so a crashed dump never clobbers the
+	// previous good snapshot. One dump at a time.
+	var snapshotBusy atomic.Bool
+	dumpSnapshot := func() {
+		if !snapshotBusy.CompareAndSwap(false, true) {
+			log.Printf("snapshot already in progress, SIGUSR1 ignored")
+			return
+		}
+		go func() {
+			defer snapshotBusy.Store(false)
+			start := time.Now()
+			tmp := *snapshotTo + ".tmp"
+			f, err := os.Create(tmp)
+			if err != nil {
+				log.Printf("nvmemcached: snapshot: %v", err)
+				return
+			}
+			w := bufio.NewWriterSize(f, 1<<20)
+			n, err := cache.Snapshot(w)
+			if err == nil {
+				err = w.Flush()
+			}
+			if err == nil {
+				err = f.Sync()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err == nil {
+				err = os.Rename(tmp, *snapshotTo)
+			}
+			if err != nil {
+				os.Remove(tmp)
+				log.Printf("nvmemcached: snapshot: %v", err)
+				return
+			}
+			log.Printf("snapshot: %d items to %s in %v",
+				n, *snapshotTo, time.Since(start).Round(time.Millisecond))
+		}()
+	}
 
 	// Replication roles. Wired before the client listener so a follower is
 	// read-only from its very first client connection, and logged before the
@@ -227,7 +296,11 @@ loop:
 		switch s {
 		case syscall.SIGUSR1:
 			if follower == nil {
-				log.Printf("SIGUSR1 ignored: not a follower")
+				if *snapshotTo != "" {
+					dumpSnapshot()
+				} else {
+					log.Printf("SIGUSR1 ignored: not a follower")
+				}
 				continue
 			}
 			if err := follower.Promote(); err != nil {

@@ -1,0 +1,184 @@
+// Package capacity is the elastic-capacity subsystem shared by the cache
+// and its tools: the growth-schedule policy for online pool growth and the
+// versioned point-in-time snapshot stream format.
+//
+// Growth policy. Pools grow by doubling (classic amortized-O(1) growth: a
+// cache under organic fill pays O(log n) grows, each crash-atomic at the
+// device layer), clamped to the configured reserve. The policy is pure
+// arithmetic here; the crash-consistency of applying a target lives in
+// nvram/pmem.
+//
+// Snapshot format. A snapshot is an 8-byte magic ("NVSNAP01") followed by
+// CRC-32C-framed records in internal/repl's wire format — the decoder that
+// is already fuzzed and battle-tested by replication carries the snapshot
+// stream too:
+//
+//	Welcome  version handshake: Aux = format version, Flags = ModeSnapshot
+//	SnapItem one item, verbatim: Flags = client flags, Aux = the item's
+//	         packed aux word (CAS unique + expiry), Key/Value = the item
+//	SnapEnd  trailer: Seq = item count, so truncation after the last item
+//	         is still detected
+//
+// Items travel byte-faithfully (the raw aux word), so a restored cache
+// reproduces values, flags, expirations AND the per-item CAS chain exactly.
+package capacity
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/repl"
+)
+
+// NextGrowTarget returns the next capacity a pool at cur bytes should grow
+// to under the doubling schedule, clamped to max. Returns 0 when cur has no
+// headroom left (cur >= max) — the caller falls back to eviction.
+func NextGrowTarget(cur, max uint64) uint64 {
+	if max <= cur {
+		return 0
+	}
+	next := cur * 2
+	if next <= cur { // cur == 0 (degenerate) or overflow
+		return max
+	}
+	if next > max {
+		next = max
+	}
+	return next
+}
+
+// SnapshotMagic prefixes every snapshot stream.
+const SnapshotMagic = "NVSNAP01"
+
+// SnapshotVersion is the current snapshot format version, carried in the
+// Welcome record's Aux field. Readers reject versions they do not know.
+const SnapshotVersion = 1
+
+// ErrBadSnapshot reports a stream that is not a snapshot, or one whose
+// structure is invalid (bad magic, unknown version, wrong record order,
+// item-count mismatch).
+var ErrBadSnapshot = errors.New("capacity: invalid snapshot stream")
+
+// SnapshotWriter streams a snapshot. Not safe for concurrent use.
+type SnapshotWriter struct {
+	rw    *repl.Writer
+	count uint64
+}
+
+// NewSnapshotWriter writes the magic and version handshake onto w and
+// returns a writer ready for Item calls.
+func NewSnapshotWriter(w io.Writer) (*SnapshotWriter, error) {
+	if _, err := io.WriteString(w, SnapshotMagic); err != nil {
+		return nil, err
+	}
+	sw := &SnapshotWriter{rw: repl.NewWriter(w)}
+	if err := sw.rw.WriteRecord(&repl.Record{
+		Type: repl.TypeWelcome, Flags: repl.ModeSnapshot, Aux: SnapshotVersion,
+	}); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Item appends one item to the snapshot, verbatim: flags and the raw aux
+// word land in the stream exactly as stored.
+func (sw *SnapshotWriter) Item(key, value []byte, flags uint16, aux uint64) error {
+	if err := sw.rw.WriteRecord(&repl.Record{
+		Type: repl.TypeSnapItem, Flags: flags, Aux: aux, Key: key, Value: value,
+	}); err != nil {
+		return err
+	}
+	sw.count++
+	return nil
+}
+
+// Count reports the items written so far.
+func (sw *SnapshotWriter) Count() uint64 { return sw.count }
+
+// Close writes the item-count trailer and flushes. The writer must not be
+// used afterwards. Close does NOT close the underlying stream.
+func (sw *SnapshotWriter) Close() error {
+	if err := sw.rw.WriteRecord(&repl.Record{Type: repl.TypeSnapEnd, Seq: sw.count}); err != nil {
+		return err
+	}
+	return sw.rw.Flush()
+}
+
+// SnapshotReader decodes a snapshot stream. Not safe for concurrent use.
+type SnapshotReader struct {
+	rr    *repl.Reader
+	count uint64
+	done  bool
+}
+
+// NewSnapshotReader validates the magic and version handshake and returns a
+// reader positioned at the first item.
+func NewSnapshotReader(r io.Reader) (*SnapshotReader, error) {
+	var magic [len(SnapshotMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: missing magic", ErrBadSnapshot)
+		}
+		return nil, err
+	}
+	if string(magic[:]) != SnapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic[:])
+	}
+	sr := &SnapshotReader{rr: repl.NewReader(r)}
+	var rec repl.Record
+	if err := sr.rr.ReadRecord(&rec); err != nil {
+		return nil, snapErr(err)
+	}
+	if rec.Type != repl.TypeWelcome || rec.Flags != repl.ModeSnapshot {
+		return nil, fmt.Errorf("%w: stream does not open with a snapshot handshake", ErrBadSnapshot)
+	}
+	if rec.Aux != SnapshotVersion {
+		return nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrBadSnapshot, rec.Aux, SnapshotVersion)
+	}
+	return sr, nil
+}
+
+// snapErr maps a truncated record stream to io.ErrUnexpectedEOF and wraps
+// corruption so callers can distinguish "cut short" from "hostile bytes".
+func snapErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF // EOF before the SnapEnd trailer = truncated
+	}
+	if errors.Is(err, repl.ErrCorrupt) {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return err
+}
+
+// Next returns the next item. Key and value are fresh copies, safe to
+// retain. After the verified end-of-snapshot trailer Next returns io.EOF;
+// any other stream end (truncation, corruption, count mismatch) returns a
+// non-EOF error — io.EOF from Next is the ONLY success signal.
+func (sr *SnapshotReader) Next() (key, value []byte, flags uint16, aux uint64, err error) {
+	if sr.done {
+		return nil, nil, 0, 0, io.EOF
+	}
+	var rec repl.Record
+	if err := sr.rr.ReadRecord(&rec); err != nil {
+		return nil, nil, 0, 0, snapErr(err)
+	}
+	switch rec.Type {
+	case repl.TypeSnapItem:
+		sr.count++
+		return append([]byte(nil), rec.Key...), append([]byte(nil), rec.Value...),
+			rec.Flags, rec.Aux, nil
+	case repl.TypeSnapEnd:
+		if rec.Seq != sr.count {
+			return nil, nil, 0, 0, fmt.Errorf("%w: trailer promises %d items, stream carried %d",
+				ErrBadSnapshot, rec.Seq, sr.count)
+		}
+		sr.done = true
+		return nil, nil, 0, 0, io.EOF
+	default:
+		return nil, nil, 0, 0, fmt.Errorf("%w: unexpected record type %d inside snapshot", ErrBadSnapshot, rec.Type)
+	}
+}
+
+// Count reports the items read so far.
+func (sr *SnapshotReader) Count() uint64 { return sr.count }

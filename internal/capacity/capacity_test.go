@@ -1,0 +1,168 @@
+package capacity
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestNextGrowTarget(t *testing.T) {
+	cases := []struct{ cur, max, want uint64 }{
+		{64, 1024, 128},
+		{512, 1024, 1024},
+		{768, 1024, 1024},                 // clamp, not double
+		{1024, 1024, 0},                   // no headroom
+		{2048, 1024, 0},                   // already past (adopted larger state)
+		{0, 1024, 1024},                   // degenerate zero current
+		{1 << 63, ^uint64(0), ^uint64(0)}, // overflow clamps to max
+	}
+	for _, c := range cases {
+		if got := NextGrowTarget(c.cur, c.max); got != c.want {
+			t.Errorf("NextGrowTarget(%d, %d) = %d, want %d", c.cur, c.max, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	type item struct {
+		key, value []byte
+		flags      uint16
+		aux        uint64
+	}
+	items := []item{
+		{[]byte("a"), []byte("alpha"), 1, 0x0000000100000000},
+		{[]byte("b"), nil, 0, 0},
+		{[]byte("counter"), []byte("42"), 0xFFFF, ^uint64(0)},
+		{bytes.Repeat([]byte("k"), 250), bytes.Repeat([]byte("v"), 8192), 7, 12345},
+	}
+	var buf bytes.Buffer
+	sw, err := NewSnapshotWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := sw.Item(it.key, it.value, it.flags, it.aux); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sr, err := NewSnapshotReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range items {
+		k, v, fl, aux, err := sr.Next()
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if !bytes.Equal(k, want.key) || !bytes.Equal(v, want.value) ||
+			fl != want.flags || aux != want.aux {
+			t.Fatalf("item %d mismatch: got (%q %q %d %d)", i, k, v, fl, aux)
+		}
+	}
+	if _, _, _, _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("end of snapshot = %v, want io.EOF", err)
+	}
+	if _, _, _, _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("Next after end = %v, want io.EOF", err)
+	}
+	if sr.Count() != uint64(len(items)) {
+		t.Fatalf("Count = %d, want %d", sr.Count(), len(items))
+	}
+}
+
+func TestSnapshotTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSnapshotWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := sw.Item([]byte(fmt.Sprintf("k%d", i)), []byte("value"), 0, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Every proper prefix must fail with a non-EOF error: io.EOF is reserved
+	// for the verified trailer.
+	for cut := 0; cut < len(full); cut += 13 {
+		sr, err := NewSnapshotReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // truncated inside magic/handshake: rejected at open
+		}
+		for {
+			_, _, _, _, err = sr.Next()
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Fatalf("cut=%d: truncated stream reached io.EOF (silent data loss)", cut)
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := NewSnapshotReader(bytes.NewReader([]byte("NOTASNAP????????"))); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bad magic error = %v, want ErrBadSnapshot", err)
+	}
+	if _, err := NewSnapshotReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("empty stream error = %v, want ErrBadSnapshot", err)
+	}
+
+	// Valid magic, corrupt frame after it.
+	raw := append([]byte(SnapshotMagic), 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3)
+	if _, err := NewSnapshotReader(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt handshake accepted")
+	}
+}
+
+// FuzzSnapshotStream: the reader must never panic and never return io.EOF
+// (the success signal) on anything but a stream whose trailer verified.
+func FuzzSnapshotStream(f *testing.F) {
+	var valid bytes.Buffer
+	sw, _ := NewSnapshotWriter(&valid)
+	sw.Item([]byte("key"), []byte("value"), 3, 0x0000000200000000)
+	sw.Item([]byte("k2"), nil, 0, 7)
+	sw.Close()
+	f.Add(valid.Bytes())
+	f.Add([]byte(SnapshotMagic))
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3])
+	f.Add([]byte("NVSNAP01\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := NewSnapshotReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		items := uint64(0)
+		for {
+			k, v, _, _, err := sr.Next()
+			if err == io.EOF {
+				// Success is only legal when the trailer's count matched.
+				if sr.Count() != items {
+					t.Fatalf("io.EOF with %d items read, Count=%d", items, sr.Count())
+				}
+				return
+			}
+			if err != nil {
+				return
+			}
+			items++
+			_ = k
+			_ = v
+			if items > 1<<20 {
+				t.Fatal("unbounded item stream from bounded input")
+			}
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/nvram"
 	"repro/logfree"
 	"repro/logfree/sharded"
@@ -121,6 +122,20 @@ type Config struct {
 	// plus a topology manifest) rather than a single image file. 0 or 1
 	// keeps the classic single-runtime cache.
 	Shards int
+	// MaxBytes, when non-zero, caps the cache's LOGICAL footprint (entry
+	// overhead + key + value, summed over live items): writes that would
+	// push past it evict LRU items first, even when the device still has
+	// room. The memory-pressure valve memcached's -m flag provides.
+	MaxBytes uint64
+	// MaxGrowBytes, when non-zero, reserves device address space so the
+	// pool can grow online: under allocator pressure the cache doubles the
+	// pool (crash-atomically, clamped to this reserve) before resorting to
+	// eviction. With File set, reopening a grown image requires the same
+	// MaxGrowBytes-style elastic configuration.
+	MaxGrowBytes uint64
+	// OnGrow, when set, is called after each successful online grow with
+	// the pool's new total byte capacity (serving loop logging).
+	OnGrow func(total uint64)
 }
 
 func (c *Config) fill() {
@@ -164,6 +179,9 @@ type engine interface {
 	Drain()
 	Reclaim()
 	AvailableBytes() uint64
+	SizeBytes() uint64
+	FreeBytes() uint64
+	Grow(total uint64) error
 	Recovered() bool
 	RecoveryStats() logfree.RecoveryStats
 }
@@ -176,9 +194,19 @@ type Cache struct {
 	eng  engine           // whichever of the two is live
 	m    itemIndex
 	exp  expIndex
+	cfg  Config
 
 	lru   *lruList
 	stats counters
+
+	// usedBytes tracks the cache's logical footprint (the MaxBytes valve's
+	// currency), maintained from the LRU's per-node sizes so no accounting
+	// step ever needs a device read.
+	usedBytes atomic.Int64
+
+	// growMu serializes online grows so concurrent full writers walk the
+	// doubling schedule one step at a time.
+	growMu sync.Mutex
 
 	// repl holds the replication hooks (nil pointer or nil fields = not
 	// replicating): one atomic so SetReplication is safe mid-traffic.
@@ -229,6 +257,12 @@ type Stats struct {
 	ReplSeq        uint64
 	ReplLagOps     uint64
 	ReplReconnects uint64
+
+	// Elastic-capacity rows (PR 9).
+	EvictionsBytes uint64 // logical bytes reclaimed by LRU evictions
+	GrowCount      uint64 // successful online pool grows
+	PoolBytesTotal uint64 // pool capacity (device bytes, all shards)
+	PoolBytesUsed  uint64 // pool capacity currently allocated
 }
 
 // counters is the live, lock-free form of Stats: plain atomics bumped on
@@ -246,6 +280,9 @@ type counters struct {
 	casBadval atomic.Uint64
 	casMisses atomic.Uint64
 	flushes   atomic.Uint64
+
+	evictionsBytes atomic.Uint64
+	growCount      atomic.Uint64
 }
 
 // New creates a durable cache. On the default in-process backend the device
@@ -267,6 +304,9 @@ func New(cfg Config) (*Cache, error) {
 		logfree.WithWriteLatency(cfg.WriteLatency),
 		logfree.WithLinkCache(!cfg.DisableLinkCache && cfg.File == ""),
 	}
+	if cfg.MaxGrowBytes != 0 {
+		opts = append(opts, logfree.WithMaxSize(cfg.MaxGrowBytes))
+	}
 	if cfg.File != "" {
 		opts = append(opts, logfree.WithFile(cfg.File), logfree.WithFileSync(cfg.FileSync))
 	}
@@ -282,7 +322,7 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cache{rt: rt, eng: rt, m: m, exp: exp, lru: newLRU()}
+	c := &Cache{rt: rt, eng: rt, m: m, exp: exp, cfg: cfg, lru: newLRU()}
 	if rt.Recovered() {
 		c.rebuildVolatile()
 	}
@@ -300,6 +340,9 @@ func newSharded(cfg Config) (*Cache, error) {
 		sharded.WithWriteLatency(cfg.WriteLatency),
 		sharded.WithMaxThreads(cfg.MaxConns + 1),
 		sharded.WithLinkCache(!cfg.DisableLinkCache && cfg.File == ""),
+	}
+	if cfg.MaxGrowBytes != 0 {
+		opts = append(opts, sharded.WithMaxShardSize(cfg.MaxGrowBytes/uint64(cfg.Shards)))
 	}
 	if cfg.File != "" {
 		opts = append(opts, sharded.WithDir(cfg.File), sharded.WithFileSync(cfg.FileSync))
@@ -322,26 +365,29 @@ func newSharded(cfg Config) (*Cache, error) {
 		pool.Close()
 		return nil, err
 	}
-	c := &Cache{pool: pool, eng: pool, m: m, exp: exp, lru: newLRU()}
+	c := &Cache{pool: pool, eng: pool, m: m, exp: exp, cfg: cfg, lru: newLRU()}
 	if pool.Recovered() {
 		c.rebuildVolatile()
 	}
 	return c, nil
 }
 
-// rebuildVolatile repopulates the LRU list and item count from one index
-// walk — the volatile metadata reset a recovery implies (recency order is
-// lost, contents are not).
+// rebuildVolatile repopulates the LRU list, item count and logical
+// used-bytes total from one index walk — the volatile metadata reset a
+// recovery implies (recency order is lost, contents are not).
 func (m *Cache) rebuildVolatile() {
-	var items int64
-	for key := range m.m.All() {
+	var items, used int64
+	for key, value := range m.m.All() {
 		if isReplMeta(key) {
 			continue
 		}
-		m.lru.add(string(key))
+		size := entrySize(key, value)
+		m.lru.add(string(key), size)
+		used += size
 		items++
 	}
 	m.stats.items.Store(items)
+	m.usedBytes.Store(used)
 }
 
 // Close drains the cache and closes the underlying runtime or pool;
@@ -394,7 +440,36 @@ func (m *Cache) Stats() Stats {
 		CasBadval:      m.stats.casBadval.Load(),
 		CasMisses:      m.stats.casMisses.Load(),
 		Flushes:        m.stats.flushes.Load(),
+		EvictionsBytes: m.stats.evictionsBytes.Load(),
+		GrowCount:      m.stats.growCount.Load(),
+		PoolBytesTotal: m.eng.SizeBytes(),
+		PoolBytesUsed:  m.eng.SizeBytes() - m.eng.FreeBytes(),
 	}
+}
+
+// SizeBytes reports the pool's total device capacity (all shards).
+func (m *Cache) SizeBytes() uint64 { return m.eng.SizeBytes() }
+
+// UsedBytes reports the cache's logical footprint: entry overhead + key +
+// value summed over live items (the quantity Config.MaxBytes caps).
+func (m *Cache) UsedBytes() int64 { return m.usedBytes.Load() }
+
+// Grow extends the pool online to total bytes (crash-atomic, shards in
+// parallel when sharded). Requires the elastic reserve Config.MaxGrowBytes.
+func (m *Cache) Grow(total uint64) error {
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	before := m.eng.SizeBytes()
+	if err := m.eng.Grow(total); err != nil {
+		return err
+	}
+	if after := m.eng.SizeBytes(); after > before {
+		m.stats.growCount.Add(1)
+		if m.cfg.OnGrow != nil {
+			m.cfg.OnGrow(after)
+		}
+	}
+	return nil
 }
 
 // expired reports whether an item's aux word's expiry half (unix deadline,
@@ -422,6 +497,70 @@ func (m *Cache) Get(key []byte) (value []byte, flags uint16, ok bool) {
 // single-flow eviction loop is the one the preceding deletes retired into.
 func (m *Cache) reclaim() { m.eng.Reclaim() }
 
+// entrySize is an item's logical footprint: the byte-map entry overhead plus
+// key and value — the currency of Config.MaxBytes and the used-bytes stat.
+func entrySize(key, value []byte) int64 {
+	return int64(logfree.MapEntryOverhead + len(key) + len(value))
+}
+
+// lowWater is the allocator headroom kept ahead of writes so allocations
+// deep in the index never fail (memcached's behaviour under memory
+// pressure).
+const lowWater = 256 << 10
+
+// tryGrow extends the pool one step along the doubling schedule (clamped to
+// Config.MaxGrowBytes), reporting whether capacity actually grew. Grows are
+// serialized; concurrent writers under pressure take the schedule one step
+// at a time instead of racing it to the reserve.
+func (m *Cache) tryGrow() bool {
+	if m.cfg.MaxGrowBytes == 0 {
+		return false
+	}
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	target := capacity.NextGrowTarget(m.eng.SizeBytes(), m.cfg.MaxGrowBytes)
+	if target == 0 {
+		return false
+	}
+	if err := m.eng.Grow(target); err != nil {
+		return false
+	}
+	m.stats.growCount.Add(1)
+	if m.cfg.OnGrow != nil {
+		m.cfg.OnGrow(m.eng.SizeBytes())
+	}
+	return true
+}
+
+// ensureHeadroom makes room for an incoming write of `incoming` logical
+// bytes: first the device-pressure valve (grow while the reserve allows,
+// then LRU-evict down to the low-water headroom), then the logical MaxBytes
+// valve (evict until the write fits the configured budget).
+func (m *Cache) ensureHeadroom(incoming int64) {
+	for i := 0; m.eng.AvailableBytes() < lowWater && i < 256; i++ {
+		if m.tryGrow() {
+			continue
+		}
+		if !m.evictOne() {
+			break
+		}
+		if i%16 == 15 {
+			// Convert retirements into reusable slots right away.
+			m.reclaim()
+		}
+	}
+	if max := int64(m.cfg.MaxBytes); max > 0 {
+		for i := 0; m.usedBytes.Load()+incoming > max && i < 256; i++ {
+			if !m.evictOne() {
+				break
+			}
+			if i%16 == 15 {
+				m.reclaim()
+			}
+		}
+	}
+}
+
 // Set binds key to value, durably, evicting LRU items under memory pressure.
 func (m *Cache) Set(key, value []byte, flags uint16, expiry uint32) error {
 	_, err := m.SetCAS(key, value, flags, expiry)
@@ -440,18 +579,7 @@ func (m *Cache) SetCAS(key, value []byte, flags uint16, expiry uint32) (uint64, 
 	m.stats.sets.Add(1)
 	var seq uint64
 	defer func() { m.waitRepl(seq) }()
-	// Proactive LRU eviction: keep enough headroom that allocations deep in
-	// the index never fail (memcached's behaviour under memory pressure).
-	const lowWater = 256 << 10
-	for i := 0; m.eng.AvailableBytes() < lowWater && i < 256; i++ {
-		if !m.evictOne() {
-			break
-		}
-		if i%16 == 15 {
-			// Convert retirements into reusable slots right away.
-			m.reclaim()
-		}
-	}
+	m.ensureHeadroom(entrySize(key, value))
 	for attempt := 0; ; attempt++ {
 		cas, s, err := m.setLocked(key, value, flags, expiry)
 		if err == nil {
@@ -461,7 +589,7 @@ func (m *Cache) SetCAS(key, value []byte, flags uint16, expiry uint32) (uint64, 
 		if !errors.Is(err, logfree.ErrFull) || attempt > 64 {
 			return 0, err
 		}
-		if !m.evictOne() {
+		if !m.tryGrow() && !m.evictOne() {
 			return 0, err
 		}
 		m.reclaim()
@@ -508,7 +636,7 @@ func (m *Cache) setItemLocked(key, value []byte, flags uint16, expiry uint32) (u
 	if oldExp := auxExpiry(oldAux); hadOld && oldExp != 0 && oldExp != expiry {
 		m.exp.Delete(expKey(uint64(oldExp), key))
 	}
-	m.lru.add(string(key))
+	m.usedBytes.Add(m.lru.add(string(key), entrySize(key, value)))
 	if created {
 		m.stats.items.Add(1)
 	}
@@ -525,30 +653,32 @@ func (m *Cache) setLocked(key, value []byte, flags uint16, expiry uint32) (uint6
 
 // Delete removes key durably.
 func (m *Cache) Delete(key []byte) bool {
-	ok, seq := m.deleteNoWait(key)
+	ok, seq, _ := m.deleteNoWait(key)
 	m.waitRepl(seq)
 	return ok
 }
 
 // deleteNoWait is Delete without the replication-ack wait: internal callers
 // (evictions, flush_all, the covering client op of an eviction) either do
-// not need per-delete acks or wait once on a later covering seq.
-func (m *Cache) deleteNoWait(key []byte) (bool, uint64) {
+// not need per-delete acks or wait once on a later covering seq. freed is
+// the item's logical footprint (evictOne folds it into evictions_bytes).
+func (m *Cache) deleteNoWait(key []byte) (ok bool, seq uint64, freed int64) {
 	m.stats.deletes.Add(1)
 	mu := m.lockKey(key)
 	mu.Lock()
 	defer mu.Unlock()
 	aux, _ := m.m.GetAux(key)
 	if !m.m.Delete(key) {
-		return false, 0
+		return false, 0, 0
 	}
-	seq := m.publishDelete(key)
+	seq = m.publishDelete(key)
 	if e := auxExpiry(aux); e != 0 {
 		m.exp.Delete(expKey(uint64(e), key))
 	}
-	m.lru.remove(string(key))
+	freed = m.lru.remove(string(key))
+	m.usedBytes.Add(-freed)
 	m.stats.items.Add(-1)
-	return true, seq
+	return true, seq, freed
 }
 
 // DeleteCAS deletes key only when its stored CAS unique matches cas (the
@@ -580,7 +710,7 @@ func (m *Cache) DeleteCAS(key []byte, cas uint64) error {
 	if e := auxExpiry(aux); e != 0 {
 		m.exp.Delete(expKey(uint64(e), key))
 	}
-	m.lru.remove(string(key))
+	m.usedBytes.Add(-m.lru.remove(string(key)))
 	m.stats.items.Add(-1)
 	m.stats.casHits.Add(1)
 	return nil
@@ -603,7 +733,7 @@ func (m *Cache) FlushAll() int {
 	n := 0
 	var last uint64
 	for _, k := range keys {
-		ok, seq := m.deleteNoWait(k)
+		ok, seq, _ := m.deleteNoWait(k)
 		if ok {
 			n++
 		}
@@ -641,7 +771,7 @@ func (m *Cache) SweepExpired(now int64) int {
 				// deadline (aux travels verbatim), so an unreplicated sweep
 				// delete is merely deferred tidiness there, never staleness.
 				m.publishDelete(key)
-				m.lru.remove(string(key))
+				m.usedBytes.Add(-m.lru.remove(string(key)))
 				m.stats.items.Add(-1)
 				m.stats.expired.Add(1)
 				n++
@@ -688,11 +818,12 @@ func (m *Cache) evictOne() bool {
 	}
 	// No ack wait: the client op driving the eviction waits on its own
 	// (later) seq, which the ordered stream makes a covering ack.
-	if ok, _ := m.deleteNoWait([]byte(key)); ok {
+	if ok, _, freed := m.deleteNoWait([]byte(key)); ok {
 		m.stats.evictions.Add(1)
+		m.stats.evictionsBytes.Add(uint64(freed))
 		return true
 	}
-	m.lru.remove(key) // stale LRU entry
+	m.usedBytes.Add(-m.lru.remove(key)) // stale LRU entry
 	return true
 }
 

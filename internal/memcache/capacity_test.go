@@ -1,0 +1,242 @@
+package memcache
+
+// Elastic-capacity behaviour (PR 9): online auto-grow under allocator
+// pressure, the logical MaxBytes eviction valve, used-bytes accounting, and
+// the crash-consistency of eviction (kill mid-eviction must never resurrect
+// an evicted value under another key or leak its extent).
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestAutoGrowUnderPressure(t *testing.T) {
+	var grown []uint64
+	m, err := New(Config{
+		MemoryBytes:  4 << 20,
+		MaxGrowBytes: 64 << 20,
+		Buckets:      1024,
+		MaxConns:     2,
+		OnGrow:       func(total uint64) { grown = append(grown, total) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	val := make([]byte, 1024)
+	for i := 0; i < 8000; i++ {
+		key := []byte(fmt.Sprintf("grow-%06d", i))
+		if err := m.Set(key, val, 0, 0); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	st := m.Stats()
+	if st.GrowCount == 0 {
+		t.Fatal("8000×1KB into a 4MB pool with a 64MB reserve: no grow happened")
+	}
+	if m.SizeBytes() <= 4<<20 {
+		t.Fatalf("SizeBytes = %d, want > initial 4MB", m.SizeBytes())
+	}
+	if st.PoolBytesTotal != m.SizeBytes() {
+		t.Fatalf("PoolBytesTotal = %d, SizeBytes = %d", st.PoolBytesTotal, m.SizeBytes())
+	}
+	if len(grown) != int(st.GrowCount) {
+		t.Fatalf("OnGrow fired %d times, GrowCount = %d", len(grown), st.GrowCount)
+	}
+	for i := 1; i < len(grown); i++ {
+		if grown[i] <= grown[i-1] {
+			t.Fatalf("OnGrow totals not increasing: %v", grown)
+		}
+	}
+	if _, _, ok := m.Get([]byte("grow-007999")); !ok {
+		t.Fatal("most recent key lost")
+	}
+}
+
+func TestAutoGrowSharded(t *testing.T) {
+	m, err := New(Config{
+		MemoryBytes:  8 << 20,
+		MaxGrowBytes: 64 << 20,
+		Buckets:      4096,
+		MaxConns:     4,
+		Shards:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	val := make([]byte, 1024)
+	for i := 0; i < 12000; i++ {
+		key := []byte(fmt.Sprintf("sg-%06d", i))
+		if err := m.Set(key, val, 0, 0); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	if m.Stats().GrowCount == 0 {
+		t.Fatal("sharded pool never grew under pressure")
+	}
+	if _, _, ok := m.Get([]byte("sg-011999")); !ok {
+		t.Fatal("most recent key lost")
+	}
+}
+
+func TestMaxBytesEviction(t *testing.T) {
+	m, err := New(Config{MemoryBytes: 64 << 20, MaxBytes: 1 << 20, Buckets: 1024, MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	val := make([]byte, 1024)
+	for i := 0; i < 4000; i++ {
+		key := []byte(fmt.Sprintf("mb-%06d", i))
+		if err := m.Set(key, val, 0, 0); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	st := m.Stats()
+	if st.Evictions == 0 || st.EvictionsBytes == 0 {
+		t.Fatalf("MaxBytes valve idle: evictions=%d evictions_bytes=%d", st.Evictions, st.EvictionsBytes)
+	}
+	// The budget holds up to one in-flight entry of slack.
+	slack := entrySize([]byte("mb-000000"), val)
+	if used := m.UsedBytes(); used > int64(1<<20)+slack {
+		t.Fatalf("UsedBytes = %d, exceeds the 1MB budget", used)
+	}
+	if _, _, ok := m.Get([]byte("mb-003999")); !ok {
+		t.Fatal("most recent key evicted")
+	}
+}
+
+func TestUsedBytesAccounting(t *testing.T) {
+	m := newCache(t)
+	defer m.Close()
+	if got := m.UsedBytes(); got != 0 {
+		t.Fatalf("fresh cache UsedBytes = %d", got)
+	}
+	key, v1, v2 := []byte("acct"), []byte("short"), bytes.Repeat([]byte("x"), 900)
+	m.Set(key, v1, 0, 0)
+	if got := m.UsedBytes(); got != entrySize(key, v1) {
+		t.Fatalf("after set: UsedBytes = %d, want %d", got, entrySize(key, v1))
+	}
+	m.Set(key, v2, 0, 0) // rewrite larger
+	if got := m.UsedBytes(); got != entrySize(key, v2) {
+		t.Fatalf("after rewrite: UsedBytes = %d, want %d", got, entrySize(key, v2))
+	}
+	m.Delete(key)
+	if got := m.UsedBytes(); got != 0 {
+		t.Fatalf("after delete: UsedBytes = %d, want 0", got)
+	}
+}
+
+func TestUsedBytesRebuiltOnRecovery(t *testing.T) {
+	m := newCache(t)
+	want := int64(0)
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("rb-%03d", i))
+		val := bytes.Repeat([]byte("v"), 1+i%64)
+		m.Set(key, val, 0, 0)
+		want += entrySize(key, val)
+	}
+	m.Flush()
+	m.Device().Crash()
+	m2, _, err := Recover(m.Device(), Config{MemoryBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := m2.UsedBytes(); got != want {
+		t.Fatalf("recovered UsedBytes = %d, want %d", got, want)
+	}
+}
+
+// tortureVal is the unique value bound to torture key i: any recovered value
+// that does not match its own key's pattern means an evicted item's extent
+// was reused before its delete was durable (cross-key bleed).
+func tortureVal(i int) []byte {
+	v := make([]byte, 512)
+	copy(v, fmt.Sprintf("torture-value-%06d|", i))
+	for j := len(fmt.Sprintf("torture-value-%06d|", i)); j < len(v); j++ {
+		v[j] = byte(i)
+	}
+	return v
+}
+
+// TestEvictionCrashTorture kills the cache (word-granular, via StoreHook) at
+// a sweep of points while eviction is churning, recovers, and asserts the
+// delete-before-reuse ordering: every surviving key reads back its own
+// value exactly, and the cache stays fully operable (extents of evicted
+// items are reusable — no leak).
+func TestEvictionCrashTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash torture sweep is slow")
+	}
+	cfg := Config{MemoryBytes: 2 << 20, Buckets: 256, MaxConns: 2, DisableLinkCache: true}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := m.Device()
+
+	next := 0
+	fill := func(c *Cache, n int) error {
+		for j := 0; j < n; j++ {
+			if err := c.Set([]byte(fmt.Sprintf("t-%06d", next)), tortureVal(next), 0, 0); err != nil {
+				return err
+			}
+			next++
+		}
+		return nil
+	}
+	// Reach steady-state memory pressure so every further set evicts.
+	if err := fill(m, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Evictions == 0 {
+		t.Fatal("pre-fill did not reach eviction pressure")
+	}
+
+	for k := 1; k <= 40; k++ {
+		remaining := k * 257 // vary the kill point across eviction's write sequence
+		dev.StoreHook = func() {
+			remaining--
+			if remaining == 0 {
+				panic("torture kill")
+			}
+		}
+		aborted := false
+		func() {
+			defer func() {
+				if recover() != nil {
+					aborted = true
+				}
+			}()
+			_ = fill(m, 64)
+		}()
+		dev.StoreHook = nil
+		if !aborted {
+			continue
+		}
+		dev.Crash()
+		m2, _, err := Recover(dev, cfg)
+		if err != nil {
+			t.Fatalf("k=%d: recovery after mid-eviction kill: %v", k, err)
+		}
+		for i := 0; i < next; i++ {
+			v, _, ok := m2.Get([]byte(fmt.Sprintf("t-%06d", i)))
+			if !ok {
+				continue // evicted, or its in-flight set died with the crash
+			}
+			if !bytes.Equal(v, tortureVal(i)) {
+				t.Fatalf("k=%d: key t-%06d corrupt after crash (cross-key bleed)", k, i)
+			}
+		}
+		m = m2
+	}
+
+	// The survivor must still absorb a full working set: evicted extents came
+	// back to the allocator.
+	if err := fill(m, 4096); err != nil {
+		t.Fatalf("post-torture fill: %v", err)
+	}
+}

@@ -36,7 +36,11 @@ type lruShard struct {
 }
 
 type lruNode struct {
-	key        string
+	key string
+	// size is the item's logical footprint (entry overhead + key + value),
+	// carried here so the cache's used-bytes accounting never needs a
+	// device read to learn the size of the value it replaces or evicts.
+	size       int64
 	prev, next *lruNode
 }
 
@@ -54,17 +58,23 @@ func (l *lruList) shard(key string) *lruShard {
 	return &l.shards[fnv1aStripe(key)&(lruShards-1)]
 }
 
-func (l *lruList) add(key string) {
+// add records key at size logical bytes (most recent), returning the change
+// in the structure's total footprint: size for a new key, the size delta for
+// a rewrite. Callers fold the delta into the cache's used-bytes counter.
+func (l *lruList) add(key string, size int64) (delta int64) {
 	s := l.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n, ok := s.nodes[key]; ok {
+		delta = size - n.size
+		n.size = size
 		s.moveToFront(n)
-		return
+		return delta
 	}
-	n := &lruNode{key: key}
+	n := &lruNode{key: key, size: size}
 	s.nodes[key] = n
 	s.pushFront(n)
+	return size
 }
 
 func (l *lruList) touch(key string) {
@@ -76,14 +86,17 @@ func (l *lruList) touch(key string) {
 	}
 }
 
-func (l *lruList) remove(key string) {
+// remove drops key, returning its logical footprint (0 if absent).
+func (l *lruList) remove(key string) (freed int64) {
 	s := l.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n, ok := s.nodes[key]; ok {
 		s.unlink(n)
 		delete(s.nodes, key)
+		return n.size
 	}
+	return 0
 }
 
 // oldest returns the least recently used key of the next non-empty shard in

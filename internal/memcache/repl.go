@@ -124,17 +124,9 @@ func (m *Cache) SetReplMeta(runID, seq uint64) error {
 // ApplySet stores one replicated item byte-faithfully: the value, flags and
 // aux word (CAS unique + expiry packed) land exactly as the primary wrote
 // them, so a promoted follower's CAS generation chain continues the
-// primary's. Runs the same LRU-eviction pressure valve as SetCAS.
+// primary's. Runs the same grow-then-evict pressure valve as SetCAS.
 func (m *Cache) ApplySet(key, value []byte, flags uint16, aux uint64) error {
-	const lowWater = 256 << 10
-	for i := 0; m.eng.AvailableBytes() < lowWater && i < 256; i++ {
-		if !m.evictOne() {
-			break
-		}
-		if i%16 == 15 {
-			m.reclaim()
-		}
-	}
+	m.ensureHeadroom(entrySize(key, value))
 	for attempt := 0; ; attempt++ {
 		err := m.applySetLocked(key, value, flags, aux)
 		if err == nil {
@@ -143,7 +135,7 @@ func (m *Cache) ApplySet(key, value []byte, flags uint16, aux uint64) error {
 		if !errors.Is(err, logfree.ErrFull) || attempt > 64 {
 			return err
 		}
-		if !m.evictOne() {
+		if !m.tryGrow() && !m.evictOne() {
 			return err
 		}
 		m.reclaim()
@@ -170,7 +162,7 @@ func (m *Cache) applySetLocked(key, value []byte, flags uint16, aux uint64) erro
 	if oldExp := auxExpiry(oldAux); hadOld && oldExp != 0 && oldExp != expiry {
 		m.exp.Delete(expKey(uint64(oldExp), key))
 	}
-	m.lru.add(string(key))
+	m.usedBytes.Add(m.lru.add(string(key), entrySize(key, value)))
 	if created {
 		m.stats.items.Add(1)
 	}
@@ -190,7 +182,7 @@ func (m *Cache) ApplyDelete(key []byte) error {
 	if e := auxExpiry(aux); e != 0 {
 		m.exp.Delete(expKey(uint64(e), key))
 	}
-	m.lru.remove(string(key))
+	m.usedBytes.Add(-m.lru.remove(string(key)))
 	m.stats.items.Add(-1)
 	return nil
 }
@@ -201,15 +193,7 @@ func (m *Cache) ApplyDelete(key []byte) error {
 // the follower re-converges by replaying the stream from the snapshot's
 // start seq, which is idempotent because records carry items verbatim.
 func (m *Cache) SnapshotItems(emit func(key, value []byte, flags uint16, aux uint64) error) error {
-	for k, it := range m.m.Items() {
-		if isReplMeta(k) {
-			continue
-		}
-		if err := emit(k, it.Value, it.Meta, it.Aux); err != nil {
-			return err
-		}
-	}
-	return nil
+	return m.forEachItem(emit)
 }
 
 // ResetForSnapshot clears every item (but not the repl meta slot) before a

@@ -210,23 +210,94 @@ func TestReplicationResnapshotConverges(t *testing.T) {
 	}
 }
 
-// TestReplStatsConformance pins the exact repl_* stats rows, on both
-// backends, for a cache that is not replicating: the table contract the
-// failover tooling greps.
+// TestReplStatsConformance pins the exact stats table, on both backends,
+// for an idle cache that is not replicating: the contract the failover and
+// capacity tooling greps. The pool_bytes_* rows carry live values, so they
+// are interpolated from a Stats() snapshot taken before the request (the
+// cache is idle in between — the table must match byte-exactly).
 func TestReplStatsConformance(t *testing.T) {
 	for _, backend := range protoBackends {
 		t.Run(backend, func(t *testing.T) {
-			conn := newProtoConn(t, backend)
+			m := newProtoCache(t, backend)
+			srv, err := NewServer("127.0.0.1:0", 4, m, m.Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			st := m.Stats()
 			if _, err := conn.Write([]byte("stats\r\n")); err != nil {
 				t.Fatal(err)
 			}
 			want := "STAT cmd_get 0\r\nSTAT cmd_set 0\r\nSTAT cmd_touch 0\r\nSTAT cmd_flush 0\r\n" +
 				"STAT get_hits 0\r\nSTAT get_misses 0\r\n" +
 				"STAT cas_hits 0\r\nSTAT cas_badval 0\r\nSTAT cas_misses 0\r\n" +
-				"STAT evictions 0\r\nSTAT expired_unfetched 0\r\nSTAT curr_items 0\r\n" +
+				"STAT evictions 0\r\nSTAT evictions_bytes 0\r\n" +
+				"STAT expired_unfetched 0\r\nSTAT curr_items 0\r\n" +
+				"STAT grow_count 0\r\n" +
+				fmt.Sprintf("STAT pool_bytes_total %d\r\nSTAT pool_bytes_used %d\r\n",
+					st.PoolBytesTotal, st.PoolBytesUsed) +
 				"STAT repl_seq 0\r\nSTAT repl_lag_ops 0\r\nSTAT repl_reconnects 0\r\n" +
 				"STAT repl_state none\r\nEND\r\n"
 			expectExact(t, conn, []byte(want))
+		})
+	}
+}
+
+// TestCapacityStatsBinary pins the capacity rows on the binary protocol,
+// both backends, and requires them to agree with the text table.
+func TestCapacityStatsBinary(t *testing.T) {
+	for _, backend := range protoBackends {
+		t.Run(backend, func(t *testing.T) {
+			m := newProtoCache(t, backend)
+			srv, err := NewServer("127.0.0.1:0", 4, m, m.Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(30 * time.Second))
+			st := m.Stats()
+			if _, err := conn.Write(binFrame(binOpStat, 7, 0, nil, nil, nil)); err != nil {
+				t.Fatal(err)
+			}
+			rows := make(map[string]string)
+			for {
+				var hdr [binHeaderLen]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					t.Fatal(err)
+				}
+				keyLen := int(binary.BigEndian.Uint16(hdr[2:]))
+				bodyLen := int(binary.BigEndian.Uint32(hdr[8:]))
+				if bodyLen == 0 {
+					break
+				}
+				body := make([]byte, bodyLen)
+				if _, err := io.ReadFull(conn, body); err != nil {
+					t.Fatal(err)
+				}
+				rows[string(body[:keyLen])] = string(body[keyLen:])
+			}
+			want := map[string]string{
+				"evictions_bytes":  "0",
+				"grow_count":       "0",
+				"pool_bytes_total": fmt.Sprint(st.PoolBytesTotal),
+				"pool_bytes_used":  fmt.Sprint(st.PoolBytesUsed),
+			}
+			for k, w := range want {
+				if rows[k] != w {
+					t.Fatalf("binary stat %s = %q, want %q", k, rows[k], w)
+				}
+			}
 		})
 	}
 }

@@ -757,8 +757,12 @@ func (s *Server) cmdStats(c *connState) {
 	row("cas_badval", st.CasBadval)
 	row("cas_misses", st.CasMisses)
 	row("evictions", st.Evictions)
+	row("evictions_bytes", st.EvictionsBytes)
 	row("expired_unfetched", st.Expired)
 	row("curr_items", uint64(st.Items))
+	row("grow_count", st.GrowCount)
+	row("pool_bytes_total", st.PoolBytesTotal)
+	row("pool_bytes_used", st.PoolBytesUsed)
 	row("repl_seq", st.ReplSeq)
 	row("repl_lag_ops", st.ReplLagOps)
 	row("repl_reconnects", st.ReplReconnects)

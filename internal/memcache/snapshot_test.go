@@ -1,0 +1,218 @@
+package memcache
+
+// Live-snapshot fidelity (PR 9): a restored snapshot must reproduce the
+// dumped cache byte-faithfully — values, flags, expirations, counter state
+// and the per-item CAS chain — and a snapshot taken under heavy writes must
+// be a consistent per-item cut (value and CAS from the SAME mutation).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dumpItems collects the cache's full item state (value, flags, raw aux) for
+// byte-exact comparison.
+func dumpItems(t *testing.T, m *Cache) map[string][3]string {
+	t.Helper()
+	out := make(map[string][3]string)
+	err := m.forEachItem(func(key, value []byte, flags uint16, aux uint64) error {
+		out[string(key)] = [3]string{string(value), fmt.Sprint(flags), fmt.Sprint(aux)}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSnapshotRestoreFidelity(t *testing.T) {
+	m := newCache(t)
+	defer m.Close()
+
+	future := uint32(time.Now().Add(time.Hour).Unix())
+	for i := 0; i < 500; i++ {
+		key := []byte(fmt.Sprintf("fid-%04d", i))
+		val := bytes.Repeat([]byte{byte(i)}, 1+i%700)
+		var exp uint32
+		if i%3 == 0 {
+			exp = future
+		}
+		if err := m.Set(key, val, uint16(i), exp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A mutation chain so restored CAS uniques must carry history, not 1.
+	for i := 0; i < 7; i++ {
+		if _, err := m.SetCAS([]byte("chain"), []byte(fmt.Sprintf("rev-%d", i)), 9, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Counter state (incr/decr operate on decimal strings + the CAS chain).
+	if err := m.Set([]byte("counter"), []byte("40"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Incr([]byte("counter"), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := m.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 502 {
+		t.Fatalf("Snapshot wrote %d items, want 502", n)
+	}
+
+	r := newCache(t)
+	defer r.Close()
+	got, err := r.RestoreSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("restored %d items, snapshot carried %d", got, n)
+	}
+
+	want, have := dumpItems(t, m), dumpItems(t, r)
+	if len(have) != len(want) {
+		t.Fatalf("restored cache has %d items, want %d", len(have), len(want))
+	}
+	for k, w := range want {
+		if have[k] != w {
+			t.Fatalf("item %q differs after restore: got %v, want %v", k, have[k], w)
+		}
+	}
+	if r.Stats().Items != m.Stats().Items {
+		t.Fatalf("Items = %d, want %d", r.Stats().Items, m.Stats().Items)
+	}
+
+	// The restored CAS chain must keep working: a cas with the restored
+	// unique succeeds, continuing the primary's generation sequence.
+	_, _, aux, ok := r.m.GetItem([]byte("chain"))
+	if !ok {
+		t.Fatal("chain key missing after restore")
+	}
+	if got := auxCAS(aux); got != 7 {
+		t.Fatalf("restored CAS unique = %d, want 7", got)
+	}
+	if v, _, ok := r.Get([]byte("counter")); !ok || string(v) != "42" {
+		t.Fatalf("restored counter = %q, want 42", v)
+	}
+	if got, err := r.Incr([]byte("counter"), 1); err != nil || got != 43 {
+		t.Fatalf("incr on restored counter = %d, %v", got, err)
+	}
+}
+
+func TestRestoreRequiresEmptyCache(t *testing.T) {
+	m := newCache(t)
+	defer m.Close()
+	m.Set([]byte("k"), []byte("v"), 0, 0)
+	var buf bytes.Buffer
+	if _, err := m.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RestoreSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into a non-empty cache accepted")
+	}
+}
+
+func TestRestoreRejectsTruncated(t *testing.T) {
+	m := newCache(t)
+	defer m.Close()
+	for i := 0; i < 64; i++ {
+		m.Set([]byte(fmt.Sprintf("k%02d", i)), []byte("value"), 0, 0)
+	}
+	var buf bytes.Buffer
+	if _, err := m.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := newCache(t)
+	defer r.Close()
+	if _, err := r.RestoreSnapshot(bytes.NewReader(buf.Bytes()[:buf.Len()-7])); err == nil {
+		t.Fatal("truncated snapshot restored without error")
+	}
+}
+
+// TestSnapshotDuringWrites streams snapshots while writers hammer a hot key
+// set. Each hot item binds its value to its CAS unique (value = BE64 of the
+// iteration, CAS = iteration+1, written in one crash-atomic publish), so a
+// snapshot that ever pairs a value with another mutation's CAS — a torn cut
+// — is caught by arithmetic. Stable keys, untouched during the stream, must
+// all appear exactly once.
+func TestSnapshotDuringWrites(t *testing.T) {
+	m := newCache(t)
+	defer m.Close()
+
+	const stable = 400
+	for i := 0; i < stable; i++ {
+		if err := m.Set([]byte(fmt.Sprintf("stable-%04d", i)), []byte("s"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const writers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []byte(fmt.Sprintf("hot-%d", w))
+			var val [8]byte
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				binary.BigEndian.PutUint64(val[:], i)
+				if err := m.Set(key, val[:], 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for round := 0; round < 5; round++ {
+		var buf bytes.Buffer
+		if _, err := m.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		seenStable := 0
+		r := newCache(t)
+		n, err := r.RestoreSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round %d: restore of live snapshot: %v", round, err)
+		}
+		if n < stable {
+			t.Fatalf("round %d: snapshot carried %d items, fewer than the %d stable keys", round, n, stable)
+		}
+		err = r.forEachItem(func(key, value []byte, flags uint16, aux uint64) error {
+			switch {
+			case bytes.HasPrefix(key, []byte("stable-")):
+				seenStable++
+			case bytes.HasPrefix(key, []byte("hot-")):
+				i := binary.BigEndian.Uint64(value)
+				if cas := uint64(auxCAS(aux)); cas != i+1 {
+					return fmt.Errorf("torn cut on %q: value from iteration %d, CAS unique %d", key, i, cas)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if seenStable != stable {
+			t.Fatalf("round %d: %d stable keys in snapshot, want %d", round, seenStable, stable)
+		}
+		r.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,5 +1,7 @@
 package nvram
 
+import "fmt"
+
 // Backend is the persistence substrate of a Device: the storage that holds
 // the persisted image (what survives a crash) plus the hook that makes
 // completed write-backs durable at fence points.
@@ -48,29 +50,81 @@ type Backend interface {
 	Close() error
 }
 
+// GrowableBackend is the optional interface of backends that can extend
+// their committed capacity online (elastic pools). For such backends, Words
+// returns the full RESERVE — the maximum the backend can ever grow to — and
+// Committed reports how much of it is live device capacity right now.
+// Non-growable backends simply have reserve == capacity.
+//
+// GrowTo must make the extension durable per the backend's contract before
+// returning (for FileBackend: the file is extended and its header committed
+// with fsyncs, so a machine crash recovers to either the old or the new
+// size, never in between). New capacity reads as zero bytes. Callers
+// serialize GrowTo externally (the device's Grow is the only caller).
+type GrowableBackend interface {
+	Backend
+
+	// Committed returns the live capacity in bytes (<= len(Words())*WordSize).
+	Committed() uint64
+
+	// GrowTo durably extends the live capacity to newSize bytes
+	// (line-aligned, <= the reserve). Growing to the current size or less
+	// is a no-op.
+	GrowTo(newSize uint64) error
+}
+
 // MemBackend is the in-process backend: the persisted image is a plain heap
 // slice, exactly the pre-Backend simulator. It is the default backend of
 // New and the fastest one — a fence costs nothing beyond the simulated
 // NVRAM latency.
 type MemBackend struct {
-	words []uint64
+	words     []uint64
+	committed uint64
 }
 
 // NewMemBackend creates an in-process backend of the given capacity in
 // bytes (rounded up to a full cache line).
 func NewMemBackend(size uint64) *MemBackend {
+	return NewMemBackendReserve(size, 0)
+}
+
+// NewMemBackendReserve creates an in-process backend with size bytes of live
+// capacity inside a reserve of maxSize bytes (both rounded up to a full
+// cache line) that GrowTo can later commit. maxSize <= size means no
+// headroom — identical to NewMemBackend(size).
+func NewMemBackendReserve(size, maxSize uint64) *MemBackend {
 	if size < LineSize {
 		size = LineSize
 	}
 	size = (size + LineSize - 1) &^ uint64(LineSize-1)
-	return &MemBackend{words: make([]uint64, size/WordSize)}
+	reserve := size
+	if maxSize > reserve {
+		reserve = (maxSize + LineSize - 1) &^ uint64(LineSize-1)
+	}
+	return &MemBackend{words: make([]uint64, reserve/WordSize), committed: size}
 }
 
 // Name identifies the backend kind.
 func (m *MemBackend) Name() string { return "mem" }
 
-// Words returns the persisted image.
+// Words returns the persisted image (the full reserve; see Committed).
 func (m *MemBackend) Words() []uint64 { return m.words }
+
+// Committed returns the live capacity in bytes.
+func (m *MemBackend) Committed() uint64 { return m.committed }
+
+// GrowTo extends the live capacity to newSize bytes. In-process commitment
+// is immediate — there is no medium to sync.
+func (m *MemBackend) GrowTo(newSize uint64) error {
+	if newSize <= m.committed {
+		return nil
+	}
+	if newSize%LineSize != 0 || newSize > uint64(len(m.words))*WordSize {
+		return fmt.Errorf("nvram: mem backend grow to %d bytes exceeds the %d-byte reserve", newSize, uint64(len(m.words))*WordSize)
+	}
+	m.committed = newSize
+	return nil
+}
 
 // SyncLines is a no-op: process memory needs no flushing.
 func (m *MemBackend) SyncLines([]uint64) {}

@@ -299,18 +299,18 @@ func TestFileBackendSurvivesAbandonment(t *testing.T) {
 // so kill -9 never wedges the file.
 func TestFileBackendSingleOwner(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pm.img")
-	fb, _, err := OpenFileBackend(path, 1<<16)
+	fb, _, err := OpenFileBackend(path, 1<<16, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := OpenFileBackend(path, 0); err == nil ||
+	if _, _, err := OpenFileBackend(path, 0, 0); err == nil ||
 		!strings.Contains(err.Error(), "locked by another live process") {
 		t.Fatalf("second open = %v, want lock error", err)
 	}
 	if err := fb.Close(); err != nil {
 		t.Fatal(err)
 	}
-	fb2, _, err := OpenFileBackend(path, 0)
+	fb2, _, err := OpenFileBackend(path, 0, 0)
 	if err != nil {
 		t.Fatalf("reopen after close: %v", err)
 	}
@@ -333,7 +333,7 @@ func TestFileBackendHeaderValidation(t *testing.T) {
 	}
 	mustFail := func(t *testing.T, path string, size uint64, frag string) {
 		t.Helper()
-		_, _, err := OpenFileBackend(path, size)
+		_, _, err := OpenFileBackend(path, size, 0)
 		if err == nil || !strings.Contains(err.Error(), frag) {
 			t.Fatalf("open = %v, want error containing %q", err, frag)
 		}
@@ -383,7 +383,7 @@ func TestFileBackendHeaderValidation(t *testing.T) {
 	})
 	t.Run("matching-size-ok", func(t *testing.T) {
 		path := newFile(t)
-		fb, created, err := OpenFileBackend(path, 1<<16)
+		fb, created, err := OpenFileBackend(path, 1<<16, 0)
 		if err != nil || created {
 			t.Fatalf("open with matching size: %v created=%v", err, created)
 		}

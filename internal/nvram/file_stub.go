@@ -13,7 +13,7 @@ var ErrFileBackendUnsupported = errors.New("nvram: file-backed devices require a
 type FileBackend struct{}
 
 // OpenFileBackend fails: no shared file mappings on this platform.
-func OpenFileBackend(string, uint64) (*FileBackend, bool, error) {
+func OpenFileBackend(string, uint64, uint64) (*FileBackend, bool, error) {
 	return nil, false, ErrFileBackendUnsupported
 }
 
@@ -25,6 +25,12 @@ func (fb *FileBackend) Path() string { return "" }
 
 // Words returns no image on this platform.
 func (fb *FileBackend) Words() []uint64 { return nil }
+
+// Committed returns 0 on this platform.
+func (fb *FileBackend) Committed() uint64 { return 0 }
+
+// GrowTo fails: no shared file mappings on this platform.
+func (fb *FileBackend) GrowTo(uint64) error { return ErrFileBackendUnsupported }
 
 // NeedsSync reports false on this platform.
 func (fb *FileBackend) NeedsSync() bool { return false }

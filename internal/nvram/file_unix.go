@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"slices"
+	"sync/atomic"
 	"syscall"
 	"unsafe"
 )
@@ -38,6 +39,14 @@ type FileBackend struct {
 	pageSz  uint64
 	strict  bool
 	path    string
+
+	// committed is the live image capacity in bytes; reserve is the mapped
+	// headroom GrowTo can extend into (the mapping covers the reserve even
+	// beyond the file's EOF — pages past EOF are never touched until a
+	// GrowTo has extended the file over them). committed is atomic because
+	// fences read it concurrently with (rare, externally serialized) grows.
+	committed atomic.Uint64
+	reserve   uint64
 }
 
 const (
@@ -62,7 +71,13 @@ const (
 // file, size 0 adopts the file's formatted capacity and any other value
 // must match it exactly. The second result reports whether the file was
 // created (true) or an existing image was opened (false).
-func OpenFileBackend(path string, size uint64) (fb *FileBackend, created bool, err error) {
+//
+// maxSize, when non-zero, reserves growth headroom: the mapping covers
+// maxSize bytes so GrowTo can extend the live image online, and opening an
+// existing file ADOPTS its formatted capacity (an elastic pool's committed
+// size is whatever its last durable grow reached, not what a flag says)
+// instead of enforcing a size match.
+func OpenFileBackend(path string, size, maxSize uint64) (fb *FileBackend, created bool, err error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, false, fmt.Errorf("nvram: open pmem file: %w", err)
@@ -93,12 +108,22 @@ func OpenFileBackend(path string, size uint64) (fb *FileBackend, created bool, e
 		}
 		created = true
 	} else {
-		devSize, err = validateFileHeader(f, st.Size(), size)
+		wantSize := size
+		if maxSize != 0 {
+			wantSize = 0 // elastic pool: adopt the file's committed capacity
+		}
+		devSize, err = validateFileHeader(f, st.Size(), wantSize)
 		if err != nil {
 			return nil, false, err
 		}
 	}
-	mapping, err := syscall.Mmap(int(f.Fd()), 0, int(fileHeaderSize+devSize),
+	reserve := devSize
+	if maxSize != 0 {
+		if m := (maxSize + LineSize - 1) &^ uint64(LineSize-1); m > reserve {
+			reserve = m
+		}
+	}
+	mapping, err := syscall.Mmap(int(f.Fd()), 0, int(fileHeaderSize+reserve),
 		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
 	if err != nil {
 		return nil, false, fmt.Errorf("nvram: mmap pmem file: %w", err)
@@ -106,10 +131,12 @@ func OpenFileBackend(path string, size uint64) (fb *FileBackend, created bool, e
 	fb = &FileBackend{
 		f:       f,
 		mapping: mapping,
-		words:   unsafe.Slice((*uint64)(unsafe.Pointer(&mapping[fileHeaderSize])), devSize/WordSize),
+		words:   unsafe.Slice((*uint64)(unsafe.Pointer(&mapping[fileHeaderSize])), reserve/WordSize),
 		pageSz:  uint64(os.Getpagesize()),
 		path:    path,
+		reserve: reserve,
 	}
+	fb.committed.Store(devSize)
 	return fb, created, nil
 }
 
@@ -161,7 +188,10 @@ func validateFileHeader(f *os.File, fileSize int64, wantSize uint64) (uint64, er
 	if devSize == 0 || devSize%LineSize != 0 {
 		return 0, fmt.Errorf("nvram: pmem file capacity %d is not line-aligned", devSize)
 	}
-	if uint64(fileSize) != fileHeaderSize+devSize {
+	// A file LONGER than its header promises is valid: a crash between a
+	// grow's file extension and its header commit leaves exactly that, and
+	// recovery adopts the old (header) size. Shorter means real truncation.
+	if uint64(fileSize) < fileHeaderSize+devSize {
 		return 0, fmt.Errorf("nvram: pmem file truncated: header says %d image bytes, file holds %d",
 			devSize, fileSize-fileHeaderSize)
 	}
@@ -183,8 +213,44 @@ func (fb *FileBackend) Name() string { return "file" }
 // Path returns the backing file path.
 func (fb *FileBackend) Path() string { return fb.path }
 
-// Words returns the persisted image: the mapped file past the header.
+// Words returns the persisted image: the mapped file past the header. The
+// slice covers the full reserve; only the Committed prefix is live.
 func (fb *FileBackend) Words() []uint64 { return fb.words }
+
+// Committed returns the live image capacity in bytes.
+func (fb *FileBackend) Committed() uint64 { return fb.committed.Load() }
+
+// GrowTo durably extends the live image to newSize bytes within the mapped
+// reserve. Commit order is crash-safe for machine crashes too: the file is
+// extended and fsynced BEFORE the header's size word is rewritten and
+// fsynced, so any crash recovers a header whose promised image the file
+// fully contains — the old size (extension not yet committed) or the new
+// one. Grows are rare (capacity doublings), so two fsyncs are fine.
+func (fb *FileBackend) GrowTo(newSize uint64) error {
+	cur := fb.committed.Load()
+	if newSize <= cur {
+		return nil
+	}
+	if newSize%LineSize != 0 || newSize > fb.reserve {
+		return fmt.Errorf("nvram: pmem file grow to %d bytes exceeds the %d-byte reserve", newSize, fb.reserve)
+	}
+	if err := fb.f.Truncate(int64(fileHeaderSize + newSize)); err != nil {
+		return fmt.Errorf("nvram: extend pmem file: %w", err)
+	}
+	if err := fb.f.Sync(); err != nil {
+		return fmt.Errorf("nvram: sync pmem file extension: %w", err)
+	}
+	var sz [8]byte
+	binary.LittleEndian.PutUint64(sz[:], newSize)
+	if _, err := fb.f.WriteAt(sz[:], fhSizeOff); err != nil {
+		return fmt.Errorf("nvram: commit pmem grow header: %w", err)
+	}
+	if err := fb.f.Sync(); err != nil {
+		return fmt.Errorf("nvram: sync pmem grow header: %w", err)
+	}
+	fb.committed.Store(newSize)
+	return nil
+}
 
 // NeedsSync reports true: fences must reach the mapping's sync hook.
 func (fb *FileBackend) NeedsSync() bool { return true }
@@ -264,7 +330,10 @@ func (fb *FileBackend) Close() error {
 	if fb.mapping == nil {
 		return nil
 	}
-	errSync := msyncRange(fb.mapping, true)
+	// Only the committed prefix is backed by file pages; msyncing reserve
+	// pages past EOF would fault.
+	live := fileHeaderSize + fb.committed.Load()
+	errSync := msyncRange(fb.mapping[:live:live], true)
 	if err := fb.f.Sync(); errSync == nil {
 		errSync = err
 	}
@@ -283,7 +352,7 @@ func (fb *FileBackend) Close() error {
 // exactly the state after a reboot — and recovery is the caller's normal
 // attach path. The second result reports whether the file was created.
 func OpenFileDevice(path string, cfg Config) (*Device, bool, error) {
-	fb, created, err := OpenFileBackend(path, cfg.Size)
+	fb, created, err := OpenFileBackend(path, cfg.Size, cfg.MaxSize)
 	if err != nil {
 		return nil, false, err
 	}

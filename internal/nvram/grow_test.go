@@ -1,0 +1,185 @@
+package nvram
+
+// Online-growth semantics of the device layer: committed capacity vs growth
+// reserve, bounds enforcement at the old size until Grow commits, and — for
+// the file backend — the crash ordering of GrowTo (file extension before
+// header commit) plus elastic reopen adoption.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMemDeviceGrow(t *testing.T) {
+	d := New(Config{Size: 4096, MaxSize: 16384})
+	if got := d.Size(); got != 4096 {
+		t.Fatalf("Size = %d, want 4096", got)
+	}
+	if got := d.Reserve(); got != 16384 {
+		t.Fatalf("Reserve = %d, want 16384", got)
+	}
+
+	d.Store(4096-WordSize, 7)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("store past the committed size must panic before Grow")
+			}
+		}()
+		d.Store(4096, 1)
+	}()
+
+	if err := d.Grow(8192); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Size(); got != 8192 {
+		t.Fatalf("Size after Grow = %d, want 8192", got)
+	}
+	d.Store(8192-WordSize, 9) // new capacity usable
+	if v := d.Load(8192 - WordSize); v != 9 {
+		t.Fatalf("load from grown region = %d, want 9", v)
+	}
+	if v := d.Load(4096 + WordSize); v != 0 {
+		t.Fatalf("grown region must read as zero, got %d", v)
+	}
+
+	if err := d.Grow(4096); err != nil {
+		t.Fatalf("shrinking Grow must be a no-op, got %v", err)
+	}
+	if got := d.Size(); got != 8192 {
+		t.Fatalf("Size after no-op Grow = %d, want 8192", got)
+	}
+	if err := d.Grow(32768); err == nil {
+		t.Fatal("Grow past the reserve must fail")
+	}
+}
+
+func TestMemDeviceGrowWithoutReserve(t *testing.T) {
+	d := New(Config{Size: 4096})
+	if err := d.Grow(8192); err == nil {
+		t.Fatal("Grow on a reserve-less device must fail")
+	}
+	if got := d.Size(); got != 4096 {
+		t.Fatalf("failed Grow changed Size to %d", got)
+	}
+}
+
+func TestMemDeviceGrowSurvivesCrash(t *testing.T) {
+	d := New(Config{Size: 4096, MaxSize: 16384})
+	f := d.NewFlusher()
+	d.Store(WordSize, 42)
+	f.Sync(WordSize)
+	if err := d.Grow(8192); err != nil {
+		t.Fatal(err)
+	}
+	d.Store(4096+WordSize, 43)
+	f.Sync(4096 + WordSize)
+	d.Crash()
+	if got := d.Size(); got != 8192 {
+		t.Fatalf("Size after crash = %d, want 8192 (grow is durable)", got)
+	}
+	if v := d.Load(4096 + WordSize); v != 43 {
+		t.Fatalf("synced store in grown region lost: %d", v)
+	}
+}
+
+func TestFileDeviceGrowAndElasticReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grow.img")
+
+	d, created, err := OpenFileDevice(path, Config{Size: 4096, MaxSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("expected creation")
+	}
+	fl := d.NewFlusher()
+	d.Store(WordSize, 11)
+	fl.Sync(WordSize)
+	if err := d.Grow(64 << 10); err != nil {
+		t.Fatal(err)
+	}
+	d.Store((64<<10)-WordSize, 12)
+	fl.Sync((64 << 10) - WordSize)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Elastic reopen (MaxSize set, Size naming the ORIGINAL capacity) adopts
+	// the grown size: a pool's committed size is state, not configuration.
+	d2, created, err := OpenFileDevice(path, Config{Size: 4096, MaxSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created {
+		t.Fatal("reopen must attach, not recreate")
+	}
+	if got := d2.Size(); got != 64<<10 {
+		t.Fatalf("reopened Size = %d, want %d", got, 64<<10)
+	}
+	if v := d2.Load((64 << 10) - WordSize); v != 12 {
+		t.Fatalf("grown-region store lost across reopen: %d", v)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-elastic reopen with the stale explicit size is still rejected.
+	if _, _, err := OpenFileDevice(path, Config{Size: 4096}); err == nil ||
+		!strings.Contains(err.Error(), "formatted for") {
+		t.Fatalf("stale-size reopen error = %v, want formatted-for mismatch", err)
+	}
+}
+
+// TestFileGrowTornHeader simulates the crash window of GrowTo — file already
+// extended, header still promising the old size — by rewriting the header
+// size word back down after a completed grow. Reopen must adopt the OLD
+// (header) size and then be able to re-grow.
+func TestFileGrowTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.img")
+
+	d, _, err := OpenFileDevice(path, Config{Size: 4096, MaxSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Grow(64 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sz [8]byte
+	sz[0], sz[1] = 0x00, 0x10 // 4096 little-endian
+	if _, err := f.WriteAt(sz[:], fhSizeOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, _, err := OpenFileDevice(path, Config{MaxSize: 1 << 20})
+	if err != nil {
+		t.Fatalf("reopen after torn grow: %v", err)
+	}
+	if got := d2.Size(); got != 4096 {
+		t.Fatalf("torn grow must recover the old size, got %d", got)
+	}
+	if err := d2.Grow(64 << 10); err != nil {
+		t.Fatalf("re-grow after torn grow: %v", err)
+	}
+	if got := d2.Size(); got != 64<<10 {
+		t.Fatalf("re-grown Size = %d, want %d", got, 64<<10)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// Size is the device capacity in bytes. Rounded up to a full line.
 	Size uint64
 
+	// MaxSize, when larger than Size, reserves headroom the device can
+	// Grow into online (elastic capacity). Rounded up to a full line.
+	// Zero means no headroom: the device stays at Size forever.
+	MaxSize uint64
+
 	// WriteLatency is the simulated NVRAM write latency, injected once per
 	// batch of write-backs (i.e., once per Fence that has pending lines).
 	// Zero disables latency injection.
@@ -86,6 +91,12 @@ type Device struct {
 	pers    []uint64 // persisted image (backend.Words(); survives Crash)
 	dirty   []uint32 // per-line advisory dirty flags (for eviction & stats)
 	lines   uint64
+	// limWords is the committed capacity in words: the device size as seen
+	// by every access check. The slices above are sized to the RESERVE (the
+	// growth headroom of a GrowableBackend); Grow raises limWords after the
+	// backend has durably extended. Atomic so concurrent accessors see a
+	// grow without locks — capacity only ever increases.
+	limWords atomic.Uint64
 	// needSync caches backend.NeedsSync so MemBackend fences skip the
 	// interface call entirely.
 	needSync bool
@@ -116,9 +127,10 @@ type Device struct {
 }
 
 // New creates a device of the configured size with both images zeroed,
-// backed by an in-process MemBackend.
+// backed by an in-process MemBackend (with growth headroom when cfg.MaxSize
+// exceeds cfg.Size).
 func New(cfg Config) *Device {
-	d, err := NewWithBackend(cfg, NewMemBackend(cfg.Size))
+	d, err := NewWithBackend(cfg, NewMemBackendReserve(cfg.Size, cfg.MaxSize))
 	if err != nil {
 		// NewMemBackend derives its size from cfg.Size, so a mismatch is a
 		// bug in this package, not a caller error.
@@ -132,11 +144,18 @@ func New(cfg Config) *Device {
 // line rounding). The volatile image starts as a copy of the persisted one
 // — the state after a reboot — so a backend holding a formatted pool is
 // ready for the caller's attach/recovery path.
+//
+// A GrowableBackend's Words slice is its reserve; the device adopts the
+// backend's Committed size as its capacity and can Grow within the reserve.
 func NewWithBackend(cfg Config, b Backend) (*Device, error) {
 	pers := b.Words()
-	size := uint64(len(pers)) * WordSize
-	if size == 0 || size%LineSize != 0 {
-		return nil, fmt.Errorf("nvram: backend %q image (%d bytes) is not line-aligned", b.Name(), size)
+	reserve := uint64(len(pers)) * WordSize
+	size := reserve
+	if gb, ok := b.(GrowableBackend); ok {
+		size = gb.Committed()
+	}
+	if size == 0 || size%LineSize != 0 || size > reserve {
+		return nil, fmt.Errorf("nvram: backend %q image (%d of %d bytes) is not line-aligned", b.Name(), size, reserve)
 	}
 	if cfg.Size != 0 {
 		want := cfg.Size
@@ -152,19 +171,52 @@ func NewWithBackend(cfg Config, b Backend) (*Device, error) {
 	d := &Device{
 		cfg:      cfg,
 		backend:  b,
-		words:    make([]uint64, size/WordSize),
+		words:    make([]uint64, reserve/WordSize),
 		pers:     pers,
-		dirty:    make([]uint32, size/LineSize),
-		wbLocks:  make([]uint32, size/LineSize),
-		lines:    size / LineSize,
+		dirty:    make([]uint32, reserve/LineSize),
+		wbLocks:  make([]uint32, reserve/LineSize),
+		lines:    reserve / LineSize,
 		needSync: b.NeedsSync(),
 	}
-	copy(d.words, pers)
+	d.limWords.Store(size / WordSize)
+	copy(d.words[:size/WordSize], pers[:size/WordSize])
 	return d, nil
 }
 
-// Size returns the device capacity in bytes.
-func (d *Device) Size() uint64 { return d.cfg.Size }
+// Size returns the committed device capacity in bytes (it can increase
+// through Grow, never decrease).
+func (d *Device) Size() uint64 { return d.limWords.Load() * WordSize }
+
+// Reserve returns the maximum capacity this device can Grow to — the size
+// of its backend's reserve. Equal to Size for non-growable backends.
+func (d *Device) Reserve() uint64 { return uint64(len(d.words)) * WordSize }
+
+// Grow durably extends the committed capacity to newSize bytes (rounded up
+// to a full line). No-op when newSize is at or below the current size. The
+// backend commits the extension first (for FileBackend: file extended and
+// header rewritten, both fsynced), so a crash at any point recovers the old
+// or the new size, never anything in between. New capacity reads as zero.
+//
+// Concurrent Loads/Stores within the old capacity are unaffected; callers
+// serialize Grow against other Grows (the allocator's pool lock does).
+func (d *Device) Grow(newSize uint64) error {
+	newSize = (newSize + LineSize - 1) &^ uint64(LineSize-1)
+	if newSize <= d.Size() {
+		return nil
+	}
+	if newSize > d.Reserve() {
+		return fmt.Errorf("nvram: grow to %d bytes exceeds the %d-byte reserve", newSize, d.Reserve())
+	}
+	gb, ok := d.backend.(GrowableBackend)
+	if !ok {
+		return fmt.Errorf("nvram: backend %q is not growable", d.backend.Name())
+	}
+	if err := gb.GrowTo(newSize); err != nil {
+		return err
+	}
+	d.limWords.Store(newSize / WordSize)
+	return nil
+}
 
 // Backend returns the persistence backend owning the persisted image.
 func (d *Device) Backend() Backend { return d.backend }
@@ -185,7 +237,7 @@ func (d *Device) SetWriteLatency(l time.Duration) { d.cfg.WriteLatency = l }
 // every device access.
 func (d *Device) check(a Addr) uint64 {
 	i := a / WordSize
-	if a&(WordSize-1) != 0 || a == 0 || i >= uint64(len(d.words)) {
+	if a&(WordSize-1) != 0 || a == 0 || i >= d.limWords.Load() {
 		d.checkFail(a)
 	}
 	return i
@@ -196,7 +248,7 @@ func (d *Device) checkFail(a Addr) {
 	if a&(WordSize-1) != 0 {
 		panic(fmt.Sprintf("nvram: misaligned access at %#x", a))
 	}
-	panic(fmt.Sprintf("nvram: access out of range at %#x (size %#x)", a, d.cfg.Size))
+	panic(fmt.Sprintf("nvram: access out of range at %#x (size %#x)", a, d.Size()))
 }
 
 // Load atomically reads the word at a.
@@ -315,7 +367,10 @@ func (d *Device) EvictRandom(rng *rand.Rand, p float64) {
 // is lost. The volatile image is reset to the persisted image. The caller
 // must guarantee quiescence.
 func (d *Device) Crash() {
-	copy(d.words, d.pers)
+	// Bounded to the committed capacity: a file-backed reserve is mapped
+	// beyond EOF and must not be touched past the committed size.
+	lim := d.limWords.Load()
+	copy(d.words[:lim], d.pers[:lim])
 	for i := range d.dirty {
 		d.dirty[i] = 0
 	}
@@ -597,11 +652,12 @@ var imageMagic = [8]byte{'N', 'V', 'I', 'M', 'G', '0', '0', '1'}
 // paper's assumption that an NVRAM region can be remapped across restarts.
 // Requires quiescence.
 func (d *Device) SaveImage(path string) error {
-	buf := make([]byte, 16+len(d.pers)*WordSize)
+	lim := d.limWords.Load()
+	buf := make([]byte, 16+lim*WordSize)
 	copy(buf, imageMagic[:])
-	binary.LittleEndian.PutUint64(buf[8:], d.cfg.Size)
-	for i, w := range d.pers {
-		binary.LittleEndian.PutUint64(buf[16+i*WordSize:], w)
+	binary.LittleEndian.PutUint64(buf[8:], d.Size())
+	for i, w := range d.pers[:lim] {
+		binary.LittleEndian.PutUint64(buf[16+uint64(i)*WordSize:], w)
 	}
 	return os.WriteFile(path, buf, 0o644)
 }
@@ -622,10 +678,11 @@ func LoadImage(path string, cfg Config) (*Device, error) {
 	}
 	cfg.Size = size
 	d := New(cfg)
-	for i := range d.pers {
+	lim := d.limWords.Load()
+	for i := range d.pers[:lim] {
 		d.pers[i] = binary.LittleEndian.Uint64(buf[16+i*WordSize:])
 	}
-	copy(d.words, d.pers)
+	copy(d.words[:lim], d.pers[:lim])
 	return d, nil
 }
 

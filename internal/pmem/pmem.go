@@ -134,6 +134,13 @@ type Pool struct {
 	// without touching the pool lock.
 	pageFlags []atomic.Uint32
 
+	// capacity mirrors the pool's durably committed size (hdrSizeOff). It
+	// is the bound carve allocates against, and is only advanced AFTER a
+	// grow's header sync completes — so a crash-aborted grow (StoreHook
+	// torture included) can never hand out pages the durable header does
+	// not cover.
+	capacity atomic.Uint64
+
 	statCarved atomic.Uint64
 	statAllocs atomic.Uint64
 	statFrees  atomic.Uint64
@@ -155,11 +162,13 @@ const (
 )
 
 func newPoolShell(dev *nvram.Device) *Pool {
+	// pageFlags covers the device's full growth reserve, so Grow never has
+	// to resize it under concurrent lock-free flag loads.
 	return &Pool{
 		dev:       dev,
 		hdrFl:     dev.NewFlusher(),
 		pinned:    make(map[Addr]int),
-		pageFlags: make([]atomic.Uint32, dev.Size()/PageSize+1),
+		pageFlags: make([]atomic.Uint32, dev.Reserve()/PageSize+1),
 	}
 }
 
@@ -183,6 +192,7 @@ func (p *Pool) pushFree(page Addr) {
 // header and root directory are durably written before Format returns.
 func Format(dev *nvram.Device) *Pool {
 	p := newPoolShell(dev)
+	p.capacity.Store(dev.Size())
 	dev.Store(hdrMagicOff, poolMagic)
 	dev.Store(hdrSizeOff, dev.Size())
 	dev.Store(hdrHeapOff, heapBase)
@@ -209,11 +219,17 @@ func Attach(dev *nvram.Device) (*Pool, error) {
 	if dev.Load(hdrMagicOff) != poolMagic {
 		return nil, ErrNotAPool
 	}
-	if dev.Load(hdrSizeOff) != dev.Size() {
+	// A pool SMALLER than its device is valid: a crash between a grow's
+	// device-level commit and the pool-header commit leaves exactly that,
+	// and the pool recovers at its old size (re-growable any time). Larger
+	// means the device lost bytes the pool was promised — refuse.
+	poolSize := dev.Load(hdrSizeOff)
+	if poolSize > dev.Size() {
 		return nil, fmt.Errorf("pmem: pool formatted for %d bytes, device has %d",
-			dev.Load(hdrSizeOff), dev.Size())
+			poolSize, dev.Size())
 	}
 	p := newPoolShell(dev)
+	p.capacity.Store(poolSize)
 	end := dev.Load(hdrHeapOff)
 	for page := Addr(heapBase); page < end; {
 		hdr := dev.Load(page + headerClassOff)
@@ -271,7 +287,7 @@ func (p *Pool) Root(i int) uint64 {
 // not show up in the paper's per-operation cost model.
 func (p *Pool) carve(n uint64) (Addr, error) {
 	next := p.dev.Load(hdrHeapOff)
-	if next+n*PageSize > p.dev.Size() {
+	if next+n*PageSize > p.capacity.Load() {
 		return 0, ErrOutOfMemory
 	}
 	p.dev.Store(hdrHeapOff, next+n*PageSize)
@@ -466,8 +482,44 @@ func (p *Pool) AllocatedInPage(dst []Addr, page Addr) []Addr {
 func (p *Pool) AvailableBytes() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	uncarved := p.dev.Size() - p.dev.Load(hdrHeapOff)
+	var uncarved uint64
+	if capacity, heap := p.capacity.Load(), p.dev.Load(hdrHeapOff); capacity > heap {
+		uncarved = capacity - heap
+	}
 	return uncarved + uint64(len(p.freePages))*PageSize
+}
+
+// SizeBytes returns the pool's committed capacity in bytes.
+func (p *Pool) SizeBytes() uint64 { return p.capacity.Load() }
+
+// Grow extends the pool to newSize device bytes, crash-atomically. No-op at
+// or below the current capacity. Ordering makes a torn grow recoverable to
+// exactly the old or the new size, never a half-carved pool:
+//
+//  1. the device (and its backing file) durably extends first;
+//  2. the pool header's size word is stored and synced;
+//  3. only then does the volatile capacity mirror advance, unlocking carve.
+//
+// A crash after 1 recovers a pool of the old size on a larger device
+// (Attach accepts that; re-growing is idempotent). A crash during 2 leaves
+// the header holding the old OR new size — both fully valid because the
+// device already covers the new one. An aborted store (StoreHook torture)
+// never advances the mirror, so no page beyond the durable size is ever
+// handed out before the commit completes.
+func (p *Pool) Grow(newSize uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if newSize <= p.capacity.Load() {
+		return nil
+	}
+	if err := p.dev.Grow(newSize); err != nil {
+		return err
+	}
+	committed := p.dev.Size() // line-rounded, >= newSize
+	p.dev.Store(hdrSizeOff, committed)
+	p.hdrFl.Sync(hdrSizeOff)
+	p.capacity.Store(committed)
+	return nil
 }
 
 // Stats is a snapshot of allocator counters.

@@ -58,6 +58,7 @@ const (
 // config collects the options of a Runtime.
 type config struct {
 	size         uint64 // 0 = default (fresh devices) or adopt (file/backend)
+	maxSize      uint64 // growth reserve; 0 = frozen at size
 	writeLatency time.Duration
 	maxThreads   int
 	areaShift    uint
@@ -80,6 +81,14 @@ type Option func(*config)
 // existing file adopts the file's formatted capacity, and an explicit
 // WithSize that disagrees with it is an error.
 func WithSize(bytes uint64) Option { return func(c *config) { c.size = bytes } }
+
+// WithMaxSize reserves growth headroom: the runtime starts at WithSize
+// bytes but can Grow online up to this many. With WithFile, reopening an
+// existing file ADOPTS its formatted capacity (whatever the last durable
+// grow reached) instead of erroring on a WithSize disagreement — an elastic
+// pool's size is state, not configuration. Zero freezes the capacity at
+// WithSize, exactly the pre-growth behaviour.
+func WithMaxSize(bytes uint64) Option { return func(c *config) { c.maxSize = bytes } }
 
 // WithFile backs the persisted image with an mmap'd file at path instead of
 // process memory: every completed write-back lands in the backing file's
@@ -139,7 +148,7 @@ func buildConfig(opts []Option) config {
 // openDevice builds the NVRAM device the configuration names: the default
 // in-process simulator, a file-backed device, or a caller backend.
 func (c *config) openDevice() (*nvram.Device, error) {
-	ncfg := nvram.Config{WriteLatency: c.writeLatency}
+	ncfg := nvram.Config{WriteLatency: c.writeLatency, MaxSize: c.maxSize}
 	switch {
 	case c.backend != nil && c.file != "":
 		return nil, fmt.Errorf("logfree: WithBackend and WithFile are mutually exclusive")
@@ -425,6 +434,7 @@ func (r *Runtime) SimulateCrash() (*Runtime, error) {
 	r.dev.Crash()
 	return Attach(r.dev,
 		WithSize(r.cfg.size),
+		WithMaxSize(r.cfg.maxSize),
 		WithWriteLatency(r.cfg.writeLatency),
 		WithMaxThreads(r.cfg.maxThreads),
 		WithLinkCache(r.cfg.linkCache),
@@ -440,6 +450,30 @@ func (r *Runtime) Store() *core.Store { return r.store }
 // AvailableBytes estimates the free NVRAM capacity (uncarved space plus
 // recycled pages). Callers implementing eviction policies poll it.
 func (r *Runtime) AvailableBytes() uint64 { return r.store.Pool().AvailableBytes() }
+
+// FreeBytes is AvailableBytes under the name the capacity-stats surface
+// uses across runtimes and sharded pools.
+func (r *Runtime) FreeBytes() uint64 { return r.AvailableBytes() }
+
+// SizeBytes returns the committed device capacity in bytes. It increases
+// through Grow and never decreases.
+func (r *Runtime) SizeBytes() uint64 { return r.dev.Size() }
+
+// MaxSizeBytes returns the growth reserve: the largest capacity Grow can
+// reach. Equal to SizeBytes when the runtime has no headroom.
+func (r *Runtime) MaxSizeBytes() uint64 { return r.dev.Reserve() }
+
+// Grow extends the runtime's device and allocator to total bytes,
+// crash-atomically and with no interruption to concurrent operations
+// (requires WithMaxSize headroom, or a growable backend with reserve). A
+// no-op when total is at or below the current size. A kill -9 at any point
+// during a grow recovers to exactly the old or the new capacity.
+func (r *Runtime) Grow(total uint64) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	return r.store.Pool().Grow(total)
+}
 
 // RecoveryReports lists the structures recovered by Attach.
 func (r *Runtime) RecoveryReports() []RecoveryReport { return r.recovered }

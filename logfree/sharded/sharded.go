@@ -69,6 +69,7 @@ const defaultShardSize = 64 << 20
 type config struct {
 	shards       int
 	shardSize    uint64
+	maxShardSize uint64
 	dir          string
 	fileSync     bool
 	writeLatency time.Duration
@@ -90,6 +91,14 @@ func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 // file-backed pool with an explicit size that disagrees with its manifest
 // is an error; 0 adopts.
 func WithShardSize(bytes uint64) Option { return func(c *config) { c.shardSize = bytes } }
+
+// WithMaxShardSize reserves per-shard growth headroom: every shard starts at
+// WithShardSize bytes but Pool.Grow can extend it online up to this many
+// (see logfree.WithMaxSize). When set, reopening an existing pool ADOPTS the
+// shards' committed capacity — whatever the last durable grow reached —
+// instead of erroring on a WithShardSize disagreement: an elastic pool's
+// size is state, not configuration. Zero freezes shards at WithShardSize.
+func WithMaxShardSize(bytes uint64) Option { return func(c *config) { c.maxShardSize = bytes } }
 
 // WithDir backs every shard with an mmap'd file under dir
 // ("nvpool.shard-000", "nvpool.shard-001", ...) plus a manifest recording
@@ -138,6 +147,7 @@ type Pool struct {
 	cfg  config
 
 	closed    atomic.Bool
+	growMu    sync.Mutex // serializes Grow (per-shard grows + manifest rewrite)
 	recovered bool
 	recDur    []time.Duration // per-shard open+recovery wall clock
 }
@@ -188,7 +198,9 @@ func (m *manifest) validate(c *config) error {
 	if c.shards != 0 && nextPow2(c.shards) != m.Shards {
 		return fmt.Errorf("sharded: pool formatted with %d shards, requested %d", m.Shards, nextPow2(c.shards))
 	}
-	if c.shardSize != 0 && c.shardSize != m.ShardBytes {
+	if c.shardSize != 0 && c.maxShardSize == 0 && c.shardSize != m.ShardBytes {
+		// Elastic pools (maxShardSize set) adopt the manifest's shard size:
+		// the pool may have grown past any initial-size flag since creation.
 		return fmt.Errorf("sharded: pool shards formatted for %d bytes, requested %d", m.ShardBytes, c.shardSize)
 	}
 	return nil
@@ -293,6 +305,7 @@ func Open(opts ...Option) (*Pool, error) {
 	shardOpts := func(i int) []logfree.Option {
 		o := []logfree.Option{
 			logfree.WithSize(size),
+			logfree.WithMaxSize(cfg.maxShardSize),
 			logfree.WithLinkCache(cfg.linkCache),
 		}
 		if cfg.latencySet {
@@ -318,6 +331,17 @@ func Open(opts ...Option) (*Pool, error) {
 			start := time.Now()
 			rts[i], errs[i] = logfree.New(shardOpts(i)...)
 			durs[i] = time.Since(start)
+			// Elastic reopen adopts each shard file's committed capacity (it
+			// may exceed the manifest when a crash hit between the per-shard
+			// grows and the manifest rewrite — Grow reconverges it), but a
+			// shard SMALLER than the manifest promises is a swapped or
+			// corrupted file, exactly the geometry mismatch the non-elastic
+			// path rejects via the backend header check.
+			if errs[i] == nil && attached && cfg.maxShardSize != 0 && rts[i].SizeBytes() < size {
+				errs[i] = fmt.Errorf("shard formatted for %d bytes, pool manifest promises %d", rts[i].SizeBytes(), size)
+				rts[i].Close()
+				rts[i] = nil
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -433,6 +457,85 @@ func (p *Pool) AvailableBytes() uint64 {
 		}
 	}
 	return min
+}
+
+// SizeBytes sums the shards' committed device capacities: the pool's total
+// formatted bytes. It increases through Grow and never decreases.
+func (p *Pool) SizeBytes() uint64 {
+	var sum uint64
+	for _, rt := range p.rts {
+		sum += rt.SizeBytes()
+	}
+	return sum
+}
+
+// MaxSizeBytes sums the shards' growth reserves: the largest total capacity
+// Grow can reach. Equal to SizeBytes when the pool has no headroom.
+func (p *Pool) MaxSizeBytes() uint64 {
+	var sum uint64
+	for _, rt := range p.rts {
+		sum += rt.MaxSizeBytes()
+	}
+	return sum
+}
+
+// FreeBytes sums the shards' free capacity — the pool-wide total, unlike
+// AvailableBytes' min-across-shards eviction signal.
+func (p *Pool) FreeBytes() uint64 {
+	var sum uint64
+	for _, rt := range p.rts {
+		sum += rt.FreeBytes()
+	}
+	return sum
+}
+
+// Grow extends the pool to total bytes: every shard grows (concurrently,
+// crash-atomically, without interrupting operations) to its line-rounded
+// 1/Nth share, then the manifest is rewritten with the new shard geometry.
+// Requires WithMaxShardSize headroom. A no-op when total is at or below the
+// current SizeBytes. A kill -9 anywhere leaves each shard at its old or new
+// capacity and the manifest at the old or new geometry; the elastic reopen
+// path adopts whichever committed, so recovery always sees a valid pool and
+// re-running Grow reconverges the stragglers.
+func (p *Pool) Grow(total uint64) error {
+	if p.closed.Load() {
+		return logfree.ErrClosed
+	}
+	p.growMu.Lock()
+	defer p.growMu.Unlock()
+	n := uint64(len(p.rts))
+	per := (total + n - 1) / n
+	per = (per + nvram.LineSize - 1) &^ uint64(nvram.LineSize-1)
+	if per <= p.cfg.shardSize && p.SizeBytes() >= total {
+		return nil
+	}
+	errs := make([]error, len(p.rts))
+	var wg sync.WaitGroup
+	for i, rt := range p.rts {
+		wg.Add(1)
+		go func(i int, rt *logfree.Runtime) {
+			defer wg.Done()
+			errs[i] = rt.Grow(per)
+		}(i, rt)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sharded: growing shard %d of %d: %w", i, len(p.rts), err)
+		}
+	}
+	if p.cfg.dir != "" {
+		if err := writeManifest(p.cfg.dir, manifest{
+			Magic: manifestMagic, Version: manifestVersion,
+			Shards: len(p.rts), ShardBytes: per, Hash: routeHashID,
+		}); err != nil {
+			return err
+		}
+	}
+	if per > p.cfg.shardSize {
+		p.cfg.shardSize = per
+	}
+	return nil
 }
 
 // Stats sums the shards' device counters. Requires quiescence (see

@@ -282,7 +282,7 @@ func TestOpenFailureClosesOpenedShards(t *testing.T) {
 	// Shards 0 and 1 opened before 2 failed; if Open leaked them their
 	// backing files would still be flocked and this direct open would fail
 	// with "locked by another live process".
-	fb, created, err := nvram.OpenFileBackend(shardPath(dir, 0), 0)
+	fb, created, err := nvram.OpenFileBackend(shardPath(dir, 0), 0, 0)
 	if err != nil {
 		t.Fatalf("shard 0 backing file still locked after failed pool open: %v", err)
 	}

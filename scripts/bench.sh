@@ -13,6 +13,9 @@
 #   BENCH_repl.json      NV-Memcached 1:4 mix solo vs with a live loopback
 #                        replication follower acking every mutation, plus
 #                        the repl_overhead ratio (follower/solo)
+#   BENCH_snapshot.json  NV-Memcached 1:4 mix solo vs with a background
+#                        goroutine continuously streaming live snapshots,
+#                        plus the snapshot_overhead ratio (snapshot/solo)
 #
 # Usage:
 #   scripts/bench.sh                  # both files, default length
@@ -32,6 +35,7 @@ PARALLEL_OUT="${PARALLEL_OUT:-BENCH_parallel.json}"
 BATCH_OUT="${BATCH_OUT:-BENCH_batch.json}"
 FILE_OUT="${FILE_OUT:-BENCH_file.json}"
 REPL_OUT="${REPL_OUT:-BENCH_repl.json}"
+SNAPSHOT_OUT="${SNAPSHOT_OUT:-BENCH_snapshot.json}"
 BENCHTIME="${BENCHTIME:-20000x}"
 COUNT="${COUNT:-3}"
 
@@ -225,3 +229,39 @@ printf '%s\n' "$rraw" | awk '
   }
 ' > "$REPL_OUT"
 echo "wrote $REPL_OUT"
+
+# The snapshot sweep: BenchmarkSnapshotLive/{solo,snapshot} prices the live
+# point-in-time snapshot tax — the same 1:4 set:get mix with no snapshot and
+# with a background goroutine continuously streaming the full key space, best
+# of COUNT runs per row. snapshot_overhead (snapshot/solo) is the
+# machine-independent signal benchgate holds to tolerance.
+sraw=$(go test -run '^$' -bench 'BenchmarkSnapshotLive' -benchtime "$BENCHTIME" -count "$COUNT" .)
+printf '%s\n' "$sraw"
+
+printf '%s\n' "$sraw" | awk '
+  /^BenchmarkSnapshotLive\// {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    variant = name; sub(/^.*\//, "", variant)
+    iters = $2; ns = $3
+    ops = "0"
+    for (i = 4; i < NF; i++) if ($(i+1) == "ops/s") ops = $i
+    if (!(variant in best) || ops+0 > best[variant]+0) {
+      best[variant] = ops; bns[variant] = ns; bit[variant] = iters
+      if (!(variant in seen)) { order[n++] = variant; seen[variant] = 1 }
+    }
+  }
+  END {
+    printf "[\n"; sep=""
+    for (i = 0; i < n; i++) {
+      v = order[i]
+      printf "%s  {\"name\":\"BenchmarkSnapshotLive\",\"variant\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"ops_per_sec\":%s}", \
+        sep, v, bit[v], bns[v], best[v]
+      sep = ",\n"
+    }
+    if (("solo" in best) && ("snapshot" in best) && best["solo"]+0 > 0)
+      printf "%s  {\"name\":\"BenchmarkSnapshotLive\",\"variant\":\"snapshot_overhead\",\"ratio\":%.3f}", \
+        sep, best["snapshot"] / best["solo"]
+    printf "\n]\n"
+  }
+' > "$SNAPSHOT_OUT"
+echo "wrote $SNAPSHOT_OUT"

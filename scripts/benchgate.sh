@@ -30,7 +30,7 @@ cd "$(dirname "$0")/.."
 TOLERANCE="${BENCH_TOLERANCE:-0.30}"
 TOLERANCE_FILE="${BENCH_TOLERANCE_FILE:-0.90}"
 TOLERANCE_LAT="${BENCH_TOLERANCE_LAT:-1.50}"
-FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json BENCH_repl.json BENCH_latency.json}"
+FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json BENCH_repl.json BENCH_latency.json BENCH_snapshot.json}"
 
 command -v jq >/dev/null || { echo "benchgate: jq is required" >&2; exit 2; }
 

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# benchtrend.sh — make the committed bench baselines tell a story: for each
+# BENCH_*.json, pull the last N committed versions out of git history and
+# render a cross-commit markdown trend table (metrics as rows, commits as
+# columns, oldest → newest), so a slow perf drift that stays inside
+# benchgate's per-PR tolerance is still visible across the PR sequence.
+#
+# Usage:
+#   scripts/benchtrend.sh                 # all BENCH_*.json, last 5 commits
+#   TREND_DEPTH=8 scripts/benchtrend.sh   # deeper history
+#   BENCH_FILES="BENCH_repl.json" scripts/benchtrend.sh
+#
+# Reads committed blobs only (git show <sha>:<file>) — the working tree's
+# fresh results are benchgate's job, not ours. Output goes to stdout and is
+# appended to $GITHUB_STEP_SUMMARY when set (the Actions job summary); the
+# CI checkout needs fetch-depth: 0 for the history walk to see past commits.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DEPTH="${TREND_DEPTH:-5}"
+FILES="${BENCH_FILES:-$(ls BENCH_*.json 2>/dev/null || true)}"
+
+command -v jq >/dev/null || { echo "benchtrend: jq is required" >&2; exit 2; }
+
+# flatten — same key scheme as benchgate.sh: one "key<TAB>value" line per
+# metric, key = name[/variant][/<threads>g], value = the row's number.
+flatten() {
+  jq -r '.[] | [
+    (.name
+      + (if .variant  then "/" + .variant                else "" end)
+      + (if .threads  then "/" + (.threads|tostring) + "g" else "" end)),
+    ((.ops_per_sec // .ratio // .keys_per_sec // .lat_us // 0) | tostring)
+  ] | @tsv'
+}
+
+summary() {
+  echo "$1"
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    echo "$1" >> "$GITHUB_STEP_SUMMARY"
+  fi
+}
+
+summary "## Bench trend (last ${DEPTH} committed baselines per file)"
+for f in $FILES; do
+  # Newest first from git log; reverse to oldest → newest so the table reads
+  # left to right like a time series.
+  shas=$(git log --format=%H -n "$DEPTH" HEAD -- "$f" | sed '1!G;h;$!d')
+  if [ -z "$shas" ]; then
+    summary ""
+    summary "**$f**: no committed history."
+    continue
+  fi
+
+  summary ""
+  summary "**$f**"
+  summary ""
+
+  rows=$(
+    for sha in $shas; do
+      # A commit in the file's log can predate the file (rename) or fail to
+      # parse; skip those columns rather than dying mid-table.
+      if blob=$(git show "$sha:$f" 2>/dev/null); then
+        short=$(git rev-parse --short "$sha")
+        when=$(git show -s --format=%cs "$sha")
+        printf '%s\n' "$blob" | flatten | sed "s/^/$short ($when)\t/"
+      fi
+    done | awk -F'\t' '
+      {
+        col = $1; key = $2; val = $3
+        if (!(col in cseen)) { cols[cn++] = col; cseen[col] = 1 }
+        if (!(key in kseen)) { keys[kn++] = key; kseen[key] = 1 }
+        v[key, col] = val
+      }
+      END {
+        if (cn == 0) { print "| (no parseable baselines) |"; exit }
+        printf "| metric |"
+        for (c = 0; c < cn; c++) printf " %s |", cols[c]
+        printf "\n|---|"
+        for (c = 0; c < cn; c++) printf "---:|"
+        printf "\n"
+        for (k = 0; k < kn; k++) {
+          key = keys[k]
+          printf "| %s |", key
+          for (c = 0; c < cn; c++) {
+            if ((key, cols[c]) in v) printf " %.4g |", v[key, cols[c]] + 0
+            else printf " — |"
+          }
+          printf "\n"
+        }
+      }'
+  )
+  while IFS= read -r line; do summary "$line"; done <<< "$rows"
+done
+
+summary ""
+summary "Trend tables read oldest → newest; benchgate.sh holds the newest column to tolerance."

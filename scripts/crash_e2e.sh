@@ -35,8 +35,10 @@ WORKERS=1
 
 WORK=$(mktemp -d)
 SRV_PID=""
+GROW_PID=""
 cleanup() {
   [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  [ -n "${GROW_PID:-}" ] && kill -9 "$GROW_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -77,6 +79,11 @@ verify_all_rounds() {
   for p in $(seq 1 "$upto"); do
     "$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.$p" -prefix "r$p" -workers "$WORKERS" verify
   done
+  # The concurrent-load round's frontier, once it exists, must keep
+  # surviving every later crash too.
+  if ls "$WORK/state.conc"* >/dev/null 2>&1; then
+    "$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.conc" -prefix conc -workers 4 verify
+  fi
 }
 
 # acked_total sums the acknowledged frontier over a round's state file(s) —
@@ -142,6 +149,94 @@ for r in $(seq 1 "$ROUNDS"); do
   check_parallel_recovery
   verify_all_rounds "$r"
 done
+
+echo "== concurrent-load round: kill -9 under 4-connection load =="
+# Multi-connection load against THIS image (even the unsharded server):
+# four concurrent connections race sets, counters and cas chains on one
+# runtime while the kill lands — crash consistency must hold under real
+# write concurrency, not just a single serialized stream.
+"$WORK/crashcheck" -addr "$ADDR" -state "$WORK/state.conc" -prefix conc -workers 4 load &
+LOAD_PID=$!
+sleep "$LOAD_SECONDS"
+kill -9 "$SRV_PID"
+SRV_PID=""
+wait "$LOAD_PID"
+ACKED=$(cat "$WORK/state.conc"* 2>/dev/null | awk -F= '/^acked=/ {s += $2} END {print s + 0}')
+if [ "${ACKED:-0}" -lt 100 ]; then
+  echo "concurrent round: only $ACKED acknowledged sets before the kill" >&2
+  exit 1
+fi
+echo "   killed server with $ACKED acknowledged sets across 4 connections"
+start_server
+if ! grep -q "recovered" "$LOG"; then
+  echo "restart did not run recovery:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+verify_all_rounds "$ROUNDS"
+
+echo "== kill-during-grow round =="
+# A second, small server with an online-growth reserve: load until the pool
+# doubles at least once, kill -9 right at the grow, and require the restart
+# to recover to a capacity EXACTLY on the doubling schedule — a torn grow
+# lands on the old or the new size, never a half-carved pool — with every
+# acknowledged write intact.
+GPMEM="$WORK/grow.pmem"
+GLOG="$WORK/grow.log"
+GROW_INIT=$((4 << 20))
+GROW_MAX=$((64 << 20))
+GROW_PID=""
+start_grow_server() {
+  : > "$GLOG"
+  "$WORK/nvmemcached" -listen 127.0.0.1:0 -mem "$GROW_INIT" -buckets 4096 \
+    -pmem-file "$GPMEM" -max-grow "$GROW_MAX" -latency 0 -sweep 0 >> "$GLOG" 2>&1 &
+  GROW_PID=$!
+  GADDR=""
+  for _ in $(seq 1 100); do
+    GADDR=$(awk '/listening on/ {a=$NF} END {print a}' "$GLOG")
+    [ -n "$GADDR" ] && break
+    if ! kill -0 "$GROW_PID" 2>/dev/null; then
+      echo "grow server died during startup:" >&2
+      cat "$GLOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+start_grow_server
+"$WORK/crashcheck" -addr "$GADDR" -state "$WORK/state.grow" -prefix grow -workers 2 load &
+GLOAD_PID=$!
+for _ in $(seq 1 600); do
+  grep -q "grew pool" "$GLOG" && break
+  kill -0 "$GROW_PID" 2>/dev/null || break
+  sleep 0.05
+done
+kill -9 "$GROW_PID"
+GROW_PID=""
+wait "$GLOAD_PID"
+if ! grep -q "grew pool" "$GLOG"; then
+  echo "load never drove an online grow:" >&2
+  cat "$GLOG" >&2
+  exit 1
+fi
+echo "   $(grep -c 'grew pool' "$GLOG") grow(s) committed before the kill"
+start_grow_server
+TOTAL=$(awk '/pool bytes: total=/ {sub(/^.*total=/, ""); print; exit}' "$GLOG")
+OK=0
+SZ=$GROW_INIT
+while [ "$SZ" -le "$GROW_MAX" ]; do
+  [ "$TOTAL" = "$SZ" ] && OK=1
+  SZ=$((SZ * 2))
+done
+if [ "$OK" != 1 ]; then
+  echo "recovered pool capacity $TOTAL is off the doubling schedule ($GROW_INIT..$GROW_MAX):" >&2
+  cat "$GLOG" >&2
+  exit 1
+fi
+echo "   recovered to $TOTAL bytes (on the doubling schedule)"
+"$WORK/crashcheck" -addr "$GADDR" -state "$WORK/state.grow" -prefix grow -workers 2 verify
+kill -9 "$GROW_PID" 2>/dev/null || true
+GROW_PID=""
 
 echo "== kill-during-recovery round =="
 # Recovery itself must be crash-safe: SIGKILL the restarting process while
