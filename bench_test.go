@@ -819,6 +819,61 @@ func BenchmarkMapGetFile(b *testing.B) {
 	})
 }
 
+// --- Durability-policy rows -----------------------------------------------
+//
+// BenchmarkDurability prices the acknowledged-operation policies on the
+// file backend: the same single-thread Set workload under Strict (every
+// fence blocks on the async syncer's group-committed fdatasync watermark),
+// Synced (the default — fences hand dirty ranges to the background syncer
+// and return), and Buffered (fence-time sync work skipped entirely; a
+// timer flushes every MaxStaleness). scripts/bench.sh emits the rows into
+// BENCH_durability.json plus the async_vs_strict_file (synced/strict) and
+// buffered_vs_strict ratios — the machine-independent signals the bench
+// gate watches; absolute rows price the storage stack under the temp dir,
+// so they get the looser file tolerance.
+
+func BenchmarkDurability(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy logfree.Durability
+	}{
+		{"strict", logfree.Strict()},
+		{"synced", logfree.Synced()},
+		{"buffered", logfree.Buffered(0)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rt, err := logfree.New(
+				logfree.WithSize(256<<20),
+				logfree.WithDevice(logfree.FileDevice(b.TempDir()+"/bench.pmem")),
+				logfree.WithDurability(tc.policy),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { rt.Close() })
+			m, err := rt.Map("bench-dur", 1<<14)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := rt.Session()
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = m.WithSession(s)
+			val := make([]byte, orderedBenchValLen)
+			runtime.GC()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := m.Set(orderedBenchKey(i%orderedBenchKeys), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+		})
+	}
+}
+
 // BenchmarkNVMemcachedRepl prices the warm-standby replication tax: the
 // same memtier-style 1:4 set:get mix as BenchmarkNVMemcachedFile, run solo
 // and then with a live in-process loopback follower streaming and acking

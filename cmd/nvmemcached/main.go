@@ -5,16 +5,25 @@
 // standard clients work in either mode — whose contents survive restarts of
 // the simulated NVRAM image.
 //
-// Two durability modes:
+// Persistence modes:
 //
 //	nvmemcached -listen :11211 -mem 268435456 -pmem-file /var/lib/nvmc.pmem
 //
 // backs the NVRAM image with an mmap'd file: every acknowledged write is in
 // the file's page cache the moment the operation returns, so the cache
 // survives ANY process death — kill -9 included — and a restart with the
-// same -pmem-file recovers it with no shutdown handshake. Add -pmem-sync
-// for machine-crash (power-loss) durability at the cost of one fdatasync
-// per linearizing fence.
+// same -pmem-file recovers it with no shutdown handshake. The -durability
+// policy picks the machine-crash story: "synced" (default) syncs in the
+// background off the fence path, "strict" acknowledges writes only after a
+// group-committed fdatasync, "buffered[:dur]" bounds how much acked work a
+// crash can take back in exchange for mem-like fence cost.
+//
+//	nvmemcached -listen :11211 -mem 268435456 -pmem-dax /dev/dax0.0
+//
+// maps real persistent memory (a devdax device or fsdax file) directly:
+// fences persist cache lines with CLWB+SFENCE, no syscalls — strict
+// durability at memory speed. Over a regular file it degrades to the
+// page-cache guarantee (still kill -9 safe).
 //
 //	nvmemcached -listen :11211 -mem 268435456 -image /tmp/nvmc.img
 //
@@ -37,6 +46,7 @@ import (
 	"repro/internal/memcache"
 	"repro/internal/nvram"
 	"repro/internal/repl"
+	"repro/logfree"
 )
 
 func main() {
@@ -46,7 +56,9 @@ func main() {
 	conns := flag.Int("conns", 4096, "max concurrently served connections (excess connections wait, they are not refused)")
 	image := flag.String("image", "", "NVRAM image file (recovered if present, saved on clean shutdown)")
 	pmemFile := flag.String("pmem-file", "", "file-backed NVRAM (mmap): kill -9 safe, no image save needed; a pool DIRECTORY when -shards > 1")
-	pmemSync := flag.Bool("pmem-sync", false, "with -pmem-file: fdatasync per fence (power-loss durability)")
+	pmemDAX := flag.String("pmem-dax", "", "real pmem NVRAM (DAX mmap + CLWB/SFENCE): a devdax device or fsdax file; a pool DIRECTORY when -shards > 1")
+	durability := flag.String("durability", "synced", "acknowledged-write policy on durable devices: strict, synced, or buffered[:duration]")
+	pmemSync := flag.Bool("pmem-sync", false, "deprecated alias for -durability strict")
 	shards := flag.Int("shards", 1, "independent runtime shards (power of two); >1 hash-routes keys across a sharded pool")
 	latency := flag.Duration("latency", nvram.DefaultWriteLatency, "simulated NVRAM write latency")
 	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep interval (0 disables the sweeper)")
@@ -60,11 +72,27 @@ func main() {
 	restoreFrom := flag.String("restore-from", "", "restore a snapshot stream into the cache at startup (requires an empty cache)")
 	flag.Parse()
 
-	if *image != "" && *pmemFile != "" {
-		log.Fatalf("nvmemcached: -image and -pmem-file are mutually exclusive")
+	if *pmemFile != "" && *pmemDAX != "" {
+		log.Fatalf("nvmemcached: -pmem-file and -pmem-dax are mutually exclusive")
+	}
+	pmemPath := *pmemFile
+	device := logfree.FileDevice(pmemPath)
+	if *pmemDAX != "" {
+		pmemPath = *pmemDAX
+		device = logfree.DAXDevice(pmemPath)
+	}
+	policy, err := logfree.ParseDurability(*durability)
+	if err != nil {
+		log.Fatalf("nvmemcached: %v", err)
+	}
+	if *pmemSync && *durability == "synced" {
+		policy = logfree.Strict() // deprecated alias; an explicit -durability wins
+	}
+	if *image != "" && pmemPath != "" {
+		log.Fatalf("nvmemcached: -image and -pmem-file/-pmem-dax are mutually exclusive")
 	}
 	if *shards > 1 && *image != "" {
-		log.Fatalf("nvmemcached: -shards > 1 requires -pmem-file (a pool directory) or pure memory, not -image")
+		log.Fatalf("nvmemcached: -shards > 1 requires -pmem-file/-pmem-dax (a pool directory) or pure memory, not -image")
 	}
 	if *replicateTo != "" && *follow != "" {
 		log.Fatalf("nvmemcached: -replicate-to and -follow are mutually exclusive")
@@ -95,8 +123,8 @@ func main() {
 		Buckets:      *buckets,
 		MaxConns:     sessionSlots,
 		WriteLatency: *latency,
-		File:         *pmemFile,
-		FileSync:     *pmemSync,
+		Device:       device,
+		Durability:   policy,
 		Shards:       *shards,
 		MaxBytes:     *maxBytes,
 		MaxGrowBytes: *maxGrow,
@@ -107,20 +135,20 @@ func main() {
 
 	var cache *memcache.Cache
 	switch {
-	case *pmemFile != "":
+	case pmemPath != "":
 		// Logged before the (potentially long) attach-and-sweep so the crash
 		// matrix can kill -9 a recovery in flight and verify the next one.
-		log.Printf("attaching to %s", *pmemFile)
+		log.Printf("attaching to %s (%s device, durability %s)", pmemPath, device.Kind, policy)
 		start := time.Now()
 		c, err := memcache.New(cfg)
 		if err != nil {
-			log.Fatalf("nvmemcached: open %s: %v", *pmemFile, err)
+			log.Fatalf("nvmemcached: open %s: %v", pmemPath, err)
 		}
 		cache = c
 		if cache.Recovered() {
 			rs := cache.RecoveryStats()
 			log.Printf("recovered %d items from %s in %v (%d active areas, %d leaked objects freed)",
-				cache.Stats().Items, *pmemFile, time.Since(start).Round(time.Microsecond),
+				cache.Stats().Items, pmemPath, time.Since(start).Round(time.Microsecond),
 				rs.ActiveAreas, rs.Leaked)
 			if pool := cache.Pool(); pool != nil {
 				// Machine-parseable parallelism evidence for crash_e2e.sh:
@@ -139,9 +167,9 @@ func main() {
 			}
 		} else if pool := cache.Pool(); pool != nil {
 			log.Printf("fresh file-backed pool: %d MiB NVRAM across %d shards under %s",
-				*mem>>20, pool.Shards(), *pmemFile)
+				*mem>>20, pool.Shards(), pmemPath)
 		} else {
-			log.Printf("fresh file-backed cache: %d MiB NVRAM mapped at %s", *mem>>20, *pmemFile)
+			log.Printf("fresh file-backed cache: %d MiB NVRAM mapped at %s", *mem>>20, pmemPath)
 		}
 	case *image != "":
 		if _, err := os.Stat(*image); err == nil {
@@ -335,13 +363,13 @@ loop:
 	srv.Close()
 	items := cache.Stats().Items
 	switch {
-	case *pmemFile != "":
+	case pmemPath != "":
 		// No image dance: the mapping already holds everything; Close just
 		// flushes it synchronously and unmaps.
 		if err := cache.Close(); err != nil {
 			log.Fatalf("nvmemcached: close: %v", err)
 		}
-		log.Printf("pmem file %s holds %d items", *pmemFile, items)
+		log.Printf("pmem file %s holds %d items", pmemPath, items)
 	case *image != "":
 		cache.Flush()
 		if err := cache.Device().SaveImage(*image); err != nil {

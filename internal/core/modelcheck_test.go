@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/nvram"
 )
@@ -322,6 +323,40 @@ func mcBackends() map[string]func(t *testing.T) *nvram.Device {
 			}
 			// Release the mapping and descriptor when the subtest ends: the
 			// nightly lane runs hundreds of these in one process.
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+		// The async-syncer modes and the DAX backend must be invisible to
+		// crash frontiers and recovery sweeps: the persisted image is still
+		// written synchronously at each fence, the modes only change what a
+		// MACHINE crash could take (which StoreHook tortures do not model).
+		"file-strict": func(t *testing.T) *nvram.Device {
+			d, _, err := nvram.OpenFileDevice(
+				filepath.Join(t.TempDir(), "mc.pmem"), nvram.Config{Size: 16 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Backend().(*nvram.FileBackend).SetSyncPolicy(nvram.SyncPolicy{Mode: nvram.SyncStrict})
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+		"file-buffered": func(t *testing.T) *nvram.Device {
+			d, _, err := nvram.OpenFileDevice(
+				filepath.Join(t.TempDir(), "mc.pmem"), nvram.Config{Size: 16 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Backend().(*nvram.FileBackend).SetSyncPolicy(
+				nvram.SyncPolicy{Mode: nvram.SyncBuffered, MaxStaleness: time.Millisecond})
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+		"dax": func(t *testing.T) *nvram.Device {
+			d, _, err := nvram.OpenDAXDevice(
+				filepath.Join(t.TempDir(), "mc.pmem"), nvram.Config{Size: 16 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
 			t.Cleanup(func() { d.Close() })
 			return d
 		},

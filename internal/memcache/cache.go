@@ -104,16 +104,27 @@ type Config struct {
 	// WriteLatency is the simulated NVRAM write latency.
 	WriteLatency time.Duration
 	// DisableLinkCache turns the §4 link cache off (on by default in
-	// NV-Memcached).
+	// NV-Memcached). Whether the cache is actually legal on the configured
+	// device is derived from the Durability policy inside logfree; the
+	// request here only expresses intent.
 	DisableLinkCache bool
-	// File, when set, backs the NVRAM image with an mmap'd file at this
-	// path: contents survive process death (kill -9 included) with no
-	// image save, and New recovers a populated file instead of formatting
-	// it (check Runtime().Recovered()).
+	// Device names the persistence substrate (logfree.MemDevice,
+	// FileDevice, DAXDevice). With Shards > 1 the spec's path is the pool
+	// DIRECTORY. A durable device that already holds a cache is recovered
+	// in place (check Runtime().Recovered()).
+	Device logfree.DeviceSpec
+	// Durability is the acknowledged-operation policy on the configured
+	// device (logfree.Strict, Synced, Buffered). Zero value: Synced.
+	Durability logfree.Durability
+	// File backs the NVRAM image with an mmap'd file at this path.
+	//
+	// Deprecated: set Device (logfree.FileDevice(path)). Folded into
+	// Device by fill() when Device is unset.
 	File string
-	// FileSync, with File, adds one fdatasync per linearizing fence so
-	// acknowledged writes survive machine crashes too (real storage
-	// latency per fence).
+	// FileSync adds machine-crash durability for acknowledged writes.
+	//
+	// Deprecated: set Durability (logfree.Strict()). Folded into
+	// Durability by fill() when Durability is the zero policy.
 	FileSync bool
 	// Shards > 1 runs the cache on a sharded.Pool of that many independent
 	// runtimes (rounded to a power of two) instead of one: keys hash-route
@@ -147,6 +158,13 @@ func (c *Config) fill() {
 	}
 	if c.MaxConns == 0 {
 		c.MaxConns = 8
+	}
+	// Fold the deprecated per-flag fields into the spec/policy pair.
+	if c.Device.Kind == logfree.DeviceMem && c.File != "" {
+		c.Device = logfree.FileDevice(c.File)
+	}
+	if c.FileSync && !c.Durability.IsStrict() && !c.Durability.IsBuffered() {
+		c.Durability = logfree.Strict()
 	}
 }
 
@@ -294,21 +312,21 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Shards > 1 {
 		return newSharded(cfg)
 	}
-	// File-backed caches run WITHOUT the §4 link cache: it batches link
-	// persistence (buffered durable linearizability), and a kill -9 gives
-	// no flush opportunity — the whole point of file mode is that every
-	// acknowledged write is durable the moment the operation returns.
+	// The link cache is requested as configured; logfree's durability rule
+	// decides whether it is legal on the device (durable devices only run
+	// it under a Buffered policy, whose flush timer bounds the exposure —
+	// on Strict/Synced a volatile cache of publishing links would void the
+	// acknowledged-write contract that file mode exists for).
 	opts := []logfree.Option{
 		logfree.WithSize(cfg.MemoryBytes),
 		logfree.WithMaxThreads(cfg.MaxConns + 1),
 		logfree.WithWriteLatency(cfg.WriteLatency),
-		logfree.WithLinkCache(!cfg.DisableLinkCache && cfg.File == ""),
+		logfree.WithLinkCache(!cfg.DisableLinkCache),
+		logfree.WithDevice(cfg.Device),
+		logfree.WithDurability(cfg.Durability),
 	}
 	if cfg.MaxGrowBytes != 0 {
 		opts = append(opts, logfree.WithMaxSize(cfg.MaxGrowBytes))
-	}
-	if cfg.File != "" {
-		opts = append(opts, logfree.WithFile(cfg.File), logfree.WithFileSync(cfg.FileSync))
 	}
 	rt, err := logfree.New(opts...)
 	if err != nil {
@@ -339,13 +357,12 @@ func newSharded(cfg Config) (*Cache, error) {
 		sharded.WithShardSize(cfg.MemoryBytes / uint64(cfg.Shards)),
 		sharded.WithWriteLatency(cfg.WriteLatency),
 		sharded.WithMaxThreads(cfg.MaxConns + 1),
-		sharded.WithLinkCache(!cfg.DisableLinkCache && cfg.File == ""),
+		sharded.WithLinkCache(!cfg.DisableLinkCache),
+		sharded.WithDevice(cfg.Device),
+		sharded.WithDurability(cfg.Durability),
 	}
 	if cfg.MaxGrowBytes != 0 {
 		opts = append(opts, sharded.WithMaxShardSize(cfg.MaxGrowBytes/uint64(cfg.Shards)))
-	}
-	if cfg.File != "" {
-		opts = append(opts, sharded.WithDir(cfg.File), sharded.WithFileSync(cfg.FileSync))
 	}
 	pool, err := sharded.Open(opts...)
 	if err != nil {

@@ -73,6 +73,14 @@ type GrowableBackend interface {
 	GrowTo(newSize uint64) error
 }
 
+// DrainableBackend is the optional interface of backends whose SyncLines
+// work completes asynchronously (FileBackend's background syncer). Drain
+// blocks until everything enqueued so far has been flushed per the
+// backend's current policy; Device.SyncBarrier reaches it.
+type DrainableBackend interface {
+	Drain()
+}
+
 // MemBackend is the in-process backend: the persisted image is a plain heap
 // slice, exactly the pre-Backend simulator. It is the default backend of
 // New and the fastest one — a fence costs nothing beyond the simulated

@@ -4,8 +4,11 @@ package nvram
 // store/flush/fence semantics to the layers above — torn-line granularity,
 // CrashPartial frontiers, StoreHook abort points, reboot visibility — so the
 // whole recovery stack proven against the simulator carries over unchanged.
-// The suite runs the same table of scenarios against MemBackend and
-// FileBackend; file-only subtests cover the backing-file header validation.
+// The suite runs the same table of scenarios against MemBackend, FileBackend
+// under every syncer mode (eager/strict/buffered), and DAXBackend (over a
+// regular file in CI — the MAP_SHARED fallback exercises the same code
+// paths as a real MAP_SYNC mapping, minus the hardware durability);
+// file-only subtests cover the backing-file header validation.
 
 import (
 	"math/rand"
@@ -13,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // backendCase opens a fresh device and simulates a process restart over the
@@ -42,13 +46,21 @@ func backendCases() []backendCase {
 				return nd
 			},
 		},
+		fileCase("file", SyncPolicy{Mode: SyncEager}),
+		// The async-syncer modes must be observationally identical to eager
+		// from above the Backend interface: strict only adds a fence-time
+		// wait on the durable watermark, buffered only defers the msync
+		// batches — the persisted image (what PersistedWord and reopen see)
+		// is written synchronously at the fence either way.
+		fileCase("file-strict", SyncPolicy{Mode: SyncStrict}),
+		fileCase("file-buffered", SyncPolicy{Mode: SyncBuffered, MaxStaleness: 2 * time.Millisecond}),
 		{
-			name: "file",
+			name: "dax",
 			open: func(t *testing.T, size uint64) *Device {
 				path := filepath.Join(t.TempDir(), "pm.img")
-				d, created, err := OpenFileDevice(path, Config{Size: size})
+				d, created, err := OpenDAXDevice(path, Config{Size: size})
 				if err != nil {
-					t.Fatalf("OpenFileDevice: %v", err)
+					t.Fatalf("OpenDAXDevice: %v", err)
 				}
 				if !created {
 					t.Fatalf("fresh path reported as existing")
@@ -56,11 +68,11 @@ func backendCases() []backendCase {
 				return d
 			},
 			reopen: func(t *testing.T, d *Device) *Device {
-				path := d.Backend().(*FileBackend).Path()
+				path := d.Backend().(*DAXBackend).Path()
 				if err := d.Close(); err != nil {
 					t.Fatalf("Close: %v", err)
 				}
-				nd, created, err := OpenFileDevice(path, Config{})
+				nd, created, err := OpenDAXDevice(path, Config{})
 				if err != nil {
 					t.Fatalf("reopen: %v", err)
 				}
@@ -69,6 +81,42 @@ func backendCases() []backendCase {
 				}
 				return nd
 			},
+		},
+	}
+}
+
+// fileCase builds a FileBackend conformance case running under the given
+// syncer policy (re-applied on reopen — the policy is process state, not
+// image state).
+func fileCase(name string, p SyncPolicy) backendCase {
+	return backendCase{
+		name: name,
+		open: func(t *testing.T, size uint64) *Device {
+			path := filepath.Join(t.TempDir(), "pm.img")
+			d, created, err := OpenFileDevice(path, Config{Size: size})
+			if err != nil {
+				t.Fatalf("OpenFileDevice: %v", err)
+			}
+			if !created {
+				t.Fatalf("fresh path reported as existing")
+			}
+			d.Backend().(*FileBackend).SetSyncPolicy(p)
+			return d
+		},
+		reopen: func(t *testing.T, d *Device) *Device {
+			path := d.Backend().(*FileBackend).Path()
+			if err := d.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			nd, created, err := OpenFileDevice(path, Config{})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if created {
+				t.Fatalf("existing file reported as created")
+			}
+			nd.Backend().(*FileBackend).SetSyncPolicy(p)
+			return nd
 		},
 	}
 }

@@ -1,0 +1,47 @@
+//go:build amd64 && !noasm
+
+package nvram
+
+import "unsafe"
+
+// The paper's persistence primitive on real hardware: write a cache line
+// back to the memory hierarchy without a syscall. CLWB is the instruction
+// built for pmem (writes back without evicting, so the line stays hot);
+// CLFLUSHOPT is the weakly-ordered flush on slightly older parts; CLFLUSH
+// is the universal but fully-serialized fallback. All three are ordered by
+// the single SFENCE a fence issues after its line loop.
+//
+// Selection happens once at init via CPUID leaf 7 feature bits, so the
+// per-line call is a direct function-pointer dispatch with no branch.
+
+// Implemented in clwb_amd64.s.
+func cpuid7() (ebx uint32)
+func asmClwb(p unsafe.Pointer)
+func asmClflushopt(p unsafe.Pointer)
+func asmClflush(p unsafe.Pointer)
+func asmSfence()
+
+const (
+	cpuidClflushopt = 1 << 23 // CPUID.(EAX=7,ECX=0):EBX bit 23
+	cpuidClwb       = 1 << 24 // CPUID.(EAX=7,ECX=0):EBX bit 24
+)
+
+// flushLine writes the cache line containing p back toward the persistence
+// domain; storeFence orders all preceding flushes. flushInstr names the
+// selected instruction for logs/stats.
+var (
+	flushLine  func(unsafe.Pointer) = asmClflush
+	flushInstr                      = "clflush"
+)
+
+func storeFence() { asmSfence() }
+
+func init() {
+	ebx := cpuid7()
+	switch {
+	case ebx&cpuidClwb != 0:
+		flushLine, flushInstr = asmClwb, "clwb"
+	case ebx&cpuidClflushopt != 0:
+		flushLine, flushInstr = asmClflushopt, "clflushopt"
+	}
+}

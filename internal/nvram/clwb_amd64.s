@@ -1,0 +1,44 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func cpuid7() (ebx uint32)
+// CPUID.(EAX=7,ECX=0):EBX holds the CLWB (bit 24) and CLFLUSHOPT (bit 23)
+// feature flags. Leaf 7 is only valid when the basic leaf range (CPUID
+// leaf 0, EAX) reaches it; return 0 otherwise.
+TEXT ·cpuid7(SB), NOSPLIT, $0-4
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  none
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	MOVL BX, ebx+0(FP)
+	RET
+none:
+	MOVL $0, ebx+0(FP)
+	RET
+
+// func asmClwb(p unsafe.Pointer)
+TEXT ·asmClwb(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	CLWB (AX)
+	RET
+
+// func asmClflushopt(p unsafe.Pointer)
+TEXT ·asmClflushopt(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	CLFLUSHOPT (AX)
+	RET
+
+// func asmClflush(p unsafe.Pointer)
+TEXT ·asmClflush(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	CLFLUSH (AX)
+	RET
+
+// func asmSfence()
+TEXT ·asmSfence(SB), NOSPLIT, $0-0
+	SFENCE
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64 || noasm
+
+package nvram
+
+import "unsafe"
+
+// Portable stub of the cache-line write-back primitives: no-ops. The DAX
+// backend still works over shared mappings (every write-back lands in the
+// mapping, so kill -9 safety holds), but machine-crash durability on real
+// pmem requires the amd64 flush path.
+var (
+	flushLine  func(unsafe.Pointer) = func(unsafe.Pointer) {}
+	flushInstr                      = "noop"
+)
+
+func storeFence() {}

@@ -1,0 +1,50 @@
+//go:build !unix
+
+package nvram
+
+// DAXBackend is unavailable on this platform; OpenDAXBackend always fails.
+// The type exists so cross-platform callers compile.
+type DAXBackend struct{}
+
+// OpenDAXBackend fails: no shared mappings on this platform.
+func OpenDAXBackend(string, uint64, uint64) (*DAXBackend, bool, error) {
+	return nil, false, ErrFileBackendUnsupported
+}
+
+// Name identifies the backend kind.
+func (db *DAXBackend) Name() string { return "dax" }
+
+// Path returns the backing device/file path.
+func (db *DAXBackend) Path() string { return "" }
+
+// MapSync reports false on this platform.
+func (db *DAXBackend) MapSync() bool { return false }
+
+// FlushInstr reports the selected flush instruction name.
+func (db *DAXBackend) FlushInstr() string { return flushInstr }
+
+// Words returns no image on this platform.
+func (db *DAXBackend) Words() []uint64 { return nil }
+
+// Committed returns 0 on this platform.
+func (db *DAXBackend) Committed() uint64 { return 0 }
+
+// GrowTo fails: no shared mappings on this platform.
+func (db *DAXBackend) GrowTo(uint64) error { return ErrFileBackendUnsupported }
+
+// NeedsSync reports false on this platform.
+func (db *DAXBackend) NeedsSync() bool { return false }
+
+// SyncLines is a no-op on this platform.
+func (db *DAXBackend) SyncLines([]uint64) {}
+
+// Abandon is a no-op on this platform.
+func (db *DAXBackend) Abandon() error { return nil }
+
+// Close is a no-op on this platform.
+func (db *DAXBackend) Close() error { return nil }
+
+// OpenDAXDevice fails: no shared mappings on this platform.
+func OpenDAXDevice(string, Config) (*Device, bool, error) {
+	return nil, false, ErrFileBackendUnsupported
+}

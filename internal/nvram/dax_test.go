@@ -1,0 +1,179 @@
+package nvram
+
+// DAX backend specifics beyond the shared conformance suite: abandonment
+// (kill -9 analogue over the shared mapping), image portability against
+// FileBackend (the two share the backing-file format), and the CPUID flush
+// selection.
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Kill -9 analogue: abandon a DAX-backed device without Close — write-backs
+// land in the shared mapping, so the image survives exactly as FileBackend's
+// does (on real MAP_SYNC pmem they are durable the moment the fence's
+// flushes retire).
+func TestDAXBackendSurvivesAbandonment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pm.img")
+	d, _, err := OpenDAXDevice(path, Config{Size: 1 << 16})
+	if err != nil {
+		t.Fatalf("OpenDAXDevice: %v", err)
+	}
+	fl := d.NewFlusher()
+	d.Store(64, 44)
+	fl.Sync(64)
+	if err := d.Backend().(*DAXBackend).Abandon(); err != nil {
+		t.Fatalf("Abandon: %v", err)
+	}
+	nd, created, err := OpenDAXDevice(path, Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if created {
+		t.Fatal("existing file reported created")
+	}
+	if got := nd.Load(64); got != 44 {
+		t.Fatalf("synced word lost without clean shutdown: %d", got)
+	}
+	nd.Close()
+}
+
+// The DAX and file backends share the backing-file format: an image
+// formatted under either opens under the other with its contents intact, so
+// operators can move a pool between a pmem mount and plain storage (or
+// debug a DAX image with file-backend tooling) without conversion.
+func TestDAXFileImageInterop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pm.img")
+
+	d, _, err := OpenFileDevice(path, Config{Size: 1 << 16})
+	if err != nil {
+		t.Fatalf("OpenFileDevice: %v", err)
+	}
+	fl := d.NewFlusher()
+	d.Store(64, 7)
+	fl.Sync(64)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	dd, created, err := OpenDAXDevice(path, Config{})
+	if err != nil {
+		t.Fatalf("file image under DAX backend: %v", err)
+	}
+	if created {
+		t.Fatal("existing image reported created")
+	}
+	if got := dd.Load(64); got != 7 {
+		t.Fatalf("word lost crossing file→dax: %d", got)
+	}
+	fl = dd.NewFlusher()
+	dd.Store(128, 9)
+	fl.Sync(128)
+	if err := dd.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fd, created, err := OpenFileDevice(path, Config{})
+	if err != nil {
+		t.Fatalf("dax image under file backend: %v", err)
+	}
+	if created {
+		t.Fatal("existing image reported created")
+	}
+	if a, b := fd.Load(64), fd.Load(128); a != 7 || b != 9 {
+		t.Fatalf("words lost crossing dax→file: %d, %d", a, b)
+	}
+	fd.Close()
+}
+
+// The single-owner flock is shared machinery: a DAX-mapped image cannot be
+// opened twice, by either backend.
+func TestDAXBackendSingleOwner(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pm.img")
+	db, _, err := OpenDAXBackend(path, 1<<16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenDAXBackend(path, 0, 0); err == nil {
+		t.Fatal("second dax open succeeded")
+	}
+	if _, _, err := OpenFileBackend(path, 0, 0); err == nil {
+		t.Fatal("file open of a dax-owned image succeeded")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A failed open (corrupt header) must release the fd and its flock
+// immediately, not at some later GC finalization: repairing the image and
+// reopening in the same process has to succeed. Regression test for the
+// named-return shadowing bug where openBackingFile's deferred close ran
+// against the already-nil'd return value.
+func TestFailedOpenReleasesLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pm.img")
+	db, _, err := OpenDAXBackend(path, 1<<16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(v uint64) {
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := f.WriteAt(buf[:], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt(0)
+	for i := 0; i < 3; i++ { // repeated failures must not accumulate fds
+		if _, _, err := OpenFileBackend(path, 0, 0); err == nil {
+			t.Fatal("open of corrupt image succeeded")
+		} else if strings.Contains(err.Error(), "locked") {
+			t.Fatalf("attempt %d: prior failed open leaked the flock: %v", i, err)
+		}
+		if _, _, err := OpenDAXBackend(path, 0, 0); err == nil {
+			t.Fatal("dax open of corrupt image succeeded")
+		} else if strings.Contains(err.Error(), "locked") {
+			t.Fatalf("attempt %d: prior failed dax open leaked the flock: %v", i, err)
+		}
+	}
+	corrupt(fileMagic)
+	fb, created, err := OpenFileBackend(path, 0, 0)
+	if err != nil {
+		t.Fatalf("repaired open: %v", err)
+	}
+	if created {
+		t.Fatal("repaired image reported created")
+	}
+	fb.Close()
+}
+
+// The CPUID-gated flush selection must land on a known instruction and the
+// backend must report it.
+func TestDAXFlushInstrSelected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pm.img")
+	db, _, err := OpenDAXBackend(path, 1<<16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	switch got := db.FlushInstr(); got {
+	case "clwb", "clflushopt", "clflush", "noop":
+	default:
+		t.Fatalf("FlushInstr = %q, want clwb/clflushopt/clflush/noop", got)
+	}
+	if db.NeedsSync() != true {
+		t.Fatal("DAX backend must require fence-time SyncLines")
+	}
+}

@@ -1,0 +1,188 @@
+//go:build unix
+
+package nvram
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// DAXBackend is the real-persistent-memory backend: the persisted image is
+// a direct-access (DAX) mapping of a pmem device or fsdax file, and fences
+// make write-backs durable with the hardware primitives the paper assumes —
+// one cache-line write-back instruction per dirty line (CLWB, falling back
+// to CLFLUSHOPT then CLFLUSH by CPUID; see clwb_amd64.s) and one SFENCE. No
+// syscall ever sits on the fence path: on real pmem the store buffer → CLWB
+// → SFENCE chain IS the durability contract, so SyncStrict and the default
+// eager mode are the same thing and there is nothing to buffer.
+//
+// The backing-file format (header page + image) is shared with FileBackend:
+// an image formatted by either backend opens under the other, and all the
+// header validation, growth and single-owner machinery is common. The
+// mapping is requested with MAP_SYNC (linux: the kernel guarantees the
+// mapping is a direct one and metadata for every mapped page is durable, so
+// CPU flushes alone persist data); kernels or filesystems without DAX fall
+// back to a plain shared mapping — reported by MapSync — where the flushes
+// still execute but machine-crash durability degrades to the page-cache
+// story (kill -9 safety holds by construction either way). That fallback is
+// what CI exercises: the full conformance and crash-torture suites run the
+// DAX backend over regular files on any filesystem.
+type DAXBackend struct {
+	f       *os.File
+	mapping []byte
+	words   []uint64
+	path    string
+	mapSync bool
+
+	committed atomic.Uint64
+	reserve   uint64
+}
+
+// Raw mmap flags of the DAX attempt (linux values; other kernels reject
+// them and the open falls back to MAP_SHARED). MAP_SHARED_VALIDATE is
+// required by the kernel for MAP_SYNC so unsupported flag bits fail loudly
+// instead of being ignored.
+const (
+	mmapSharedValidate = 0x03
+	mmapSyncFlag       = 0x80000
+)
+
+// mmapDAX maps the file with MAP_SHARED_VALIDATE|MAP_SYNC, falling back to
+// MAP_SHARED where the kernel or filesystem cannot grant a sync mapping.
+func mmapDAX(fd int, length int) (b []byte, synced bool, err error) {
+	prot := syscall.PROT_READ | syscall.PROT_WRITE
+	b, err = syscall.Mmap(fd, 0, length, prot, mmapSharedValidate|mmapSyncFlag)
+	if err == nil {
+		return b, true, nil
+	}
+	b, err = syscall.Mmap(fd, 0, length, prot, syscall.MAP_SHARED)
+	return b, false, err
+}
+
+// OpenDAXBackend opens path — a DAX device, an fsdax file, or (degraded, see
+// MapSync) any regular file — as a pmem backend. Create/open/validate
+// semantics and the size/maxSize contract are exactly OpenFileBackend's:
+// the two backends share the backing-file format.
+func OpenDAXBackend(path string, size, maxSize uint64) (db *DAXBackend, created bool, err error) {
+	f, devSize, reserve, created, err := openBackingFile(path, size, maxSize)
+	if err != nil {
+		return nil, false, err
+	}
+	mapping, synced, err := mmapDAX(int(f.Fd()), int(fileHeaderSize+reserve))
+	if err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("nvram: mmap dax file: %w", err)
+	}
+	db = &DAXBackend{
+		f:       f,
+		mapping: mapping,
+		words:   unsafe.Slice((*uint64)(unsafe.Pointer(&mapping[fileHeaderSize])), reserve/WordSize),
+		path:    path,
+		mapSync: synced,
+		reserve: reserve,
+	}
+	db.committed.Store(devSize)
+	return db, created, nil
+}
+
+// Name identifies the backend kind.
+func (db *DAXBackend) Name() string { return "dax" }
+
+// Path returns the backing device/file path.
+func (db *DAXBackend) Path() string { return db.path }
+
+// MapSync reports whether the kernel granted a MAP_SYNC mapping — true on
+// real DAX, false on the regular-file fallback.
+func (db *DAXBackend) MapSync() bool { return db.mapSync }
+
+// FlushInstr names the cache-line write-back instruction fences issue
+// ("clwb", "clflushopt", "clflush", or "noop" on non-amd64 builds).
+func (db *DAXBackend) FlushInstr() string { return flushInstr }
+
+// Words returns the persisted image: the mapped region past the header. The
+// slice covers the full reserve; only the Committed prefix is live.
+func (db *DAXBackend) Words() []uint64 { return db.words }
+
+// Committed returns the live image capacity in bytes.
+func (db *DAXBackend) Committed() uint64 { return db.committed.Load() }
+
+// GrowTo durably extends the live image within the mapped reserve; see
+// FileBackend.GrowTo (shared implementation — the header commit goes
+// through the file descriptor, whose fsyncs are durable on DAX filesystems
+// too).
+func (db *DAXBackend) GrowTo(newSize uint64) error {
+	return growBackingFile(db.f, &db.committed, db.reserve, newSize)
+}
+
+// NeedsSync reports true: fences must issue the line flushes.
+func (db *DAXBackend) NeedsSync() bool { return true }
+
+// SyncLines write-backs each just-copied line with the best available flush
+// instruction and orders them all with one SFENCE — the paper's persistence
+// primitive, no syscalls. On MAP_SYNC mappings this is full machine-crash
+// durability; on the regular-file fallback the flushes push data toward the
+// page cache only (kill -9 safe, as any shared mapping is).
+func (db *DAXBackend) SyncLines(lines []uint64) {
+	base := unsafe.Pointer(&db.mapping[0])
+	for _, l := range lines {
+		flushLine(unsafe.Add(base, fileHeaderSize+l*LineSize))
+	}
+	storeFence()
+}
+
+// Abandon simulates abrupt process death for in-process crash tests: drop
+// the descriptor and mapping with no flush (see FileBackend.Abandon — same
+// single-owner-release semantics).
+func (db *DAXBackend) Abandon() error {
+	err := db.f.Close()
+	if db.mapping != nil {
+		if e := syscall.Munmap(db.mapping); err == nil {
+			err = e
+		}
+		db.mapping, db.words = nil, nil
+	}
+	return err
+}
+
+// Close flushes the committed image (an msync + fsync — harmless on real
+// DAX, required for the regular-file fallback), unmaps and closes. After
+// Close the file alone carries the device state.
+func (db *DAXBackend) Close() error {
+	if db.mapping == nil {
+		return nil
+	}
+	live := fileHeaderSize + db.committed.Load()
+	errSync := msyncRange(db.mapping[:live:live], true)
+	if err := db.f.Sync(); errSync == nil {
+		errSync = err
+	}
+	if err := syscall.Munmap(db.mapping); errSync == nil {
+		errSync = err
+	}
+	db.mapping, db.words = nil, nil
+	if err := db.f.Close(); errSync == nil {
+		errSync = err
+	}
+	return errSync
+}
+
+// OpenDAXDevice opens (or creates) a DAX-backed device: the persisted image
+// is the direct mapping at path, the volatile image starts as its copy, and
+// recovery is the caller's normal attach path. The second result reports
+// whether the file was created.
+func OpenDAXDevice(path string, cfg Config) (*Device, bool, error) {
+	db, created, err := OpenDAXBackend(path, cfg.Size, cfg.MaxSize)
+	if err != nil {
+		return nil, false, err
+	}
+	cfg.Size = 0 // adopt the backend's formatted capacity
+	d, err := NewWithBackend(cfg, db)
+	if err != nil {
+		db.Close()
+		return nil, false, err
+	}
+	return d, created, nil
+}

@@ -38,6 +38,15 @@ func (fb *FileBackend) NeedsSync() bool { return false }
 // SetStrict is a no-op on this platform.
 func (fb *FileBackend) SetStrict(bool) {}
 
+// SetSyncPolicy is a no-op on this platform.
+func (fb *FileBackend) SetSyncPolicy(SyncPolicy) {}
+
+// Policy returns the zero policy on this platform.
+func (fb *FileBackend) Policy() SyncPolicy { return SyncPolicy{} }
+
+// Drain is a no-op on this platform.
+func (fb *FileBackend) Drain() {}
+
 // SyncLines is a no-op on this platform.
 func (fb *FileBackend) SyncLines([]uint64) {}
 

@@ -6,7 +6,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
-	"slices"
 	"sync/atomic"
 	"syscall"
 	"unsafe"
@@ -23,11 +22,16 @@ import (
 //   - Process crash (panic, kill -9, OOM kill): safe by construction. The
 //     kernel owns the mapped pages; they reach the file regardless of how
 //     the process died.
-//   - Machine crash (power loss, kernel panic): each fence issues ranged
-//     msync(MS_ASYNC) over the written-back lines, which starts writeback
-//     without stalling the fence. Full power-fail durability needs strict
-//     mode (SetStrict), which adds one fdatasync per fence — the honest
-//     storage-hardware cost, typically 10-100× the simulated NVRAM latency.
+//   - Machine crash (power loss, kernel panic): governed by the SyncPolicy
+//     of the background syncer (see SyncMode). The default eager mode starts
+//     kernel writeback promptly; SyncStrict blocks each fence on a
+//     group-committed fdatasync — the honest storage-hardware cost,
+//     typically 10-100× the simulated NVRAM latency — and SyncBuffered
+//     bounds the exposure window at MaxStaleness.
+//
+// Fences never msync inline: SyncLines enqueues the dirty pages with the
+// backend's syncer goroutine, which coalesces ranges across fences into
+// page-merged msync calls off the hot path (fileSyncer).
 //
 // The file starts with one 4KB header page (magic, version, size, line and
 // word geometry) that OpenFileBackend validates before mapping; the image
@@ -37,7 +41,7 @@ type FileBackend struct {
 	mapping []byte
 	words   []uint64
 	pageSz  uint64
-	strict  bool
+	syncer  *fileSyncer
 	path    string
 
 	// committed is the live image capacity in bytes; reserve is the mapped
@@ -78,54 +82,14 @@ const (
 // size is whatever its last durable grow reached, not what a flag says)
 // instead of enforcing a size match.
 func OpenFileBackend(path string, size, maxSize uint64) (fb *FileBackend, created bool, err error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, devSize, reserve, created, err := openBackingFile(path, size, maxSize)
 	if err != nil {
-		return nil, false, fmt.Errorf("nvram: open pmem file: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			f.Close()
-		}
-	}()
-	if err = lockFile(f, path); err != nil {
 		return nil, false, err
-	}
-	st, err := f.Stat()
-	if err != nil {
-		return nil, false, fmt.Errorf("nvram: stat pmem file: %w", err)
-	}
-	devSize := size
-	if st.Size() == 0 {
-		if devSize == 0 {
-			return nil, false, fmt.Errorf("nvram: creating %s requires a size", path)
-		}
-		if devSize < LineSize {
-			devSize = LineSize
-		}
-		devSize = (devSize + LineSize - 1) &^ uint64(LineSize-1)
-		if err := initFile(f, devSize); err != nil {
-			return nil, false, err
-		}
-		created = true
-	} else {
-		wantSize := size
-		if maxSize != 0 {
-			wantSize = 0 // elastic pool: adopt the file's committed capacity
-		}
-		devSize, err = validateFileHeader(f, st.Size(), wantSize)
-		if err != nil {
-			return nil, false, err
-		}
-	}
-	reserve := devSize
-	if maxSize != 0 {
-		if m := (maxSize + LineSize - 1) &^ uint64(LineSize-1); m > reserve {
-			reserve = m
-		}
 	}
 	mapping, err := syscall.Mmap(int(f.Fd()), 0, int(fileHeaderSize+reserve),
 		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
 	if err != nil {
+		f.Close()
 		return nil, false, fmt.Errorf("nvram: mmap pmem file: %w", err)
 	}
 	fb = &FileBackend{
@@ -137,7 +101,66 @@ func OpenFileBackend(path string, size, maxSize uint64) (fb *FileBackend, create
 		reserve: reserve,
 	}
 	fb.committed.Store(devSize)
+	fb.syncer = newFileSyncer(fb, SyncPolicy{Mode: SyncEager})
 	return fb, created, nil
+}
+
+// openBackingFile opens-or-creates the shared backing-file format (one 4KB
+// header page + the image) that both the file and DAX backends use: lock,
+// create-and-format or validate, and compute the mapped reserve. The two
+// backends differ only in how they map the file and flush lines, so an
+// image formatted by one opens under the other.
+func openBackingFile(path string, size, maxSize uint64) (f *os.File, devSize, reserve uint64, created bool, err error) {
+	f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("nvram: open pmem file: %w", err)
+	}
+	// Close the captured local, not the named return: error returns below
+	// write nil into f before the defer runs, and a leaked fd keeps the
+	// flock held until some later GC finalizes it.
+	opened := f
+	defer func() {
+		if err != nil {
+			opened.Close()
+		}
+	}()
+	if err = lockFile(f, path); err != nil {
+		return nil, 0, 0, false, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, 0, false, fmt.Errorf("nvram: stat pmem file: %w", err)
+	}
+	devSize = size
+	if st.Size() == 0 {
+		if devSize == 0 {
+			return nil, 0, 0, false, fmt.Errorf("nvram: creating %s requires a size", path)
+		}
+		if devSize < LineSize {
+			devSize = LineSize
+		}
+		devSize = (devSize + LineSize - 1) &^ uint64(LineSize-1)
+		if err = initFile(f, devSize); err != nil {
+			return nil, 0, 0, false, err
+		}
+		created = true
+	} else {
+		wantSize := size
+		if maxSize != 0 {
+			wantSize = 0 // elastic pool: adopt the file's committed capacity
+		}
+		devSize, err = validateFileHeader(f, st.Size(), wantSize)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+	}
+	reserve = devSize
+	if maxSize != 0 {
+		if m := (maxSize + LineSize - 1) &^ uint64(LineSize-1); m > reserve {
+			reserve = m
+		}
+	}
+	return f, devSize, reserve, created, nil
 }
 
 // initFile sizes a fresh backing file and durably writes its header before
@@ -227,82 +250,74 @@ func (fb *FileBackend) Committed() uint64 { return fb.committed.Load() }
 // fully contains — the old size (extension not yet committed) or the new
 // one. Grows are rare (capacity doublings), so two fsyncs are fine.
 func (fb *FileBackend) GrowTo(newSize uint64) error {
-	cur := fb.committed.Load()
-	if newSize <= cur {
+	return growBackingFile(fb.f, &fb.committed, fb.reserve, newSize)
+}
+
+// growBackingFile is the shared durable grow of the backing-file format
+// (file and DAX backends): extend + fsync, then header size rewrite +
+// fsync, then the committed mirror.
+func growBackingFile(f *os.File, committed *atomic.Uint64, reserve, newSize uint64) error {
+	if newSize <= committed.Load() {
 		return nil
 	}
-	if newSize%LineSize != 0 || newSize > fb.reserve {
-		return fmt.Errorf("nvram: pmem file grow to %d bytes exceeds the %d-byte reserve", newSize, fb.reserve)
+	if newSize%LineSize != 0 || newSize > reserve {
+		return fmt.Errorf("nvram: pmem file grow to %d bytes exceeds the %d-byte reserve", newSize, reserve)
 	}
-	if err := fb.f.Truncate(int64(fileHeaderSize + newSize)); err != nil {
+	if err := f.Truncate(int64(fileHeaderSize + newSize)); err != nil {
 		return fmt.Errorf("nvram: extend pmem file: %w", err)
 	}
-	if err := fb.f.Sync(); err != nil {
+	if err := f.Sync(); err != nil {
 		return fmt.Errorf("nvram: sync pmem file extension: %w", err)
 	}
 	var sz [8]byte
 	binary.LittleEndian.PutUint64(sz[:], newSize)
-	if _, err := fb.f.WriteAt(sz[:], fhSizeOff); err != nil {
+	if _, err := f.WriteAt(sz[:], fhSizeOff); err != nil {
 		return fmt.Errorf("nvram: commit pmem grow header: %w", err)
 	}
-	if err := fb.f.Sync(); err != nil {
+	if err := f.Sync(); err != nil {
 		return fmt.Errorf("nvram: sync pmem grow header: %w", err)
 	}
-	fb.committed.Store(newSize)
+	committed.Store(newSize)
 	return nil
 }
 
 // NeedsSync reports true: fences must reach the mapping's sync hook.
 func (fb *FileBackend) NeedsSync() bool { return true }
 
-// SetStrict toggles full power-fail durability: every fence additionally
-// issues one fdatasync, so acknowledged operations survive machine crashes,
-// not just process crashes. Set it before serving operations.
-func (fb *FileBackend) SetStrict(on bool) { fb.strict = on }
+// SetSyncPolicy switches the backend's durability policy (see SyncMode).
+// Set it before serving operations: fences may be concurrent with each
+// other, not with a policy change.
+func (fb *FileBackend) SetSyncPolicy(p SyncPolicy) { fb.syncer.setPolicy(p) }
 
-// SyncLines coalesces the just-written-back lines into page ranges of the
-// mapping and issues one ranged msync(MS_ASYNC) per run — starting kernel
-// writeback without stalling the fence — plus one fdatasync in strict mode
-// (the single linearizing wait of the fence). Sync failures are fatal: a
-// backend that silently drops acknowledged durability would corrupt every
-// recovery guarantee built on top of it.
-func (fb *FileBackend) SyncLines(lines []uint64) {
-	if len(lines) > 0 {
-		slices.Sort(lines)
-		ps := fb.pageSz
-		var start, end uint64
-		flush := func() {
-			if end > start {
-				if err := msyncRange(fb.mapping[start:end:end], false); err != nil {
-					panic(fmt.Sprintf("nvram: msync %s: %v", fb.path, err))
-				}
-			}
-		}
-		for _, l := range lines {
-			lo := (fileHeaderSize + l*LineSize) &^ (ps - 1)
-			hi := (fileHeaderSize + (l+1)*LineSize + ps - 1) &^ (ps - 1)
-			if hi > uint64(len(fb.mapping)) {
-				hi = uint64(len(fb.mapping))
-			}
-			if end == 0 {
-				start, end = lo, hi
-			} else if lo <= end {
-				if hi > end {
-					end = hi
-				}
-			} else {
-				flush()
-				start, end = lo, hi
-			}
-		}
-		flush()
-	}
-	if fb.strict {
-		if err := fdatasyncFile(fb.f); err != nil {
-			panic(fmt.Sprintf("nvram: fdatasync %s: %v", fb.path, err))
-		}
+// Policy returns the backend's current durability policy.
+func (fb *FileBackend) Policy() SyncPolicy { return fb.syncer.getPolicy() }
+
+// SetStrict toggles full power-fail durability.
+//
+// Deprecated: use SetSyncPolicy. SetStrict(true) is SyncStrict,
+// SetStrict(false) the default eager mode.
+func (fb *FileBackend) SetStrict(on bool) {
+	if on {
+		fb.SetSyncPolicy(SyncPolicy{Mode: SyncStrict})
+	} else {
+		fb.SetSyncPolicy(SyncPolicy{Mode: SyncEager})
 	}
 }
+
+// SyncLines hands the just-written-back lines to the background syncer,
+// which coalesces their pages across fences into merged msync ranges off
+// the fence path. In SyncStrict mode the call blocks until the syncer's
+// durable watermark covers this fence (one group-committed fdatasync may
+// release many concurrent fences); eager and buffered fences return
+// immediately — their kill -9 durability comes from the shared mapping, not
+// the msync.
+func (fb *FileBackend) SyncLines(lines []uint64) { fb.syncer.enqueue(lines) }
+
+// Drain blocks until every line enqueued so far has been flushed by the
+// syncer (buffered flushes are pulled forward). The device's capacity-grow
+// barrier uses it so a grow commit never overtakes older acknowledged data
+// in the storage stack.
+func (fb *FileBackend) Drain() { fb.syncer.drain() }
 
 // Abandon simulates abrupt process death for in-process crash tests: it
 // closes the descriptor and drops the mapping WITHOUT any flush, so the
@@ -313,6 +328,10 @@ func (fb *FileBackend) SyncLines(lines []uint64) {
 // pages stay in the page cache regardless, which is the whole durability
 // story.) The backend and its device must not be used afterwards.
 func (fb *FileBackend) Abandon() error {
+	// Stop the syncer WITHOUT flushing (an abrupt death grants none) and
+	// join it before the munmap: a mid-flight msync on an unmapped region
+	// would fault.
+	fb.syncer.abandon()
 	err := fb.f.Close()
 	if fb.mapping != nil {
 		if e := syscall.Munmap(fb.mapping); err == nil {
@@ -330,6 +349,9 @@ func (fb *FileBackend) Close() error {
 	if fb.mapping == nil {
 		return nil
 	}
+	// Flush-and-join the syncer first; the whole-mapping msync below then
+	// catches anything written back after the syncer's last batch.
+	fb.syncer.close()
 	// Only the committed prefix is backed by file pages; msyncing reserve
 	// pages past EOF would fault.
 	live := fileHeaderSize + fb.committed.Load()

@@ -211,11 +211,23 @@ func (d *Device) Grow(newSize uint64) error {
 	if !ok {
 		return fmt.Errorf("nvram: backend %q is not growable", d.backend.Name())
 	}
+	// Barrier: a capacity commit must never overtake older acknowledged
+	// data still queued in an asynchronous durability pipeline.
+	d.SyncBarrier()
 	if err := gb.GrowTo(newSize); err != nil {
 		return err
 	}
 	d.limWords.Store(newSize / WordSize)
 	return nil
+}
+
+// SyncBarrier blocks until the backend's asynchronous durability pipeline
+// (if it has one — see DrainableBackend) has flushed everything enqueued so
+// far. A no-op for synchronous backends.
+func (d *Device) SyncBarrier() {
+	if db, ok := d.backend.(DrainableBackend); ok {
+		db.Drain()
+	}
 }
 
 // Backend returns the persistence backend owning the persisted image.

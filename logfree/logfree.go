@@ -62,11 +62,13 @@ type config struct {
 	writeLatency time.Duration
 	maxThreads   int
 	areaShift    uint
-	linkCache    bool
+	linkCache    bool // as requested; see effectiveLinkCache
 	volatile     bool
-	file         string
-	fileStrict   bool
-	backend      nvram.Backend
+	device       DeviceSpec
+	durability   Durability
+	// Provenance of the deprecated per-flag device options, kept so their
+	// historical conflict diagnostics survive the WithDevice redesign.
+	fileOpt, backendOpt bool
 }
 
 // defaultSize is the simulated NVRAM capacity when none is configured.
@@ -90,25 +92,45 @@ func WithSize(bytes uint64) Option { return func(c *config) { c.size = bytes } }
 // WithSize, exactly the pre-growth behaviour.
 func WithMaxSize(bytes uint64) Option { return func(c *config) { c.maxSize = bytes } }
 
-// WithFile backs the persisted image with an mmap'd file at path instead of
-// process memory: every completed write-back lands in the backing file's
-// page cache, so the runtime's contents survive process death — kill -9
-// included — with no image save. New opens-or-creates: a path holding a
-// formatted pool is recovered (Recovered reports true), anything else is
-// formatted fresh. SaveImage/LoadImage keep working as portable snapshots.
-// Mutually exclusive with WithBackend and WithVolatile.
-func WithFile(path string) Option { return func(c *config) { c.file = path } }
+// WithDevice names the persistence substrate of the runtime — see
+// DeviceSpec (MemDevice, FileDevice, DAXDevice, BackendDevice). For durable
+// substrates New opens-or-creates: an image holding a formatted pool is
+// recovered (Recovered reports true), anything else is formatted fresh.
+// SaveImage/LoadImage keep working as portable snapshots. Mutually
+// exclusive with WithVolatile (except MemDevice).
+func WithDevice(spec DeviceSpec) Option { return func(c *config) { c.device = spec } }
 
-// WithFileSync, with WithFile, makes every fence issue one fdatasync so
-// acknowledged operations survive machine crashes (power loss), not just
-// process crashes. This pays real storage-stack latency per linearizing
-// fence — typically 10-100× the simulated NVRAM write latency.
-func WithFileSync(strict bool) Option { return func(c *config) { c.fileStrict = strict } }
+// WithDurability sets the policy for what an acknowledged operation means
+// on the configured device — see Durability (Strict, Synced, Buffered).
+// The default is Synced.
+func WithDurability(d Durability) Option { return func(c *config) { c.durability = d } }
 
-// WithBackend runs the runtime on a caller-constructed persistence backend
-// (see nvram.Backend). Like WithFile, a backend holding a formatted pool is
-// recovered rather than reformatted. Mutually exclusive with WithFile.
-func WithBackend(b nvram.Backend) Option { return func(c *config) { c.backend = b } }
+// WithFile backs the persisted image with an mmap'd file at path.
+//
+// Deprecated: use WithDevice(FileDevice(path)).
+func WithFile(path string) Option {
+	return func(c *config) { c.device = FileDevice(path); c.fileOpt = path != "" }
+}
+
+// WithFileSync(true) makes acknowledged operations machine-crash durable.
+//
+// Deprecated: use WithDurability(Strict()). WithFileSync(false) is a no-op
+// (the default policy is already Synced), so conditional call sites compose
+// with WithDurability.
+func WithFileSync(strict bool) Option {
+	return func(c *config) {
+		if strict {
+			c.durability = Strict()
+		}
+	}
+}
+
+// WithBackend runs the runtime on a caller-constructed persistence backend.
+//
+// Deprecated: use WithDevice(BackendDevice(b)).
+func WithBackend(b nvram.Backend) Option {
+	return func(c *config) { c.device = BackendDevice(b); c.backendOpt = b != nil }
+}
 
 // WithWriteLatency sets the simulated NVRAM write latency (paper default
 // 125ns via nvram.DefaultWriteLatency). Zero disables latency injection.
@@ -145,29 +167,46 @@ func buildConfig(opts []Option) config {
 	return c
 }
 
-// openDevice builds the NVRAM device the configuration names: the default
-// in-process simulator, a file-backed device, or a caller backend.
+// openDevice builds the NVRAM device the DeviceSpec names and threads the
+// durability policy into its backend.
 func (c *config) openDevice() (*nvram.Device, error) {
 	ncfg := nvram.Config{WriteLatency: c.writeLatency, MaxSize: c.maxSize}
+	spec := c.device
 	switch {
-	case c.backend != nil && c.file != "":
+	case c.fileOpt && c.backendOpt:
 		return nil, fmt.Errorf("logfree: WithBackend and WithFile are mutually exclusive")
-	case c.volatile && (c.backend != nil || c.file != ""):
+	case c.volatile && spec.Kind != DeviceMem:
 		return nil, fmt.Errorf("logfree: WithVolatile strips the write-backs a durable backend exists to capture")
-	case c.backend != nil:
+	}
+	switch spec.Kind {
+	case DeviceBackend:
+		if spec.Backend == nil {
+			return nil, fmt.Errorf("logfree: BackendDevice with a nil backend")
+		}
 		ncfg.Size = c.size // 0 adopts the backend's capacity
-		return nvram.NewWithBackend(ncfg, c.backend)
-	case c.file != "":
+		if ps, ok := spec.Backend.(syncPolicySetter); ok {
+			ps.SetSyncPolicy(c.durability.syncPolicy())
+		}
+		return nvram.NewWithBackend(ncfg, spec.Backend)
+	case DeviceFile, DeviceDAX:
 		ncfg.Size = c.size
-		if st, err := os.Stat(c.file); (err != nil || st.Size() == 0) && ncfg.Size == 0 {
+		if st, err := os.Stat(spec.Path); (err != nil || st.Size() == 0) && ncfg.Size == 0 {
 			ncfg.Size = defaultSize // creating fresh with no explicit size
 		}
-		dev, _, err := nvram.OpenFileDevice(c.file, ncfg)
+		var (
+			dev *nvram.Device
+			err error
+		)
+		if spec.Kind == DeviceDAX {
+			dev, _, err = nvram.OpenDAXDevice(spec.Path, ncfg)
+		} else {
+			dev, _, err = nvram.OpenFileDevice(spec.Path, ncfg)
+		}
 		if err != nil {
 			return nil, err
 		}
-		if fb, ok := dev.Backend().(*nvram.FileBackend); ok {
-			fb.SetStrict(c.fileStrict)
+		if ps, ok := dev.Backend().(syncPolicySetter); ok {
+			ps.SetSyncPolicy(c.durability.syncPolicy())
 		}
 		return dev, nil
 	default:
@@ -177,6 +216,22 @@ func (c *config) openDevice() (*nvram.Device, error) {
 		}
 		return nvram.New(ncfg), nil
 	}
+}
+
+// effectiveLinkCache derives the link-cache legality from the device and
+// policy: on durable substrates a volatile cache of publishing links would
+// silently void the acknowledged-operation contract, so it is only honored
+// when the policy already accepts bounded staleness (Buffered) — whose
+// background timer then also bounds the cache's exposure. Mem and volatile
+// runtimes keep the request as-is.
+func (c *config) effectiveLinkCache() bool {
+	if !c.linkCache {
+		return false
+	}
+	if c.volatile || c.device.Kind == DeviceMem {
+		return true
+	}
+	return c.durability.IsBuffered()
 }
 
 // Kind identifies a structure type in the durable directory.
@@ -248,6 +303,10 @@ type Runtime struct {
 	handleMu sync.Mutex
 	handles  map[int]*Session // Handle(tid) shim sessions, by tid
 
+	// Buffered-policy link-cache flush timer (startFlushTimer).
+	flushStop chan struct{}
+	flushDone chan struct{}
+
 	dir   *core.BytesMap
 	dirMu sync.Mutex // serializes registrations (rare)
 
@@ -296,7 +355,7 @@ func createRuntime(dev *nvram.Device, cfg config) (*Runtime, error) {
 	}
 	store, err := core.NewStore(dev, core.Options{
 		MaxThreads: cfg.maxThreads,
-		LinkCache:  cfg.linkCache,
+		LinkCache:  cfg.effectiveLinkCache(),
 		AreaShift:  cfg.areaShift,
 		Volatile:   cfg.volatile,
 	})
@@ -308,6 +367,7 @@ func createRuntime(dev *nvram.Device, cfg config) (*Runtime, error) {
 		return nil, err
 	}
 	r.seedPool()
+	r.startFlushTimer()
 	return r, nil
 }
 
@@ -363,6 +423,7 @@ func attachRuntime(dev *nvram.Device, cfg config) (*Runtime, error) {
 			return nil, err
 		}
 		r.seedPool()
+		r.startFlushTimer()
 		return r, nil
 	}
 	r.dir = core.AttachBytesMap(store,
@@ -370,7 +431,57 @@ func attachRuntime(dev *nvram.Device, cfg config) (*Runtime, error) {
 	r.recoverAll()
 	r.attached = true
 	r.seedPool()
+	r.startFlushTimer()
 	return r, nil
+}
+
+// startFlushTimer runs the Buffered-policy background flusher: every
+// MaxStaleness it pushes the link cache's volatile publishing links into
+// the persisted image (the pool's formatted LinkCache option decides
+// whether the cache exists at all — relevant on Attach, where formatting
+// wins over this process's request). Together with the file syncer's
+// buffered batches this bounds how much acknowledged work any crash can
+// take back.
+func (r *Runtime) startFlushTimer() {
+	lc := r.store.LinkCache()
+	if lc == nil || !r.cfg.durability.IsBuffered() {
+		return
+	}
+	r.flushStop = make(chan struct{})
+	r.flushDone = make(chan struct{})
+	tick := time.NewTicker(r.cfg.durability.MaxStaleness())
+	go func() {
+		defer close(r.flushDone)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.flushStop:
+				return
+			case <-tick.C:
+			}
+			if r.closed.Load() {
+				return
+			}
+			s, err := r.Session()
+			if err != nil {
+				return
+			}
+			lc.FlushAll(s.c.Flusher())
+			s.c.Flusher().Fence()
+			s.Close()
+		}
+	}()
+}
+
+// stopFlushTimer joins the Buffered flusher (idempotent; no-op when the
+// timer never started).
+func (r *Runtime) stopFlushTimer() {
+	if r.flushStop == nil {
+		return
+	}
+	close(r.flushStop)
+	<-r.flushDone
+	r.flushStop = nil
 }
 
 // Load opens a runtime from an image file written by Save.
@@ -416,6 +527,7 @@ func (r *Runtime) Close() error {
 	if r.closed.Swap(true) {
 		return nil
 	}
+	r.stopFlushTimer()
 	r.Drain()
 	return r.dev.Close()
 }
@@ -431,6 +543,7 @@ func (r *Runtime) Recovered() bool { return r.attached }
 // runtime.
 func (r *Runtime) SimulateCrash() (*Runtime, error) {
 	r.closed.Store(true)
+	r.stopFlushTimer()
 	r.dev.Crash()
 	return Attach(r.dev,
 		WithSize(r.cfg.size),
@@ -438,6 +551,8 @@ func (r *Runtime) SimulateCrash() (*Runtime, error) {
 		WithWriteLatency(r.cfg.writeLatency),
 		WithMaxThreads(r.cfg.maxThreads),
 		WithLinkCache(r.cfg.linkCache),
+		WithDevice(r.cfg.device),
+		WithDurability(r.cfg.durability),
 		WithVolatile(r.cfg.volatile))
 }
 

@@ -1,0 +1,135 @@
+package sharded
+
+// DAX-backed pools: per-shard DAX devices under one directory, the manifest
+// recording (and enforcing) the backend kind, and durability pass-through.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/logfree"
+)
+
+func TestDAXPoolOpenReopen(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(WithShards(4), WithShardSize(testShardSize),
+		WithDevice(logfree.DAXDevice(dir)), WithDurability(logfree.Strict()))
+	if err != nil {
+		t.Fatalf("Open(dax pool): %v", err)
+	}
+	m, err := p.Map("kv", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := m.Set(tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the same spec: recovery, kind check, contents.
+	p2, err := Open(WithDevice(logfree.DAXDevice(dir)), WithDurability(logfree.Strict()))
+	if err != nil {
+		t.Fatalf("reopen dax pool: %v", err)
+	}
+	defer p2.Close()
+	if !p2.Recovered() {
+		t.Fatal("dax pool reopen did not recover")
+	}
+	if p2.Shards() != 4 {
+		t.Fatalf("reopen shards = %d, want 4", p2.Shards())
+	}
+	m2, err := p2.Map("kv", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m2.Get(tkey(i)); !ok || string(v) != string(tval(i)) {
+			t.Fatalf("key %d lost across dax pool reopen: %q, %v", i, v, ok)
+		}
+	}
+}
+
+// The manifest records the backend kind: a pool formatted on DAX shards
+// refuses an explicit file-kind reopen (and vice versa), while an
+// unspecified kind adopts whatever the manifest says.
+func TestManifestBackendKindEnforced(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(WithShards(2), WithShardSize(testShardSize),
+		WithDevice(logfree.DAXDevice(dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(WithDevice(logfree.FileDevice(dir))); err == nil ||
+		!strings.Contains(err.Error(), "formatted on") {
+		t.Fatalf("file-kind reopen of dax pool = %v, want formatted-on mismatch", err)
+	}
+
+	// And the mirror image: a file pool rejects a dax-kind reopen.
+	fdir := t.TempDir()
+	fp, err := Open(WithShards(2), WithShardSize(testShardSize),
+		WithDevice(logfree.FileDevice(fdir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(WithDevice(logfree.DAXDevice(fdir))); err == nil ||
+		!strings.Contains(err.Error(), "formatted on") {
+		t.Fatalf("dax-kind reopen of file pool = %v, want formatted-on mismatch", err)
+	}
+	// Matching kind still opens.
+	fp2, err := Open(WithDevice(logfree.FileDevice(fdir)))
+	if err != nil {
+		t.Fatalf("matching-kind reopen: %v", err)
+	}
+	fp2.Close()
+}
+
+// A buffered pool runs every shard's flush timer; acked writes older than
+// the staleness bound survive SimulateCrash.
+func TestDAXPoolBufferedCrash(t *testing.T) {
+	dir := t.TempDir()
+	const staleness = 5 * time.Millisecond
+	p, err := Open(WithShards(2), WithShardSize(testShardSize),
+		WithDevice(logfree.DAXDevice(dir)),
+		WithDurability(logfree.Buffered(staleness)), WithLinkCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Map("kv", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := m.Set(tkey(i), tval(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * staleness)
+	p2, err := p.SimulateCrash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	m2, err := p2.Map("kv", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m2.Get(tkey(i)); !ok || string(v) != string(tval(i)) {
+			t.Fatalf("acked write %d older than MaxStaleness lost: %q, %v", i, v, ok)
+		}
+	}
+}

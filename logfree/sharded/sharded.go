@@ -71,11 +71,13 @@ type config struct {
 	shardSize    uint64
 	maxShardSize uint64
 	dir          string
-	fileSync     bool
+	kind         logfree.DeviceKind
+	durability   logfree.Durability
 	writeLatency time.Duration
 	maxThreads   int
 	linkCache    bool
 	latencySet   bool
+	fileSyncOpt  bool // provenance of the deprecated WithFileSync, for its diagnostic
 }
 
 // Option configures a Pool.
@@ -100,17 +102,44 @@ func WithShardSize(bytes uint64) Option { return func(c *config) { c.shardSize =
 // size is state, not configuration. Zero freezes shards at WithShardSize.
 func WithMaxShardSize(bytes uint64) Option { return func(c *config) { c.maxShardSize = bytes } }
 
-// WithDir backs every shard with an mmap'd file under dir
-// ("nvpool.shard-000", "nvpool.shard-001", ...) plus a manifest recording
-// the topology. Open-or-create: a directory holding a manifest is validated
-// and recovered (all shards in parallel); otherwise the pool is formatted
-// fresh and the manifest write is the creation commit point. Without this
-// option shards run on in-process memory backends.
-func WithDir(dir string) Option { return func(c *config) { c.dir = dir } }
+// WithDevice names the persistence substrate of every shard. The spec's
+// Path is the POOL DIRECTORY: shards live under it as "nvpool.shard-000",
+// "nvpool.shard-001", ... plus a manifest recording the topology (including
+// the backend kind). Supported kinds: MemDevice (in-process, the default),
+// FileDevice(dir) and DAXDevice(dir); BackendDevice cannot describe N
+// per-shard backends and is rejected by Open. Open-or-create: a directory
+// holding a manifest is validated and recovered (all shards in parallel);
+// otherwise the pool is formatted fresh and the manifest write is the
+// creation commit point.
+func WithDevice(spec logfree.DeviceSpec) Option {
+	return func(c *config) { c.dir = spec.Path; c.kind = spec.Kind }
+}
 
-// WithFileSync, with WithDir, makes every fence of every shard issue one
-// fdatasync (power-loss durability); see logfree.WithFileSync.
-func WithFileSync(strict bool) Option { return func(c *config) { c.fileSync = strict } }
+// WithDurability sets every shard's acknowledged-operation policy; see
+// logfree.WithDurability. Each shard applies it independently (per-shard
+// fences, syncers and flush timers); cross-shard ordering is unaffected.
+func WithDurability(d logfree.Durability) Option {
+	return func(c *config) { c.durability = d }
+}
+
+// WithDir backs every shard with an mmap'd file under dir.
+//
+// Deprecated: use WithDevice(logfree.FileDevice(dir)).
+func WithDir(dir string) Option { return WithDevice(logfree.FileDevice(dir)) }
+
+// WithFileSync(true) makes acknowledged operations machine-crash durable on
+// every shard.
+//
+// Deprecated: use WithDurability(logfree.Strict()). WithFileSync(false) is
+// a no-op, so conditional call sites compose with WithDurability.
+func WithFileSync(strict bool) Option {
+	return func(c *config) {
+		c.fileSyncOpt = c.fileSyncOpt || strict
+		if strict {
+			c.durability = logfree.Strict()
+		}
+	}
+}
 
 // WithWriteLatency sets the simulated NVRAM write latency of every shard.
 func WithWriteLatency(d time.Duration) Option {
@@ -137,6 +166,9 @@ type manifest struct {
 	Shards     int    `json:"shards"`
 	ShardBytes uint64 `json:"shard_bytes"`
 	Hash       string `json:"hash"`
+	// Backend records the shard backend kind ("file" or "dax"); empty in
+	// manifests written before the DAX backend existed and means "file".
+	Backend string `json:"backend,omitempty"`
 }
 
 // Pool is a set of independent logfree Runtimes with hash-routed byte keys.
@@ -203,7 +235,23 @@ func (m *manifest) validate(c *config) error {
 		// the pool may have grown past any initial-size flag since creation.
 		return fmt.Errorf("sharded: pool shards formatted for %d bytes, requested %d", m.ShardBytes, c.shardSize)
 	}
+	if c.kind != logfree.DeviceMem {
+		// An unspecified kind (zero config, manifest inspection) adopts; an
+		// explicit one must match what the pool was formatted on.
+		if got := m.backendKind(); got != c.kind {
+			return fmt.Errorf("sharded: pool formatted on %q shards, requested %q", got, c.kind)
+		}
+	}
 	return nil
+}
+
+// backendKind decodes the manifest's backend field (empty = file: manifests
+// predating the DAX backend never recorded one).
+func (m *manifest) backendKind() logfree.DeviceKind {
+	if m.Backend == logfree.DeviceDAX.String() {
+		return logfree.DeviceDAX
+	}
+	return logfree.DeviceFile
 }
 
 // readManifest loads and validates dir's manifest; ok=false means no
@@ -266,8 +314,11 @@ func Open(opts ...Option) (*Pool, error) {
 	if cfg.shards < 0 || cfg.shards > maxShards {
 		return nil, fmt.Errorf("sharded: shard count %d out of range [0,%d]", cfg.shards, maxShards)
 	}
-	if cfg.fileSync && cfg.dir == "" {
+	if cfg.fileSyncOpt && cfg.dir == "" {
 		return nil, fmt.Errorf("sharded: WithFileSync requires WithDir")
+	}
+	if cfg.kind == logfree.DeviceBackend {
+		return nil, fmt.Errorf("sharded: BackendDevice cannot describe per-shard backends; use FileDevice or DAXDevice")
 	}
 
 	n := cfg.shards
@@ -307,6 +358,7 @@ func Open(opts ...Option) (*Pool, error) {
 			logfree.WithSize(size),
 			logfree.WithMaxSize(cfg.maxShardSize),
 			logfree.WithLinkCache(cfg.linkCache),
+			logfree.WithDurability(cfg.durability),
 		}
 		if cfg.latencySet {
 			o = append(o, logfree.WithWriteLatency(cfg.writeLatency))
@@ -315,7 +367,11 @@ func Open(opts ...Option) (*Pool, error) {
 			o = append(o, logfree.WithMaxThreads(cfg.maxThreads))
 		}
 		if cfg.dir != "" {
-			o = append(o, logfree.WithFile(shardPath(cfg.dir, i)), logfree.WithFileSync(cfg.fileSync))
+			spec := logfree.FileDevice(shardPath(cfg.dir, i))
+			if cfg.kind == logfree.DeviceDAX {
+				spec = logfree.DAXDevice(shardPath(cfg.dir, i))
+			}
+			o = append(o, logfree.WithDevice(spec))
 		}
 		return o
 	}
@@ -364,6 +420,7 @@ func Open(opts ...Option) (*Pool, error) {
 		if err := writeManifest(cfg.dir, manifest{
 			Magic: manifestMagic, Version: manifestVersion,
 			Shards: n, ShardBytes: size, Hash: routeHashID,
+			Backend: cfg.kind.String(),
 		}); err != nil {
 			for _, rt := range rts {
 				rt.Close()
@@ -528,6 +585,7 @@ func (p *Pool) Grow(total uint64) error {
 		if err := writeManifest(p.cfg.dir, manifest{
 			Magic: manifestMagic, Version: manifestVersion,
 			Shards: len(p.rts), ShardBytes: per, Hash: routeHashID,
+			Backend: p.cfg.kind.String(),
 		}); err != nil {
 			return err
 		}

@@ -16,6 +16,9 @@
 #   BENCH_snapshot.json  NV-Memcached 1:4 mix solo vs with a background
 #                        goroutine continuously streaming live snapshots,
 #                        plus the snapshot_overhead ratio (snapshot/solo)
+#   BENCH_durability.json file-backend Set under the strict/synced/buffered
+#                        durability policies, plus the async_vs_strict_file
+#                        (synced/strict) and buffered_vs_strict ratios
 #
 # Usage:
 #   scripts/bench.sh                  # both files, default length
@@ -36,6 +39,7 @@ BATCH_OUT="${BATCH_OUT:-BENCH_batch.json}"
 FILE_OUT="${FILE_OUT:-BENCH_file.json}"
 REPL_OUT="${REPL_OUT:-BENCH_repl.json}"
 SNAPSHOT_OUT="${SNAPSHOT_OUT:-BENCH_snapshot.json}"
+DURABILITY_OUT="${DURABILITY_OUT:-BENCH_durability.json}"
 BENCHTIME="${BENCHTIME:-20000x}"
 COUNT="${COUNT:-3}"
 
@@ -265,3 +269,46 @@ printf '%s\n' "$sraw" | awk '
   }
 ' > "$SNAPSHOT_OUT"
 echo "wrote $SNAPSHOT_OUT"
+
+# The durability sweep: BenchmarkDurability/{strict,synced,buffered} prices
+# the acknowledged-operation policies on the file backend, best of COUNT
+# runs per row. The ratios are the machine-independent signals:
+# async_vs_strict_file (synced/strict) is the async msync pipeline's win
+# over fence-time fdatasync, buffered_vs_strict the full bounded-staleness
+# win. Absolute rows price the storage stack under the temp dir, so the
+# bench gate holds them to the looser file tolerance.
+draw=$(go test -run '^$' -bench 'BenchmarkDurability' -benchtime "$BENCHTIME" -count "$COUNT" .)
+printf '%s\n' "$draw"
+
+printf '%s\n' "$draw" | awk '
+  /^BenchmarkDurability\// {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    variant = name; sub(/^.*\//, "", variant)
+    iters = $2; ns = $3
+    ops = "0"
+    for (i = 4; i < NF; i++) if ($(i+1) == "ops/s") ops = $i
+    if (!(variant in best) || ops+0 > best[variant]+0) {
+      best[variant] = ops; bns[variant] = ns; bit[variant] = iters
+      if (!(variant in seen)) { order[n++] = variant; seen[variant] = 1 }
+    }
+  }
+  END {
+    printf "[\n"; sep=""
+    for (i = 0; i < n; i++) {
+      v = order[i]
+      printf "%s  {\"name\":\"BenchmarkDurability\",\"variant\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"ops_per_sec\":%s}", \
+        sep, v, bit[v], bns[v], best[v]
+      sep = ",\n"
+    }
+    if (("strict" in best) && best["strict"]+0 > 0) {
+      if ("synced" in best)
+        { printf "%s  {\"name\":\"BenchmarkDurability\",\"variant\":\"async_vs_strict_file\",\"ratio\":%.3f}", \
+            sep, best["synced"] / best["strict"]; sep = ",\n" }
+      if ("buffered" in best)
+        { printf "%s  {\"name\":\"BenchmarkDurability\",\"variant\":\"buffered_vs_strict\",\"ratio\":%.3f}", \
+            sep, best["buffered"] / best["strict"]; sep = ",\n" }
+    }
+    printf "\n]\n"
+  }
+' > "$DURABILITY_OUT"
+echo "wrote $DURABILITY_OUT"

@@ -30,7 +30,7 @@ cd "$(dirname "$0")/.."
 TOLERANCE="${BENCH_TOLERANCE:-0.30}"
 TOLERANCE_FILE="${BENCH_TOLERANCE_FILE:-0.90}"
 TOLERANCE_LAT="${BENCH_TOLERANCE_LAT:-1.50}"
-FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json BENCH_repl.json BENCH_latency.json BENCH_snapshot.json}"
+FILES="${BENCH_FILES:-BENCH_ordered.json BENCH_parallel.json BENCH_batch.json BENCH_file.json BENCH_repl.json BENCH_latency.json BENCH_snapshot.json BENCH_durability.json}"
 
 command -v jq >/dev/null || { echo "benchgate: jq is required" >&2; exit 2; }
 
@@ -74,9 +74,15 @@ for f in $FILES; do
   # BENCH_repl.json's follower row on its loopback RTT — both get the loose
   # tolerance; their file_vs_mem / repl_overhead RATIO rows are the
   # machine-independent signal and ride the default tolerance like
-  # everything else.
+  # everything else. BENCH_durability.json is loose on BOTH kinds: even its
+  # ratio rows (async_vs_strict_file, buffered_vs_strict) divide by the
+  # strict row, which prices the runner's fdatasync latency — a storage-
+  # stack property that legitimately varies by an order of magnitude.
   tol="$TOLERANCE" tol_abs="$TOLERANCE"
-  case "$f" in BENCH_file.json|BENCH_repl.json) tol_abs="$TOLERANCE_FILE" ;; esac
+  case "$f" in
+    BENCH_file.json|BENCH_repl.json) tol_abs="$TOLERANCE_FILE" ;;
+    BENCH_durability.json) tol="$TOLERANCE_FILE" tol_abs="$TOLERANCE_FILE" ;;
+  esac
 
   summary ""
   summary "**$f**"

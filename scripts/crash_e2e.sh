@@ -36,9 +36,11 @@ WORKERS=1
 WORK=$(mktemp -d)
 SRV_PID=""
 GROW_PID=""
+STRICT_PID=""
 cleanup() {
   [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
   [ -n "${GROW_PID:-}" ] && kill -9 "$GROW_PID" 2>/dev/null || true
+  [ -n "${STRICT_PID:-}" ] && kill -9 "$STRICT_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -238,6 +240,61 @@ echo "   recovered to $TOTAL bytes (on the doubling schedule)"
 kill -9 "$GROW_PID" 2>/dev/null || true
 GROW_PID=""
 
+echo "== strict-durability round: kill -9 with the async syncer in strict mode =="
+# A third server on its own image running -durability strict: fences no
+# longer msync inline but block on the background syncer's durable
+# watermark (group commit). The contract is unchanged — every acknowledged
+# write must survive kill -9 — only now the ack path runs through the async
+# pipeline, so a watermark bug (acking before the batch's fdatasync) shows
+# up here as lost acked keys.
+SPMEM="$WORK/strict.pmem"
+SLOG="$WORK/strict.log"
+start_strict_server() {
+  : > "$SLOG"
+  "$WORK/nvmemcached" -listen 127.0.0.1:0 -mem $((64 << 20)) -buckets 4096 \
+    -pmem-file "$SPMEM" -durability strict -latency 0 -sweep 0 >> "$SLOG" 2>&1 &
+  STRICT_PID=$!
+  SADDR=""
+  for _ in $(seq 1 100); do
+    SADDR=$(awk '/listening on/ {a=$NF} END {print a}' "$SLOG")
+    [ -n "$SADDR" ] && break
+    if ! kill -0 "$STRICT_PID" 2>/dev/null; then
+      echo "strict-durability server died during startup:" >&2
+      cat "$SLOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$SADDR" ]; then
+    echo "strict-durability server never reported its listen address:" >&2
+    cat "$SLOG" >&2
+    exit 1
+  fi
+}
+start_strict_server
+"$WORK/crashcheck" -addr "$SADDR" -state "$WORK/state.strict" -prefix strict -workers 2 load &
+SLOAD_PID=$!
+sleep "$LOAD_SECONDS"
+kill -9 "$STRICT_PID"
+STRICT_PID=""
+wait "$SLOAD_PID"
+ACKED=$(cat "$WORK/state.strict"* 2>/dev/null | awk -F= '/^acked=/ {s += $2} END {print s + 0}')
+if [ "${ACKED:-0}" -lt 100 ]; then
+  echo "strict round: only $ACKED acknowledged sets before the kill" >&2
+  exit 1
+fi
+echo "   killed strict-durability server with $ACKED acknowledged sets"
+start_strict_server
+if ! grep -q "recovered" "$SLOG"; then
+  echo "strict-durability restart did not run recovery:" >&2
+  cat "$SLOG" >&2
+  exit 1
+fi
+echo "   $(awk '/recovered/ {sub(/^.*recovered/, "recovered"); print; exit}' "$SLOG")"
+"$WORK/crashcheck" -addr "$SADDR" -state "$WORK/state.strict" -prefix strict -workers 2 verify
+kill -9 "$STRICT_PID" 2>/dev/null || true
+STRICT_PID=""
+
 echo "== kill-during-recovery round =="
 # Recovery itself must be crash-safe: SIGKILL the restarting process while
 # it is mid-attach-sweep (after "attaching to", before "listening on"),
@@ -285,4 +342,4 @@ SRV_PID=""
 start_server
 verify_all_rounds "$ROUNDS"
 
-echo "crash_e2e: PASS — every acknowledged write survived $ROUNDS kill -9 crashes, a kill -9 mid-recovery, and a clean restart (shards=$SHARDS)"
+echo "crash_e2e: PASS — every acknowledged write survived $ROUNDS kill -9 crashes, a strict-syncer kill -9, a kill -9 mid-recovery, and a clean restart (shards=$SHARDS)"
